@@ -1,0 +1,107 @@
+//! Component microbenchmarks: F2 (DBCL grammar), §6.1 inequality graph,
+//! the Prolog engine, and the RQS executor in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbcl::{CompOp, Comparison, DbclQuery, Operand, Symbol, Value};
+use std::hint::black_box;
+
+/// F2: parse + print round trip of the paper's fixtures.
+fn grammar(c: &mut Criterion) {
+    let q = DbclQuery::example_4_1();
+    let text = q.to_string();
+    let mut group = c.benchmark_group("f2_grammar");
+    group.bench_function("parse", |b| b.iter(|| black_box(DbclQuery::parse(&text).unwrap())));
+    group.bench_function("print", |b| b.iter(|| black_box(q.to_string())));
+    group.finish();
+}
+
+/// §6.1: inequality chains of growing length (the Rosenkrantz–Hunt graph
+/// is cubic in nodes; this tracks the practical cost).
+fn inequality(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_b_inequality");
+    for n in [4usize, 8, 16] {
+        // a1 >= a2 >= … >= an plus a1 != an (sharpened to >).
+        let mut comps: Vec<Comparison> = (1..n)
+            .map(|i| {
+                Comparison::new(
+                    CompOp::Geq,
+                    Operand::Sym(Symbol::var(&format!("a{i}"))),
+                    Operand::Sym(Symbol::var(&format!("a{}", i + 1))),
+                )
+            })
+            .collect();
+        comps.push(Comparison::new(
+            CompOp::Neq,
+            Operand::Sym(Symbol::var("a1")),
+            Operand::Sym(Symbol::var(&format!("a{n}"))),
+        ));
+        let axioms = [
+            Comparison::new(
+                CompOp::Geq,
+                Operand::Sym(Symbol::var("a1")),
+                Operand::Const(Value::Int(0)),
+            ),
+            Comparison::new(
+                CompOp::Leq,
+                Operand::Sym(Symbol::var("a1")),
+                Operand::Const(Value::Int(1_000_000)),
+            ),
+        ];
+        group.bench_with_input(BenchmarkId::new("chain", n), &comps, |b, comps| {
+            b.iter(|| {
+                black_box(optimizer::ineq::simplify_inequalities(
+                    comps,
+                    &axioms,
+                    &Default::default(),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The Prolog engine: family-tree solving (pure internal resolution).
+fn prolog_engine(c: &mut Criterion) {
+    let mut engine = prolog::Engine::new();
+    let mut program = String::new();
+    for i in 0..50 {
+        program.push_str(&format!("p({i}, {}).\n", i + 1));
+    }
+    program.push_str(
+        "anc(X, Y) :- p(X, Y).
+         anc(X, Z) :- p(X, Y), anc(Y, Z).",
+    );
+    engine.consult(&program).unwrap();
+    c.bench_function("prolog_transitive_closure_50", |b| {
+        b.iter(|| black_box(engine.query_all("anc(0, X).").unwrap()))
+    });
+}
+
+/// The RQS executor on the generated firm: the Example 5-1 six-way join.
+fn rqs_executor(c: &mut Criterion) {
+    use coupling::workload::{Firm, FirmParams};
+    let mut db = rqs::Database::new();
+    for ddl in coupling::ddl_statements(&dbcl::DatabaseDef::empdep(), &dbcl::ConstraintSet::empdep()) {
+        db.execute(&ddl).unwrap();
+    }
+    let firm = Firm::generate(FirmParams { depth: 3, branching: 2, staff_per_dept: 4, seed: 1 });
+    firm.load_into_rqs(&mut db).unwrap();
+    let six_way = "SELECT v1.nam
+        FROM empl v1, dept v2, empl v3, empl v4, dept v5, empl v6
+        WHERE (v1.dno = v2.dno) AND (v2.mgr = v3.eno) AND
+              (v4.dno = v5.dno) AND (v5.mgr = v6.eno) AND
+              (v4.nam = 'e2') AND (v3.nam = v6.nam) AND (v1.nam <> 'e2')";
+    let two_way = "SELECT v1.nam FROM empl v1, empl v2
+        WHERE (v1.dno = v2.dno) AND (v2.nam = 'e2') AND (v1.nam <> 'e2')";
+    let mut group = c.benchmark_group("rqs_executor");
+    group.bench_function("six_way_join", |b| {
+        b.iter(|| black_box(db.query(six_way).unwrap()))
+    });
+    group.bench_function("two_way_join", |b| {
+        b.iter(|| black_box(db.query(two_way).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, grammar, inequality, prolog_engine, rqs_executor);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! F1 — Figure 1: per-phase and end-to-end latency of the translation
+//! pipeline (metaevaluate → optimize → translate → execute).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use coupling::workload::FirmParams;
+use dbcl::{ConstraintSet, DatabaseDef, DbclQuery};
+use metaeval::MetaEvaluator;
+use optimizer::{Simplifier, SimplifyOutcome};
+use pfe_bench::firm_session;
+use sqlgen::mapping::{translate, MappingOptions};
+use std::hint::black_box;
+
+fn phases(c: &mut Criterion) {
+    let db = DatabaseDef::empdep();
+    let cs = ConstraintSet::empdep();
+    let (s, firm) = firm_session(FirmParams { depth: 3, branching: 2, staff_per_dept: 4, seed: 1 });
+    let goal = format!("same_manager(t_X, '{}')", firm.deepest_employee());
+
+    let mut group = c.benchmark_group("f1_phases");
+    group.bench_function("metaevaluate", |b| {
+        let meta = MetaEvaluator::new(s.coupler().engine.kb(), &db);
+        b.iter(|| black_box(meta.metaevaluate(&goal, "same_manager").unwrap()))
+    });
+    let query = DbclQuery::example_4_1();
+    group.bench_function("local_optimize", |b| {
+        let simplifier = Simplifier::new(&db, &cs);
+        b.iter(|| black_box(simplifier.simplify(query.clone())))
+    });
+    let SimplifyOutcome::Simplified(optimized, _) =
+        Simplifier::new(&db, &cs).simplify(query.clone())
+    else {
+        unreachable!()
+    };
+    group.bench_function("translate", |b| {
+        b.iter(|| black_box(translate(&optimized, &db, MappingOptions::default()).unwrap()))
+    });
+    group.finish();
+}
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("f1_end_to_end");
+    group.sample_size(20);
+    for params in pfe_bench::firm_sweep() {
+        let (mut s, firm) = firm_session(params);
+        s.config_mut().cache = false;
+        let goal = format!("same_manager(t_X, '{}')", firm.deepest_employee());
+        let n = firm.employees.len();
+        group.bench_with_input(BenchmarkId::new("optimized", n), &goal, |b, goal| {
+            b.iter(|| black_box(s.query(goal, "same_manager").unwrap()))
+        });
+    }
+    for params in pfe_bench::firm_sweep() {
+        let (mut s, firm) = firm_session(params);
+        s.config_mut().cache = false;
+        s.config_mut().optimize = false;
+        let goal = format!("same_manager(t_X, '{}')", firm.deepest_employee());
+        let n = firm.employees.len();
+        group.bench_with_input(BenchmarkId::new("direct", n), &goal, |b, goal| {
+            b.iter(|| black_box(s.query(goal, "same_manager").unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, phases, end_to_end);
+criterion_main!(benches);

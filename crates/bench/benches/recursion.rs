@@ -1,0 +1,70 @@
+//! E7-1 — recursion strategies: naive re-execution vs the stored
+//! intermediate relation, and the orientation (top-down vs bottom-up)
+//! experiment.
+
+use coupling::recursion::{
+    eval_intermediate, eval_intermediate_mismatched, eval_naive, Bound, BoundSide, ClosureSpec,
+};
+use coupling::workload::FirmParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfe_bench::firm_session;
+use pfe_core::Datum;
+use std::hint::black_box;
+
+fn strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_1_strategies");
+    group.sample_size(10);
+    for depth in [2usize, 3, 4] {
+        let params = FirmParams { depth, branching: 2, staff_per_dept: 2, seed: 1 };
+        let (mut s, firm) = firm_session(params);
+        let chain = firm.max_chain();
+        let bound = Bound { side: BoundSide::High, value: Datum::text(firm.ceo()) };
+        group.bench_with_input(BenchmarkId::new("naive", chain), &bound, |b, bound| {
+            b.iter(|| {
+                black_box(
+                    eval_naive(s.coupler_mut(), "works_for", bound, chain + 1).unwrap(),
+                )
+            })
+        });
+        let spec = ClosureSpec::from_view(s.coupler(), "works_dir_for").unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("intermediate", chain),
+            &bound,
+            |b, bound| {
+                b.iter(|| {
+                    black_box(
+                        eval_intermediate(s.coupler_mut(), &spec, bound, "intermediate")
+                            .unwrap(),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn orientation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_1_orientation");
+    group.sample_size(10);
+    let params = FirmParams { depth: 3, branching: 2, staff_per_dept: 1, seed: 2 };
+    let (mut s, firm) = firm_session(params);
+    let spec = ClosureSpec::from_view(s.coupler(), "works_dir_for").unwrap();
+    let low = Bound { side: BoundSide::Low, value: Datum::text(firm.deepest_employee()) };
+    group.bench_function("bottom_up", |b| {
+        b.iter(|| {
+            black_box(eval_intermediate(s.coupler_mut(), &spec, &low, "intermediate").unwrap())
+        })
+    });
+    group.bench_function("top_down_mismatched", |b| {
+        b.iter(|| {
+            black_box(
+                eval_intermediate_mismatched(s.coupler_mut(), &spec, &low, "intermediate")
+                    .unwrap(),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, strategies, orientation);
+criterion_main!(benches);

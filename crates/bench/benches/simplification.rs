@@ -1,0 +1,61 @@
+//! E6-2 + A1 — the §6 simplifier: cost of Algorithm 2 itself, the
+//! execution saving it buys, and the per-phase ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dbcl::{ConstraintSet, DatabaseDef, DbclQuery};
+use optimizer::{Simplifier, SimplifyConfig};
+use pfe_bench::{firm_session, firm_sweep};
+use std::hint::black_box;
+
+/// Algorithm 2 on the paper's 6-row query, per phase configuration.
+fn simplifier_cost(c: &mut Criterion) {
+    let db = DatabaseDef::empdep();
+    let cs = ConstraintSet::empdep();
+    let query = DbclQuery::example_4_1();
+    let mut group = c.benchmark_group("e6_2_algorithm2");
+    let configs: [(&str, SimplifyConfig); 4] = [
+        ("bounds_ineq", SimplifyConfig {
+            use_chase: false,
+            use_refint: false,
+            use_minimize: false,
+            ..SimplifyConfig::default()
+        }),
+        ("chase", SimplifyConfig {
+            use_refint: false,
+            use_minimize: false,
+            ..SimplifyConfig::default()
+        }),
+        ("refint", SimplifyConfig { use_minimize: false, ..SimplifyConfig::default() }),
+        ("full", SimplifyConfig::default()),
+    ];
+    for (name, config) in configs {
+        group.bench_function(name, |b| {
+            let simplifier = Simplifier::with_config(&db, &cs, config);
+            b.iter(|| black_box(simplifier.simplify(query.clone())))
+        });
+    }
+    group.finish();
+}
+
+/// Execution cost of the direct vs simplified same_manager query.
+fn execution_saving(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_2_execution");
+    group.sample_size(20);
+    for params in firm_sweep() {
+        let (mut s, firm) = firm_session(params);
+        s.config_mut().cache = false;
+        let n = firm.employees.len();
+        let goal = format!("same_manager(t_X, '{}')", firm.deepest_employee());
+        group.bench_with_input(BenchmarkId::new("optimized", n), &goal, |b, goal| {
+            b.iter(|| black_box(s.query(goal, "same_manager").unwrap()))
+        });
+        s.config_mut().optimize = false;
+        group.bench_with_input(BenchmarkId::new("direct", n), &goal, |b, goal| {
+            b.iter(|| black_box(s.query(goal, "same_manager").unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, simplifier_cost, execution_saving);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Shared fixtures for the benchmark suite and the `experiments` binary.
+
+use coupling::workload::{Firm, FirmParams};
+use pfe_core::{views, Session};
+
+/// The five-person firm used in the paper-example reproductions.
+pub fn spy_session() -> Session {
+    let mut s = Session::empdep();
+    s.load_empl(&[
+        (1, "control", 80_000, 10),
+        (2, "smiley", 60_000, 10),
+        (3, "jones", 30_000, 20),
+        (4, "miller", 25_000, 20),
+        (5, "leamas", 35_000, 20),
+    ])
+    .expect("fixture loads");
+    s.load_dept(&[(10, "hq", 1), (20, "field", 2)]).expect("fixture loads");
+    s.check_integrity().expect("fixture is consistent");
+    s
+}
+
+/// A session over a generated hierarchy with all views consulted.
+pub fn firm_session(params: FirmParams) -> (Session, Firm) {
+    let mut s = Session::empdep();
+    s.consult(views::SAME_MANAGER).expect("views parse");
+    s.consult(
+        "works_for(L, H) :- works_dir_for(L, H).
+         works_for(L, H) :- works_dir_for(L, M), works_for(M, H).",
+    )
+    .expect("views parse");
+    let firm = Firm::generate(params);
+    firm.load_into(s.coupler_mut()).expect("generated data is consistent");
+    (s, firm)
+}
+
+/// Standard sweep sizes (employee-count scale points).
+pub fn firm_sweep() -> Vec<FirmParams> {
+    vec![
+        FirmParams { depth: 2, branching: 2, staff_per_dept: 2, seed: 1 },
+        FirmParams { depth: 3, branching: 2, staff_per_dept: 4, seed: 1 },
+        FirmParams { depth: 3, branching: 3, staff_per_dept: 5, seed: 1 },
+        FirmParams { depth: 4, branching: 3, staff_per_dept: 6, seed: 1 },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_build() {
+        let mut s = spy_session();
+        s.consult(views::WORKS_DIR_FOR).unwrap();
+        assert_eq!(
+            s.query("works_dir_for(t_X, smiley)", "q").unwrap().answers.len(),
+            3
+        );
+        let (mut s, firm) = firm_session(FirmParams::default());
+        assert!(firm.employees.len() > 10);
+        let goal = format!("works_dir_for(t_X, '{}')", firm.ceo());
+        assert!(!s.query(&goal, "q").unwrap().answers.is_empty());
+    }
+
+    #[test]
+    fn sweep_is_increasing() {
+        let sizes: Vec<usize> = firm_sweep()
+            .into_iter()
+            .map(|p| Firm::generate(p).employees.len())
+            .collect();
+        assert!(sizes.windows(2).all(|w| w[0] < w[1]), "{sizes:?}");
+    }
+}

@@ -1,0 +1,244 @@
+//! Multiple-query optimization (§7, citing [Jarke 1984]): "Often, it is
+//! advantageous to process multiple database queries simultaneously by
+//! recognizing common subexpressions."
+//!
+//! Implemented machinery:
+//!
+//! * [`canonicalize`] — renames `v_…` symbols by first occurrence, so
+//!   syntactic variants of one query compare equal (the basis of the
+//!   result cache);
+//! * [`BatchReport`]/[`analyze_batch`] — duplicate detection and
+//!   subsumption (via conjunctive-query containment) across a batch;
+//! * [`common_row_count`] — the size of the shared sub-tableau between two
+//!   queries, a common-subexpression indicator used to decide whether an
+//!   intermediate result is worth storing.
+
+use dbcl::{DbclQuery, Operand, Symbol};
+use optimizer::contained_in;
+
+/// Renames every `v_…` symbol to `v_1`, `v_2`, … by first occurrence
+/// (target symbols keep their names: they are part of the interface) and
+/// normalizes the view name, which is presentation only.
+pub fn canonicalize(query: &DbclQuery) -> DbclQuery {
+    let mut out = query.clone();
+    out.view_name = prolog::Atom::new("q");
+    let mut counter = 0usize;
+    // Collect in first-occurrence order from rows, then comparisons.
+    let mut ordered: Vec<Symbol> = Vec::new();
+    let push = |s: Symbol, ordered: &mut Vec<Symbol>| {
+        if matches!(s, Symbol::Var(_)) && !ordered.contains(&s) {
+            ordered.push(s);
+        }
+    };
+    for row in &out.rows {
+        for entry in &row.entries {
+            if let Some(s) = entry.as_symbol() {
+                push(s, &mut ordered);
+            }
+        }
+    }
+    for c in &out.comparisons {
+        for operand in [&c.lhs, &c.rhs] {
+            if let Operand::Sym(s) = operand {
+                push(*s, &mut ordered);
+            }
+        }
+    }
+    // Two-phase rename so hand-written queries whose symbols are already
+    // pure digits (v_2 before v_1, say) cannot collide mid-substitution.
+    for (i, &sym) in ordered.iter().enumerate() {
+        out.substitute(sym, &Operand::Sym(Symbol::var(&format!("canon tmp {i}"))));
+    }
+    for (i, _) in ordered.iter().enumerate() {
+        counter += 1;
+        out.substitute(
+            Symbol::var(&format!("canon tmp {i}")),
+            &Operand::Sym(Symbol::var(&counter.to_string())),
+        );
+    }
+    out
+}
+
+/// A stable text key for cache lookup.
+pub fn canonical_key(query: &DbclQuery) -> String {
+    canonicalize(query).to_term().to_string()
+}
+
+/// How many rows the canonical forms of two queries share exactly — a
+/// cheap common-subexpression measure (identical tagged rows are the
+/// subexpressions trivially shareable through one scan).
+pub fn common_row_count(a: &DbclQuery, b: &DbclQuery) -> usize {
+    let ca = canonicalize(a);
+    let cb = canonicalize(b);
+    let mut remaining: Vec<_> = cb.rows.iter().collect();
+    let mut shared = 0usize;
+    for row in &ca.rows {
+        if let Some(pos) = remaining
+            .iter()
+            .position(|r| r.relation == row.relation && r.entries == row.entries)
+        {
+            remaining.swap_remove(pos);
+            shared += 1;
+        }
+    }
+    shared
+}
+
+/// Relationship of one batched query to an earlier one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchDisposition {
+    /// First occurrence: must be executed.
+    Execute,
+    /// Syntactically identical (canonically) to query `i`: reuse answers.
+    DuplicateOf(usize),
+    /// Contained in query `i`: could be answered by filtering `i`'s
+    /// (stored) result instead of hitting base relations.
+    ContainedIn(usize),
+}
+
+/// Batch analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchReport {
+    pub dispositions: Vec<BatchDisposition>,
+    /// Pairwise shared-row counts (i, j, rows) for i < j with overlap > 0.
+    pub overlaps: Vec<(usize, usize, usize)>,
+}
+
+impl BatchReport {
+    pub fn executed(&self) -> usize {
+        self.dispositions
+            .iter()
+            .filter(|d| matches!(d, BatchDisposition::Execute))
+            .count()
+    }
+
+    pub fn reused(&self) -> usize {
+        self.dispositions.len() - self.executed()
+    }
+}
+
+/// Analyzes a batch of DBCL queries for sharing opportunities.
+pub fn analyze_batch(queries: &[DbclQuery]) -> BatchReport {
+    let canon: Vec<DbclQuery> = queries.iter().map(canonicalize).collect();
+    let keys: Vec<String> = canon.iter().map(|q| q.to_term().to_string()).collect();
+    let mut dispositions = Vec::with_capacity(queries.len());
+    for i in 0..queries.len() {
+        let dup = (0..i).find(|&j| keys[j] == keys[i]);
+        if let Some(j) = dup {
+            dispositions.push(BatchDisposition::DuplicateOf(j));
+            continue;
+        }
+        let container = (0..i).find(|&j| {
+            matches!(dispositions[j], BatchDisposition::Execute)
+                && contained_in(&canon[i], &canon[j])
+        });
+        match container {
+            Some(j) => dispositions.push(BatchDisposition::ContainedIn(j)),
+            None => dispositions.push(BatchDisposition::Execute),
+        }
+    }
+    let mut overlaps = Vec::new();
+    for i in 0..queries.len() {
+        for j in (i + 1)..queries.len() {
+            let shared = common_row_count(&queries[i], &queries[j]);
+            if shared > 0 {
+                overlaps.push((i, j, shared));
+            }
+        }
+    }
+    BatchReport { dispositions, overlaps }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_query() -> DbclQuery {
+        DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *],
+                   [dept, *, *, *, v_D, v_F, v_M]],
+                  [])",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_rename_invariant() {
+        let q = base_query();
+        let c1 = canonicalize(&q);
+        assert_eq!(canonicalize(&c1), c1);
+        let mut renamed = q.clone();
+        renamed.substitute(
+            Symbol::var("E"),
+            &Operand::Sym(Symbol::var("CompletelyDifferent")),
+        );
+        assert_eq!(canonicalize(&renamed), c1);
+    }
+
+    #[test]
+    fn canonicalize_keeps_targets() {
+        let c = canonicalize(&base_query());
+        assert!(c.to_term().to_string().contains("t_X"));
+    }
+
+    #[test]
+    fn duplicates_detected() {
+        let q = base_query();
+        let mut variant = q.clone();
+        variant.substitute(Symbol::var("E"), &Operand::Sym(Symbol::var("Other")));
+        let report = analyze_batch(&[q.clone(), variant, q.clone()]);
+        assert_eq!(report.dispositions[0], BatchDisposition::Execute);
+        assert_eq!(report.dispositions[1], BatchDisposition::DuplicateOf(0));
+        assert_eq!(report.dispositions[2], BatchDisposition::DuplicateOf(0));
+        assert_eq!(report.executed(), 1);
+        assert_eq!(report.reused(), 2);
+    }
+
+    #[test]
+    fn containment_detected() {
+        let general = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *]],
+                  [])",
+        )
+        .unwrap();
+        let specific = base_query(); // extra dept row restricts it
+        let report = analyze_batch(&[general.clone(), specific]);
+        assert_eq!(report.dispositions[1], BatchDisposition::ContainedIn(0));
+    }
+
+    #[test]
+    fn overlaps_counted() {
+        let q = base_query();
+        let other = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q2, *, t_X, *, *, *, *],
+                  [[empl, v_A, t_X, v_B, v_C, *, *],
+                   [dept, *, *, *, v_C, v_FF, v_MM],
+                   [empl, v_MM2, jones, v_S2, v_C, *, *]],
+                  [])",
+        )
+        .unwrap();
+        let report = analyze_batch(&[q, other]);
+        assert_eq!(report.overlaps.len(), 1);
+        let (_, _, shared) = report.overlaps[0];
+        assert_eq!(shared, 2, "empl+dept backbone is shared");
+    }
+
+    #[test]
+    fn independent_queries_all_execute() {
+        let q1 = base_query();
+        let q2 = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q3, t_E, *, *, *, *, *],
+                  [[dept, *, *, *, v_D, spying, t_E]],
+                  [])",
+        )
+        .unwrap();
+        let report = analyze_batch(&[q1, q2]);
+        assert_eq!(report.executed(), 2);
+    }
+}

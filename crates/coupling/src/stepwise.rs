@@ -1,0 +1,174 @@
+//! §7 stepwise evaluation: "If other predicates occur within the DBCL
+//! predicate several queries have to be issued, and the interaction
+//! between their results must be evaluated in PROLOG. … a step-wise
+//! evaluation process that evaluates the partial queries from right to
+//! left, using what amounts to a version of tuple substitution [Wong and
+//! Youssefi 1976]."
+//!
+//! Database answers arrive as tuples; each tuple is substituted into the
+//! residual goals (the general Prolog predicates the DBMS cannot handle)
+//! and the goal list is run in the internal engine. Tuples whose residual
+//! goals fail are filtered out.
+
+use crate::bridge::datum_to_term;
+use crate::{Answer, Result};
+use prolog::{Engine, Term, VarId};
+use std::collections::HashMap;
+
+/// Instantiates one residual goal for a given answer tuple: `t_X` atoms
+/// become the answer's values, `v_…` atoms become real Prolog variables
+/// (shared across goals by name).
+fn instantiate(
+    goal: &Term,
+    answer: &Answer,
+    vars: &mut HashMap<String, VarId>,
+    next_var: &mut u32,
+) -> Term {
+    match goal {
+        Term::Atom(a) => {
+            let name = a.as_str();
+            if let Some(target) = name.strip_prefix("t_") {
+                if let Some(datum) = answer.get(target) {
+                    return datum_to_term(datum);
+                }
+            }
+            if let Some(var_name) = name.strip_prefix("v_") {
+                let id = *vars.entry(var_name.to_owned()).or_insert_with(|| {
+                    let id = VarId(*next_var);
+                    *next_var += 1;
+                    id
+                });
+                return Term::Var(id);
+            }
+            goal.clone()
+        }
+        Term::Struct(f, args) => Term::Struct(
+            *f,
+            args.iter()
+                .map(|t| instantiate(t, answer, vars, next_var))
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
+/// Filters `answers` by the residual goals, evaluated per tuple in the
+/// internal engine. Returns the surviving answers and how many were
+/// filtered out.
+pub fn filter_residual(
+    engine: &Engine,
+    residual: &[Term],
+    answers: Vec<Answer>,
+) -> Result<(Vec<Answer>, usize)> {
+    if residual.is_empty() {
+        return Ok((answers, 0));
+    }
+    let before = answers.len();
+    let mut kept = Vec::with_capacity(answers.len());
+    for answer in answers {
+        let mut vars = HashMap::new();
+        let mut next_var = 0u32;
+        // Right-to-left evaluation order (tuple substitution): the engine
+        // still sees a conjunction, but instantiation happens tuple-first,
+        // which is exactly what makes the right-to-left scheme affordable.
+        let goals: Vec<Term> = residual
+            .iter()
+            .map(|g| instantiate(g, &answer, &mut vars, &mut next_var))
+            .collect();
+        let solutions = engine.solve_goals(goals)?;
+        if !solutions.is_empty() {
+            kept.push(answer);
+        }
+    }
+    let filtered = before - kept.len();
+    Ok((kept, filtered))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs::Datum;
+
+    fn answers(names: &[&str]) -> Vec<Answer> {
+        names
+            .iter()
+            .map(|n| {
+                let mut a = Answer::new();
+                a.insert("X".into(), Datum::text(n));
+                a
+            })
+            .collect()
+    }
+
+    fn engine_with(source: &str) -> Engine {
+        let mut e = Engine::new();
+        e.consult(source).unwrap();
+        e
+    }
+
+    #[test]
+    fn empty_residual_keeps_everything() {
+        let engine = Engine::new();
+        let (kept, filtered) =
+            filter_residual(&engine, &[], answers(&["miller", "leamas"])).unwrap();
+        assert_eq!(kept.len(), 2);
+        assert_eq!(filtered, 0);
+    }
+
+    #[test]
+    fn residual_predicate_filters() {
+        let engine = engine_with("specialist(miller, driving).");
+        let goal = prolog::parse_term("specialist(t_X, driving)").unwrap();
+        let (kept, filtered) =
+            filter_residual(&engine, &[goal], answers(&["miller", "leamas"])).unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0]["X"], Datum::text("miller"));
+        assert_eq!(filtered, 1);
+    }
+
+    #[test]
+    fn residual_variables_are_existential() {
+        let engine = engine_with("skill(miller, driving). skill(miller, shooting).");
+        // v_S is an existential: any skill will do; each answer kept once.
+        let goal = prolog::parse_term("skill(t_X, v_S)").unwrap();
+        let (kept, _) = filter_residual(&engine, &[goal], answers(&["miller"])).unwrap();
+        assert_eq!(kept.len(), 1);
+    }
+
+    #[test]
+    fn shared_residual_variables_join_goals() {
+        let engine = engine_with(
+            "skill(miller, driving). dangerous(shooting). skill(leamas, shooting).",
+        );
+        let g1 = prolog::parse_term("skill(t_X, v_S)").unwrap();
+        let g2 = prolog::parse_term("dangerous(v_S)").unwrap();
+        let (kept, _) =
+            filter_residual(&engine, &[g1, g2], answers(&["miller", "leamas"])).unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0]["X"], Datum::text("leamas"));
+    }
+
+    #[test]
+    fn integer_answers_substitute() {
+        let engine = engine_with("big(N) :- N > 100.");
+        let goal = prolog::parse_term("big(t_E)").unwrap();
+        let mut low = Answer::new();
+        low.insert("E".into(), Datum::Int(5));
+        let mut high = Answer::new();
+        high.insert("E".into(), Datum::Int(500));
+        let (kept, filtered) = filter_residual(&engine, &[goal], vec![low, high]).unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0]["E"], Datum::Int(500));
+        assert_eq!(filtered, 1);
+    }
+
+    #[test]
+    fn negation_in_residual() {
+        let engine = engine_with("blacklisted(leamas).");
+        let goal = prolog::parse_term("\\+ blacklisted(t_X)").unwrap();
+        let (kept, _) =
+            filter_residual(&engine, &[goal], answers(&["miller", "leamas"])).unwrap();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0]["X"], Datum::text("miller"));
+    }
+}

@@ -1,0 +1,431 @@
+//! Semantic integrity constraints (§3).
+//!
+//! The paper restricts itself to the three constraint forms "most frequent
+//! in practice":
+//!
+//! 1. `valuebound(R, A, L, U)` — every value of attribute `A` in relation
+//!    `R` lies in `[L, U]`;
+//! 2. `funcdep(R, A1, A2)` — functional dependency `A1 → A2` within `R`
+//!    (attribute *sets*; keys are the special case `key → all attrs`);
+//! 3. `refint(R1, A1, R2, A2)` — the values of `A1` in `R1` form a subset
+//!    of the key values `A2` of `R2` (a key-based inclusion dependency).
+//!
+//! §3 also imposes the two structural rules that make Algorithm 1
+//! tractable: the right-hand side of a referential constraint always
+//! refers to a key, and no attribute may appear in more than one
+//! left-hand side. [`ConstraintSet::validate`] enforces both.
+
+use crate::schema::DatabaseDef;
+use crate::{DbclError, Result};
+use prolog::{Atom, Term};
+use std::fmt;
+
+/// `valuebound(R, A, L, U)`: `L <= x <= U` for every value `x` of `R.A`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValueBound {
+    pub rel: Atom,
+    pub attr: Atom,
+    pub lo: i64,
+    pub hi: i64,
+}
+
+/// `funcdep(R, Lhs, Rhs)`: within `R`, equal `Lhs` values force equal
+/// `Rhs` values.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuncDep {
+    pub rel: Atom,
+    pub lhs: Vec<Atom>,
+    pub rhs: Vec<Atom>,
+}
+
+/// `refint(R1, A1, R2, A2)`: `π_{A1}(R1) ⊆ π_{A2}(R2)` with `A2` a key of `R2`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RefInt {
+    pub from_rel: Atom,
+    pub from_attrs: Vec<Atom>,
+    pub to_rel: Atom,
+    pub to_attrs: Vec<Atom>,
+}
+
+/// Any of the three §3 constraint forms.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Constraint {
+    ValueBound(ValueBound),
+    FuncDep(FuncDep),
+    RefInt(RefInt),
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Constraint::ValueBound(b) => {
+                write!(f, "valuebound({}, {}, {}, {})", b.rel, b.attr, b.lo, b.hi)
+            }
+            Constraint::FuncDep(d) => {
+                write!(f, "funcdep({}, {}, {})", d.rel, atom_list(&d.lhs), atom_list(&d.rhs))
+            }
+            Constraint::RefInt(r) => write!(
+                f,
+                "refint({}, {}, {}, {})",
+                r.from_rel,
+                atom_list(&r.from_attrs),
+                r.to_rel,
+                atom_list(&r.to_attrs)
+            ),
+        }
+    }
+}
+
+fn atom_list(atoms: &[Atom]) -> String {
+    let mut out = String::from("[");
+    for (i, a) in atoms.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(a.as_str());
+    }
+    out.push(']');
+    out
+}
+
+/// The constraint knowledge base used for semantic query simplification.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ConstraintSet {
+    pub bounds: Vec<ValueBound>,
+    pub fds: Vec<FuncDep>,
+    pub refints: Vec<RefInt>,
+}
+
+impl ConstraintSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, c: Constraint) -> &mut Self {
+        match c {
+            Constraint::ValueBound(b) => self.bounds.push(b),
+            Constraint::FuncDep(d) => self.fds.push(d),
+            Constraint::RefInt(r) => self.refints.push(r),
+        }
+        self
+    }
+
+    pub fn add_bound(&mut self, rel: &str, attr: &str, lo: i64, hi: i64) -> &mut Self {
+        self.add(Constraint::ValueBound(ValueBound {
+            rel: Atom::new(rel),
+            attr: Atom::new(attr),
+            lo,
+            hi,
+        }))
+    }
+
+    pub fn add_fd(&mut self, rel: &str, lhs: &[&str], rhs: &[&str]) -> &mut Self {
+        self.add(Constraint::FuncDep(FuncDep {
+            rel: Atom::new(rel),
+            lhs: lhs.iter().map(|a| Atom::new(a)).collect(),
+            rhs: rhs.iter().map(|a| Atom::new(a)).collect(),
+        }))
+    }
+
+    pub fn add_refint(
+        &mut self,
+        from_rel: &str,
+        from_attrs: &[&str],
+        to_rel: &str,
+        to_attrs: &[&str],
+    ) -> &mut Self {
+        self.add(Constraint::RefInt(RefInt {
+            from_rel: Atom::new(from_rel),
+            from_attrs: from_attrs.iter().map(|a| Atom::new(a)).collect(),
+            to_rel: Atom::new(to_rel),
+            to_attrs: to_attrs.iter().map(|a| Atom::new(a)).collect(),
+        }))
+    }
+
+    /// Value bound declared for `rel.attr`, if any.
+    pub fn bound_for(&self, rel: Atom, attr: Atom) -> Option<&ValueBound> {
+        self.bounds.iter().find(|b| b.rel == rel && b.attr == attr)
+    }
+
+    /// All functional dependencies within `rel`.
+    pub fn fds_of(&self, rel: Atom) -> impl Iterator<Item = &FuncDep> {
+        self.fds.iter().filter(move |d| d.rel == rel)
+    }
+
+    /// All referential constraints whose left-hand side is `rel`.
+    pub fn refints_from(&self, rel: Atom) -> impl Iterator<Item = &RefInt> {
+        self.refints.iter().filter(move |r| r.from_rel == rel)
+    }
+
+    /// Is `attrs` (as a set) a key of `rel`, i.e. is there an FD from a
+    /// subset of `attrs` to every attribute of the relation?
+    pub fn is_key(&self, db: &DatabaseDef, rel: Atom, attrs: &[Atom]) -> bool {
+        let Some(rel_def) = db.relation(rel) else { return false };
+        let closure = self.attribute_closure(rel, attrs);
+        rel_def.attrs.iter().all(|a| closure.contains(a))
+    }
+
+    /// FD attribute closure of `attrs` within `rel` (textbook fixpoint).
+    pub fn attribute_closure(&self, rel: Atom, attrs: &[Atom]) -> Vec<Atom> {
+        let mut closure: Vec<Atom> = attrs.to_vec();
+        loop {
+            let before = closure.len();
+            for fd in self.fds_of(rel) {
+                if fd.lhs.iter().all(|a| closure.contains(a)) {
+                    for &a in &fd.rhs {
+                        if !closure.contains(&a) {
+                            closure.push(a);
+                        }
+                    }
+                }
+            }
+            if closure.len() == before {
+                return closure;
+            }
+        }
+    }
+
+    /// Checks the structural rules of §3 against the schema:
+    /// every referenced relation/attribute exists; each refint RHS is a key
+    /// of its relation; no attribute appears in more than one refint LHS.
+    pub fn validate(&self, db: &DatabaseDef) -> Result<()> {
+        for b in &self.bounds {
+            let rel = db
+                .relation(b.rel)
+                .ok_or_else(|| DbclError(format!("valuebound on unknown relation {}", b.rel)))?;
+            if rel.position(b.attr).is_none() {
+                return Err(DbclError(format!("valuebound on unknown attribute {}.{}", b.rel, b.attr)));
+            }
+            if b.lo > b.hi {
+                return Err(DbclError(format!("empty valuebound [{}, {}] on {}.{}", b.lo, b.hi, b.rel, b.attr)));
+            }
+        }
+        for d in &self.fds {
+            let rel = db
+                .relation(d.rel)
+                .ok_or_else(|| DbclError(format!("funcdep on unknown relation {}", d.rel)))?;
+            for a in d.lhs.iter().chain(&d.rhs) {
+                if rel.position(*a).is_none() {
+                    return Err(DbclError(format!("funcdep on unknown attribute {}.{}", d.rel, a)));
+                }
+            }
+        }
+        let mut lhs_seen: Vec<(Atom, Atom)> = Vec::new();
+        for r in &self.refints {
+            let from = db
+                .relation(r.from_rel)
+                .ok_or_else(|| DbclError(format!("refint from unknown relation {}", r.from_rel)))?;
+            db.relation(r.to_rel)
+                .ok_or_else(|| DbclError(format!("refint to unknown relation {}", r.to_rel)))?;
+            if r.from_attrs.len() != r.to_attrs.len() {
+                return Err(DbclError(format!("refint arity mismatch: {r:?}")));
+            }
+            for a in &r.from_attrs {
+                if from.position(*a).is_none() {
+                    return Err(DbclError(format!("refint on unknown attribute {}.{}", r.from_rel, a)));
+                }
+                // §3 rule (b): an attribute appears in at most one LHS.
+                if lhs_seen.contains(&(r.from_rel, *a)) {
+                    return Err(DbclError(format!(
+                        "attribute {}.{} appears in more than one referential-constraint left-hand side",
+                        r.from_rel, a
+                    )));
+                }
+                lhs_seen.push((r.from_rel, *a));
+            }
+            // §3 rule (a): the RHS refers to the key of some relation.
+            if !self.is_key(db, r.to_rel, &r.to_attrs) {
+                return Err(DbclError(format!(
+                    "refint right-hand side {}.{:?} is not a key",
+                    r.to_rel, r.to_attrs
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one constraint from its Prolog-fact spelling
+    /// (`valuebound/4`, `funcdep/3`, `refint/4`).
+    pub fn parse_constraint(term: &Term) -> Result<Constraint> {
+        let err = || DbclError(format!("not a constraint fact: {term}"));
+        let Term::Struct(f, args) = term else { return Err(err()) };
+        let atom_of = |t: &Term| -> Result<Atom> {
+            match t {
+                Term::Atom(a) => Ok(*a),
+                _ => Err(DbclError(format!("expected atom in constraint, got {t}"))),
+            }
+        };
+        let int_of = |t: &Term| -> Result<i64> {
+            match t {
+                Term::Int(i) => Ok(*i),
+                _ => Err(DbclError(format!("expected integer in constraint, got {t}"))),
+            }
+        };
+        let atoms_of = |t: &Term| -> Result<Vec<Atom>> {
+            t.as_list()
+                .ok_or_else(|| DbclError(format!("expected attribute list, got {t}")))?
+                .into_iter()
+                .map(atom_of)
+                .collect()
+        };
+        match (f.as_str(), args.len()) {
+            ("valuebound", 4) => Ok(Constraint::ValueBound(ValueBound {
+                rel: atom_of(&args[0])?,
+                attr: atom_of(&args[1])?,
+                lo: int_of(&args[2])?,
+                hi: int_of(&args[3])?,
+            })),
+            ("funcdep", 3) => Ok(Constraint::FuncDep(FuncDep {
+                rel: atom_of(&args[0])?,
+                lhs: atoms_of(&args[1])?,
+                rhs: atoms_of(&args[2])?,
+            })),
+            ("refint", 4) => Ok(Constraint::RefInt(RefInt {
+                from_rel: atom_of(&args[0])?,
+                from_attrs: atoms_of(&args[1])?,
+                to_rel: atom_of(&args[2])?,
+                to_attrs: atoms_of(&args[3])?,
+            })),
+            _ => Err(err()),
+        }
+    }
+
+    /// Reads a whole constraint program (facts separated by `.`).
+    pub fn parse(source: &str) -> Result<ConstraintSet> {
+        let clauses = prolog::parse_program(source)?;
+        let mut set = ConstraintSet::new();
+        for clause in clauses {
+            if !clause.body.is_empty() {
+                return Err(DbclError(format!("constraints must be facts: {}", clause.head)));
+            }
+            set.add(Self::parse_constraint(&clause.head)?);
+        }
+        Ok(set)
+    }
+
+    /// The paper's Example 3-2 constraint base for `empdep`.
+    pub fn empdep() -> ConstraintSet {
+        let mut set = ConstraintSet::new();
+        set.add_bound("empl", "sal", 10_000, 90_000)
+            .add_fd("empl", &["nam"], &["eno"])
+            .add_fd("empl", &["eno"], &["nam", "sal", "dno"])
+            .add_fd("dept", &["dno"], &["fct", "mgr"])
+            .add_fd("dept", &["mgr"], &["dno"])
+            .add_refint("empl", &["dno"], "dept", &["dno"])
+            .add_refint("dept", &["mgr"], "empl", &["eno"]);
+        set
+    }
+
+    pub fn len(&self) -> usize {
+        self.bounds.len() + self.fds.len() + self.refints.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empdep_constraints_validate() {
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        cs.validate(&db).unwrap();
+        assert_eq!(cs.len(), 7);
+    }
+
+    #[test]
+    fn parses_example_3_2_text() {
+        let cs = ConstraintSet::parse(
+            "valuebound(empl, sal, 10000, 90000).
+             funcdep(empl, [nam], [eno]).
+             funcdep(empl, [eno], [nam, sal, dno]).
+             funcdep(dept, [dno], [fct, mgr]).
+             funcdep(dept, [mgr], [dno]).
+             refint(empl, [dno], dept, [dno]).
+             refint(dept, [mgr], empl, [eno]).",
+        )
+        .unwrap();
+        assert_eq!(cs, ConstraintSet::empdep());
+    }
+
+    #[test]
+    fn keys_are_detected_via_fd_closure() {
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        let a = Atom::new;
+        // eno → everything (directly); nam → eno → everything (derived).
+        assert!(cs.is_key(&db, a("empl"), &[a("eno")]));
+        assert!(cs.is_key(&db, a("empl"), &[a("nam")]));
+        assert!(!cs.is_key(&db, a("empl"), &[a("sal")]));
+        assert!(cs.is_key(&db, a("dept"), &[a("dno")]));
+        assert!(cs.is_key(&db, a("dept"), &[a("mgr")]));
+    }
+
+    #[test]
+    fn attribute_closure_fixpoint() {
+        let cs = ConstraintSet::empdep();
+        let a = Atom::new;
+        let closure = cs.attribute_closure(a("empl"), &[a("nam")]);
+        for attr in ["nam", "eno", "sal", "dno"] {
+            assert!(closure.contains(&a(attr)), "missing {attr}");
+        }
+    }
+
+    #[test]
+    fn duplicate_lhs_attribute_rejected() {
+        let db = DatabaseDef::empdep();
+        let mut cs = ConstraintSet::empdep();
+        // dno of empl already points at dept; a second LHS use violates §3.
+        cs.add_refint("empl", &["dno"], "dept", &["dno"]);
+        assert!(cs.validate(&db).is_err());
+    }
+
+    #[test]
+    fn non_key_rhs_rejected() {
+        let db = DatabaseDef::empdep();
+        let mut cs = ConstraintSet::new();
+        cs.add_refint("empl", &["dno"], "dept", &["fct"]);
+        assert!(cs.validate(&db).is_err());
+    }
+
+    #[test]
+    fn empty_bound_rejected() {
+        let db = DatabaseDef::empdep();
+        let mut cs = ConstraintSet::new();
+        cs.add_bound("empl", "sal", 10, 5);
+        assert!(cs.validate(&db).is_err());
+    }
+
+    #[test]
+    fn unknown_relation_rejected() {
+        let db = DatabaseDef::empdep();
+        let mut cs = ConstraintSet::new();
+        cs.add_bound("nosuch", "sal", 0, 1);
+        assert!(cs.validate(&db).is_err());
+        let mut cs = ConstraintSet::new();
+        cs.add_fd("empl", &["zzz"], &["eno"]);
+        assert!(cs.validate(&db).is_err());
+    }
+
+    #[test]
+    fn constraint_display_round_trips() {
+        let cs = ConstraintSet::empdep();
+        let text: String = cs
+            .bounds
+            .iter()
+            .map(|b| format!("{}.\n", Constraint::ValueBound(b.clone())))
+            .chain(cs.fds.iter().map(|d| format!("{}.\n", Constraint::FuncDep(d.clone()))))
+            .chain(cs.refints.iter().map(|r| format!("{}.\n", Constraint::RefInt(r.clone()))))
+            .collect();
+        assert_eq!(ConstraintSet::parse(&text).unwrap(), cs);
+    }
+
+    #[test]
+    fn rule_with_body_rejected_as_constraint() {
+        assert!(ConstraintSet::parse("funcdep(a, [b], [c]) :- true.").is_err());
+    }
+}

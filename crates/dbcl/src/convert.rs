@@ -1,0 +1,216 @@
+//! Conversion between `dbcl/4` Prolog terms and the typed tableau model.
+//!
+//! DBCL *is* Prolog text (a variable-free subset), so the concrete syntax
+//! is handled by the [`prolog`] reader; this module only maps the list
+//! structure into [`DbclQuery`] and back.
+
+use crate::symbol::Entry;
+use crate::tableau::{CompOp, Comparison, DbclQuery, Operand, Row};
+use crate::{DbclError, Result};
+use prolog::{Atom, Term};
+
+fn atom_of(term: &Term, what: &str) -> Result<Atom> {
+    match term {
+        Term::Atom(a) => Ok(*a),
+        other => Err(DbclError(format!("expected atom for {what}, got {other}"))),
+    }
+}
+
+fn list_of<'t>(term: &'t Term, what: &str) -> Result<Vec<&'t Term>> {
+    term.as_list()
+        .ok_or_else(|| DbclError(format!("expected list for {what}, got {term}")))
+}
+
+/// Parses `dbcl(Schema, Targetlist, Relreferences, Relcomparisons)`.
+pub fn query_from_term(term: &Term) -> Result<DbclQuery> {
+    let Term::Struct(f, args) = term else {
+        return Err(DbclError(format!("expected dbcl/4 predicate, got {term}")));
+    };
+    if f.as_str() != "dbcl" || args.len() != 4 {
+        return Err(DbclError(format!("expected dbcl/4 predicate, got {term}")));
+    }
+
+    // Schema: [dbname, attr, …]
+    let schema = list_of(&args[0], "Schema")?;
+    let (db_term, attr_terms) = schema
+        .split_first()
+        .ok_or_else(|| DbclError("Schema list is empty".into()))?;
+    let database = atom_of(db_term, "database name")?;
+    let attributes: Vec<Atom> = attr_terms
+        .iter()
+        .map(|t| atom_of(t, "attribute name"))
+        .collect::<Result<_>>()?;
+    let width = attributes.len();
+
+    // Targetlist: [viewname, entry, …]
+    let target_list = list_of(&args[1], "Targetlist")?;
+    let (view_term, target_terms) = target_list
+        .split_first()
+        .ok_or_else(|| DbclError("Targetlist is empty".into()))?;
+    let view_name = atom_of(view_term, "view name")?;
+    let target: Vec<Entry> = target_terms
+        .iter()
+        .map(|t| Entry::from_term(t))
+        .collect::<Result<_>>()?;
+    if target.len() != width {
+        return Err(DbclError(format!(
+            "Targetlist has {} entries for {} attributes",
+            target.len(),
+            width
+        )));
+    }
+
+    // Relreferences: [[rel, entry, …], …]
+    let mut rows = Vec::new();
+    for row_term in list_of(&args[2], "Relreferences")? {
+        let cells = list_of(row_term, "relation reference")?;
+        let (rel_term, entry_terms) = cells
+            .split_first()
+            .ok_or_else(|| DbclError("relation reference is empty".into()))?;
+        let relation = atom_of(rel_term, "relation name")?;
+        let entries: Vec<Entry> = entry_terms
+            .iter()
+            .map(|t| Entry::from_term(t))
+            .collect::<Result<_>>()?;
+        if entries.len() != width {
+            return Err(DbclError(format!(
+                "row for {relation} has {} entries for {} attributes",
+                entries.len(),
+                width
+            )));
+        }
+        rows.push(Row { relation, entries });
+    }
+
+    // Relcomparisons: [[op, lhs, rhs], …]
+    let mut comparisons = Vec::new();
+    for comp_term in list_of(&args[3], "Relcomparisons")? {
+        comparisons.push(comparison_from_term(comp_term)?);
+    }
+
+    Ok(DbclQuery { database, attributes, view_name, target, rows, comparisons })
+}
+
+/// Parses one `[op, lhs, rhs]` comparison.
+pub fn comparison_from_term(term: &Term) -> Result<Comparison> {
+    let items = list_of(term, "comparison")?;
+    if items.len() != 3 {
+        return Err(DbclError(format!("comparison must be [op, lhs, rhs], got {term}")));
+    }
+    let op_atom = atom_of(items[0], "comparison operator")?;
+    let op = CompOp::parse(op_atom.as_str())
+        .ok_or_else(|| DbclError(format!("unknown comparison operator {op_atom}")))?;
+    let lhs = Operand::from_entry(&Entry::from_term(items[1])?)?;
+    let rhs = Operand::from_entry(&Entry::from_term(items[2])?)?;
+    Ok(Comparison { op, lhs, rhs })
+}
+
+/// Builds the `dbcl/4` term for `query`.
+pub fn query_to_term(query: &DbclQuery) -> Term {
+    let mut schema = vec![Term::Atom(query.database)];
+    schema.extend(query.attributes.iter().map(|a| Term::Atom(*a)));
+
+    let mut target = vec![Term::Atom(query.view_name)];
+    target.extend(query.target.iter().map(Entry::to_term));
+
+    let rows = query
+        .rows
+        .iter()
+        .map(|row| {
+            let mut cells = vec![Term::Atom(row.relation)];
+            cells.extend(row.entries.iter().map(Entry::to_term));
+            Term::list(cells)
+        })
+        .collect();
+
+    let comps = query
+        .comparisons
+        .iter()
+        .map(|c| {
+            Term::list(vec![
+                Term::atom(c.op.name()),
+                c.lhs.to_entry().to_term(),
+                c.rhs.to_entry().to_term(),
+            ])
+        })
+        .collect();
+
+    Term::app(
+        "dbcl",
+        vec![Term::list(schema), Term::list(target), Term::list(rows), Term::list(comps)],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::{Symbol, Value};
+
+    #[test]
+    fn term_round_trip_example_3_3() {
+        let q = DbclQuery::example_3_3();
+        let term = q.to_term();
+        let back = query_from_term(&term).unwrap();
+        assert_eq!(q, back);
+    }
+
+    #[test]
+    fn term_round_trip_example_4_1() {
+        let q = DbclQuery::example_4_1();
+        assert_eq!(query_from_term(&q.to_term()).unwrap(), q);
+    }
+
+    #[test]
+    fn rejects_wrong_functor() {
+        let t = prolog::parse_term("dbca([a], [b], [], [])").unwrap();
+        assert!(query_from_term(&t).is_err());
+        let t = prolog::parse_term("dbcl([a], [b], [])").unwrap();
+        assert!(query_from_term(&t).is_err());
+    }
+
+    #[test]
+    fn rejects_width_mismatch() {
+        let t = prolog::parse_term(
+            "dbcl([db, a, b], [v, *], [], [])", // 2 attrs but 1 target entry
+        )
+        .unwrap();
+        assert!(query_from_term(&t).is_err());
+        let t = prolog::parse_term(
+            "dbcl([db, a, b], [v, *, *], [[r, *]], [])", // short row
+        )
+        .unwrap();
+        assert!(query_from_term(&t).is_err());
+    }
+
+    #[test]
+    fn rejects_empty_schema() {
+        let t = prolog::parse_term("dbcl([], [v], [], [])").unwrap();
+        assert!(query_from_term(&t).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_comparison() {
+        let t = prolog::parse_term(
+            "dbcl([db, a], [v, *], [], [[frobnicate, x, y]])",
+        )
+        .unwrap();
+        assert!(query_from_term(&t).is_err());
+        let t = prolog::parse_term("dbcl([db, a], [v, *], [], [[less, x]])").unwrap();
+        assert!(query_from_term(&t).is_err());
+    }
+
+    #[test]
+    fn comparison_parses_operands() {
+        let t = prolog::parse_term("[less, v_S, 40000]").unwrap();
+        let c = comparison_from_term(&t).unwrap();
+        assert_eq!(c.op, CompOp::Less);
+        assert_eq!(c.lhs, Operand::Sym(Symbol::var("S")));
+        assert_eq!(c.rhs, Operand::Const(Value::Int(40000)));
+    }
+
+    #[test]
+    fn star_rejected_as_comparison_operand() {
+        let t = prolog::parse_term("[less, *, 40000]").unwrap();
+        assert!(comparison_from_term(&t).is_err());
+    }
+}

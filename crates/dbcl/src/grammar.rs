@@ -1,0 +1,71 @@
+//! The DBCL grammar (Figure 2 of the paper) and a recognizer for it.
+//!
+//! The figure in the surviving scan of the paper is not legible, so the
+//! BNF below is reconstructed from the prose of §3 and every example in
+//! the paper: a DBCL statement is a `dbcl/4` predicate over Prolog list
+//! syntax, possibly combined with negation, disjunction and references to
+//! arbitrary Prolog predicates ("metaterms"). The conjunctive subset used
+//! by the optimizer admits only comparison predicates besides relation
+//! names.
+
+use crate::statement::DbclStatement;
+use crate::tableau::DbclQuery;
+use crate::Result;
+
+/// Reconstructed BNF for full DBCL (Figure 2).
+pub const GRAMMAR_BNF: &str = r#"
+<statement>      ::= <metaterm> | <statement> ";" <statement>
+                   | "not(" <statement> ")" | <predreference>
+<metaterm>       ::= "dbcl(" <schema> "," <targetlist> ","
+                             <relreferences> "," <relcomparisons> ")"
+<schema>         ::= "[" <dbname> { "," <attribute> } "]"
+<targetlist>     ::= "[" <viewname> { "," <entry> } "]"
+<relreferences>  ::= "[" { <relreference> } "]"
+<relreference>   ::= "[" <relname> { "," <entry> } "]"
+<relcomparisons> ::= "[" { <relcomparison> } "]"
+<relcomparison>  ::= "[" <compop> "," <operand> "," <operand> "]"
+<compop>         ::= "less" | "greater" | "leq" | "geq" | "eq" | "neq"
+<entry>          ::= "*" | <operand>
+<operand>        ::= <tvariable> | <vvariable> | <constant>
+<tvariable>      ::= "t_" <name>          ; target attribute of the query
+<vvariable>      ::= "v_" <name>          ; numbered to distinguish variables
+<constant>       ::= <atom> | <integer>
+<predreference>  ::= <prolog term>        ; arbitrary embedded predicate
+"#;
+
+/// Recognizes full-DBCL source text and returns the parsed statement.
+pub fn recognize(source: &str) -> Result<DbclStatement> {
+    DbclStatement::parse(source)
+}
+
+/// Recognizes the conjunctive subset only (the optimizer's input language):
+/// a single `dbcl/4` metaterm whose comparisons use the six operators.
+pub fn recognize_conjunctive(source: &str) -> Result<DbclQuery> {
+    DbclQuery::parse(source)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grammar_text_mentions_all_productions() {
+        for nt in ["<statement>", "<metaterm>", "<schema>", "<targetlist>",
+                   "<relreferences>", "<relcomparisons>", "<compop>"] {
+            assert!(GRAMMAR_BNF.contains(nt), "grammar misses {nt}");
+        }
+    }
+
+    #[test]
+    fn recognize_accepts_paper_example() {
+        let q = DbclQuery::example_3_3();
+        assert!(recognize(&q.to_string()).unwrap().is_conjunctive());
+        assert_eq!(recognize_conjunctive(&q.to_string()).unwrap(), q);
+    }
+
+    #[test]
+    fn recognize_rejects_garbage() {
+        assert!(recognize("][").is_err());
+        assert!(recognize_conjunctive("foo(bar)").is_err());
+    }
+}

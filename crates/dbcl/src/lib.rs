@@ -1,0 +1,68 @@
+//! DBCL — the intermediate language of database calls (§3 of the paper).
+//!
+//! DBCL is a *variable-free subset of Prolog* "designed to be similar to
+//! tableaux": a conjunctive database query is a predicate
+//!
+//! ```text
+//! dbcl(Schema, Targetlist, Relreferences, Relcomparisons)
+//! ```
+//!
+//! where `Schema` names the database and its attribute columns,
+//! `Targetlist` gives the result schema, `Relreferences` is a list of
+//! tagged tableau rows (one per relation variable, `*` marking
+//! non-applicable attributes, repeated symbols denoting equijoins), and
+//! `Relcomparisons` lists inequality restrictions and joins.
+//!
+//! Because DBCL statements are ordinary Prolog terms, this crate parses
+//! them with the [`prolog`] reader and converts to/from a typed tableau
+//! model ([`DbclQuery`]). The crate also owns the pieces both sides of the
+//! coupling share: the database schema description ([`DatabaseDef`]) and
+//! the three §3 integrity-constraint forms ([`constraints`]).
+//!
+//! ```
+//! use dbcl::{DbclQuery, DatabaseDef};
+//!
+//! let db = DatabaseDef::empdep();
+//! let q = DbclQuery::parse(
+//!     "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+//!           [who, *, t_X, *, *, *, *],
+//!           [[empl, v_Eno, t_X, v_Sal, v_D, *, *]],
+//!           [[less, v_Sal, 40000]])",
+//! ).unwrap();
+//! q.validate(&db).unwrap();
+//! assert_eq!(q.rows.len(), 1);
+//! ```
+
+pub mod constraints;
+pub mod convert;
+pub mod grammar;
+pub mod schema;
+pub mod statement;
+pub mod symbol;
+pub mod tableau;
+
+pub use constraints::{Constraint, ConstraintSet, FuncDep, RefInt, ValueBound};
+pub use schema::{AttrType, DatabaseDef, RelationDef};
+pub use statement::DbclStatement;
+pub use symbol::{Entry, Symbol, Value};
+pub use tableau::{CompOp, Comparison, DbclQuery, Loc, Operand, Row};
+
+/// Error type for DBCL parsing/validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DbclError(pub String);
+
+impl std::fmt::Display for DbclError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "DBCL error: {}", self.0)
+    }
+}
+
+impl std::error::Error for DbclError {}
+
+impl From<prolog::PrologError> for DbclError {
+    fn from(e: prolog::PrologError) -> Self {
+        DbclError(e.to_string())
+    }
+}
+
+pub type Result<T> = std::result::Result<T, DbclError>;

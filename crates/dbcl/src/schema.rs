@@ -1,0 +1,241 @@
+//! Database schema description shared by optimizer, SQL generator and the
+//! relational query system.
+//!
+//! §3: "Schema is a list of attributes of the underlying database schema
+//! together with the name of the database of interest." The paper uses a
+//! universal-relation style column list: relations with an attribute of
+//! the same name (e.g. `dno` in both `empl` and `dept`) share one column.
+
+use crate::{DbclError, Result};
+use prolog::Atom;
+use std::fmt;
+
+/// Attribute domain: the paper's examples use numbers (`eno`, `sal`) and
+/// symbols (`nam`, `fct`); the coupled DBMS needs to know which is which.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AttrType {
+    Int,
+    Text,
+}
+
+/// One relation of the database, defined over a subset of the schema columns.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelationDef {
+    pub name: Atom,
+    /// Attribute names in the relation's own declaration order.
+    pub attrs: Vec<Atom>,
+}
+
+impl RelationDef {
+    /// Position of `attr` inside this relation (not the global schema).
+    pub fn position(&self, attr: Atom) -> Option<usize> {
+        self.attrs.iter().position(|a| *a == attr)
+    }
+
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+}
+
+/// The database: a name, a global attribute-column list, and relations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DatabaseDef {
+    pub name: Atom,
+    /// Global column order; shared-name attributes occupy one column.
+    pub attributes: Vec<Atom>,
+    /// Attribute domains, parallel to `attributes`.
+    pub types: Vec<AttrType>,
+    pub relations: Vec<RelationDef>,
+}
+
+impl DatabaseDef {
+    pub fn new(name: &str) -> Self {
+        DatabaseDef {
+            name: Atom::new(name),
+            attributes: Vec::new(),
+            types: Vec::new(),
+            relations: Vec::new(),
+        }
+    }
+
+    /// Declares a relation; attributes not yet in the global schema are
+    /// appended in declaration order (the paper's `empdep` layout arises
+    /// naturally this way). New attributes default to [`AttrType::Text`];
+    /// use [`DatabaseDef::add_relation_typed`] or
+    /// [`DatabaseDef::set_attr_type`] for numeric columns.
+    pub fn add_relation(&mut self, name: &str, attrs: &[&str]) -> &mut Self {
+        let typed: Vec<(&str, AttrType)> =
+            attrs.iter().map(|a| (*a, AttrType::Text)).collect();
+        self.add_relation_typed(name, &typed)
+    }
+
+    /// Declares a relation with explicit attribute domains.
+    pub fn add_relation_typed(&mut self, name: &str, attrs: &[(&str, AttrType)]) -> &mut Self {
+        let attr_atoms: Vec<Atom> = attrs.iter().map(|(a, _)| Atom::new(a)).collect();
+        for (&attr, &(_, ty)) in attr_atoms.iter().zip(attrs) {
+            if !self.attributes.contains(&attr) {
+                self.attributes.push(attr);
+                self.types.push(ty);
+            }
+        }
+        self.relations.push(RelationDef { name: Atom::new(name), attrs: attr_atoms });
+        self
+    }
+
+    /// Overrides the domain of an attribute.
+    pub fn set_attr_type(&mut self, attr: &str, ty: AttrType) -> &mut Self {
+        if let Some(i) = self.column(Atom::new(attr)) {
+            self.types[i] = ty;
+        }
+        self
+    }
+
+    /// The domain of `attr`, if declared.
+    pub fn attr_type(&self, attr: Atom) -> Option<AttrType> {
+        self.column(attr).map(|i| self.types[i])
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: Atom) -> Option<&RelationDef> {
+        self.relations.iter().find(|r| r.name == name)
+    }
+
+    /// Global column index of `attr`.
+    pub fn column(&self, attr: Atom) -> Option<usize> {
+        self.attributes.iter().position(|a| *a == attr)
+    }
+
+    /// Global column indexes of a relation's attributes, in relation order.
+    pub fn relation_columns(&self, name: Atom) -> Result<Vec<usize>> {
+        let rel = self
+            .relation(name)
+            .ok_or_else(|| DbclError(format!("unknown relation {name}")))?;
+        rel.attrs
+            .iter()
+            .map(|&a| {
+                self.column(a)
+                    .ok_or_else(|| DbclError(format!("attribute {a} missing from schema")))
+            })
+            .collect()
+    }
+
+    /// The `[dbname, attr1, …]` schema list used in DBCL statements.
+    pub fn schema_list(&self) -> Vec<Atom> {
+        let mut out = Vec::with_capacity(self.attributes.len() + 1);
+        out.push(self.name);
+        out.extend(self.attributes.iter().copied());
+        out
+    }
+
+    /// The paper's running example (§3, Example 3-1):
+    ///
+    /// ```text
+    /// empl(eno, nam, sal, dno)
+    /// dept(dno, fct, mgr)
+    /// ```
+    ///
+    /// with schema `[empdep, eno, nam, sal, dno, fct, mgr]`.
+    pub fn empdep() -> DatabaseDef {
+        use AttrType::{Int, Text};
+        let mut db = DatabaseDef::new("empdep");
+        db.add_relation_typed(
+            "empl",
+            &[("eno", Int), ("nam", Text), ("sal", Int), ("dno", Int)],
+        );
+        db.add_relation_typed("dept", &[("dno", Int), ("fct", Text), ("mgr", Int)]);
+        db
+    }
+}
+
+impl fmt::Display for DatabaseDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "database {}", self.name)?;
+        for rel in &self.relations {
+            write!(f, "  {}(", rel.name)?;
+            for (i, a) in rel.attrs.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+            writeln!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empdep_matches_paper_schema() {
+        let db = DatabaseDef::empdep();
+        let schema: Vec<String> = db.schema_list().iter().map(|a| a.to_string()).collect();
+        assert_eq!(schema, ["empdep", "eno", "nam", "sal", "dno", "fct", "mgr"]);
+    }
+
+    #[test]
+    fn shared_attribute_occupies_one_column() {
+        let db = DatabaseDef::empdep();
+        // dno appears in both relations but only once in the schema.
+        assert_eq!(db.attributes.iter().filter(|a| a.as_str() == "dno").count(), 1);
+        assert_eq!(db.column(Atom::new("dno")), Some(3));
+    }
+
+    #[test]
+    fn relation_columns_map_into_global_schema() {
+        let db = DatabaseDef::empdep();
+        assert_eq!(db.relation_columns(Atom::new("empl")).unwrap(), [0, 1, 2, 3]);
+        assert_eq!(db.relation_columns(Atom::new("dept")).unwrap(), [3, 4, 5]);
+        assert!(db.relation_columns(Atom::new("nosuch")).is_err());
+    }
+
+    #[test]
+    fn relation_lookup_and_position() {
+        let db = DatabaseDef::empdep();
+        let empl = db.relation(Atom::new("empl")).unwrap();
+        assert_eq!(empl.arity(), 4);
+        assert_eq!(empl.position(Atom::new("sal")), Some(2));
+        assert_eq!(empl.position(Atom::new("mgr")), None);
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let text = DatabaseDef::empdep().to_string();
+        assert!(text.contains("empl(eno, nam, sal, dno)"));
+        assert!(text.contains("dept(dno, fct, mgr)"));
+    }
+}
+
+#[cfg(test)]
+mod type_tests {
+    use super::*;
+
+    #[test]
+    fn empdep_attribute_types() {
+        let db = DatabaseDef::empdep();
+        assert_eq!(db.attr_type(Atom::new("eno")), Some(AttrType::Int));
+        assert_eq!(db.attr_type(Atom::new("nam")), Some(AttrType::Text));
+        assert_eq!(db.attr_type(Atom::new("fct")), Some(AttrType::Text));
+        assert_eq!(db.attr_type(Atom::new("mgr")), Some(AttrType::Int));
+        assert_eq!(db.attr_type(Atom::new("zzz")), None);
+    }
+
+    #[test]
+    fn untyped_relation_defaults_to_text() {
+        let mut db = DatabaseDef::new("d");
+        db.add_relation("r", &["a"]);
+        assert_eq!(db.attr_type(Atom::new("a")), Some(AttrType::Text));
+        db.set_attr_type("a", AttrType::Int);
+        assert_eq!(db.attr_type(Atom::new("a")), Some(AttrType::Int));
+    }
+
+    #[test]
+    fn shared_attribute_keeps_first_type() {
+        let mut db = DatabaseDef::new("d");
+        db.add_relation_typed("r1", &[("k", AttrType::Int)]);
+        db.add_relation_typed("r2", &[("k", AttrType::Text)]); // ignored: column exists
+        assert_eq!(db.attr_type(Atom::new("k")), Some(AttrType::Int));
+    }
+}

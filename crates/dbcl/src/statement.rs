@@ -1,0 +1,251 @@
+//! Full DBCL statements (§3, Figure 2).
+//!
+//! "In general a DBCL statement may contain references to arbitrary PROLOG
+//! predicates as well as negation and disjunction." The optimizing pipeline
+//! of the paper concentrates on the conjunctive subset ([`DbclQuery`]);
+//! this module models the general form so the §7 extensions (disjunctive
+//! normal form, negation, embedded predicates, recursion sequences) have a
+//! typed representation to work on.
+
+use crate::tableau::DbclQuery;
+use crate::{DbclError, Result};
+use prolog::Term;
+use std::fmt;
+
+/// A general DBCL statement.
+#[derive(Clone, PartialEq, Debug)]
+pub enum DbclStatement {
+    /// A conjunctive query (the §3 subset: metaterms without negation).
+    Query(DbclQuery),
+    /// Disjunction of statements (`;` in the grammar).
+    Disjunction(Vec<DbclStatement>),
+    /// Negation of a statement (`not`).
+    Negation(Box<DbclStatement>),
+    /// An embedded general Prolog predicate the DBMS cannot evaluate;
+    /// §7 handles these by stepwise evaluation inside Prolog.
+    PredReference(Term),
+    /// A sequence of statements, as generated for recursive views
+    /// ("If the original predicate involves recursion, a sequence of DBCL
+    /// statements is generated", §4).
+    Sequence(Vec<DbclStatement>),
+}
+
+impl DbclStatement {
+    /// Parses a statement from its Prolog-term spelling:
+    /// `dbcl/4`, `not/1`, `';'/2`, `seq/N` (list), anything else is an
+    /// embedded predicate reference.
+    pub fn from_term(term: &Term) -> Result<DbclStatement> {
+        match term {
+            Term::Struct(f, args) if f.as_str() == "dbcl" && args.len() == 4 => {
+                Ok(DbclStatement::Query(DbclQuery::from_term(term)?))
+            }
+            Term::Struct(f, args) if f.as_str() == "not" && args.len() == 1 => Ok(
+                DbclStatement::Negation(Box::new(DbclStatement::from_term(&args[0])?)),
+            ),
+            Term::Struct(f, args) if f.as_str() == ";" && args.len() == 2 => {
+                let mut branches = Vec::new();
+                flatten_disjunction(term, &mut branches)?;
+                debug_assert!(branches.len() >= 2, "';'/2 has two branches: {args:?}");
+                Ok(DbclStatement::Disjunction(branches))
+            }
+            Term::Struct(f, args) if f.as_str() == "seq" => {
+                let items = args
+                    .iter()
+                    .map(DbclStatement::from_term)
+                    .collect::<Result<Vec<_>>>()?;
+                Ok(DbclStatement::Sequence(items))
+            }
+            Term::Atom(_) | Term::Struct(_, _) => {
+                Ok(DbclStatement::PredReference(term.clone()))
+            }
+            other => Err(DbclError(format!("not a DBCL statement: {other}"))),
+        }
+    }
+
+    /// Parses from source text.
+    pub fn parse(source: &str) -> Result<DbclStatement> {
+        Self::from_term(&prolog::parse_term(source)?)
+    }
+
+    /// Serializes back to a Prolog term.
+    pub fn to_term(&self) -> Term {
+        match self {
+            DbclStatement::Query(q) => q.to_term(),
+            DbclStatement::Negation(s) => Term::app("not", vec![s.to_term()]),
+            DbclStatement::Disjunction(branches) => {
+                let mut iter = branches.iter().rev();
+                let mut term = iter.next().expect("non-empty disjunction").to_term();
+                for b in iter {
+                    term = Term::app(";", vec![b.to_term(), term]);
+                }
+                term
+            }
+            DbclStatement::PredReference(t) => t.clone(),
+            DbclStatement::Sequence(items) => {
+                Term::app("seq", items.iter().map(DbclStatement::to_term).collect())
+            }
+        }
+    }
+
+    /// Is this statement inside the conjunctive subset the §6 optimizer
+    /// handles directly?
+    pub fn is_conjunctive(&self) -> bool {
+        matches!(self, DbclStatement::Query(_))
+    }
+
+    /// Rewrites into disjunctive normal form: a list of branches, each free
+    /// of top-level disjunction. Negation is pushed down only over
+    /// disjunction (De Morgan); negated queries stay negated, which is how
+    /// §7 proposes to evaluate them (complement of the positive result).
+    pub fn dnf_branches(&self) -> Vec<DbclStatement> {
+        match self {
+            DbclStatement::Disjunction(branches) => {
+                branches.iter().flat_map(|b| b.dnf_branches()).collect()
+            }
+            DbclStatement::Negation(inner) => match &**inner {
+                // ¬(A ∨ B) ⇒ handled as a conjunction of negations; the
+                // evaluator treats the sequence conjunctively.
+                DbclStatement::Disjunction(branches) => vec![DbclStatement::Sequence(
+                    branches
+                        .iter()
+                        .map(|b| DbclStatement::Negation(Box::new(b.clone())))
+                        .collect(),
+                )],
+                DbclStatement::Negation(inner2) => inner2.dnf_branches(),
+                _ => vec![self.clone()],
+            },
+            other => vec![other.clone()],
+        }
+    }
+}
+
+fn flatten_disjunction(term: &Term, out: &mut Vec<DbclStatement>) -> Result<()> {
+    match term {
+        Term::Struct(f, args) if f.as_str() == ";" && args.len() == 2 => {
+            flatten_disjunction(&args[0], out)?;
+            flatten_disjunction(&args[1], out)
+        }
+        other => {
+            out.push(DbclStatement::from_term(other)?);
+            Ok(())
+        }
+    }
+}
+
+impl fmt::Display for DbclStatement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbclStatement::Query(q) => write!(f, "{q}"),
+            DbclStatement::Negation(s) => write!(f, "not({s})"),
+            DbclStatement::Disjunction(branches) => {
+                f.write_str("(")?;
+                for (i, b) in branches.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(" ; ")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                f.write_str(")")
+            }
+            DbclStatement::PredReference(t) => write!(f, "{t}"),
+            DbclStatement::Sequence(items) => {
+                f.write_str("seq(")?;
+                for (i, s) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{s}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mini_query_src() -> &'static str {
+        "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+              [q, *, t_X, *, *, *, *],
+              [[empl, v_E, t_X, v_S, v_D, *, *]],
+              [])"
+    }
+
+    #[test]
+    fn parses_conjunctive_query() {
+        let s = DbclStatement::parse(mini_query_src()).unwrap();
+        assert!(s.is_conjunctive());
+    }
+
+    #[test]
+    fn parses_negation_and_disjunction() {
+        let src = format!("not({q}) ; {q}", q = mini_query_src());
+        let s = DbclStatement::parse(&src).unwrap();
+        match &s {
+            DbclStatement::Disjunction(branches) => {
+                assert_eq!(branches.len(), 2);
+                assert!(matches!(branches[0], DbclStatement::Negation(_)));
+            }
+            other => panic!("expected disjunction, got {other}"),
+        }
+    }
+
+    #[test]
+    fn nested_disjunction_flattens() {
+        let q = mini_query_src();
+        let src = format!("({q} ; {q}) ; {q}");
+        let s = DbclStatement::parse(&src).unwrap();
+        match s {
+            DbclStatement::Disjunction(branches) => assert_eq!(branches.len(), 3),
+            other => panic!("expected disjunction, got {other}"),
+        }
+    }
+
+    #[test]
+    fn pred_reference_fallback() {
+        let s = DbclStatement::parse("specialist(jones, guns)").unwrap();
+        assert!(matches!(s, DbclStatement::PredReference(_)));
+    }
+
+    #[test]
+    fn term_round_trip() {
+        let q = mini_query_src();
+        let src = format!("not({q}) ; specialist(a, b) ; {q}");
+        let s = DbclStatement::parse(&src).unwrap();
+        let back = DbclStatement::from_term(&s.to_term()).unwrap();
+        assert_eq!(s, back);
+    }
+
+    #[test]
+    fn dnf_flattens_disjunction() {
+        let q = mini_query_src();
+        let s = DbclStatement::parse(&format!("({q} ; ({q} ; {q}))")).unwrap();
+        assert_eq!(s.dnf_branches().len(), 3);
+    }
+
+    #[test]
+    fn dnf_double_negation_cancels() {
+        let q = mini_query_src();
+        let s = DbclStatement::parse(&format!("not(not({q}))")).unwrap();
+        let branches = s.dnf_branches();
+        assert_eq!(branches.len(), 1);
+        assert!(branches[0].is_conjunctive());
+    }
+
+    #[test]
+    fn dnf_de_morgan_over_disjunction() {
+        let q = mini_query_src();
+        let s = DbclStatement::parse(&format!("not(({q} ; {q}))")).unwrap();
+        let branches = s.dnf_branches();
+        assert_eq!(branches.len(), 1);
+        match &branches[0] {
+            DbclStatement::Sequence(items) => {
+                assert_eq!(items.len(), 2);
+                assert!(items.iter().all(|i| matches!(i, DbclStatement::Negation(_))));
+            }
+            other => panic!("expected sequence of negations, got {other}"),
+        }
+    }
+}

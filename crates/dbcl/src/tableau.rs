@@ -1,0 +1,615 @@
+//! The typed tableau model of a conjunctive DBCL query.
+//!
+//! A DBCL predicate has four components (§3):
+//!
+//! * **Schema** — database name + global attribute columns;
+//! * **Targetlist** — the result relation's schema (view name + one entry
+//!   per column);
+//! * **Relreferences** — tagged tableau rows; each row is a relation
+//!   variable, repeated symbols are equijoins;
+//! * **Relcomparisons** — inequality restrictions and joins.
+
+use crate::schema::DatabaseDef;
+use crate::symbol::{Entry, Symbol, Value};
+use crate::{DbclError, Result};
+use prolog::{Atom, Term};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Comparison operators allowed in `Relcomparisons`.
+///
+/// DBCL spells them as predicate names (`less`, `greater`, …) because a
+/// DBCL statement is still a Prolog term.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum CompOp {
+    Less,
+    Greater,
+    Leq,
+    Geq,
+    Eq,
+    Neq,
+}
+
+impl CompOp {
+    /// The DBCL predicate name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompOp::Less => "less",
+            CompOp::Greater => "greater",
+            CompOp::Leq => "leq",
+            CompOp::Geq => "geq",
+            CompOp::Eq => "eq",
+            CompOp::Neq => "neq",
+        }
+    }
+
+    /// Parses a DBCL predicate name.
+    pub fn parse(name: &str) -> Option<CompOp> {
+        Some(match name {
+            "less" => CompOp::Less,
+            "greater" => CompOp::Greater,
+            "leq" => CompOp::Leq,
+            "geq" => CompOp::Geq,
+            "eq" => CompOp::Eq,
+            "neq" => CompOp::Neq,
+            _ => return None,
+        })
+    }
+
+    /// The operator with swapped operands: `a op b  ⇔  b op.flip() a`.
+    pub fn flip(&self) -> CompOp {
+        match self {
+            CompOp::Less => CompOp::Greater,
+            CompOp::Greater => CompOp::Less,
+            CompOp::Leq => CompOp::Geq,
+            CompOp::Geq => CompOp::Leq,
+            CompOp::Eq => CompOp::Eq,
+            CompOp::Neq => CompOp::Neq,
+        }
+    }
+
+    /// Logical negation: `¬(a op b) ⇔ a op.negate() b`.
+    pub fn negate(&self) -> CompOp {
+        match self {
+            CompOp::Less => CompOp::Geq,
+            CompOp::Greater => CompOp::Leq,
+            CompOp::Leq => CompOp::Greater,
+            CompOp::Geq => CompOp::Less,
+            CompOp::Eq => CompOp::Neq,
+            CompOp::Neq => CompOp::Eq,
+        }
+    }
+
+    /// Evaluates the comparison on two integers.
+    pub fn eval_int(&self, a: i64, b: i64) -> bool {
+        match self {
+            CompOp::Less => a < b,
+            CompOp::Greater => a > b,
+            CompOp::Leq => a <= b,
+            CompOp::Geq => a >= b,
+            CompOp::Eq => a == b,
+            CompOp::Neq => a != b,
+        }
+    }
+
+    /// Evaluates on two values; symbols support only (in)equality.
+    pub fn eval(&self, a: &Value, b: &Value) -> Option<bool> {
+        match (a, b) {
+            (Value::Int(x), Value::Int(y)) => Some(self.eval_int(*x, *y)),
+            (Value::Sym(x), Value::Sym(y)) => match self {
+                CompOp::Eq => Some(x == y),
+                CompOp::Neq => Some(x != y),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for CompOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An operand of a relational comparison: a tableau symbol or a constant.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    Sym(Symbol),
+    Const(Value),
+}
+
+impl Operand {
+    pub fn as_symbol(&self) -> Option<Symbol> {
+        match self {
+            Operand::Sym(s) => Some(*s),
+            Operand::Const(_) => None,
+        }
+    }
+
+    pub fn from_entry(entry: &Entry) -> Result<Operand> {
+        match entry {
+            Entry::Sym(s) => Ok(Operand::Sym(*s)),
+            Entry::Const(v) => Ok(Operand::Const(*v)),
+            Entry::Star => Err(DbclError("`*` cannot appear in a comparison".into())),
+        }
+    }
+
+    pub fn to_entry(&self) -> Entry {
+        match self {
+            Operand::Sym(s) => Entry::Sym(*s),
+            Operand::Const(v) => Entry::Const(*v),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Sym(s) => write!(f, "{s}"),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// One element of `Relcomparisons`: `[op, lhs, rhs]`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct Comparison {
+    pub op: CompOp,
+    pub lhs: Operand,
+    pub rhs: Operand,
+}
+
+impl Comparison {
+    pub fn new(op: CompOp, lhs: Operand, rhs: Operand) -> Self {
+        Comparison { op, lhs, rhs }
+    }
+
+    /// Canonical orientation: constants move to the right-hand side.
+    pub fn normalized(&self) -> Comparison {
+        match (&self.lhs, &self.rhs) {
+            (Operand::Const(_), Operand::Sym(_)) => {
+                Comparison { op: self.op.flip(), lhs: self.rhs, rhs: self.lhs }
+            }
+            _ => *self,
+        }
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}]", self.op, self.lhs, self.rhs)
+    }
+}
+
+/// A tagged tableau row: one relation reference.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Row {
+    pub relation: Atom,
+    /// One entry per global schema column; `Star` where not applicable.
+    pub entries: Vec<Entry>,
+}
+
+impl Row {
+    /// Builds a row for `relation` over `db`, all-fresh `*` entries.
+    pub fn blank(db: &DatabaseDef, relation: Atom) -> Result<Row> {
+        db.relation(relation)
+            .ok_or_else(|| DbclError(format!("unknown relation {relation}")))?;
+        Ok(Row { relation, entries: vec![Entry::Star; db.attributes.len()] })
+    }
+}
+
+/// Where a symbol occurs inside a query.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Loc {
+    /// Column `col` of the target list.
+    Target { col: usize },
+    /// Row `row`, column `col` of the relation references.
+    Row { row: usize, col: usize },
+    /// Comparison `idx`, `lhs` side (`false` = rhs).
+    Comparison { idx: usize, lhs: bool },
+}
+
+/// A conjunctive DBCL query in tableau form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DbclQuery {
+    /// Database name (head of the Schema list).
+    pub database: Atom,
+    /// Global attribute columns (tail of the Schema list).
+    pub attributes: Vec<Atom>,
+    /// View/query name (head of the Targetlist).
+    pub view_name: Atom,
+    /// Target entries, one per column.
+    pub target: Vec<Entry>,
+    /// The relation references (tableau rows).
+    pub rows: Vec<Row>,
+    /// The relational comparisons.
+    pub comparisons: Vec<Comparison>,
+}
+
+impl DbclQuery {
+    /// An empty query skeleton over `db` named `view_name`.
+    pub fn new(db: &DatabaseDef, view_name: &str) -> DbclQuery {
+        DbclQuery {
+            database: db.name,
+            attributes: db.attributes.clone(),
+            view_name: Atom::new(view_name),
+            target: vec![Entry::Star; db.attributes.len()],
+            rows: Vec::new(),
+            comparisons: Vec::new(),
+        }
+    }
+
+    /// Parses the textual (Prolog-term) form of a DBCL predicate.
+    pub fn parse(source: &str) -> Result<DbclQuery> {
+        let term = prolog::parse_term(source)?;
+        Self::from_term(&term)
+    }
+
+    /// Converts a `dbcl/4` Prolog term into the typed model.
+    pub fn from_term(term: &Term) -> Result<DbclQuery> {
+        crate::convert::query_from_term(term)
+    }
+
+    /// Converts back into the `dbcl/4` Prolog term.
+    pub fn to_term(&self) -> Term {
+        crate::convert::query_to_term(self)
+    }
+
+    /// Global column index of `attr`.
+    pub fn column(&self, attr: Atom) -> Option<usize> {
+        self.attributes.iter().position(|a| *a == attr)
+    }
+
+    /// Every named symbol in the query, sorted.
+    pub fn symbols(&self) -> BTreeSet<Symbol> {
+        let mut out = BTreeSet::new();
+        for entry in self.target.iter().chain(self.rows.iter().flat_map(|r| &r.entries)) {
+            if let Entry::Sym(s) = entry {
+                out.insert(*s);
+            }
+        }
+        for c in &self.comparisons {
+            for operand in [&c.lhs, &c.rhs] {
+                if let Operand::Sym(s) = operand {
+                    out.insert(*s);
+                }
+            }
+        }
+        out
+    }
+
+    /// All locations where `sym` occurs.
+    pub fn occurrences(&self, sym: Symbol) -> Vec<Loc> {
+        let mut out = Vec::new();
+        for (col, entry) in self.target.iter().enumerate() {
+            if entry.as_symbol() == Some(sym) {
+                out.push(Loc::Target { col });
+            }
+        }
+        for (row, r) in self.rows.iter().enumerate() {
+            for (col, entry) in r.entries.iter().enumerate() {
+                if entry.as_symbol() == Some(sym) {
+                    out.push(Loc::Row { row, col });
+                }
+            }
+        }
+        for (idx, c) in self.comparisons.iter().enumerate() {
+            if c.lhs.as_symbol() == Some(sym) {
+                out.push(Loc::Comparison { idx, lhs: true });
+            }
+            if c.rhs.as_symbol() == Some(sym) {
+                out.push(Loc::Comparison { idx, lhs: false });
+            }
+        }
+        out
+    }
+
+    /// First occurrence of `sym` in the relation references, scanning
+    /// row-major — the location SQL generation names variables by (§5).
+    pub fn first_row_occurrence(&self, sym: Symbol) -> Option<(usize, usize)> {
+        for (row, r) in self.rows.iter().enumerate() {
+            for (col, entry) in r.entries.iter().enumerate() {
+                if entry.as_symbol() == Some(sym) {
+                    return Some((row, col));
+                }
+            }
+        }
+        None
+    }
+
+    /// Number of row occurrences of `sym`.
+    pub fn row_occurrence_count(&self, sym: Symbol) -> usize {
+        self.rows
+            .iter()
+            .flat_map(|r| &r.entries)
+            .filter(|e| e.as_symbol() == Some(sym))
+            .count()
+    }
+
+    /// Replaces every occurrence of symbol `from` by `to` (a symbol or a
+    /// constant), in rows, target list and comparisons.
+    pub fn substitute(&mut self, from: Symbol, to: &Operand) {
+        let entry = to.to_entry();
+        for e in self.target.iter_mut().chain(self.rows.iter_mut().flat_map(|r| r.entries.iter_mut()))
+        {
+            if e.as_symbol() == Some(from) {
+                *e = entry;
+            }
+        }
+        for c in &mut self.comparisons {
+            if c.lhs.as_symbol() == Some(from) {
+                c.lhs = *to;
+            }
+            if c.rhs.as_symbol() == Some(from) {
+                c.rhs = *to;
+            }
+        }
+    }
+
+    /// Removes row `idx`.
+    pub fn remove_row(&mut self, idx: usize) -> Row {
+        self.rows.remove(idx)
+    }
+
+    /// Checks well-formedness against the database definition:
+    /// matching schema, known relations, `*` exactly on non-applicable
+    /// columns, target symbols and comparison symbols anchored in rows.
+    pub fn validate(&self, db: &DatabaseDef) -> Result<()> {
+        if self.database != db.name {
+            return Err(DbclError(format!(
+                "query addresses database {}, expected {}",
+                self.database, db.name
+            )));
+        }
+        if self.attributes != db.attributes {
+            return Err(DbclError("query schema columns do not match the database".into()));
+        }
+        if self.target.len() != self.attributes.len() {
+            return Err(DbclError("target list length does not match schema".into()));
+        }
+        for (i, row) in self.rows.iter().enumerate() {
+            if row.entries.len() != self.attributes.len() {
+                return Err(DbclError(format!("row {i} has wrong width")));
+            }
+            let cols = db.relation_columns(row.relation)?;
+            for (col, entry) in row.entries.iter().enumerate() {
+                let applicable = cols.contains(&col);
+                match entry {
+                    Entry::Star if applicable => {
+                        return Err(DbclError(format!(
+                            "row {i} ({}) leaves applicable column {} as `*`",
+                            row.relation, self.attributes[col]
+                        )))
+                    }
+                    Entry::Star => {}
+                    _ if !applicable => {
+                        return Err(DbclError(format!(
+                            "row {i} ({}) fills non-applicable column {}",
+                            row.relation, self.attributes[col]
+                        )))
+                    }
+                    _ => {}
+                }
+            }
+        }
+        for entry in &self.target {
+            if let Entry::Sym(s) = entry {
+                if self.first_row_occurrence(*s).is_none() {
+                    return Err(DbclError(format!("target symbol {s} never occurs in a row")));
+                }
+            }
+        }
+        for c in &self.comparisons {
+            for operand in [&c.lhs, &c.rhs] {
+                if let Operand::Sym(s) = operand {
+                    if self.first_row_occurrence(*s).is_none() {
+                        return Err(DbclError(format!(
+                            "comparison symbol {s} never occurs in a row"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The paper's Example 3-3 DBCL predicate (the `works_dir_for` view
+    /// joined with a salary restriction), used as a fixture throughout.
+    pub fn example_3_3() -> DbclQuery {
+        DbclQuery::parse(
+            "dbcl(
+                [empdep, eno, nam, sal, dno, fct, mgr],
+                [works_dir_for, *, t_X, *, *, *, *],
+                [[empl, v_Eno1, t_X, v_Sal1, v_D, *, *],
+                 [dept, *, *, *, v_D, v_Fct2, v_M],
+                 [empl, v_M, smiley, v_Sal3, v_Dno3, *, *],
+                 [empl, v_Eno4, t_X, v_S, v_Dno4, *, *]],
+                [[less, v_S, 40000]])",
+        )
+        .expect("fixture parses")
+    }
+
+    /// The paper's Example 4-1 DBCL predicate: `same_manager(t_X, jones)`
+    /// expanded through two copies of `works_dir_for` sharing the manager
+    /// name `v_M` (the repeated symbol is the `v3.nam = v6.nam` equijoin of
+    /// Example 5-1).
+    pub fn example_4_1() -> DbclQuery {
+        DbclQuery::parse(
+            "dbcl(
+                [empdep, eno, nam, sal, dno, fct, mgr],
+                [same_manager, *, t_X, *, *, *, *],
+                [[empl, v_Eno1, t_X, v_Sal1, v_D1, *, *],
+                 [dept, *, *, *, v_D1, v_Fct2, v_M1],
+                 [empl, v_M1, v_M, v_Sal3, v_Dno3, *, *],
+                 [empl, v_Eno4, jones, v_Sal4, v_D4, *, *],
+                 [dept, *, *, *, v_D4, v_Fct5, v_M5],
+                 [empl, v_M5, v_M, v_Sal6, v_Dno6, *, *]],
+                [[neq, t_X, jones]])",
+        )
+        .expect("fixture parses")
+    }
+}
+
+impl fmt::Display for DbclQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "dbcl(")?;
+        write!(f, "  [{}", self.database)?;
+        for a in &self.attributes {
+            write!(f, ", {a}")?;
+        }
+        writeln!(f, "],")?;
+        write!(f, "  [{}", self.view_name)?;
+        for e in &self.target {
+            write!(f, ", {e}")?;
+        }
+        writeln!(f, "],")?;
+        writeln!(f, "  [")?;
+        for (i, row) in self.rows.iter().enumerate() {
+            write!(f, "    [{}", row.relation)?;
+            for e in &row.entries {
+                write!(f, ", {e}")?;
+            }
+            write!(f, "]")?;
+            if i + 1 < self.rows.len() {
+                writeln!(f, ",")?;
+            } else {
+                writeln!(f)?;
+            }
+        }
+        writeln!(f, "  ],")?;
+        write!(f, "  [")?;
+        for (i, c) in self.comparisons.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        write!(f, "])")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_3_3_shape() {
+        let q = DbclQuery::example_3_3();
+        assert_eq!(q.rows.len(), 4);
+        assert_eq!(q.comparisons.len(), 1);
+        assert_eq!(q.view_name.as_str(), "works_dir_for");
+        q.validate(&DatabaseDef::empdep()).unwrap();
+    }
+
+    #[test]
+    fn example_4_1_shape() {
+        let q = DbclQuery::example_4_1();
+        assert_eq!(q.rows.len(), 6);
+        q.validate(&DatabaseDef::empdep()).unwrap();
+    }
+
+    #[test]
+    fn symbols_and_occurrences() {
+        let q = DbclQuery::example_3_3();
+        let tx = Symbol::target("X");
+        // t_X: target col 1, rows 0 and 3 col 1.
+        let occ = q.occurrences(tx);
+        assert_eq!(occ.len(), 3);
+        assert_eq!(q.first_row_occurrence(tx), Some((0, 1)));
+        assert_eq!(q.row_occurrence_count(tx), 2);
+        let vs = Symbol::var("S");
+        assert_eq!(q.row_occurrence_count(vs), 1);
+        assert!(q
+            .occurrences(vs)
+            .iter()
+            .any(|l| matches!(l, Loc::Comparison { .. })));
+    }
+
+    #[test]
+    fn substitute_renames_everywhere() {
+        let mut q = DbclQuery::example_3_3();
+        let from = Symbol::var("S");
+        let to = Operand::Sym(Symbol::var("Sal1"));
+        q.substitute(from, &to);
+        assert_eq!(q.row_occurrence_count(Symbol::var("S")), 0);
+        assert_eq!(q.comparisons[0].lhs, to);
+        // Sal1 now occurs in rows 0 and 3.
+        assert_eq!(q.row_occurrence_count(Symbol::var("Sal1")), 2);
+    }
+
+    #[test]
+    fn substitute_by_constant() {
+        let mut q = DbclQuery::example_3_3();
+        q.substitute(Symbol::var("S"), &Operand::Const(Value::Int(7)));
+        assert_eq!(q.comparisons[0].lhs, Operand::Const(Value::Int(7)));
+    }
+
+    #[test]
+    fn validate_rejects_starred_applicable_column() {
+        let db = DatabaseDef::empdep();
+        let mut q = DbclQuery::example_3_3();
+        q.rows[0].entries[0] = Entry::Star; // eno applies to empl
+        assert!(q.validate(&db).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_filled_non_applicable_column() {
+        let db = DatabaseDef::empdep();
+        let mut q = DbclQuery::example_3_3();
+        q.rows[0].entries[5] = Entry::var("Zzz"); // fct doesn't apply to empl
+        assert!(q.validate(&db).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unanchored_comparison_symbol() {
+        let db = DatabaseDef::empdep();
+        let mut q = DbclQuery::example_3_3();
+        q.comparisons.push(Comparison::new(
+            CompOp::Less,
+            Operand::Sym(Symbol::var("Ghost")),
+            Operand::Const(Value::Int(1)),
+        ));
+        assert!(q.validate(&db).is_err());
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        let q = DbclQuery::example_3_3();
+        let reparsed = DbclQuery::parse(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+
+    #[test]
+    fn comp_op_algebra() {
+        assert_eq!(CompOp::Less.flip(), CompOp::Greater);
+        assert_eq!(CompOp::Less.negate(), CompOp::Geq);
+        assert_eq!(CompOp::Eq.flip(), CompOp::Eq);
+        assert!(CompOp::Leq.eval_int(3, 3));
+        assert_eq!(
+            CompOp::Eq.eval(&Value::sym("a"), &Value::sym("a")),
+            Some(true)
+        );
+        assert_eq!(CompOp::Less.eval(&Value::sym("a"), &Value::Int(1)), None);
+    }
+
+    #[test]
+    fn comparison_normalizes_constant_to_rhs() {
+        let c = Comparison::new(
+            CompOp::Less,
+            Operand::Const(Value::Int(10)),
+            Operand::Sym(Symbol::var("S")),
+        );
+        let n = c.normalized();
+        assert_eq!(n.op, CompOp::Greater);
+        assert_eq!(n.lhs, Operand::Sym(Symbol::var("S")));
+    }
+
+    #[test]
+    fn blank_row() {
+        let db = DatabaseDef::empdep();
+        let row = Row::blank(&db, Atom::new("dept")).unwrap();
+        assert_eq!(row.entries.len(), 6);
+        assert!(Row::blank(&db, Atom::new("nope")).is_err());
+    }
+}

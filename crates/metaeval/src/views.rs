@@ -1,0 +1,76 @@
+//! The paper's example view definitions, as reusable Prolog source.
+
+/// Example 3-3: "X works directly for Y".
+///
+/// ```text
+/// works_dir_for(X, Y) :- empl(_, X, D), dept(D, _, M), empl(M, Y, _, _).
+/// ```
+/// (The paper's first subgoal elides `sal`; the consistent 4-ary form is
+/// used throughout its own later examples, so it is used here too.)
+pub const WORKS_DIR_FOR: &str = "
+    works_dir_for(X, Y) :-
+        empl(_, X, _, D),
+        dept(D, _, M),
+        empl(M, Y, _, _).
+";
+
+/// Example 4-1: two employees work for the same manager.
+pub const SAME_MANAGER: &str = "
+    works_dir_for(X, Y) :-
+        empl(_, X, _, D),
+        dept(D, _, M),
+        empl(M, Y, _, _).
+    same_manager(X, Y) :-
+        works_dir_for(X, M),
+        works_dir_for(Y, M),
+        neq(X, Y).
+";
+
+/// Example 7-1: transitive closure, top-down ("Low works for High at any
+/// level").
+pub const WORKS_FOR: &str = "
+    works_dir_for(X, Y) :-
+        empl(_, X, _, D),
+        dept(D, _, M),
+        empl(M, Y, _, _).
+    works_for(Low, High) :-
+        works_dir_for(Low, High).
+    works_for(Low, High) :-
+        works_dir_for(Low, Medium),
+        works_for(Medium, High).
+";
+
+/// Example 7-1's bottom-up variant: "A better solution would … generate
+/// solutions bottom-up rather than top-down."
+pub const WORKS_FOR_BOTTOM_UP: &str = "
+    works_dir_for(X, Y) :-
+        empl(_, X, _, D),
+        dept(D, _, M),
+        empl(M, Y, _, _).
+    works_for(Low, High) :-
+        works_dir_for(Low, High).
+    works_for(Low, High) :-
+        works_dir_for(Medium, High),
+        works_for(Low, Medium).
+";
+
+/// §7's negation example: "manager(X, Y) :- empl(X,_,_,D), dept(D,_,Y)".
+pub const MANAGER: &str = "
+    manager(X, Y) :- empl(X, _, _, D), dept(D, _, Y).
+";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_views_parse() {
+        for src in [
+            super::WORKS_DIR_FOR,
+            super::SAME_MANAGER,
+            super::WORKS_FOR,
+            super::WORKS_FOR_BOTTOM_UP,
+            super::MANAGER,
+        ] {
+            prolog::parse_program(src).unwrap();
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! §6.1 value bounds (Algorithm 2, step 1).
+//!
+//! "Add value bounds to Relcomparisons for attribute variables appearing
+//! there and check whether all constants appearing in Relreferences are
+//! within their domains. If not, stop with an empty query result."
+//!
+//! The bound comparisons are *axioms*: they are handed to the inequality
+//! graph so it can drop user comparisons they imply (the paper's
+//! `less(S, 200000)` example) or detect contradictions (`less(S, 2000)`),
+//! but they are never emitted into the final query — the DBMS already
+//! guarantees them.
+
+use dbcl::{CompOp, Comparison, ConstraintSet, DbclQuery, Entry, Operand, Symbol, Value};
+
+/// Result of the bounds pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BoundsOutcome {
+    /// Axiom comparisons derived from declared value bounds.
+    Axioms(Vec<Comparison>),
+    /// A row constant lies outside its attribute's domain; the query
+    /// result is empty. Carries a human-readable witness.
+    Contradiction(String),
+}
+
+/// Every `(relation, column)` pair in whose cells `sym` occurs.
+fn column_occurrences(query: &DbclQuery, sym: Symbol) -> Vec<(prolog::Atom, usize)> {
+    let mut out = Vec::new();
+    for row in &query.rows {
+        for (col, entry) in row.entries.iter().enumerate() {
+            if entry.as_symbol() == Some(sym) {
+                out.push((row.relation, col));
+            }
+        }
+    }
+    out
+}
+
+/// Runs the bounds pass over `query`.
+pub fn apply_bounds(query: &DbclQuery, constraints: &ConstraintSet) -> BoundsOutcome {
+    // Constants in relation references must respect their domain.
+    for row in &query.rows {
+        for (col, entry) in row.entries.iter().enumerate() {
+            if let Entry::Const(Value::Int(v)) = entry {
+                let attr = query.attributes[col];
+                if let Some(b) = constraints.bound_for(row.relation, attr) {
+                    if *v < b.lo || *v > b.hi {
+                        return BoundsOutcome::Contradiction(format!(
+                            "constant {v} in {}.{attr} outside [{}, {}]",
+                            row.relation, b.lo, b.hi
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Axioms for symbols that appear in Relcomparisons.
+    let mut axioms = Vec::new();
+    let mut seen: Vec<Symbol> = Vec::new();
+    for comparison in &query.comparisons {
+        for operand in [&comparison.lhs, &comparison.rhs] {
+            let Operand::Sym(sym) = operand else { continue };
+            if seen.contains(sym) {
+                continue;
+            }
+            seen.push(*sym);
+            for (rel, col) in column_occurrences(query, *sym) {
+                let attr = query.attributes[col];
+                if let Some(b) = constraints.bound_for(rel, attr) {
+                    axioms.push(Comparison::new(
+                        CompOp::Geq,
+                        Operand::Sym(*sym),
+                        Operand::Const(Value::Int(b.lo)),
+                    ));
+                    axioms.push(Comparison::new(
+                        CompOp::Leq,
+                        Operand::Sym(*sym),
+                        Operand::Const(Value::Int(b.hi)),
+                    ));
+                }
+            }
+        }
+    }
+    BoundsOutcome::Axioms(axioms)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcl::{ConstraintSet, DbclQuery};
+
+    #[test]
+    fn axioms_for_salary_comparison() {
+        // Example 3-3 has less(v_S, 40000) on empl.sal with bounds
+        // [10000, 90000] → two axioms for v_S.
+        let q = DbclQuery::example_3_3();
+        let cs = ConstraintSet::empdep();
+        match apply_bounds(&q, &cs) {
+            BoundsOutcome::Axioms(ax) => {
+                assert_eq!(ax.len(), 2);
+                assert!(ax.iter().any(|c| c.op == CompOp::Geq
+                    && c.rhs == Operand::Const(Value::Int(10_000))));
+                assert!(ax.iter().any(|c| c.op == CompOp::Leq
+                    && c.rhs == Operand::Const(Value::Int(90_000))));
+            }
+            other => panic!("expected axioms, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn no_axioms_without_comparisons() {
+        let q = DbclQuery::example_4_1(); // only neq on names: no sal bound
+        let cs = ConstraintSet::empdep();
+        match apply_bounds(&q, &cs) {
+            BoundsOutcome::Axioms(ax) => assert!(ax.is_empty()),
+            other => panic!("expected axioms, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_domain_constant_contradicts() {
+        let mut q = DbclQuery::example_3_3();
+        // Pin a salary constant below the domain.
+        q.rows[0].entries[2] = Entry::int(5_000);
+        let cs = ConstraintSet::empdep();
+        assert!(matches!(
+            apply_bounds(&q, &cs),
+            BoundsOutcome::Contradiction(_)
+        ));
+    }
+
+    #[test]
+    fn in_domain_constant_fine() {
+        let mut q = DbclQuery::example_3_3();
+        q.rows[0].entries[2] = Entry::int(45_000);
+        let cs = ConstraintSet::empdep();
+        assert!(matches!(apply_bounds(&q, &cs), BoundsOutcome::Axioms(_)));
+    }
+
+    #[test]
+    fn symbolic_constants_ignored_by_domains() {
+        // `smiley` in a text column has no numeric bound to violate.
+        let q = DbclQuery::example_3_3();
+        let cs = ConstraintSet::empdep();
+        assert!(matches!(apply_bounds(&q, &cs), BoundsOutcome::Axioms(_)));
+    }
+}

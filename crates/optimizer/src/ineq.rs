@@ -1,0 +1,608 @@
+//! §6.1 inequality simplification, after the graph procedure of
+//! Rosenkrantz & Hunt (VLDB 1980).
+//!
+//! Comparisons (plus the value-bound *axioms* of [`crate::bounds`]) form a
+//! directed graph whose nodes are symbols and integer constants and whose
+//! edges are `≤` (weak) or `<` (strict). Transitive closure then yields:
+//!
+//! * **contradictions** — a strict cycle, or `neq` between provably equal
+//!   operands (`less(S, 2000)` against `S ≥ 10000`);
+//! * **implied equalities** — weak cycles (`A ≥ B ≥ C ≥ A` ⇒ `A = B = C`),
+//!   "expressed more efficiently by renaming variables in Relreferences,
+//!   discarding the inequalities";
+//! * **sharpening** — `A ≥ B ≥ C` with `A ≠ C` becomes the sharper `A > C`;
+//! * **redundancy** — comparisons implied by the rest (and by the axioms),
+//!   like the paper's `less(S, 200000)`, are dropped.
+
+use crate::uf::UnionFind;
+use dbcl::{CompOp, Comparison, Operand, Symbol, Value};
+use std::collections::HashMap;
+
+/// A node of the inequality graph.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+enum Node {
+    Sym(Symbol),
+    Int(i64),
+}
+
+impl Node {
+    fn of(op: &Operand) -> Option<Node> {
+        match op {
+            Operand::Sym(s) => Some(Node::Sym(*s)),
+            Operand::Const(Value::Int(i)) => Some(Node::Int(*i)),
+            Operand::Const(Value::Sym(_)) => None,
+        }
+    }
+
+    fn to_operand(self) -> Operand {
+        match self {
+            Node::Sym(s) => Operand::Sym(s),
+            Node::Int(i) => Operand::Const(Value::Int(i)),
+        }
+    }
+}
+
+/// Outcome of the inequality pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IneqResult {
+    /// A witness when the comparison set is unsatisfiable.
+    pub contradiction: Option<String>,
+    /// Symbol substitutions to apply to the whole query, in order.
+    pub merges: Vec<(Symbol, Operand)>,
+    /// The simplified user comparisons.
+    pub kept: Vec<Comparison>,
+    /// How many user comparisons were dropped as redundant.
+    pub removed: usize,
+    /// How many `neq`s were sharpened into strict orderings.
+    pub sharpened: usize,
+}
+
+impl IneqResult {
+    fn contradiction(witness: impl Into<String>) -> IneqResult {
+        IneqResult {
+            contradiction: Some(witness.into()),
+            merges: Vec::new(),
+            kept: Vec::new(),
+            removed: 0,
+            sharpened: 0,
+        }
+    }
+}
+
+/// Priority for choosing class representatives: constants win, then target
+/// variables, then ordinary variables by first occurrence.
+fn rep_priority(op: &Operand, order: &HashMap<Symbol, usize>) -> (u8, usize) {
+    match op {
+        Operand::Const(_) => (0, 0),
+        Operand::Sym(s @ Symbol::Target(_)) => (1, order.get(s).copied().unwrap_or(usize::MAX)),
+        Operand::Sym(s @ Symbol::Var(_)) => (2, order.get(s).copied().unwrap_or(usize::MAX)),
+    }
+}
+
+/// Edge/path strength: `false` = weak (≤), `true` = strict (<).
+type Strength = bool;
+
+fn closure(n: usize, edges: &[(usize, usize, Strength)]) -> Vec<Vec<Option<Strength>>> {
+    let mut reach: Vec<Vec<Option<Strength>>> = vec![vec![None; n]; n];
+    for &(a, b, s) in edges {
+        let cur = &mut reach[a][b];
+        *cur = Some(cur.unwrap_or(false) | s);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let Some(ik) = reach[i][k] else { continue };
+            let via_k = reach[k].clone();
+            for (j, kj) in via_k.into_iter().enumerate() {
+                let Some(kj) = kj else { continue };
+                let s = ik | kj;
+                let cur = &mut reach[i][j];
+                *cur = Some(cur.unwrap_or(false) | s);
+            }
+        }
+    }
+    reach
+}
+
+/// Does `comps ∪ axioms` imply `candidate`? (Both already rewritten to
+/// class representatives.)
+fn implies(comps: &[Comparison], axioms: &[Comparison], candidate: &Comparison) -> bool {
+    // Constant-constant candidates decide directly.
+    if let (Operand::Const(a), Operand::Const(b)) = (&candidate.lhs, &candidate.rhs) {
+        if let Some(v) = candidate.op.eval(a, b) {
+            return v;
+        }
+    }
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut ids: HashMap<Node, usize> = HashMap::new();
+    let intern = |n: Node, nodes: &mut Vec<Node>, ids: &mut HashMap<Node, usize>| -> usize {
+        *ids.entry(n).or_insert_with(|| {
+            nodes.push(n);
+            nodes.len() - 1
+        })
+    };
+    let mut edges: Vec<(usize, usize, Strength)> = Vec::new();
+    for c in comps.iter().chain(axioms) {
+        let (Some(a), Some(b)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else { continue };
+        let (a, b) = (
+            intern(a, &mut nodes, &mut ids),
+            intern(b, &mut nodes, &mut ids),
+        );
+        match c.op {
+            CompOp::Less => edges.push((a, b, true)),
+            CompOp::Leq => edges.push((a, b, false)),
+            CompOp::Greater => edges.push((b, a, true)),
+            CompOp::Geq => edges.push((b, a, false)),
+            CompOp::Eq => {
+                edges.push((a, b, false));
+                edges.push((b, a, false));
+            }
+            CompOp::Neq => {} // not an ordering edge
+        }
+    }
+    let (Some(ca), Some(cb)) = (Node::of(&candidate.lhs), Node::of(&candidate.rhs)) else {
+        return false;
+    };
+    let ca = intern(ca, &mut nodes, &mut ids);
+    let cb = intern(cb, &mut nodes, &mut ids);
+    // Integer constants are totally ordered; seed those edges.
+    for i in 0..nodes.len() {
+        for j in 0..nodes.len() {
+            if let (Node::Int(x), Node::Int(y)) = (nodes[i], nodes[j]) {
+                if x < y {
+                    edges.push((i, j, true));
+                }
+            }
+        }
+    }
+    let reach = closure(nodes.len(), &edges);
+    match candidate.op {
+        CompOp::Less => reach[ca][cb] == Some(true),
+        CompOp::Leq => reach[ca][cb].is_some(),
+        CompOp::Greater => reach[cb][ca] == Some(true),
+        CompOp::Geq => reach[cb][ca].is_some(),
+        CompOp::Eq => reach[ca][cb] == Some(false) && reach[cb][ca] == Some(false),
+        CompOp::Neq => reach[ca][cb] == Some(true) || reach[cb][ca] == Some(true),
+    }
+}
+
+fn rewrite(op: &Operand, subst: &HashMap<Symbol, Operand>) -> Operand {
+    match op {
+        Operand::Sym(s) => subst.get(s).copied().unwrap_or(*op),
+        other => *other,
+    }
+}
+
+/// Runs the full §6.1 procedure.
+///
+/// `order` gives each symbol's first-occurrence rank (used to pick stable
+/// class representatives); `axioms` are value-bound comparisons that may
+/// justify removals but are never emitted.
+pub fn simplify_inequalities(
+    user: &[Comparison],
+    axioms: &[Comparison],
+    order: &HashMap<Symbol, usize>,
+) -> IneqResult {
+    let mut comps: Vec<Comparison> = user.to_vec();
+    // Axioms are rewritten alongside the user comparisons: a merge of
+    // `sal = 0` must surface the contradiction with the `sal ≥ 10000`
+    // axiom on the next pass.
+    let mut axioms: Vec<Comparison> = axioms.to_vec();
+    let mut all_merges: Vec<(Symbol, Operand)> = Vec::new();
+    let mut removed = 0usize;
+
+    // Fixpoint: explicit equalities and weak cycles both trigger merging,
+    // and merging can expose more of either.
+    loop {
+        // Axioms whose operands became constants decide immediately.
+        for c in &axioms {
+            if let (Operand::Const(a), Operand::Const(b)) = (&c.lhs, &c.rhs) {
+                if c.op.eval(a, b) == Some(false) {
+                    return IneqResult::contradiction(format!(
+                        "value-bound axiom {c} violated"
+                    ));
+                }
+            }
+        }
+        // Stage A: explicit equalities (and decidable constant pairs).
+        let mut uf: UnionFind<Operand> = UnionFind::new();
+        let mut progressed = false;
+        let mut next: Vec<Comparison> = Vec::new();
+        for c in &comps {
+            if let (Operand::Const(a), Operand::Const(b)) = (&c.lhs, &c.rhs) {
+                match c.op.eval(a, b) {
+                    Some(true) => {
+                        removed += 1;
+                        continue;
+                    }
+                    Some(false) => {
+                        return IneqResult::contradiction(format!(
+                            "comparison {c} is false"
+                        ))
+                    }
+                    None => {}
+                }
+            }
+            if c.op == CompOp::Eq {
+                if c.lhs == c.rhs {
+                    removed += 1;
+                    continue;
+                }
+                uf.union(c.lhs, c.rhs);
+                progressed = true;
+                continue;
+            }
+            next.push(*c);
+        }
+        comps = next;
+
+        // Stage B: weak cycles in the ordering graph are equalities too.
+        let mut nodes: Vec<Node> = Vec::new();
+        let mut ids: HashMap<Node, usize> = HashMap::new();
+        let intern = |n: Node, nodes: &mut Vec<Node>, ids: &mut HashMap<Node, usize>| {
+            *ids.entry(n).or_insert_with(|| {
+                nodes.push(n);
+                nodes.len() - 1
+            })
+        };
+        let mut edges: Vec<(usize, usize, Strength)> = Vec::new();
+        for c in comps.iter().chain(&axioms) {
+            let (Some(a), Some(b)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else { continue };
+            let (a, b) = (
+                intern(a, &mut nodes, &mut ids),
+                intern(b, &mut nodes, &mut ids),
+            );
+            match c.op {
+                CompOp::Less => edges.push((a, b, true)),
+                CompOp::Leq => edges.push((a, b, false)),
+                CompOp::Greater => edges.push((b, a, true)),
+                CompOp::Geq => edges.push((b, a, false)),
+                _ => {}
+            }
+        }
+        for i in 0..nodes.len() {
+            for j in 0..nodes.len() {
+                if let (Node::Int(x), Node::Int(y)) = (nodes[i], nodes[j]) {
+                    if x < y {
+                        edges.push((i, j, true));
+                    }
+                }
+            }
+        }
+        let reach = closure(nodes.len(), &edges);
+        for (i, row) in reach.iter().enumerate() {
+            if row[i] == Some(true) {
+                return IneqResult::contradiction(format!(
+                    "strict cycle through {:?}",
+                    nodes[i]
+                ));
+            }
+        }
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if reach[i][j] == Some(false) && reach[j][i] == Some(false) {
+                    uf.union(nodes[i].to_operand(), nodes[j].to_operand());
+                    progressed = true;
+                }
+            }
+        }
+
+        if !progressed {
+            break;
+        }
+        // Extract substitutions from the union-find.
+        let mut subst: HashMap<Symbol, Operand> = HashMap::new();
+        for class in uf.classes() {
+            let consts: Vec<&Operand> =
+                class.iter().filter(|o| matches!(o, Operand::Const(_))).collect();
+            if consts.len() > 1 {
+                let mut distinct = consts.clone();
+                distinct.dedup();
+                if distinct.len() > 1 {
+                    return IneqResult::contradiction(format!(
+                        "equality class contains distinct constants {} and {}",
+                        consts[0], consts[1]
+                    ));
+                }
+            }
+            let rep = *class
+                .iter()
+                .min_by_key(|o| rep_priority(o, order))
+                .expect("non-empty class");
+            for member in class {
+                if member != rep {
+                    if let Operand::Sym(s) = member {
+                        subst.insert(s, rep);
+                        all_merges.push((s, rep));
+                    }
+                }
+            }
+        }
+        if subst.is_empty() {
+            break;
+        }
+        for c in comps.iter_mut().chain(axioms.iter_mut()) {
+            c.lhs = rewrite(&c.lhs, &subst);
+            c.rhs = rewrite(&c.rhs, &subst);
+        }
+        // Comparisons that became trivially true self-loops disappear; a
+        // strict/neq self-loop is a contradiction.
+        let mut next = Vec::new();
+        for c in comps {
+            if c.lhs == c.rhs {
+                match c.op {
+                    CompOp::Leq | CompOp::Geq | CompOp::Eq => {
+                        removed += 1;
+                        continue;
+                    }
+                    CompOp::Less | CompOp::Greater | CompOp::Neq => {
+                        return IneqResult::contradiction(format!(
+                            "{c} after merging equal operands"
+                        ))
+                    }
+                }
+            }
+            next.push(c);
+        }
+        comps = next;
+    }
+
+    // Duplicate elimination (keeps first occurrence).
+    let mut deduped: Vec<Comparison> = Vec::new();
+    for c in comps {
+        let norm = c.normalized();
+        if deduped.iter().any(|k| k.normalized() == norm) {
+            removed += 1;
+        } else {
+            deduped.push(c);
+        }
+    }
+    let mut comps = deduped;
+
+    // Sharpening and neq contradiction checks.
+    let ordering: Vec<Comparison> =
+        comps.iter().filter(|c| c.op != CompOp::Neq).copied().collect();
+    let mut sharpened = 0usize;
+    for c in &mut comps {
+        if c.op != CompOp::Neq {
+            continue;
+        }
+        let as_eq = Comparison::new(CompOp::Eq, c.lhs, c.rhs);
+        if implies(&ordering, &axioms, &as_eq) {
+            return IneqResult::contradiction(format!("{c} but operands provably equal"));
+        }
+        let (Some(_), Some(_)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else { continue };
+        let weak_lr = Comparison::new(CompOp::Leq, c.lhs, c.rhs);
+        let weak_rl = Comparison::new(CompOp::Geq, c.lhs, c.rhs);
+        if implies(&ordering, &axioms, &weak_lr) {
+            *c = Comparison::new(CompOp::Less, c.lhs, c.rhs);
+            sharpened += 1;
+        } else if implies(&ordering, &axioms, &weak_rl) {
+            *c = Comparison::new(CompOp::Greater, c.lhs, c.rhs);
+            sharpened += 1;
+        }
+    }
+
+    // Redundancy removal: drop any comparison implied by the others.
+    let mut kept: Vec<Comparison> = Vec::new();
+    let pending: Vec<Comparison> = comps.clone();
+    for i in 0..pending.len() {
+        let candidate = pending[i];
+        let others: Vec<Comparison> = kept
+            .iter()
+            .copied()
+            .chain(pending[i + 1..].iter().copied())
+            .collect();
+        if implies(&others, &axioms, &candidate) {
+            removed += 1;
+        } else {
+            kept.push(candidate);
+        }
+    }
+
+    IneqResult { contradiction: None, merges: all_merges, kept, removed, sharpened }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(name: &str) -> Operand {
+        Operand::Sym(Symbol::var(name))
+    }
+
+    fn int(i: i64) -> Operand {
+        Operand::Const(Value::Int(i))
+    }
+
+    fn cmp(op: CompOp, lhs: Operand, rhs: Operand) -> Comparison {
+        Comparison::new(op, lhs, rhs)
+    }
+
+    fn no_order() -> HashMap<Symbol, usize> {
+        HashMap::new()
+    }
+
+    fn ordered(names: &[&str]) -> HashMap<Symbol, usize> {
+        names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Symbol::var(n), i))
+            .collect()
+    }
+
+    /// §6.1: less(S, 200000) is implied by the salary bound and dropped.
+    #[test]
+    fn bound_implied_comparison_removed() {
+        let axioms = [
+            cmp(CompOp::Geq, sym("S"), int(10_000)),
+            cmp(CompOp::Leq, sym("S"), int(90_000)),
+        ];
+        let user = [cmp(CompOp::Less, sym("S"), int(200_000))];
+        let r = simplify_inequalities(&user, &axioms, &no_order());
+        assert!(r.contradiction.is_none());
+        assert!(r.kept.is_empty());
+        assert_eq!(r.removed, 1);
+    }
+
+    /// §6.1: less(S, 2000) contradicts the bound → empty result.
+    #[test]
+    fn bound_contradiction_detected() {
+        let axioms = [
+            cmp(CompOp::Geq, sym("S"), int(10_000)),
+            cmp(CompOp::Leq, sym("S"), int(90_000)),
+        ];
+        let user = [cmp(CompOp::Less, sym("S"), int(2_000))];
+        let r = simplify_inequalities(&user, &axioms, &no_order());
+        assert!(r.contradiction.is_some());
+    }
+
+    /// §6.1: "A >= B and B >= C and A ≠ C" → last becomes "A > C".
+    #[test]
+    fn neq_sharpened_to_strict() {
+        let user = [
+            cmp(CompOp::Geq, sym("A"), sym("B")),
+            cmp(CompOp::Geq, sym("B"), sym("C")),
+            cmp(CompOp::Neq, sym("A"), sym("C")),
+        ];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert!(r.contradiction.is_none());
+        assert_eq!(r.sharpened, 1);
+        assert!(r
+            .kept
+            .iter()
+            .any(|c| c.op == CompOp::Greater && c.lhs == sym("A") && c.rhs == sym("C")));
+    }
+
+    /// §6.1: "A >= B and B >= C and C >= A" ⇔ all equal → merges, no comps.
+    #[test]
+    fn weak_cycle_becomes_equalities() {
+        let user = [
+            cmp(CompOp::Geq, sym("A"), sym("B")),
+            cmp(CompOp::Geq, sym("B"), sym("C")),
+            cmp(CompOp::Geq, sym("C"), sym("A")),
+        ];
+        let r = simplify_inequalities(&user, &[], &ordered(&["A", "B", "C"]));
+        assert!(r.contradiction.is_none());
+        assert!(r.kept.is_empty());
+        assert_eq!(r.merges.len(), 2);
+        // A is first-occurring → representative.
+        assert!(r.merges.iter().all(|(_, to)| *to == sym("A")));
+    }
+
+    #[test]
+    fn transitive_redundancy_removed() {
+        let user = [
+            cmp(CompOp::Less, sym("A"), sym("B")),
+            cmp(CompOp::Less, sym("B"), sym("C")),
+            cmp(CompOp::Less, sym("A"), sym("C")), // implied
+        ];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert_eq!(r.kept.len(), 2);
+        assert_eq!(r.removed, 1);
+    }
+
+    #[test]
+    fn strict_cycle_is_contradiction() {
+        let user = [
+            cmp(CompOp::Less, sym("A"), sym("B")),
+            cmp(CompOp::Geq, sym("A"), sym("B")),
+        ];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert!(r.contradiction.is_some());
+    }
+
+    #[test]
+    fn eq_merges_symbol_into_constant() {
+        let user = [
+            cmp(CompOp::Eq, sym("S"), int(40_000)),
+            cmp(CompOp::Less, sym("S"), int(50_000)),
+        ];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert!(r.contradiction.is_none());
+        assert_eq!(r.merges, vec![(Symbol::var("S"), int(40_000))]);
+        // After substitution 40000 < 50000 is decided and dropped.
+        assert!(r.kept.is_empty());
+    }
+
+    #[test]
+    fn conflicting_constant_equalities_contradict() {
+        let user = [
+            cmp(CompOp::Eq, sym("S"), int(1)),
+            cmp(CompOp::Eq, sym("S"), int(2)),
+        ];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert!(r.contradiction.is_some());
+    }
+
+    #[test]
+    fn eq_chain_with_symbolic_constant() {
+        let jones = Operand::Const(Value::sym("jones"));
+        let user = [
+            cmp(CompOp::Eq, sym("X"), sym("Y")),
+            cmp(CompOp::Eq, sym("Y"), jones),
+        ];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert!(r.contradiction.is_none());
+        assert_eq!(r.merges.len(), 2);
+        assert!(r.merges.iter().all(|(_, to)| *to == jones));
+    }
+
+    #[test]
+    fn neq_on_symbolic_constants_decided() {
+        let jones = Operand::Const(Value::sym("jones"));
+        let smiley = Operand::Const(Value::sym("smiley"));
+        let r = simplify_inequalities(&[cmp(CompOp::Neq, jones, smiley)], &[], &no_order());
+        assert!(r.kept.is_empty());
+        assert_eq!(r.removed, 1);
+        let r = simplify_inequalities(&[cmp(CompOp::Neq, jones, jones)], &[], &no_order());
+        assert!(r.contradiction.is_some());
+    }
+
+    #[test]
+    fn neq_with_symbolic_constant_passes_through() {
+        let jones = Operand::Const(Value::sym("jones"));
+        let user = [cmp(CompOp::Neq, Operand::Sym(Symbol::target("X")), jones)];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert_eq!(r.kept, user.to_vec());
+    }
+
+    #[test]
+    fn duplicate_comparisons_deduped() {
+        let user = [
+            cmp(CompOp::Less, sym("A"), sym("B")),
+            cmp(CompOp::Greater, sym("B"), sym("A")), // same condition flipped
+        ];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert_eq!(r.kept.len(), 1);
+    }
+
+    #[test]
+    fn neq_redundant_when_strict_order_known() {
+        let user = [
+            cmp(CompOp::Less, sym("A"), sym("B")),
+            cmp(CompOp::Neq, sym("A"), sym("B")),
+        ];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert_eq!(r.kept.len(), 1);
+        assert_eq!(r.kept[0].op, CompOp::Less);
+    }
+
+    #[test]
+    fn target_priority_in_representative_choice() {
+        let user = [cmp(
+            CompOp::Eq,
+            Operand::Sym(Symbol::var("Y")),
+            Operand::Sym(Symbol::target("X")),
+        )];
+        let r = simplify_inequalities(&user, &[], &no_order());
+        assert_eq!(r.merges, vec![(Symbol::var("Y"), Operand::Sym(Symbol::target("X")))]);
+    }
+
+    #[test]
+    fn empty_input_is_noop() {
+        let r = simplify_inequalities(&[], &[], &no_order());
+        assert!(r.kept.is_empty());
+        assert!(r.merges.is_empty());
+        assert!(r.contradiction.is_none());
+    }
+}

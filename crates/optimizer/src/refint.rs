@@ -1,0 +1,390 @@
+//! §6.3 referential integrity: Algorithm 1 (inference of derived
+//! referential constraints) and recursive dangling-row deletion.
+//!
+//! A row *r* dangles when its attributes split into `RN` — variables
+//! occurring nowhere else in the predicate — and `RP` — values matched,
+//! position for position, inside a single other row *r'*. A dangling row
+//! is deletable when a referential constraint from *r'*'s attributes to
+//! *r*'s is stored **or derivable** (Algorithm 1): the foreign key
+//! guarantees the joined tuple exists, so the join is a no-op.
+//! Deleting one row can strand another's variables, hence the recursion.
+
+use dbcl::{ConstraintSet, DatabaseDef, DbclQuery, Entry, Symbol};
+use prolog::Atom;
+
+/// Statistics of the dangling-row pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefIntStats {
+    pub rows_removed: usize,
+    /// Relations of the removed rows, in deletion order.
+    pub removed_relations: Vec<Atom>,
+}
+
+/// Algorithm 1: is `refint(from_rel, from_attrs, to_rel, to_attrs)`
+/// derivable from the stored referential constraints?
+///
+/// The procedure chains stored rules: it repeatedly finds an *unused* rule
+/// whose left-hand side contains CURRENT's left-hand side as a subsequence
+/// (after sorting by schema attribute number), replaces CURRENT's LHS by
+/// the corresponding subset of that rule's right-hand side, and succeeds
+/// when CURRENT coincides with the hypothesis' right-hand side. Because
+/// each attribute appears in at most one stored LHS (§3 rule b), at most
+/// one rule applies per step, and marking rules used guarantees
+/// termination.
+pub fn derive_refint(
+    constraints: &ConstraintSet,
+    db: &DatabaseDef,
+    from_rel: Atom,
+    from_attrs: &[Atom],
+    to_rel: Atom,
+    to_attrs: &[Atom],
+) -> bool {
+    if from_attrs.len() != to_attrs.len() || from_attrs.is_empty() {
+        return false;
+    }
+    let attr_number = |a: Atom| db.column(a).unwrap_or(usize::MAX);
+    // CURRENT: pairs (current LHS attr, hypothesized RHS attr).
+    let mut cur_rel = from_rel;
+    let mut pairs: Vec<(Atom, Atom)> = from_attrs
+        .iter()
+        .copied()
+        .zip(to_attrs.iter().copied())
+        .collect();
+    let mut used = vec![false; constraints.refints.len()];
+
+    loop {
+        // Step 2: sort by ascending attribute number on the left-hand side.
+        pairs.sort_by_key(|(lhs, _)| attr_number(*lhs));
+        // Success: CURRENT matches the hypothesis' right-hand side.
+        if cur_rel == to_rel && pairs.iter().all(|(lhs, rhs)| lhs == rhs) {
+            return true;
+        }
+        // Step 3: find an applicable unused rule — LHS of CURRENT must be a
+        // subsequence of the rule's LHS.
+        let mut applied = false;
+        for (idx, rule) in constraints.refints.iter().enumerate() {
+            if used[idx] || rule.from_rel != cur_rel {
+                continue;
+            }
+            let mut rule_lhs: Vec<(Atom, Atom)> = rule
+                .from_attrs
+                .iter()
+                .copied()
+                .zip(rule.to_attrs.iter().copied())
+                .collect();
+            rule_lhs.sort_by_key(|(lhs, _)| attr_number(*lhs));
+            // Subsequence match of CURRENT's LHS within the rule's LHS.
+            let mut positions = Vec::with_capacity(pairs.len());
+            let mut cursor = 0usize;
+            for (lhs, _) in &pairs {
+                match rule_lhs[cursor..].iter().position(|(rl, _)| rl == lhs) {
+                    Some(offset) => {
+                        positions.push(cursor + offset);
+                        cursor += offset + 1;
+                    }
+                    None => {
+                        positions.clear();
+                        break;
+                    }
+                }
+            }
+            if positions.len() != pairs.len() {
+                continue;
+            }
+            // Step 4: replace CURRENT's LHS by the matching subset of the
+            // rule's RHS; mark the rule used.
+            for (pair, &pos) in pairs.iter_mut().zip(&positions) {
+                pair.0 = rule_lhs[pos].1;
+            }
+            cur_rel = rule.to_rel;
+            used[idx] = true;
+            applied = true;
+            break;
+        }
+        if !applied {
+            return false;
+        }
+    }
+}
+
+/// Does `sym` occur exactly once in the whole predicate?
+fn occurs_once(query: &DbclQuery, sym: Symbol) -> bool {
+    query.occurrences(sym).len() == 1
+}
+
+/// Tries to find a witness row `r'` and attribute pairing that make row
+/// `r` deletable; returns `true` when one exists.
+fn row_deletable(
+    query: &DbclQuery,
+    r: usize,
+    db: &DatabaseDef,
+    constraints: &ConstraintSet,
+) -> bool {
+    let row = &query.rows[r];
+    let Ok(rel_cols) = db.relation_columns(row.relation) else { return false };
+    let rel_def = db.relation(row.relation).expect("relation exists");
+
+    // Partition this row's attributes into RN (free) and RP (shared).
+    let mut rp: Vec<(Atom, usize)> = Vec::new(); // (attr name, column)
+    for (pos, &col) in rel_cols.iter().enumerate() {
+        let attr = rel_def.attrs[pos];
+        match &row.entries[col] {
+            Entry::Sym(s @ Symbol::Var(_)) if occurs_once(query, *s) => {
+                // RN: a v-variable appearing nowhere else.
+            }
+            Entry::Star => {}
+            _ => rp.push((attr, col)),
+        }
+    }
+    if rp.is_empty() {
+        // Deleting a fully unconstrained row would assert non-emptiness of
+        // the relation; be conservative and keep it.
+        return false;
+    }
+
+    // Condition (b): a single other row r' matching every RP value.
+    'witness: for (r2, other) in query.rows.iter().enumerate() {
+        if r2 == r {
+            continue;
+        }
+        let Ok(other_cols) = db.relation_columns(other.relation) else { continue };
+        let other_def = db.relation(other.relation).expect("relation exists");
+        // Pair each RP attribute of r with an attribute of r' holding the
+        // same entry. Greedy works because a value rarely repeats within a
+        // row; fall back to the next witness row on failure.
+        let mut from_attrs = Vec::with_capacity(rp.len());
+        let mut to_attrs = Vec::with_capacity(rp.len());
+        let mut taken = vec![false; other_cols.len()];
+        for &(attr, col) in &rp {
+            let value = &row.entries[col];
+            let mut found = false;
+            for (pos2, &col2) in other_cols.iter().enumerate() {
+                if !taken[pos2] && &other.entries[col2] == value {
+                    taken[pos2] = true;
+                    from_attrs.push(other_def.attrs[pos2]);
+                    to_attrs.push(attr);
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                continue 'witness;
+            }
+        }
+        if derive_refint(constraints, db, other.relation, &from_attrs, row.relation, &to_attrs) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Recursively removes deletable dangling rows (Algorithm 2, step 5).
+pub fn remove_dangling_rows(
+    query: &mut DbclQuery,
+    db: &DatabaseDef,
+    constraints: &ConstraintSet,
+) -> RefIntStats {
+    let mut stats = RefIntStats::default();
+    loop {
+        let candidate = (0..query.rows.len()).find(|&r| row_deletable(query, r, db, constraints));
+        match candidate {
+            Some(r) => {
+                let removed = query.remove_row(r);
+                stats.rows_removed += 1;
+                stats.removed_relations.push(removed.relation);
+            }
+            None => return stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcl::DbclQuery;
+
+    fn a(name: &str) -> Atom {
+        Atom::new(name)
+    }
+
+    #[test]
+    fn direct_rules_derivable() {
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        assert!(derive_refint(&cs, &db, a("empl"), &[a("dno")], a("dept"), &[a("dno")]));
+        assert!(derive_refint(&cs, &db, a("dept"), &[a("mgr")], a("empl"), &[a("eno")]));
+    }
+
+    #[test]
+    fn underivable_rules_rejected() {
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        assert!(!derive_refint(&cs, &db, a("empl"), &[a("sal")], a("dept"), &[a("dno")]));
+        assert!(!derive_refint(&cs, &db, a("dept"), &[a("dno")], a("empl"), &[a("eno")]));
+        // Arity mismatch / empty.
+        assert!(!derive_refint(&cs, &db, a("empl"), &[], a("dept"), &[]));
+    }
+
+    #[test]
+    fn reflexive_hypothesis_succeeds() {
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        // empl.eno ⊆ empl.eno holds trivially (zero chain steps).
+        assert!(derive_refint(&cs, &db, a("empl"), &[a("eno")], a("empl"), &[a("eno")]));
+    }
+
+    #[test]
+    fn two_step_chain_derivable() {
+        // a.x ⊆ b.y and b.y ⊆ c.z imply a.x ⊆ c.z.
+        let mut db = DatabaseDef::new("chaindb");
+        db.add_relation("a", &["x", "p"]);
+        db.add_relation("b", &["y", "q"]);
+        db.add_relation("c", &["z"]);
+        let mut cs = ConstraintSet::new();
+        cs.add_fd("b", &["y"], &["q"])
+            .add_fd("c", &["z"], &["z"])
+            .add_refint("a", &["x"], "b", &["y"])
+            .add_refint("b", &["y"], "c", &["z"]);
+        assert!(derive_refint(&cs, &db, a("a"), &[a("x")], a("c"), &[a("z")]));
+        // But not backwards.
+        assert!(!derive_refint(&cs, &db, a("c"), &[a("z")], a("a"), &[a("x")]));
+    }
+
+    #[test]
+    fn multi_attribute_subsequence_match() {
+        let mut db = DatabaseDef::new("multidb");
+        db.add_relation("child", &["k1", "k2", "extra"]);
+        db.add_relation("parent", &["p1", "p2"]);
+        let mut cs = ConstraintSet::new();
+        cs.add_fd("parent", &["p1", "p2"], &["p1", "p2"])
+            .add_refint("child", &["k1", "k2"], "parent", &["p1", "p2"]);
+        assert!(derive_refint(
+            &cs,
+            &db,
+            a("child"),
+            &[a("k1"), a("k2")],
+            a("parent"),
+            &[a("p1"), a("p2")]
+        ));
+    }
+
+    /// Example 6-2 (step 5): after the chase, the dept row and the
+    /// manager's empl row are deleted in cascade, leaving two empl rows.
+    #[test]
+    fn example_6_2_dangling_rows_cascade() {
+        let mut q = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [same_manager, *, t_X, *, *, *, *],
+                  [[empl, v_Eno1, t_X, v_Sal1, v_D1, *, *],
+                   [dept, *, *, *, v_D1, v_Fct2, v_M1],
+                   [empl, v_M1, v_M, v_Sal3, v_Dno3, *, *],
+                   [empl, v_Eno4, jones, v_Sal4, v_D1, *, *]],
+                  [[neq, t_X, jones]])",
+        )
+        .unwrap();
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        let stats = remove_dangling_rows(&mut q, &db, &cs);
+        assert_eq!(stats.rows_removed, 2, "query now:\n{q}");
+        assert_eq!(
+            stats.removed_relations,
+            vec![a("empl"), a("dept")],
+            "the manager row goes first, stranding the dept row"
+        );
+        assert_eq!(q.rows.len(), 2);
+        assert!(q.rows.iter().all(|r| r.relation == a("empl")));
+    }
+
+    #[test]
+    fn rows_with_shared_variables_kept() {
+        // Both rows share v_D; neither's variables are free except their
+        // own — but the empl row anchors the target and jones.
+        let mut q = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *],
+                   [dept, *, *, *, v_D, v_F, v_M]],
+                  [])",
+        )
+        .unwrap();
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        let stats = remove_dangling_rows(&mut q, &db, &cs);
+        // The dept row dangles (v_F, v_M free; v_D matched in the empl row)
+        // and refint(empl,[dno],dept,[dno]) is stored → removable.
+        assert_eq!(stats.rows_removed, 1);
+        assert_eq!(q.rows.len(), 1);
+        assert_eq!(q.rows[0].relation, a("empl"));
+    }
+
+    #[test]
+    fn no_refint_means_no_deletion() {
+        let mut q = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *],
+                   [dept, *, *, *, v_D, v_F, v_M]],
+                  [])",
+        )
+        .unwrap();
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::new(); // no constraints at all
+        let stats = remove_dangling_rows(&mut q, &db, &cs);
+        assert_eq!(stats.rows_removed, 0);
+        assert_eq!(q.rows.len(), 2);
+    }
+
+    #[test]
+    fn constant_pinned_row_not_dangling() {
+        // The dept row's fct is pinned by a constant: removing it would
+        // drop a real restriction.
+        let mut q = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *],
+                   [dept, *, *, *, v_D, spying, v_M]],
+                  [])",
+        )
+        .unwrap();
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        let stats = remove_dangling_rows(&mut q, &db, &cs);
+        assert_eq!(stats.rows_removed, 0);
+    }
+
+    #[test]
+    fn comparison_anchored_variable_blocks_deletion() {
+        // v_M appears in a comparison → it is not free → dept row kept
+        // (deleting it would orphan the comparison).
+        let mut q = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *],
+                   [dept, *, *, *, v_D, v_F, v_M]],
+                  [[greater, v_M, 100]])",
+        )
+        .unwrap();
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        let stats = remove_dangling_rows(&mut q, &db, &cs);
+        assert_eq!(stats.rows_removed, 0);
+    }
+
+    #[test]
+    fn fully_free_row_conservatively_kept() {
+        // A row whose variables are all free asserts mere non-emptiness;
+        // it is not deleted.
+        let mut q = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [q, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *],
+                   [dept, *, *, *, v_D2, v_F, v_M]],
+                  [])",
+        )
+        .unwrap();
+        let db = DatabaseDef::empdep();
+        let cs = ConstraintSet::empdep();
+        let stats = remove_dangling_rows(&mut q, &db, &cs);
+        assert_eq!(stats.rows_removed, 0);
+    }
+}

@@ -1,0 +1,116 @@
+//! A small union-find over arbitrary keys, shared by the chase and the
+//! inequality graph. The "fast chase" of Downey/Sethi/Tarjan is exactly a
+//! congruence-closure loop over such a structure.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Union-find with path compression and union by size.
+#[derive(Debug, Clone, Default)]
+pub struct UnionFind<K: Eq + Hash + Clone> {
+    ids: HashMap<K, usize>,
+    keys: Vec<K>,
+    parent: Vec<usize>,
+    size: Vec<usize>,
+}
+
+impl<K: Eq + Hash + Clone> UnionFind<K> {
+    pub fn new() -> Self {
+        UnionFind { ids: HashMap::new(), keys: Vec::new(), parent: Vec::new(), size: Vec::new() }
+    }
+
+    /// Interns `key`, returning its node id.
+    pub fn add(&mut self, key: K) -> usize {
+        if let Some(&id) = self.ids.get(&key) {
+            return id;
+        }
+        let id = self.parent.len();
+        self.ids.insert(key.clone(), id);
+        self.keys.push(key);
+        self.parent.push(id);
+        self.size.push(1);
+        id
+    }
+
+    pub fn contains(&self, key: &K) -> bool {
+        self.ids.contains_key(key)
+    }
+
+    fn find_id(&mut self, mut id: usize) -> usize {
+        while self.parent[id] != id {
+            self.parent[id] = self.parent[self.parent[id]];
+            id = self.parent[id];
+        }
+        id
+    }
+
+    /// The class representative id of `key` (interning it if new).
+    pub fn find(&mut self, key: K) -> usize {
+        let id = self.add(key);
+        self.find_id(id)
+    }
+
+    /// Merges the classes of `a` and `b`; returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: K, b: K) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        self.parent[small] = big;
+        self.size[big] += self.size[small];
+        true
+    }
+
+    /// Are `a` and `b` known to be in the same class?
+    pub fn same(&mut self, a: K, b: K) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Every class with at least two members, as key lists.
+    pub fn classes(&mut self) -> Vec<Vec<K>> {
+        let mut map: HashMap<usize, Vec<K>> = HashMap::new();
+        for id in 0..self.parent.len() {
+            let root = self.find_id(id);
+            map.entry(root).or_default().push(self.keys[id].clone());
+        }
+        map.into_values().filter(|v| v.len() > 1).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_and_find() {
+        let mut uf: UnionFind<&str> = UnionFind::new();
+        assert!(uf.union("a", "b"));
+        assert!(uf.union("b", "c"));
+        assert!(!uf.union("a", "c"));
+        assert!(uf.same("a", "c"));
+        assert!(!uf.same("a", "d"));
+    }
+
+    #[test]
+    fn classes_lists_merged_groups() {
+        let mut uf: UnionFind<u32> = UnionFind::new();
+        uf.union(1, 2);
+        uf.union(3, 4);
+        uf.add(5);
+        let mut classes = uf.classes();
+        classes.iter_mut().for_each(|c| c.sort());
+        classes.sort();
+        assert_eq!(classes, vec![vec![1, 2], vec![3, 4]]);
+    }
+
+    #[test]
+    fn contains_without_mutation() {
+        let mut uf: UnionFind<&str> = UnionFind::new();
+        uf.add("x");
+        assert!(uf.contains(&"x"));
+        assert!(!uf.contains(&"y"));
+    }
+}

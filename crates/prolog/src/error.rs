@@ -1,0 +1,57 @@
+//! Error type shared across the Prolog engine.
+
+use std::fmt;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, PrologError>;
+
+/// Errors raised while parsing or executing Prolog programs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrologError {
+    /// Lexical or syntactic error with a one-based line number.
+    Syntax { line: usize, message: String },
+    /// An arithmetic goal received a non-evaluable term.
+    NotEvaluable(String),
+    /// A goal was not callable (e.g. calling an unbound variable).
+    NotCallable(String),
+    /// Instantiation fault: a builtin needed a bound argument.
+    Instantiation(String),
+    /// A builtin received an argument of the wrong type.
+    TypeError { expected: &'static str, got: String },
+    /// Resource limit exceeded (depth/steps), to keep runaway recursion at bay.
+    LimitExceeded(String),
+}
+
+impl fmt::Display for PrologError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PrologError::Syntax { line, message } => {
+                write!(f, "syntax error at line {line}: {message}")
+            }
+            PrologError::NotEvaluable(t) => write!(f, "not evaluable: {t}"),
+            PrologError::NotCallable(t) => write!(f, "not callable: {t}"),
+            PrologError::Instantiation(ctx) => {
+                write!(f, "arguments not sufficiently instantiated: {ctx}")
+            }
+            PrologError::TypeError { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            PrologError::LimitExceeded(what) => write!(f, "resource limit exceeded: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for PrologError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = PrologError::Syntax { line: 3, message: "unexpected `)`".into() };
+        assert_eq!(e.to_string(), "syntax error at line 3: unexpected `)`");
+        let e = PrologError::TypeError { expected: "integer", got: "foo".into() };
+        assert!(e.to_string().contains("expected integer"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Global atom interning.
+//!
+//! Prolog programs repeat the same functor and constant names constantly;
+//! interning makes [`crate::Term`] comparison and hashing cheap (a `u32`
+//! compare) and keeps terms small. Interned strings live for the process
+//! lifetime, which is the right trade-off for a session-oriented engine:
+//! the set of distinct symbols is bounded by program text plus database
+//! constants that flow through queries.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// An interned symbol (functor or constant name).
+///
+/// Two atoms are equal iff their names are equal; comparison is O(1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Atom(pub(crate) u32);
+
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn interner() -> &'static Mutex<Interner> {
+    static INTERNER: OnceLock<Mutex<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        Mutex::new(Interner { map: HashMap::new(), names: Vec::new() })
+    })
+}
+
+impl Atom {
+    /// Interns `name`, returning its unique atom.
+    pub fn new(name: &str) -> Atom {
+        let mut inner = interner().lock().expect("atom interner poisoned");
+        if let Some(&id) = inner.map.get(name) {
+            return Atom(id);
+        }
+        let id = u32::try_from(inner.names.len()).expect("too many atoms");
+        // Leak once per distinct symbol; bounded by the program vocabulary.
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        inner.names.push(leaked);
+        inner.map.insert(leaked, id);
+        Atom(id)
+    }
+
+    /// Returns the atom's name.
+    pub fn as_str(&self) -> &'static str {
+        let inner = interner().lock().expect("atom interner poisoned");
+        inner.names[self.0 as usize]
+    }
+}
+
+impl fmt::Debug for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for Atom {
+    fn from(s: &str) -> Self {
+        Atom::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Atom::new("empl");
+        let b = Atom::new("empl");
+        assert_eq!(a, b);
+        assert_eq!(a.as_str(), "empl");
+    }
+
+    #[test]
+    fn distinct_names_distinct_atoms() {
+        assert_ne!(Atom::new("empl"), Atom::new("dept"));
+    }
+
+    #[test]
+    fn display_prints_name() {
+        assert_eq!(Atom::new("smiley").to_string(), "smiley");
+    }
+
+    #[test]
+    fn empty_and_unicode_names() {
+        assert_eq!(Atom::new("").as_str(), "");
+        assert_eq!(Atom::new("λ").as_str(), "λ");
+    }
+}

@@ -1,0 +1,242 @@
+//! The clause store ("internal database" in the paper's architecture).
+//!
+//! Clauses are indexed by functor/arity. The store supports `assert` /
+//! `retract` through interior mutability so that a running [`crate::Solver`]
+//! (which only holds a shared reference) can modify it — mirroring how the
+//! paper's `metaevaluate` installs instantiated view predicates, and how
+//! `setrel` creates intermediate relations during recursive evaluation.
+//! Predicate activation snapshots the clause list, giving the standard
+//! "logical update view": a goal sees the clauses that existed when it
+//! started.
+
+use crate::intern::Atom;
+use crate::term::Term;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// Functor name plus arity: the key under which clauses are filed.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct PredKey {
+    pub name: Atom,
+    pub arity: usize,
+}
+
+impl PredKey {
+    pub fn new(name: &str, arity: usize) -> Self {
+        PredKey { name: Atom::new(name), arity }
+    }
+
+    /// The key naming `term`'s predicate, if the term is callable.
+    pub fn of(term: &Term) -> Option<Self> {
+        term.functor().map(|(name, arity)| PredKey { name, arity })
+    }
+}
+
+impl fmt::Display for PredKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+/// A stored clause `head :- body`, with variables numbered `0..nvars`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause {
+    pub head: Term,
+    pub body: Vec<Term>,
+    /// Number of distinct variables; used to rename the clause apart.
+    pub nvars: u32,
+}
+
+impl Clause {
+    /// Builds a clause, computing `nvars` from the maximum variable id.
+    pub fn new(head: Term, body: Vec<Term>) -> Self {
+        let mut max = head.max_var();
+        for g in &body {
+            max = match (max, g.max_var()) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                (a, b) => a.or(b),
+            };
+        }
+        Clause { head, body, nvars: max.map_or(0, |m| m + 1) }
+    }
+
+    /// A fact (empty body).
+    pub fn fact(head: Term) -> Self {
+        Clause::new(head, Vec::new())
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.body.is_empty() {
+            write!(f, "{}.", self.head)
+        } else {
+            write!(f, "{} :- ", self.head)?;
+            for (i, g) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{g}")?;
+            }
+            f.write_str(".")
+        }
+    }
+}
+
+/// The knowledge base: predicate key → clause list.
+#[derive(Default, Debug)]
+pub struct KnowledgeBase {
+    preds: RefCell<HashMap<PredKey, Rc<Vec<Clause>>>>,
+}
+
+impl KnowledgeBase {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a clause (standard `assertz`).
+    pub fn assertz(&self, clause: Clause) {
+        let key = PredKey::of(&clause.head).expect("clause head must be callable");
+        let mut preds = self.preds.borrow_mut();
+        let entry = preds.entry(key).or_default();
+        Rc::make_mut(entry).push(clause);
+    }
+
+    /// Prepends a clause (`asserta`).
+    pub fn asserta(&self, clause: Clause) {
+        let key = PredKey::of(&clause.head).expect("clause head must be callable");
+        let mut preds = self.preds.borrow_mut();
+        let entry = preds.entry(key).or_default();
+        Rc::make_mut(entry).insert(0, clause);
+    }
+
+    /// Removes the first clause whose head and body equal `clause`'s exactly
+    /// (syntactic retract; sufficient for managing cached ground facts).
+    /// Returns `true` when something was removed.
+    pub fn retract_exact(&self, clause: &Clause) -> bool {
+        let key = PredKey::of(&clause.head).expect("clause head must be callable");
+        let mut preds = self.preds.borrow_mut();
+        if let Some(entry) = preds.get_mut(&key) {
+            let list = Rc::make_mut(entry);
+            if let Some(pos) = list
+                .iter()
+                .position(|c| c.head == clause.head && c.body == clause.body)
+            {
+                list.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Removes every clause of `key`. Returns how many were removed.
+    ///
+    /// This is the engine-level primitive behind the paper's `setrel`,
+    /// which (re)initializes an intermediate relation.
+    pub fn retract_all(&self, key: PredKey) -> usize {
+        self.preds
+            .borrow_mut()
+            .remove(&key)
+            .map_or(0, |clauses| clauses.len())
+    }
+
+    /// Snapshot of the clauses for `key` (cheap: refcount bump).
+    pub fn clauses(&self, key: PredKey) -> Rc<Vec<Clause>> {
+        self.preds.borrow().get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Whether any clause is stored under `key`.
+    pub fn defines(&self, key: PredKey) -> bool {
+        self.preds.borrow().contains_key(&key)
+    }
+
+    /// Every predicate key currently defined, in sorted order.
+    pub fn predicates(&self) -> Vec<PredKey> {
+        let mut keys: Vec<_> = self.preds.borrow().keys().copied().collect();
+        keys.sort();
+        keys
+    }
+
+    /// Total number of stored clauses.
+    pub fn len(&self) -> usize {
+        self.preds.borrow().values().map(|v| v.len()).sum()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fact(src: &str) -> Clause {
+        Clause::fact(crate::parser::parse_term(src).unwrap())
+    }
+
+    #[test]
+    fn assert_and_lookup() {
+        let kb = KnowledgeBase::new();
+        kb.assertz(fact("p(1)"));
+        kb.assertz(fact("p(2)"));
+        let key = PredKey::new("p", 1);
+        assert_eq!(kb.clauses(key).len(), 2);
+        assert_eq!(kb.len(), 2);
+    }
+
+    #[test]
+    fn asserta_prepends() {
+        let kb = KnowledgeBase::new();
+        kb.assertz(fact("p(1)"));
+        kb.asserta(fact("p(0)"));
+        let key = PredKey::new("p", 1);
+        assert_eq!(kb.clauses(key)[0].head.to_string(), "p(0)");
+    }
+
+    #[test]
+    fn snapshot_isolated_from_later_asserts() {
+        let kb = KnowledgeBase::new();
+        kb.assertz(fact("p(1)"));
+        let key = PredKey::new("p", 1);
+        let snap = kb.clauses(key);
+        kb.assertz(fact("p(2)"));
+        assert_eq!(snap.len(), 1);
+        assert_eq!(kb.clauses(key).len(), 2);
+    }
+
+    #[test]
+    fn retract_exact_removes_first_match() {
+        let kb = KnowledgeBase::new();
+        kb.assertz(fact("p(1)"));
+        kb.assertz(fact("p(2)"));
+        assert!(kb.retract_exact(&fact("p(1)")));
+        assert!(!kb.retract_exact(&fact("p(3)")));
+        assert_eq!(kb.len(), 1);
+    }
+
+    #[test]
+    fn retract_all_clears_predicate() {
+        let kb = KnowledgeBase::new();
+        kb.assertz(fact("intermediate(smiley)"));
+        kb.assertz(fact("intermediate(jones)"));
+        assert_eq!(kb.retract_all(PredKey::new("intermediate", 1)), 2);
+        assert!(!kb.defines(PredKey::new("intermediate", 1)));
+    }
+
+    #[test]
+    fn clause_display() {
+        let c = crate::parser::parse_program("gp(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        assert_eq!(c[0].to_string(), "gp(_G0, _G1) :- p(_G0, _G2), p(_G2, _G1).");
+    }
+
+    #[test]
+    fn clause_new_computes_nvars() {
+        let head = crate::parser::parse_term("p(X, Y)").unwrap();
+        let c = Clause::new(head, vec![]);
+        assert_eq!(c.nvars, 2);
+        assert_eq!(Clause::fact(Term::atom("q")).nvars, 0);
+    }
+}

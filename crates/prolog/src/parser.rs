@@ -1,0 +1,661 @@
+//! Prolog reader: lexer and operator-precedence parser.
+//!
+//! Supports the subset the 1984 front-end needs: clauses (`head :- body.`),
+//! facts, conjunction `,`, disjunction `;`, negation `\+`, cut `!`,
+//! comparison and arithmetic operators, lists, quoted atoms, integers,
+//! `%` line comments and `/* */` block comments.
+//!
+//! Variables are uppercase/underscore-initial identifiers; each clause or
+//! query numbers its variables from zero, with `_` always fresh.
+
+use crate::error::{PrologError, Result};
+use crate::intern::Atom;
+use crate::kb::Clause;
+use crate::term::{Term, VarId};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Tok {
+    Atom(String),
+    Var(String),
+    Int(i64),
+    Punct(&'static str), // ( ) [ ] , | .
+    Op(String),          // symbolic or alphabetic operator
+    End,                 // clause terminator `.`
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+    }
+
+    fn error(&self, message: impl Into<String>) -> PrologError {
+        PrologError::Syntax { line: self.line, message: message.into() }
+    }
+
+    fn peek_byte(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek_byte()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+        }
+        Some(b)
+    }
+
+    fn skip_trivia(&mut self) -> Result<()> {
+        loop {
+            match self.peek_byte() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'%') => {
+                    while let Some(b) = self.bump() {
+                        if b == b'\n' {
+                            break;
+                        }
+                    }
+                }
+                Some(b'/') if self.src.get(self.pos + 1) == Some(&b'*') => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        match self.bump() {
+                            Some(b'*') if self.peek_byte() == Some(b'/') => {
+                                self.bump();
+                                break;
+                            }
+                            Some(_) => {}
+                            None => return Err(self.error("unterminated block comment")),
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    /// Longest-match symbolic operators, longest first.
+    const SYMBOLIC: &'static [&'static str] = &[
+        ":-", "=..", "=:=", "=\\=", "\\==", "\\=", "==", "=<", ">=", "=", "<", ">", "\\+",
+        ";", "+", "-", "*", "//", "/",
+    ];
+
+    fn next_token(&mut self) -> Result<Option<(Tok, usize)>> {
+        self.skip_trivia()?;
+        let line = self.line;
+        let Some(b) = self.peek_byte() else { return Ok(None) };
+        // Clause end: `.` followed by whitespace/EOF (else it is the cons functor).
+        if b == b'.' {
+            let next = self.src.get(self.pos + 1);
+            if next.is_none() || next.is_some_and(|n| n.is_ascii_whitespace() || *n == b'%') {
+                self.bump();
+                return Ok(Some((Tok::End, line)));
+            }
+        }
+        match b {
+            b'(' | b')' | b'[' | b']' | b',' | b'|' | b'!' | b'.' => {
+                self.bump();
+                let p = match b {
+                    b'(' => "(",
+                    b')' => ")",
+                    b'[' => "[",
+                    b']' => "]",
+                    b',' => ",",
+                    b'|' => "|",
+                    b'!' => "!",
+                    _ => ".",
+                };
+                return Ok(Some((Tok::Punct(p), line)));
+            }
+            _ => {}
+        }
+        if b.is_ascii_digit() {
+            let start = self.pos;
+            while self.peek_byte().is_some_and(|c| c.is_ascii_digit()) {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+            let value: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("integer literal out of range: {text}")))?;
+            return Ok(Some((Tok::Int(value), line)));
+        }
+        if b == b'\'' {
+            self.bump();
+            let mut name = String::new();
+            loop {
+                match self.bump() {
+                    Some(b'\'') => {
+                        if self.peek_byte() == Some(b'\'') {
+                            self.bump();
+                            name.push('\'');
+                        } else {
+                            break;
+                        }
+                    }
+                    Some(b'\\') => match self.bump() {
+                        Some(b'n') => name.push('\n'),
+                        Some(b't') => name.push('\t'),
+                        Some(b'\'') => name.push('\''),
+                        Some(b'\\') => name.push('\\'),
+                        other => {
+                            return Err(self.error(format!(
+                                "bad escape in quoted atom: \\{}",
+                                other.map(|c| c as char).unwrap_or('∅')
+                            )))
+                        }
+                    },
+                    Some(c) => name.push(c as char),
+                    None => return Err(self.error("unterminated quoted atom")),
+                }
+            }
+            return Ok(Some((Tok::Atom(name), line)));
+        }
+        if b.is_ascii_uppercase() || b == b'_' {
+            let start = self.pos;
+            while self
+                .peek_byte()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+            return Ok(Some((Tok::Var(text), line)));
+        }
+        if b.is_ascii_lowercase() {
+            let start = self.pos;
+            while self
+                .peek_byte()
+                .is_some_and(|c| c.is_ascii_alphanumeric() || c == b'_')
+            {
+                self.bump();
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+            // Alphabetic operators keep their operator role in the reader.
+            if text == "is" || text == "mod" {
+                return Ok(Some((Tok::Op(text), line)));
+            }
+            return Ok(Some((Tok::Atom(text), line)));
+        }
+        for op in Self::SYMBOLIC {
+            if self.src[self.pos..].starts_with(op.as_bytes()) {
+                for _ in 0..op.len() {
+                    self.bump();
+                }
+                return Ok(Some((Tok::Op((*op).to_owned()), line)));
+            }
+        }
+        Err(self.error(format!("unexpected character `{}`", b as char)))
+    }
+}
+
+fn tokenize(src: &str) -> Result<Vec<(Tok, usize)>> {
+    let mut lexer = Lexer::new(src);
+    let mut out = Vec::new();
+    while let Some(tok) = lexer.next_token()? {
+        out.push(tok);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Operator table
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Assoc {
+    Xfx, // non-associative
+    Xfy, // right-associative
+    Yfx, // left-associative
+}
+
+/// Returns `(precedence, associativity)` for infix operator `name`.
+/// Lower numbers bind tighter (inverted from ISO for simpler climbing).
+fn infix(name: &str) -> Option<(u16, Assoc)> {
+    Some(match name {
+        ":-" => (1200, Assoc::Xfx),
+        ";" => (1100, Assoc::Xfy),
+        "," => (1000, Assoc::Xfy),
+        "=" | "\\=" | "==" | "\\==" | "<" | ">" | "=<" | ">=" | "=:=" | "=\\=" | "is"
+        | "=.." => (700, Assoc::Xfx),
+        "+" | "-" => (500, Assoc::Yfx),
+        "*" | "//" | "/" | "mod" => (400, Assoc::Yfx),
+        _ => return None,
+    })
+}
+
+/// Returns precedence for prefix operator `name`.
+fn prefix(name: &str) -> Option<u16> {
+    match name {
+        ":-" => Some(1200),
+        "\\+" => Some(900),
+        "-" => Some(200),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser {
+    toks: Vec<(Tok, usize)>,
+    pos: usize,
+    vars: HashMap<String, VarId>,
+    var_order: Vec<(String, VarId)>,
+    next_var: u32,
+}
+
+impl Parser {
+    fn new(toks: Vec<(Tok, usize)>) -> Self {
+        Parser { toks, pos: 0, vars: HashMap::new(), var_order: Vec::new(), next_var: 0 }
+    }
+
+    fn line(&self) -> usize {
+        self.toks
+            .get(self.pos.min(self.toks.len().saturating_sub(1)))
+            .map_or(0, |(_, l)| *l)
+    }
+
+    fn error(&self, message: impl Into<String>) -> PrologError {
+        PrologError::Syntax { line: self.line(), message: message.into() }
+    }
+
+    fn peek(&self) -> Option<&Tok> {
+        self.toks.get(self.pos).map(|(t, _)| t)
+    }
+
+    fn bump(&mut self) -> Option<Tok> {
+        let t = self.toks.get(self.pos).map(|(t, _)| t.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_punct(&mut self, p: &str) -> Result<()> {
+        match self.bump() {
+            Some(Tok::Punct(q)) if q == p => Ok(()),
+            other => Err(self.error(format!("expected `{p}`, found {other:?}"))),
+        }
+    }
+
+    fn fresh_var(&mut self) -> Term {
+        let id = VarId(self.next_var);
+        self.next_var += 1;
+        Term::Var(id)
+    }
+
+    fn named_var(&mut self, name: &str) -> Term {
+        if name == "_" {
+            return self.fresh_var();
+        }
+        if let Some(&id) = self.vars.get(name) {
+            return Term::Var(id);
+        }
+        let id = VarId(self.next_var);
+        self.next_var += 1;
+        self.vars.insert(name.to_owned(), id);
+        self.var_order.push((name.to_owned(), id));
+        Term::Var(id)
+    }
+
+    /// Reads a term with precedence at most `max_prec`.
+    fn term(&mut self, max_prec: u16) -> Result<Term> {
+        let mut left = self.primary(max_prec)?;
+        loop {
+            let op_name = match self.peek() {
+                Some(Tok::Op(op)) => op.clone(),
+                // `,` is an operator inside clause bodies but punctuation
+                // inside argument lists; the caller controls it via max_prec.
+                Some(Tok::Punct(",")) if max_prec >= 1000 => ",".to_owned(),
+                _ => break,
+            };
+            let Some((prec, assoc)) = infix(&op_name) else { break };
+            if prec > max_prec {
+                break;
+            }
+            self.bump();
+            let right_max = match assoc {
+                Assoc::Xfx => prec - 1,
+                Assoc::Xfy => prec,
+                Assoc::Yfx => prec - 1,
+            };
+            let right = self.term(right_max)?;
+            left = Term::Struct(Atom::new(&op_name), vec![left, right]);
+            if assoc == Assoc::Xfx && matches!(self.peek(), Some(Tok::Op(op)) if infix(op).is_some_and(|(p, _)| p == prec))
+            {
+                return Err(self.error(format!("operator `{op_name}` is non-associative")));
+            }
+        }
+        Ok(left)
+    }
+
+    fn primary(&mut self, max_prec: u16) -> Result<Term> {
+        match self.bump() {
+            Some(Tok::Int(i)) => Ok(Term::Int(i)),
+            Some(Tok::Var(name)) => Ok(self.named_var(&name)),
+            Some(Tok::Punct("!")) => Ok(Term::atom("!")),
+            Some(Tok::Punct("(")) => {
+                let t = self.term(1200)?;
+                self.expect_punct(")")?;
+                Ok(t)
+            }
+            Some(Tok::Punct("[")) => self.list_tail(),
+            Some(Tok::Op(op)) => {
+                if op == "-" {
+                    // Negative literal folding: `-3` is the integer.
+                    if let Some(Tok::Int(i)) = self.peek() {
+                        let i = *i;
+                        self.bump();
+                        return Ok(Term::Int(-i));
+                    }
+                }
+                // DBCL writes `*` for non-applicable tableau entries; in
+                // primary position it can only be that atom.
+                if op == "*" {
+                    return Ok(Term::atom("*"));
+                }
+                match prefix(&op) {
+                    Some(p) if p <= max_prec => {
+                        let arg = self.term(p)?;
+                        Ok(Term::Struct(Atom::new(&op), vec![arg]))
+                    }
+                    _ => Err(self.error(format!("unexpected operator `{op}`"))),
+                }
+            }
+            Some(Tok::Atom(name)) => {
+                if self.peek() == Some(&Tok::Punct("(")) {
+                    self.bump();
+                    let mut args = vec![self.term(999)?];
+                    while self.peek() == Some(&Tok::Punct(",")) {
+                        self.bump();
+                        args.push(self.term(999)?);
+                    }
+                    self.expect_punct(")")?;
+                    Ok(Term::Struct(Atom::new(&name), args))
+                } else {
+                    Ok(Term::atom(&name))
+                }
+            }
+            other => Err(self.error(format!("unexpected token {other:?}"))),
+        }
+    }
+
+    /// Parses list elements after `[` was consumed.
+    fn list_tail(&mut self) -> Result<Term> {
+        if self.peek() == Some(&Tok::Punct("]")) {
+            self.bump();
+            return Ok(Term::nil());
+        }
+        let mut items = vec![self.term(999)?];
+        loop {
+            match self.peek() {
+                Some(Tok::Punct(",")) => {
+                    self.bump();
+                    items.push(self.term(999)?);
+                }
+                Some(Tok::Punct("|")) => {
+                    self.bump();
+                    let tail = self.term(999)?;
+                    self.expect_punct("]")?;
+                    let mut out = tail;
+                    for item in items.into_iter().rev() {
+                        out = Term::Struct(Atom::new("."), vec![item, out]);
+                    }
+                    return Ok(out);
+                }
+                Some(Tok::Punct("]")) => {
+                    self.bump();
+                    return Ok(Term::list(items));
+                }
+                other => return Err(self.error(format!("expected `,`, `|` or `]`, found {other:?}"))),
+            }
+        }
+    }
+}
+
+/// Flattens a `,`-tree into a goal list, preserving `;` subtrees as terms.
+pub fn flatten_conjunction(term: &Term) -> Vec<Term> {
+    match term {
+        Term::Struct(f, args) if f.as_str() == "," && args.len() == 2 => {
+            let mut out = flatten_conjunction(&args[0]);
+            out.extend(flatten_conjunction(&args[1]));
+            out
+        }
+        other => vec![other.clone()],
+    }
+}
+
+/// Parses a whole program into clauses.
+pub fn parse_program(src: &str) -> Result<Vec<Clause>> {
+    let toks = tokenize(src)?;
+    let mut parser = Parser::new(toks);
+    let mut clauses = Vec::new();
+    while parser.peek().is_some() {
+        parser.vars.clear();
+        parser.var_order.clear();
+        parser.next_var = 0;
+        let term = parser.term(1200)?;
+        match parser.bump() {
+            Some(Tok::End) => {}
+            other => return Err(parser.error(format!("expected `.` after clause, found {other:?}"))),
+        }
+        clauses.push(clause_from_term(term, parser.next_var)?);
+    }
+    Ok(clauses)
+}
+
+fn clause_from_term(term: Term, nvars: u32) -> Result<Clause> {
+    match term {
+        Term::Struct(f, mut args) if f.as_str() == ":-" && args.len() == 2 => {
+            let body_term = args.pop().expect("arity 2");
+            let head = args.pop().expect("arity 2");
+            if head.functor().is_none() {
+                return Err(PrologError::NotCallable(head.to_string()));
+            }
+            Ok(Clause { head, body: flatten_conjunction(&body_term), nvars })
+        }
+        head => {
+            if head.functor().is_none() {
+                return Err(PrologError::NotCallable(head.to_string()));
+            }
+            Ok(Clause { head, body: Vec::new(), nvars })
+        }
+    }
+}
+
+/// The named variables of a query: `(source name, variable id)` pairs in
+/// first-occurrence order.
+pub type NamedVars = Vec<(String, VarId)>;
+
+/// Parses a query (optionally ending in `.`) into a goal list plus the
+/// name→variable mapping for reporting solutions.
+pub fn parse_query(src: &str) -> Result<(Vec<Term>, NamedVars)> {
+    let toks = tokenize(src)?;
+    let mut parser = Parser::new(toks);
+    let term = parser.term(1200)?;
+    match parser.bump() {
+        None | Some(Tok::End) => {}
+        other => return Err(parser.error(format!("trailing tokens after query: {other:?}"))),
+    }
+    if parser.peek().is_some() {
+        return Err(parser.error("trailing tokens after query"));
+    }
+    let goals = flatten_conjunction(&term);
+    Ok((goals, parser.var_order.clone()))
+}
+
+/// Parses a single term (no clause terminator required).
+pub fn parse_term(src: &str) -> Result<Term> {
+    let toks = tokenize(src)?;
+    let mut parser = Parser::new(toks);
+    let term = parser.term(1200)?;
+    match parser.bump() {
+        None | Some(Tok::End) => Ok(term),
+        other => Err(parser.error(format!("trailing tokens after term: {other:?}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_fact() {
+        let cs = parse_program("empl(1, smiley, 50000, 2).").unwrap();
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0].head.to_string(), "empl(1, smiley, 50000, 2)");
+        assert!(cs[0].body.is_empty());
+    }
+
+    #[test]
+    fn parses_rule_with_conjunction() {
+        let cs = parse_program("gp(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
+        assert_eq!(cs[0].body.len(), 2);
+        assert_eq!(cs[0].nvars, 3);
+    }
+
+    #[test]
+    fn parses_paper_view() {
+        // works_dir_for from Example 3-3, underscores and all.
+        let cs = parse_program(
+            "works_dir_for(X, Y) :- empl(_, X, _, D), dept(D, _, M), empl(M, Y, _, _).",
+        )
+        .unwrap();
+        assert_eq!(cs[0].body.len(), 3);
+        // X, Y, D, M plus five distinct underscores.
+        assert_eq!(cs[0].nvars, 9);
+    }
+
+    #[test]
+    fn parses_comparisons() {
+        let (goals, vars) = parse_query("empl(E, X, S, D), S < 40000.").unwrap();
+        assert_eq!(goals.len(), 2);
+        assert_eq!(goals[1].to_string(), "_G2 < 40000");
+        assert_eq!(vars.len(), 4);
+    }
+
+    #[test]
+    fn parses_less_style_predicates() {
+        let (goals, _) = parse_query("less(S, 40000)").unwrap();
+        assert_eq!(goals[0].to_string(), "less(_G0, 40000)");
+    }
+
+    #[test]
+    fn parses_lists() {
+        let t = parse_term("[empdep, eno, nam | T]").unwrap();
+        assert!(t.to_string().starts_with("[empdep, eno, nam|"));
+        assert_eq!(parse_term("[]").unwrap(), Term::nil());
+    }
+
+    #[test]
+    fn parses_negation_and_cut() {
+        let cs = parse_program("p(X) :- q(X), !, \\+ r(X).").unwrap();
+        assert_eq!(cs[0].body.len(), 3);
+        assert_eq!(cs[0].body[1], Term::atom("!"));
+        assert_eq!(cs[0].body[2].to_string(), "\\+(r(_G0))");
+    }
+
+    #[test]
+    fn parses_quoted_atoms() {
+        let t = parse_term("'hello world'").unwrap();
+        assert_eq!(t, Term::atom("hello world"));
+        let t = parse_term("'it''s'").unwrap();
+        assert_eq!(t, Term::atom("it's"));
+    }
+
+    #[test]
+    fn parses_disjunction() {
+        let (goals, _) = parse_query("(p(X) ; q(X))").unwrap();
+        assert_eq!(goals.len(), 1);
+        assert!(goals[0].to_string().contains(";"));
+    }
+
+    #[test]
+    fn parses_arithmetic() {
+        let t = parse_term("X is 1 + 2 * 3").unwrap();
+        assert_eq!(t.to_string(), "_G0 is 1 + 2 * 3");
+        // yfx: 1 - 2 - 3 parses as (1 - 2) - 3.
+        let t = parse_term("1 - 2 - 3").unwrap();
+        assert_eq!(t.to_string(), "1 - 2 - 3");
+        if let Term::Struct(_, args) = &t {
+            assert_eq!(args[1], Term::Int(3));
+        }
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(parse_term("-5").unwrap(), Term::Int(-5));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let cs = parse_program("% line comment\np(1). /* block\ncomment */ p(2).").unwrap();
+        assert_eq!(cs.len(), 2);
+    }
+
+    #[test]
+    fn dot_in_functor_position_vs_end() {
+        // `.` directly followed by `(` is the cons functor, not clause end.
+        let t = parse_term("'.'(1, [])").unwrap();
+        assert_eq!(t.as_list().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn syntax_error_reports_line() {
+        let err = parse_program("p(1).\nq(").unwrap_err();
+        match err {
+            PrologError::Syntax { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected syntax error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn anonymous_vars_are_distinct() {
+        let cs = parse_program("p :- q(_, _).").unwrap();
+        assert_eq!(cs[0].nvars, 2);
+    }
+
+    #[test]
+    fn rejects_unterminated_clause() {
+        assert!(parse_program("p(1)").is_err());
+    }
+
+    #[test]
+    fn rejects_integer_head() {
+        assert!(parse_program("42.").is_err());
+    }
+}
+
+#[cfg(test)]
+mod dbcl_syntax_tests {
+    use super::*;
+
+    #[test]
+    fn star_is_an_atom_in_primary_position() {
+        let t = parse_term("[empl, v_Eno1, t_X, *, *]").unwrap();
+        let items = t.as_list().unwrap();
+        assert_eq!(items[3], &Term::atom("*"));
+        assert_eq!(items.len(), 5);
+    }
+
+    #[test]
+    fn star_still_multiplies_infix() {
+        assert_eq!(parse_term("X is 2 * 3").unwrap().to_string(), "_G0 is 2 * 3");
+    }
+}

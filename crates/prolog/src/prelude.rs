@@ -1,0 +1,153 @@
+//! A small standard library of list and control predicates, written in
+//! Prolog itself and consulted on demand.
+//!
+//! The 1984 expert-system programs lean on exactly this vocabulary
+//! (`member/2` for skill lists, `append/3` for assembling reports, …), so
+//! the engine ships it as an optional prelude rather than as builtins —
+//! keeping the trusted core small.
+
+/// Prolog source of the prelude.
+pub const PRELUDE: &str = "
+    member(X, [X|_]).
+    member(X, [_|T]) :- member(X, T).
+
+    append([], L, L).
+    append([H|T], L, [H|R]) :- append(T, L, R).
+
+    length([], 0).
+    length([_|T], N) :- length(T, M), N is M + 1.
+
+    reverse(L, R) :- reverse_acc(L, [], R).
+    reverse_acc([], A, A).
+    reverse_acc([H|T], A, R) :- reverse_acc(T, [H|A], R).
+
+    nth0(0, [X|_], X) :- !.
+    nth0(N, [_|T], X) :- N > 0, M is N - 1, nth0(M, T, X).
+
+    last([X], X) :- !.
+    last([_|T], X) :- last(T, X).
+
+    between(L, H, L) :- L =< H.
+    between(L, H, X) :- L < H, L1 is L + 1, between(L1, H, X).
+
+    select(X, [X|T], T).
+    select(X, [H|T], [H|R]) :- select(X, T, R).
+
+    sum_list([], 0).
+    sum_list([H|T], S) :- sum_list(T, R), S is R + H.
+
+    max_list([X], X) :- !.
+    max_list([H|T], M) :- max_list(T, N), M is max(H, N).
+
+    min_list([X], X) :- !.
+    min_list([H|T], M) :- min_list(T, N), M is min(H, N).
+
+    not_member(_, []).
+    not_member(X, [H|T]) :- X \\= H, not_member(X, T).
+";
+
+impl crate::Engine {
+    /// Creates an engine with the list/arithmetic prelude pre-consulted.
+    pub fn with_prelude() -> crate::Engine {
+        let mut engine = crate::Engine::new();
+        engine
+            .consult(PRELUDE)
+            .expect("the prelude is syntactically valid");
+        engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Engine, Term};
+
+    fn engine() -> Engine {
+        Engine::with_prelude()
+    }
+
+    fn first_binding(e: &Engine, query: &str, var: &str) -> String {
+        e.query_first(query)
+            .unwrap()
+            .unwrap_or_else(|| panic!("no solution for {query}"))
+            .get(var)
+            .unwrap()
+            .to_string()
+    }
+
+    #[test]
+    fn member_enumerates() {
+        let e = engine();
+        let sols = e.query_all("member(X, [a, b, c]).").unwrap();
+        assert_eq!(sols.len(), 3);
+        assert!(e.holds("member(b, [a, b, c]).").unwrap());
+        assert!(!e.holds("member(z, [a, b, c]).").unwrap());
+    }
+
+    #[test]
+    fn append_both_directions() {
+        let e = engine();
+        assert_eq!(first_binding(&e, "append([1, 2], [3], L).", "L"), "[1, 2, 3]");
+        // Backwards: enumerate splits.
+        let sols = e.query_all("append(X, Y, [1, 2]).").unwrap();
+        assert_eq!(sols.len(), 3);
+    }
+
+    #[test]
+    fn length_and_sum() {
+        let e = engine();
+        assert_eq!(first_binding(&e, "length([a, b, c, d], N).", "N"), "4");
+        assert_eq!(first_binding(&e, "sum_list([1, 2, 3, 4], S).", "S"), "10");
+    }
+
+    #[test]
+    fn reverse_and_last_and_nth0() {
+        let e = engine();
+        assert_eq!(first_binding(&e, "reverse([1, 2, 3], R).", "R"), "[3, 2, 1]");
+        assert_eq!(first_binding(&e, "last([1, 2, 3], X).", "X"), "3");
+        assert_eq!(first_binding(&e, "nth0(1, [a, b, c], X).", "X"), "b");
+    }
+
+    #[test]
+    fn between_enumerates_range() {
+        let e = engine();
+        let sols = e.query_all("between(1, 5, X).").unwrap();
+        let values: Vec<_> = sols.iter().map(|s| s.get("X").unwrap().clone()).collect();
+        assert_eq!(values, [Term::Int(1), Term::Int(2), Term::Int(3), Term::Int(4), Term::Int(5)]);
+        assert!(!e.holds("between(3, 2, X).").unwrap());
+    }
+
+    #[test]
+    fn select_removes_one_occurrence() {
+        let e = engine();
+        assert_eq!(first_binding(&e, "select(b, [a, b, c], R).", "R"), "[a, c]");
+    }
+
+    #[test]
+    fn max_min() {
+        let e = engine();
+        assert_eq!(first_binding(&e, "max_list([3, 9, 2], M).", "M"), "9");
+        assert_eq!(first_binding(&e, "min_list([3, 9, 2], M).", "M"), "2");
+    }
+
+    #[test]
+    fn not_member() {
+        let e = engine();
+        assert!(e.holds("not_member(z, [a, b]).").unwrap());
+        assert!(!e.holds("not_member(a, [a, b]).").unwrap());
+    }
+
+    #[test]
+    fn prelude_composes_with_user_programs() {
+        let mut e = engine();
+        e.consult(
+            "skills(jones, [guns, languages]).
+             shares_skill(A, B, S) :- skills(A, LA), skills(B, LB),
+                                      member(S, LA), member(S, LB), A \\= B.
+             skills(leamas, [languages, drinking]).",
+        )
+        .unwrap();
+        let sol = e.query_first("shares_skill(jones, B, S).").unwrap().unwrap();
+        assert_eq!(sol.get("B").unwrap(), &Term::atom("leamas"));
+        assert_eq!(sol.get("S").unwrap(), &Term::atom("languages"));
+    }
+}

@@ -1,0 +1,136 @@
+//! Term pretty-printing in (mostly) standard Prolog syntax.
+//!
+//! Output is re-parseable by [`crate::parser`]: operators that the reader
+//! knows are printed infix, lists in bracket notation, and atoms that
+//! would not lex as plain atoms are quoted.
+
+use crate::term::Term;
+use std::fmt;
+
+/// Formats `term` into `f` using Prolog concrete syntax.
+pub fn fmt_term(term: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    match term {
+        Term::Atom(a) => fmt_atom(a.as_str(), f),
+        Term::Int(i) => write!(f, "{i}"),
+        Term::Var(v) => write!(f, "_G{}", v.0),
+        Term::Struct(functor, args) => {
+            let name = functor.as_str();
+            if name == "." && args.len() == 2 {
+                return fmt_list(term, f);
+            }
+            if args.len() == 2 && is_infix(name) {
+                // Comma pairs print parenthesized — `(empl, v12)` — so they
+                // stay unambiguous (and re-parseable) inside list syntax.
+                if name == "," {
+                    f.write_str("(")?;
+                    fmt_term(&args[0], f)?;
+                    f.write_str(", ")?;
+                    fmt_term(&args[1], f)?;
+                    return f.write_str(")");
+                }
+                fmt_term(&args[0], f)?;
+                write!(f, " {name} ")?;
+                return fmt_term(&args[1], f);
+            }
+            fmt_atom(name, f)?;
+            f.write_str("(")?;
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                fmt_term(a, f)?;
+            }
+            f.write_str(")")
+        }
+    }
+}
+
+fn is_infix(name: &str) -> bool {
+    matches!(
+        name,
+        ":-" | ";" | "," | "=" | "\\=" | "==" | "\\==" | "<" | ">" | "=<" | ">=" | "=:="
+            | "=\\=" | "is" | "+" | "-" | "*" | "//" | "mod"
+    )
+}
+
+fn fmt_list(term: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    f.write_str("[")?;
+    let mut cur = term;
+    let mut first = true;
+    loop {
+        match cur {
+            Term::Struct(functor, args) if functor.as_str() == "." && args.len() == 2 => {
+                if !first {
+                    f.write_str(", ")?;
+                }
+                first = false;
+                fmt_term(&args[0], f)?;
+                cur = &args[1];
+            }
+            Term::Atom(a) if a.as_str() == "[]" => break,
+            other => {
+                f.write_str("|")?;
+                fmt_term(other, f)?;
+                break;
+            }
+        }
+    }
+    f.write_str("]")
+}
+
+/// Quotes an atom when its spelling would not survive re-reading.
+fn fmt_atom(name: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    if is_plain_atom(name)
+        || is_infix(name)
+        || matches!(name, "[]" | "!" | "." | "\\+" | ";" | ":-")
+    {
+        f.write_str(name)
+    } else {
+        write!(f, "'{}'", name.replace('\'', "\\'"))
+    }
+}
+
+fn is_plain_atom(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_lowercase() => {
+            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::term::{Term, VarId};
+
+    #[test]
+    fn prints_compound() {
+        let t = Term::app("empl", vec![Term::atom("eno"), Term::Int(3)]);
+        assert_eq!(t.to_string(), "empl(eno, 3)");
+    }
+
+    #[test]
+    fn prints_list() {
+        let t = Term::list(vec![Term::Int(1), Term::Int(2)]);
+        assert_eq!(t.to_string(), "[1, 2]");
+    }
+
+    #[test]
+    fn prints_partial_list() {
+        let t = Term::Struct(".".into(), vec![Term::Int(1), Term::Var(VarId(7))]);
+        assert_eq!(t.to_string(), "[1|_G7]");
+    }
+
+    #[test]
+    fn quotes_odd_atoms() {
+        assert_eq!(Term::atom("Hello world").to_string(), "'Hello world'");
+        assert_eq!(Term::atom("empl").to_string(), "empl");
+    }
+
+    #[test]
+    fn prints_infix_operators() {
+        let t = Term::app("<", vec![Term::atom("s"), Term::Int(40000)]);
+        assert_eq!(t.to_string(), "s < 40000");
+    }
+}

@@ -1,0 +1,762 @@
+//! SLD resolution with chronological backtracking, cut, and builtins.
+//!
+//! The solver is an explicit machine: a goal stack, a choicepoint stack and
+//! a trailed binding store. Choicepoints snapshot the goal stack (goal
+//! stacks in this workload are short — view bodies, not deep recursion), the
+//! trail mark and the binding-store height, so backtracking restores all
+//! three in one step.
+
+use crate::error::{PrologError, Result};
+use crate::kb::{Clause, KnowledgeBase, PredKey};
+use crate::term::{Term, VarId};
+use crate::unify::Bindings;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+/// One answer to a query: named query variables and their values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    bindings: BTreeMap<String, Term>,
+}
+
+impl Solution {
+    /// The value bound to variable `name`, if the query mentioned it.
+    pub fn get(&self, name: &str) -> Option<&Term> {
+        self.bindings.get(name)
+    }
+
+    /// All variable bindings, sorted by name.
+    pub fn bindings(&self) -> &BTreeMap<String, Term> {
+        &self.bindings
+    }
+
+    pub fn into_bindings(self) -> BTreeMap<String, Term> {
+        self.bindings
+    }
+}
+
+/// A pending goal plus the choicepoint height `!` should cut back to.
+#[derive(Clone, Debug)]
+struct Frame {
+    goal: Term,
+    cut_barrier: usize,
+}
+
+#[derive(Clone)]
+enum Alts {
+    /// Remaining clauses of a user predicate.
+    Clauses { goal: Term, clauses: Rc<Vec<Clause>>, next: usize, barrier: usize },
+    /// The right branch of a `;` disjunction.
+    Disjunct { goal: Term, barrier: usize },
+}
+
+struct ChoicePoint {
+    goals: Vec<Frame>,
+    trail_mark: usize,
+    slots_len: usize,
+    alts: Alts,
+}
+
+/// Default resolution-step budget; generous for translator workloads but
+/// finite, so accidental left-recursive views fail loudly instead of hanging.
+pub const DEFAULT_MAX_STEPS: u64 = 20_000_000;
+
+/// A running query over a knowledge base.
+pub struct Solver<'kb> {
+    kb: &'kb KnowledgeBase,
+    bindings: Bindings,
+    goals: Vec<Frame>,
+    choicepoints: Vec<ChoicePoint>,
+    query_vars: Vec<(String, VarId)>,
+    started: bool,
+    exhausted: bool,
+    steps: u64,
+    max_steps: u64,
+}
+
+enum Step {
+    Continue,
+    Backtrack,
+}
+
+impl<'kb> Solver<'kb> {
+    /// Creates a solver for `goals`; `query_vars` names the variables to
+    /// report in solutions. Variable ids in `goals` must be densely numbered
+    /// from zero (as [`crate::parser::parse_query`] produces).
+    pub fn new(kb: &'kb KnowledgeBase, goals: Vec<Term>, query_vars: Vec<(String, VarId)>) -> Self {
+        let mut nvars = 0;
+        for g in &goals {
+            if let Some(m) = g.max_var() {
+                nvars = nvars.max(m + 1);
+            }
+        }
+        Self::with_allocated(kb, goals, query_vars, nvars)
+    }
+
+    fn with_allocated(
+        kb: &'kb KnowledgeBase,
+        goals: Vec<Term>,
+        query_vars: Vec<(String, VarId)>,
+        nvars: u32,
+    ) -> Self {
+        let mut bindings = Bindings::new();
+        bindings.alloc(nvars);
+        let frames = goals
+            .into_iter()
+            .rev()
+            .map(|goal| Frame { goal, cut_barrier: 0 })
+            .collect();
+        Solver {
+            kb,
+            bindings,
+            goals: frames,
+            choicepoints: Vec::new(),
+            query_vars,
+            started: false,
+            exhausted: false,
+            steps: 0,
+            max_steps: DEFAULT_MAX_STEPS,
+        }
+    }
+
+    /// Overrides the resolution-step budget.
+    pub fn set_max_steps(&mut self, max: u64) {
+        self.max_steps = max;
+    }
+
+    /// Produces the next solution, or `None` when the search space is done.
+    pub fn next_solution(&mut self) -> Result<Option<Solution>> {
+        if !self.advance()? {
+            return Ok(None);
+        }
+        let bindings = self
+            .query_vars
+            .iter()
+            .map(|(name, var)| (name.clone(), self.bindings.resolve(&Term::Var(*var))))
+            .collect();
+        Ok(Some(Solution { bindings }))
+    }
+
+    /// Advances to the next success state; bindings stay live for inspection.
+    fn advance(&mut self) -> Result<bool> {
+        if self.exhausted {
+            return Ok(false);
+        }
+        if self.started
+            && !self.backtrack()? {
+                return Ok(false);
+            }
+        self.started = true;
+        self.run()
+    }
+
+    /// Resolves `term` against the current bindings (valid after a success).
+    fn resolve_now(&self, term: &Term) -> Term {
+        self.bindings.resolve(term)
+    }
+
+    fn run(&mut self) -> Result<bool> {
+        loop {
+            let Some(frame) = self.goals.pop() else { return Ok(true) };
+            self.steps += 1;
+            if self.steps > self.max_steps {
+                return Err(PrologError::LimitExceeded(format!(
+                    "{} resolution steps",
+                    self.max_steps
+                )));
+            }
+            match self.dispatch(frame)? {
+                Step::Continue => {}
+                Step::Backtrack => {
+                    if !self.backtrack()? {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+    }
+
+    fn backtrack(&mut self) -> Result<bool> {
+        loop {
+            let Some(cp) = self.choicepoints.pop() else {
+                self.exhausted = true;
+                return Ok(false);
+            };
+            self.bindings.undo_to(cp.trail_mark);
+            self.bindings.truncate(cp.slots_len);
+            self.goals.clone_from(&cp.goals);
+            match cp.alts {
+                Alts::Clauses { goal, clauses, next, barrier } => {
+                    if let Step::Continue = self.try_clauses(&goal, clauses, next, barrier) {
+                        return Ok(true);
+                    }
+                }
+                Alts::Disjunct { goal, barrier } => {
+                    self.goals.push(Frame { goal, cut_barrier: barrier });
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// Tries clauses `start..` of a predicate against `goal`. On the first
+    /// head match, pushes a retry choicepoint (if clauses remain) and the
+    /// clause body.
+    fn try_clauses(
+        &mut self,
+        goal: &Term,
+        clauses: Rc<Vec<Clause>>,
+        start: usize,
+        barrier: usize,
+    ) -> Step {
+        for idx in start..clauses.len() {
+            let trail_mark = self.bindings.mark();
+            let slots_len = self.bindings.len();
+            let clause = &clauses[idx];
+            let base = self.bindings.alloc(clause.nvars);
+            let head = clause.head.offset_vars(base);
+            if self.bindings.unify(goal, &head) {
+                if idx + 1 < clauses.len() {
+                    self.choicepoints.push(ChoicePoint {
+                        goals: self.goals.clone(),
+                        trail_mark,
+                        slots_len,
+                        alts: Alts::Clauses {
+                            goal: goal.clone(),
+                            clauses: Rc::clone(&clauses),
+                            next: idx + 1,
+                            barrier,
+                        },
+                    });
+                }
+                let body = &clauses[idx].body;
+                for body_goal in body.iter().rev() {
+                    self.goals.push(Frame {
+                        goal: body_goal.offset_vars(base),
+                        cut_barrier: barrier,
+                    });
+                }
+                return Step::Continue;
+            }
+            self.bindings.undo_to(trail_mark);
+            self.bindings.truncate(slots_len);
+        }
+        Step::Backtrack
+    }
+
+    fn dispatch(&mut self, frame: Frame) -> Result<Step> {
+        let goal = self.bindings.deref(&frame.goal);
+        let barrier = frame.cut_barrier;
+        let (name, arity) = match &goal {
+            Term::Var(_) => return Err(PrologError::NotCallable("unbound variable".into())),
+            Term::Int(i) => return Err(PrologError::NotCallable(i.to_string())),
+            Term::Atom(a) => (a.as_str(), 0usize),
+            Term::Struct(f, args) => (f.as_str(), args.len()),
+        };
+        let args: &[Term] = match &goal {
+            Term::Struct(_, args) => args,
+            _ => &[],
+        };
+        match (name, arity) {
+            ("true", 0) => Ok(Step::Continue),
+            ("fail", 0) | ("false", 0) => Ok(Step::Backtrack),
+            ("!", 0) => {
+                self.choicepoints.truncate(barrier);
+                Ok(Step::Continue)
+            }
+            (",", 2) => {
+                self.goals.push(Frame { goal: args[1].clone(), cut_barrier: barrier });
+                self.goals.push(Frame { goal: args[0].clone(), cut_barrier: barrier });
+                Ok(Step::Continue)
+            }
+            (";", 2) => {
+                self.choicepoints.push(ChoicePoint {
+                    goals: self.goals.clone(),
+                    trail_mark: self.bindings.mark(),
+                    slots_len: self.bindings.len(),
+                    alts: Alts::Disjunct { goal: args[1].clone(), barrier },
+                });
+                self.goals.push(Frame { goal: args[0].clone(), cut_barrier: barrier });
+                Ok(Step::Continue)
+            }
+            ("\\+", 1) | ("not", 1) => {
+                if self.prove_isolated(&args[0])? {
+                    Ok(Step::Backtrack)
+                } else {
+                    Ok(Step::Continue)
+                }
+            }
+            ("call", 1) => {
+                // call/1 is transparent to bindings but opaque to cut.
+                let inner = self.bindings.deref(&args[0]);
+                self.goals.push(Frame { goal: inner, cut_barrier: self.choicepoints.len() });
+                Ok(Step::Continue)
+            }
+            ("=", 2) => {
+                let trail_mark = self.bindings.mark();
+                if self.bindings.unify(&args[0], &args[1]) {
+                    Ok(Step::Continue)
+                } else {
+                    self.bindings.undo_to(trail_mark);
+                    Ok(Step::Backtrack)
+                }
+            }
+            ("\\=", 2) => {
+                let trail_mark = self.bindings.mark();
+                let unifies = self.bindings.unify(&args[0], &args[1]);
+                self.bindings.undo_to(trail_mark);
+                Ok(if unifies { Step::Backtrack } else { Step::Continue })
+            }
+            ("==", 2) => {
+                let ok = self.bindings.resolve(&args[0]) == self.bindings.resolve(&args[1]);
+                Ok(if ok { Step::Continue } else { Step::Backtrack })
+            }
+            ("\\==", 2) => {
+                let ok = self.bindings.resolve(&args[0]) != self.bindings.resolve(&args[1]);
+                Ok(if ok { Step::Continue } else { Step::Backtrack })
+            }
+            ("is", 2) => {
+                let value = Term::Int(self.eval_arith(&args[1])?);
+                let trail_mark = self.bindings.mark();
+                if self.bindings.unify(&args[0], &value) {
+                    Ok(Step::Continue)
+                } else {
+                    self.bindings.undo_to(trail_mark);
+                    Ok(Step::Backtrack)
+                }
+            }
+            ("<", 2) | ("less", 2) => self.arith_cmp(args, |a, b| a < b),
+            (">", 2) | ("greater", 2) => self.arith_cmp(args, |a, b| a > b),
+            ("=<", 2) | ("leq", 2) => self.arith_cmp(args, |a, b| a <= b),
+            (">=", 2) | ("geq", 2) => self.arith_cmp(args, |a, b| a >= b),
+            ("=:=", 2) => self.arith_cmp(args, |a, b| a == b),
+            ("=\\=", 2) => self.arith_cmp(args, |a, b| a != b),
+            // The paper's `neq` compares retrieved database values, which may
+            // be symbolic (employee names) — so it is ground term inequality.
+            ("neq", 2) => {
+                let a = self.bindings.resolve(&args[0]);
+                let b = self.bindings.resolve(&args[1]);
+                if !a.is_ground() || !b.is_ground() {
+                    return Err(PrologError::Instantiation(format!("neq({a}, {b})")));
+                }
+                Ok(if a != b { Step::Continue } else { Step::Backtrack })
+            }
+            ("var", 1) => {
+                let is_var = matches!(self.bindings.deref(&args[0]), Term::Var(_));
+                Ok(if is_var { Step::Continue } else { Step::Backtrack })
+            }
+            ("nonvar", 1) => {
+                let is_var = matches!(self.bindings.deref(&args[0]), Term::Var(_));
+                Ok(if is_var { Step::Backtrack } else { Step::Continue })
+            }
+            ("atom", 1) => {
+                let ok = matches!(self.bindings.deref(&args[0]), Term::Atom(_));
+                Ok(if ok { Step::Continue } else { Step::Backtrack })
+            }
+            ("integer", 1) | ("number", 1) => {
+                let ok = matches!(self.bindings.deref(&args[0]), Term::Int(_));
+                Ok(if ok { Step::Continue } else { Step::Backtrack })
+            }
+            ("ground", 1) => {
+                let ok = self.bindings.resolve(&args[0]).is_ground();
+                Ok(if ok { Step::Continue } else { Step::Backtrack })
+            }
+            ("=..", 2) => self.univ(args),
+            ("functor", 3) => self.functor3(args),
+            ("assert", 1) | ("assertz", 1) => {
+                self.kb.assertz(self.clause_arg(&args[0])?);
+                Ok(Step::Continue)
+            }
+            ("asserta", 1) => {
+                self.kb.asserta(self.clause_arg(&args[0])?);
+                Ok(Step::Continue)
+            }
+            ("retract", 1) => {
+                let clause = self.clause_arg(&args[0])?;
+                Ok(if self.kb.retract_exact(&clause) { Step::Continue } else { Step::Backtrack })
+            }
+            ("findall", 3) => {
+                let list = self.findall(&args[0], &args[1])?;
+                let trail_mark = self.bindings.mark();
+                if self.bindings.unify(&args[2], &list) {
+                    Ok(Step::Continue)
+                } else {
+                    self.bindings.undo_to(trail_mark);
+                    Ok(Step::Backtrack)
+                }
+            }
+            ("write", 1) => {
+                print!("{}", self.bindings.resolve(&args[0]));
+                Ok(Step::Continue)
+            }
+            ("nl", 0) => {
+                println!();
+                Ok(Step::Continue)
+            }
+            _ => {
+                let key = PredKey::of(&goal).expect("callable checked above");
+                let clauses = self.kb.clauses(key);
+                if clauses.is_empty() {
+                    // Standard closed-world treatment: unknown predicates fail.
+                    return Ok(Step::Backtrack);
+                }
+                let call_barrier = self.choicepoints.len();
+                Ok(self.try_clauses(&goal, clauses, 0, call_barrier))
+            }
+        }
+    }
+
+    fn arith_cmp(&mut self, args: &[Term], op: impl Fn(i64, i64) -> bool) -> Result<Step> {
+        let a = self.eval_arith(&args[0])?;
+        let b = self.eval_arith(&args[1])?;
+        Ok(if op(a, b) { Step::Continue } else { Step::Backtrack })
+    }
+
+    fn eval_arith(&self, term: &Term) -> Result<i64> {
+        let t = self.bindings.deref(term);
+        match &t {
+            Term::Int(i) => Ok(*i),
+            Term::Var(_) => Err(PrologError::Instantiation("arithmetic expression".into())),
+            Term::Struct(f, args) => {
+                let name = f.as_str();
+                match (name, args.len()) {
+                    ("+", 2) => Ok(self.eval_arith(&args[0])?.wrapping_add(self.eval_arith(&args[1])?)),
+                    ("-", 2) => Ok(self.eval_arith(&args[0])?.wrapping_sub(self.eval_arith(&args[1])?)),
+                    ("*", 2) => Ok(self.eval_arith(&args[0])?.wrapping_mul(self.eval_arith(&args[1])?)),
+                    ("//", 2) | ("/", 2) => {
+                        let d = self.eval_arith(&args[1])?;
+                        if d == 0 {
+                            return Err(PrologError::NotEvaluable("division by zero".into()));
+                        }
+                        Ok(self.eval_arith(&args[0])?.wrapping_div(d))
+                    }
+                    ("mod", 2) => {
+                        let d = self.eval_arith(&args[1])?;
+                        if d == 0 {
+                            return Err(PrologError::NotEvaluable("mod by zero".into()));
+                        }
+                        Ok(self.eval_arith(&args[0])?.rem_euclid(d))
+                    }
+                    ("-", 1) => Ok(-self.eval_arith(&args[0])?),
+                    ("abs", 1) => Ok(self.eval_arith(&args[0])?.abs()),
+                    ("min", 2) => Ok(self.eval_arith(&args[0])?.min(self.eval_arith(&args[1])?)),
+                    ("max", 2) => Ok(self.eval_arith(&args[0])?.max(self.eval_arith(&args[1])?)),
+                    _ => Err(PrologError::NotEvaluable(t.to_string())),
+                }
+            }
+            Term::Atom(_) => Err(PrologError::NotEvaluable(t.to_string())),
+        }
+    }
+
+    fn univ(&mut self, args: &[Term]) -> Result<Step> {
+        let lhs = self.bindings.deref(&args[0]);
+        let built = match &lhs {
+            Term::Struct(f, sargs) => {
+                let mut items = vec![Term::Atom(*f)];
+                items.extend(sargs.iter().cloned());
+                Some(Term::list(items))
+            }
+            Term::Atom(a) => Some(Term::list(vec![Term::Atom(*a)])),
+            Term::Int(i) => Some(Term::list(vec![Term::Int(*i)])),
+            Term::Var(_) => None,
+        };
+        if let Some(list) = built {
+            let trail_mark = self.bindings.mark();
+            if self.bindings.unify(&args[1], &list) {
+                return Ok(Step::Continue);
+            }
+            self.bindings.undo_to(trail_mark);
+            return Ok(Step::Backtrack);
+        }
+        // LHS unbound: construct from the RHS list.
+        let rhs = self.bindings.resolve(&args[1]);
+        let items = rhs
+            .as_list()
+            .ok_or_else(|| PrologError::TypeError { expected: "list", got: rhs.to_string() })?;
+        let term = match items.split_first() {
+            Some((Term::Atom(f), rest)) => {
+                if rest.is_empty() {
+                    Term::Atom(*f)
+                } else {
+                    Term::Struct(*f, rest.iter().map(|t| (*t).clone()).collect())
+                }
+            }
+            Some((Term::Int(i), [])) => Term::Int(*i),
+            _ => {
+                return Err(PrologError::TypeError {
+                    expected: "[functor|args]",
+                    got: rhs.to_string(),
+                })
+            }
+        };
+        let trail_mark = self.bindings.mark();
+        if self.bindings.unify(&args[0], &term) {
+            Ok(Step::Continue)
+        } else {
+            self.bindings.undo_to(trail_mark);
+            Ok(Step::Backtrack)
+        }
+    }
+
+    fn functor3(&mut self, args: &[Term]) -> Result<Step> {
+        let t = self.bindings.deref(&args[0]);
+        let (f_term, a_term) = match &t {
+            Term::Struct(f, sargs) => (Term::Atom(*f), Term::Int(sargs.len() as i64)),
+            Term::Atom(a) => (Term::Atom(*a), Term::Int(0)),
+            Term::Int(i) => (Term::Int(*i), Term::Int(0)),
+            Term::Var(_) => {
+                return Err(PrologError::Instantiation("functor/3 with unbound first arg".into()))
+            }
+        };
+        let trail_mark = self.bindings.mark();
+        if self.bindings.unify(&args[1], &f_term) && self.bindings.unify(&args[2], &a_term) {
+            Ok(Step::Continue)
+        } else {
+            self.bindings.undo_to(trail_mark);
+            Ok(Step::Backtrack)
+        }
+    }
+
+    fn clause_arg(&self, term: &Term) -> Result<Clause> {
+        let t = self.bindings.resolve(term);
+        match &t {
+            Term::Struct(f, args) if f.as_str() == ":-" && args.len() == 2 => {
+                if args[0].functor().is_none() {
+                    return Err(PrologError::NotCallable(args[0].to_string()));
+                }
+                Ok(Clause::new(args[0].clone(), crate::parser::flatten_conjunction(&args[1])))
+            }
+            _ => {
+                if t.functor().is_none() {
+                    return Err(PrologError::NotCallable(t.to_string()));
+                }
+                Ok(Clause::new(t, Vec::new()))
+            }
+        }
+    }
+
+    /// Runs `goal` in an isolated sub-solver (negation as failure).
+    /// Outer bindings are applied first; unbound outer variables appear as
+    /// unbound variables in the sub-query and are never bound by it.
+    fn prove_isolated(&self, goal: &Term) -> Result<bool> {
+        let resolved = self.bindings.resolve(goal);
+        let nvars = resolved.max_var().map_or(0, |m| m + 1);
+        let mut sub = Solver::with_allocated(self.kb, vec![resolved], Vec::new(), nvars);
+        sub.max_steps = self.max_steps;
+        sub.advance()
+    }
+
+    /// Implements `findall/3` by exhaustively running `goal` in a sub-solver.
+    fn findall(&self, template: &Term, goal: &Term) -> Result<Term> {
+        let rgoal = self.bindings.resolve(goal);
+        let rtmpl = self.bindings.resolve(template);
+        let nvars = [rgoal.max_var(), rtmpl.max_var()]
+            .into_iter()
+            .flatten()
+            .max()
+            .map_or(0, |m| m + 1);
+        let mut sub = Solver::with_allocated(self.kb, vec![rgoal], Vec::new(), nvars);
+        sub.max_steps = self.max_steps;
+        let mut items = Vec::new();
+        while sub.advance()? {
+            items.push(sub.resolve_now(&rtmpl));
+        }
+        Ok(Term::list(items))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Engine;
+
+    fn all(program: &str, query: &str) -> Vec<Solution> {
+        let mut e = Engine::new();
+        e.consult(program).unwrap();
+        e.query_all(query).unwrap()
+    }
+
+    fn values(program: &str, query: &str, var: &str) -> Vec<String> {
+        all(program, query)
+            .iter()
+            .map(|s| s.get(var).unwrap().to_string())
+            .collect()
+    }
+
+    #[test]
+    fn facts_enumerate_in_order() {
+        assert_eq!(values("p(1). p(2). p(3).", "p(X).", "X"), ["1", "2", "3"]);
+    }
+
+    #[test]
+    fn conjunction_joins() {
+        let program = "e(1, a). e(2, b). d(a, x). d(b, y).";
+        assert_eq!(values(program, "e(N, D), d(D, F).", "F"), ["x", "y"]);
+    }
+
+    #[test]
+    fn rules_chain() {
+        let program = "p(t, b). p(b, a). p(a, z). anc(X, Y) :- p(X, Y).
+                       anc(X, Z) :- p(X, Y), anc(Y, Z).";
+        assert_eq!(values(program, "anc(t, W).", "W"), ["b", "a", "z"]);
+    }
+
+    #[test]
+    fn cut_commits_to_first_clause() {
+        let program = "max(X, Y, X) :- X >= Y, !. max(_, Y, Y).";
+        assert_eq!(values(program, "max(3, 2, M).", "M"), ["3"]);
+        assert_eq!(values(program, "max(1, 2, M).", "M"), ["2"]);
+    }
+
+    #[test]
+    fn cut_prunes_caller_alternatives_only_up_to_barrier() {
+        let program = "q(1). q(2). r(X) :- q(X), !. s(X, Y) :- q(X), r(Y).";
+        // r/1 yields only 1; q(X) in s/2 still backtracks.
+        assert_eq!(values(program, "s(X, Y).", "X"), ["1", "2"]);
+        assert_eq!(values(program, "s(X, Y).", "Y"), ["1", "1"]);
+    }
+
+    #[test]
+    fn negation_as_failure() {
+        let program = "p(1). p(2). q(2).";
+        assert_eq!(values(program, "p(X), \\+ q(X).", "X"), ["1"]);
+    }
+
+    #[test]
+    fn negation_does_not_bind() {
+        let program = "q(2).";
+        // \+ q(X) with X unbound: q(X) succeeds, so negation fails.
+        assert!(all(program, "\\+ q(X).").is_empty());
+    }
+
+    #[test]
+    fn disjunction_explores_both() {
+        assert_eq!(values("a(1). b(2).", "(a(X) ; b(X)).", "X"), ["1", "2"]);
+    }
+
+    #[test]
+    fn arithmetic_is_and_compare() {
+        assert_eq!(values("", "X is 2 + 3 * 4.", "X"), ["14"]);
+        assert!(all("", "5 < 10.").len() == 1);
+        assert!(all("", "10 < 5.").is_empty());
+        assert!(all("", "7 >= 7.").len() == 1);
+        assert_eq!(values("", "X is 7 mod 3.", "X"), ["1"]);
+        assert_eq!(values("", "X is -4 mod 3.", "X"), ["2"]);
+    }
+
+    #[test]
+    fn paper_comparison_aliases() {
+        assert_eq!(all("", "less(30000, 40000).").len(), 1);
+        assert!(all("", "less(50000, 40000).").is_empty());
+        assert_eq!(all("", "greater(2, 1).").len(), 1);
+        assert_eq!(all("", "leq(2, 2).").len(), 1);
+        assert_eq!(all("", "geq(2, 2).").len(), 1);
+    }
+
+    #[test]
+    fn neq_on_symbols() {
+        assert_eq!(all("", "neq(jones, smiley).").len(), 1);
+        assert!(all("", "neq(jones, jones).").is_empty());
+    }
+
+    #[test]
+    fn neq_unbound_is_instantiation_error() {
+        let e = Engine::new();
+        assert!(matches!(
+            e.query_all("neq(X, jones)."),
+            Err(PrologError::Instantiation(_))
+        ));
+    }
+
+    #[test]
+    fn unification_builtins() {
+        assert_eq!(values("", "X = f(1, Y), Y = 2.", "X"), ["f(1, 2)"]);
+        assert!(all("", "f(X) \\= f(1).").is_empty());
+        assert_eq!(all("", "f(a) \\= g(a).").len(), 1);
+        assert_eq!(all("", "f(a) == f(a).").len(), 1);
+        assert!(all("", "X == Y.").is_empty());
+    }
+
+    #[test]
+    fn univ_both_directions() {
+        assert_eq!(values("", "T =.. [empl, 1, smiley].", "T"), ["empl(1, smiley)"]);
+        assert_eq!(values("", "empl(1, smiley) =.. L.", "L"), ["[empl, 1, smiley]"]);
+        assert_eq!(values("", "foo =.. L.", "L"), ["[foo]"]);
+    }
+
+    #[test]
+    fn functor_3() {
+        let sols = all("", "functor(empl(1, 2, 3, 4), F, A).");
+        assert_eq!(sols[0].get("F").unwrap(), &Term::atom("empl"));
+        assert_eq!(sols[0].get("A").unwrap(), &Term::Int(4));
+    }
+
+    #[test]
+    fn assert_and_retract_from_goals() {
+        let e = Engine::new();
+        assert!(e.query_all("assertz(p(1)), assertz(p(2)).").is_ok());
+        assert_eq!(e.query_all("p(X).").unwrap().len(), 2);
+        assert!(e.holds("retract(p(1)).").unwrap());
+        assert_eq!(e.query_all("p(X).").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn findall_collects_all() {
+        let program = "p(1). p(2). p(3).";
+        assert_eq!(values(program, "findall(X, p(X), L).", "L"), ["[1, 2, 3]"]);
+        assert_eq!(values(program, "findall(X, p(X), L).", "L").len(), 1);
+        // Empty result still yields [].
+        assert_eq!(values("", "findall(X, no_pred(X), L).", "L"), ["[]"]);
+    }
+
+    #[test]
+    fn unknown_predicate_fails_silently() {
+        assert!(all("", "no_such_thing(1).").is_empty());
+    }
+
+    #[test]
+    fn calling_unbound_var_is_error() {
+        let e = Engine::new();
+        assert!(e.query_all("X.").is_err());
+    }
+
+    #[test]
+    fn step_limit_catches_runaway_recursion() {
+        let mut e = Engine::new();
+        e.consult("loop :- loop.").unwrap();
+        let (goals, vars) = crate::parser::parse_query("loop.").unwrap();
+        let mut solver = Solver::new(e.kb(), goals, vars);
+        solver.set_max_steps(10_000);
+        assert!(matches!(
+            solver.next_solution(),
+            Err(PrologError::LimitExceeded(_))
+        ));
+    }
+
+    #[test]
+    fn paper_example_4_1_partner_logic() {
+        // The pure-Prolog part of Example 4-1: specialist facts joined with a
+        // same-manager relation (here pre-instantiated, as metaevaluate would).
+        let program = "
+            specialist(jones, guns).
+            specialist(miller, driving).
+            specialist(smiley, thinking).
+            same_manager(miller, jones).
+            same_manager(leamas, jones).
+            partner(W, X, Skill) :- same_manager(X, W), specialist(X, Skill).
+        ";
+        assert_eq!(values(program, "partner(jones, X, driving).", "X"), ["miller"]);
+    }
+
+    #[test]
+    fn call_meta() {
+        assert_eq!(values("p(9).", "G = p(X), call(G).", "X"), ["9"]);
+    }
+
+    #[test]
+    fn if_then_via_cut_and_disjunction() {
+        let program = "classify(X, small) :- X < 10, !. classify(_, big).";
+        assert_eq!(values(program, "classify(5, C).", "C"), ["small"]);
+        assert_eq!(values(program, "classify(50, C).", "C"), ["big"]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Prolog term representation.
+
+use crate::intern::Atom;
+use std::fmt;
+
+/// A logic variable, identified by its slot in a solver's binding store
+/// (or by a clause-local index inside stored clauses).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct VarId(pub u32);
+
+/// A Prolog term.
+///
+/// Lists use the conventional encoding: `[]` is the atom `[]` and
+/// `[H|T]` is `'.'(H, T)`; see [`Term::list`] and [`Term::as_list`].
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A constant symbol, e.g. `smiley`.
+    Atom(Atom),
+    /// A machine integer, e.g. `40000`.
+    Int(i64),
+    /// A logic variable.
+    Var(VarId),
+    /// A compound term `f(t1, …, tn)` with `n >= 1`.
+    Struct(Atom, Vec<Term>),
+}
+
+impl Term {
+    /// Convenience constructor for an atom term.
+    pub fn atom(name: &str) -> Term {
+        Term::Atom(Atom::new(name))
+    }
+
+    /// Convenience constructor for a compound term. Zero-argument
+    /// "compounds" collapse to plain atoms, matching standard Prolog.
+    pub fn app(name: &str, args: Vec<Term>) -> Term {
+        if args.is_empty() {
+            Term::atom(name)
+        } else {
+            Term::Struct(Atom::new(name), args)
+        }
+    }
+
+    /// The empty list `[]`.
+    pub fn nil() -> Term {
+        Term::atom("[]")
+    }
+
+    /// Builds a proper list `[items…]`.
+    pub fn list(items: Vec<Term>) -> Term {
+        let mut tail = Term::nil();
+        for item in items.into_iter().rev() {
+            tail = Term::Struct(Atom::new("."), vec![item, tail]);
+        }
+        tail
+    }
+
+    /// If this term is a proper list, returns its elements.
+    pub fn as_list(&self) -> Option<Vec<&Term>> {
+        let mut out = Vec::new();
+        let mut cur = self;
+        loop {
+            match cur {
+                Term::Atom(a) if a.as_str() == "[]" => return Some(out),
+                Term::Struct(f, args) if f.as_str() == "." && args.len() == 2 => {
+                    out.push(&args[0]);
+                    cur = &args[1];
+                }
+                _ => return None,
+            }
+        }
+    }
+
+    /// Functor name and arity, with atoms treated as arity-0 functors.
+    pub fn functor(&self) -> Option<(Atom, usize)> {
+        match self {
+            Term::Atom(a) => Some((*a, 0)),
+            Term::Struct(f, args) => Some((*f, args.len())),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` when the term contains no variables.
+    pub fn is_ground(&self) -> bool {
+        match self {
+            Term::Var(_) => false,
+            Term::Atom(_) | Term::Int(_) => true,
+            Term::Struct(_, args) => args.iter().all(Term::is_ground),
+        }
+    }
+
+    /// Calls `f` on this term and every subterm, pre-order.
+    pub fn visit(&self, f: &mut impl FnMut(&Term)) {
+        f(self);
+        if let Term::Struct(_, args) = self {
+            for a in args {
+                a.visit(f);
+            }
+        }
+    }
+
+    /// Returns a copy with every variable id shifted by `offset`.
+    ///
+    /// Used to rename clause-local variables apart when a stored clause is
+    /// activated during resolution.
+    pub fn offset_vars(&self, offset: u32) -> Term {
+        match self {
+            Term::Var(VarId(v)) => Term::Var(VarId(v + offset)),
+            Term::Atom(_) | Term::Int(_) => self.clone(),
+            Term::Struct(f, args) => {
+                Term::Struct(*f, args.iter().map(|a| a.offset_vars(offset)).collect())
+            }
+        }
+    }
+
+    /// The largest variable id occurring in the term, if any.
+    pub fn max_var(&self) -> Option<u32> {
+        let mut max = None;
+        self.visit(&mut |t| {
+            if let Term::Var(VarId(v)) = t {
+                max = Some(max.map_or(*v, |m: u32| m.max(*v)));
+            }
+        });
+        max
+    }
+}
+
+impl fmt::Debug for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_term(self, f)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::pretty::fmt_term(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_round_trip() {
+        let l = Term::list(vec![Term::Int(1), Term::atom("a"), Term::Int(3)]);
+        let items = l.as_list().unwrap();
+        assert_eq!(items.len(), 3);
+        assert_eq!(items[0], &Term::Int(1));
+        assert_eq!(items[1], &Term::atom("a"));
+    }
+
+    #[test]
+    fn nil_is_empty_list() {
+        assert_eq!(Term::nil().as_list().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn improper_list_rejected() {
+        let improper = Term::Struct(Atom::new("."), vec![Term::Int(1), Term::Int(2)]);
+        assert!(improper.as_list().is_none());
+    }
+
+    #[test]
+    fn app_zero_args_is_atom() {
+        assert_eq!(Term::app("foo", vec![]), Term::atom("foo"));
+    }
+
+    #[test]
+    fn groundness() {
+        assert!(Term::app("f", vec![Term::Int(1)]).is_ground());
+        assert!(!Term::app("f", vec![Term::Var(VarId(0))]).is_ground());
+    }
+
+    #[test]
+    fn offset_vars_shifts_every_occurrence() {
+        let t = Term::app("f", vec![Term::Var(VarId(0)), Term::Var(VarId(2))]);
+        let shifted = t.offset_vars(10);
+        assert_eq!(shifted.max_var(), Some(12));
+    }
+
+    #[test]
+    fn functor_of_atom_and_struct() {
+        assert_eq!(Term::atom("a").functor().unwrap().1, 0);
+        assert_eq!(Term::app("f", vec![Term::Int(1)]).functor().unwrap().1, 1);
+        assert!(Term::Var(VarId(0)).functor().is_none());
+    }
+}

@@ -1,0 +1,221 @@
+//! The public facade: a database accepting SQL text.
+
+use crate::catalog::{Catalog, Column, Table};
+use crate::error::{RqsError, RqsResult};
+use crate::exec::{self, QueryMetrics};
+use crate::plan;
+use crate::sql::{self, Statement};
+use crate::value::Tuple;
+
+/// Result of executing a statement.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct QueryResult {
+    /// Output column labels (`alias.column`), empty for non-queries.
+    pub columns: Vec<String>,
+    /// Result rows, empty for non-queries.
+    pub rows: Vec<Tuple>,
+    /// Rows inserted/deleted for DML, 0 for queries.
+    pub affected: usize,
+    /// Work counters (queries only).
+    pub metrics: QueryMetrics,
+}
+
+/// An in-memory relational database addressed through SQL.
+#[derive(Clone, Debug, Default)]
+pub struct Database {
+    catalog: Catalog,
+}
+
+impl Database {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Executes one SQL statement.
+    pub fn execute(&mut self, sql_text: &str) -> RqsResult<QueryResult> {
+        let stmt = sql::parse_statement(sql_text)?;
+        match stmt {
+            Statement::CreateTable { name, columns, constraints } => {
+                let cols = columns
+                    .into_iter()
+                    .map(|(name, ty)| Column { name, ty })
+                    .collect();
+                let mut table = Table::new(&name, cols);
+                table.constraints = constraints;
+                self.catalog.create_table(table)?;
+                Ok(QueryResult::default())
+            }
+            Statement::CreateIndex { table, column } => {
+                self.catalog.table_mut(&table)?.create_index(&column)?;
+                Ok(QueryResult::default())
+            }
+            Statement::Insert { table, rows } => {
+                let affected = rows.len();
+                for row in rows {
+                    self.catalog.insert(&table, row)?;
+                }
+                Ok(QueryResult { affected, ..Default::default() })
+            }
+            Statement::Delete { table } => {
+                let t = self.catalog.table_mut(&table)?;
+                let affected = t.len();
+                t.truncate();
+                Ok(QueryResult { affected, ..Default::default() })
+            }
+            Statement::DropTable { name } => {
+                self.catalog.drop_table(&name)?;
+                Ok(QueryResult::default())
+            }
+            Statement::Select(select) => self.run_select(&select),
+            Statement::Explain(select) => {
+                let text = self.explain_select(&select)?;
+                Ok(QueryResult {
+                    columns: vec!["plan".into()],
+                    rows: text
+                        .lines()
+                        .map(|l| vec![crate::value::Datum::text(l)])
+                        .collect(),
+                    ..Default::default()
+                })
+            }
+        }
+    }
+
+    /// Executes a SELECT without requiring `&mut self`.
+    pub fn query(&self, sql_text: &str) -> RqsResult<QueryResult> {
+        match sql::parse_statement(sql_text)? {
+            Statement::Select(select) => self.run_select(&select),
+            _ => Err(RqsError::Syntax("query() accepts only SELECT".into())),
+        }
+    }
+
+    fn run_select(&self, select: &sql::SelectStmt) -> RqsResult<QueryResult> {
+        let mut metrics = QueryMetrics::default();
+        let rel = exec::run_select(&self.catalog, select, &mut metrics)?;
+        metrics.result_rows = rel.rows.len() as u64;
+        Ok(QueryResult { columns: rel.columns, rows: rel.rows, affected: 0, metrics })
+    }
+
+    /// Renders the physical plan the optimizer would choose for a SELECT.
+    pub fn explain(&self, sql_text: &str) -> RqsResult<String> {
+        let Statement::Select(select) = sql::parse_statement(sql_text)? else {
+            return Err(RqsError::Syntax("EXPLAIN accepts only SELECT".into()));
+        };
+        self.explain_select(&select)
+    }
+
+    fn explain_select(&self, select: &sql::SelectStmt) -> RqsResult<String> {
+        let mut out = String::new();
+        let resolved = plan::resolve(&self.catalog, &select.core)?;
+        out.push_str(&plan::plan(resolved).to_string());
+        for arm in &select.unions {
+            out.push_str("UNION\n");
+            let resolved = plan::resolve(&self.catalog, arm)?;
+            out.push_str(&plan::plan(resolved).to_string());
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Datum;
+
+    #[test]
+    fn ddl_dml_query_lifecycle() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        let r = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
+        assert_eq!(r.affected, 2);
+        let r = db.execute("SELECT v.b FROM t v WHERE v.a = 2").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::text("y")]]);
+        assert_eq!(r.columns, ["v.b"]);
+        let r = db.execute("DELETE FROM t").unwrap();
+        assert_eq!(r.affected, 2);
+        db.execute("DROP TABLE t").unwrap();
+        assert!(db.execute("SELECT v.b FROM t v").is_err());
+    }
+
+    #[test]
+    fn query_is_read_only() {
+        let db = Database::new();
+        assert!(db.query("CREATE TABLE t (a INT)").is_err());
+    }
+
+    #[test]
+    fn constraints_flow_through_sql() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT, PRIMARY KEY (dno))").unwrap();
+        db.execute(
+            "CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT,
+             PRIMARY KEY (eno),
+             CHECK (sal BETWEEN 10000 AND 90000),
+             FOREIGN KEY (dno) REFERENCES dept (dno))",
+        )
+        .unwrap();
+        db.execute("INSERT INTO dept VALUES (10, 'hq', 1)").unwrap();
+        db.execute("INSERT INTO empl VALUES (1, 'smiley', 50000, 10)").unwrap();
+        // Salary bound violation.
+        assert!(db.execute("INSERT INTO empl VALUES (2, 'poor', 5000, 10)").is_err());
+        // Key violation.
+        assert!(db.execute("INSERT INTO empl VALUES (1, 'dup', 50000, 10)").is_err());
+        // FK violation.
+        assert!(db.execute("INSERT INTO empl VALUES (3, 'lost', 50000, 99)").is_err());
+    }
+
+    #[test]
+    fn explain_renders_plan() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)").unwrap();
+        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)").unwrap();
+        let text = db
+            .explain("SELECT v1.nam FROM empl v1, dept v2 WHERE v1.dno = v2.dno")
+            .unwrap();
+        assert!(text.contains("HashJoin"));
+        assert!(db.explain("DROP TABLE empl").is_err());
+    }
+
+    #[test]
+    fn explain_union() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let text = db
+            .explain("SELECT v.a FROM t v UNION SELECT w.a FROM t w")
+            .unwrap();
+        assert!(text.contains("UNION"));
+    }
+}
+
+#[cfg(test)]
+mod explain_statement_tests {
+    use super::*;
+
+    #[test]
+    fn explain_statement_returns_plan_rows() {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)").unwrap();
+        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)").unwrap();
+        let r = db
+            .execute("EXPLAIN SELECT v1.nam FROM empl v1, dept v2 WHERE v1.dno = v2.dno")
+            .unwrap();
+        assert_eq!(r.columns, ["plan"]);
+        let text: Vec<String> = r.rows.iter().map(|row| row[0].to_string()).collect();
+        assert!(text.iter().any(|l| l.contains("HashJoin")), "{text:?}");
+        assert!(text.iter().any(|l| l.contains("Scan")), "{text:?}");
+    }
+
+    #[test]
+    fn explain_requires_select() {
+        let mut db = Database::new();
+        assert!(db.execute("EXPLAIN DROP TABLE t").is_err());
+    }
+}

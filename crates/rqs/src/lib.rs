@@ -1,0 +1,49 @@
+//! A miniature relational query system (RQS), reachable through SQL.
+//!
+//! The 1984 paper couples its Prolog front-end to "a relational DBMS
+//! accessible through SQL" and deliberately treats it as an independent
+//! black box. This crate is that black box, built from scratch:
+//!
+//! * a [`catalog`] of tables with typed columns, tuple storage and
+//!   secondary indexes;
+//! * enforcement of the three integrity-constraint families the paper
+//!   relies on (value bounds, keys/functional dependencies, foreign keys);
+//! * a [`sql`] front: lexer, parser and AST for the conjunctive
+//!   `SELECT … FROM … WHERE` dialect the front-end generates, plus
+//!   `CREATE TABLE`, `INSERT`, `UNION`, and `NOT IN` subqueries;
+//! * a [`plan`]ner that orders joins greedily and pushes restrictions down
+//!   to scans (the paper leaves goal-reordering optimization "to the
+//!   existing query processor of the DBMS" — this is it);
+//! * an [`exec`]utor with hash joins for equijoins and nested loops for
+//!   inequality joins, instrumented with [`exec::QueryMetrics`] so the
+//!   benefit of front-end simplification is measurable.
+//!
+//! Crucially, this crate depends on nothing else in the workspace: the
+//! only connection between front-end and DBMS is SQL text, exactly as in
+//! the paper.
+//!
+//! ```
+//! use rqs::Database;
+//!
+//! let mut db = Database::new();
+//! db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)").unwrap();
+//! db.execute("INSERT INTO empl VALUES (1, 'smiley', 50000, 10)").unwrap();
+//! db.execute("INSERT INTO empl VALUES (2, 'jones', 30000, 10)").unwrap();
+//! let result = db.execute("SELECT v1.nam FROM empl v1 WHERE v1.sal < 40000").unwrap();
+//! assert_eq!(result.rows.len(), 1);
+//! assert_eq!(result.rows[0][0].to_string(), "'jones'");
+//! ```
+
+pub mod catalog;
+pub mod database;
+pub mod error;
+pub mod exec;
+pub mod plan;
+pub mod sql;
+pub mod value;
+
+pub use catalog::{Catalog, Column, ColumnType, Table, TableConstraint};
+pub use database::{Database, QueryResult};
+pub use error::{RqsError, RqsResult};
+pub use exec::QueryMetrics;
+pub use value::Datum;

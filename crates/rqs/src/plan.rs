@@ -1,0 +1,451 @@
+//! Query planning: name resolution, condition classification, greedy join
+//! ordering and access-path selection.
+//!
+//! The paper's division of labour leaves "the kind of query optimization
+//! achieved by reordering PROLOG goals … to the existing query processor
+//! of the DBMS" (§1). This module is that query processor: it picks scan
+//! order and join methods but cannot remove redundant joins — eliminating
+//! those is exactly the front-end optimizer's job, which is what the
+//! benchmarks measure.
+
+use crate::catalog::Catalog;
+use crate::error::{RqsError, RqsResult};
+use crate::sql::ast::{CmpOp, ColumnRef, Condition, Scalar, SelectCore, SelectStmt};
+use crate::value::Datum;
+use std::fmt;
+
+/// A resolved range variable of the FROM clause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VarInfo {
+    pub alias: String,
+    pub table: String,
+    pub width: usize,
+    pub cardinality: usize,
+}
+
+/// A single-variable restriction `var.col op value`, pushed to the scan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Restriction {
+    pub var: usize,
+    pub col: usize,
+    pub op: CmpOp,
+    pub value: Datum,
+}
+
+/// A two-variable condition `lvar.lcol op rvar.rcol`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinCond {
+    pub lvar: usize,
+    pub lcol: usize,
+    pub op: CmpOp,
+    pub rvar: usize,
+    pub rcol: usize,
+}
+
+/// A `[NOT] IN` subquery condition.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SubqueryCond {
+    pub var: usize,
+    pub col: usize,
+    pub negated: bool,
+    pub stmt: SelectStmt,
+}
+
+/// A fully resolved single SELECT block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResolvedCore {
+    pub distinct: bool,
+    pub vars: Vec<VarInfo>,
+    /// Output columns as `(var, col)`.
+    pub items: Vec<(usize, usize)>,
+    pub restrictions: Vec<Restriction>,
+    pub joins: Vec<JoinCond>,
+    pub subqueries: Vec<SubqueryCond>,
+}
+
+/// How one range variable is brought into the pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JoinMethod {
+    /// First variable: plain scan.
+    Initial,
+    /// Hash join on the given equijoin conditions (probe side = new var).
+    Hash { eq: Vec<JoinCond>, extra: Vec<JoinCond> },
+    /// Nested loop with arbitrary conditions (possibly empty = product).
+    NestedLoop { conds: Vec<JoinCond> },
+}
+
+/// One step of the left-deep pipeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JoinStep {
+    pub var: usize,
+    pub method: JoinMethod,
+}
+
+/// The physical plan: a left-deep join pipeline plus post-filters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PhysicalPlan {
+    pub core: ResolvedCore,
+    pub steps: Vec<JoinStep>,
+}
+
+impl PhysicalPlan {
+    /// Number of join operators (steps beyond the first scan).
+    pub fn join_count(&self) -> usize {
+        self.steps.len().saturating_sub(1)
+    }
+}
+
+/// Resolves a SELECT core against the catalog.
+pub fn resolve(catalog: &Catalog, core: &SelectCore) -> RqsResult<ResolvedCore> {
+    let mut vars = Vec::new();
+    for (table_name, alias) in &core.from {
+        let table = catalog.table(table_name)?;
+        if vars.iter().any(|v: &VarInfo| &v.alias == alias) {
+            return Err(RqsError::Syntax(format!("duplicate range variable {alias}")));
+        }
+        vars.push(VarInfo {
+            alias: alias.clone(),
+            table: table_name.clone(),
+            width: table.arity(),
+            cardinality: table.len(),
+        });
+    }
+    let lookup = |cref: &ColumnRef| -> RqsResult<(usize, usize)> {
+        let var = vars
+            .iter()
+            .position(|v| v.alias == cref.var)
+            .ok_or_else(|| RqsError::UnknownColumn(format!("{cref} (unknown variable)")))?;
+        let table = catalog.table(&vars[var].table)?;
+        let col = table
+            .column_index(&cref.column)
+            .ok_or_else(|| RqsError::UnknownColumn(cref.to_string()))?;
+        Ok((var, col))
+    };
+
+    let items = core
+        .items
+        .iter()
+        .map(&lookup)
+        .collect::<RqsResult<Vec<_>>>()?;
+
+    let mut restrictions = Vec::new();
+    let mut joins = Vec::new();
+    let mut subqueries = Vec::new();
+    for cond in &core.conds {
+        match cond {
+            Condition::Compare { lhs, op, rhs } => match (lhs, rhs) {
+                (Scalar::Column(l), Scalar::Column(r)) => {
+                    let (lvar, lcol) = lookup(l)?;
+                    let (rvar, rcol) = lookup(r)?;
+                    if lvar == rvar {
+                        // Same-variable comparison: keep as a join-condition
+                        // on a single var; the executor treats it as a
+                        // restriction with both sides from one tuple.
+                        joins.push(JoinCond { lvar, lcol, op: *op, rvar, rcol });
+                    } else {
+                        joins.push(JoinCond { lvar, lcol, op: *op, rvar, rcol });
+                    }
+                }
+                (Scalar::Column(l), Scalar::Literal(v)) => {
+                    let (var, col) = lookup(l)?;
+                    restrictions.push(Restriction { var, col, op: *op, value: v.clone() });
+                }
+                (Scalar::Literal(v), Scalar::Column(r)) => {
+                    let (var, col) = lookup(r)?;
+                    restrictions.push(Restriction {
+                        var,
+                        col,
+                        op: op.flip(),
+                        value: v.clone(),
+                    });
+                }
+                (Scalar::Literal(a), Scalar::Literal(b)) => {
+                    // Constant condition: keep as a degenerate restriction on
+                    // var 0 only if true is undecidable; evaluate eagerly.
+                    if !op.eval(a.total_cmp(b)) {
+                        // Always-false: encode as impossible restriction.
+                        restrictions.push(Restriction {
+                            var: 0,
+                            col: usize::MAX,
+                            op: *op,
+                            value: a.clone(),
+                        });
+                    }
+                    // Always-true conditions just vanish.
+                }
+            },
+            Condition::InSubquery { col, negated, subquery } => {
+                let (var, col) = lookup(col)?;
+                subqueries.push(SubqueryCond {
+                    var,
+                    col,
+                    negated: *negated,
+                    stmt: (**subquery).clone(),
+                });
+            }
+        }
+    }
+    Ok(ResolvedCore {
+        distinct: core.distinct,
+        vars,
+        items,
+        restrictions,
+        joins,
+        subqueries,
+    })
+}
+
+/// Estimated cardinality of `var` after pushed-down restrictions.
+fn estimate(core: &ResolvedCore, var: usize) -> usize {
+    let mut est = core.vars[var].cardinality.max(1);
+    for r in &core.restrictions {
+        if r.var == var {
+            est = match r.op {
+                CmpOp::Eq => (est / 10).max(1),
+                CmpOp::Ne => est,
+                _ => (est / 3).max(1),
+            };
+        }
+    }
+    est
+}
+
+/// Greedy left-deep join ordering: start with the cheapest variable, then
+/// repeatedly attach the cheapest variable reachable through an equijoin;
+/// fall back to the cheapest remaining one (cross product) when the join
+/// graph is disconnected.
+pub fn plan(core: ResolvedCore) -> PhysicalPlan {
+    let n = core.vars.len();
+    let mut remaining: Vec<usize> = (0..n).collect();
+    let mut chosen: Vec<usize> = Vec::new();
+    let mut steps: Vec<JoinStep> = Vec::new();
+
+    while !remaining.is_empty() {
+        let pick = if chosen.is_empty() {
+            *remaining
+                .iter()
+                .min_by_key(|&&v| estimate(&core, v))
+                .expect("non-empty remaining")
+        } else {
+            // Prefer equijoin-connected vars.
+            let connected: Vec<usize> = remaining
+                .iter()
+                .copied()
+                .filter(|&v| {
+                    core.joins.iter().any(|j| {
+                        j.op == CmpOp::Eq
+                            && ((j.lvar == v && chosen.contains(&j.rvar))
+                                || (j.rvar == v && chosen.contains(&j.lvar)))
+                    })
+                })
+                .collect();
+            let pool = if connected.is_empty() { &remaining } else { &connected };
+            *pool
+                .iter()
+                .min_by_key(|&&v| estimate(&core, v))
+                .expect("non-empty pool")
+        };
+
+        let method = if chosen.is_empty() {
+            JoinMethod::Initial
+        } else {
+            // Conditions now fully bound: both sides among chosen ∪ {pick},
+            // at least one side = pick.
+            let mut eq = Vec::new();
+            let mut extra = Vec::new();
+            for j in &core.joins {
+                let touches_pick = j.lvar == pick || j.rvar == pick;
+                let other_bound = (j.lvar == pick || chosen.contains(&j.lvar))
+                    && (j.rvar == pick || chosen.contains(&j.rvar));
+                if touches_pick && other_bound {
+                    if j.op == CmpOp::Eq && j.lvar != j.rvar {
+                        eq.push(j.clone());
+                    } else {
+                        extra.push(j.clone());
+                    }
+                }
+            }
+            if eq.is_empty() {
+                JoinMethod::NestedLoop { conds: extra }
+            } else {
+                JoinMethod::Hash { eq, extra }
+            }
+        };
+        steps.push(JoinStep { var: pick, method });
+        remaining.retain(|&v| v != pick);
+        chosen.push(pick);
+    }
+    PhysicalPlan { core, steps }
+}
+
+impl fmt::Display for PhysicalPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Project [{} item(s)]{}",
+            self.core.items.len(),
+            if self.core.distinct { " DISTINCT" } else { "" })?;
+        for (depth, step) in self.steps.iter().enumerate().rev() {
+            let v = &self.core.vars[step.var];
+            let indent = "  ".repeat(self.steps.len() - depth);
+            let restr = self
+                .core
+                .restrictions
+                .iter()
+                .filter(|r| r.var == step.var)
+                .count();
+            match &step.method {
+                JoinMethod::Initial => {
+                    writeln!(f, "{indent}Scan {} {} [{} restriction(s)]", v.table, v.alias, restr)?
+                }
+                JoinMethod::Hash { eq, extra } => writeln!(
+                    f,
+                    "{indent}HashJoin {} {} [{} key(s), {} extra] [{} restriction(s)]",
+                    v.table,
+                    v.alias,
+                    eq.len(),
+                    extra.len(),
+                    restr
+                )?,
+                JoinMethod::NestedLoop { conds } => writeln!(
+                    f,
+                    "{indent}NestedLoop {} {} [{} cond(s)] [{} restriction(s)]",
+                    v.table,
+                    v.alias,
+                    conds.len(),
+                    restr
+                )?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{Column, ColumnType, Table};
+    use crate::sql::parse_statement;
+    use crate::sql::Statement;
+
+    fn catalog_with_empdep() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.create_table(Table::new(
+            "empl",
+            vec![
+                Column { name: "eno".into(), ty: ColumnType::Int },
+                Column { name: "nam".into(), ty: ColumnType::Text },
+                Column { name: "sal".into(), ty: ColumnType::Int },
+                Column { name: "dno".into(), ty: ColumnType::Int },
+            ],
+        ))
+        .unwrap();
+        cat.create_table(Table::new(
+            "dept",
+            vec![
+                Column { name: "dno".into(), ty: ColumnType::Int },
+                Column { name: "fct".into(), ty: ColumnType::Text },
+                Column { name: "mgr".into(), ty: ColumnType::Int },
+            ],
+        ))
+        .unwrap();
+        cat
+    }
+
+    fn resolve_select(cat: &Catalog, sql: &str) -> RqsResult<ResolvedCore> {
+        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!("not a select") };
+        resolve(cat, &s.core)
+    }
+
+    #[test]
+    fn resolves_columns_and_classifies_conditions() {
+        let cat = catalog_with_empdep();
+        let core = resolve_select(
+            &cat,
+            "SELECT v1.nam FROM empl v1, dept v2
+             WHERE (v1.dno = v2.dno) AND (v1.sal < 40000) AND (100 < v1.sal)",
+        )
+        .unwrap();
+        assert_eq!(core.vars.len(), 2);
+        assert_eq!(core.joins.len(), 1);
+        assert_eq!(core.restrictions.len(), 2);
+        // Flipped literal-on-left restriction.
+        assert_eq!(core.restrictions[1].op, CmpOp::Gt);
+    }
+
+    #[test]
+    fn unknown_names_rejected() {
+        let cat = catalog_with_empdep();
+        assert!(matches!(
+            resolve_select(&cat, "SELECT v9.nam FROM empl v1"),
+            Err(RqsError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            resolve_select(&cat, "SELECT v1.zzz FROM empl v1"),
+            Err(RqsError::UnknownColumn(_))
+        ));
+        assert!(matches!(
+            resolve_select(&cat, "SELECT v1.nam FROM nosuch v1"),
+            Err(RqsError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_alias_rejected() {
+        let cat = catalog_with_empdep();
+        assert!(resolve_select(&cat, "SELECT v1.nam FROM empl v1, dept v1").is_err());
+    }
+
+    #[test]
+    fn plan_is_left_deep_and_covers_all_vars() {
+        let cat = catalog_with_empdep();
+        let core = resolve_select(
+            &cat,
+            "SELECT v1.nam FROM empl v1, dept v2, empl v3
+             WHERE (v1.dno = v2.dno) AND (v2.mgr = v3.eno)",
+        )
+        .unwrap();
+        let plan = plan(core);
+        assert_eq!(plan.steps.len(), 3);
+        assert_eq!(plan.join_count(), 2);
+        assert!(matches!(plan.steps[0].method, JoinMethod::Initial));
+        // Both subsequent steps join on equality → hash joins.
+        assert!(plan.steps[1..]
+            .iter()
+            .all(|s| matches!(s.method, JoinMethod::Hash { .. })));
+    }
+
+    #[test]
+    fn disconnected_vars_become_products() {
+        let cat = catalog_with_empdep();
+        let core = resolve_select(&cat, "SELECT v1.nam FROM empl v1, dept v2").unwrap();
+        let plan = plan(core);
+        assert!(matches!(
+            plan.steps[1].method,
+            JoinMethod::NestedLoop { ref conds } if conds.is_empty()
+        ));
+    }
+
+    #[test]
+    fn inequality_join_uses_nested_loop() {
+        let cat = catalog_with_empdep();
+        let core = resolve_select(
+            &cat,
+            "SELECT v1.nam FROM empl v1, empl v2 WHERE v1.sal < v2.sal",
+        )
+        .unwrap();
+        let plan = plan(core);
+        assert!(matches!(plan.steps[1].method, JoinMethod::NestedLoop { ref conds } if conds.len() == 1));
+    }
+
+    #[test]
+    fn display_shows_pipeline() {
+        let cat = catalog_with_empdep();
+        let core = resolve_select(
+            &cat,
+            "SELECT v1.nam FROM empl v1, dept v2 WHERE v1.dno = v2.dno",
+        )
+        .unwrap();
+        let text = plan(core).to_string();
+        assert!(text.contains("Scan"));
+        assert!(text.contains("HashJoin"));
+    }
+}

@@ -1,0 +1,234 @@
+//! SQL abstract syntax.
+
+use crate::catalog::{ColumnType, TableConstraint};
+use crate::value::Datum;
+use std::fmt;
+
+/// A qualified column reference `var.column`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ColumnRef {
+    pub var: String,
+    pub column: String,
+}
+
+impl fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.{}", self.var, self.column)
+    }
+}
+
+/// A scalar operand: column reference or literal.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Scalar {
+    Column(ColumnRef),
+    Literal(Datum),
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Column(c) => write!(f, "{c}"),
+            Scalar::Literal(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// Comparison operators of the WHERE clause.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Gt,
+    Le,
+    Ge,
+}
+
+impl CmpOp {
+    pub fn eval(&self, ord: std::cmp::Ordering) -> bool {
+        use std::cmp::Ordering::*;
+        match self {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Ge => ord != Less,
+        }
+    }
+
+    pub fn flip(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+        })
+    }
+}
+
+/// One conjunct of the WHERE clause.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Condition {
+    /// `lhs op rhs`.
+    Compare { lhs: Scalar, op: CmpOp, rhs: Scalar },
+    /// `col [NOT] IN (subquery)` — the §7 negation device.
+    InSubquery { col: ColumnRef, negated: bool, subquery: Box<SelectStmt> },
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Condition::Compare { lhs, op, rhs } => write!(f, "({lhs} {op} {rhs})"),
+            Condition::InSubquery { col, negated, subquery } => {
+                let not = if *negated { "NOT " } else { "" };
+                write!(f, "({col} {not}IN ({subquery}))")
+            }
+        }
+    }
+}
+
+/// One SELECT block (no UNION).
+#[derive(Clone, PartialEq, Debug)]
+pub struct SelectCore {
+    pub distinct: bool,
+    pub items: Vec<ColumnRef>,
+    /// `(table, alias)` pairs of the FROM clause.
+    pub from: Vec<(String, String)>,
+    /// Conjunctive WHERE clause.
+    pub conds: Vec<Condition>,
+}
+
+impl fmt::Display for SelectCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("SELECT ")?;
+        if self.distinct {
+            f.write_str("DISTINCT ")?;
+        }
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        f.write_str(" FROM ")?;
+        for (i, (table, alias)) in self.from.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{table} {alias}")?;
+        }
+        if !self.conds.is_empty() {
+            f.write_str(" WHERE ")?;
+            for (i, c) in self.conds.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(" AND ")?;
+                }
+                write!(f, "{c}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A full query: one core plus any number of UNION arms.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SelectStmt {
+    pub core: SelectCore,
+    pub unions: Vec<SelectCore>,
+}
+
+impl fmt::Display for SelectStmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.core)?;
+        for u in &self.unions {
+            write!(f, " UNION {u}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Any statement the engine accepts.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Statement {
+    CreateTable {
+        name: String,
+        columns: Vec<(String, ColumnType)>,
+        constraints: Vec<TableConstraint>,
+    },
+    CreateIndex {
+        table: String,
+        column: String,
+    },
+    Insert {
+        table: String,
+        rows: Vec<Vec<Datum>>,
+    },
+    /// `DELETE FROM t` — full truncation (no WHERE in this dialect; the
+    /// front-end only ever resets whole intermediate relations).
+    Delete {
+        table: String,
+    },
+    DropTable {
+        name: String,
+    },
+    Select(SelectStmt),
+    /// `EXPLAIN SELECT …` — returns the chosen physical plan as text rows.
+    Explain(SelectStmt),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cmp_op_eval() {
+        use std::cmp::Ordering::*;
+        assert!(CmpOp::Eq.eval(Equal));
+        assert!(CmpOp::Ne.eval(Less));
+        assert!(CmpOp::Lt.eval(Less));
+        assert!(CmpOp::Le.eval(Equal));
+        assert!(CmpOp::Ge.eval(Greater));
+        assert!(!CmpOp::Gt.eval(Equal));
+    }
+
+    #[test]
+    fn cmp_op_flip() {
+        assert_eq!(CmpOp::Lt.flip(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flip(), CmpOp::Eq);
+        assert_eq!(CmpOp::Le.flip(), CmpOp::Ge);
+    }
+
+    #[test]
+    fn display_select() {
+        let stmt = SelectCore {
+            distinct: false,
+            items: vec![ColumnRef { var: "v1".into(), column: "nam".into() }],
+            from: vec![("empl".into(), "v1".into())],
+            conds: vec![Condition::Compare {
+                lhs: Scalar::Column(ColumnRef { var: "v1".into(), column: "sal".into() }),
+                op: CmpOp::Lt,
+                rhs: Scalar::Literal(Datum::Int(40000)),
+            }],
+        };
+        assert_eq!(
+            stmt.to_string(),
+            "SELECT v1.nam FROM empl v1 WHERE (v1.sal < 40000)"
+        );
+    }
+}

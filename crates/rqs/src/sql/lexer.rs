@@ -1,0 +1,163 @@
+//! SQL lexer. Keywords are case-insensitive; identifiers are kept verbatim.
+
+use crate::error::{RqsError, RqsResult};
+
+/// SQL token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Keyword or identifier (keywords compared case-insensitively).
+    Word(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal ('…' with '' escape).
+    Str(String),
+    /// Punctuation / operator.
+    Sym(&'static str),
+}
+
+impl Tok {
+    /// Case-insensitive keyword match.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Word(w) if w.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenizes SQL source.
+pub fn tokenize(src: &str) -> RqsResult<Vec<Tok>> {
+    let bytes = src.as_bytes();
+    let mut pos = 0;
+    let mut out = Vec::new();
+    while pos < bytes.len() {
+        let b = bytes[pos];
+        if b.is_ascii_whitespace() {
+            pos += 1;
+            continue;
+        }
+        if b == b'-' && bytes.get(pos + 1) == Some(&b'-') {
+            while pos < bytes.len() && bytes[pos] != b'\n' {
+                pos += 1;
+            }
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' {
+            let start = pos;
+            while pos < bytes.len()
+                && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+            {
+                pos += 1;
+            }
+            out.push(Tok::Word(src[start..pos].to_owned()));
+            continue;
+        }
+        if b.is_ascii_digit() {
+            let start = pos;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+            let text = &src[start..pos];
+            let value = text
+                .parse()
+                .map_err(|_| RqsError::Syntax(format!("integer out of range: {text}")))?;
+            out.push(Tok::Int(value));
+            continue;
+        }
+        if b == b'\'' {
+            pos += 1;
+            let mut s = String::new();
+            loop {
+                match bytes.get(pos) {
+                    Some(b'\'') if bytes.get(pos + 1) == Some(&b'\'') => {
+                        s.push('\'');
+                        pos += 2;
+                    }
+                    Some(b'\'') => {
+                        pos += 1;
+                        break;
+                    }
+                    Some(&c) => {
+                        s.push(c as char);
+                        pos += 1;
+                    }
+                    None => return Err(RqsError::Syntax("unterminated string literal".into())),
+                }
+            }
+            out.push(Tok::Str(s));
+            continue;
+        }
+        let two = if pos + 1 < bytes.len() { &src[pos..pos + 2] } else { "" };
+        let sym = match two {
+            "<>" => Some("<>"),
+            "!=" => Some("<>"), // normalized
+            "<=" => Some("<="),
+            ">=" => Some(">="),
+            _ => None,
+        };
+        if let Some(s) = sym {
+            out.push(Tok::Sym(s));
+            pos += 2;
+            continue;
+        }
+        let one = match b {
+            b'(' => "(",
+            b')' => ")",
+            b',' => ",",
+            b'.' => ".",
+            b'=' => "=",
+            b'<' => "<",
+            b'>' => ">",
+            b'*' => "*",
+            b';' => ";",
+            other => {
+                return Err(RqsError::Syntax(format!(
+                    "unexpected character `{}`",
+                    other as char
+                )))
+            }
+        };
+        out.push(Tok::Sym(one));
+        pos += 1;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_select() {
+        let toks = tokenize("SELECT v1.nam FROM empl v1 WHERE v1.sal < 40000").unwrap();
+        assert_eq!(toks[0], Tok::Word("SELECT".into()));
+        assert!(toks[0].is_kw("select"));
+        assert!(toks.contains(&Tok::Sym("<")));
+        assert!(toks.contains(&Tok::Int(40000)));
+    }
+
+    #[test]
+    fn string_escapes() {
+        let toks = tokenize("'it''s'").unwrap();
+        assert_eq!(toks, [Tok::Str("it's".into())]);
+    }
+
+    #[test]
+    fn neq_variants_normalize() {
+        assert_eq!(tokenize("a <> b").unwrap()[1], Tok::Sym("<>"));
+        assert_eq!(tokenize("a != b").unwrap()[1], Tok::Sym("<>"));
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT -- the names\n v1.nam").unwrap();
+        assert_eq!(toks.len(), 4); // SELECT v1 . nam
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        assert!(tokenize("SELECT @").is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! The SQL dialect of the relational query system.
+//!
+//! Covers exactly what the 1984 front-end generates plus the DDL/DML needed
+//! to stand the database up:
+//!
+//! ```sql
+//! CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT,
+//!                    PRIMARY KEY (eno),
+//!                    CHECK (sal BETWEEN 10000 AND 90000),
+//!                    FOREIGN KEY (dno) REFERENCES dept (dno))
+//! CREATE INDEX ON empl (dno)
+//! INSERT INTO empl VALUES (1, 'smiley', 50000, 10), (2, 'jones', 30000, 10)
+//! SELECT v1.nam FROM empl v1, dept v2
+//!   WHERE (v1.dno = v2.dno) AND (v1.nam <> 'jones')
+//! SELECT … UNION SELECT …
+//! SELECT … WHERE v1.eno NOT IN (SELECT v2.mgr FROM dept v2)
+//! DELETE FROM intermediate
+//! DROP TABLE intermediate
+//! ```
+//!
+//! Conjunctive queries need no nesting ([Kim 1982], cited in §5); `NOT IN`
+//! exists for the §7 negation extension.
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{
+    CmpOp, ColumnRef, Condition, Scalar, SelectCore, SelectStmt, Statement,
+};
+pub use parser::parse_statement;

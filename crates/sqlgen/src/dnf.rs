@@ -1,0 +1,109 @@
+//! §7 disjunction: "The simplest way to handle disjunction is converting
+//! the DBCL predicate into disjunctive normal form, and generating a query
+//! for each of these conjunctions" — the SDD-1 strategy. The caller UNIONs
+//! the per-branch results.
+
+use crate::ast::SqlQuery;
+use crate::mapping::{translate, MappingOptions};
+use crate::{Result, SqlGenError};
+use dbcl::{DatabaseDef, DbclStatement};
+
+/// Translates a general DBCL statement into one SQL query per DNF branch.
+///
+/// Only purely positive branches translate here; branches containing
+/// negation or embedded predicates are reported as errors — they take the
+/// [`crate::negation`] or the coupling layer's stepwise route instead.
+pub fn generate_dnf(
+    stmt: &DbclStatement,
+    db: &DatabaseDef,
+    opts: MappingOptions,
+) -> Result<Vec<SqlQuery>> {
+    stmt.dnf_branches()
+        .iter()
+        .map(|branch| match branch {
+            DbclStatement::Query(q) => translate(q, db, opts),
+            other => Err(SqlGenError(format!(
+                "branch is not a positive conjunctive query: {other}"
+            ))),
+        })
+        .collect()
+}
+
+/// Renders the branches as one UNION query (how the final result is
+/// assembled; "the final result would be the union of all these query
+/// results", §7).
+pub fn generate_dnf_union_sql(
+    stmt: &DbclStatement,
+    db: &DatabaseDef,
+    opts: MappingOptions,
+) -> Result<String> {
+    let queries = generate_dnf(stmt, db, opts)?;
+    if queries.is_empty() {
+        return Err(SqlGenError("statement has no DNF branches".into()));
+    }
+    Ok(queries
+        .iter()
+        .map(|q| q.to_sql().replace('\n', " "))
+        .collect::<Vec<_>>()
+        .join("\nUNION\n"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbcl::DbclQuery;
+
+    fn disjunctive_fixture() -> DbclStatement {
+        let low = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [cheap_or_field, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *]],
+                  [[less, v_S, 20000]])",
+        )
+        .unwrap();
+        let field = DbclQuery::parse(
+            "dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+                  [cheap_or_field, *, t_X, *, *, *, *],
+                  [[empl, v_E, t_X, v_S, v_D, *, *],
+                   [dept, *, *, *, v_D, field, v_M]],
+                  [])",
+        )
+        .unwrap();
+        DbclStatement::Disjunction(vec![
+            DbclStatement::Query(low),
+            DbclStatement::Query(field),
+        ])
+    }
+
+    #[test]
+    fn one_query_per_branch() {
+        let queries = generate_dnf(
+            &disjunctive_fixture(),
+            &DatabaseDef::empdep(),
+            MappingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(queries.len(), 2);
+        assert_eq!(queries[0].from.len(), 1);
+        assert_eq!(queries[1].from.len(), 2);
+    }
+
+    #[test]
+    fn union_sql_renders() {
+        let sql = generate_dnf_union_sql(
+            &disjunctive_fixture(),
+            &DatabaseDef::empdep(),
+            MappingOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sql.matches("UNION").count(), 1);
+        assert!(sql.contains("(v1.sal < 20000)"));
+        assert!(sql.contains("(v2.fct = 'field')"));
+    }
+
+    #[test]
+    fn negated_branch_rejected_here() {
+        let stmt = DbclStatement::Negation(Box::new(disjunctive_fixture()));
+        assert!(generate_dnf(&stmt, &DatabaseDef::empdep(), MappingOptions::default()).is_err());
+    }
+}

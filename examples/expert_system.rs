@@ -1,0 +1,66 @@
+//! Example 4-1: the expert system asks for a partner.
+//!
+//! "If employee W has to perform a specific task requiring a certain
+//! Skill, W can find a partner for that task by looking for employees X
+//! who have the same skill and work for the same manager."
+//!
+//! The query splits across the coupling: `same_manager` is resolved
+//! against the external database (through metaevaluate → DBCL → SQL),
+//! `specialist` is internal Prolog knowledge, and the results are merged —
+//! the database answers are also cached as Prolog facts, so a follow-up
+//! pure-Prolog query needs no database round trip.
+//!
+//! Run with: `cargo run --example expert_system`
+
+use prolog_front_end::pfe_core::{views, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = Session::empdep();
+    session.consult(views::SAME_MANAGER)?;
+    // Internal knowledge: who is specialist in what (Example 4-1).
+    session.consult(
+        "specialist(jones, guns).
+         specialist(miller, driving).
+         specialist(smiley, thinking).
+         specialist(leamas, languages).",
+    )?;
+    session.load_empl(&[
+        (1, "control", 80_000, 10),
+        (2, "smiley", 60_000, 10),
+        (3, "jones", 30_000, 20),
+        (4, "miller", 25_000, 20),
+        (5, "leamas", 35_000, 20),
+    ])?;
+    session.load_dept(&[(10, "hq", 1), (20, "field", 2)])?;
+    session.check_integrity()?;
+
+    // Jones looks for a partner who is a specialist in driving: the
+    // same_manager part goes to the DBMS, specialist/2 is residual and is
+    // evaluated tuple-by-tuple inside Prolog (§7 stepwise evaluation).
+    println!("?- partner(jones, X, driving).\n");
+    let run = session.query(
+        "same_manager(t_X, jones), specialist(t_X, driving)",
+        "partner",
+    )?;
+    for answer in &run.answers {
+        println!("X = {}", answer["X"]);
+    }
+    let trace = &run.branches[0];
+    println!(
+        "\n[database answered {} candidate(s); Prolog filtered {} without the skill]",
+        trace.raw_answers, trace.residual_filtered
+    );
+    assert_eq!(run.answers.len(), 1);
+
+    // The metaevaluation was evaluated once (the paper guards it with a
+    // cut); its answers now live in the internal database, so ordinary
+    // Prolog resolution can reuse them without touching the DBMS:
+    let engine = &session.coupler().engine;
+    let sols = engine.query_all("same_manager(X, jones), specialist(X, languages).")?;
+    println!(
+        "\nFollow-up inside Prolog only: partner for a languages job: {}",
+        sols[0].get("X").map(ToString::to_string).unwrap_or_default()
+    );
+    assert_eq!(sols.len(), 1);
+    Ok(())
+}

@@ -1,0 +1,43 @@
+//! Quickstart: stand up the paper's `empdep` database, define the
+//! `works_dir_for` view, and watch one query travel the whole pipeline
+//! (PROLOG → DBCL → SQL → relational query system).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use prolog_front_end::pfe_core::{views, Session};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A session over the empdep schema with the Example 3-2 integrity
+    //    constraints (salary bounds, keys, referential integrity).
+    let mut session = Session::empdep();
+
+    // 2. The expert system's view: "X works directly for Y".
+    session.consult(views::WORKS_DIR_FOR)?;
+
+    // 3. Load the external database (the little spy firm used throughout).
+    session.load_empl(&[
+        (1, "control", 80_000, 10),
+        (2, "smiley", 60_000, 10),
+        (3, "jones", 30_000, 20),
+        (4, "miller", 25_000, 20),
+        (5, "leamas", 35_000, 20),
+    ])?;
+    session.load_dept(&[(10, "hq", 1), (20, "field", 2)])?;
+    session.check_integrity()?;
+
+    // 4. The Appendix query: "who works directly for Smiley?"
+    //    `t_nam` marks the target variable (§3's variable-free convention).
+    println!("{}", session.explain("works_dir_for(t_nam, smiley)", "works_dir_for")?);
+
+    // 5. Answers are plain data.
+    let run = session.query("works_dir_for(t_nam, smiley)", "works_dir_for")?;
+    let mut names: Vec<_> = run
+        .answers
+        .iter()
+        .map(|a| a["nam"].as_text().unwrap_or_default().to_owned())
+        .collect();
+    names.sort();
+    println!("Smiley's direct reports: {}", names.join(", "));
+    assert_eq!(names, ["jones", "leamas", "miller"]);
+    Ok(())
+}

@@ -1,0 +1,22 @@
+//! Umbrella crate for the SIGMOD'84 optimizing Prolog front-end reproduction.
+//!
+//! Re-exports the end-to-end [`pfe_core`] facade plus every subsystem crate,
+//! so examples and integration tests can reach any layer:
+//!
+//! - [`prolog`] — the SLD-resolution Prolog engine (expert-system substrate)
+//! - [`dbcl`] — the tableau-like intermediate language of database calls
+//! - [`metaeval`] — PROLOG → DBCL translation (delayed database calls)
+//! - [`optimizer`] — syntactic + semantic DBCL simplification (§6)
+//! - [`sqlgen`] — DBCL → SQL translation (§5)
+//! - [`rqs`] — the relational query system reachable through SQL
+//! - [`coupling`] — global optimization: caching, recursion, query batches (§7)
+
+pub use coupling;
+pub use dbcl;
+pub use metaeval;
+pub use optimizer;
+pub use pfe_core;
+pub use pfe_core::Session;
+pub use prolog;
+pub use rqs;
+pub use sqlgen;

@@ -1,0 +1,143 @@
+//! Reproduction of the paper's Appendix: the actual DEC-20 Prolog
+//! transcript for "who works directly for Smiley?", stage by stage.
+
+use prolog_front_end::dbcl::{DatabaseDef, Entry};
+use prolog_front_end::metaeval::{views, MetaEvaluator};
+use prolog_front_end::pfe_core::Session;
+use prolog_front_end::sqlgen::mapping::{translate, MappingOptions};
+
+/// `?- metaevaluate(pr5, [works_dir_for(t_nam, smiley)], no_optim, NEW).`
+/// yields the three-element dbcall list.
+#[test]
+fn appendix_metaevaluate_dbcall_list() {
+    let mut engine = prolog::Engine::new();
+    engine.consult(views::WORKS_DIR_FOR).unwrap();
+    let db = DatabaseDef::empdep();
+    let meta = MetaEvaluator::new(engine.kb(), &db);
+    let out = meta
+        .metaevaluate("works_dir_for(t_nam, smiley)", "works_dir_for")
+        .unwrap();
+    let dbcalls = out.branches[0].dbcall_terms();
+    let texts: Vec<String> = dbcalls.iter().map(ToString::to_string).collect();
+    // Paper:
+    //   NEW = [dbcall(empl, v_eno, t_nam, v_sal1, v_dno),
+    //          dbcall(dept, v_dno, v_fct, v_eno1),
+    //          dbcall(empl, v_eno1, smiley, v_sal2, v_dno2)]
+    // (our renamer numbers every variable from 1).
+    assert_eq!(
+        texts,
+        [
+            "dbcall(empl, v_eno1, t_nam, v_sal1, v_dno1)",
+            "dbcall(dept, v_dno1, v_fct1, v_mgr1)",
+            "dbcall(empl, v_mgr1, smiley, v_sal2, v_dno2)",
+        ]
+    );
+}
+
+/// The tableau-like DBCL form of the same call.
+#[test]
+fn appendix_dbcl_form() {
+    let mut engine = prolog::Engine::new();
+    engine.consult(views::WORKS_DIR_FOR).unwrap();
+    let db = DatabaseDef::empdep();
+    let meta = MetaEvaluator::new(engine.kb(), &db);
+    let out = meta
+        .metaevaluate("works_dir_for(t_nam, smiley)", "works_dir_for")
+        .unwrap();
+    let q = &out.branches[0].query;
+    // Paper:
+    //   dbcl([empdep, eno, nam, sal, dno, fct, mgr],
+    //        [works_dir_for, *, t_nam, *, *, *, *],
+    //        [[empl, v_eno, t_nam, v_sal1, v_dno, *, *],
+    //         [dept, *, *, *, v_dno, v_fct, v_eno1],
+    //         [empl, v_eno1, smiley, v_sal2, v_dno2, *, *]],
+    //        []).
+    assert_eq!(q.target[1], Entry::target("nam"));
+    assert!(q.target.iter().enumerate().all(|(i, e)| i == 1 || *e == Entry::Star));
+    assert_eq!(q.rows.len(), 3);
+    assert_eq!(q.rows[1].entries[3], q.rows[0].entries[3], "shared dno symbol");
+    assert_eq!(q.rows[2].entries[0], q.rows[1].entries[5], "mgr = eno equijoin");
+    assert_eq!(q.rows[2].entries[1], Entry::sym_const("smiley"));
+    assert!(q.comparisons.is_empty());
+}
+
+/// The generated SQL with the Appendix's variable numbering (v12…v14):
+///
+/// ```sql
+/// SELECT v12.nam
+/// FROM empl v12, dept v13, empl v14
+/// WHERE (v12.dno=v13.dno) AND (v14.nam='smiley') AND (v13.enol=v14.enol)
+/// ```
+///
+/// (The Appendix prints the third condition with the *symbol* name `enol`;
+/// the paper's own body text, Example 5-1, uses proper attribute names —
+/// `v13.mgr = v14.eno` — which is what we generate.)
+#[test]
+fn appendix_sql_with_v12_numbering() {
+    let mut engine = prolog::Engine::new();
+    engine.consult(views::WORKS_DIR_FOR).unwrap();
+    let db = DatabaseDef::empdep();
+    let meta = MetaEvaluator::new(engine.kb(), &db);
+    let out = meta
+        .metaevaluate("works_dir_for(t_nam, smiley)", "works_dir_for")
+        .unwrap();
+    let sql = translate(
+        &out.branches[0].query,
+        &db,
+        MappingOptions { first_var_index: 12, distinct: false },
+    )
+    .unwrap();
+    let text = sql.to_sql();
+    assert!(text.starts_with("SELECT v12.nam"), "{text}");
+    assert!(text.contains("FROM empl v12, dept v13, empl v14"), "{text}");
+    assert!(text.contains("(v12.dno = v13.dno)"), "{text}");
+    assert!(text.contains("(v14.nam = 'smiley')"), "{text}");
+    assert!(text.contains("(v13.mgr = v14.eno)"), "{text}");
+}
+
+/// The SYNTAXTREE term: select/from/where with dot(var, attr) leaves.
+#[test]
+fn appendix_syntax_tree() {
+    let mut engine = prolog::Engine::new();
+    engine.consult(views::WORKS_DIR_FOR).unwrap();
+    let db = DatabaseDef::empdep();
+    let meta = MetaEvaluator::new(engine.kb(), &db);
+    let out = meta
+        .metaevaluate("works_dir_for(t_nam, smiley)", "works_dir_for")
+        .unwrap();
+    let sql = translate(
+        &out.branches[0].query,
+        &db,
+        MappingOptions { first_var_index: 12, distinct: false },
+    )
+    .unwrap();
+    let tree = sql.to_syntax_tree();
+    let text = tree.to_string();
+    assert!(text.starts_with("select([dot(v12, nam)]"), "{text}");
+    assert!(text.contains("from([(empl, v12), (dept, v13), (empl, v14)])"), "{text}");
+    assert!(text.contains("equal(dot(v12, dno), dot(v13, dno))"), "{text}");
+    assert!(text.contains("equal(dot(v14, nam), smiley)"), "{text}");
+    assert!(text.contains("equal(dot(v13, mgr), dot(v14, eno))"), "{text}");
+    // The tree is itself a parseable Prolog term (DBCL is Prolog).
+    prolog::parse_term(&text).unwrap();
+}
+
+/// The full interactive flow as a Session transcript.
+#[test]
+fn appendix_end_to_end_transcript() {
+    let mut s = Session::empdep();
+    s.consult(views::WORKS_DIR_FOR).unwrap();
+    s.load_empl(&[
+        (1, "control", 80_000, 10),
+        (2, "smiley", 60_000, 10),
+        (3, "jones", 30_000, 20),
+    ])
+    .unwrap();
+    s.load_dept(&[(10, "hq", 1), (20, "field", 2)]).unwrap();
+    s.check_integrity().unwrap();
+    let transcript = s.explain("works_dir_for(t_nam, smiley)", "works_dir_for").unwrap();
+    assert!(transcript.contains("metaevaluate"), "{transcript}");
+    assert!(transcript.contains("dbcl("), "{transcript}");
+    assert!(transcript.contains("SELECT"), "{transcript}");
+    assert!(transcript.contains("1 answer(s)"), "{transcript}");
+}

@@ -1,0 +1,186 @@
+//! The pipeline on a schema that is *not* the paper's empdep: the classic
+//! suppliers/parts/shipments database. Exercises multi-attribute keys,
+//! two referential constraints out of one relation, and the
+//! direction-sensitivity of dangling-row deletion.
+
+use prolog_front_end::coupling::Coupler;
+use prolog_front_end::dbcl::{AttrType, ConstraintSet, DatabaseDef};
+use prolog_front_end::optimizer::{Simplifier, SimplifyOutcome};
+use prolog_front_end::pfe_core::Datum;
+
+fn sp_database() -> DatabaseDef {
+    use AttrType::{Int, Text};
+    let mut db = DatabaseDef::new("sp");
+    db.add_relation_typed("supplier", &[("sno", Int), ("sname", Text), ("city", Text)]);
+    db.add_relation_typed("part", &[("pno", Int), ("pname", Text), ("weight", Int)]);
+    db.add_relation_typed("shipment", &[("sno", Int), ("pno", Int), ("qty", Int)]);
+    db
+}
+
+fn sp_constraints() -> ConstraintSet {
+    let mut cs = ConstraintSet::new();
+    cs.add_fd("supplier", &["sno"], &["sname", "city"])
+        .add_fd("part", &["pno"], &["pname", "weight"])
+        .add_fd("shipment", &["sno", "pno"], &["qty"])
+        .add_refint("shipment", &["sno"], "supplier", &["sno"])
+        .add_refint("shipment", &["pno"], "part", &["pno"])
+        .add_bound("shipment", "qty", 1, 1_000)
+        .add_bound("part", "weight", 1, 500);
+    cs
+}
+
+fn sp_coupler() -> Coupler {
+    let mut c = Coupler::new(sp_database(), sp_constraints()).unwrap();
+    for (sno, sname, city) in [(1, "acme", "london"), (2, "bolt", "paris"), (3, "coil", "london")]
+    {
+        c.load_tuple(
+            "supplier",
+            &[Datum::Int(sno), Datum::text(sname), Datum::text(city)],
+        )
+        .unwrap();
+    }
+    for (pno, pname, weight) in [(10, "nut", 5), (20, "bolt", 9), (30, "screw", 2)] {
+        c.load_tuple("part", &[Datum::Int(pno), Datum::text(pname), Datum::Int(weight)])
+            .unwrap();
+    }
+    for (sno, pno, qty) in [(1, 10, 100), (1, 20, 50), (2, 10, 300), (3, 30, 400)] {
+        c.load_tuple("shipment", &[Datum::Int(sno), Datum::Int(pno), Datum::Int(qty)])
+            .unwrap();
+    }
+    c.check_integrity().unwrap();
+    c
+}
+
+#[test]
+fn schema_and_constraints_validate() {
+    let db = sp_database();
+    let cs = sp_constraints();
+    cs.validate(&db).unwrap();
+    // Universal-relation columns: shared sno/pno collapse.
+    let cols: Vec<String> = db.attributes.iter().map(ToString::to_string).collect();
+    assert_eq!(cols, ["sno", "sname", "city", "pno", "pname", "weight", "qty"]);
+}
+
+#[test]
+fn ddl_includes_composite_key() {
+    let ddl = prolog_front_end::coupling::ddl_statements(&sp_database(), &sp_constraints());
+    let all = ddl.join("\n");
+    assert!(all.contains("PRIMARY KEY (sno, pno)"), "{all}");
+    assert!(all.contains("FOREIGN KEY (sno) REFERENCES supplier (sno)"), "{all}");
+    assert!(all.contains("FOREIGN KEY (pno) REFERENCES part (pno)"), "{all}");
+}
+
+#[test]
+fn end_to_end_join_query() {
+    let mut c = sp_coupler();
+    c.consult(
+        "supplies(SName, PName) :-
+             shipment(S, P, _),
+             supplier(S, SName, _),
+             part(P, PName, _).",
+    )
+    .unwrap();
+    let run = c.query("supplies(t_S, nut)", "supplies").unwrap();
+    let mut names: Vec<String> = run.answers.iter().map(|a| a["S"].to_string()).collect();
+    names.sort();
+    assert_eq!(names, ["'acme'", "'bolt'"]);
+}
+
+/// Dangling-row deletion is direction-sensitive: the part row of a
+/// "supplier ships something" view dangles (shipment.pno ⊆ part.pno), but
+/// the shipment row must survive — suppliers may ship nothing, and no
+/// stored constraint says supplier.sno ⊆ shipment.sno.
+#[test]
+fn refint_direction_sensitivity() {
+    let db = sp_database();
+    let cs = sp_constraints();
+    let q = prolog_front_end::dbcl::DbclQuery::parse(
+        "dbcl([sp, sno, sname, city, pno, pname, weight, qty],
+              [ships, *, t_N, *, *, *, *, *],
+              [[supplier, v_S, t_N, v_C, *, *, *, *],
+               [shipment, v_S, *, *, v_P, *, *, v_Q],
+               [part, *, *, *, v_P, v_PN, v_W, *]],
+              [])",
+    )
+    .unwrap();
+    q.validate(&db).unwrap();
+    let SimplifyOutcome::Simplified(out, stats) = Simplifier::new(&db, &cs).simplify(q) else {
+        panic!("satisfiable")
+    };
+    assert_eq!(stats.rows_removed_refint, 1, "only the part row goes:\n{out}");
+    let relations: Vec<&str> = out.rows.iter().map(|r| r.relation.as_str()).collect();
+    assert_eq!(relations, ["supplier", "shipment"]);
+}
+
+/// The composite-key FD merges two shipment rows agreeing on (sno, pno).
+#[test]
+fn composite_key_chase() {
+    let db = sp_database();
+    let cs = sp_constraints();
+    let mut q = prolog_front_end::dbcl::DbclQuery::parse(
+        "dbcl([sp, sno, sname, city, pno, pname, weight, qty],
+              [q, *, *, *, *, *, *, t_Q],
+              [[shipment, v_S, *, *, v_P, *, *, t_Q],
+               [shipment, v_S, *, *, v_P, *, *, v_Q2]],
+              [])",
+    )
+    .unwrap();
+    q.validate(&db).unwrap();
+    match prolog_front_end::optimizer::chase::chase(&mut q, &db, &cs) {
+        prolog_front_end::optimizer::chase::ChaseOutcome::Done(stats) => {
+            assert_eq!(stats.rows_removed, 1);
+            assert_eq!(q.rows.len(), 1);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Agreement on only half of the composite key must NOT merge.
+#[test]
+fn partial_composite_key_does_not_chase() {
+    let db = sp_database();
+    let cs = sp_constraints();
+    let mut q = prolog_front_end::dbcl::DbclQuery::parse(
+        "dbcl([sp, sno, sname, city, pno, pname, weight, qty],
+              [q, *, *, *, *, *, *, t_Q],
+              [[shipment, v_S, *, *, v_P1, *, *, t_Q],
+               [shipment, v_S, *, *, v_P2, *, *, v_Q2]],
+              [])",
+    )
+    .unwrap();
+    q.validate(&db).unwrap();
+    match prolog_front_end::optimizer::chase::chase(&mut q, &db, &cs) {
+        prolog_front_end::optimizer::chase::ChaseOutcome::Done(stats) => {
+            assert_eq!(stats.rows_removed, 0);
+            assert_eq!(q.rows.len(), 2);
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+/// Value bounds of the second schema feed §6.1 as usual.
+#[test]
+fn qty_bounds_apply() {
+    let mut c = sp_coupler();
+    c.consult(
+        "big_shipment(SName) :-
+             shipment(S, P, Q), greater(Q, 2000),
+             supplier(S, SName, C).",
+    )
+    .unwrap();
+    let run = c.query("big_shipment(t_S)", "big").unwrap();
+    // qty ≤ 1000 by the bound: provably empty, no SQL issued.
+    assert!(run.answers.is_empty());
+    assert!(run.branches[0].sql.is_none());
+    assert!(run.branches[0].empty_reason.is_some());
+}
+
+/// Integrity is enforced on the second schema's own constraints.
+#[test]
+fn integrity_enforced() {
+    let mut c = sp_coupler();
+    // Shipment referencing an unknown part.
+    c.load_tuple("shipment", &[Datum::Int(1), Datum::Int(99), Datum::Int(10)])
+        .unwrap();
+    assert!(c.check_integrity().is_err());
+}
