@@ -10,7 +10,9 @@ fn grammar(c: &mut Criterion) {
     let q = DbclQuery::example_4_1();
     let text = q.to_string();
     let mut group = c.benchmark_group("f2_grammar");
-    group.bench_function("parse", |b| b.iter(|| black_box(DbclQuery::parse(&text).unwrap())));
+    group.bench_function("parse", |b| {
+        b.iter(|| black_box(DbclQuery::parse(&text).unwrap()))
+    });
     group.bench_function("print", |b| b.iter(|| black_box(q.to_string())));
     group.finish();
 }
@@ -81,10 +83,17 @@ fn prolog_engine(c: &mut Criterion) {
 fn rqs_executor(c: &mut Criterion) {
     use coupling::workload::{Firm, FirmParams};
     let mut db = rqs::Database::new();
-    for ddl in coupling::ddl_statements(&dbcl::DatabaseDef::empdep(), &dbcl::ConstraintSet::empdep()) {
+    for ddl in
+        coupling::ddl_statements(&dbcl::DatabaseDef::empdep(), &dbcl::ConstraintSet::empdep())
+    {
         db.execute(&ddl).unwrap();
     }
-    let firm = Firm::generate(FirmParams { depth: 3, branching: 2, staff_per_dept: 4, seed: 1 });
+    let firm = Firm::generate(FirmParams {
+        depth: 3,
+        branching: 2,
+        staff_per_dept: 4,
+        seed: 1,
+    });
     firm.load_into_rqs(&mut db).unwrap();
     let six_way = "SELECT v1.nam
         FROM empl v1, dept v2, empl v3, empl v4, dept v5, empl v6

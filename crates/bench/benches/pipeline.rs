@@ -1,8 +1,8 @@
 //! F1 — Figure 1: per-phase and end-to-end latency of the translation
 //! pipeline (metaevaluate → optimize → translate → execute).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use coupling::workload::FirmParams;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dbcl::{ConstraintSet, DatabaseDef, DbclQuery};
 use metaeval::MetaEvaluator;
 use optimizer::{Simplifier, SimplifyOutcome};
@@ -13,7 +13,12 @@ use std::hint::black_box;
 fn phases(c: &mut Criterion) {
     let db = DatabaseDef::empdep();
     let cs = ConstraintSet::empdep();
-    let (s, firm) = firm_session(FirmParams { depth: 3, branching: 2, staff_per_dept: 4, seed: 1 });
+    let (s, firm) = firm_session(FirmParams {
+        depth: 3,
+        branching: 2,
+        staff_per_dept: 4,
+        seed: 1,
+    });
     let goal = format!("same_manager(t_X, '{}')", firm.deepest_employee());
 
     let mut group = c.benchmark_group("f1_phases");

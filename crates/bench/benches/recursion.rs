@@ -15,15 +15,21 @@ fn strategies(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_1_strategies");
     group.sample_size(10);
     for depth in [2usize, 3, 4] {
-        let params = FirmParams { depth, branching: 2, staff_per_dept: 2, seed: 1 };
+        let params = FirmParams {
+            depth,
+            branching: 2,
+            staff_per_dept: 2,
+            seed: 1,
+        };
         let (mut s, firm) = firm_session(params);
         let chain = firm.max_chain();
-        let bound = Bound { side: BoundSide::High, value: Datum::text(firm.ceo()) };
+        let bound = Bound {
+            side: BoundSide::High,
+            value: Datum::text(firm.ceo()),
+        };
         group.bench_with_input(BenchmarkId::new("naive", chain), &bound, |b, bound| {
             b.iter(|| {
-                black_box(
-                    eval_naive(s.coupler_mut(), "works_for", bound, chain + 1).unwrap(),
-                )
+                black_box(eval_naive(s.coupler_mut(), "works_for", bound, chain + 1).unwrap())
             })
         });
         let spec = ClosureSpec::from_view(s.coupler(), "works_dir_for").unwrap();
@@ -33,8 +39,7 @@ fn strategies(c: &mut Criterion) {
             |b, bound| {
                 b.iter(|| {
                     black_box(
-                        eval_intermediate(s.coupler_mut(), &spec, bound, "intermediate")
-                            .unwrap(),
+                        eval_intermediate(s.coupler_mut(), &spec, bound, "intermediate").unwrap(),
                     )
                 })
             },
@@ -46,10 +51,18 @@ fn strategies(c: &mut Criterion) {
 fn orientation(c: &mut Criterion) {
     let mut group = c.benchmark_group("e7_1_orientation");
     group.sample_size(10);
-    let params = FirmParams { depth: 3, branching: 2, staff_per_dept: 1, seed: 2 };
+    let params = FirmParams {
+        depth: 3,
+        branching: 2,
+        staff_per_dept: 1,
+        seed: 2,
+    };
     let (mut s, firm) = firm_session(params);
     let spec = ClosureSpec::from_view(s.coupler(), "works_dir_for").unwrap();
-    let low = Bound { side: BoundSide::Low, value: Datum::text(firm.deepest_employee()) };
+    let low = Bound {
+        side: BoundSide::Low,
+        value: Datum::text(firm.deepest_employee()),
+    };
     group.bench_function("bottom_up", |b| {
         b.iter(|| {
             black_box(eval_intermediate(s.coupler_mut(), &spec, &low, "intermediate").unwrap())
@@ -58,8 +71,7 @@ fn orientation(c: &mut Criterion) {
     group.bench_function("top_down_mismatched", |b| {
         b.iter(|| {
             black_box(
-                eval_intermediate_mismatched(s.coupler_mut(), &spec, &low, "intermediate")
-                    .unwrap(),
+                eval_intermediate_mismatched(s.coupler_mut(), &spec, &low, "intermediate").unwrap(),
             )
         })
     });

@@ -14,18 +14,30 @@ fn simplifier_cost(c: &mut Criterion) {
     let query = DbclQuery::example_4_1();
     let mut group = c.benchmark_group("e6_2_algorithm2");
     let configs: [(&str, SimplifyConfig); 4] = [
-        ("bounds_ineq", SimplifyConfig {
-            use_chase: false,
-            use_refint: false,
-            use_minimize: false,
-            ..SimplifyConfig::default()
-        }),
-        ("chase", SimplifyConfig {
-            use_refint: false,
-            use_minimize: false,
-            ..SimplifyConfig::default()
-        }),
-        ("refint", SimplifyConfig { use_minimize: false, ..SimplifyConfig::default() }),
+        (
+            "bounds_ineq",
+            SimplifyConfig {
+                use_chase: false,
+                use_refint: false,
+                use_minimize: false,
+                ..SimplifyConfig::default()
+            },
+        ),
+        (
+            "chase",
+            SimplifyConfig {
+                use_refint: false,
+                use_minimize: false,
+                ..SimplifyConfig::default()
+            },
+        ),
+        (
+            "refint",
+            SimplifyConfig {
+                use_minimize: false,
+                ..SimplifyConfig::default()
+            },
+        ),
         ("full", SimplifyConfig::default()),
     ];
     for (name, config) in configs {

@@ -13,7 +13,7 @@ use coupling::workload::FirmParams;
 use dbcl::{ConstraintSet, DatabaseDef, DbclQuery};
 use metaeval::{views, MetaEvaluator};
 use optimizer::{Simplifier, SimplifyConfig, SimplifyOutcome};
-use pfe_bench::{firm_session, firm_sweep, spy_session};
+use pfe_bench::{firm_session, firm_session_paged, firm_sweep, spy_session};
 use pfe_core::Datum;
 use sqlgen::mapping::{translate, MappingOptions};
 use std::time::Instant;
@@ -50,20 +50,31 @@ fn main() {
     x3_stepwise();
     x4_multi_query();
     a1_ablation();
+    s1_storage();
 }
 
 /// F1 — Figure 1: the four-phase architecture, with per-phase latency.
 fn f1_pipeline() {
-    header("F1", "Figure 1 — architecture of the PROLOG-SQL translation mechanism");
+    header(
+        "F1",
+        "Figure 1 — architecture of the PROLOG-SQL translation mechanism",
+    );
     paper("metaevaluate -> DBCL -> local/global optimize -> translate -> SQL");
-    let (mut s, firm) = firm_session(FirmParams { depth: 3, branching: 3, staff_per_dept: 5, seed: 1 });
+    let (mut s, firm) = firm_session(FirmParams {
+        depth: 3,
+        branching: 3,
+        staff_per_dept: 5,
+        seed: 1,
+    });
     let goal = format!("same_manager(t_X, '{}')", firm.deepest_employee());
 
     let db = DatabaseDef::empdep();
     let cs = ConstraintSet::empdep();
     let t0 = Instant::now();
     let meta = MetaEvaluator::new(s.coupler().engine.kb(), &db);
-    let out = meta.metaevaluate(&goal, "same_manager").expect("metaevaluates");
+    let out = meta
+        .metaevaluate(&goal, "same_manager")
+        .expect("metaevaluates");
     let t_meta = t0.elapsed();
 
     let t0 = Instant::now();
@@ -79,7 +90,11 @@ fn f1_pipeline() {
     let t_sql = t0.elapsed();
 
     let t0 = Instant::now();
-    let result = s.coupler_mut().rqs.execute(&sql.to_sql()).expect("executes");
+    let result = s
+        .coupler_mut()
+        .rqs
+        .execute(&sql.to_sql())
+        .expect("executes");
     let t_exec = t0.elapsed();
 
     measured(&format!(
@@ -99,11 +114,8 @@ fn f2_grammar() {
             ok += 1;
         }
     }
-    let stmt = dbcl::DbclStatement::parse(&format!(
-        "not({}) ; specialist(a, b)",
-        fixtures[0]
-    ))
-    .expect("full DBCL parses");
+    let stmt = dbcl::DbclStatement::parse(&format!("not({}) ; specialist(a, b)", fixtures[0]))
+        .expect("full DBCL parses");
     measured(&format!(
         "{ok}/{} conjunctive fixtures round-trip; full-DBCL statement with negation+disjunction parses: {}",
         fixtures.len(),
@@ -113,7 +125,10 @@ fn f2_grammar() {
 
 /// E3-3 — Example 3-3: DBCL representation of the works_dir_for query.
 fn e3_3_dbcl() {
-    header("E3-3", "Example 3-3 — works_dir_for + salary restriction in DBCL");
+    header(
+        "E3-3",
+        "Example 3-3 — works_dir_for + salary restriction in DBCL",
+    );
     paper("4 relreference rows, comparison [less, v_S, 40000]");
     let mut engine = prolog::Engine::new();
     engine.consult(views::WORKS_DIR_FOR).expect("view parses");
@@ -129,7 +144,11 @@ fn e3_3_dbcl() {
     measured(&format!(
         "{} rows ({}), {} comparison(s): {}",
         q.rows.len(),
-        q.rows.iter().map(|r| r.relation.to_string()).collect::<Vec<_>>().join(", "),
+        q.rows
+            .iter()
+            .map(|r| r.relation.to_string())
+            .collect::<Vec<_>>()
+            .join(", "),
         q.comparisons.len(),
         q.comparisons[0]
     ));
@@ -137,21 +156,35 @@ fn e3_3_dbcl() {
 
 /// E4-1 — Example 4-1: the partner query splits internal/external.
 fn e4_1_partner() {
-    header("E4-1", "Example 4-1 — partner(jones, X, driving) via coupling");
+    header(
+        "E4-1",
+        "Example 4-1 — partner(jones, X, driving) via coupling",
+    );
     paper("same_manager resolved in DBMS, specialist in PROLOG; metaevaluate once (cut)");
     let mut s = spy_session();
     s.consult(views::SAME_MANAGER).expect("views parse");
-    s.consult("specialist(jones, guns). specialist(miller, driving). specialist(smiley, thinking).")
-        .expect("facts parse");
+    s.consult(
+        "specialist(jones, guns). specialist(miller, driving). specialist(smiley, thinking).",
+    )
+    .expect("facts parse");
     let run = s
-        .query("same_manager(t_X, jones), specialist(t_X, driving)", "partner")
+        .query(
+            "same_manager(t_X, jones), specialist(t_X, driving)",
+            "partner",
+        )
         .expect("query runs");
     let again = s
-        .query("same_manager(t_X, jones), specialist(t_X, driving)", "partner")
+        .query(
+            "same_manager(t_X, jones), specialist(t_X, driving)",
+            "partner",
+        )
         .expect("query runs");
     measured(&format!(
         "answers: {:?}; database candidates {}, Prolog-filtered {}; second ask cache-hit: {}",
-        run.answers.iter().map(|a| a["X"].to_string()).collect::<Vec<_>>(),
+        run.answers
+            .iter()
+            .map(|a| a["X"].to_string())
+            .collect::<Vec<_>>(),
         run.branches[0].raw_answers,
         run.branches[0].residual_filtered,
         again.branches[0].cache_hit
@@ -160,11 +193,14 @@ fn e4_1_partner() {
 
 /// E5-1 — Example 5-1: direct SQL for same_manager(t_X, jones).
 fn e5_1_direct_sql() {
-    header("E5-1", "Example 5-1 — direct translation of same_manager(t_X, jones)");
+    header(
+        "E5-1",
+        "Example 5-1 — direct translation of same_manager(t_X, jones)",
+    );
     paper("SELECT v1.nam FROM empl v1, dept v2, empl v3, empl v4, dept v5, empl v6 (5 join terms)");
     let db = DatabaseDef::empdep();
-    let sql = translate(&DbclQuery::example_4_1(), &db, MappingOptions::default())
-        .expect("translates");
+    let sql =
+        translate(&DbclQuery::example_4_1(), &db, MappingOptions::default()).expect("translates");
     measured(&format!(
         "{} FROM variables, {} join terms, {} restriction terms",
         sql.from.len(),
@@ -193,19 +229,25 @@ fn e6_1_chase() {
                 .collect::<Vec<_>>()
                 .join(", ")
         )),
-        optimizer::chase::ChaseOutcome::Contradiction(w) => measured(&format!("contradiction: {w}")),
+        optimizer::chase::ChaseOutcome::Contradiction(w) => {
+            measured(&format!("contradiction: {w}"))
+        }
     }
 }
 
 /// E6-2 — Example 6-2: the flagship simplification + execution sweep.
 fn e6_2_simplification() {
-    header("E6-2", "Example 6-2 — same_manager simplification and execution");
+    header(
+        "E6-2",
+        "Example 6-2 — same_manager simplification and execution",
+    );
     paper("6 rows -> 2 rows; \"four out of five join operations have been avoided\"");
     let db = DatabaseDef::empdep();
     let cs = ConstraintSet::empdep();
     let direct = DbclQuery::example_4_1();
     let direct_sql = translate(&direct, &db, MappingOptions::default()).expect("translates");
-    let SimplifyOutcome::Simplified(opt, stats) = Simplifier::new(&db, &cs).simplify(direct.clone())
+    let SimplifyOutcome::Simplified(opt, stats) =
+        Simplifier::new(&db, &cs).simplify(direct.clone())
     else {
         unreachable!("satisfiable")
     };
@@ -219,11 +261,14 @@ fn e6_2_simplification() {
         stats.rows_removed_chase,
         stats.rows_removed_refint
     ));
-    println!("          execution sweep (direct vs optimized):");
-    println!("          {:>6} {:>10} {:>10} {:>12} {:>12} {:>8}",
-        "n", "joins_d", "joins_o", "scanned_d", "scanned_o", "agree");
+    println!("          execution sweep on the paged backend (direct vs optimized),");
+    println!("          8-page pool — pages_* counts pages touched (reads + hits), the paper's cost model:");
+    println!(
+        "          {:>6} {:>8} {:>8} {:>11} {:>11} {:>8} {:>8} {:>7}",
+        "n", "joins_d", "joins_o", "scanned_d", "scanned_o", "pages_d", "pages_o", "agree"
+    );
     for params in firm_sweep() {
-        let (mut s, firm) = firm_session(params);
+        let (mut s, firm) = firm_session_paged(params, 8);
         s.config_mut().cache = false;
         let goal = format!("same_manager(t_X, '{}')", firm.deepest_employee());
         let optimized = s.query(&goal, "same_manager").expect("query runs");
@@ -231,15 +276,70 @@ fn e6_2_simplification() {
         let direct = s.query(&goal, "same_manager").expect("query runs");
         let (om, dm) = (optimized.total_metrics(), direct.total_metrics());
         println!(
-            "          {:>6} {:>10} {:>10} {:>12} {:>12} {:>8}",
+            "          {:>6} {:>8} {:>8} {:>11} {:>11} {:>8} {:>8} {:>7}",
             firm.employees.len(),
             dm.joins,
             om.joins,
             dm.rows_scanned,
             om.rows_scanned,
+            dm.page_reads + dm.buffer_hits,
+            om.page_reads + om.buffer_hits,
             optimized.answers.len() == direct.answers.len()
         );
     }
+}
+
+/// S1 — the paged storage engine itself: buffer pool + B+-tree payoff.
+fn s1_storage() {
+    header(
+        "S1",
+        "Paged storage engine — page I/O under an 8-page buffer pool",
+    );
+    paper("(infrastructure: the paper's cost model counts DBMS page accesses)");
+    let mut db = rqs::Database::paged(8).expect("paged database");
+    db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
+        .expect("ddl runs");
+    let n = 2000;
+    for chunk_start in (0..n).step_by(100) {
+        let rows: Vec<String> = (chunk_start..chunk_start + 100)
+            .map(|i| format!("({i}, 'e{i}', {}, {})", 10_000 + i, i % 25))
+            .collect();
+        db.execute(&format!("INSERT INTO empl VALUES {}", rows.join(", ")))
+            .expect("insert runs");
+    }
+    let point = "SELECT v.sal FROM empl v WHERE v.nam = 'e1234'";
+    let scan = db.execute(point).expect("query runs");
+    db.execute("CREATE INDEX ON empl (nam)")
+        .expect("index builds");
+    let indexed = db.execute(point).expect("query runs");
+    assert_eq!(
+        scan.rows, indexed.rows,
+        "index path must not change answers"
+    );
+    let hit_rate = |m: &rqs::QueryMetrics| {
+        let total = m.page_reads + m.buffer_hits;
+        if total == 0 {
+            0.0
+        } else {
+            m.buffer_hits as f64 / total as f64
+        }
+    };
+    measured(&format!(
+        "{n}-row table, 8-page pool; point query via full scan: {} page_reads \
+         (hit rate {:.0}%); via B+-tree index: {} page_reads (hit rate {:.0}%)",
+        scan.metrics.page_reads,
+        100.0 * hit_rate(&scan.metrics),
+        indexed.metrics.page_reads,
+        100.0 * hit_rate(&indexed.metrics),
+    ));
+    measured(&format!(
+        "index saves {} of {} page reads ({}x fewer); rows_scanned {} -> {}",
+        scan.metrics.page_reads - indexed.metrics.page_reads,
+        scan.metrics.page_reads,
+        scan.metrics.page_reads / indexed.metrics.page_reads.max(1),
+        scan.metrics.rows_scanned,
+        indexed.metrics.rows_scanned,
+    ));
 }
 
 /// E6-b — §6.1 value bounds and inequality simplification.
@@ -250,10 +350,16 @@ fn e6_bounds() {
     let mut s = spy_session();
     s.consult(views::WORKS_DIR_FOR).expect("view parses");
     let generous = s
-        .query("works_dir_for(t_X, smiley), empl(E, t_X, S, D), less(S, 200000)", "q1")
+        .query(
+            "works_dir_for(t_X, smiley), empl(E, t_X, S, D), less(S, 200000)",
+            "q1",
+        )
         .expect("query runs");
     let impossible = s
-        .query("works_dir_for(t_X, smiley), empl(E, t_X, S, D), less(S, 2000)", "q2")
+        .query(
+            "works_dir_for(t_X, smiley), empl(E, t_X, S, D), less(S, 2000)",
+            "q2",
+        )
         .expect("query runs");
     measured(&format!(
         "200000-case: comparisons removed {}, answers {}; 2000-case: empty without SQL: {}",
@@ -286,18 +392,26 @@ fn e6_bounds() {
 
 /// E7-1 — Example 7-1: recursion strategies.
 fn e7_1_recursion() {
-    header("E7-1", "Example 7-1 — recursive works_for: naive vs intermediate vs orientation");
+    header(
+        "E7-1",
+        "Example 7-1 — recursive works_for: naive vs intermediate vs orientation",
+    );
     paper("naive: each step adds one condition (3 relations per view copy);");
     paper("intermediate: same-shape query per step, union of results;");
     paper("wrong orientation: first intermediate = ALL employee names");
-    println!("          {:>6} {:>7} | {:>14} {:>14} | {:>14} {:>14}",
-        "n", "chain", "naive_fromvars", "inter_fromvars", "naive_scanned", "inter_scanned");
+    println!(
+        "          {:>6} {:>7} | {:>14} {:>14} | {:>14} {:>14}",
+        "n", "chain", "naive_fromvars", "inter_fromvars", "naive_scanned", "inter_scanned"
+    );
     for params in firm_sweep() {
         let (mut s, firm) = firm_session(params);
         let coupler = s.coupler_mut();
-        let bound = Bound { side: BoundSide::High, value: Datum::text(firm.ceo()) };
-        let naive = eval_naive(coupler, "works_for", &bound, firm.max_chain() + 1)
-            .expect("naive runs");
+        let bound = Bound {
+            side: BoundSide::High,
+            value: Datum::text(firm.ceo()),
+        };
+        let naive =
+            eval_naive(coupler, "works_for", &bound, firm.max_chain() + 1).expect("naive runs");
         let spec = ClosureSpec::from_view(coupler, "works_dir_for").expect("spec builds");
         let inter =
             eval_intermediate(coupler, &spec, &bound, "intermediate").expect("intermediate runs");
@@ -325,11 +439,18 @@ fn e7_1_recursion() {
         );
     }
     // Orientation experiment on a mid-size firm.
-    let (mut s, firm) =
-        firm_session(FirmParams { depth: 3, branching: 2, staff_per_dept: 2, seed: 3 });
+    let (mut s, firm) = firm_session(FirmParams {
+        depth: 3,
+        branching: 2,
+        staff_per_dept: 2,
+        seed: 3,
+    });
     let coupler = s.coupler_mut();
     let spec = ClosureSpec::from_view(coupler, "works_dir_for").expect("spec builds");
-    let low = Bound { side: BoundSide::Low, value: Datum::text(firm.deepest_employee()) };
+    let low = Bound {
+        side: BoundSide::Low,
+        value: Datum::text(firm.deepest_employee()),
+    };
     let good = eval_intermediate(coupler, &spec, &low, "intermediate").expect("runs");
     let bad = eval_intermediate_mismatched(coupler, &spec, &low, "intermediate").expect("runs");
     measured(&format!(
@@ -348,7 +469,9 @@ fn e7_1_recursion() {
 /// EA — the Appendix transcript.
 fn ea_appendix() {
     header("EA", "Appendix — works_dir_for(t_nam, smiley) transcript");
-    paper("dbcall list -> dbcl/4 -> SELECT v12.nam FROM empl v12, dept v13, empl v14 -> syntax tree");
+    paper(
+        "dbcall list -> dbcl/4 -> SELECT v12.nam FROM empl v12, dept v13, empl v14 -> syntax tree",
+    );
     let mut s = spy_session();
     s.consult(views::WORKS_DIR_FOR).expect("view parses");
     let transcript = s
@@ -364,7 +487,10 @@ fn ea_appendix() {
     let sql = translate(
         &out.branches[0].query,
         &db,
-        MappingOptions { first_var_index: 12, distinct: false },
+        MappingOptions {
+            first_var_index: 12,
+            distinct: false,
+        },
     )
     .expect("translates");
     measured(&format!(
@@ -385,11 +511,16 @@ fn x1_disjunction() {
          target_group(X) :- empl(_, X, _, D), dept(D, hq, _).",
     )
     .expect("views parse");
-    let run = s.query("target_group(t_X)", "target_group").expect("query runs");
+    let run = s
+        .query("target_group(t_X)", "target_group")
+        .expect("query runs");
     measured(&format!(
         "{} branches executed, union answers: {:?}",
         run.branches.len(),
-        run.answers.iter().map(|a| a["X"].to_string()).collect::<Vec<_>>()
+        run.answers
+            .iter()
+            .map(|a| a["X"].to_string())
+            .collect::<Vec<_>>()
     ));
 }
 
@@ -416,24 +547,39 @@ fn x2_negation() {
         &managers,
         &manages_jones,
         &DatabaseDef::empdep(),
-        MappingOptions { first_var_index: 1, distinct: true },
+        MappingOptions {
+            first_var_index: 1,
+            distinct: true,
+        },
     )
     .expect("translates");
-    let result = s.coupler_mut().rqs.execute(&sql.to_sql()).expect("executes");
+    let result = s
+        .coupler_mut()
+        .rqs
+        .execute(&sql.to_sql())
+        .expect("executes");
     measured(&format!(
         "managers not managing jones: {:?} (subqueries evaluated: {})",
-        result.rows.iter().map(|r| r[0].to_string()).collect::<Vec<_>>(),
+        result
+            .rows
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect::<Vec<_>>(),
         result.metrics.subqueries
     ));
 }
 
 /// X3 — embedded predicates via stepwise evaluation.
 fn x3_stepwise() {
-    header("X3", "§7 — embedded Prolog predicates, right-to-left tuple substitution");
+    header(
+        "X3",
+        "§7 — embedded Prolog predicates, right-to-left tuple substitution",
+    );
     paper("issue the database query, evaluate the rest tuple-at-a-time in PROLOG");
     let mut s = spy_session();
     s.consult(views::WORKS_DIR_FOR).expect("view parses");
-    s.consult("veteran(jones). veteran(leamas).").expect("facts parse");
+    s.consult("veteran(jones). veteran(leamas).")
+        .expect("facts parse");
     let run = s
         .query("works_dir_for(t_X, smiley), veteran(t_X)", "q")
         .expect("query runs");
@@ -441,13 +587,19 @@ fn x3_stepwise() {
         "database returned {}, Prolog kept {} ({:?})",
         run.branches[0].raw_answers,
         run.answers.len(),
-        run.answers.iter().map(|a| a["X"].to_string()).collect::<Vec<_>>()
+        run.answers
+            .iter()
+            .map(|a| a["X"].to_string())
+            .collect::<Vec<_>>()
     ));
 }
 
 /// X4 — multiple-query optimization.
 fn x4_multi_query() {
-    header("X4", "§7 — multiple-query common subexpressions [Jarke 1984]");
+    header(
+        "X4",
+        "§7 — multiple-query common subexpressions [Jarke 1984]",
+    );
     paper("recognize common subexpressions across related database calls");
     let mut engine = prolog::Engine::new();
     engine.consult(views::SAME_MANAGER).expect("views parse");
@@ -488,24 +640,42 @@ fn x4_multi_query() {
 
 /// A1 — ablation: which §6 phase buys what.
 fn a1_ablation() {
-    header("A1", "Ablation — §6 phases on/off (same_manager on the largest sweep firm)");
+    header(
+        "A1",
+        "Ablation — §6 phases on/off (same_manager on the largest sweep firm)",
+    );
     paper("(no direct paper claim; quantifies each simplification phase)");
     let params = *firm_sweep().last().expect("non-empty sweep");
-    println!("          {:>22} {:>6} {:>7} {:>12}", "config", "rows", "joins", "scanned");
+    println!(
+        "          {:>22} {:>6} {:>7} {:>12}",
+        "config", "rows", "joins", "scanned"
+    );
     let configs: [(&str, SimplifyConfig); 5] = [
         ("none (direct)", SimplifyConfig::none()),
-        ("bounds+ineq", SimplifyConfig {
-            use_chase: false,
-            use_refint: false,
-            use_minimize: false,
-            ..SimplifyConfig::default()
-        }),
-        ("+chase", SimplifyConfig {
-            use_refint: false,
-            use_minimize: false,
-            ..SimplifyConfig::default()
-        }),
-        ("+refint", SimplifyConfig { use_minimize: false, ..SimplifyConfig::default() }),
+        (
+            "bounds+ineq",
+            SimplifyConfig {
+                use_chase: false,
+                use_refint: false,
+                use_minimize: false,
+                ..SimplifyConfig::default()
+            },
+        ),
+        (
+            "+chase",
+            SimplifyConfig {
+                use_refint: false,
+                use_minimize: false,
+                ..SimplifyConfig::default()
+            },
+        ),
+        (
+            "+refint",
+            SimplifyConfig {
+                use_minimize: false,
+                ..SimplifyConfig::default()
+            },
+        ),
         ("full (Algorithm 2)", SimplifyConfig::default()),
     ];
     for (name, config) in configs {

@@ -14,14 +14,24 @@ pub fn spy_session() -> Session {
         (5, "leamas", 35_000, 20),
     ])
     .expect("fixture loads");
-    s.load_dept(&[(10, "hq", 1), (20, "field", 2)]).expect("fixture loads");
+    s.load_dept(&[(10, "hq", 1), (20, "field", 2)])
+        .expect("fixture loads");
     s.check_integrity().expect("fixture is consistent");
     s
 }
 
 /// A session over a generated hierarchy with all views consulted.
 pub fn firm_session(params: FirmParams) -> (Session, Firm) {
-    let mut s = Session::empdep();
+    firm_session_on(Session::empdep(), params)
+}
+
+/// Like [`firm_session`], but the DBMS runs on the paged storage engine
+/// with a `pool_pages`-frame buffer pool, so metrics count page I/O.
+pub fn firm_session_paged(params: FirmParams, pool_pages: usize) -> (Session, Firm) {
+    firm_session_on(Session::empdep_paged(pool_pages), params)
+}
+
+fn firm_session_on(mut s: Session, params: FirmParams) -> (Session, Firm) {
     s.consult(views::SAME_MANAGER).expect("views parse");
     s.consult(
         "works_for(L, H) :- works_dir_for(L, H).
@@ -29,17 +39,38 @@ pub fn firm_session(params: FirmParams) -> (Session, Firm) {
     )
     .expect("views parse");
     let firm = Firm::generate(params);
-    firm.load_into(s.coupler_mut()).expect("generated data is consistent");
+    firm.load_into(s.coupler_mut())
+        .expect("generated data is consistent");
     (s, firm)
 }
 
 /// Standard sweep sizes (employee-count scale points).
 pub fn firm_sweep() -> Vec<FirmParams> {
     vec![
-        FirmParams { depth: 2, branching: 2, staff_per_dept: 2, seed: 1 },
-        FirmParams { depth: 3, branching: 2, staff_per_dept: 4, seed: 1 },
-        FirmParams { depth: 3, branching: 3, staff_per_dept: 5, seed: 1 },
-        FirmParams { depth: 4, branching: 3, staff_per_dept: 6, seed: 1 },
+        FirmParams {
+            depth: 2,
+            branching: 2,
+            staff_per_dept: 2,
+            seed: 1,
+        },
+        FirmParams {
+            depth: 3,
+            branching: 2,
+            staff_per_dept: 4,
+            seed: 1,
+        },
+        FirmParams {
+            depth: 3,
+            branching: 3,
+            staff_per_dept: 5,
+            seed: 1,
+        },
+        FirmParams {
+            depth: 4,
+            branching: 3,
+            staff_per_dept: 6,
+            seed: 1,
+        },
     ]
 }
 
@@ -52,7 +83,10 @@ mod tests {
         let mut s = spy_session();
         s.consult(views::WORKS_DIR_FOR).unwrap();
         assert_eq!(
-            s.query("works_dir_for(t_X, smiley)", "q").unwrap().answers.len(),
+            s.query("works_dir_for(t_X, smiley)", "q")
+                .unwrap()
+                .answers
+                .len(),
             3
         );
         let (mut s, firm) = firm_session(FirmParams::default());

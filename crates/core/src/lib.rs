@@ -27,9 +27,7 @@
 //! assert_eq!(run.answers.len(), 1); // jones
 //! ```
 
-pub use coupling::{
-    Answer, BranchTrace, Coupler, CouplerConfig, CouplingError, QueryRun, Result,
-};
+pub use coupling::{Answer, BranchTrace, Coupler, CouplerConfig, CouplingError, QueryRun, Result};
 pub use dbcl::{ConstraintSet, DatabaseDef, DbclQuery};
 pub use metaeval::views;
 pub use rqs::Datum;
@@ -49,12 +47,26 @@ impl Session {
     /// A session over the paper's `empdep` database and Example 3-2
     /// constraints.
     pub fn empdep() -> Session {
-        Session { coupler: Coupler::empdep() }
+        Session {
+            coupler: Coupler::empdep(),
+        }
+    }
+
+    /// Like [`Session::empdep`], but the external DBMS runs on the paged
+    /// storage engine (slotted heap pages behind a `pool_pages`-frame
+    /// buffer pool, B+-tree indexes), so query metrics report
+    /// `page_reads`/`buffer_hits` — the paper's I/O cost model.
+    pub fn empdep_paged(pool_pages: usize) -> Session {
+        Session {
+            coupler: Coupler::empdep_paged(pool_pages),
+        }
     }
 
     /// A session over an arbitrary schema/constraint pair.
     pub fn new(db: DatabaseDef, constraints: ConstraintSet) -> Result<Session> {
-        Ok(Session { coupler: Coupler::new(db, constraints)? })
+        Ok(Session {
+            coupler: Coupler::new(db, constraints)?,
+        })
     }
 
     /// The underlying coupler, for full control.
@@ -81,7 +93,12 @@ impl Session {
         for &(eno, nam, sal, dno) in rows {
             self.coupler.load_tuple(
                 "empl",
-                &[Datum::Int(eno), Datum::text(nam), Datum::Int(sal), Datum::Int(dno)],
+                &[
+                    Datum::Int(eno),
+                    Datum::text(nam),
+                    Datum::Int(sal),
+                    Datum::Int(dno),
+                ],
             )?;
         }
         Ok(())
@@ -193,7 +210,9 @@ mod tests {
     fn explain_renders_all_stages() {
         let mut s = little_session();
         s.consult(views::SAME_MANAGER).unwrap();
-        let text = s.explain("same_manager(t_X, jones)", "same_manager").unwrap();
+        let text = s
+            .explain("same_manager(t_X, jones)", "same_manager")
+            .unwrap();
         assert!(text.contains("DBCL ="), "{text}");
         assert!(text.contains("after local optimization"), "{text}");
         assert!(text.contains("SELECT"), "{text}");

@@ -54,7 +54,10 @@ pub fn ddl_statements(db: &DatabaseDef, constraints: &ConstraintSet) -> Vec<Stri
     // Secondary indexes on single-column foreign keys.
     for r in &constraints.refints {
         if r.from_attrs.len() == 1 {
-            out.push(format!("CREATE INDEX ON {} ({})", r.from_rel, r.from_attrs[0]));
+            out.push(format!(
+                "CREATE INDEX ON {} ({})",
+                r.from_rel, r.from_attrs[0]
+            ));
         }
     }
     out

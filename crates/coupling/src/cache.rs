@@ -142,7 +142,10 @@ mod tests {
     use rqs::Datum;
 
     fn answer(pairs: &[(&str, Datum)]) -> Answer {
-        pairs.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
     }
 
     fn sample_query() -> DbclQuery {
@@ -210,7 +213,11 @@ mod tests {
         let engine = Engine::new();
         let pattern =
             prolog::parse_term("same_manager(t_X, jones), specialist(t_X, driving)").unwrap();
-        install_facts(&engine, &pattern, &[answer(&[("X", Datum::text("miller"))])]);
+        install_facts(
+            &engine,
+            &pattern,
+            &[answer(&[("X", Datum::text("miller"))])],
+        );
         assert!(engine.holds("same_manager(miller, jones).").unwrap());
         assert!(!engine.holds("specialist(miller, driving).").unwrap());
     }

@@ -179,6 +179,35 @@ impl Coupler {
             .expect("empdep fixture is consistent")
     }
 
+    /// Like [`Coupler::new`], but the external DBMS runs on the paged
+    /// storage engine with a `pool_pages`-frame buffer pool, so query
+    /// metrics include page reads and buffer hits.
+    pub fn new_paged(
+        db: DatabaseDef,
+        constraints: ConstraintSet,
+        pool_pages: usize,
+    ) -> Result<Coupler> {
+        constraints.validate(&db)?;
+        let mut rqs_db = rqs::Database::paged(pool_pages)?;
+        for ddl in ddl_statements(&db, &constraints) {
+            rqs_db.execute(&ddl)?;
+        }
+        Ok(Coupler {
+            engine: prolog::Engine::new(),
+            rqs: rqs_db,
+            db,
+            constraints,
+            config: CouplerConfig::default(),
+            cache: QueryCache::new(),
+        })
+    }
+
+    /// The empdep system on the paged storage engine.
+    pub fn empdep_paged(pool_pages: usize) -> Coupler {
+        Coupler::new_paged(DatabaseDef::empdep(), ConstraintSet::empdep(), pool_pages)
+            .expect("empdep fixture is consistent")
+    }
+
     /// Loads Prolog view definitions / facts into the internal engine.
     pub fn consult(&mut self, source: &str) -> Result<()> {
         self.engine.consult(source)?;
@@ -189,15 +218,13 @@ impl Coupler {
     /// constraint checking (`empdep`'s foreign keys are cyclic); call
     /// [`Coupler::check_integrity`] after loading.
     pub fn load_tuple(&mut self, relation: &str, values: &[rqs::Datum]) -> Result<()> {
-        self.rqs
-            .catalog_mut()
-            .insert_unchecked(relation, values.to_vec())?;
+        self.rqs.insert_unchecked(relation, values.to_vec())?;
         Ok(())
     }
 
     /// Re-validates every integrity constraint against the loaded data.
     pub fn check_integrity(&self) -> Result<()> {
-        self.rqs.catalog().validate_all()?;
+        self.rqs.validate_all()?;
         Ok(())
     }
 
@@ -298,7 +325,10 @@ impl Coupler {
         }
 
         // Translate (§5) and ship to the external DBMS.
-        let opts = MappingOptions { first_var_index: 1, distinct: self.config.distinct };
+        let opts = MappingOptions {
+            first_var_index: 1,
+            distinct: self.config.distinct,
+        };
         let sql_text = sqlgen::mapping::to_sql_text(&query, &self.db, opts)?;
         trace.sql = Some(sql_text.clone());
         let result = self.rqs.execute(&sql_text)?;
@@ -337,13 +367,21 @@ mod tests {
         ] {
             c.load_tuple(
                 "empl",
-                &[Datum::Int(eno), Datum::text(nam), Datum::Int(sal), Datum::Int(dno)],
+                &[
+                    Datum::Int(eno),
+                    Datum::text(nam),
+                    Datum::Int(sal),
+                    Datum::Int(dno),
+                ],
             )
             .unwrap();
         }
         for (dno, fct, mgr) in [(10, "hq", 1), (20, "field", 2)] {
-            c.load_tuple("dept", &[Datum::Int(dno), Datum::text(fct), Datum::Int(mgr)])
-                .unwrap();
+            c.load_tuple(
+                "dept",
+                &[Datum::Int(dno), Datum::text(fct), Datum::Int(mgr)],
+            )
+            .unwrap();
         }
         c.check_integrity().unwrap();
         c
@@ -362,7 +400,9 @@ mod tests {
     fn end_to_end_works_dir_for_smiley() {
         let mut c = little_firm();
         c.consult(metaeval::views::WORKS_DIR_FOR).unwrap();
-        let run = c.query("works_dir_for(t_X, smiley)", "works_dir_for").unwrap();
+        let run = c
+            .query("works_dir_for(t_X, smiley)", "works_dir_for")
+            .unwrap();
         assert_eq!(names(&run.answers, "X"), ["jones", "leamas", "miller"]);
         assert_eq!(run.branches.len(), 1);
         assert!(run.branches[0].sql.is_some());
@@ -482,7 +522,12 @@ mod tests {
         let mut c = Coupler::empdep();
         c.load_tuple(
             "empl",
-            &[Datum::Int(1), Datum::text("x"), Datum::Int(50_000), Datum::Int(99)],
+            &[
+                Datum::Int(1),
+                Datum::text("x"),
+                Datum::Int(50_000),
+                Datum::Int(99),
+            ],
         )
         .unwrap();
         assert!(c.check_integrity().is_err());

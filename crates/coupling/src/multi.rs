@@ -146,7 +146,10 @@ pub fn analyze_batch(queries: &[DbclQuery]) -> BatchReport {
             }
         }
     }
-    BatchReport { dispositions, overlaps }
+    BatchReport {
+        dispositions,
+        overlaps,
+    }
 }
 
 #[cfg(test)]

@@ -61,8 +61,7 @@ impl Coupler {
         let positive_raw = expand(positive_goal)?;
         let negated_raw = expand(negated_goal)?;
 
-        let simplifier =
-            Simplifier::with_config(&self.db, &self.constraints, self.config.simplify);
+        let simplifier = Simplifier::with_config(&self.db, &self.constraints, self.config.simplify);
         let positive = if self.config.optimize {
             match simplifier.simplify(positive_raw) {
                 SimplifyOutcome::Simplified(q, _) => q,
@@ -90,7 +89,10 @@ impl Coupler {
             Some(negated_raw)
         };
 
-        let opts = MappingOptions { first_var_index: 1, distinct: self.config.distinct };
+        let opts = MappingOptions {
+            first_var_index: 1,
+            distinct: self.config.distinct,
+        };
         let sql = match &negated {
             Some(neg) => translate_with_negation(&positive, neg, &self.db, opts)?,
             None => sqlgen::mapping::translate(&positive, &self.db, opts)?,
@@ -128,13 +130,21 @@ mod tests {
         ] {
             c.load_tuple(
                 "empl",
-                &[Datum::Int(eno), Datum::text(nam), Datum::Int(sal), Datum::Int(dno)],
+                &[
+                    Datum::Int(eno),
+                    Datum::text(nam),
+                    Datum::Int(sal),
+                    Datum::Int(dno),
+                ],
             )
             .unwrap();
         }
         for (dno, fct, mgr) in [(10, "hq", 1), (20, "field", 2)] {
-            c.load_tuple("dept", &[Datum::Int(dno), Datum::text(fct), Datum::Int(mgr)])
-                .unwrap();
+            c.load_tuple(
+                "dept",
+                &[Datum::Int(dno), Datum::text(fct), Datum::Int(mgr)],
+            )
+            .unwrap();
         }
         c.check_integrity().unwrap();
         c
@@ -180,11 +190,7 @@ mod tests {
     fn residual_in_negation_rejected() {
         let mut c = firm();
         c.consult("vip(control).").unwrap();
-        let err = c.query_with_negation(
-            "empl(t_M, N, S, D), vip(N)",
-            "empl(t_M, N2, S2, D2)",
-            "q",
-        );
+        let err = c.query_with_negation("empl(t_M, N, S, D), vip(N)", "empl(t_M, N2, S2, D2)", "q");
         assert!(err.is_err());
     }
 }

@@ -138,7 +138,9 @@ impl ClosureSpec {
     fn column_ref(&self, side: BoundSide) -> Result<SqlColumn> {
         let sym = self.symbol_for(side);
         let (row, col) = self.step.first_row_occurrence(sym).ok_or_else(|| {
-            CouplingError(format!("closure argument {sym} not anchored in the step query"))
+            CouplingError(format!(
+                "closure argument {sym} not anchored in the step query"
+            ))
         })?;
         Ok(SqlColumn {
             var: format!("v{}", row + 1),
@@ -193,7 +195,10 @@ pub fn eval_naive(
     for branch in &run.branches {
         if branch.sql.is_some() {
             result.queries_issued += 1;
-            let q = branch.dbcl_optimized.as_ref().unwrap_or(&branch.dbcl_initial);
+            let q = branch
+                .dbcl_optimized
+                .as_ref()
+                .unwrap_or(&branch.dbcl_initial);
             result.total_from_vars += q.rows.len();
         }
         result.metrics.absorb(&branch.metrics);
@@ -234,7 +239,10 @@ pub fn eval_intermediate(
     sql.conds.push(SqlCond {
         op: SqlOp::Equal,
         lhs: SqlTerm::Col(bound_ref),
-        rhs: SqlTerm::Col(SqlColumn { var: frontier_var, attr: "val".into() }),
+        rhs: SqlTerm::Col(SqlColumn {
+            var: frontier_var,
+            attr: "val".into(),
+        }),
     });
     let sql_text = sql.to_sql().replacen("SELECT ", "SELECT DISTINCT ", 1);
 
@@ -254,9 +262,10 @@ pub fn eval_intermediate(
         result.metrics.absorb(&step_result.metrics);
         let mut next = Vec::new();
         for row in step_result.rows {
-            let value = row.into_iter().next().ok_or_else(|| {
-                CouplingError("step query returned an empty tuple".into())
-            })?;
+            let value = row
+                .into_iter()
+                .next()
+                .ok_or_else(|| CouplingError("step query returned an empty tuple".into()))?;
             if !seen.contains(&value) {
                 seen.push(value.clone());
                 result.answers.push(value.clone());
@@ -284,9 +293,10 @@ pub fn eval_intermediate_mismatched(
     let free_side = bound.side.other();
     // All possible bindings of the free side: scan its column.
     let sym = spec.symbol_for(free_side);
-    let (row, col) = spec.step.first_row_occurrence(sym).ok_or_else(|| {
-        CouplingError(format!("closure argument {sym} not anchored"))
-    })?;
+    let (row, col) = spec
+        .step
+        .first_row_occurrence(sym)
+        .ok_or_else(|| CouplingError(format!("closure argument {sym} not anchored")))?;
     let relation = spec.step.rows[row].relation;
     let attr = spec.step.attributes[col];
     let candidates = coupler
@@ -296,14 +306,18 @@ pub fn eval_intermediate_mismatched(
     let mut result = RecursionRun::default();
     result.metrics.absorb(&candidates.metrics);
     for candidate_row in candidates.rows {
-        let candidate = candidate_row.into_iter().next().ok_or_else(|| {
-            CouplingError("candidate scan returned an empty tuple".into())
-        })?;
+        let candidate = candidate_row
+            .into_iter()
+            .next()
+            .ok_or_else(|| CouplingError("candidate scan returned an empty tuple".into()))?;
         result.candidates_tried += 1;
         let sub = eval_intermediate(
             coupler,
             spec,
-            &Bound { side: free_side, value: candidate.clone() },
+            &Bound {
+                side: free_side,
+                value: candidate.clone(),
+            },
             table,
         )?;
         result.queries_issued += sub.queries_issued;
@@ -337,7 +351,10 @@ fn set_intermediate(coupler: &mut Coupler, table: &str, values: &[Datum]) -> Res
     if values.is_empty() {
         return Ok(());
     }
-    let rows: Vec<String> = values.iter().map(|v| format!("({})", datum_literal(v))).collect();
+    let rows: Vec<String> = values
+        .iter()
+        .map(|v| format!("({})", datum_literal(v)))
+        .collect();
     coupler
         .rqs
         .execute(&format!("INSERT INTO {table} VALUES {}", rows.join(", ")))?;
@@ -363,13 +380,21 @@ mod tests {
         ] {
             c.load_tuple(
                 "empl",
-                &[Datum::Int(eno), Datum::text(nam), Datum::Int(sal), Datum::Int(dno)],
+                &[
+                    Datum::Int(eno),
+                    Datum::text(nam),
+                    Datum::Int(sal),
+                    Datum::Int(dno),
+                ],
             )
             .unwrap();
         }
         for (dno, fct, mgr) in [(1, "hq", 1), (2, "field", 2)] {
-            c.load_tuple("dept", &[Datum::Int(dno), Datum::text(fct), Datum::Int(mgr)])
-                .unwrap();
+            c.load_tuple(
+                "dept",
+                &[Datum::Int(dno), Datum::text(fct), Datum::Int(mgr)],
+            )
+            .unwrap();
         }
         c.check_integrity().unwrap();
         c
@@ -400,7 +425,10 @@ mod tests {
         let run = eval_naive(
             &mut c,
             "works_for",
-            &Bound { side: BoundSide::High, value: Datum::text("e1") },
+            &Bound {
+                side: BoundSide::High,
+                value: Datum::text("e1"),
+            },
             4,
         )
         .unwrap();
@@ -417,15 +445,15 @@ mod tests {
     fn intermediate_matches_naive_answers() {
         let mut c = chain_firm();
         let spec = ClosureSpec::from_view(&c, "works_dir_for").unwrap();
-        let bound = Bound { side: BoundSide::High, value: Datum::text("e1") };
+        let bound = Bound {
+            side: BoundSide::High,
+            value: Datum::text("e1"),
+        };
         let inter = eval_intermediate(&mut c, &spec, &bound, "intermediate").unwrap();
         let naive = eval_naive(&mut c, "works_for", &bound, 5).unwrap();
         assert_eq!(sorted_names(&inter.answers), sorted_names(&naive.answers));
         // Constant-shape queries: every step uses the same FROM count.
-        assert!(inter
-            .steps
-            .iter()
-            .all(|_| true));
+        assert!(inter.steps.iter().all(|_| true));
         assert_eq!(inter.total_from_vars, inter.queries_issued * 4);
     }
 
@@ -437,7 +465,10 @@ mod tests {
         let run = eval_intermediate(
             &mut c,
             &spec,
-            &Bound { side: BoundSide::High, value: Datum::text("e1") },
+            &Bound {
+                side: BoundSide::High,
+                value: Datum::text("e1"),
+            },
             "intermediate",
         )
         .unwrap();
@@ -452,7 +483,10 @@ mod tests {
         let run = eval_intermediate(
             &mut c,
             &spec,
-            &Bound { side: BoundSide::Low, value: Datum::text("e4") },
+            &Bound {
+                side: BoundSide::Low,
+                value: Datum::text("e4"),
+            },
             "intermediate",
         )
         .unwrap();
@@ -465,7 +499,10 @@ mod tests {
     fn mismatched_orientation_explodes_but_agrees() {
         let mut c = chain_firm();
         let spec = ClosureSpec::from_view(&c, "works_dir_for").unwrap();
-        let bound = Bound { side: BoundSide::Low, value: Datum::text("e4") };
+        let bound = Bound {
+            side: BoundSide::Low,
+            value: Datum::text("e4"),
+        };
         let good = eval_intermediate(&mut c, &spec, &bound, "intermediate").unwrap();
         let bad = eval_intermediate_mismatched(&mut c, &spec, &bound, "intermediate").unwrap();
         assert_eq!(sorted_names(&bad.answers), sorted_names(&good.answers));
@@ -489,7 +526,10 @@ mod tests {
         let run = eval_intermediate(
             &mut c,
             &spec,
-            &Bound { side: BoundSide::High, value: Datum::text(firm.ceo()) },
+            &Bound {
+                side: BoundSide::High,
+                value: Datum::text(firm.ceo()),
+            },
             "intermediate",
         )
         .unwrap();

@@ -137,9 +137,8 @@ mod tests {
 
     #[test]
     fn shared_residual_variables_join_goals() {
-        let engine = engine_with(
-            "skill(miller, driving). dangerous(shooting). skill(leamas, shooting).",
-        );
+        let engine =
+            engine_with("skill(miller, driving). dangerous(shooting). skill(leamas, shooting).");
         let g1 = prolog::parse_term("skill(t_X, v_S)").unwrap();
         let g2 = prolog::parse_term("dangerous(v_S)").unwrap();
         let (kept, _) =
@@ -166,8 +165,7 @@ mod tests {
     fn negation_in_residual() {
         let engine = engine_with("blacklisted(leamas).");
         let goal = prolog::parse_term("\\+ blacklisted(t_X)").unwrap();
-        let (kept, _) =
-            filter_residual(&engine, &[goal], answers(&["miller", "leamas"])).unwrap();
+        let (kept, _) = filter_residual(&engine, &[goal], answers(&["miller", "leamas"])).unwrap();
         assert_eq!(kept.len(), 1);
         assert_eq!(kept[0]["X"], Datum::text("miller"));
     }

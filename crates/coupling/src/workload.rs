@@ -12,9 +12,35 @@
 //! child departments plus a fixed number of staff.
 
 use crate::{Coupler, Result};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use rqs::Datum;
+
+/// Minimal deterministic SplitMix64 generator. The workload only needs
+/// reproducible salary noise, not cryptographic quality, and the build
+/// environment has no registry access for the `rand` crate.
+struct SalaryRng {
+    state: u64,
+}
+
+impl SalaryRng {
+    fn seed_from_u64(seed: u64) -> SalaryRng {
+        SalaryRng {
+            state: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from an inclusive integer range.
+    fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as i64
+    }
+}
 
 /// Hierarchy parameters.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,7 +57,12 @@ pub struct FirmParams {
 
 impl Default for FirmParams {
     fn default() -> Self {
-        FirmParams { depth: 3, branching: 2, staff_per_dept: 3, seed: 42 }
+        FirmParams {
+            depth: 3,
+            branching: 2,
+            staff_per_dept: 3,
+            seed: 42,
+        }
     }
 }
 
@@ -65,8 +96,12 @@ pub struct Firm {
 impl Firm {
     /// Generates the hierarchy.
     pub fn generate(params: FirmParams) -> Firm {
-        let mut rng = StdRng::seed_from_u64(params.seed);
-        let mut firm = Firm { params, employees: Vec::new(), departments: Vec::new() };
+        let mut rng = SalaryRng::seed_from_u64(params.seed);
+        let mut firm = Firm {
+            params,
+            employees: Vec::new(),
+            departments: Vec::new(),
+        };
         let ceo = firm.new_employee(&mut rng, 1, 0); // dno patched below: root dept is 1
         let root = firm.new_department(ceo);
         debug_assert_eq!(root, 1);
@@ -74,12 +109,12 @@ impl Firm {
         firm
     }
 
-    fn new_employee(&mut self, rng: &mut StdRng, dno: i64, level: usize) -> i64 {
+    fn new_employee(&mut self, rng: &mut SalaryRng, dno: i64, level: usize) -> i64 {
         let eno = self.employees.len() as i64 + 1;
         self.employees.push(Employee {
             eno,
             nam: format!("e{eno}"),
-            sal: rng.gen_range(10_000..=90_000),
+            sal: rng.in_range(10_000, 90_000),
             dno,
             level,
         });
@@ -88,11 +123,15 @@ impl Firm {
 
     fn new_department(&mut self, mgr: i64) -> i64 {
         let dno = self.departments.len() as i64 + 1;
-        self.departments.push(Department { dno, fct: format!("f{dno}"), mgr });
+        self.departments.push(Department {
+            dno,
+            fct: format!("f{dno}"),
+            mgr,
+        });
         dno
     }
 
-    fn populate(&mut self, rng: &mut StdRng, dept: i64, level: usize) {
+    fn populate(&mut self, rng: &mut SalaryRng, dept: i64, level: usize) {
         for _ in 0..self.params.staff_per_dept {
             self.new_employee(rng, dept, level);
         }
@@ -154,7 +193,7 @@ impl Firm {
     /// tables already exist (for DBMS-only benchmarks).
     pub fn load_into_rqs(&self, db: &mut rqs::Database) -> Result<()> {
         for e in &self.employees {
-            db.catalog_mut().insert_unchecked(
+            db.insert_unchecked(
                 "empl",
                 vec![
                     Datum::Int(e.eno),
@@ -165,7 +204,7 @@ impl Firm {
             )?;
         }
         for d in &self.departments {
-            db.catalog_mut().insert_unchecked(
+            db.insert_unchecked(
                 "dept",
                 vec![Datum::Int(d.dno), Datum::text(&d.fct), Datum::Int(d.mgr)],
             )?;
@@ -183,15 +222,27 @@ mod tests {
         let a = Firm::generate(FirmParams::default());
         let b = Firm::generate(FirmParams::default());
         assert_eq!(a, b);
-        let c = Firm::generate(FirmParams { seed: 7, ..FirmParams::default() });
+        let c = Firm::generate(FirmParams {
+            seed: 7,
+            ..FirmParams::default()
+        });
         // Same structure, different salaries.
         assert_eq!(a.employees.len(), c.employees.len());
-        assert!(a.employees.iter().zip(&c.employees).any(|(x, y)| x.sal != y.sal));
+        assert!(a
+            .employees
+            .iter()
+            .zip(&c.employees)
+            .any(|(x, y)| x.sal != y.sal));
     }
 
     #[test]
     fn counts_match_parameters() {
-        let p = FirmParams { depth: 2, branching: 2, staff_per_dept: 1, seed: 1 };
+        let p = FirmParams {
+            depth: 2,
+            branching: 2,
+            staff_per_dept: 1,
+            seed: 1,
+        };
         let firm = Firm::generate(p);
         // Departments: root + 2 + 4 = 7; managers: 1 + 2 + 4 = 7 employees
         // are managers; staff: 1 per dept = 7.
@@ -209,13 +260,24 @@ mod tests {
 
     #[test]
     fn salaries_respect_bounds() {
-        let firm = Firm::generate(FirmParams { seed: 99, ..FirmParams::default() });
-        assert!(firm.employees.iter().all(|e| (10_000..=90_000).contains(&e.sal)));
+        let firm = Firm::generate(FirmParams {
+            seed: 99,
+            ..FirmParams::default()
+        });
+        assert!(firm
+            .employees
+            .iter()
+            .all(|e| (10_000..=90_000).contains(&e.sal)));
     }
 
     #[test]
     fn ceo_and_deepest() {
-        let firm = Firm::generate(FirmParams { depth: 2, branching: 1, staff_per_dept: 1, seed: 1 });
+        let firm = Firm::generate(FirmParams {
+            depth: 2,
+            branching: 1,
+            staff_per_dept: 1,
+            seed: 1,
+        });
         assert_eq!(firm.ceo(), "e1");
         let deepest = firm.deepest_employee();
         let e = firm.employees.iter().find(|e| e.nam == deepest).unwrap();

@@ -1,0 +1,189 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no access to a crates registry, so this
+//! workspace ships a minimal wall-clock harness exposing the slice of the
+//! criterion API the `pfe-bench` benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `sample_size`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Timing model: each benchmark closure is warmed up, then timed over
+//! `sample_size` samples; the per-iteration median and mean are printed.
+//! There is no statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Identifies one parameterized benchmark, e.g. `chain/64`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    samples: usize,
+    /// Per-sample wall-clock duration of the last `iter` call.
+    pub last_samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // Warm-up: also primes caches the payload depends on.
+        for _ in 0..2 {
+            std::hint::black_box(payload());
+        }
+        self.last_samples.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(payload());
+            self.last_samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label}: no samples");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let median = sorted[sorted.len() / 2];
+    let mean = sorted.iter().sum::<Duration>() / sorted.len() as u32;
+    println!(
+        "{label}: median {median:?}, mean {mean:?} ({} samples)",
+        sorted.len()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup {
+    group_name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.group_name, id), &b.last_samples);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            samples: self.samples,
+            last_samples: Vec::new(),
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.group_name, id), &b.last_samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The harness entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup {
+            group_name: name.into(),
+            samples: 30,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: 30,
+            last_samples: Vec::new(),
+        };
+        f(&mut b);
+        report(&name.to_string(), &b.last_samples);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name, as in the real crate.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_times_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                runs += 1;
+                runs
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(runs >= 3, "payload ran {runs} times");
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("chain", 64).to_string(), "chain/64");
+    }
+}

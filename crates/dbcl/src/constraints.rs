@@ -62,7 +62,13 @@ impl fmt::Display for Constraint {
                 write!(f, "valuebound({}, {}, {}, {})", b.rel, b.attr, b.lo, b.hi)
             }
             Constraint::FuncDep(d) => {
-                write!(f, "funcdep({}, {}, {})", d.rel, atom_list(&d.lhs), atom_list(&d.rhs))
+                write!(
+                    f,
+                    "funcdep({}, {}, {})",
+                    d.rel,
+                    atom_list(&d.lhs),
+                    atom_list(&d.rhs)
+                )
             }
             Constraint::RefInt(r) => write!(
                 f,
@@ -160,7 +166,9 @@ impl ConstraintSet {
     /// Is `attrs` (as a set) a key of `rel`, i.e. is there an FD from a
     /// subset of `attrs` to every attribute of the relation?
     pub fn is_key(&self, db: &DatabaseDef, rel: Atom, attrs: &[Atom]) -> bool {
-        let Some(rel_def) = db.relation(rel) else { return false };
+        let Some(rel_def) = db.relation(rel) else {
+            return false;
+        };
         let closure = self.attribute_closure(rel, attrs);
         rel_def.attrs.iter().all(|a| closure.contains(a))
     }
@@ -194,10 +202,16 @@ impl ConstraintSet {
                 .relation(b.rel)
                 .ok_or_else(|| DbclError(format!("valuebound on unknown relation {}", b.rel)))?;
             if rel.position(b.attr).is_none() {
-                return Err(DbclError(format!("valuebound on unknown attribute {}.{}", b.rel, b.attr)));
+                return Err(DbclError(format!(
+                    "valuebound on unknown attribute {}.{}",
+                    b.rel, b.attr
+                )));
             }
             if b.lo > b.hi {
-                return Err(DbclError(format!("empty valuebound [{}, {}] on {}.{}", b.lo, b.hi, b.rel, b.attr)));
+                return Err(DbclError(format!(
+                    "empty valuebound [{}, {}] on {}.{}",
+                    b.lo, b.hi, b.rel, b.attr
+                )));
             }
         }
         for d in &self.fds {
@@ -206,7 +220,10 @@ impl ConstraintSet {
                 .ok_or_else(|| DbclError(format!("funcdep on unknown relation {}", d.rel)))?;
             for a in d.lhs.iter().chain(&d.rhs) {
                 if rel.position(*a).is_none() {
-                    return Err(DbclError(format!("funcdep on unknown attribute {}.{}", d.rel, a)));
+                    return Err(DbclError(format!(
+                        "funcdep on unknown attribute {}.{}",
+                        d.rel, a
+                    )));
                 }
             }
         }
@@ -222,7 +239,10 @@ impl ConstraintSet {
             }
             for a in &r.from_attrs {
                 if from.position(*a).is_none() {
-                    return Err(DbclError(format!("refint on unknown attribute {}.{}", r.from_rel, a)));
+                    return Err(DbclError(format!(
+                        "refint on unknown attribute {}.{}",
+                        r.from_rel, a
+                    )));
                 }
                 // §3 rule (b): an attribute appears in at most one LHS.
                 if lhs_seen.contains(&(r.from_rel, *a)) {
@@ -248,7 +268,9 @@ impl ConstraintSet {
     /// (`valuebound/4`, `funcdep/3`, `refint/4`).
     pub fn parse_constraint(term: &Term) -> Result<Constraint> {
         let err = || DbclError(format!("not a constraint fact: {term}"));
-        let Term::Struct(f, args) = term else { return Err(err()) };
+        let Term::Struct(f, args) = term else {
+            return Err(err());
+        };
         let atom_of = |t: &Term| -> Result<Atom> {
             match t {
                 Term::Atom(a) => Ok(*a),
@@ -258,7 +280,9 @@ impl ConstraintSet {
         let int_of = |t: &Term| -> Result<i64> {
             match t {
                 Term::Int(i) => Ok(*i),
-                _ => Err(DbclError(format!("expected integer in constraint, got {t}"))),
+                _ => Err(DbclError(format!(
+                    "expected integer in constraint, got {t}"
+                ))),
             }
         };
         let atoms_of = |t: &Term| -> Result<Vec<Atom>> {
@@ -296,7 +320,10 @@ impl ConstraintSet {
         let mut set = ConstraintSet::new();
         for clause in clauses {
             if !clause.body.is_empty() {
-                return Err(DbclError(format!("constraints must be facts: {}", clause.head)));
+                return Err(DbclError(format!(
+                    "constraints must be facts: {}",
+                    clause.head
+                )));
             }
             set.add(Self::parse_constraint(&clause.head)?);
         }
@@ -418,8 +445,16 @@ mod tests {
             .bounds
             .iter()
             .map(|b| format!("{}.\n", Constraint::ValueBound(b.clone())))
-            .chain(cs.fds.iter().map(|d| format!("{}.\n", Constraint::FuncDep(d.clone()))))
-            .chain(cs.refints.iter().map(|r| format!("{}.\n", Constraint::RefInt(r.clone()))))
+            .chain(
+                cs.fds
+                    .iter()
+                    .map(|d| format!("{}.\n", Constraint::FuncDep(d.clone()))),
+            )
+            .chain(
+                cs.refints
+                    .iter()
+                    .map(|r| format!("{}.\n", Constraint::RefInt(r.clone()))),
+            )
             .collect();
         assert_eq!(ConstraintSet::parse(&text).unwrap(), cs);
     }

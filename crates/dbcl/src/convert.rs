@@ -88,14 +88,23 @@ pub fn query_from_term(term: &Term) -> Result<DbclQuery> {
         comparisons.push(comparison_from_term(comp_term)?);
     }
 
-    Ok(DbclQuery { database, attributes, view_name, target, rows, comparisons })
+    Ok(DbclQuery {
+        database,
+        attributes,
+        view_name,
+        target,
+        rows,
+        comparisons,
+    })
 }
 
 /// Parses one `[op, lhs, rhs]` comparison.
 pub fn comparison_from_term(term: &Term) -> Result<Comparison> {
     let items = list_of(term, "comparison")?;
     if items.len() != 3 {
-        return Err(DbclError(format!("comparison must be [op, lhs, rhs], got {term}")));
+        return Err(DbclError(format!(
+            "comparison must be [op, lhs, rhs], got {term}"
+        )));
     }
     let op_atom = atom_of(items[0], "comparison operator")?;
     let op = CompOp::parse(op_atom.as_str())
@@ -137,7 +146,12 @@ pub fn query_to_term(query: &DbclQuery) -> Term {
 
     Term::app(
         "dbcl",
-        vec![Term::list(schema), Term::list(target), Term::list(rows), Term::list(comps)],
+        vec![
+            Term::list(schema),
+            Term::list(target),
+            Term::list(rows),
+            Term::list(comps),
+        ],
     )
 }
 
@@ -190,10 +204,7 @@ mod tests {
 
     #[test]
     fn rejects_bad_comparison() {
-        let t = prolog::parse_term(
-            "dbcl([db, a], [v, *], [], [[frobnicate, x, y]])",
-        )
-        .unwrap();
+        let t = prolog::parse_term("dbcl([db, a], [v, *], [], [[frobnicate, x, y]])").unwrap();
         assert!(query_from_term(&t).is_err());
         let t = prolog::parse_term("dbcl([db, a], [v, *], [], [[less, x]])").unwrap();
         assert!(query_from_term(&t).is_err());

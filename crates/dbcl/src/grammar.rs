@@ -50,8 +50,15 @@ mod tests {
 
     #[test]
     fn grammar_text_mentions_all_productions() {
-        for nt in ["<statement>", "<metaterm>", "<schema>", "<targetlist>",
-                   "<relreferences>", "<relcomparisons>", "<compop>"] {
+        for nt in [
+            "<statement>",
+            "<metaterm>",
+            "<schema>",
+            "<targetlist>",
+            "<relreferences>",
+            "<relcomparisons>",
+            "<compop>",
+        ] {
             assert!(GRAMMAR_BNF.contains(nt), "grammar misses {nt}");
         }
     }

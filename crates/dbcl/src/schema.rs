@@ -64,8 +64,7 @@ impl DatabaseDef {
     /// use [`DatabaseDef::add_relation_typed`] or
     /// [`DatabaseDef::set_attr_type`] for numeric columns.
     pub fn add_relation(&mut self, name: &str, attrs: &[&str]) -> &mut Self {
-        let typed: Vec<(&str, AttrType)> =
-            attrs.iter().map(|a| (*a, AttrType::Text)).collect();
+        let typed: Vec<(&str, AttrType)> = attrs.iter().map(|a| (*a, AttrType::Text)).collect();
         self.add_relation_typed(name, &typed)
     }
 
@@ -78,7 +77,10 @@ impl DatabaseDef {
                 self.types.push(ty);
             }
         }
-        self.relations.push(RelationDef { name: Atom::new(name), attrs: attr_atoms });
+        self.relations.push(RelationDef {
+            name: Atom::new(name),
+            attrs: attr_atoms,
+        });
         self
     }
 
@@ -179,14 +181,20 @@ mod tests {
     fn shared_attribute_occupies_one_column() {
         let db = DatabaseDef::empdep();
         // dno appears in both relations but only once in the schema.
-        assert_eq!(db.attributes.iter().filter(|a| a.as_str() == "dno").count(), 1);
+        assert_eq!(
+            db.attributes.iter().filter(|a| a.as_str() == "dno").count(),
+            1
+        );
         assert_eq!(db.column(Atom::new("dno")), Some(3));
     }
 
     #[test]
     fn relation_columns_map_into_global_schema() {
         let db = DatabaseDef::empdep();
-        assert_eq!(db.relation_columns(Atom::new("empl")).unwrap(), [0, 1, 2, 3]);
+        assert_eq!(
+            db.relation_columns(Atom::new("empl")).unwrap(),
+            [0, 1, 2, 3]
+        );
         assert_eq!(db.relation_columns(Atom::new("dept")).unwrap(), [3, 4, 5]);
         assert!(db.relation_columns(Atom::new("nosuch")).is_err());
     }

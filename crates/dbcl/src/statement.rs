@@ -55,9 +55,7 @@ impl DbclStatement {
                     .collect::<Result<Vec<_>>>()?;
                 Ok(DbclStatement::Sequence(items))
             }
-            Term::Atom(_) | Term::Struct(_, _) => {
-                Ok(DbclStatement::PredReference(term.clone()))
-            }
+            Term::Atom(_) | Term::Struct(_, _) => Ok(DbclStatement::PredReference(term.clone())),
             other => Err(DbclError(format!("not a DBCL statement: {other}"))),
         }
     }
@@ -243,7 +241,9 @@ mod tests {
         match &branches[0] {
             DbclStatement::Sequence(items) => {
                 assert_eq!(items.len(), 2);
-                assert!(items.iter().all(|i| matches!(i, DbclStatement::Negation(_))));
+                assert!(items
+                    .iter()
+                    .all(|i| matches!(i, DbclStatement::Negation(_))));
             }
             other => panic!("expected sequence of negations, got {other}"),
         }

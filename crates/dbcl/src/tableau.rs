@@ -168,9 +168,11 @@ impl Comparison {
     /// Canonical orientation: constants move to the right-hand side.
     pub fn normalized(&self) -> Comparison {
         match (&self.lhs, &self.rhs) {
-            (Operand::Const(_), Operand::Sym(_)) => {
-                Comparison { op: self.op.flip(), lhs: self.rhs, rhs: self.lhs }
-            }
+            (Operand::Const(_), Operand::Sym(_)) => Comparison {
+                op: self.op.flip(),
+                lhs: self.rhs,
+                rhs: self.lhs,
+            },
             _ => *self,
         }
     }
@@ -195,7 +197,10 @@ impl Row {
     pub fn blank(db: &DatabaseDef, relation: Atom) -> Result<Row> {
         db.relation(relation)
             .ok_or_else(|| DbclError(format!("unknown relation {relation}")))?;
-        Ok(Row { relation, entries: vec![Entry::Star; db.attributes.len()] })
+        Ok(Row {
+            relation,
+            entries: vec![Entry::Star; db.attributes.len()],
+        })
     }
 }
 
@@ -264,7 +269,11 @@ impl DbclQuery {
     /// Every named symbol in the query, sorted.
     pub fn symbols(&self) -> BTreeSet<Symbol> {
         let mut out = BTreeSet::new();
-        for entry in self.target.iter().chain(self.rows.iter().flat_map(|r| &r.entries)) {
+        for entry in self
+            .target
+            .iter()
+            .chain(self.rows.iter().flat_map(|r| &r.entries))
+        {
             if let Entry::Sym(s) = entry {
                 out.insert(*s);
             }
@@ -331,7 +340,10 @@ impl DbclQuery {
     /// constant), in rows, target list and comparisons.
     pub fn substitute(&mut self, from: Symbol, to: &Operand) {
         let entry = to.to_entry();
-        for e in self.target.iter_mut().chain(self.rows.iter_mut().flat_map(|r| r.entries.iter_mut()))
+        for e in self
+            .target
+            .iter_mut()
+            .chain(self.rows.iter_mut().flat_map(|r| r.entries.iter_mut()))
         {
             if e.as_symbol() == Some(from) {
                 *e = entry;
@@ -363,7 +375,9 @@ impl DbclQuery {
             )));
         }
         if self.attributes != db.attributes {
-            return Err(DbclError("query schema columns do not match the database".into()));
+            return Err(DbclError(
+                "query schema columns do not match the database".into(),
+            ));
         }
         if self.target.len() != self.attributes.len() {
             return Err(DbclError("target list length does not match schema".into()));
@@ -396,7 +410,9 @@ impl DbclQuery {
         for entry in &self.target {
             if let Entry::Sym(s) = entry {
                 if self.first_row_occurrence(*s).is_none() {
-                    return Err(DbclError(format!("target symbol {s} never occurs in a row")));
+                    return Err(DbclError(format!(
+                        "target symbol {s} never occurs in a row"
+                    )));
                 }
             }
         }

@@ -101,7 +101,9 @@ impl MetaBranch {
                     }
                 }
                 let (head, rest) = args.split_first().expect("relation name present");
-                let Term::Atom(rel) = head else { unreachable!("first arg is the relation") };
+                let Term::Atom(rel) = head else {
+                    unreachable!("first arg is the relation")
+                };
                 Term::Struct(prolog::Atom::new("dbcall"), {
                     let mut v = vec![Term::Atom(*rel)];
                     v.extend(rest.iter().cloned());
@@ -135,7 +137,11 @@ pub struct MetaEvaluator<'a> {
 
 impl<'a> MetaEvaluator<'a> {
     pub fn new(kb: &'a KnowledgeBase, db: &'a DatabaseDef) -> Self {
-        MetaEvaluator { kb, db, limits: UnfoldLimits::default() }
+        MetaEvaluator {
+            kb,
+            db,
+            limits: UnfoldLimits::default(),
+        }
     }
 
     pub fn with_limits(kb: &'a KnowledgeBase, db: &'a DatabaseDef, limits: UnfoldLimits) -> Self {
@@ -268,7 +274,9 @@ mod tests {
              cheap_or_hq(X) :- empl(_, X, _, D), dept(D, hq, _).",
         );
         let meta = MetaEvaluator::new(engine.kb(), &db);
-        let out = meta.metaevaluate("cheap_or_hq(t_X)", "cheap_or_hq").unwrap();
+        let out = meta
+            .metaevaluate("cheap_or_hq(t_X)", "cheap_or_hq")
+            .unwrap();
         assert_eq!(out.branches.len(), 2);
         assert_eq!(out.branches[0].query.rows.len(), 1);
         assert_eq!(out.branches[0].query.comparisons.len(), 1);
@@ -283,7 +291,10 @@ mod tests {
         let meta = MetaEvaluator::with_limits(
             engine.kb(),
             &db,
-            UnfoldLimits { max_recursion_depth: 3, ..UnfoldLimits::default() },
+            UnfoldLimits {
+                max_recursion_depth: 3,
+                ..UnfoldLimits::default()
+            },
         );
         let out = meta
             .metaevaluate("works_for(t_People, smiley)", "works_for")
@@ -293,8 +304,7 @@ mod tests {
         assert_eq!(out.branches.len(), 3);
         let sizes: Vec<usize> = out.branches.iter().map(|b| b.query.rows.len()).collect();
         assert_eq!(sizes, [3, 6, 9], "each step adds one works_dir_for body");
-        let levels: Vec<usize> =
-            out.branches.iter().map(|b| b.recursion_level).collect();
+        let levels: Vec<usize> = out.branches.iter().map(|b| b.recursion_level).collect();
         assert_eq!(levels, [0, 1, 2]);
         for b in &out.branches {
             b.query.validate(&db).unwrap();
@@ -332,6 +342,10 @@ mod tests {
         let b = &out.branches[0];
         assert_eq!(b.query.comparisons.len(), 0);
         assert_eq!(b.residual.len(), 2);
-        assert!(b.residual[1].to_string().starts_with("less("), "{:?}", b.residual);
+        assert!(
+            b.residual[1].to_string().starts_with("less("),
+            "{:?}",
+            b.residual
+        );
     }
 }

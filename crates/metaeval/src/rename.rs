@@ -23,7 +23,10 @@ struct Namer {
 
 impl Namer {
     fn new() -> Self {
-        Namer { map: HashMap::new(), counters: HashMap::new() }
+        Namer {
+            map: HashMap::new(),
+            counters: HashMap::new(),
+        }
     }
 
     fn assign(&mut self, var: VarId, attr: &str) -> Symbol {
@@ -64,11 +67,7 @@ pub enum TargetConflict {
 }
 
 /// Converts one raw branch into a typed DBCL query plus residue.
-pub fn branch_to_dbcl(
-    branch: &RawBranch,
-    db: &DatabaseDef,
-    view_name: &str,
-) -> Result<MetaBranch> {
+pub fn branch_to_dbcl(branch: &RawBranch, db: &DatabaseDef, view_name: &str) -> Result<MetaBranch> {
     branch_to_dbcl_with(branch, db, view_name, TargetConflict::Error)
 }
 
@@ -130,7 +129,9 @@ pub fn branch_to_dbcl_with(
 
     // Target list entries at the column of each target's first occurrence.
     for (name, term) in &branch.targets {
-        let Term::Var(v) = term else { unreachable!("checked above") };
+        let Term::Var(v) = term else {
+            unreachable!("checked above")
+        };
         let sym = namer.lookup(*v).expect("target pre-assigned");
         let (_, col) = query.first_row_occurrence(sym).ok_or_else(|| {
             MetaError(format!("target t_{name} never reaches a database relation"))
@@ -163,9 +164,9 @@ pub fn branch_to_dbcl_with(
         let operand = |t: &Term| -> Result<Option<Operand>> {
             match t {
                 Term::Var(v) => Ok(namer.lookup(*v).map(Operand::Sym)),
-                _ => const_of(t).map(|c| Some(Operand::Const(c))).ok_or_else(|| {
-                    MetaError(format!("comparison operand is not atomic: {t}"))
-                }),
+                _ => const_of(t)
+                    .map(|c| Some(Operand::Const(c)))
+                    .ok_or_else(|| MetaError(format!("comparison operand is not atomic: {t}"))),
             }
         };
         match (operand(&args[0])?, operand(&args[1])?) {
@@ -186,7 +187,11 @@ pub fn branch_to_dbcl_with(
         .map(|g| freeze_term(g, &mut namer, &mut res_counter))
         .collect();
 
-    Ok(MetaBranch { query, residual, recursion_level: branch.recursion_level })
+    Ok(MetaBranch {
+        query,
+        residual,
+        recursion_level: branch.recursion_level,
+    })
 }
 
 /// Rewrites variables in a residual goal into their variable-free
@@ -205,7 +210,9 @@ fn freeze_term(term: &Term, namer: &mut Namer, res_counter: &mut usize) -> Term 
         }
         Term::Struct(f, args) => Term::Struct(
             *f,
-            args.iter().map(|a| freeze_term(a, namer, res_counter)).collect(),
+            args.iter()
+                .map(|a| freeze_term(a, namer, res_counter))
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -258,13 +265,7 @@ mod tests {
         let goals = prolog::parser::flatten_conjunction(&term);
         let out = unfold(engine.kb(), &db, &goals, UnfoldLimits::default()).unwrap();
         assert!(branch_to_dbcl(&out.branches[0], &db, "v").is_err());
-        let b = branch_to_dbcl_with(
-            &out.branches[0],
-            &db,
-            "v",
-            TargetConflict::FirstWins,
-        )
-        .unwrap();
+        let b = branch_to_dbcl_with(&out.branches[0], &db, "v", TargetConflict::FirstWins).unwrap();
         assert_eq!(b.query.target[1], Entry::target("X"));
         // t_Y still anchors its row even though the targetlist dropped it.
         assert_eq!(b.query.rows[1].entries[1], Entry::target("Y"));
@@ -293,10 +294,7 @@ mod tests {
         let q = &b.query;
         assert_eq!(q.comparisons.len(), 1);
         assert_eq!(q.comparisons[0].lhs, Operand::Sym(Symbol::var("sal1")));
-        assert_eq!(
-            q.comparisons[0].rhs,
-            Operand::Const(Value::Int(40000))
-        );
+        assert_eq!(q.comparisons[0].rhs, Operand::Const(Value::Int(40000)));
     }
 
     #[test]
@@ -316,10 +314,7 @@ mod tests {
 
     #[test]
     fn generated_queries_validate() {
-        let b = first_branch(
-            crate::views::SAME_MANAGER,
-            "same_manager(t_X, jones)",
-        );
+        let b = first_branch(crate::views::SAME_MANAGER, "same_manager(t_X, jones)");
         b.query.validate(&DatabaseDef::empdep()).unwrap();
     }
 }

@@ -9,8 +9,8 @@
 
 use crate::{MetaError, Result};
 use dbcl::DatabaseDef;
-use prolog::{Atom, KnowledgeBase, PredKey, Term, VarId};
 use prolog::unify::Bindings;
+use prolog::{Atom, KnowledgeBase, PredKey, Term, VarId};
 use std::collections::HashMap;
 
 /// Expansion limits.
@@ -25,7 +25,10 @@ pub struct UnfoldLimits {
 
 impl Default for UnfoldLimits {
     fn default() -> Self {
-        UnfoldLimits { max_recursion_depth: 4, max_branches: 256 }
+        UnfoldLimits {
+            max_recursion_depth: 4,
+            max_branches: 256,
+        }
     }
 }
 
@@ -79,11 +82,7 @@ struct Unfolder<'a> {
 }
 
 /// Replaces `t_…` atoms by shared fresh variables, recording the mapping.
-fn lift_targets(
-    term: &Term,
-    bindings: &mut Bindings,
-    targets: &mut Vec<(String, VarId)>,
-) -> Term {
+fn lift_targets(term: &Term, bindings: &mut Bindings, targets: &mut Vec<(String, VarId)>) -> Term {
     match term {
         Term::Atom(a) => {
             if let Some(name) = a.as_str().strip_prefix("t_") {
@@ -99,7 +98,9 @@ fn lift_targets(
         }
         Term::Struct(f, args) => Term::Struct(
             *f,
-            args.iter().map(|t| lift_targets(t, bindings, targets)).collect(),
+            args.iter()
+                .map(|t| lift_targets(t, bindings, targets))
+                .collect(),
         ),
         other => other.clone(),
     }
@@ -162,11 +163,16 @@ impl<'a> Unfolder<'a> {
             // sentinel has been fully consumed, so its activation ends here
             // (re-opened on backtrack).
             ("$pop", 2) => {
-                let Term::Struct(_, args) = &goal else { unreachable!("functor checked") };
+                let Term::Struct(_, args) = &goal else {
+                    unreachable!("functor checked")
+                };
                 let (Term::Atom(pname), Term::Int(parity)) = (&args[0], &args[1]) else {
                     return Err(MetaError(format!("malformed sentinel {goal}")));
                 };
-                let key = PredKey { name: *pname, arity: *parity as usize };
+                let key = PredKey {
+                    name: *pname,
+                    arity: *parity as usize,
+                };
                 *active.get_mut(&key).expect("sentinel for active call") -= 1;
                 self.dfs(rest, dbcalls, comps, residual, active, level)?;
                 *active.get_mut(&key).expect("sentinel for active call") += 1;
@@ -179,14 +185,18 @@ impl<'a> Unfolder<'a> {
                 return self.dfs(rest, dbcalls, comps, residual, active, level);
             }
             (",", 2) => {
-                let Term::Struct(_, args) = &goal else { unreachable!("functor checked") };
+                let Term::Struct(_, args) = &goal else {
+                    unreachable!("functor checked")
+                };
                 let mut expanded = prolog::parser::flatten_conjunction(&args[0]);
                 expanded.extend(prolog::parser::flatten_conjunction(&args[1]));
                 expanded.extend_from_slice(rest);
                 return self.dfs(&expanded, dbcalls, comps, residual, active, level);
             }
             (";", 2) => {
-                let Term::Struct(_, args) = &goal else { unreachable!("functor checked") };
+                let Term::Struct(_, args) = &goal else {
+                    unreachable!("functor checked")
+                };
                 for side in [&args[0], &args[1]] {
                     let mut expanded = prolog::parser::flatten_conjunction(side);
                     expanded.extend_from_slice(rest);
@@ -195,7 +205,9 @@ impl<'a> Unfolder<'a> {
                 return Ok(());
             }
             ("=", 2) => {
-                let Term::Struct(_, args) = &goal else { unreachable!("functor checked") };
+                let Term::Struct(_, args) = &goal else {
+                    unreachable!("functor checked")
+                };
                 let mark = self.bindings.mark();
                 if self.bindings.unify(&args[0], &args[1]) {
                     self.dfs(rest, dbcalls, comps, residual, active, level)?;
@@ -248,10 +260,7 @@ impl<'a> Unfolder<'a> {
             *depth += 1;
             // Closes this activation once the body goals are consumed, so
             // sibling calls later in the conjunction do not look recursive.
-            let sentinel = Term::app(
-                "$pop",
-                vec![Term::Atom(name), Term::Int(arity as i64)],
-            );
+            let sentinel = Term::app("$pop", vec![Term::Atom(name), Term::Int(arity as i64)]);
             for &idx in &rule_clauses {
                 let clause = &clauses[idx];
                 let mark = self.bindings.mark();
@@ -381,11 +390,7 @@ mod tests {
     #[test]
     fn disjunction_in_goal_splits() {
         let (engine, db) = setup("");
-        let out = unfold_src(
-            &engine,
-            &db,
-            "(empl(E, t_X, S, D) ; dept(D2, t_X, M))",
-        );
+        let out = unfold_src(&engine, &db, "(empl(E, t_X, S, D) ; dept(D2, t_X, M))");
         assert_eq!(out.branches.len(), 2);
     }
 
@@ -410,7 +415,10 @@ mod tests {
             engine.kb(),
             &db,
             &goals,
-            UnfoldLimits { max_recursion_depth: 2, max_branches: 100 },
+            UnfoldLimits {
+                max_recursion_depth: 2,
+                max_branches: 100,
+            },
         )
         .unwrap();
         assert!(out.recursive);
@@ -432,7 +440,10 @@ mod tests {
             engine.kb(),
             &db,
             &goals,
-            UnfoldLimits { max_recursion_depth: 4, max_branches: 5 },
+            UnfoldLimits {
+                max_recursion_depth: 4,
+                max_branches: 5,
+            },
         )
         .unwrap();
         assert!(out.truncated);
@@ -468,7 +479,9 @@ mod fact_skipping_tests {
     #[test]
     fn pure_fact_predicate_is_residual() {
         let mut engine = Engine::new();
-        engine.consult("specialist(jones, guns). specialist(miller, driving).").unwrap();
+        engine
+            .consult("specialist(jones, guns). specialist(miller, driving).")
+            .unwrap();
         let db = DatabaseDef::empdep();
         let term = prolog::parse_term("empl(E, t_X, S, D), specialist(t_X, driving)").unwrap();
         let goals = prolog::parser::flatten_conjunction(&term);

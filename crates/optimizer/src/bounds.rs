@@ -97,10 +97,12 @@ mod tests {
         match apply_bounds(&q, &cs) {
             BoundsOutcome::Axioms(ax) => {
                 assert_eq!(ax.len(), 2);
-                assert!(ax.iter().any(|c| c.op == CompOp::Geq
-                    && c.rhs == Operand::Const(Value::Int(10_000))));
-                assert!(ax.iter().any(|c| c.op == CompOp::Leq
-                    && c.rhs == Operand::Const(Value::Int(90_000))));
+                assert!(ax
+                    .iter()
+                    .any(|c| c.op == CompOp::Geq && c.rhs == Operand::Const(Value::Int(10_000))));
+                assert!(ax
+                    .iter()
+                    .any(|c| c.op == CompOp::Leq && c.rhs == Operand::Const(Value::Int(90_000))));
             }
             other => panic!("expected axioms, got {other:?}"),
         }

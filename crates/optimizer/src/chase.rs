@@ -51,7 +51,11 @@ fn cell_of(entry: &Entry) -> Option<Cell> {
 pub fn occurrence_order(query: &DbclQuery) -> HashMap<Symbol, usize> {
     let mut order = HashMap::new();
     let mut rank = 0usize;
-    for entry in query.target.iter().chain(query.rows.iter().flat_map(|r| &r.entries)) {
+    for entry in query
+        .target
+        .iter()
+        .chain(query.rows.iter().flat_map(|r| &r.entries))
+    {
         if let Entry::Sym(s) = entry {
             order.entry(*s).or_insert_with(|| {
                 rank += 1;
@@ -72,11 +76,7 @@ fn rep_priority(op: &Operand, order: &HashMap<Symbol, usize>) -> (u8, usize) {
 
 /// Runs the chase to fixpoint, applying merges and removing duplicate rows
 /// in `query`. Returns the merges performed (already applied).
-pub fn chase(
-    query: &mut DbclQuery,
-    db: &DatabaseDef,
-    constraints: &ConstraintSet,
-) -> ChaseOutcome {
+pub fn chase(query: &mut DbclQuery, db: &DatabaseDef, constraints: &ConstraintSet) -> ChaseOutcome {
     let order = occurrence_order(query);
     let mut uf: UnionFind<Cell> = UnionFind::new();
     for row in &query.rows {
@@ -92,7 +92,9 @@ pub fn chase(
     loop {
         let mut changed = false;
         for fd in &constraints.fds {
-            let Ok(rel_cols) = db.relation_columns(fd.rel) else { continue };
+            let Ok(rel_cols) = db.relation_columns(fd.rel) else {
+                continue;
+            };
             let attr_col = |attr: prolog::Atom| -> Option<usize> {
                 let rel = db.relation(fd.rel)?;
                 let pos = rel.position(attr)?;
@@ -100,7 +102,9 @@ pub fn chase(
             };
             let lhs_cols: Option<Vec<usize>> = fd.lhs.iter().map(|a| attr_col(*a)).collect();
             let rhs_cols: Option<Vec<usize>> = fd.rhs.iter().map(|a| attr_col(*a)).collect();
-            let (Some(lhs_cols), Some(rhs_cols)) = (lhs_cols, rhs_cols) else { continue };
+            let (Some(lhs_cols), Some(rhs_cols)) = (lhs_cols, rhs_cols) else {
+                continue;
+            };
             let members: Vec<usize> = query
                 .rows
                 .iter()
@@ -189,7 +193,10 @@ pub fn chase(
         }
     });
 
-    ChaseOutcome::Done(ChaseStats { merges, rows_removed })
+    ChaseOutcome::Done(ChaseStats {
+        merges,
+        rows_removed,
+    })
 }
 
 #[cfg(test)]

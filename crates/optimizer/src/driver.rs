@@ -130,7 +130,11 @@ pub struct Simplifier<'a> {
 
 impl<'a> Simplifier<'a> {
     pub fn new(db: &'a DatabaseDef, constraints: &'a ConstraintSet) -> Self {
-        Simplifier { db, constraints, config: SimplifyConfig::default() }
+        Simplifier {
+            db,
+            constraints,
+            config: SimplifyConfig::default(),
+        }
     }
 
     pub fn with_config(
@@ -138,7 +142,11 @@ impl<'a> Simplifier<'a> {
         constraints: &'a ConstraintSet,
         config: SimplifyConfig,
     ) -> Self {
-        Simplifier { db, constraints, config }
+        Simplifier {
+            db,
+            constraints,
+            config,
+        }
     }
 
     pub fn config(&self) -> SimplifyConfig {
@@ -269,7 +277,9 @@ mod tests {
     fn example_3_3_simplifies_to_three_rows() {
         let (db, cs) = simplifier_fixtures();
         let outcome = Simplifier::new(&db, &cs).simplify(DbclQuery::example_3_3());
-        let SimplifyOutcome::Simplified(q, stats) = outcome else { panic!("empty") };
+        let SimplifyOutcome::Simplified(q, stats) = outcome else {
+            panic!("empty")
+        };
         // Chase merges rows 1 and 4; the dept and manager rows are NOT
         // dangling because the query keeps smiley pinned.
         assert_eq!(q.rows.len(), 3, "final query:\n{q}");
@@ -284,11 +294,12 @@ mod tests {
     fn implied_salary_comparison_dropped() {
         let (db, cs) = simplifier_fixtures();
         let mut q = DbclQuery::example_3_3();
-        q.comparisons[0] =
-            Comparison::new(CompOp::Less, q.comparisons[0].lhs, Operand::Const(Value::Int(200_000)));
-        let SimplifyOutcome::Simplified(q, stats) =
-            Simplifier::new(&db, &cs).simplify(q)
-        else {
+        q.comparisons[0] = Comparison::new(
+            CompOp::Less,
+            q.comparisons[0].lhs,
+            Operand::Const(Value::Int(200_000)),
+        );
+        let SimplifyOutcome::Simplified(q, stats) = Simplifier::new(&db, &cs).simplify(q) else {
             panic!("empty")
         };
         assert!(q.comparisons.is_empty(), "final query:\n{q}");
@@ -300,8 +311,11 @@ mod tests {
     fn contradictory_salary_comparison_empties() {
         let (db, cs) = simplifier_fixtures();
         let mut q = DbclQuery::example_3_3();
-        q.comparisons[0] =
-            Comparison::new(CompOp::Less, q.comparisons[0].lhs, Operand::Const(Value::Int(2_000)));
+        q.comparisons[0] = Comparison::new(
+            CompOp::Less,
+            q.comparisons[0].lhs,
+            Operand::Const(Value::Int(2_000)),
+        );
         let outcome = Simplifier::new(&db, &cs).simplify(q);
         assert!(matches!(
             outcome,
@@ -324,9 +338,10 @@ mod tests {
     fn baseline_config_changes_nothing() {
         let (db, cs) = simplifier_fixtures();
         let q = DbclQuery::example_4_1();
-        let outcome =
-            Simplifier::with_config(&db, &cs, SimplifyConfig::none()).simplify(q.clone());
-        let SimplifyOutcome::Simplified(out, stats) = outcome else { panic!("empty") };
+        let outcome = Simplifier::with_config(&db, &cs, SimplifyConfig::none()).simplify(q.clone());
+        let SimplifyOutcome::Simplified(out, stats) = outcome else {
+            panic!("empty")
+        };
         assert_eq!(out, q);
         assert_eq!(stats.rows_removed(), 0);
     }
@@ -339,9 +354,10 @@ mod tests {
             use_minimize: false,
             ..SimplifyConfig::default()
         };
-        let outcome =
-            Simplifier::with_config(&db, &cs, config).simplify(DbclQuery::example_4_1());
-        let SimplifyOutcome::Simplified(q, stats) = outcome else { panic!("empty") };
+        let outcome = Simplifier::with_config(&db, &cs, config).simplify(DbclQuery::example_4_1());
+        let SimplifyOutcome::Simplified(q, stats) = outcome else {
+            panic!("empty")
+        };
         assert_eq!(q.rows.len(), 4); // chase removes 2, refint would remove 2 more
         assert_eq!(stats.rows_removed_refint, 0);
     }
@@ -350,13 +366,11 @@ mod tests {
     fn simplification_is_idempotent() {
         let (db, cs) = simplifier_fixtures();
         let simplifier = Simplifier::new(&db, &cs);
-        let SimplifyOutcome::Simplified(once, _) =
-            simplifier.simplify(DbclQuery::example_4_1())
+        let SimplifyOutcome::Simplified(once, _) = simplifier.simplify(DbclQuery::example_4_1())
         else {
             panic!("empty")
         };
-        let SimplifyOutcome::Simplified(twice, stats) = simplifier.simplify(once.clone())
-        else {
+        let SimplifyOutcome::Simplified(twice, stats) = simplifier.simplify(once.clone()) else {
             panic!("empty")
         };
         assert_eq!(once, twice);
@@ -373,8 +387,7 @@ mod tests {
                   [])",
         )
         .unwrap();
-        let SimplifyOutcome::Simplified(out, stats) =
-            Simplifier::new(&db, &cs).simplify(q.clone())
+        let SimplifyOutcome::Simplified(out, stats) = Simplifier::new(&db, &cs).simplify(q.clone())
         else {
             panic!("empty")
         };

@@ -122,7 +122,9 @@ fn implies(comps: &[Comparison], axioms: &[Comparison], candidate: &Comparison) 
     };
     let mut edges: Vec<(usize, usize, Strength)> = Vec::new();
     for c in comps.iter().chain(axioms) {
-        let (Some(a), Some(b)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else { continue };
+        let (Some(a), Some(b)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else {
+            continue;
+        };
         let (a, b) = (
             intern(a, &mut nodes, &mut ids),
             intern(b, &mut nodes, &mut ids),
@@ -197,9 +199,7 @@ pub fn simplify_inequalities(
         for c in &axioms {
             if let (Operand::Const(a), Operand::Const(b)) = (&c.lhs, &c.rhs) {
                 if c.op.eval(a, b) == Some(false) {
-                    return IneqResult::contradiction(format!(
-                        "value-bound axiom {c} violated"
-                    ));
+                    return IneqResult::contradiction(format!("value-bound axiom {c} violated"));
                 }
             }
         }
@@ -215,9 +215,7 @@ pub fn simplify_inequalities(
                         continue;
                     }
                     Some(false) => {
-                        return IneqResult::contradiction(format!(
-                            "comparison {c} is false"
-                        ))
+                        return IneqResult::contradiction(format!("comparison {c} is false"))
                     }
                     None => {}
                 }
@@ -246,7 +244,9 @@ pub fn simplify_inequalities(
         };
         let mut edges: Vec<(usize, usize, Strength)> = Vec::new();
         for c in comps.iter().chain(&axioms) {
-            let (Some(a), Some(b)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else { continue };
+            let (Some(a), Some(b)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else {
+                continue;
+            };
             let (a, b) = (
                 intern(a, &mut nodes, &mut ids),
                 intern(b, &mut nodes, &mut ids),
@@ -271,10 +271,7 @@ pub fn simplify_inequalities(
         let reach = closure(nodes.len(), &edges);
         for (i, row) in reach.iter().enumerate() {
             if row[i] == Some(true) {
-                return IneqResult::contradiction(format!(
-                    "strict cycle through {:?}",
-                    nodes[i]
-                ));
+                return IneqResult::contradiction(format!("strict cycle through {:?}", nodes[i]));
             }
         }
         for i in 0..nodes.len() {
@@ -292,8 +289,10 @@ pub fn simplify_inequalities(
         // Extract substitutions from the union-find.
         let mut subst: HashMap<Symbol, Operand> = HashMap::new();
         for class in uf.classes() {
-            let consts: Vec<&Operand> =
-                class.iter().filter(|o| matches!(o, Operand::Const(_))).collect();
+            let consts: Vec<&Operand> = class
+                .iter()
+                .filter(|o| matches!(o, Operand::Const(_)))
+                .collect();
             if consts.len() > 1 {
                 let mut distinct = consts.clone();
                 distinct.dedup();
@@ -359,8 +358,11 @@ pub fn simplify_inequalities(
     let mut comps = deduped;
 
     // Sharpening and neq contradiction checks.
-    let ordering: Vec<Comparison> =
-        comps.iter().filter(|c| c.op != CompOp::Neq).copied().collect();
+    let ordering: Vec<Comparison> = comps
+        .iter()
+        .filter(|c| c.op != CompOp::Neq)
+        .copied()
+        .collect();
     let mut sharpened = 0usize;
     for c in &mut comps {
         if c.op != CompOp::Neq {
@@ -370,7 +372,9 @@ pub fn simplify_inequalities(
         if implies(&ordering, &axioms, &as_eq) {
             return IneqResult::contradiction(format!("{c} but operands provably equal"));
         }
-        let (Some(_), Some(_)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else { continue };
+        let (Some(_), Some(_)) = (Node::of(&c.lhs), Node::of(&c.rhs)) else {
+            continue;
+        };
         let weak_lr = Comparison::new(CompOp::Leq, c.lhs, c.rhs);
         let weak_rl = Comparison::new(CompOp::Geq, c.lhs, c.rhs);
         if implies(&ordering, &axioms, &weak_lr) {
@@ -399,7 +403,13 @@ pub fn simplify_inequalities(
         }
     }
 
-    IneqResult { contradiction: None, merges: all_merges, kept, removed, sharpened }
+    IneqResult {
+        contradiction: None,
+        merges: all_merges,
+        kept,
+        removed,
+        sharpened,
+    }
 }
 
 #[cfg(test)]
@@ -595,7 +605,10 @@ mod tests {
             Operand::Sym(Symbol::target("X")),
         )];
         let r = simplify_inequalities(&user, &[], &no_order());
-        assert_eq!(r.merges, vec![(Symbol::var("Y"), Operand::Sym(Symbol::target("X")))]);
+        assert_eq!(
+            r.merges,
+            vec![(Symbol::var("Y"), Operand::Sym(Symbol::target("X")))]
+        );
     }
 
     #[test]

@@ -175,11 +175,7 @@ pub fn contained_in(q1: &DbclQuery, q2: &DbclQuery) -> bool {
         false
     }
     // Every q2 target symbol must exist in q1 for the name-preserving map.
-    let q1_targets: HashSet<Symbol> = q1
-        .target
-        .iter()
-        .filter_map(Entry::as_symbol)
-        .collect();
+    let q1_targets: HashSet<Symbol> = q1.target.iter().filter_map(Entry::as_symbol).collect();
     let targets_align = q2
         .target
         .iter()

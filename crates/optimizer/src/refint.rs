@@ -121,7 +121,9 @@ fn row_deletable(
     constraints: &ConstraintSet,
 ) -> bool {
     let row = &query.rows[r];
-    let Ok(rel_cols) = db.relation_columns(row.relation) else { return false };
+    let Ok(rel_cols) = db.relation_columns(row.relation) else {
+        return false;
+    };
     let rel_def = db.relation(row.relation).expect("relation exists");
 
     // Partition this row's attributes into RN (free) and RP (shared).
@@ -147,7 +149,9 @@ fn row_deletable(
         if r2 == r {
             continue;
         }
-        let Ok(other_cols) = db.relation_columns(other.relation) else { continue };
+        let Ok(other_cols) = db.relation_columns(other.relation) else {
+            continue;
+        };
         let other_def = db.relation(other.relation).expect("relation exists");
         // Pair each RP attribute of r with an attribute of r' holding the
         // same entry. Greedy works because a value rarely repeats within a
@@ -171,7 +175,14 @@ fn row_deletable(
                 continue 'witness;
             }
         }
-        if derive_refint(constraints, db, other.relation, &from_attrs, row.relation, &to_attrs) {
+        if derive_refint(
+            constraints,
+            db,
+            other.relation,
+            &from_attrs,
+            row.relation,
+            &to_attrs,
+        ) {
             return true;
         }
     }
@@ -211,16 +222,44 @@ mod tests {
     fn direct_rules_derivable() {
         let db = DatabaseDef::empdep();
         let cs = ConstraintSet::empdep();
-        assert!(derive_refint(&cs, &db, a("empl"), &[a("dno")], a("dept"), &[a("dno")]));
-        assert!(derive_refint(&cs, &db, a("dept"), &[a("mgr")], a("empl"), &[a("eno")]));
+        assert!(derive_refint(
+            &cs,
+            &db,
+            a("empl"),
+            &[a("dno")],
+            a("dept"),
+            &[a("dno")]
+        ));
+        assert!(derive_refint(
+            &cs,
+            &db,
+            a("dept"),
+            &[a("mgr")],
+            a("empl"),
+            &[a("eno")]
+        ));
     }
 
     #[test]
     fn underivable_rules_rejected() {
         let db = DatabaseDef::empdep();
         let cs = ConstraintSet::empdep();
-        assert!(!derive_refint(&cs, &db, a("empl"), &[a("sal")], a("dept"), &[a("dno")]));
-        assert!(!derive_refint(&cs, &db, a("dept"), &[a("dno")], a("empl"), &[a("eno")]));
+        assert!(!derive_refint(
+            &cs,
+            &db,
+            a("empl"),
+            &[a("sal")],
+            a("dept"),
+            &[a("dno")]
+        ));
+        assert!(!derive_refint(
+            &cs,
+            &db,
+            a("dept"),
+            &[a("dno")],
+            a("empl"),
+            &[a("eno")]
+        ));
         // Arity mismatch / empty.
         assert!(!derive_refint(&cs, &db, a("empl"), &[], a("dept"), &[]));
     }
@@ -230,7 +269,14 @@ mod tests {
         let db = DatabaseDef::empdep();
         let cs = ConstraintSet::empdep();
         // empl.eno ⊆ empl.eno holds trivially (zero chain steps).
-        assert!(derive_refint(&cs, &db, a("empl"), &[a("eno")], a("empl"), &[a("eno")]));
+        assert!(derive_refint(
+            &cs,
+            &db,
+            a("empl"),
+            &[a("eno")],
+            a("empl"),
+            &[a("eno")]
+        ));
     }
 
     #[test]
@@ -245,9 +291,23 @@ mod tests {
             .add_fd("c", &["z"], &["z"])
             .add_refint("a", &["x"], "b", &["y"])
             .add_refint("b", &["y"], "c", &["z"]);
-        assert!(derive_refint(&cs, &db, a("a"), &[a("x")], a("c"), &[a("z")]));
+        assert!(derive_refint(
+            &cs,
+            &db,
+            a("a"),
+            &[a("x")],
+            a("c"),
+            &[a("z")]
+        ));
         // But not backwards.
-        assert!(!derive_refint(&cs, &db, a("c"), &[a("z")], a("a"), &[a("x")]));
+        assert!(!derive_refint(
+            &cs,
+            &db,
+            a("c"),
+            &[a("z")],
+            a("a"),
+            &[a("x")]
+        ));
     }
 
     #[test]

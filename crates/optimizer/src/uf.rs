@@ -16,7 +16,12 @@ pub struct UnionFind<K: Eq + Hash + Clone> {
 
 impl<K: Eq + Hash + Clone> UnionFind<K> {
     pub fn new() -> Self {
-        UnionFind { ids: HashMap::new(), keys: Vec::new(), parent: Vec::new(), size: Vec::new() }
+        UnionFind {
+            ids: HashMap::new(),
+            keys: Vec::new(),
+            parent: Vec::new(),
+            size: Vec::new(),
+        }
     }
 
     /// Interns `key`, returning its node id.
@@ -58,7 +63,11 @@ impl<K: Eq + Hash + Clone> UnionFind<K> {
         if ra == rb {
             return false;
         }
-        let (big, small) = if self.size[ra] >= self.size[rb] { (ra, rb) } else { (rb, ra) };
+        let (big, small) = if self.size[ra] >= self.size[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
         self.parent[small] = big;
         self.size[big] += self.size[small];
         true

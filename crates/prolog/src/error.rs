@@ -49,9 +49,15 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = PrologError::Syntax { line: 3, message: "unexpected `)`".into() };
+        let e = PrologError::Syntax {
+            line: 3,
+            message: "unexpected `)`".into(),
+        };
         assert_eq!(e.to_string(), "syntax error at line 3: unexpected `)`");
-        let e = PrologError::TypeError { expected: "integer", got: "foo".into() };
+        let e = PrologError::TypeError {
+            expected: "integer",
+            got: "foo".into(),
+        };
         assert!(e.to_string().contains("expected integer"));
     }
 }

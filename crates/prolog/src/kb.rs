@@ -25,7 +25,10 @@ pub struct PredKey {
 
 impl PredKey {
     pub fn new(name: &str, arity: usize) -> Self {
-        PredKey { name: Atom::new(name), arity }
+        PredKey {
+            name: Atom::new(name),
+            arity,
+        }
     }
 
     /// The key naming `term`'s predicate, if the term is callable.
@@ -59,7 +62,11 @@ impl Clause {
                 (a, b) => a.or(b),
             };
         }
-        Clause { head, body, nvars: max.map_or(0, |m| m + 1) }
+        Clause {
+            head,
+            body,
+            nvars: max.map_or(0, |m| m + 1),
+        }
     }
 
     /// A fact (empty body).
@@ -229,7 +236,10 @@ mod tests {
     #[test]
     fn clause_display() {
         let c = crate::parser::parse_program("gp(X, Z) :- p(X, Y), p(Y, Z).").unwrap();
-        assert_eq!(c[0].to_string(), "gp(_G0, _G1) :- p(_G0, _G2), p(_G2, _G1).");
+        assert_eq!(
+            c[0].to_string(),
+            "gp(_G0, _G1) :- p(_G0, _G2), p(_G2, _G1)."
+        );
     }
 
     #[test]

@@ -36,11 +36,18 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+        }
     }
 
     fn error(&self, message: impl Into<String>) -> PrologError {
-        PrologError::Syntax { line: self.line, message: message.into() }
+        PrologError::Syntax {
+            line: self.line,
+            message: message.into(),
+        }
     }
 
     fn peek_byte(&self) -> Option<u8> {
@@ -90,14 +97,16 @@ impl<'a> Lexer<'a> {
 
     /// Longest-match symbolic operators, longest first.
     const SYMBOLIC: &'static [&'static str] = &[
-        ":-", "=..", "=:=", "=\\=", "\\==", "\\=", "==", "=<", ">=", "=", "<", ">", "\\+",
-        ";", "+", "-", "*", "//", "/",
+        ":-", "=..", "=:=", "=\\=", "\\==", "\\=", "==", "=<", ">=", "=", "<", ">", "\\+", ";",
+        "+", "-", "*", "//", "/",
     ];
 
     fn next_token(&mut self) -> Result<Option<(Tok, usize)>> {
         self.skip_trivia()?;
         let line = self.line;
-        let Some(b) = self.peek_byte() else { return Ok(None) };
+        let Some(b) = self.peek_byte() else {
+            return Ok(None);
+        };
         // Clause end: `.` followed by whitespace/EOF (else it is the cons functor).
         if b == b'.' {
             let next = self.src.get(self.pos + 1);
@@ -173,7 +182,9 @@ impl<'a> Lexer<'a> {
             {
                 self.bump();
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_owned();
             return Ok(Some((Tok::Var(text), line)));
         }
         if b.is_ascii_lowercase() {
@@ -184,7 +195,9 @@ impl<'a> Lexer<'a> {
             {
                 self.bump();
             }
-            let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap().to_owned();
+            let text = std::str::from_utf8(&self.src[start..self.pos])
+                .unwrap()
+                .to_owned();
             // Alphabetic operators keep their operator role in the reader.
             if text == "is" || text == "mod" {
                 return Ok(Some((Tok::Op(text), line)));
@@ -230,8 +243,9 @@ fn infix(name: &str) -> Option<(u16, Assoc)> {
         ":-" => (1200, Assoc::Xfx),
         ";" => (1100, Assoc::Xfy),
         "," => (1000, Assoc::Xfy),
-        "=" | "\\=" | "==" | "\\==" | "<" | ">" | "=<" | ">=" | "=:=" | "=\\=" | "is"
-        | "=.." => (700, Assoc::Xfx),
+        "=" | "\\=" | "==" | "\\==" | "<" | ">" | "=<" | ">=" | "=:=" | "=\\=" | "is" | "=.." => {
+            (700, Assoc::Xfx)
+        }
         "+" | "-" => (500, Assoc::Yfx),
         "*" | "//" | "/" | "mod" => (400, Assoc::Yfx),
         _ => return None,
@@ -262,7 +276,13 @@ struct Parser {
 
 impl Parser {
     fn new(toks: Vec<(Tok, usize)>) -> Self {
-        Parser { toks, pos: 0, vars: HashMap::new(), var_order: Vec::new(), next_var: 0 }
+        Parser {
+            toks,
+            pos: 0,
+            vars: HashMap::new(),
+            var_order: Vec::new(),
+            next_var: 0,
+        }
     }
 
     fn line(&self) -> usize {
@@ -272,7 +292,10 @@ impl Parser {
     }
 
     fn error(&self, message: impl Into<String>) -> PrologError {
-        PrologError::Syntax { line: self.line(), message: message.into() }
+        PrologError::Syntax {
+            line: self.line(),
+            message: message.into(),
+        }
     }
 
     fn peek(&self) -> Option<&Tok> {
@@ -325,7 +348,9 @@ impl Parser {
                 Some(Tok::Punct(",")) if max_prec >= 1000 => ",".to_owned(),
                 _ => break,
             };
-            let Some((prec, assoc)) = infix(&op_name) else { break };
+            let Some((prec, assoc)) = infix(&op_name) else {
+                break;
+            };
             if prec > max_prec {
                 break;
             }
@@ -337,7 +362,8 @@ impl Parser {
             };
             let right = self.term(right_max)?;
             left = Term::Struct(Atom::new(&op_name), vec![left, right]);
-            if assoc == Assoc::Xfx && matches!(self.peek(), Some(Tok::Op(op)) if infix(op).is_some_and(|(p, _)| p == prec))
+            if assoc == Assoc::Xfx
+                && matches!(self.peek(), Some(Tok::Op(op)) if infix(op).is_some_and(|(p, _)| p == prec))
             {
                 return Err(self.error(format!("operator `{op_name}` is non-associative")));
             }
@@ -423,7 +449,9 @@ impl Parser {
                     self.bump();
                     return Ok(Term::list(items));
                 }
-                other => return Err(self.error(format!("expected `,`, `|` or `]`, found {other:?}"))),
+                other => {
+                    return Err(self.error(format!("expected `,`, `|` or `]`, found {other:?}")))
+                }
             }
         }
     }
@@ -453,7 +481,9 @@ pub fn parse_program(src: &str) -> Result<Vec<Clause>> {
         let term = parser.term(1200)?;
         match parser.bump() {
             Some(Tok::End) => {}
-            other => return Err(parser.error(format!("expected `.` after clause, found {other:?}"))),
+            other => {
+                return Err(parser.error(format!("expected `.` after clause, found {other:?}")))
+            }
         }
         clauses.push(clause_from_term(term, parser.next_var)?);
     }
@@ -468,13 +498,21 @@ fn clause_from_term(term: Term, nvars: u32) -> Result<Clause> {
             if head.functor().is_none() {
                 return Err(PrologError::NotCallable(head.to_string()));
             }
-            Ok(Clause { head, body: flatten_conjunction(&body_term), nvars })
+            Ok(Clause {
+                head,
+                body: flatten_conjunction(&body_term),
+                nvars,
+            })
         }
         head => {
             if head.functor().is_none() {
                 return Err(PrologError::NotCallable(head.to_string()));
             }
-            Ok(Clause { head, body: Vec::new(), nvars })
+            Ok(Clause {
+                head,
+                body: Vec::new(),
+                nvars,
+            })
         }
     }
 }
@@ -656,6 +694,9 @@ mod dbcl_syntax_tests {
 
     #[test]
     fn star_still_multiplies_infix() {
-        assert_eq!(parse_term("X is 2 * 3").unwrap().to_string(), "_G0 is 2 * 3");
+        assert_eq!(
+            parse_term("X is 2 * 3").unwrap().to_string(),
+            "_G0 is 2 * 3"
+        );
     }
 }

@@ -86,7 +86,10 @@ mod tests {
     #[test]
     fn append_both_directions() {
         let e = engine();
-        assert_eq!(first_binding(&e, "append([1, 2], [3], L).", "L"), "[1, 2, 3]");
+        assert_eq!(
+            first_binding(&e, "append([1, 2], [3], L).", "L"),
+            "[1, 2, 3]"
+        );
         // Backwards: enumerate splits.
         let sols = e.query_all("append(X, Y, [1, 2]).").unwrap();
         assert_eq!(sols.len(), 3);
@@ -102,7 +105,10 @@ mod tests {
     #[test]
     fn reverse_and_last_and_nth0() {
         let e = engine();
-        assert_eq!(first_binding(&e, "reverse([1, 2, 3], R).", "R"), "[3, 2, 1]");
+        assert_eq!(
+            first_binding(&e, "reverse([1, 2, 3], R).", "R"),
+            "[3, 2, 1]"
+        );
         assert_eq!(first_binding(&e, "last([1, 2, 3], X).", "X"), "3");
         assert_eq!(first_binding(&e, "nth0(1, [a, b, c], X).", "X"), "b");
     }
@@ -112,7 +118,16 @@ mod tests {
         let e = engine();
         let sols = e.query_all("between(1, 5, X).").unwrap();
         let values: Vec<_> = sols.iter().map(|s| s.get("X").unwrap().clone()).collect();
-        assert_eq!(values, [Term::Int(1), Term::Int(2), Term::Int(3), Term::Int(4), Term::Int(5)]);
+        assert_eq!(
+            values,
+            [
+                Term::Int(1),
+                Term::Int(2),
+                Term::Int(3),
+                Term::Int(4),
+                Term::Int(5)
+            ]
+        );
         assert!(!e.holds("between(3, 2, X).").unwrap());
     }
 
@@ -146,7 +161,10 @@ mod tests {
              skills(leamas, [languages, drinking]).",
         )
         .unwrap();
-        let sol = e.query_first("shares_skill(jones, B, S).").unwrap().unwrap();
+        let sol = e
+            .query_first("shares_skill(jones, B, S).")
+            .unwrap()
+            .unwrap();
         assert_eq!(sol.get("B").unwrap(), &Term::atom("leamas"));
         assert_eq!(sol.get("S").unwrap(), &Term::atom("languages"));
     }

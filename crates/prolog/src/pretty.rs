@@ -48,8 +48,24 @@ pub fn fmt_term(term: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
 fn is_infix(name: &str) -> bool {
     matches!(
         name,
-        ":-" | ";" | "," | "=" | "\\=" | "==" | "\\==" | "<" | ">" | "=<" | ">=" | "=:="
-            | "=\\=" | "is" | "+" | "-" | "*" | "//" | "mod"
+        ":-" | ";"
+            | ","
+            | "="
+            | "\\="
+            | "=="
+            | "\\=="
+            | "<"
+            | ">"
+            | "=<"
+            | ">="
+            | "=:="
+            | "=\\="
+            | "is"
+            | "+"
+            | "-"
+            | "*"
+            | "//"
+            | "mod"
     )
 }
 
@@ -93,9 +109,7 @@ fn fmt_atom(name: &str, f: &mut fmt::Formatter<'_>) -> fmt::Result {
 fn is_plain_atom(name: &str) -> bool {
     let mut chars = name.chars();
     match chars.next() {
-        Some(c) if c.is_ascii_lowercase() => {
-            chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
-        }
+        Some(c) if c.is_ascii_lowercase() => chars.all(|c| c.is_ascii_alphanumeric() || c == '_'),
         _ => false,
     }
 }

@@ -45,7 +45,12 @@ struct Frame {
 #[derive(Clone)]
 enum Alts {
     /// Remaining clauses of a user predicate.
-    Clauses { goal: Term, clauses: Rc<Vec<Clause>>, next: usize, barrier: usize },
+    Clauses {
+        goal: Term,
+        clauses: Rc<Vec<Clause>>,
+        next: usize,
+        barrier: usize,
+    },
     /// The right branch of a `;` disjunction.
     Disjunct { goal: Term, barrier: usize },
 }
@@ -104,7 +109,10 @@ impl<'kb> Solver<'kb> {
         let frames = goals
             .into_iter()
             .rev()
-            .map(|goal| Frame { goal, cut_barrier: 0 })
+            .map(|goal| Frame {
+                goal,
+                cut_barrier: 0,
+            })
             .collect();
         Solver {
             kb,
@@ -142,10 +150,9 @@ impl<'kb> Solver<'kb> {
         if self.exhausted {
             return Ok(false);
         }
-        if self.started
-            && !self.backtrack()? {
-                return Ok(false);
-            }
+        if self.started && !self.backtrack()? {
+            return Ok(false);
+        }
         self.started = true;
         self.run()
     }
@@ -157,7 +164,9 @@ impl<'kb> Solver<'kb> {
 
     fn run(&mut self) -> Result<bool> {
         loop {
-            let Some(frame) = self.goals.pop() else { return Ok(true) };
+            let Some(frame) = self.goals.pop() else {
+                return Ok(true);
+            };
             self.steps += 1;
             if self.steps > self.max_steps {
                 return Err(PrologError::LimitExceeded(format!(
@@ -186,13 +195,21 @@ impl<'kb> Solver<'kb> {
             self.bindings.truncate(cp.slots_len);
             self.goals.clone_from(&cp.goals);
             match cp.alts {
-                Alts::Clauses { goal, clauses, next, barrier } => {
+                Alts::Clauses {
+                    goal,
+                    clauses,
+                    next,
+                    barrier,
+                } => {
                     if let Step::Continue = self.try_clauses(&goal, clauses, next, barrier) {
                         return Ok(true);
                     }
                 }
                 Alts::Disjunct { goal, barrier } => {
-                    self.goals.push(Frame { goal, cut_barrier: barrier });
+                    self.goals.push(Frame {
+                        goal,
+                        cut_barrier: barrier,
+                    });
                     return Ok(true);
                 }
             }
@@ -265,8 +282,14 @@ impl<'kb> Solver<'kb> {
                 Ok(Step::Continue)
             }
             (",", 2) => {
-                self.goals.push(Frame { goal: args[1].clone(), cut_barrier: barrier });
-                self.goals.push(Frame { goal: args[0].clone(), cut_barrier: barrier });
+                self.goals.push(Frame {
+                    goal: args[1].clone(),
+                    cut_barrier: barrier,
+                });
+                self.goals.push(Frame {
+                    goal: args[0].clone(),
+                    cut_barrier: barrier,
+                });
                 Ok(Step::Continue)
             }
             (";", 2) => {
@@ -274,9 +297,15 @@ impl<'kb> Solver<'kb> {
                     goals: self.goals.clone(),
                     trail_mark: self.bindings.mark(),
                     slots_len: self.bindings.len(),
-                    alts: Alts::Disjunct { goal: args[1].clone(), barrier },
+                    alts: Alts::Disjunct {
+                        goal: args[1].clone(),
+                        barrier,
+                    },
                 });
-                self.goals.push(Frame { goal: args[0].clone(), cut_barrier: barrier });
+                self.goals.push(Frame {
+                    goal: args[0].clone(),
+                    cut_barrier: barrier,
+                });
                 Ok(Step::Continue)
             }
             ("\\+", 1) | ("not", 1) => {
@@ -289,7 +318,10 @@ impl<'kb> Solver<'kb> {
             ("call", 1) => {
                 // call/1 is transparent to bindings but opaque to cut.
                 let inner = self.bindings.deref(&args[0]);
-                self.goals.push(Frame { goal: inner, cut_barrier: self.choicepoints.len() });
+                self.goals.push(Frame {
+                    goal: inner,
+                    cut_barrier: self.choicepoints.len(),
+                });
                 Ok(Step::Continue)
             }
             ("=", 2) => {
@@ -305,7 +337,11 @@ impl<'kb> Solver<'kb> {
                 let trail_mark = self.bindings.mark();
                 let unifies = self.bindings.unify(&args[0], &args[1]);
                 self.bindings.undo_to(trail_mark);
-                Ok(if unifies { Step::Backtrack } else { Step::Continue })
+                Ok(if unifies {
+                    Step::Backtrack
+                } else {
+                    Step::Continue
+                })
             }
             ("==", 2) => {
                 let ok = self.bindings.resolve(&args[0]) == self.bindings.resolve(&args[1]);
@@ -339,15 +375,27 @@ impl<'kb> Solver<'kb> {
                 if !a.is_ground() || !b.is_ground() {
                     return Err(PrologError::Instantiation(format!("neq({a}, {b})")));
                 }
-                Ok(if a != b { Step::Continue } else { Step::Backtrack })
+                Ok(if a != b {
+                    Step::Continue
+                } else {
+                    Step::Backtrack
+                })
             }
             ("var", 1) => {
                 let is_var = matches!(self.bindings.deref(&args[0]), Term::Var(_));
-                Ok(if is_var { Step::Continue } else { Step::Backtrack })
+                Ok(if is_var {
+                    Step::Continue
+                } else {
+                    Step::Backtrack
+                })
             }
             ("nonvar", 1) => {
                 let is_var = matches!(self.bindings.deref(&args[0]), Term::Var(_));
-                Ok(if is_var { Step::Backtrack } else { Step::Continue })
+                Ok(if is_var {
+                    Step::Backtrack
+                } else {
+                    Step::Continue
+                })
             }
             ("atom", 1) => {
                 let ok = matches!(self.bindings.deref(&args[0]), Term::Atom(_));
@@ -373,7 +421,11 @@ impl<'kb> Solver<'kb> {
             }
             ("retract", 1) => {
                 let clause = self.clause_arg(&args[0])?;
-                Ok(if self.kb.retract_exact(&clause) { Step::Continue } else { Step::Backtrack })
+                Ok(if self.kb.retract_exact(&clause) {
+                    Step::Continue
+                } else {
+                    Step::Backtrack
+                })
             }
             ("findall", 3) => {
                 let list = self.findall(&args[0], &args[1])?;
@@ -409,7 +461,11 @@ impl<'kb> Solver<'kb> {
     fn arith_cmp(&mut self, args: &[Term], op: impl Fn(i64, i64) -> bool) -> Result<Step> {
         let a = self.eval_arith(&args[0])?;
         let b = self.eval_arith(&args[1])?;
-        Ok(if op(a, b) { Step::Continue } else { Step::Backtrack })
+        Ok(if op(a, b) {
+            Step::Continue
+        } else {
+            Step::Backtrack
+        })
     }
 
     fn eval_arith(&self, term: &Term) -> Result<i64> {
@@ -420,9 +476,15 @@ impl<'kb> Solver<'kb> {
             Term::Struct(f, args) => {
                 let name = f.as_str();
                 match (name, args.len()) {
-                    ("+", 2) => Ok(self.eval_arith(&args[0])?.wrapping_add(self.eval_arith(&args[1])?)),
-                    ("-", 2) => Ok(self.eval_arith(&args[0])?.wrapping_sub(self.eval_arith(&args[1])?)),
-                    ("*", 2) => Ok(self.eval_arith(&args[0])?.wrapping_mul(self.eval_arith(&args[1])?)),
+                    ("+", 2) => Ok(self
+                        .eval_arith(&args[0])?
+                        .wrapping_add(self.eval_arith(&args[1])?)),
+                    ("-", 2) => Ok(self
+                        .eval_arith(&args[0])?
+                        .wrapping_sub(self.eval_arith(&args[1])?)),
+                    ("*", 2) => Ok(self
+                        .eval_arith(&args[0])?
+                        .wrapping_mul(self.eval_arith(&args[1])?)),
                     ("//", 2) | ("/", 2) => {
                         let d = self.eval_arith(&args[1])?;
                         if d == 0 {
@@ -470,9 +532,10 @@ impl<'kb> Solver<'kb> {
         }
         // LHS unbound: construct from the RHS list.
         let rhs = self.bindings.resolve(&args[1]);
-        let items = rhs
-            .as_list()
-            .ok_or_else(|| PrologError::TypeError { expected: "list", got: rhs.to_string() })?;
+        let items = rhs.as_list().ok_or_else(|| PrologError::TypeError {
+            expected: "list",
+            got: rhs.to_string(),
+        })?;
         let term = match items.split_first() {
             Some((Term::Atom(f), rest)) => {
                 if rest.is_empty() {
@@ -505,7 +568,9 @@ impl<'kb> Solver<'kb> {
             Term::Atom(a) => (Term::Atom(*a), Term::Int(0)),
             Term::Int(i) => (Term::Int(*i), Term::Int(0)),
             Term::Var(_) => {
-                return Err(PrologError::Instantiation("functor/3 with unbound first arg".into()))
+                return Err(PrologError::Instantiation(
+                    "functor/3 with unbound first arg".into(),
+                ))
             }
         };
         let trail_mark = self.bindings.mark();
@@ -524,7 +589,10 @@ impl<'kb> Solver<'kb> {
                 if args[0].functor().is_none() {
                     return Err(PrologError::NotCallable(args[0].to_string()));
                 }
-                Ok(Clause::new(args[0].clone(), crate::parser::flatten_conjunction(&args[1])))
+                Ok(Clause::new(
+                    args[0].clone(),
+                    crate::parser::flatten_conjunction(&args[1]),
+                ))
             }
             _ => {
                 if t.functor().is_none() {
@@ -679,8 +747,14 @@ mod tests {
 
     #[test]
     fn univ_both_directions() {
-        assert_eq!(values("", "T =.. [empl, 1, smiley].", "T"), ["empl(1, smiley)"]);
-        assert_eq!(values("", "empl(1, smiley) =.. L.", "L"), ["[empl, 1, smiley]"]);
+        assert_eq!(
+            values("", "T =.. [empl, 1, smiley].", "T"),
+            ["empl(1, smiley)"]
+        );
+        assert_eq!(
+            values("", "empl(1, smiley) =.. L.", "L"),
+            ["[empl, 1, smiley]"]
+        );
         assert_eq!(values("", "foo =.. L.", "L"), ["[foo]"]);
     }
 
@@ -745,7 +819,10 @@ mod tests {
             same_manager(leamas, jones).
             partner(W, X, Skill) :- same_manager(X, W), specialist(X, Skill).
         ";
-        assert_eq!(values(program, "partner(jones, X, driving).", "X"), ["miller"]);
+        assert_eq!(
+            values(program, "partner(jones, X, driving).", "X"),
+            ["miller"]
+        );
     }
 
     #[test]

@@ -1,0 +1,434 @@
+//! Pluggable physical storage behind the relational engine.
+//!
+//! The planner and executor read tables through the [`StorageBackend`]
+//! trait; the catalog keeps only schemas. Two implementations exist:
+//!
+//! * [`InMemoryBackend`] — the original representation: a `Vec<Tuple>`
+//!   per table plus `BTreeMap` secondary indexes. Zero I/O, zero page
+//!   accounting; what `Database::new()` gives you.
+//! * [`PagedBackend`] — the [`storage`] crate's engine: slotted heap
+//!   pages behind a clock-eviction buffer pool, B+-tree indexes, and a
+//!   persistent system catalog. Scans and index lookups touch pages, so
+//!   [`crate::QueryMetrics`] can report `page_reads`/`buffer_hits` — the
+//!   paper's actual cost model.
+//!
+//! Both backends answer set-oriented SQL identically (the differential
+//! test in `tests/backend_differential.rs` enforces this); they differ
+//! only in physical cost.
+
+use crate::catalog::{Catalog, Column};
+use crate::error::{RqsError, RqsResult};
+use crate::value::{Datum, Tuple};
+use std::collections::BTreeMap;
+use std::path::Path;
+use storage::engine::ColType;
+use storage::{PoolStats, StorageEngine, StorageError};
+
+impl From<StorageError> for RqsError {
+    fn from(e: StorageError) -> RqsError {
+        match e {
+            StorageError::UnknownTable(t) => RqsError::UnknownTable(t),
+            StorageError::DuplicateTable(t) => RqsError::DuplicateTable(t),
+            other => RqsError::Internal(other.to_string()),
+        }
+    }
+}
+
+/// Physical table storage: rows in, rows out, plus secondary indexes.
+pub trait StorageBackend {
+    /// Short human-readable backend name (shows up in diagnostics).
+    fn name(&self) -> &'static str;
+
+    fn create_table(&mut self, name: &str, columns: &[Column]) -> RqsResult<()>;
+
+    fn drop_table(&mut self, name: &str) -> RqsResult<()>;
+
+    /// Removes all rows, returning how many were removed.
+    fn truncate(&mut self, name: &str) -> RqsResult<usize>;
+
+    /// Appends one (already validated) tuple.
+    fn insert(&mut self, name: &str, tuple: Tuple) -> RqsResult<()>;
+
+    fn row_count(&self, name: &str) -> RqsResult<usize>;
+
+    /// Every tuple of the table, in storage order.
+    fn scan(&self, name: &str) -> RqsResult<Vec<Tuple>>;
+
+    /// Visits every tuple without materializing the table, so callers
+    /// can filter before cloning (the executor's scan path).
+    fn for_each(&self, name: &str, f: &mut dyn FnMut(&Tuple)) -> RqsResult<()> {
+        for row in self.scan(name)? {
+            f(&row);
+        }
+        Ok(())
+    }
+
+    /// Creates (and backfills) a secondary index on column `col`.
+    fn create_index(&mut self, name: &str, col: usize) -> RqsResult<()>;
+
+    fn has_index(&self, name: &str, col: usize) -> bool;
+
+    /// Tuples whose `col` equals `key` via an index, or `None` when the
+    /// column has no index (caller falls back to a scan).
+    fn index_lookup(&self, name: &str, col: usize, key: &Datum) -> RqsResult<Option<Vec<Tuple>>>;
+
+    /// Whether any stored tuple matches `values` at columns `cols`
+    /// (constraint probes). Implementations should early-exit rather
+    /// than materialize the table.
+    fn contains(&self, name: &str, cols: &[usize], values: &[Datum]) -> RqsResult<bool> {
+        Ok(self
+            .scan(name)?
+            .iter()
+            .any(|row| cols.iter().zip(values).all(|(&c, v)| &row[c] == v)))
+    }
+
+    /// Cumulative physical I/O counters (all zero for in-memory).
+    fn stats(&self) -> PoolStats;
+
+    /// Writes dirty pages back to durable storage (no-op in-memory).
+    fn flush(&self) -> RqsResult<()> {
+        Ok(())
+    }
+}
+
+/// A read view over schema + storage, what the planner and executor
+/// carry around.
+#[derive(Clone, Copy)]
+pub struct Snapshot<'a> {
+    pub catalog: &'a Catalog,
+    pub backend: &'a dyn StorageBackend,
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+/// Size of a tuple under the storage crate's record encoding, computed
+/// without serializing (2-byte count, 1-byte tag + 8 for ints, 1-byte
+/// tag + 4-byte length + bytes for text).
+fn encoded_tuple_len(tuple: &Tuple) -> usize {
+    2 + tuple
+        .iter()
+        .map(|d| match d {
+            Datum::Int(_) => 9,
+            Datum::Text(s) => 5 + s.len(),
+        })
+        .sum::<usize>()
+}
+
+#[derive(Clone, Debug, Default)]
+struct MemTable {
+    rows: Vec<Tuple>,
+    /// column index → value → row ids.
+    indexes: BTreeMap<usize, BTreeMap<Datum, Vec<usize>>>,
+}
+
+/// The original storage representation: everything in RAM, no paging.
+#[derive(Clone, Debug, Default)]
+pub struct InMemoryBackend {
+    tables: BTreeMap<String, MemTable>,
+}
+
+impl InMemoryBackend {
+    pub fn new() -> InMemoryBackend {
+        Self::default()
+    }
+
+    fn table(&self, name: &str) -> RqsResult<&MemTable> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RqsError::UnknownTable(name.to_owned()))
+    }
+
+    fn table_mut(&mut self, name: &str) -> RqsResult<&mut MemTable> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RqsError::UnknownTable(name.to_owned()))
+    }
+}
+
+impl StorageBackend for InMemoryBackend {
+    fn name(&self) -> &'static str {
+        "in-memory"
+    }
+
+    fn create_table(&mut self, name: &str, _columns: &[Column]) -> RqsResult<()> {
+        if self.tables.contains_key(name) {
+            return Err(RqsError::DuplicateTable(name.to_owned()));
+        }
+        self.tables.insert(name.to_owned(), MemTable::default());
+        Ok(())
+    }
+
+    fn drop_table(&mut self, name: &str) -> RqsResult<()> {
+        self.tables
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| RqsError::UnknownTable(name.to_owned()))
+    }
+
+    fn truncate(&mut self, name: &str) -> RqsResult<usize> {
+        let table = self.table_mut(name)?;
+        let removed = table.rows.len();
+        table.rows.clear();
+        for index in table.indexes.values_mut() {
+            index.clear();
+        }
+        Ok(removed)
+    }
+
+    fn insert(&mut self, name: &str, tuple: Tuple) -> RqsResult<()> {
+        // Enforce the paged engine's record-size cap so the two backends
+        // stay observationally identical through SQL (a tuple that
+        // cannot live on one 4 KiB page is rejected everywhere).
+        let encoded = encoded_tuple_len(&tuple);
+        if encoded > storage::page::Page::max_record_len() {
+            return Err(StorageError::RecordTooLarge(encoded).into());
+        }
+        let table = self.table_mut(name)?;
+        let rid = table.rows.len();
+        for (&col, index) in table.indexes.iter_mut() {
+            index.entry(tuple[col].clone()).or_default().push(rid);
+        }
+        table.rows.push(tuple);
+        Ok(())
+    }
+
+    fn row_count(&self, name: &str) -> RqsResult<usize> {
+        Ok(self.table(name)?.rows.len())
+    }
+
+    fn scan(&self, name: &str) -> RqsResult<Vec<Tuple>> {
+        Ok(self.table(name)?.rows.clone())
+    }
+
+    fn for_each(&self, name: &str, f: &mut dyn FnMut(&Tuple)) -> RqsResult<()> {
+        for row in &self.table(name)?.rows {
+            f(row);
+        }
+        Ok(())
+    }
+
+    fn create_index(&mut self, name: &str, col: usize) -> RqsResult<()> {
+        let table = self.table_mut(name)?;
+        let mut index: BTreeMap<Datum, Vec<usize>> = BTreeMap::new();
+        for (rid, row) in table.rows.iter().enumerate() {
+            index.entry(row[col].clone()).or_default().push(rid);
+        }
+        table.indexes.insert(col, index);
+        Ok(())
+    }
+
+    fn has_index(&self, name: &str, col: usize) -> bool {
+        self.tables
+            .get(name)
+            .is_some_and(|t| t.indexes.contains_key(&col))
+    }
+
+    fn index_lookup(&self, name: &str, col: usize, key: &Datum) -> RqsResult<Option<Vec<Tuple>>> {
+        let table = self.table(name)?;
+        let Some(index) = table.indexes.get(&col) else {
+            return Ok(None);
+        };
+        let rids = index.get(key).map(Vec::as_slice).unwrap_or(&[]);
+        Ok(Some(
+            rids.iter().map(|&rid| table.rows[rid].clone()).collect(),
+        ))
+    }
+
+    fn stats(&self) -> PoolStats {
+        PoolStats::default()
+    }
+
+    fn contains(&self, name: &str, cols: &[usize], values: &[Datum]) -> RqsResult<bool> {
+        Ok(self
+            .table(name)?
+            .rows
+            .iter()
+            .any(|row| cols.iter().zip(values).all(|(&c, v)| &row[c] == v)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Paged backend
+// ---------------------------------------------------------------------------
+
+fn to_col_type(ty: crate::catalog::ColumnType) -> ColType {
+    match ty {
+        crate::catalog::ColumnType::Int => ColType::Int,
+        crate::catalog::ColumnType::Text => ColType::Text,
+    }
+}
+
+pub(crate) fn from_col_type(ty: ColType) -> crate::catalog::ColumnType {
+    match ty {
+        ColType::Int => crate::catalog::ColumnType::Int,
+        ColType::Text => crate::catalog::ColumnType::Text,
+    }
+}
+
+/// The paged storage engine behind the backend trait.
+pub struct PagedBackend {
+    engine: StorageEngine,
+}
+
+impl PagedBackend {
+    /// Anonymous in-memory paged database (pages + buffer pool, no file).
+    pub fn in_memory(pool_pages: usize) -> RqsResult<PagedBackend> {
+        Ok(PagedBackend {
+            engine: StorageEngine::in_memory(pool_pages)?,
+        })
+    }
+
+    /// File-backed paged database (creates the file when missing).
+    pub fn open(path: &Path, pool_pages: usize) -> RqsResult<PagedBackend> {
+        Ok(PagedBackend {
+            engine: StorageEngine::open(path, pool_pages)?,
+        })
+    }
+
+    pub fn engine(&self) -> &StorageEngine {
+        &self.engine
+    }
+}
+
+impl StorageBackend for PagedBackend {
+    fn name(&self) -> &'static str {
+        "paged"
+    }
+
+    fn create_table(&mut self, name: &str, columns: &[Column]) -> RqsResult<()> {
+        let cols: Vec<(String, ColType)> = columns
+            .iter()
+            .map(|c| (c.name.clone(), to_col_type(c.ty)))
+            .collect();
+        Ok(self.engine.create_table(name, &cols)?)
+    }
+
+    fn drop_table(&mut self, name: &str) -> RqsResult<()> {
+        Ok(self.engine.drop_table(name)?)
+    }
+
+    fn truncate(&mut self, name: &str) -> RqsResult<usize> {
+        let removed = self.engine.row_count(name)?;
+        self.engine.truncate(name)?;
+        Ok(removed)
+    }
+
+    fn insert(&mut self, name: &str, tuple: Tuple) -> RqsResult<()> {
+        self.engine.insert(name, &tuple)?;
+        Ok(())
+    }
+
+    fn row_count(&self, name: &str) -> RqsResult<usize> {
+        Ok(self.engine.row_count(name)?)
+    }
+
+    fn scan(&self, name: &str) -> RqsResult<Vec<Tuple>> {
+        Ok(self.engine.scan(name)?)
+    }
+
+    fn for_each(&self, name: &str, f: &mut dyn FnMut(&Tuple)) -> RqsResult<()> {
+        Ok(self.engine.for_each(name, f)?)
+    }
+
+    fn create_index(&mut self, name: &str, col: usize) -> RqsResult<()> {
+        Ok(self.engine.create_index(name, col)?)
+    }
+
+    fn has_index(&self, name: &str, col: usize) -> bool {
+        self.engine.has_index(name, col)
+    }
+
+    fn index_lookup(&self, name: &str, col: usize, key: &Datum) -> RqsResult<Option<Vec<Tuple>>> {
+        Ok(self.engine.index_lookup(name, col, key)?)
+    }
+
+    fn stats(&self) -> PoolStats {
+        self.engine.pool_stats()
+    }
+
+    fn flush(&self) -> RqsResult<()> {
+        Ok(self.engine.flush()?)
+    }
+
+    fn contains(&self, name: &str, cols: &[usize], values: &[Datum]) -> RqsResult<bool> {
+        Ok(self.engine.contains(name, cols, values)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::ColumnType;
+
+    fn columns() -> Vec<Column> {
+        vec![
+            Column {
+                name: "a".into(),
+                ty: ColumnType::Int,
+            },
+            Column {
+                name: "b".into(),
+                ty: ColumnType::Text,
+            },
+        ]
+    }
+
+    fn exercise(backend: &mut dyn StorageBackend) {
+        backend.create_table("t", &columns()).unwrap();
+        assert!(matches!(
+            backend.create_table("t", &columns()),
+            Err(RqsError::DuplicateTable(_))
+        ));
+        for i in 0..200i64 {
+            backend
+                .insert("t", vec![Datum::Int(i % 20), Datum::text(&format!("v{i}"))])
+                .unwrap();
+        }
+        assert_eq!(backend.row_count("t").unwrap(), 200);
+        assert_eq!(backend.scan("t").unwrap().len(), 200);
+        assert!(backend
+            .index_lookup("t", 0, &Datum::Int(3))
+            .unwrap()
+            .is_none());
+        backend.create_index("t", 0).unwrap();
+        assert!(backend.has_index("t", 0));
+        assert!(!backend.has_index("t", 1));
+        let hits = backend
+            .index_lookup("t", 0, &Datum::Int(3))
+            .unwrap()
+            .unwrap();
+        assert_eq!(hits.len(), 10);
+        assert!(hits.iter().all(|t| t[0] == Datum::Int(3)));
+        assert_eq!(backend.truncate("t").unwrap(), 200);
+        assert_eq!(backend.scan("t").unwrap().len(), 0);
+        assert_eq!(
+            backend
+                .index_lookup("t", 0, &Datum::Int(3))
+                .unwrap()
+                .unwrap(),
+            Vec::<Tuple>::new()
+        );
+        backend.drop_table("t").unwrap();
+        assert!(backend.scan("t").is_err());
+    }
+
+    #[test]
+    fn in_memory_backend_contract() {
+        let mut backend = InMemoryBackend::new();
+        exercise(&mut backend);
+        assert_eq!(backend.stats(), PoolStats::default());
+    }
+
+    #[test]
+    fn paged_backend_contract() {
+        let mut backend = PagedBackend::in_memory(8).unwrap();
+        exercise(&mut backend);
+        let stats = backend.stats();
+        assert!(
+            stats.page_reads > 0,
+            "paged backend must fault pages: {stats:?}"
+        );
+    }
+}

@@ -1,12 +1,14 @@
-//! Catalog: table schemas, tuple storage, secondary indexes and
-//! integrity-constraint enforcement.
+//! Catalog: table schemas and integrity-constraint enforcement.
 //!
 //! The paper assumes "the use of an existing database system" that already
 //! maintains value bounds, keys and referential integrity — the semantic
-//! knowledge its optimizer exploits. This module is that system's storage
-//! layer: constraints are checked on every insert, so the data always
-//! satisfies what the front-end's semantic optimizer assumes about it.
+//! knowledge its optimizer exploits. This module holds that system's
+//! *logical* layer: schemas and constraints. Physical row storage lives
+//! behind [`crate::backend::StorageBackend`]; the constraint checkers
+//! here read through it, so the same enforcement applies to the
+//! in-memory and the paged engine alike.
 
+use crate::backend::StorageBackend;
 use crate::error::{RqsError, RqsResult};
 use crate::value::{Datum, Tuple};
 use std::collections::BTreeMap;
@@ -44,18 +46,20 @@ pub enum TableConstraint {
     Key { columns: Vec<String> },
     /// Values of `columns` must appear as `parent_columns` values in
     /// `parent_table` (referential integrity).
-    ForeignKey { columns: Vec<String>, parent_table: String, parent_columns: Vec<String> },
+    ForeignKey {
+        columns: Vec<String>,
+        parent_table: String,
+        parent_columns: Vec<String>,
+    },
 }
 
-/// A stored table: schema, rows, optional secondary indexes.
+/// A table schema: name, typed columns, constraints. Rows live in the
+/// storage backend.
 #[derive(Clone, Debug)]
 pub struct Table {
     pub name: String,
     pub columns: Vec<Column>,
     pub constraints: Vec<TableConstraint>,
-    rows: Vec<Tuple>,
-    /// column index → value → row ids (secondary index).
-    indexes: BTreeMap<usize, BTreeMap<Datum, Vec<usize>>>,
 }
 
 impl Table {
@@ -64,8 +68,6 @@ impl Table {
             name: name.to_owned(),
             columns,
             constraints: Vec::new(),
-            rows: Vec::new(),
-            indexes: BTreeMap::new(),
         }
     }
 
@@ -77,44 +79,8 @@ impl Table {
         self.columns.len()
     }
 
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    pub fn rows(&self) -> &[Tuple] {
-        &self.rows
-    }
-
-    /// Creates a secondary index on `column` and backfills it.
-    pub fn create_index(&mut self, column: &str) -> RqsResult<()> {
-        let col = self
-            .column_index(column)
-            .ok_or_else(|| RqsError::UnknownColumn(format!("{}.{}", self.name, column)))?;
-        let mut index: BTreeMap<Datum, Vec<usize>> = BTreeMap::new();
-        for (rid, row) in self.rows.iter().enumerate() {
-            index.entry(row[col].clone()).or_default().push(rid);
-        }
-        self.indexes.insert(col, index);
-        Ok(())
-    }
-
-    /// Row ids matching `value` on `col`, when an index exists.
-    pub fn index_lookup(&self, col: usize, value: &Datum) -> Option<&[usize]> {
-        self.indexes
-            .get(&col)
-            .map(|idx| idx.get(value).map(Vec::as_slice).unwrap_or(&[]))
-    }
-
-    pub fn has_index(&self, col: usize) -> bool {
-        self.indexes.contains_key(&col)
-    }
-
     /// Type-checks a tuple against the schema.
-    fn typecheck(&self, tuple: &Tuple) -> RqsResult<()> {
+    pub fn typecheck(&self, tuple: &Tuple) -> RqsResult<()> {
         if tuple.len() != self.columns.len() {
             return Err(RqsError::Type(format!(
                 "{} expects {} values, got {}",
@@ -137,75 +103,9 @@ impl Table {
         }
         Ok(())
     }
-
-    /// Checks constraints local to this table (bounds, keys).
-    fn check_local_constraints(&self, tuple: &Tuple) -> RqsResult<()> {
-        for c in &self.constraints {
-            match c {
-                TableConstraint::ValueBound { column, lo, hi } => {
-                    let col = self.column_index(column).ok_or_else(|| {
-                        RqsError::Internal(format!("bound on missing column {column}"))
-                    })?;
-                    let v = tuple[col].as_int().ok_or_else(|| {
-                        RqsError::Type(format!("value bound on non-integer column {column}"))
-                    })?;
-                    if v < *lo || v > *hi {
-                        return Err(RqsError::ConstraintViolation(format!(
-                            "{}.{column} = {v} outside [{lo}, {hi}]",
-                            self.name
-                        )));
-                    }
-                }
-                TableConstraint::Key { columns } => {
-                    let cols: Vec<usize> = columns
-                        .iter()
-                        .map(|c| {
-                            self.column_index(c).ok_or_else(|| {
-                                RqsError::Internal(format!("key on missing column {c}"))
-                            })
-                        })
-                        .collect::<RqsResult<_>>()?;
-                    // Use an index when one covers the first key column.
-                    let dup = if cols.len() == 1 && self.has_index(cols[0]) {
-                        self.index_lookup(cols[0], &tuple[cols[0]])
-                            .is_some_and(|rids| !rids.is_empty())
-                    } else {
-                        self.rows
-                            .iter()
-                            .any(|row| cols.iter().all(|&c| row[c] == tuple[c]))
-                    };
-                    if dup {
-                        return Err(RqsError::ConstraintViolation(format!(
-                            "duplicate key {:?} in {}",
-                            columns, self.name
-                        )));
-                    }
-                }
-                TableConstraint::ForeignKey { .. } => {} // catalog-level
-            }
-        }
-        Ok(())
-    }
-
-    fn push_row(&mut self, tuple: Tuple) {
-        let rid = self.rows.len();
-        for (&col, index) in self.indexes.iter_mut() {
-            index.entry(tuple[col].clone()).or_default().push(rid);
-        }
-        self.rows.push(tuple);
-    }
-
-    /// Removes all rows (used by the coupling layer to reset intermediate
-    /// relations, the paper's `setrel`).
-    pub fn truncate(&mut self) {
-        self.rows.clear();
-        for index in self.indexes.values_mut() {
-            index.clear();
-        }
-    }
 }
 
-/// The catalog of all tables.
+/// The catalog of all table schemas.
 #[derive(Clone, Debug, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
@@ -250,163 +150,200 @@ impl Catalog {
     pub fn table_names(&self) -> impl Iterator<Item = &str> {
         self.tables.keys().map(String::as_str)
     }
+}
 
-    /// Inserts with full constraint checking, including foreign keys that
-    /// need to see other tables.
-    pub fn insert(&mut self, table_name: &str, tuple: Tuple) -> RqsResult<()> {
-        let table = self.table(table_name)?;
-        table.typecheck(&tuple)?;
-        table.check_local_constraints(&tuple)?;
-        // Foreign keys: child values must exist in the parent.
-        for c in table.constraints.clone() {
-            if let TableConstraint::ForeignKey { columns, parent_table, parent_columns } = c {
-                let child_cols: Vec<usize> = columns
-                    .iter()
-                    .map(|c| {
-                        table
-                            .column_index(c)
-                            .ok_or_else(|| RqsError::Internal(format!("fk on missing column {c}")))
-                    })
-                    .collect::<RqsResult<_>>()?;
-                let parent = self.table(&parent_table)?;
-                let parent_cols: Vec<usize> = parent_columns
-                    .iter()
-                    .map(|c| {
-                        parent.column_index(c).ok_or_else(|| {
-                            RqsError::Internal(format!("fk to missing column {c}"))
-                        })
-                    })
-                    .collect::<RqsResult<_>>()?;
-                let found = parent.rows().iter().any(|prow| {
-                    child_cols
-                        .iter()
-                        .zip(&parent_cols)
-                        .all(|(&cc, &pc)| tuple[cc] == prow[pc])
-                });
+fn resolve_columns(table: &Table, names: &[String], what: &str) -> RqsResult<Vec<usize>> {
+    names
+        .iter()
+        .map(|c| {
+            table
+                .column_index(c)
+                .ok_or_else(|| RqsError::Internal(format!("{what} on missing column {c}")))
+        })
+        .collect()
+}
+
+fn check_value_bound(
+    table: &Table,
+    tuple: &Tuple,
+    column: &str,
+    lo: i64,
+    hi: i64,
+) -> RqsResult<()> {
+    let col = table
+        .column_index(column)
+        .ok_or_else(|| RqsError::Internal(format!("bound on missing column {column}")))?;
+    let v = tuple[col]
+        .as_int()
+        .ok_or_else(|| RqsError::Type(format!("value bound on non-integer column {column}")))?;
+    if v < lo || v > hi {
+        return Err(RqsError::ConstraintViolation(format!(
+            "{}.{column} = {v} outside [{lo}, {hi}]",
+            table.name
+        )));
+    }
+    Ok(())
+}
+
+/// Checks every constraint of `table_name` against one candidate tuple,
+/// reading existing rows through the backend. Called before every
+/// checked insert.
+pub(crate) fn check_insert(
+    catalog: &Catalog,
+    backend: &dyn StorageBackend,
+    table_name: &str,
+    tuple: &Tuple,
+) -> RqsResult<()> {
+    let table = catalog.table(table_name)?;
+    table.typecheck(tuple)?;
+    for c in &table.constraints {
+        match c {
+            TableConstraint::ValueBound { column, lo, hi } => {
+                check_value_bound(table, tuple, column, *lo, *hi)?;
+            }
+            TableConstraint::Key { columns } => {
+                let cols = resolve_columns(table, columns, "key")?;
+                // Use an index when one covers a single-column key.
+                let dup = if cols.len() == 1 && backend.has_index(table_name, cols[0]) {
+                    backend
+                        .index_lookup(table_name, cols[0], &tuple[cols[0]])?
+                        .is_some_and(|rows| !rows.is_empty())
+                } else {
+                    let values: Vec<Datum> = cols.iter().map(|&c| tuple[c].clone()).collect();
+                    backend.contains(table_name, &cols, &values)?
+                };
+                if dup {
+                    return Err(RqsError::ConstraintViolation(format!(
+                        "duplicate key {columns:?} in {table_name}"
+                    )));
+                }
+            }
+            TableConstraint::ForeignKey {
+                columns,
+                parent_table,
+                parent_columns,
+            } => {
+                let child_cols = resolve_columns(table, columns, "fk")?;
+                let parent = catalog.table(parent_table)?;
+                let parent_cols = resolve_columns(parent, parent_columns, "fk")?;
+                let values: Vec<Datum> = child_cols.iter().map(|&c| tuple[c].clone()).collect();
+                // Probe the parent through its index when one covers a
+                // single-column reference, else with an early-exit scan.
+                let found =
+                    if parent_cols.len() == 1 && backend.has_index(parent_table, parent_cols[0]) {
+                        backend
+                            .index_lookup(parent_table, parent_cols[0], &values[0])?
+                            .is_some_and(|rows| !rows.is_empty())
+                    } else {
+                        backend.contains(parent_table, &parent_cols, &values)?
+                    };
                 if !found {
                     return Err(RqsError::ConstraintViolation(format!(
-                        "{table_name}{:?} -> {parent_table}{:?}: no parent for {:?}",
-                        columns,
-                        parent_columns,
-                        child_cols.iter().map(|&c| tuple[c].clone()).collect::<Vec<_>>()
+                        "{table_name}{columns:?} -> {parent_table}{parent_columns:?}: \
+                         no parent for {:?}",
+                        child_cols
+                            .iter()
+                            .map(|&c| tuple[c].clone())
+                            .collect::<Vec<_>>()
                     )));
                 }
             }
         }
-        self.table_mut(table_name)?.push_row(tuple);
-        Ok(())
     }
+    Ok(())
+}
 
-    /// Inserts without constraint checks (bulk loads of pre-validated data).
-    pub fn insert_unchecked(&mut self, table_name: &str, tuple: Tuple) -> RqsResult<()> {
-        let table = self.table(table_name)?;
-        table.typecheck(&tuple)?;
-        self.table_mut(table_name)?.push_row(tuple);
-        Ok(())
-    }
-
-    /// Re-validates every constraint of every table against the stored
-    /// data. Needed after bulk loads through [`Catalog::insert_unchecked`],
-    /// which exist because cyclic foreign keys (the paper's `empdep` has
-    /// `empl.dno → dept.dno` *and* `dept.mgr → empl.eno`) make strict
-    /// insert-time checking impossible.
-    pub fn validate_all(&self) -> RqsResult<()> {
-        for table in self.tables.values() {
-            for c in &table.constraints {
-                match c {
-                    TableConstraint::ValueBound { column, lo, hi } => {
-                        let col = table.column_index(column).ok_or_else(|| {
-                            RqsError::Internal(format!("bound on missing column {column}"))
-                        })?;
-                        for row in table.rows() {
-                            let v = row[col].as_int().ok_or_else(|| {
-                                RqsError::Type(format!("bound on non-integer column {column}"))
-                            })?;
-                            if v < *lo || v > *hi {
-                                return Err(RqsError::ConstraintViolation(format!(
-                                    "{}.{column} = {v} outside [{lo}, {hi}]",
-                                    table.name
-                                )));
-                            }
+/// Re-validates every constraint of every table against stored data.
+/// Needed after bulk loads through `Database::insert_unchecked`, which
+/// exist because cyclic foreign keys (the paper's `empdep` has
+/// `empl.dno → dept.dno` *and* `dept.mgr → empl.eno`) make strict
+/// insert-time checking impossible.
+pub(crate) fn validate_all(catalog: &Catalog, backend: &dyn StorageBackend) -> RqsResult<()> {
+    for table in catalog.tables.values() {
+        if table.constraints.is_empty() {
+            continue;
+        }
+        let rows = backend.scan(&table.name)?;
+        for c in &table.constraints {
+            match c {
+                TableConstraint::ValueBound { column, lo, hi } => {
+                    for row in &rows {
+                        check_value_bound(table, row, column, *lo, *hi)?;
+                    }
+                }
+                TableConstraint::Key { columns } => {
+                    let cols = resolve_columns(table, columns, "key")?;
+                    let mut seen = std::collections::HashSet::new();
+                    for row in &rows {
+                        let key: Vec<&Datum> = cols.iter().map(|&c| &row[c]).collect();
+                        if !seen.insert(key) {
+                            return Err(RqsError::ConstraintViolation(format!(
+                                "duplicate key {columns:?} in {}",
+                                table.name
+                            )));
                         }
                     }
-                    TableConstraint::Key { columns } => {
-                        let cols: Vec<usize> = columns
-                            .iter()
-                            .map(|c| {
-                                table.column_index(c).ok_or_else(|| {
-                                    RqsError::Internal(format!("key on missing column {c}"))
-                                })
-                            })
-                            .collect::<RqsResult<_>>()?;
-                        let mut seen = std::collections::HashSet::new();
-                        for row in table.rows() {
-                            let key: Vec<&Datum> = cols.iter().map(|&c| &row[c]).collect();
-                            if !seen.insert(key) {
-                                return Err(RqsError::ConstraintViolation(format!(
-                                    "duplicate key {columns:?} in {}",
-                                    table.name
-                                )));
-                            }
-                        }
-                    }
-                    TableConstraint::ForeignKey { columns, parent_table, parent_columns } => {
-                        let child_cols: Vec<usize> = columns
-                            .iter()
-                            .map(|c| {
-                                table.column_index(c).ok_or_else(|| {
-                                    RqsError::Internal(format!("fk on missing column {c}"))
-                                })
-                            })
-                            .collect::<RqsResult<_>>()?;
-                        let parent = self.table(parent_table)?;
-                        let parent_cols: Vec<usize> = parent_columns
-                            .iter()
-                            .map(|c| {
-                                parent.column_index(c).ok_or_else(|| {
-                                    RqsError::Internal(format!("fk to missing column {c}"))
-                                })
-                            })
-                            .collect::<RqsResult<_>>()?;
-                        let parent_keys: std::collections::HashSet<Vec<&Datum>> = parent
-                            .rows()
-                            .iter()
-                            .map(|r| parent_cols.iter().map(|&c| &r[c]).collect())
-                            .collect();
-                        for row in table.rows() {
-                            let key: Vec<&Datum> =
-                                child_cols.iter().map(|&c| &row[c]).collect();
-                            if !parent_keys.contains(&key) {
-                                return Err(RqsError::ConstraintViolation(format!(
-                                    "{}{columns:?} -> {parent_table}{parent_columns:?}: \
-                                     missing parent for {key:?}",
-                                    table.name
-                                )));
-                            }
+                }
+                TableConstraint::ForeignKey {
+                    columns,
+                    parent_table,
+                    parent_columns,
+                } => {
+                    let child_cols = resolve_columns(table, columns, "fk")?;
+                    let parent = catalog.table(parent_table)?;
+                    let parent_cols = resolve_columns(parent, parent_columns, "fk")?;
+                    let parent_rows = backend.scan(parent_table)?;
+                    let parent_keys: std::collections::HashSet<Vec<&Datum>> = parent_rows
+                        .iter()
+                        .map(|r| parent_cols.iter().map(|&c| &r[c]).collect())
+                        .collect();
+                    for row in &rows {
+                        let key: Vec<&Datum> = child_cols.iter().map(|&c| &row[c]).collect();
+                        if !parent_keys.contains(&key) {
+                            return Err(RqsError::ConstraintViolation(format!(
+                                "{}{columns:?} -> {parent_table}{parent_columns:?}: \
+                                 missing parent for {key:?}",
+                                table.name
+                            )));
                         }
                     }
                 }
             }
         }
-        Ok(())
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::backend::{InMemoryBackend, StorageBackend};
 
     fn empl_table() -> Table {
         let mut t = Table::new(
             "empl",
             vec![
-                Column { name: "eno".into(), ty: ColumnType::Int },
-                Column { name: "nam".into(), ty: ColumnType::Text },
-                Column { name: "sal".into(), ty: ColumnType::Int },
-                Column { name: "dno".into(), ty: ColumnType::Int },
+                Column {
+                    name: "eno".into(),
+                    ty: ColumnType::Int,
+                },
+                Column {
+                    name: "nam".into(),
+                    ty: ColumnType::Text,
+                },
+                Column {
+                    name: "sal".into(),
+                    ty: ColumnType::Int,
+                },
+                Column {
+                    name: "dno".into(),
+                    ty: ColumnType::Int,
+                },
             ],
         );
-        t.constraints.push(TableConstraint::Key { columns: vec!["eno".into()] });
+        t.constraints.push(TableConstraint::Key {
+            columns: vec!["eno".into()],
+        });
         t.constraints.push(TableConstraint::ValueBound {
             column: "sal".into(),
             lo: 10_000,
@@ -416,16 +353,40 @@ mod tests {
     }
 
     fn row(eno: i64, nam: &str, sal: i64, dno: i64) -> Tuple {
-        vec![Datum::Int(eno), Datum::text(nam), Datum::Int(sal), Datum::Int(dno)]
+        vec![
+            Datum::Int(eno),
+            Datum::text(nam),
+            Datum::Int(sal),
+            Datum::Int(dno),
+        ]
+    }
+
+    /// Catalog + backend pair with `empl` registered in both.
+    fn setup() -> (Catalog, InMemoryBackend) {
+        let mut cat = Catalog::new();
+        let table = empl_table();
+        let mut backend = InMemoryBackend::new();
+        backend.create_table("empl", &table.columns).unwrap();
+        cat.create_table(table).unwrap();
+        (cat, backend)
+    }
+
+    fn insert_checked(
+        cat: &Catalog,
+        backend: &mut InMemoryBackend,
+        table: &str,
+        tuple: Tuple,
+    ) -> RqsResult<()> {
+        check_insert(cat, backend, table, &tuple)?;
+        backend.insert(table, tuple)
     }
 
     #[test]
     fn insert_and_scan() {
-        let mut cat = Catalog::new();
-        cat.create_table(empl_table()).unwrap();
-        cat.insert("empl", row(1, "smiley", 50_000, 10)).unwrap();
-        cat.insert("empl", row(2, "jones", 30_000, 10)).unwrap();
-        assert_eq!(cat.table("empl").unwrap().len(), 2);
+        let (cat, mut backend) = setup();
+        insert_checked(&cat, &mut backend, "empl", row(1, "smiley", 50_000, 10)).unwrap();
+        insert_checked(&cat, &mut backend, "empl", row(2, "jones", 30_000, 10)).unwrap();
+        assert_eq!(backend.row_count("empl").unwrap(), 2);
     }
 
     #[test]
@@ -440,108 +401,97 @@ mod tests {
 
     #[test]
     fn type_mismatch_rejected() {
-        let mut cat = Catalog::new();
-        cat.create_table(empl_table()).unwrap();
-        let bad = vec![Datum::text("x"), Datum::text("y"), Datum::Int(20_000), Datum::Int(1)];
-        assert!(matches!(cat.insert("empl", bad), Err(RqsError::Type(_))));
+        let (cat, mut backend) = setup();
+        let bad = vec![
+            Datum::text("x"),
+            Datum::text("y"),
+            Datum::Int(20_000),
+            Datum::Int(1),
+        ];
+        assert!(matches!(
+            insert_checked(&cat, &mut backend, "empl", bad),
+            Err(RqsError::Type(_))
+        ));
         let short = vec![Datum::Int(1)];
-        assert!(matches!(cat.insert("empl", short), Err(RqsError::Type(_))));
+        assert!(matches!(
+            insert_checked(&cat, &mut backend, "empl", short),
+            Err(RqsError::Type(_))
+        ));
     }
 
     #[test]
     fn value_bound_enforced() {
-        let mut cat = Catalog::new();
-        cat.create_table(empl_table()).unwrap();
+        let (cat, mut backend) = setup();
         assert!(matches!(
-            cat.insert("empl", row(1, "cheap", 5_000, 10)),
+            insert_checked(&cat, &mut backend, "empl", row(1, "cheap", 5_000, 10)),
             Err(RqsError::ConstraintViolation(_))
         ));
         assert!(matches!(
-            cat.insert("empl", row(1, "rich", 95_000, 10)),
+            insert_checked(&cat, &mut backend, "empl", row(1, "rich", 95_000, 10)),
             Err(RqsError::ConstraintViolation(_))
         ));
     }
 
     #[test]
     fn key_enforced() {
-        let mut cat = Catalog::new();
-        cat.create_table(empl_table()).unwrap();
-        cat.insert("empl", row(1, "smiley", 50_000, 10)).unwrap();
+        let (cat, mut backend) = setup();
+        insert_checked(&cat, &mut backend, "empl", row(1, "smiley", 50_000, 10)).unwrap();
         assert!(matches!(
-            cat.insert("empl", row(1, "other", 40_000, 11)),
+            insert_checked(&cat, &mut backend, "empl", row(1, "other", 40_000, 11)),
             Err(RqsError::ConstraintViolation(_))
         ));
     }
 
     #[test]
     fn key_enforced_through_index_too() {
-        let mut cat = Catalog::new();
-        let mut t = empl_table();
-        t.create_index("eno").unwrap();
-        cat.create_table(t).unwrap();
-        cat.insert("empl", row(1, "smiley", 50_000, 10)).unwrap();
-        assert!(cat.insert("empl", row(1, "dup", 40_000, 10)).is_err());
-        cat.insert("empl", row(2, "fine", 40_000, 10)).unwrap();
+        let (cat, mut backend) = setup();
+        backend.create_index("empl", 0).unwrap();
+        insert_checked(&cat, &mut backend, "empl", row(1, "smiley", 50_000, 10)).unwrap();
+        assert!(insert_checked(&cat, &mut backend, "empl", row(1, "dup", 40_000, 10)).is_err());
+        insert_checked(&cat, &mut backend, "empl", row(2, "fine", 40_000, 10)).unwrap();
     }
 
     #[test]
     fn foreign_key_enforced() {
-        let mut cat = Catalog::new();
+        let (mut cat, mut backend) = setup();
         let mut dept = Table::new(
             "dept",
             vec![
-                Column { name: "dno".into(), ty: ColumnType::Int },
-                Column { name: "fct".into(), ty: ColumnType::Text },
+                Column {
+                    name: "dno".into(),
+                    ty: ColumnType::Int,
+                },
+                Column {
+                    name: "fct".into(),
+                    ty: ColumnType::Text,
+                },
             ],
         );
-        dept.constraints.push(TableConstraint::Key { columns: vec!["dno".into()] });
-        cat.create_table(dept).unwrap();
-        let mut empl = empl_table();
-        empl.constraints.push(TableConstraint::ForeignKey {
+        dept.constraints.push(TableConstraint::Key {
             columns: vec!["dno".into()],
-            parent_table: "dept".into(),
-            parent_columns: vec!["dno".into()],
         });
-        cat.create_table(empl).unwrap();
+        backend.create_table("dept", &dept.columns).unwrap();
+        cat.create_table(dept).unwrap();
+        cat.table_mut("empl")
+            .unwrap()
+            .constraints
+            .push(TableConstraint::ForeignKey {
+                columns: vec!["dno".into()],
+                parent_table: "dept".into(),
+                parent_columns: vec!["dno".into()],
+            });
         assert!(matches!(
-            cat.insert("empl", row(1, "orphan", 20_000, 99)),
+            insert_checked(&cat, &mut backend, "empl", row(1, "orphan", 20_000, 99)),
             Err(RqsError::ConstraintViolation(_))
         ));
-        cat.insert("dept", vec![Datum::Int(99), Datum::text("spying")]).unwrap();
-        cat.insert("empl", row(1, "fine", 20_000, 99)).unwrap();
-    }
-
-    #[test]
-    fn index_lookup_finds_rows() {
-        let mut t = empl_table();
-        t.push_row(row(1, "smiley", 50_000, 10));
-        t.push_row(row(2, "jones", 30_000, 20));
-        t.push_row(row(3, "leamas", 30_000, 10));
-        t.create_index("dno").unwrap();
-        let col = t.column_index("dno").unwrap();
-        assert_eq!(t.index_lookup(col, &Datum::Int(10)).unwrap(), &[0, 2]);
-        assert_eq!(t.index_lookup(col, &Datum::Int(99)).unwrap(), &[] as &[usize]);
-        assert!(t.index_lookup(0, &Datum::Int(1)).is_none()); // no index
-    }
-
-    #[test]
-    fn index_maintained_on_insert_after_creation() {
-        let mut t = empl_table();
-        t.create_index("dno").unwrap();
-        t.push_row(row(1, "a", 20_000, 7));
-        let col = t.column_index("dno").unwrap();
-        assert_eq!(t.index_lookup(col, &Datum::Int(7)).unwrap(), &[0]);
-    }
-
-    #[test]
-    fn truncate_clears_rows_and_indexes() {
-        let mut t = empl_table();
-        t.create_index("dno").unwrap();
-        t.push_row(row(1, "a", 20_000, 7));
-        t.truncate();
-        assert!(t.is_empty());
-        let col = t.column_index("dno").unwrap();
-        assert_eq!(t.index_lookup(col, &Datum::Int(7)).unwrap(), &[] as &[usize]);
+        insert_checked(
+            &cat,
+            &mut backend,
+            "dept",
+            vec![Datum::Int(99), Datum::text("spying")],
+        )
+        .unwrap();
+        insert_checked(&cat, &mut backend, "empl", row(1, "fine", 20_000, 99)).unwrap();
     }
 
     #[test]
@@ -552,71 +502,104 @@ mod tests {
         assert!(!cat.has_table("empl"));
         assert!(cat.drop_table("empl").is_err());
     }
-}
 
-#[cfg(test)]
-mod validate_all_tests {
-    use super::*;
+    mod validate_all_tests {
+        use super::*;
 
-    fn cyclic_catalog() -> Catalog {
-        // empdep's cyclic foreign keys: empl.dno → dept.dno, dept.mgr → empl.eno.
-        let mut cat = Catalog::new();
-        let mut empl = Table::new(
-            "empl",
-            vec![
-                Column { name: "eno".into(), ty: ColumnType::Int },
-                Column { name: "dno".into(), ty: ColumnType::Int },
-            ],
-        );
-        empl.constraints.push(TableConstraint::Key { columns: vec!["eno".into()] });
-        empl.constraints.push(TableConstraint::ForeignKey {
-            columns: vec!["dno".into()],
-            parent_table: "dept".into(),
-            parent_columns: vec!["dno".into()],
-        });
-        let mut dept = Table::new(
-            "dept",
-            vec![
-                Column { name: "dno".into(), ty: ColumnType::Int },
-                Column { name: "mgr".into(), ty: ColumnType::Int },
-            ],
-        );
-        dept.constraints.push(TableConstraint::Key { columns: vec!["dno".into()] });
-        dept.constraints.push(TableConstraint::ForeignKey {
-            columns: vec!["mgr".into()],
-            parent_table: "empl".into(),
-            parent_columns: vec!["eno".into()],
-        });
-        cat.create_table(empl).unwrap();
-        cat.create_table(dept).unwrap();
-        cat
-    }
+        /// empdep's cyclic foreign keys: empl.dno → dept.dno, dept.mgr →
+        /// empl.eno.
+        fn cyclic_setup() -> (Catalog, InMemoryBackend) {
+            let mut cat = Catalog::new();
+            let mut backend = InMemoryBackend::new();
+            let mut empl = Table::new(
+                "empl",
+                vec![
+                    Column {
+                        name: "eno".into(),
+                        ty: ColumnType::Int,
+                    },
+                    Column {
+                        name: "dno".into(),
+                        ty: ColumnType::Int,
+                    },
+                ],
+            );
+            empl.constraints.push(TableConstraint::Key {
+                columns: vec!["eno".into()],
+            });
+            empl.constraints.push(TableConstraint::ForeignKey {
+                columns: vec!["dno".into()],
+                parent_table: "dept".into(),
+                parent_columns: vec!["dno".into()],
+            });
+            let mut dept = Table::new(
+                "dept",
+                vec![
+                    Column {
+                        name: "dno".into(),
+                        ty: ColumnType::Int,
+                    },
+                    Column {
+                        name: "mgr".into(),
+                        ty: ColumnType::Int,
+                    },
+                ],
+            );
+            dept.constraints.push(TableConstraint::Key {
+                columns: vec!["dno".into()],
+            });
+            dept.constraints.push(TableConstraint::ForeignKey {
+                columns: vec!["mgr".into()],
+                parent_table: "empl".into(),
+                parent_columns: vec!["eno".into()],
+            });
+            backend.create_table("empl", &empl.columns).unwrap();
+            backend.create_table("dept", &dept.columns).unwrap();
+            cat.create_table(empl).unwrap();
+            cat.create_table(dept).unwrap();
+            (cat, backend)
+        }
 
-    #[test]
-    fn cyclic_fk_bulk_load_validates() {
-        let mut cat = cyclic_catalog();
-        cat.insert_unchecked("empl", vec![Datum::Int(1), Datum::Int(10)]).unwrap();
-        cat.insert_unchecked("dept", vec![Datum::Int(10), Datum::Int(1)]).unwrap();
-        cat.validate_all().unwrap();
-    }
+        #[test]
+        fn cyclic_fk_bulk_load_validates() {
+            let (cat, mut backend) = cyclic_setup();
+            backend
+                .insert("empl", vec![Datum::Int(1), Datum::Int(10)])
+                .unwrap();
+            backend
+                .insert("dept", vec![Datum::Int(10), Datum::Int(1)])
+                .unwrap();
+            validate_all(&cat, &backend).unwrap();
+        }
 
-    #[test]
-    fn validate_all_catches_broken_fk() {
-        let mut cat = cyclic_catalog();
-        cat.insert_unchecked("empl", vec![Datum::Int(1), Datum::Int(99)]).unwrap();
-        cat.insert_unchecked("dept", vec![Datum::Int(10), Datum::Int(1)]).unwrap();
-        assert!(matches!(
-            cat.validate_all(),
-            Err(RqsError::ConstraintViolation(_))
-        ));
-    }
+        #[test]
+        fn validate_all_catches_broken_fk() {
+            let (cat, mut backend) = cyclic_setup();
+            backend
+                .insert("empl", vec![Datum::Int(1), Datum::Int(99)])
+                .unwrap();
+            backend
+                .insert("dept", vec![Datum::Int(10), Datum::Int(1)])
+                .unwrap();
+            assert!(matches!(
+                validate_all(&cat, &backend),
+                Err(RqsError::ConstraintViolation(_))
+            ));
+        }
 
-    #[test]
-    fn validate_all_catches_duplicate_key() {
-        let mut cat = cyclic_catalog();
-        cat.insert_unchecked("dept", vec![Datum::Int(10), Datum::Int(1)]).unwrap();
-        cat.insert_unchecked("empl", vec![Datum::Int(1), Datum::Int(10)]).unwrap();
-        cat.insert_unchecked("empl", vec![Datum::Int(1), Datum::Int(10)]).unwrap();
-        assert!(cat.validate_all().is_err());
+        #[test]
+        fn validate_all_catches_duplicate_key() {
+            let (cat, mut backend) = cyclic_setup();
+            backend
+                .insert("dept", vec![Datum::Int(10), Datum::Int(1)])
+                .unwrap();
+            backend
+                .insert("empl", vec![Datum::Int(1), Datum::Int(10)])
+                .unwrap();
+            backend
+                .insert("empl", vec![Datum::Int(1), Datum::Int(10)])
+                .unwrap();
+            assert!(validate_all(&cat, &backend).is_err());
+        }
     }
 }

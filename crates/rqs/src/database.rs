@@ -1,11 +1,13 @@
 //! The public facade: a database accepting SQL text.
 
-use crate::catalog::{Catalog, Column, Table};
+use crate::backend::{InMemoryBackend, PagedBackend, Snapshot, StorageBackend};
+use crate::catalog::{self, Catalog, Column, Table};
 use crate::error::{RqsError, RqsResult};
 use crate::exec::{self, QueryMetrics};
 use crate::plan;
 use crate::sql::{self, Statement};
 use crate::value::Tuple;
+use std::path::Path;
 
 /// Result of executing a statement.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -20,15 +22,90 @@ pub struct QueryResult {
     pub metrics: QueryMetrics,
 }
 
-/// An in-memory relational database addressed through SQL.
-#[derive(Clone, Debug, Default)]
+/// A relational database addressed through SQL.
+///
+/// The schema lives in the [`Catalog`]; rows live in a pluggable
+/// [`StorageBackend`]: [`Database::new`] keeps everything in RAM,
+/// [`Database::paged`] runs on the paged engine (slotted heap pages
+/// behind a buffer pool, B+-tree indexes), and [`Database::open_paged`]
+/// persists it all to a file whose catalog is bootstrapped back from the
+/// `system_tables`/`system_columns`/`system_indexes` pages on reopen.
 pub struct Database {
     catalog: Catalog,
+    backend: Box<dyn StorageBackend>,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("backend", &self.backend.name())
+            .field("tables", &self.catalog.table_names().collect::<Vec<_>>())
+            .finish()
+    }
 }
 
 impl Database {
+    /// An in-memory database (the original backend).
     pub fn new() -> Self {
-        Self::default()
+        Database {
+            catalog: Catalog::new(),
+            backend: Box::new(InMemoryBackend::new()),
+        }
+    }
+
+    /// A database on the paged storage engine with a `pool_pages`-frame
+    /// buffer pool, backed by anonymous in-memory pages.
+    pub fn paged(pool_pages: usize) -> RqsResult<Self> {
+        Ok(Database {
+            catalog: Catalog::new(),
+            backend: Box::new(PagedBackend::in_memory(pool_pages)?),
+        })
+    }
+
+    /// Opens (creating if missing) a file-backed paged database. Schemas
+    /// are bootstrapped from the file's system-catalog pages. Integrity
+    /// constraints are session metadata and are not yet persisted —
+    /// re-issue them (or use [`Database::catalog_mut`]) after reopening.
+    ///
+    /// Dropping the database flushes resident dirty pages best-effort;
+    /// call [`Database::flush`] explicitly when you need write-back
+    /// errors surfaced (there is no write-ahead log yet, see
+    /// ROADMAP.md).
+    pub fn open_paged(path: &Path, pool_pages: usize) -> RqsResult<Self> {
+        let backend = PagedBackend::open(path, pool_pages)?;
+        let mut catalog = Catalog::new();
+        let engine = backend.engine();
+        let names: Vec<String> = engine.table_names().map(str::to_owned).collect();
+        for name in names {
+            let info = engine.table(&name).map_err(RqsError::from)?;
+            let columns: Vec<Column> = info
+                .columns
+                .iter()
+                .map(|(col_name, ty)| Column {
+                    name: col_name.clone(),
+                    ty: crate::backend::from_col_type(*ty),
+                })
+                .collect();
+            catalog.create_table(Table::new(&name, columns))?;
+        }
+        Ok(Database {
+            catalog,
+            backend: Box::new(backend),
+        })
+    }
+
+    /// A database over any backend implementation.
+    pub fn with_backend(backend: Box<dyn StorageBackend>) -> Self {
+        Database {
+            catalog: Catalog::new(),
+            backend,
+        }
     }
 
     pub fn catalog(&self) -> &Catalog {
@@ -39,38 +116,97 @@ impl Database {
         &mut self.catalog
     }
 
+    /// The storage backend behind this database.
+    pub fn backend(&self) -> &dyn StorageBackend {
+        self.backend.as_ref()
+    }
+
+    /// A read view over schema + storage for the planner/executor.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        Snapshot {
+            catalog: &self.catalog,
+            backend: self.backend.as_ref(),
+        }
+    }
+
+    /// Inserts without constraint checks (bulk loads of pre-validated
+    /// data; cyclic foreign keys make insert-time checking impossible).
+    /// Call [`Database::validate_all`] afterwards.
+    pub fn insert_unchecked(&mut self, table_name: &str, tuple: Tuple) -> RqsResult<()> {
+        self.catalog.table(table_name)?.typecheck(&tuple)?;
+        self.backend.insert(table_name, tuple)
+    }
+
+    /// Re-validates every constraint of every table against stored data.
+    pub fn validate_all(&self) -> RqsResult<()> {
+        catalog::validate_all(&self.catalog, self.backend.as_ref())
+    }
+
+    /// Writes dirty pages back (paged file-backed databases; a no-op for
+    /// in-memory backends).
+    pub fn flush(&self) -> RqsResult<()> {
+        self.backend.flush()
+    }
+
     /// Executes one SQL statement.
     pub fn execute(&mut self, sql_text: &str) -> RqsResult<QueryResult> {
         let stmt = sql::parse_statement(sql_text)?;
         match stmt {
-            Statement::CreateTable { name, columns, constraints } => {
-                let cols = columns
+            Statement::CreateTable {
+                name,
+                columns,
+                constraints,
+            } => {
+                let cols: Vec<Column> = columns
                     .into_iter()
                     .map(|(name, ty)| Column { name, ty })
                     .collect();
                 let mut table = Table::new(&name, cols);
                 table.constraints = constraints;
                 self.catalog.create_table(table)?;
+                if let Err(e) = self
+                    .backend
+                    .create_table(&name, &self.catalog.table(&name)?.columns)
+                {
+                    self.catalog.drop_table(&name)?;
+                    return Err(e);
+                }
                 Ok(QueryResult::default())
             }
             Statement::CreateIndex { table, column } => {
-                self.catalog.table_mut(&table)?.create_index(&column)?;
+                let col = self
+                    .catalog
+                    .table(&table)?
+                    .column_index(&column)
+                    .ok_or_else(|| RqsError::UnknownColumn(format!("{table}.{column}")))?;
+                self.backend.create_index(&table, col)?;
                 Ok(QueryResult::default())
             }
             Statement::Insert { table, rows } => {
                 let affected = rows.len();
                 for row in rows {
-                    self.catalog.insert(&table, row)?;
+                    catalog::check_insert(&self.catalog, self.backend.as_ref(), &table, &row)?;
+                    self.backend.insert(&table, row)?;
                 }
-                Ok(QueryResult { affected, ..Default::default() })
+                Ok(QueryResult {
+                    affected,
+                    ..Default::default()
+                })
             }
             Statement::Delete { table } => {
-                let t = self.catalog.table_mut(&table)?;
-                let affected = t.len();
-                t.truncate();
-                Ok(QueryResult { affected, ..Default::default() })
+                self.catalog.table(&table)?;
+                let affected = self.backend.truncate(&table)?;
+                Ok(QueryResult {
+                    affected,
+                    ..Default::default()
+                })
             }
             Statement::DropTable { name } => {
+                // Backend first: if its catalog rewrite fails the schema
+                // entry survives and the name stays usable, mirroring the
+                // CreateTable rollback above.
+                self.catalog.table(&name)?;
+                self.backend.drop_table(&name)?;
                 self.catalog.drop_table(&name)?;
                 Ok(QueryResult::default())
             }
@@ -99,9 +235,19 @@ impl Database {
 
     fn run_select(&self, select: &sql::SelectStmt) -> RqsResult<QueryResult> {
         let mut metrics = QueryMetrics::default();
-        let rel = exec::run_select(&self.catalog, select, &mut metrics)?;
+        let snap = self.snapshot();
+        let io_before = self.backend.stats();
+        let rel = exec::run_select(&snap, select, &mut metrics)?;
+        let io_after = self.backend.stats();
+        metrics.page_reads = io_after.page_reads - io_before.page_reads;
+        metrics.buffer_hits = io_after.buffer_hits - io_before.buffer_hits;
         metrics.result_rows = rel.rows.len() as u64;
-        Ok(QueryResult { columns: rel.columns, rows: rel.rows, affected: 0, metrics })
+        Ok(QueryResult {
+            columns: rel.columns,
+            rows: rel.rows,
+            affected: 0,
+            metrics,
+        })
     }
 
     /// Renders the physical plan the optimizer would choose for a SELECT.
@@ -114,11 +260,12 @@ impl Database {
 
     fn explain_select(&self, select: &sql::SelectStmt) -> RqsResult<String> {
         let mut out = String::new();
-        let resolved = plan::resolve(&self.catalog, &select.core)?;
+        let snap = self.snapshot();
+        let resolved = plan::resolve(&snap, &select.core)?;
         out.push_str(&plan::plan(resolved).to_string());
         for arm in &select.unions {
             out.push_str("UNION\n");
-            let resolved = plan::resolve(&self.catalog, arm)?;
+            let resolved = plan::resolve(&snap, arm)?;
             out.push_str(&plan::plan(resolved).to_string());
         }
         Ok(out)
@@ -130,19 +277,28 @@ mod tests {
     use super::*;
     use crate::value::Datum;
 
+    /// Both backends must pass the same lifecycle; the differential test
+    /// in `tests/` covers far more ground.
+    fn backends() -> Vec<Database> {
+        vec![Database::new(), Database::paged(8).unwrap()]
+    }
+
     #[test]
     fn ddl_dml_query_lifecycle() {
-        let mut db = Database::new();
-        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
-        let r = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')").unwrap();
-        assert_eq!(r.affected, 2);
-        let r = db.execute("SELECT v.b FROM t v WHERE v.a = 2").unwrap();
-        assert_eq!(r.rows, vec![vec![Datum::text("y")]]);
-        assert_eq!(r.columns, ["v.b"]);
-        let r = db.execute("DELETE FROM t").unwrap();
-        assert_eq!(r.affected, 2);
-        db.execute("DROP TABLE t").unwrap();
-        assert!(db.execute("SELECT v.b FROM t v").is_err());
+        for mut db in backends() {
+            db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+            let r = db
+                .execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+                .unwrap();
+            assert_eq!(r.affected, 2);
+            let r = db.execute("SELECT v.b FROM t v WHERE v.a = 2").unwrap();
+            assert_eq!(r.rows, vec![vec![Datum::text("y")]]);
+            assert_eq!(r.columns, ["v.b"]);
+            let r = db.execute("DELETE FROM t").unwrap();
+            assert_eq!(r.affected, 2);
+            db.execute("DROP TABLE t").unwrap();
+            assert!(db.execute("SELECT v.b FROM t v").is_err(), "{db:?}");
+        }
     }
 
     #[test]
@@ -153,30 +309,41 @@ mod tests {
 
     #[test]
     fn constraints_flow_through_sql() {
-        let mut db = Database::new();
-        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT, PRIMARY KEY (dno))").unwrap();
-        db.execute(
-            "CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT,
-             PRIMARY KEY (eno),
-             CHECK (sal BETWEEN 10000 AND 90000),
-             FOREIGN KEY (dno) REFERENCES dept (dno))",
-        )
-        .unwrap();
-        db.execute("INSERT INTO dept VALUES (10, 'hq', 1)").unwrap();
-        db.execute("INSERT INTO empl VALUES (1, 'smiley', 50000, 10)").unwrap();
-        // Salary bound violation.
-        assert!(db.execute("INSERT INTO empl VALUES (2, 'poor', 5000, 10)").is_err());
-        // Key violation.
-        assert!(db.execute("INSERT INTO empl VALUES (1, 'dup', 50000, 10)").is_err());
-        // FK violation.
-        assert!(db.execute("INSERT INTO empl VALUES (3, 'lost', 50000, 99)").is_err());
+        for mut db in backends() {
+            db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT, PRIMARY KEY (dno))")
+                .unwrap();
+            db.execute(
+                "CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT,
+                 PRIMARY KEY (eno),
+                 CHECK (sal BETWEEN 10000 AND 90000),
+                 FOREIGN KEY (dno) REFERENCES dept (dno))",
+            )
+            .unwrap();
+            db.execute("INSERT INTO dept VALUES (10, 'hq', 1)").unwrap();
+            db.execute("INSERT INTO empl VALUES (1, 'smiley', 50000, 10)")
+                .unwrap();
+            // Salary bound violation.
+            assert!(db
+                .execute("INSERT INTO empl VALUES (2, 'poor', 5000, 10)")
+                .is_err());
+            // Key violation.
+            assert!(db
+                .execute("INSERT INTO empl VALUES (1, 'dup', 50000, 10)")
+                .is_err());
+            // FK violation.
+            assert!(db
+                .execute("INSERT INTO empl VALUES (3, 'lost', 50000, 99)")
+                .is_err());
+        }
     }
 
     #[test]
     fn explain_renders_plan() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)").unwrap();
-        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)").unwrap();
+        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
+            .unwrap();
+        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)")
+            .unwrap();
         let text = db
             .explain("SELECT v1.nam FROM empl v1, dept v2 WHERE v1.dno = v2.dno")
             .unwrap();
@@ -193,6 +360,97 @@ mod tests {
             .unwrap();
         assert!(text.contains("UNION"));
     }
+
+    #[test]
+    fn paged_database_counts_page_io() {
+        let mut db = Database::paged(8).unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        for i in 0..2000 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                .unwrap();
+        }
+        let r = db
+            .execute("SELECT v.a FROM t v WHERE v.b = 'row999'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int(999)]]);
+        assert!(
+            r.metrics.page_reads > 0,
+            "full scan larger than the pool must fault pages: {:?}",
+            r.metrics
+        );
+        // In-memory databases report zero page I/O.
+        let mut mem = Database::new();
+        mem.execute("CREATE TABLE t (a INT)").unwrap();
+        mem.execute("INSERT INTO t VALUES (1)").unwrap();
+        let r = mem.execute("SELECT v.a FROM t v").unwrap();
+        assert_eq!((r.metrics.page_reads, r.metrics.buffer_hits), (0, 0));
+    }
+
+    #[test]
+    fn paged_index_point_lookup_reads_fewer_pages_than_scan() {
+        let mut db = Database::paged(8).unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        for i in 0..2000 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                .unwrap();
+        }
+        let scan = db.execute("SELECT v.b FROM t v WHERE v.a = 1234").unwrap();
+        db.execute("CREATE INDEX ON t (a)").unwrap();
+        let indexed = db.execute("SELECT v.b FROM t v WHERE v.a = 1234").unwrap();
+        assert_eq!(scan.rows, indexed.rows);
+        assert!(
+            indexed.metrics.page_reads < scan.metrics.page_reads,
+            "indexed lookup read {} pages, scan {}",
+            indexed.metrics.page_reads,
+            scan.metrics.page_reads
+        );
+        assert_eq!(indexed.metrics.rows_scanned, 1);
+    }
+
+    #[test]
+    fn open_paged_reboots_catalog_from_file() {
+        let dir = std::env::temp_dir().join(format!("rqs-db-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.rqs");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut db = Database::open_paged(&path, 8).unwrap();
+            db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
+                .unwrap();
+            db.execute("CREATE INDEX ON empl (nam)").unwrap();
+            for i in 0..300 {
+                db.execute(&format!("INSERT INTO empl VALUES ({i}, 'e{i}', 20000, 1)"))
+                    .unwrap();
+            }
+            db.flush().unwrap();
+        }
+        let db = Database::open_paged(&path, 8).unwrap();
+        assert!(db.catalog().has_table("empl"));
+        let r = db
+            .query("SELECT v.eno FROM empl v WHERE v.nam = 'e250'")
+            .unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::Int(250)]]);
+        assert_eq!(r.metrics.rows_scanned, 1, "index must survive reopen");
+        let r = db.query("SELECT v.eno FROM empl v").unwrap();
+        assert_eq!(r.rows.len(), 300);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn unchecked_insert_and_validate_all_flow() {
+        for mut db in backends() {
+            db.execute("CREATE TABLE t (a INT, PRIMARY KEY (a), CHECK (a BETWEEN 0 AND 10))")
+                .unwrap();
+            db.insert_unchecked("t", vec![Datum::Int(3)]).unwrap();
+            db.insert_unchecked("t", vec![Datum::Int(3)]).unwrap();
+            assert!(matches!(
+                db.validate_all(),
+                Err(RqsError::ConstraintViolation(_))
+            ));
+            // Type errors are still caught eagerly.
+            assert!(db.insert_unchecked("t", vec![Datum::text("x")]).is_err());
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,8 +460,10 @@ mod explain_statement_tests {
     #[test]
     fn explain_statement_returns_plan_rows() {
         let mut db = Database::new();
-        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)").unwrap();
-        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)").unwrap();
+        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
+            .unwrap();
+        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)")
+            .unwrap();
         let r = db
             .execute("EXPLAIN SELECT v1.nam FROM empl v1, dept v2 WHERE v1.dno = v2.dno")
             .unwrap();

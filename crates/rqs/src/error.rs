@@ -45,7 +45,9 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        assert!(RqsError::UnknownTable("empl".into()).to_string().contains("empl"));
+        assert!(RqsError::UnknownTable("empl".into())
+            .to_string()
+            .contains("empl"));
         assert!(RqsError::ConstraintViolation("sal out of bounds".into())
             .to_string()
             .contains("sal out of bounds"));

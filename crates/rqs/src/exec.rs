@@ -5,7 +5,7 @@
 //! these counters to show how many joins and scanned tuples the §6
 //! simplification saves, independently of wall-clock noise.
 
-use crate::catalog::Catalog;
+use crate::backend::Snapshot;
 use crate::error::{RqsError, RqsResult};
 use crate::plan::{self, JoinCond, JoinMethod, PhysicalPlan, Restriction};
 use crate::sql::ast::{SelectCore, SelectStmt};
@@ -30,6 +30,10 @@ pub struct QueryMetrics {
     pub result_rows: u64,
     /// Subqueries evaluated (NOT IN / IN).
     pub subqueries: usize,
+    /// Pages faulted in from storage (paged backend only; 0 in-memory).
+    pub page_reads: u64,
+    /// Page fetches served by the buffer pool (paged backend only).
+    pub buffer_hits: u64,
 }
 
 impl QueryMetrics {
@@ -42,6 +46,8 @@ impl QueryMetrics {
         self.intermediate_tuples += other.intermediate_tuples;
         self.result_rows += other.result_rows;
         self.subqueries += other.subqueries;
+        self.page_reads += other.page_reads;
+        self.buffer_hits += other.buffer_hits;
     }
 }
 
@@ -55,11 +61,11 @@ pub struct Relation {
 /// Runs a full SELECT (with UNION arms); rows are deduplicated across arms
 /// per SQL UNION semantics.
 pub fn run_select(
-    catalog: &Catalog,
+    snap: &Snapshot,
     stmt: &SelectStmt,
     metrics: &mut QueryMetrics,
 ) -> RqsResult<Relation> {
-    let mut first = run_core(catalog, &stmt.core, metrics)?;
+    let mut first = run_core(snap, &stmt.core, metrics)?;
     if !stmt.unions.is_empty() {
         let mut seen: HashSet<Tuple> = first.rows.iter().cloned().collect();
         first.rows.retain({
@@ -68,7 +74,7 @@ pub fn run_select(
             move |r| kept.insert(r.clone())
         });
         for arm in &stmt.unions {
-            let rel = run_core(catalog, arm, metrics)?;
+            let rel = run_core(snap, arm, metrics)?;
             if rel.columns.len() != first.columns.len() {
                 return Err(RqsError::Type(format!(
                     "UNION arms have {} vs {} columns",
@@ -89,18 +95,18 @@ pub fn run_select(
 
 /// Runs one SELECT core through resolve → plan → pipeline.
 pub fn run_core(
-    catalog: &Catalog,
+    snap: &Snapshot,
     core: &SelectCore,
     metrics: &mut QueryMetrics,
 ) -> RqsResult<Relation> {
-    let resolved = plan::resolve(catalog, core)?;
+    let resolved = plan::resolve(snap, core)?;
     let physical = plan::plan(resolved);
-    run_physical(catalog, &physical, metrics)
+    run_physical(snap, &physical, metrics)
 }
 
 /// Executes a physical plan.
 pub fn run_physical(
-    catalog: &Catalog,
+    snap: &Snapshot,
     physical: &PhysicalPlan,
     metrics: &mut QueryMetrics,
 ) -> RqsResult<Relation> {
@@ -125,7 +131,7 @@ pub fn run_physical(
 
     let mut current: Vec<Tuple> = Vec::new();
     for (i, step) in physical.steps.iter().enumerate() {
-        let scanned = scan_var(catalog, core, step.var, metrics)?;
+        let scanned = scan_var(snap, core, step.var, metrics)?;
         if i == 0 {
             current = scanned;
             // Self-conditions on the first variable apply right here.
@@ -206,10 +212,18 @@ pub fn run_physical(
     // Subquery filters.
     for sq in &core.subqueries {
         metrics.subqueries += 1;
-        let sub = run_select(catalog, &sq.stmt, metrics)?;
-        let set: HashSet<Datum> = sub.rows.into_iter().filter_map(|mut r| {
-            if r.is_empty() { None } else { Some(r.swap_remove(0)) }
-        }).collect();
+        let sub = run_select(snap, &sq.stmt, metrics)?;
+        let set: HashSet<Datum> = sub
+            .rows
+            .into_iter()
+            .filter_map(|mut r| {
+                if r.is_empty() {
+                    None
+                } else {
+                    Some(r.swap_remove(0))
+                }
+            })
+            .collect();
         let off = offsets[&sq.var] + sq.col;
         current.retain(|row| set.contains(&row[off]) != sq.negated);
     }
@@ -220,7 +234,7 @@ pub fn run_physical(
         .iter()
         .map(|&(var, col)| {
             let v = &core.vars[var];
-            let table = catalog.table(&v.table).expect("resolved table");
+            let table = snap.catalog.table(&v.table).expect("resolved table");
             format!("{}.{}", v.alias, table.columns[col].name)
         })
         .collect();
@@ -244,13 +258,12 @@ pub fn run_physical(
 /// Scans one range variable, applying its pushed-down restrictions, using a
 /// secondary index for an equality restriction when one exists.
 fn scan_var(
-    catalog: &Catalog,
+    snap: &Snapshot,
     core: &plan::ResolvedCore,
     var: usize,
     metrics: &mut QueryMetrics,
 ) -> RqsResult<Vec<Tuple>> {
     let info = &core.vars[var];
-    let table = catalog.table(&info.table)?;
     metrics.scans += 1;
     let restrictions: Vec<&Restriction> =
         core.restrictions.iter().filter(|r| r.var == var).collect();
@@ -265,18 +278,27 @@ fn scan_var(
     };
     // Index path: equality restriction on an indexed column.
     for r in &restrictions {
-        if matches!(r.op, crate::sql::ast::CmpOp::Eq) && table.has_index(r.col) {
-            let rids = table.index_lookup(r.col, &r.value).unwrap_or(&[]);
-            metrics.rows_scanned += rids.len() as u64;
-            return Ok(rids
-                .iter()
-                .map(|&rid| table.rows()[rid].clone())
-                .filter(|row| check(row))
-                .collect());
+        if matches!(r.op, crate::sql::ast::CmpOp::Eq) && snap.backend.has_index(&info.table, r.col)
+        {
+            let rows = snap
+                .backend
+                .index_lookup(&info.table, r.col, &r.value)?
+                .unwrap_or_default();
+            metrics.rows_scanned += rows.len() as u64;
+            return Ok(rows.into_iter().filter(check).collect());
         }
     }
-    metrics.rows_scanned += table.len() as u64;
-    Ok(table.rows().iter().filter(|row| check(row)).cloned().collect())
+    // Filter over borrowed rows, cloning only the survivors.
+    let mut rows = Vec::new();
+    let mut scanned = 0u64;
+    snap.backend.for_each(&info.table, &mut |row| {
+        scanned += 1;
+        if check(row) {
+            rows.push(row.clone());
+        }
+    })?;
+    metrics.rows_scanned += scanned;
+    Ok(rows)
 }
 
 #[cfg(test)]
@@ -286,8 +308,10 @@ mod tests {
 
     fn empdep_db() -> Database {
         let mut db = Database::new();
-        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)").unwrap();
-        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)").unwrap();
+        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
+            .unwrap();
+        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)")
+            .unwrap();
         // control(1, smiley) manages dept 10; smiley manages dept 20.
         db.execute(
             "INSERT INTO empl VALUES
@@ -298,14 +322,17 @@ mod tests {
              (5, 'leamas', 35000, 20)",
         )
         .unwrap();
-        db.execute("INSERT INTO dept VALUES (10, 'hq', 1), (20, 'field', 2)").unwrap();
+        db.execute("INSERT INTO dept VALUES (10, 'hq', 1), (20, 'field', 2)")
+            .unwrap();
         db
     }
 
     #[test]
     fn single_table_restriction() {
         let mut db = empdep_db();
-        let r = db.execute("SELECT v1.nam FROM empl v1 WHERE v1.sal < 40000").unwrap();
+        let r = db
+            .execute("SELECT v1.nam FROM empl v1 WHERE v1.sal < 40000")
+            .unwrap();
         let names: Vec<String> = r.rows.iter().map(|t| t[0].to_string()).collect();
         assert_eq!(names, ["'jones'", "'miller'", "'leamas'"]);
         assert_eq!(r.metrics.scans, 1);
@@ -355,9 +382,13 @@ mod tests {
         let mut db = empdep_db();
         // Employees who manage their own department would need eno = mgr;
         // here: self-comparison inside one var.
-        let r = db.execute("SELECT v1.nam FROM empl v1 WHERE v1.eno < v1.dno").unwrap();
+        let r = db
+            .execute("SELECT v1.nam FROM empl v1 WHERE v1.eno < v1.dno")
+            .unwrap();
         assert_eq!(r.rows.len(), 5);
-        let r = db.execute("SELECT v1.nam FROM empl v1 WHERE v1.eno > v1.dno").unwrap();
+        let r = db
+            .execute("SELECT v1.nam FROM empl v1 WHERE v1.eno > v1.dno")
+            .unwrap();
         assert_eq!(r.rows.len(), 0);
     }
 
@@ -385,9 +416,7 @@ mod tests {
     #[test]
     fn union_column_count_mismatch_rejected() {
         let mut db = empdep_db();
-        let err = db.execute(
-            "SELECT v1.nam FROM empl v1 UNION SELECT v2.dno, v2.mgr FROM dept v2",
-        );
+        let err = db.execute("SELECT v1.nam FROM empl v1 UNION SELECT v2.dno, v2.mgr FROM dept v2");
         assert!(matches!(err, Err(RqsError::Type(_))));
     }
 
@@ -434,16 +463,28 @@ mod tests {
     #[test]
     fn always_false_literal_condition_yields_empty() {
         let mut db = empdep_db();
-        let r = db.execute("SELECT v1.nam FROM empl v1 WHERE 1 = 2").unwrap();
+        let r = db
+            .execute("SELECT v1.nam FROM empl v1 WHERE 1 = 2")
+            .unwrap();
         assert!(r.rows.is_empty());
-        let r = db.execute("SELECT v1.nam FROM empl v1 WHERE 1 = 1").unwrap();
+        let r = db
+            .execute("SELECT v1.nam FROM empl v1 WHERE 1 = 1")
+            .unwrap();
         assert_eq!(r.rows.len(), 5);
     }
 
     #[test]
     fn metrics_absorb_sums() {
-        let mut a = QueryMetrics { scans: 1, rows_scanned: 10, ..Default::default() };
-        let b = QueryMetrics { scans: 2, joins: 1, ..Default::default() };
+        let mut a = QueryMetrics {
+            scans: 1,
+            rows_scanned: 10,
+            ..Default::default()
+        };
+        let b = QueryMetrics {
+            scans: 2,
+            joins: 1,
+            ..Default::default()
+        };
         a.absorb(&b);
         assert_eq!(a.scans, 3);
         assert_eq!(a.rows_scanned, 10);

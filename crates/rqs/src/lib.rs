@@ -18,9 +18,35 @@
 //!   inequality joins, instrumented with [`exec::QueryMetrics`] so the
 //!   benefit of front-end simplification is measurable.
 //!
-//! Crucially, this crate depends on nothing else in the workspace: the
-//! only connection between front-end and DBMS is SQL text, exactly as in
-//! the paper.
+//! # Storage architecture
+//!
+//! Physical row storage is pluggable behind the
+//! [`backend::StorageBackend`] trait; the [`Catalog`] holds only schemas
+//! and constraints, and the planner/executor read rows through a
+//! [`backend::Snapshot`] pairing the two. Two backends ship:
+//!
+//! * **In-memory** ([`Database::new`]) — a `Vec<Tuple>` per table with
+//!   `BTreeMap` secondary indexes. No paging, no I/O accounting.
+//! * **Paged** ([`Database::paged`], [`Database::open_paged`]) — the
+//!   `storage` crate's engine: tuples serialized onto fixed-size (4 KiB)
+//!   slotted heap pages, fetched through a pinned/unpinned buffer pool
+//!   with clock eviction over an in-memory or file-backed pager;
+//!   secondary indexes are B+-trees keyed on [`Datum`]; and the schema
+//!   itself persists as rows of three bootstrap heaps (`system_tables`,
+//!   `system_columns`, `system_indexes`) at fixed page ids, from which
+//!   [`Database::open_paged`] rebuilds the catalog on reopen.
+//!
+//! On the paged backend every scan and index lookup goes through the
+//! buffer pool, so [`exec::QueryMetrics::page_reads`] and
+//! [`exec::QueryMetrics::buffer_hits`] report real page traffic — the
+//! paper's actual cost model. The two backends are observationally
+//! identical through SQL (enforced by `tests/backend_differential.rs`);
+//! they differ only in physical cost. Write-ahead logging and
+//! concurrency control are future work tracked in ROADMAP.md.
+//!
+//! Crucially, this crate depends on nothing else in the workspace above
+//! the storage layer: the only connection between front-end and DBMS is
+//! SQL text, exactly as in the paper.
 //!
 //! ```
 //! use rqs::Database;
@@ -34,6 +60,7 @@
 //! assert_eq!(result.rows[0][0].to_string(), "'jones'");
 //! ```
 
+pub mod backend;
 pub mod catalog;
 pub mod database;
 pub mod error;
@@ -42,6 +69,7 @@ pub mod plan;
 pub mod sql;
 pub mod value;
 
+pub use backend::{InMemoryBackend, PagedBackend, Snapshot, StorageBackend};
 pub use catalog::{Catalog, Column, ColumnType, Table, TableConstraint};
 pub use database::{Database, QueryResult};
 pub use error::{RqsError, RqsResult};

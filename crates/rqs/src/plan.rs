@@ -8,7 +8,7 @@
 //! those is exactly the front-end optimizer's job, which is what the
 //! benchmarks measure.
 
-use crate::catalog::Catalog;
+use crate::backend::Snapshot;
 use crate::error::{RqsError, RqsResult};
 use crate::sql::ast::{CmpOp, ColumnRef, Condition, Scalar, SelectCore, SelectStmt};
 use crate::value::Datum;
@@ -69,7 +69,10 @@ pub enum JoinMethod {
     /// First variable: plain scan.
     Initial,
     /// Hash join on the given equijoin conditions (probe side = new var).
-    Hash { eq: Vec<JoinCond>, extra: Vec<JoinCond> },
+    Hash {
+        eq: Vec<JoinCond>,
+        extra: Vec<JoinCond>,
+    },
     /// Nested loop with arbitrary conditions (possibly empty = product).
     NestedLoop { conds: Vec<JoinCond> },
 }
@@ -95,19 +98,21 @@ impl PhysicalPlan {
     }
 }
 
-/// Resolves a SELECT core against the catalog.
-pub fn resolve(catalog: &Catalog, core: &SelectCore) -> RqsResult<ResolvedCore> {
+/// Resolves a SELECT core against the catalog and storage snapshot.
+pub fn resolve(snap: &Snapshot, core: &SelectCore) -> RqsResult<ResolvedCore> {
     let mut vars = Vec::new();
     for (table_name, alias) in &core.from {
-        let table = catalog.table(table_name)?;
+        let table = snap.catalog.table(table_name)?;
         if vars.iter().any(|v: &VarInfo| &v.alias == alias) {
-            return Err(RqsError::Syntax(format!("duplicate range variable {alias}")));
+            return Err(RqsError::Syntax(format!(
+                "duplicate range variable {alias}"
+            )));
         }
         vars.push(VarInfo {
             alias: alias.clone(),
             table: table_name.clone(),
             width: table.arity(),
-            cardinality: table.len(),
+            cardinality: snap.backend.row_count(table_name)?,
         });
     }
     let lookup = |cref: &ColumnRef| -> RqsResult<(usize, usize)> {
@@ -115,7 +120,7 @@ pub fn resolve(catalog: &Catalog, core: &SelectCore) -> RqsResult<ResolvedCore> 
             .iter()
             .position(|v| v.alias == cref.var)
             .ok_or_else(|| RqsError::UnknownColumn(format!("{cref} (unknown variable)")))?;
-        let table = catalog.table(&vars[var].table)?;
+        let table = snap.catalog.table(&vars[var].table)?;
         let col = table
             .column_index(&cref.column)
             .ok_or_else(|| RqsError::UnknownColumn(cref.to_string()))?;
@@ -135,20 +140,28 @@ pub fn resolve(catalog: &Catalog, core: &SelectCore) -> RqsResult<ResolvedCore> 
         match cond {
             Condition::Compare { lhs, op, rhs } => match (lhs, rhs) {
                 (Scalar::Column(l), Scalar::Column(r)) => {
+                    // Column-column comparisons all become join
+                    // conditions; when both sides name the same variable
+                    // the executor evaluates it as a restriction over
+                    // one tuple.
                     let (lvar, lcol) = lookup(l)?;
                     let (rvar, rcol) = lookup(r)?;
-                    if lvar == rvar {
-                        // Same-variable comparison: keep as a join-condition
-                        // on a single var; the executor treats it as a
-                        // restriction with both sides from one tuple.
-                        joins.push(JoinCond { lvar, lcol, op: *op, rvar, rcol });
-                    } else {
-                        joins.push(JoinCond { lvar, lcol, op: *op, rvar, rcol });
-                    }
+                    joins.push(JoinCond {
+                        lvar,
+                        lcol,
+                        op: *op,
+                        rvar,
+                        rcol,
+                    });
                 }
                 (Scalar::Column(l), Scalar::Literal(v)) => {
                     let (var, col) = lookup(l)?;
-                    restrictions.push(Restriction { var, col, op: *op, value: v.clone() });
+                    restrictions.push(Restriction {
+                        var,
+                        col,
+                        op: *op,
+                        value: v.clone(),
+                    });
                 }
                 (Scalar::Literal(v), Scalar::Column(r)) => {
                     let (var, col) = lookup(r)?;
@@ -174,7 +187,11 @@ pub fn resolve(catalog: &Catalog, core: &SelectCore) -> RqsResult<ResolvedCore> 
                     // Always-true conditions just vanish.
                 }
             },
-            Condition::InSubquery { col, negated, subquery } => {
+            Condition::InSubquery {
+                col,
+                negated,
+                subquery,
+            } => {
                 let (var, col) = lookup(col)?;
                 subqueries.push(SubqueryCond {
                     var,
@@ -239,7 +256,11 @@ pub fn plan(core: ResolvedCore) -> PhysicalPlan {
                     })
                 })
                 .collect();
-            let pool = if connected.is_empty() { &remaining } else { &connected };
+            let pool = if connected.is_empty() {
+                &remaining
+            } else {
+                &connected
+            };
             *pool
                 .iter()
                 .min_by_key(|&&v| estimate(&core, v))
@@ -280,9 +301,12 @@ pub fn plan(core: ResolvedCore) -> PhysicalPlan {
 
 impl fmt::Display for PhysicalPlan {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Project [{} item(s)]{}",
+        writeln!(
+            f,
+            "Project [{} item(s)]{}",
             self.core.items.len(),
-            if self.core.distinct { " DISTINCT" } else { "" })?;
+            if self.core.distinct { " DISTINCT" } else { "" }
+        )?;
         for (depth, step) in self.steps.iter().enumerate().rev() {
             let v = &self.core.vars[step.var];
             let indent = "  ".repeat(self.steps.len() - depth);
@@ -293,9 +317,11 @@ impl fmt::Display for PhysicalPlan {
                 .filter(|r| r.var == step.var)
                 .count();
             match &step.method {
-                JoinMethod::Initial => {
-                    writeln!(f, "{indent}Scan {} {} [{} restriction(s)]", v.table, v.alias, restr)?
-                }
+                JoinMethod::Initial => writeln!(
+                    f,
+                    "{indent}Scan {} {} [{} restriction(s)]",
+                    v.table, v.alias, restr
+                )?,
                 JoinMethod::Hash { eq, extra } => writeln!(
                     f,
                     "{indent}HashJoin {} {} [{} key(s), {} extra] [{} restriction(s)]",
@@ -322,44 +348,31 @@ impl fmt::Display for PhysicalPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::catalog::{Column, ColumnType, Table};
+    use crate::database::Database;
     use crate::sql::parse_statement;
     use crate::sql::Statement;
 
-    fn catalog_with_empdep() -> Catalog {
-        let mut cat = Catalog::new();
-        cat.create_table(Table::new(
-            "empl",
-            vec![
-                Column { name: "eno".into(), ty: ColumnType::Int },
-                Column { name: "nam".into(), ty: ColumnType::Text },
-                Column { name: "sal".into(), ty: ColumnType::Int },
-                Column { name: "dno".into(), ty: ColumnType::Int },
-            ],
-        ))
-        .unwrap();
-        cat.create_table(Table::new(
-            "dept",
-            vec![
-                Column { name: "dno".into(), ty: ColumnType::Int },
-                Column { name: "fct".into(), ty: ColumnType::Text },
-                Column { name: "mgr".into(), ty: ColumnType::Int },
-            ],
-        ))
-        .unwrap();
-        cat
+    fn db_with_empdep() -> Database {
+        let mut db = Database::new();
+        db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
+            .unwrap();
+        db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)")
+            .unwrap();
+        db
     }
 
-    fn resolve_select(cat: &Catalog, sql: &str) -> RqsResult<ResolvedCore> {
-        let Statement::Select(s) = parse_statement(sql).unwrap() else { panic!("not a select") };
-        resolve(cat, &s.core)
+    fn resolve_select(db: &Database, sql: &str) -> RqsResult<ResolvedCore> {
+        let Statement::Select(s) = parse_statement(sql).unwrap() else {
+            panic!("not a select")
+        };
+        resolve(&db.snapshot(), &s.core)
     }
 
     #[test]
     fn resolves_columns_and_classifies_conditions() {
-        let cat = catalog_with_empdep();
+        let db = db_with_empdep();
         let core = resolve_select(
-            &cat,
+            &db,
             "SELECT v1.nam FROM empl v1, dept v2
              WHERE (v1.dno = v2.dno) AND (v1.sal < 40000) AND (100 < v1.sal)",
         )
@@ -373,32 +386,32 @@ mod tests {
 
     #[test]
     fn unknown_names_rejected() {
-        let cat = catalog_with_empdep();
+        let db = db_with_empdep();
         assert!(matches!(
-            resolve_select(&cat, "SELECT v9.nam FROM empl v1"),
+            resolve_select(&db, "SELECT v9.nam FROM empl v1"),
             Err(RqsError::UnknownColumn(_))
         ));
         assert!(matches!(
-            resolve_select(&cat, "SELECT v1.zzz FROM empl v1"),
+            resolve_select(&db, "SELECT v1.zzz FROM empl v1"),
             Err(RqsError::UnknownColumn(_))
         ));
         assert!(matches!(
-            resolve_select(&cat, "SELECT v1.nam FROM nosuch v1"),
+            resolve_select(&db, "SELECT v1.nam FROM nosuch v1"),
             Err(RqsError::UnknownTable(_))
         ));
     }
 
     #[test]
     fn duplicate_alias_rejected() {
-        let cat = catalog_with_empdep();
-        assert!(resolve_select(&cat, "SELECT v1.nam FROM empl v1, dept v1").is_err());
+        let db = db_with_empdep();
+        assert!(resolve_select(&db, "SELECT v1.nam FROM empl v1, dept v1").is_err());
     }
 
     #[test]
     fn plan_is_left_deep_and_covers_all_vars() {
-        let cat = catalog_with_empdep();
+        let db = db_with_empdep();
         let core = resolve_select(
-            &cat,
+            &db,
             "SELECT v1.nam FROM empl v1, dept v2, empl v3
              WHERE (v1.dno = v2.dno) AND (v2.mgr = v3.eno)",
         )
@@ -415,8 +428,8 @@ mod tests {
 
     #[test]
     fn disconnected_vars_become_products() {
-        let cat = catalog_with_empdep();
-        let core = resolve_select(&cat, "SELECT v1.nam FROM empl v1, dept v2").unwrap();
+        let db = db_with_empdep();
+        let core = resolve_select(&db, "SELECT v1.nam FROM empl v1, dept v2").unwrap();
         let plan = plan(core);
         assert!(matches!(
             plan.steps[1].method,
@@ -426,21 +439,23 @@ mod tests {
 
     #[test]
     fn inequality_join_uses_nested_loop() {
-        let cat = catalog_with_empdep();
+        let db = db_with_empdep();
         let core = resolve_select(
-            &cat,
+            &db,
             "SELECT v1.nam FROM empl v1, empl v2 WHERE v1.sal < v2.sal",
         )
         .unwrap();
         let plan = plan(core);
-        assert!(matches!(plan.steps[1].method, JoinMethod::NestedLoop { ref conds } if conds.len() == 1));
+        assert!(
+            matches!(plan.steps[1].method, JoinMethod::NestedLoop { ref conds } if conds.len() == 1)
+        );
     }
 
     #[test]
     fn display_shows_pipeline() {
-        let cat = catalog_with_empdep();
+        let db = db_with_empdep();
         let core = resolve_select(
-            &cat,
+            &db,
             "SELECT v1.nam FROM empl v1, dept v2 WHERE v1.dno = v2.dno",
         )
         .unwrap();

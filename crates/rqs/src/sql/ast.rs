@@ -88,14 +88,22 @@ pub enum Condition {
     /// `lhs op rhs`.
     Compare { lhs: Scalar, op: CmpOp, rhs: Scalar },
     /// `col [NOT] IN (subquery)` — the §7 negation device.
-    InSubquery { col: ColumnRef, negated: bool, subquery: Box<SelectStmt> },
+    InSubquery {
+        col: ColumnRef,
+        negated: bool,
+        subquery: Box<SelectStmt>,
+    },
 }
 
 impl fmt::Display for Condition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Condition::Compare { lhs, op, rhs } => write!(f, "({lhs} {op} {rhs})"),
-            Condition::InSubquery { col, negated, subquery } => {
+            Condition::InSubquery {
+                col,
+                negated,
+                subquery,
+            } => {
                 let not = if *negated { "NOT " } else { "" };
                 write!(f, "({col} {not}IN ({subquery}))")
             }
@@ -218,10 +226,16 @@ mod tests {
     fn display_select() {
         let stmt = SelectCore {
             distinct: false,
-            items: vec![ColumnRef { var: "v1".into(), column: "nam".into() }],
+            items: vec![ColumnRef {
+                var: "v1".into(),
+                column: "nam".into(),
+            }],
             from: vec![("empl".into(), "v1".into())],
             conds: vec![Condition::Compare {
-                lhs: Scalar::Column(ColumnRef { var: "v1".into(), column: "sal".into() }),
+                lhs: Scalar::Column(ColumnRef {
+                    var: "v1".into(),
+                    column: "sal".into(),
+                }),
                 op: CmpOp::Lt,
                 rhs: Scalar::Literal(Datum::Int(40000)),
             }],

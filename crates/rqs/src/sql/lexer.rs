@@ -41,9 +41,7 @@ pub fn tokenize(src: &str) -> RqsResult<Vec<Tok>> {
         }
         if b.is_ascii_alphabetic() || b == b'_' {
             let start = pos;
-            while pos < bytes.len()
-                && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
-            {
+            while pos < bytes.len() && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_') {
                 pos += 1;
             }
             out.push(Tok::Word(src[start..pos].to_owned()));
@@ -84,7 +82,11 @@ pub fn tokenize(src: &str) -> RqsResult<Vec<Tok>> {
             out.push(Tok::Str(s));
             continue;
         }
-        let two = if pos + 1 < bytes.len() { &src[pos..pos + 2] } else { "" };
+        let two = if pos + 1 < bytes.len() {
+            &src[pos..pos + 2]
+        } else {
+            ""
+        };
         let sym = match two {
             "<>" => Some("<>"),
             "!=" => Some("<>"), // normalized

@@ -25,7 +25,5 @@ pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{
-    CmpOp, ColumnRef, Condition, Scalar, SelectCore, SelectStmt, Statement,
-};
+pub use ast::{CmpOp, ColumnRef, Condition, Scalar, SelectCore, SelectStmt, Statement};
 pub use parser::parse_statement;

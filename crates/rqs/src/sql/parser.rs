@@ -50,21 +50,23 @@ impl Parser {
     }
 
     fn eat_sym(&mut self, sym: &str) -> bool {
-        if self.peek() == Some(&Tok::Sym(match sym {
-            "(" => "(",
-            ")" => ")",
-            "," => ",",
-            "." => ".",
-            "=" => "=",
-            "<" => "<",
-            ">" => ">",
-            "<=" => "<=",
-            ">=" => ">=",
-            "<>" => "<>",
-            "*" => "*",
-            ";" => ";",
-            _ => return false,
-        })) {
+        if self.peek()
+            == Some(&Tok::Sym(match sym {
+                "(" => "(",
+                ")" => ")",
+                "," => ",",
+                "." => ".",
+                "=" => "=",
+                "<" => "<",
+                ">" => ">",
+                "<=" => "<=",
+                ">=" => ">=",
+                "<>" => "<>",
+                "*" => "*",
+                ";" => ";",
+                _ => return false,
+            }))
+        {
             self.pos += 1;
             true
         } else {
@@ -137,7 +139,9 @@ impl Parser {
         loop {
             if self.eat_kw("PRIMARY") {
                 self.expect_kw("KEY")?;
-                constraints.push(TableConstraint::Key { columns: self.paren_ident_list()? });
+                constraints.push(TableConstraint::Key {
+                    columns: self.paren_ident_list()?,
+                });
             } else if self.eat_kw("CHECK") {
                 // CHECK (col BETWEEN lo AND hi)
                 self.expect_sym("(")?;
@@ -175,7 +179,11 @@ impl Parser {
             self.expect_sym(")")?;
             break;
         }
-        Ok(Statement::CreateTable { name, columns, constraints })
+        Ok(Statement::CreateTable {
+            name,
+            columns,
+            constraints,
+        })
     }
 
     fn int_literal(&mut self) -> RqsResult<i64> {
@@ -203,7 +211,10 @@ impl Parser {
         if cols.len() != 1 {
             return Err(self.err("indexes cover exactly one column"));
         }
-        Ok(Statement::CreateIndex { table, column: cols.into_iter().next().expect("one column") })
+        Ok(Statement::CreateIndex {
+            table,
+            column: cols.into_iter().next().expect("one column"),
+        })
     }
 
     fn insert(&mut self) -> RqsResult<Statement> {
@@ -256,7 +267,12 @@ impl Parser {
                 conds.push(self.condition()?);
             }
         }
-        Ok(SelectCore { distinct, items, from, conds })
+        Ok(SelectCore {
+            distinct,
+            items,
+            from,
+            conds,
+        })
     }
 
     fn table_alias(&mut self) -> RqsResult<(String, String)> {
@@ -316,7 +332,11 @@ impl Parser {
         self.expect_sym("(")?;
         let subquery = self.select_stmt()?;
         self.expect_sym(")")?;
-        Ok(Condition::InSubquery { col, negated, subquery: Box::new(subquery) })
+        Ok(Condition::InSubquery {
+            col,
+            negated,
+            subquery: Box::new(subquery),
+        })
     }
 
     fn cmp_op(&mut self) -> RqsResult<CmpOp> {
@@ -359,7 +379,11 @@ mod tests {
         )
         .unwrap();
         match stmt {
-            Statement::CreateTable { name, columns, constraints } => {
+            Statement::CreateTable {
+                name,
+                columns,
+                constraints,
+            } => {
                 assert_eq!(name, "empl");
                 assert_eq!(columns.len(), 4);
                 assert_eq!(constraints.len(), 3);
@@ -370,9 +394,10 @@ mod tests {
 
     #[test]
     fn parses_insert_multi_row() {
-        let stmt =
-            parse_statement("INSERT INTO empl VALUES (1, 'smiley', 50000, 10), (2, 'jones', 30000, 10)")
-                .unwrap();
+        let stmt = parse_statement(
+            "INSERT INTO empl VALUES (1, 'smiley', 50000, 10), (2, 'jones', 30000, 10)",
+        )
+        .unwrap();
         match stmt {
             Statement::Insert { table, rows } => {
                 assert_eq!(table, "empl");
@@ -435,10 +460,9 @@ mod tests {
 
     #[test]
     fn parses_unparenthesized_conditions() {
-        let stmt = parse_statement(
-            "SELECT v1.nam FROM empl v1 WHERE v1.sal < 40000 AND v1.dno = 10",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("SELECT v1.nam FROM empl v1 WHERE v1.sal < 40000 AND v1.dno = 10")
+                .unwrap();
         match stmt {
             Statement::Select(s) => assert_eq!(s.core.conds.len(), 2),
             other => panic!("expected Select, got {other:?}"),
@@ -473,15 +497,23 @@ mod tests {
         let stmt = parse_statement("CREATE INDEX ON empl (dno)").unwrap();
         assert_eq!(
             stmt,
-            Statement::CreateIndex { table: "empl".into(), column: "dno".into() }
+            Statement::CreateIndex {
+                table: "empl".into(),
+                column: "dno".into()
+            }
         );
     }
 
     #[test]
     fn select_display_round_trips() {
-        let src = "SELECT v1.nam FROM empl v1, dept v2 WHERE (v1.dno = v2.dno) AND (v1.nam <> 'jones')";
-        let Statement::Select(s) = parse_statement(src).unwrap() else { panic!() };
-        let Statement::Select(s2) = parse_statement(&s.to_string()).unwrap() else { panic!() };
+        let src =
+            "SELECT v1.nam FROM empl v1, dept v2 WHERE (v1.dno = v2.dno) AND (v1.nam <> 'jones')";
+        let Statement::Select(s) = parse_statement(src).unwrap() else {
+            panic!()
+        };
+        let Statement::Select(s2) = parse_statement(&s.to_string()).unwrap() else {
+            panic!()
+        };
         assert_eq!(s, s2);
     }
 

@@ -143,7 +143,10 @@ impl SqlQuery {
         }
         let mut conds: Vec<String> = self.conds.iter().map(|c| c.to_string()).collect();
         if let Some((col, sub)) = &self.not_in {
-            conds.push(format!("{col} NOT IN ({})", sub.to_sql().replace('\n', " ")));
+            conds.push(format!(
+                "{col} NOT IN ({})",
+                sub.to_sql().replace('\n', " ")
+            ));
         }
         if !conds.is_empty() {
             out.push_str("\nWHERE ");
@@ -198,22 +201,37 @@ mod tests {
 
     fn sample() -> SqlQuery {
         SqlQuery {
-            select: vec![SqlColumn { var: "v1".into(), attr: "nam".into() }],
+            select: vec![SqlColumn {
+                var: "v1".into(),
+                attr: "nam".into(),
+            }],
             from: vec![("empl".into(), "v1".into()), ("empl".into(), "v2".into())],
             conds: vec![
                 SqlCond {
                     op: SqlOp::Equal,
-                    lhs: SqlTerm::Col(SqlColumn { var: "v1".into(), attr: "dno".into() }),
-                    rhs: SqlTerm::Col(SqlColumn { var: "v2".into(), attr: "dno".into() }),
+                    lhs: SqlTerm::Col(SqlColumn {
+                        var: "v1".into(),
+                        attr: "dno".into(),
+                    }),
+                    rhs: SqlTerm::Col(SqlColumn {
+                        var: "v2".into(),
+                        attr: "dno".into(),
+                    }),
                 },
                 SqlCond {
                     op: SqlOp::Equal,
-                    lhs: SqlTerm::Col(SqlColumn { var: "v2".into(), attr: "nam".into() }),
+                    lhs: SqlTerm::Col(SqlColumn {
+                        var: "v2".into(),
+                        attr: "nam".into(),
+                    }),
                     rhs: SqlTerm::Const(Value::sym("jones")),
                 },
                 SqlCond {
                     op: SqlOp::NotEqual,
-                    lhs: SqlTerm::Col(SqlColumn { var: "v1".into(), attr: "nam".into() }),
+                    lhs: SqlTerm::Col(SqlColumn {
+                        var: "v1".into(),
+                        attr: "nam".into(),
+                    }),
                     rhs: SqlTerm::Const(Value::sym("jones")),
                 },
             ],
@@ -253,9 +271,15 @@ mod tests {
         let mut q = sample();
         q.conds.clear();
         q.not_in = Some((
-            SqlColumn { var: "v1".into(), attr: "eno".into() },
+            SqlColumn {
+                var: "v1".into(),
+                attr: "eno".into(),
+            },
             Box::new(SqlQuery {
-                select: vec![SqlColumn { var: "v9".into(), attr: "mgr".into() }],
+                select: vec![SqlColumn {
+                    var: "v9".into(),
+                    attr: "mgr".into(),
+                }],
                 from: vec![("dept".into(), "v9".into())],
                 conds: vec![],
                 not_in: None,
@@ -269,7 +293,10 @@ mod tests {
     fn int_constants_unquoted() {
         let c = SqlCond {
             op: SqlOp::Less,
-            lhs: SqlTerm::Col(SqlColumn { var: "v1".into(), attr: "sal".into() }),
+            lhs: SqlTerm::Col(SqlColumn {
+                var: "v1".into(),
+                attr: "sal".into(),
+            }),
             rhs: SqlTerm::Const(Value::Int(40000)),
         };
         assert_eq!(c.to_string(), "(v1.sal < 40000)");

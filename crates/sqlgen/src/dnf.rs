@@ -69,10 +69,7 @@ mod tests {
                   [])",
         )
         .unwrap();
-        DbclStatement::Disjunction(vec![
-            DbclStatement::Query(low),
-            DbclStatement::Query(field),
-        ])
+        DbclStatement::Disjunction(vec![DbclStatement::Query(low), DbclStatement::Query(field)])
     }
 
     #[test]

@@ -18,7 +18,10 @@ pub struct MappingOptions {
 
 impl Default for MappingOptions {
     fn default() -> Self {
-        MappingOptions { first_var_index: 1, distinct: false }
+        MappingOptions {
+            first_var_index: 1,
+            distinct: false,
+        }
     }
 }
 
@@ -26,7 +29,9 @@ impl Default for MappingOptions {
 pub fn translate(query: &DbclQuery, db: &DatabaseDef, opts: MappingOptions) -> Result<SqlQuery> {
     query.validate(db)?;
     if query.rows.is_empty() {
-        return Err(SqlGenError("cannot translate a query with no relation references".into()));
+        return Err(SqlGenError(
+            "cannot translate a query with no relation references".into(),
+        ));
     }
     let var_name = |row: usize| format!("v{}", opts.first_var_index + row);
     // Column reference for a symbol: first row occurrence (rule 2/5).
@@ -34,7 +39,10 @@ pub fn translate(query: &DbclQuery, db: &DatabaseDef, opts: MappingOptions) -> R
         let (row, col) = query
             .first_row_occurrence(sym)
             .ok_or_else(|| SqlGenError(format!("symbol {sym} not anchored in any row")))?;
-        Ok(SqlColumn { var: var_name(row), attr: query.attributes[col].to_string() })
+        Ok(SqlColumn {
+            var: var_name(row),
+            attr: query.attributes[col].to_string(),
+        })
     };
 
     // Rule 1: FROM variables.
@@ -123,7 +131,12 @@ pub fn translate(query: &DbclQuery, db: &DatabaseDef, opts: MappingOptions) -> R
         });
     }
 
-    Ok(SqlQuery { select, from, conds, not_in: None })
+    Ok(SqlQuery {
+        select,
+        from,
+        conds,
+        not_in: None,
+    })
 }
 
 /// Translates with the distinct flag folded into the SQL text.
@@ -154,10 +167,19 @@ mod tests {
         let sql = translate_default(&q);
         assert_eq!(sql.from.len(), 6);
         assert_eq!(sql.join_term_count(), 5);
-        assert_eq!(sql.select, vec![SqlColumn { var: "v1".into(), attr: "nam".into() }]);
+        assert_eq!(
+            sql.select,
+            vec![SqlColumn {
+                var: "v1".into(),
+                attr: "nam".into()
+            }]
+        );
         let text = sql.to_sql();
         assert!(text.contains("(v1.dno = v2.dno)"));
-        assert!(text.contains("(v2.mgr = v3.eno)"), "cross-column equijoin: {text}");
+        assert!(
+            text.contains("(v2.mgr = v3.eno)"),
+            "cross-column equijoin: {text}"
+        );
         assert!(text.contains("(v4.dno = v5.dno)"));
         assert!(text.contains("(v5.mgr = v6.eno)"));
         assert!(text.contains("(v3.nam = v6.nam)"));
@@ -180,7 +202,10 @@ mod tests {
         let sql = translate(
             &q,
             &DatabaseDef::empdep(),
-            MappingOptions { first_var_index: 12, distinct: false },
+            MappingOptions {
+                first_var_index: 12,
+                distinct: false,
+            },
         )
         .unwrap();
         let text = sql.to_sql();
@@ -237,7 +262,10 @@ mod tests {
         let text = to_sql_text(
             &q,
             &DatabaseDef::empdep(),
-            MappingOptions { first_var_index: 1, distinct: true },
+            MappingOptions {
+                first_var_index: 1,
+                distinct: true,
+            },
         )
         .unwrap();
         assert!(text.starts_with("SELECT DISTINCT "));

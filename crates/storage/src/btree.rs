@@ -1,0 +1,591 @@
+//! B+-tree secondary indexes keyed on [`Datum`], mapping keys to heap
+//! record ids.
+//!
+//! Node layout reuses the slotted page:
+//!
+//! * leaf records: `[key length u16][key bytes][rid 6 bytes]`, sorted by
+//!   `(key, rid)`; the page `next` pointer chains leaves left-to-right;
+//! * internal records: `[key length u16][key bytes][child page u32]`,
+//!   sorted by key; the page `extra` word holds the leftmost child
+//!   (covering keys below every separator).
+//!
+//! Duplicate keys are supported; a run of equal keys may span leaves, so
+//! lookups descend to the leftmost candidate leaf and walk the chain.
+//! Splits rebuild nodes from scratch — simple, and with 4 KiB pages and
+//! short keys, far from the bottleneck.
+
+use crate::buffer::BufferPool;
+use crate::codec::{decode_datum, encode_key};
+use crate::heap::Rid;
+use crate::page::{Page, PageId, PageKind, NO_PAGE};
+use crate::value::Datum;
+use crate::{StorageError, StorageResult};
+use std::cmp::Ordering;
+
+/// Largest encoded key the tree accepts. Capping keys at a quarter page
+/// guarantees several entries fit per node, which in turn guarantees
+/// byte-balanced splits always produce two halves that fit (see
+/// [`split_point`]). Callers must check [`check_key`] *before* mutating
+/// any other structure (the storage engine does, before heap inserts).
+pub const MAX_KEY_LEN: usize = crate::page::PAGE_SIZE / 4;
+
+/// Rejects keys the tree could not store without breaking node
+/// invariants.
+pub fn check_key(key: &Datum) -> StorageResult<()> {
+    let len = encode_key(key).len();
+    if len > MAX_KEY_LEN {
+        return Err(StorageError::RecordTooLarge(len));
+    }
+    Ok(())
+}
+
+/// Index of the first entry of the right half when splitting: the
+/// earliest cut point at or past half the total byte cost, clamped so
+/// both halves are non-empty. Splitting by bytes (not entry count)
+/// keeps either half within page capacity even when entry sizes are
+/// skewed — a count split could put all the large entries on one side.
+fn split_point(costs: &[usize]) -> usize {
+    let total: usize = costs.iter().sum();
+    let mut acc = 0;
+    for (i, c) in costs.iter().enumerate() {
+        acc += c;
+        if acc * 2 >= total {
+            return (i + 1).clamp(1, costs.len() - 1);
+        }
+    }
+    costs.len() - 1
+}
+
+/// One leaf entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct LeafEntry {
+    key: Vec<u8>,
+    rid: Rid,
+}
+
+impl LeafEntry {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.key.len() + Rid::ENCODED_LEN);
+        out.extend_from_slice(&(self.key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        self.rid.encode(&mut out);
+        out
+    }
+
+    fn decode(record: &[u8]) -> StorageResult<LeafEntry> {
+        let (key, rest) = split_key(record)?;
+        Ok(LeafEntry {
+            key: key.to_vec(),
+            rid: Rid::decode(rest)?,
+        })
+    }
+}
+
+/// One internal (separator, child) entry.
+#[derive(Clone, Debug)]
+struct InternalEntry {
+    key: Vec<u8>,
+    child: PageId,
+}
+
+impl InternalEntry {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.key.len() + 4);
+        out.extend_from_slice(&(self.key.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.key);
+        out.extend_from_slice(&self.child.to_le_bytes());
+        out
+    }
+
+    fn decode(record: &[u8]) -> StorageResult<InternalEntry> {
+        let (key, rest) = split_key(record)?;
+        if rest.len() < 4 {
+            return Err(StorageError::Corrupt("truncated internal entry".into()));
+        }
+        Ok(InternalEntry {
+            key: key.to_vec(),
+            child: u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")),
+        })
+    }
+}
+
+fn split_key(record: &[u8]) -> StorageResult<(&[u8], &[u8])> {
+    if record.len() < 2 {
+        return Err(StorageError::Corrupt("truncated index entry".into()));
+    }
+    let klen = u16::from_le_bytes(record[0..2].try_into().expect("2 bytes")) as usize;
+    if record.len() < 2 + klen {
+        return Err(StorageError::Corrupt("truncated index key".into()));
+    }
+    Ok((&record[2..2 + klen], &record[2 + klen..]))
+}
+
+/// Compares two encoded keys by their decoded [`Datum`] order.
+fn cmp_keys(a: &[u8], b: &[u8]) -> StorageResult<Ordering> {
+    let (mut pa, mut pb) = (0, 0);
+    let da = decode_datum(a, &mut pa)?;
+    let db = decode_datum(b, &mut pb)?;
+    Ok(da.total_cmp(&db))
+}
+
+/// A B+-tree rooted at `root`. The root moves on root splits; callers
+/// persist the new root id (the engine records it in `system_indexes`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BPlusTree {
+    pub root: PageId,
+}
+
+impl BPlusTree {
+    /// Creates an empty tree (a single leaf).
+    pub fn create(pool: &BufferPool) -> StorageResult<BPlusTree> {
+        let (root, _guard) = pool.allocate(PageKind::BTreeLeaf)?;
+        Ok(BPlusTree { root })
+    }
+
+    /// Adopts an existing root (catalog bootstrap).
+    pub fn open(root: PageId) -> BPlusTree {
+        BPlusTree { root }
+    }
+
+    /// Inserts one `key → rid` posting.
+    pub fn insert(&mut self, pool: &BufferPool, key: &Datum, rid: Rid) -> StorageResult<()> {
+        check_key(key)?;
+        let entry = LeafEntry {
+            key: encode_key(key),
+            rid,
+        };
+        // Descend, remembering the path for split propagation.
+        let mut path: Vec<PageId> = Vec::new();
+        let mut current = self.root;
+        loop {
+            let guard = pool.fetch(current)?;
+            let kind = guard.with(|p| p.kind())?;
+            match kind {
+                PageKind::BTreeLeaf => break,
+                PageKind::BTreeInternal => {
+                    let child = guard.with(|p| child_for_insert(p, &entry.key))?;
+                    drop(guard);
+                    path.push(current);
+                    current = child;
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {current} is {other:?}, expected a B+-tree node"
+                    )))
+                }
+            }
+        }
+
+        // Insert into the leaf, splitting upward as needed.
+        let mut promoted = self.insert_into_leaf(pool, current, entry)?;
+        while let Some((sep, new_child)) = promoted {
+            match path.pop() {
+                Some(parent) => {
+                    promoted = self.insert_into_internal(pool, parent, sep, new_child)?;
+                }
+                None => {
+                    // Root split: new internal root over old root + new child.
+                    let (new_root, guard) = pool.allocate(PageKind::BTreeInternal)?;
+                    guard.with_mut(|p| {
+                        p.set_extra(self.root);
+                        p.push_record(
+                            &InternalEntry {
+                                key: sep,
+                                child: new_child,
+                            }
+                            .encode(),
+                        )
+                    })?;
+                    self.root = new_root;
+                    promoted = None;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Inserts into a leaf; on overflow splits it and returns the
+    /// promoted `(separator, right page)`.
+    fn insert_into_leaf(
+        &mut self,
+        pool: &BufferPool,
+        leaf_id: PageId,
+        entry: LeafEntry,
+    ) -> StorageResult<Option<(Vec<u8>, PageId)>> {
+        let guard = pool.fetch(leaf_id)?;
+        let record = entry.encode();
+        let pos = guard.with(|p| leaf_position(p, &entry))?;
+        if guard.with(|p| p.fits(record.len())) {
+            guard.with_mut(|p| p.insert_record_at(pos, &record))?;
+            return Ok(None);
+        }
+        // Split: collect all entries plus the new one, redistribute.
+        let (mut entries, old_next) = guard.with(|p| -> StorageResult<_> {
+            let mut es = Vec::with_capacity(p.slot_count() + 1);
+            for record in p.records() {
+                es.push(LeafEntry::decode(record)?);
+            }
+            Ok((es, p.next()))
+        })?;
+        entries.insert(pos, entry);
+        let costs: Vec<usize> = entries.iter().map(|e| e.encode().len() + 4).collect();
+        let mid = split_point(&costs);
+        let right_entries = entries.split_off(mid);
+        let separator = right_entries[0].key.clone();
+
+        let (right_id, right_guard) = pool.allocate(PageKind::BTreeLeaf)?;
+        right_guard.with_mut(|p| -> StorageResult<()> {
+            p.set_next(old_next);
+            for e in &right_entries {
+                p.push_record(&e.encode())?;
+            }
+            Ok(())
+        })?;
+        guard.with_mut(|p| -> StorageResult<()> {
+            p.init(PageKind::BTreeLeaf);
+            p.set_next(right_id);
+            for e in &entries {
+                p.push_record(&e.encode())?;
+            }
+            Ok(())
+        })?;
+        Ok(Some((separator, right_id)))
+    }
+
+    /// Inserts a promoted separator into an internal node; on overflow
+    /// splits it and returns the next promotion.
+    fn insert_into_internal(
+        &mut self,
+        pool: &BufferPool,
+        node_id: PageId,
+        sep: Vec<u8>,
+        child: PageId,
+    ) -> StorageResult<Option<(Vec<u8>, PageId)>> {
+        let guard = pool.fetch(node_id)?;
+        let record = InternalEntry {
+            key: sep.clone(),
+            child,
+        }
+        .encode();
+        let pos = guard.with(|p| internal_position(p, &sep))?;
+        if guard.with(|p| p.fits(record.len())) {
+            guard.with_mut(|p| p.insert_record_at(pos, &record))?;
+            return Ok(None);
+        }
+        // Split. children = [leftmost, e0.child, e1.child, ...].
+        let (mut entries, leftmost) = guard.with(|p| -> StorageResult<_> {
+            let mut es = Vec::with_capacity(p.slot_count() + 1);
+            for record in p.records() {
+                es.push(InternalEntry::decode(record)?);
+            }
+            Ok((es, p.extra()))
+        })?;
+        entries.insert(pos, InternalEntry { key: sep, child });
+        let costs: Vec<usize> = entries.iter().map(|e| e.encode().len() + 4).collect();
+        let mid = split_point(&costs).min(entries.len() - 2).max(1);
+        let right_entries = entries.split_off(mid + 1);
+        let promoted = entries.pop().expect("mid entry exists");
+        // Left keeps `leftmost` + entries; right's leftmost child is the
+        // promoted entry's child.
+        let (right_id, right_guard) = pool.allocate(PageKind::BTreeInternal)?;
+        right_guard.with_mut(|p| -> StorageResult<()> {
+            p.set_extra(promoted.child);
+            for e in &right_entries {
+                p.push_record(&e.encode())?;
+            }
+            Ok(())
+        })?;
+        guard.with_mut(|p| -> StorageResult<()> {
+            p.init(PageKind::BTreeInternal);
+            p.set_extra(leftmost);
+            for e in &entries {
+                p.push_record(&e.encode())?;
+            }
+            Ok(())
+        })?;
+        Ok(Some((promoted.key, right_id)))
+    }
+
+    /// All rids posted under `key`, in insertion-stable (key, rid) order.
+    pub fn lookup(&self, pool: &BufferPool, key: &Datum) -> StorageResult<Vec<Rid>> {
+        let target = encode_key(key);
+        // Descend to the leftmost leaf that could hold the key.
+        let mut current = self.root;
+        loop {
+            let guard = pool.fetch(current)?;
+            match guard.with(|p| p.kind())? {
+                PageKind::BTreeLeaf => break,
+                PageKind::BTreeInternal => {
+                    let child = guard.with(|p| child_for_lookup(p, &target))?;
+                    drop(guard);
+                    current = child;
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {current} is {other:?}, expected a B+-tree node"
+                    )))
+                }
+            }
+        }
+        // Walk the leaf chain while keys may still match.
+        let mut rids = Vec::new();
+        while current != NO_PAGE {
+            let guard = pool.fetch(current)?;
+            let (matches, done, next) = guard.with(|p| -> StorageResult<_> {
+                let mut matches = Vec::new();
+                let mut done = false;
+                for record in p.records() {
+                    let entry = LeafEntry::decode(record)?;
+                    match cmp_keys(&entry.key, &target)? {
+                        Ordering::Less => {}
+                        Ordering::Equal => matches.push(entry.rid),
+                        Ordering::Greater => {
+                            done = true;
+                            break;
+                        }
+                    }
+                }
+                Ok((matches, done, p.next()))
+            })?;
+            rids.extend(matches);
+            if done {
+                break;
+            }
+            current = next;
+        }
+        Ok(rids)
+    }
+
+    /// Tree height (1 for a lone leaf); test/diagnostic helper.
+    pub fn height(&self, pool: &BufferPool) -> StorageResult<usize> {
+        let mut h = 1;
+        let mut current = self.root;
+        loop {
+            let guard = pool.fetch(current)?;
+            match guard.with(|p| p.kind())? {
+                PageKind::BTreeLeaf => return Ok(h),
+                PageKind::BTreeInternal => {
+                    let child = guard.with(|p| p.extra());
+                    drop(guard);
+                    current = child;
+                    h += 1;
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "unexpected node kind {other:?}"
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Child to descend into when inserting `key`: the last separator ≤ key
+/// (new equal keys go right), else the leftmost child.
+fn child_for_insert(page: &Page, key: &[u8]) -> StorageResult<PageId> {
+    let mut child = page.extra();
+    for record in page.records() {
+        let entry = InternalEntry::decode(record)?;
+        if cmp_keys(&entry.key, key)? == Ordering::Greater {
+            break;
+        }
+        child = entry.child;
+    }
+    Ok(child)
+}
+
+/// Child to descend into when looking up `key`: the last separator
+/// strictly < key, else the leftmost child. Equal separators send the
+/// search left because a run of equal keys may begin in the previous
+/// subtree; the leaf chain walk picks up the rest.
+fn child_for_lookup(page: &Page, key: &[u8]) -> StorageResult<PageId> {
+    let mut child = page.extra();
+    for record in page.records() {
+        let entry = InternalEntry::decode(record)?;
+        if cmp_keys(&entry.key, key)? != Ordering::Less {
+            break;
+        }
+        child = entry.child;
+    }
+    Ok(child)
+}
+
+/// Sorted position of `entry` within a leaf, ordering by (key, rid).
+fn leaf_position(page: &Page, entry: &LeafEntry) -> StorageResult<usize> {
+    let mut pos = 0;
+    for record in page.records() {
+        let existing = LeafEntry::decode(record)?;
+        let ord = cmp_keys(&existing.key, &entry.key)?.then_with(|| existing.rid.cmp(&entry.rid));
+        if ord == Ordering::Greater {
+            break;
+        }
+        pos += 1;
+    }
+    Ok(pos)
+}
+
+/// Sorted position of a separator within an internal node (after equal
+/// separators).
+fn internal_position(page: &Page, key: &[u8]) -> StorageResult<usize> {
+    let mut pos = 0;
+    for record in page.records() {
+        let existing = InternalEntry::decode(record)?;
+        if cmp_keys(&existing.key, key)? == Ordering::Greater {
+            break;
+        }
+        pos += 1;
+    }
+    Ok(pos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::Pager;
+
+    fn pool(capacity: usize) -> BufferPool {
+        BufferPool::new(Pager::in_memory(), capacity)
+    }
+
+    fn rid(n: u32) -> Rid {
+        Rid {
+            page: n,
+            slot: (n % 7) as u16,
+        }
+    }
+
+    #[test]
+    fn single_leaf_insert_and_lookup() {
+        let pool = pool(4);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        tree.insert(&pool, &Datum::Int(5), rid(1)).unwrap();
+        tree.insert(&pool, &Datum::Int(3), rid(2)).unwrap();
+        tree.insert(&pool, &Datum::text("x"), rid(3)).unwrap();
+        assert_eq!(tree.lookup(&pool, &Datum::Int(5)).unwrap(), vec![rid(1)]);
+        assert_eq!(tree.lookup(&pool, &Datum::Int(3)).unwrap(), vec![rid(2)]);
+        assert_eq!(tree.lookup(&pool, &Datum::text("x")).unwrap(), vec![rid(3)]);
+        assert!(tree.lookup(&pool, &Datum::Int(99)).unwrap().is_empty());
+        assert_eq!(tree.height(&pool).unwrap(), 1);
+    }
+
+    #[test]
+    fn splits_grow_the_tree_and_keep_every_key() {
+        let pool = pool(8);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        let n = 2000u32;
+        // Insert in a scrambled order to exercise mid-node insertion.
+        for i in 0..n {
+            let key = (i * 7919) % n;
+            tree.insert(&pool, &Datum::Int(i64::from(key)), rid(key))
+                .unwrap();
+        }
+        assert!(tree.height(&pool).unwrap() >= 2, "tree should have split");
+        for key in 0..n {
+            let got = tree.lookup(&pool, &Datum::Int(i64::from(key))).unwrap();
+            assert_eq!(got, vec![rid(key)], "key {key}");
+        }
+        assert!(tree
+            .lookup(&pool, &Datum::Int(i64::from(n)))
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_survive_splits() {
+        let pool = pool(8);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        // 40 distinct keys × 30 duplicates each, interleaved.
+        for round in 0..30u32 {
+            for key in 0..40i64 {
+                tree.insert(&pool, &Datum::Int(key), rid(round * 100 + key as u32))
+                    .unwrap();
+            }
+        }
+        for key in 0..40i64 {
+            let got = tree.lookup(&pool, &Datum::Int(key)).unwrap();
+            assert_eq!(got.len(), 30, "key {key} lost postings: {got:?}");
+            let expected: std::collections::BTreeSet<Rid> =
+                (0..30).map(|r| rid(r * 100 + key as u32)).collect();
+            assert_eq!(
+                got.into_iter().collect::<std::collections::BTreeSet<_>>(),
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn text_keys_sort_and_split_correctly() {
+        let pool = pool(8);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        let n = 600u32;
+        for i in 0..n {
+            let name = format!("employee_{:04}", (i * 37) % n);
+            tree.insert(&pool, &Datum::text(&name), rid(i)).unwrap();
+        }
+        for i in 0..n {
+            let name = format!("employee_{:04}", i);
+            assert_eq!(
+                tree.lookup(&pool, &Datum::text(&name)).unwrap().len(),
+                1,
+                "missing {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_keys_rejected_before_mutation() {
+        let pool = pool(4);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        let huge = "k".repeat(MAX_KEY_LEN + 100);
+        assert!(matches!(
+            tree.insert(&pool, &Datum::text(&huge), rid(1)),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+        // The tree is untouched and still usable.
+        tree.insert(&pool, &Datum::Int(1), rid(2)).unwrap();
+        assert_eq!(tree.lookup(&pool, &Datum::Int(1)).unwrap(), vec![rid(2)]);
+    }
+
+    #[test]
+    fn skewed_key_sizes_split_safely() {
+        // Regression: count-based splits could put every large entry in
+        // one half, overflowing the rebuilt node after it was wiped.
+        // Byte-balanced splits must keep all postings reachable.
+        let pool = pool(8);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        let big = |i: u32| format!("{:0>width$}", i, width = MAX_KEY_LEN - 20);
+        let mut expected = Vec::new();
+        for i in 0..120u32 {
+            // Interleave near-cap keys with tiny ones, scrambled order.
+            let key = if i % 3 == 0 {
+                Datum::text(&big((i * 37) % 120))
+            } else {
+                Datum::Int(i64::from((i * 53) % 120))
+            };
+            tree.insert(&pool, &key, rid(i)).unwrap();
+            expected.push((key, rid(i)));
+        }
+        for (key, r) in expected {
+            let got = tree.lookup(&pool, &key).unwrap();
+            assert!(got.contains(&r), "posting lost for {key:?}");
+        }
+    }
+
+    #[test]
+    fn works_under_minimal_buffer_pool() {
+        // Pool far smaller than the tree: every descent faults pages in.
+        let pool = pool(3);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        for i in 0..1500i64 {
+            tree.insert(&pool, &Datum::Int(i), rid(i as u32)).unwrap();
+        }
+        for i in (0..1500i64).step_by(97) {
+            assert_eq!(
+                tree.lookup(&pool, &Datum::Int(i)).unwrap(),
+                vec![rid(i as u32)]
+            );
+        }
+        let stats = pool.stats();
+        assert!(stats.page_reads > 0 && stats.buffer_hits > 0, "{stats:?}");
+    }
+}

@@ -1,0 +1,143 @@
+//! Tuple and datum serialization into page records.
+//!
+//! Format (little-endian):
+//!
+//! * tuple: `u16` field count, then each datum;
+//! * datum: tag byte `0` (int) + 8-byte value, or tag byte `1` (text) +
+//!   `u32` byte length + UTF-8 bytes.
+//!
+//! The same datum encoding doubles as the B+-tree key format; keys are
+//! compared after decoding, via [`Datum::total_cmp`], so the byte layout
+//! does not need to be order-preserving.
+
+use crate::value::{Datum, Tuple};
+use crate::{StorageError, StorageResult};
+
+const TAG_INT: u8 = 0;
+const TAG_TEXT: u8 = 1;
+
+/// Appends one datum to `out`.
+pub fn encode_datum(value: &Datum, out: &mut Vec<u8>) {
+    match value {
+        Datum::Int(i) => {
+            out.push(TAG_INT);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Datum::Text(s) => {
+            out.push(TAG_TEXT);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+/// Decodes one datum starting at `*pos`, advancing it.
+pub fn decode_datum(bytes: &[u8], pos: &mut usize) -> StorageResult<Datum> {
+    let corrupt = || StorageError::Corrupt("truncated datum".into());
+    let tag = *bytes.get(*pos).ok_or_else(corrupt)?;
+    *pos += 1;
+    match tag {
+        TAG_INT => {
+            let raw = bytes.get(*pos..*pos + 8).ok_or_else(corrupt)?;
+            *pos += 8;
+            Ok(Datum::Int(i64::from_le_bytes(
+                raw.try_into().expect("8 bytes"),
+            )))
+        }
+        TAG_TEXT => {
+            let raw = bytes.get(*pos..*pos + 4).ok_or_else(corrupt)?;
+            let len = u32::from_le_bytes(raw.try_into().expect("4 bytes")) as usize;
+            *pos += 4;
+            let text = bytes.get(*pos..*pos + len).ok_or_else(corrupt)?;
+            *pos += len;
+            let s = std::str::from_utf8(text)
+                .map_err(|_| StorageError::Corrupt("non-UTF-8 text datum".into()))?;
+            Ok(Datum::text(s))
+        }
+        other => Err(StorageError::Corrupt(format!("unknown datum tag {other}"))),
+    }
+}
+
+/// Serializes a whole tuple into a fresh record buffer.
+pub fn encode_tuple(tuple: &[Datum]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16 * tuple.len() + 2);
+    out.extend_from_slice(&(tuple.len() as u16).to_le_bytes());
+    for value in tuple {
+        encode_datum(value, &mut out);
+    }
+    out
+}
+
+/// Deserializes a record produced by [`encode_tuple`].
+pub fn decode_tuple(bytes: &[u8]) -> StorageResult<Tuple> {
+    let corrupt = || StorageError::Corrupt("truncated tuple".into());
+    let raw = bytes.get(0..2).ok_or_else(corrupt)?;
+    let n = u16::from_le_bytes(raw.try_into().expect("2 bytes")) as usize;
+    let mut pos = 2;
+    let mut tuple = Vec::with_capacity(n);
+    for _ in 0..n {
+        tuple.push(decode_datum(bytes, &mut pos)?);
+    }
+    if pos != bytes.len() {
+        return Err(StorageError::Corrupt("trailing bytes after tuple".into()));
+    }
+    Ok(tuple)
+}
+
+/// Serializes a single datum as a standalone key buffer.
+pub fn encode_key(value: &Datum) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    encode_datum(value, &mut out);
+    out
+}
+
+/// Deserializes a standalone key buffer.
+pub fn decode_key(bytes: &[u8]) -> StorageResult<Datum> {
+    let mut pos = 0;
+    let key = decode_datum(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(StorageError::Corrupt("trailing bytes after key".into()));
+    }
+    Ok(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_round_trip() {
+        let tuple = vec![
+            Datum::Int(42),
+            Datum::text("smiley"),
+            Datum::Int(-1),
+            Datum::text(""),
+        ];
+        let bytes = encode_tuple(&tuple);
+        assert_eq!(decode_tuple(&bytes).unwrap(), tuple);
+    }
+
+    #[test]
+    fn empty_tuple_round_trip() {
+        let bytes = encode_tuple(&[]);
+        assert_eq!(decode_tuple(&bytes).unwrap(), Vec::<Datum>::new());
+    }
+
+    #[test]
+    fn key_round_trip() {
+        for key in [Datum::Int(i64::MIN), Datum::Int(0), Datum::text("ünïcode")] {
+            assert_eq!(decode_key(&encode_key(&key)).unwrap(), key);
+        }
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let bytes = encode_tuple(&[Datum::Int(1)]);
+        assert!(decode_tuple(&bytes[..bytes.len() - 1]).is_err());
+        let mut extra = bytes.clone();
+        extra.push(0);
+        assert!(decode_tuple(&extra).is_err());
+        assert!(decode_tuple(&[9, 9]).is_err());
+        assert!(decode_key(&[7]).is_err());
+    }
+}

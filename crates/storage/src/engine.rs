@@ -1,0 +1,897 @@
+//! The storage engine facade and its persistent system catalog.
+//!
+//! Table schemas are not special-cased: they are rows in three bootstrap
+//! heap files living at fixed page ids —
+//!
+//! * `system_tables` (page 0): `(table id, name, heap first page)`;
+//! * `system_columns` (page 1): `(table id, column index, name, type)`;
+//! * `system_indexes` (page 2): `(table id, column index, root page)`.
+//!
+//! Opening an existing database therefore needs no side files: the
+//! engine reads the three well-known heaps and reconstructs every table,
+//! column and B+-tree root from them, exactly the `system_tables`
+//! bootstrap the exemplar engines use. Mutations that move catalog state
+//! (dropping tables, B+-tree root splits) rewrite the affected system
+//! heap; they are tiny.
+
+use crate::btree::BPlusTree;
+use crate::buffer::{BufferPool, PoolStats};
+use crate::codec::{decode_tuple, encode_tuple};
+use crate::heap::{HeapFile, Rid};
+use crate::page::PageId;
+use crate::pager::Pager;
+use crate::value::{Datum, Tuple};
+use crate::{StorageError, StorageResult};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+const SYSTEM_TABLES_PAGE: PageId = 0;
+const SYSTEM_COLUMNS_PAGE: PageId = 1;
+const SYSTEM_INDEXES_PAGE: PageId = 2;
+
+/// First table id handed to user tables (below are reserved).
+const FIRST_USER_TABLE_ID: i64 = 100;
+
+/// Column type tag persisted in `system_columns`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ColType {
+    Int,
+    Text,
+}
+
+impl ColType {
+    fn to_tag(self) -> i64 {
+        match self {
+            ColType::Int => 0,
+            ColType::Text => 1,
+        }
+    }
+
+    fn from_tag(tag: i64) -> StorageResult<ColType> {
+        match tag {
+            0 => Ok(ColType::Int),
+            1 => Ok(ColType::Text),
+            other => Err(StorageError::Corrupt(format!(
+                "unknown column type tag {other}"
+            ))),
+        }
+    }
+}
+
+/// In-memory image of one stored table.
+#[derive(Clone, Debug)]
+pub struct TableInfo {
+    pub id: i64,
+    pub name: String,
+    pub columns: Vec<(String, ColType)>,
+    heap: HeapFile,
+    row_count: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct IndexInfo {
+    table_id: i64,
+    col: usize,
+    tree: BPlusTree,
+}
+
+/// The paged storage engine: buffer pool + heap files + B+-trees +
+/// persistent catalog.
+pub struct StorageEngine {
+    pool: BufferPool,
+    sys_tables: HeapFile,
+    sys_columns: HeapFile,
+    sys_indexes: HeapFile,
+    tables: BTreeMap<String, TableInfo>,
+    indexes: Vec<IndexInfo>,
+    next_table_id: i64,
+}
+
+impl Drop for StorageEngine {
+    /// Best-effort write-back so dropping a file-backed engine without
+    /// an explicit [`StorageEngine::flush`] does not silently lose every
+    /// page still resident in the buffer pool. Errors are swallowed —
+    /// call `flush()` yourself when you need to observe them.
+    fn drop(&mut self) {
+        let _ = self.pool.flush();
+    }
+}
+
+impl StorageEngine {
+    /// A fresh anonymous in-memory database with a `pool_pages`-frame
+    /// buffer pool (the pages themselves still flow through the full
+    /// pager/buffer machinery, so I/O counters are meaningful).
+    pub fn in_memory(pool_pages: usize) -> StorageResult<StorageEngine> {
+        Self::with_pager(Pager::in_memory(), pool_pages)
+    }
+
+    /// Opens (creating if missing) a file-backed database.
+    pub fn open(path: &Path, pool_pages: usize) -> StorageResult<StorageEngine> {
+        Self::with_pager(Pager::open(path)?, pool_pages)
+    }
+
+    fn with_pager(pager: Pager, pool_pages: usize) -> StorageResult<StorageEngine> {
+        let fresh = pager.page_count() == 0;
+        let pool = BufferPool::new(pager, pool_pages);
+        if fresh {
+            let sys_tables = HeapFile::create(&pool)?;
+            let sys_columns = HeapFile::create(&pool)?;
+            let sys_indexes = HeapFile::create(&pool)?;
+            debug_assert_eq!(
+                (sys_tables.first, sys_columns.first, sys_indexes.first),
+                (SYSTEM_TABLES_PAGE, SYSTEM_COLUMNS_PAGE, SYSTEM_INDEXES_PAGE)
+            );
+            Ok(StorageEngine {
+                pool,
+                sys_tables,
+                sys_columns,
+                sys_indexes,
+                tables: BTreeMap::new(),
+                indexes: Vec::new(),
+                next_table_id: FIRST_USER_TABLE_ID,
+            })
+        } else {
+            Self::bootstrap(pool)
+        }
+    }
+
+    /// Rebuilds the in-memory catalog from the three system heaps.
+    fn bootstrap(pool: BufferPool) -> StorageResult<StorageEngine> {
+        let sys_tables = HeapFile::open(&pool, SYSTEM_TABLES_PAGE)?;
+        let sys_columns = HeapFile::open(&pool, SYSTEM_COLUMNS_PAGE)?;
+        let sys_indexes = HeapFile::open(&pool, SYSTEM_INDEXES_PAGE)?;
+
+        let mut rows: Vec<Tuple> = Vec::new();
+        sys_tables.scan(&pool, |_, rec| {
+            rows.push(decode_tuple(rec).unwrap_or_default())
+        })?;
+        let mut tables: BTreeMap<String, TableInfo> = BTreeMap::new();
+        let mut by_id: BTreeMap<i64, String> = BTreeMap::new();
+        let mut next_table_id = FIRST_USER_TABLE_ID;
+        for row in rows {
+            let [Datum::Int(id), Datum::Text(name), Datum::Int(first)] = row.as_slice() else {
+                return Err(StorageError::Corrupt("bad system_tables row".into()));
+            };
+            let heap = HeapFile::open(&pool, *first as PageId)?;
+            let row_count = heap.count(&pool)?;
+            by_id.insert(*id, name.to_string());
+            tables.insert(
+                name.to_string(),
+                TableInfo {
+                    id: *id,
+                    name: name.to_string(),
+                    columns: Vec::new(),
+                    heap,
+                    row_count,
+                },
+            );
+            next_table_id = next_table_id.max(*id + 1);
+        }
+
+        let mut col_rows: Vec<Tuple> = Vec::new();
+        sys_columns.scan(&pool, |_, rec| {
+            col_rows.push(decode_tuple(rec).unwrap_or_default())
+        })?;
+        let mut columns: BTreeMap<i64, Vec<(i64, String, ColType)>> = BTreeMap::new();
+        for row in col_rows {
+            let [Datum::Int(tid), Datum::Int(idx), Datum::Text(name), Datum::Int(tag)] =
+                row.as_slice()
+            else {
+                return Err(StorageError::Corrupt("bad system_columns row".into()));
+            };
+            columns.entry(*tid).or_default().push((
+                *idx,
+                name.to_string(),
+                ColType::from_tag(*tag)?,
+            ));
+        }
+        for (tid, mut cols) in columns {
+            let name = by_id
+                .get(&tid)
+                .ok_or_else(|| StorageError::Corrupt(format!("columns for unknown table {tid}")))?;
+            cols.sort_by_key(|(idx, _, _)| *idx);
+            let table = tables.get_mut(name).expect("by_id is derived from tables");
+            table.columns = cols.into_iter().map(|(_, n, t)| (n, t)).collect();
+        }
+
+        let mut idx_rows: Vec<Tuple> = Vec::new();
+        sys_indexes.scan(&pool, |_, rec| {
+            idx_rows.push(decode_tuple(rec).unwrap_or_default())
+        })?;
+        let mut indexes = Vec::new();
+        for row in idx_rows {
+            let [Datum::Int(tid), Datum::Int(col), Datum::Int(root)] = row.as_slice() else {
+                return Err(StorageError::Corrupt("bad system_indexes row".into()));
+            };
+            indexes.push(IndexInfo {
+                table_id: *tid,
+                col: *col as usize,
+                tree: BPlusTree::open(*root as PageId),
+            });
+        }
+
+        Ok(StorageEngine {
+            pool,
+            sys_tables,
+            sys_columns,
+            sys_indexes,
+            tables,
+            indexes,
+            next_table_id,
+        })
+    }
+
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// The stored schema of one table.
+    pub fn table(&self, name: &str) -> StorageResult<&TableInfo> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))
+    }
+
+    /// Creates a table and persists its schema in the system catalog.
+    pub fn create_table(&mut self, name: &str, columns: &[(String, ColType)]) -> StorageResult<()> {
+        if self.tables.contains_key(name) {
+            return Err(StorageError::DuplicateTable(name.to_owned()));
+        }
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        let heap = HeapFile::create(&self.pool)?;
+        self.sys_tables.insert(
+            &self.pool,
+            &encode_tuple(&[
+                Datum::Int(id),
+                Datum::text(name),
+                Datum::Int(i64::from(heap.first)),
+            ]),
+        )?;
+        for (idx, (col_name, ty)) in columns.iter().enumerate() {
+            self.sys_columns.insert(
+                &self.pool,
+                &encode_tuple(&[
+                    Datum::Int(id),
+                    Datum::Int(idx as i64),
+                    Datum::text(col_name),
+                    Datum::Int(ty.to_tag()),
+                ]),
+            )?;
+        }
+        self.tables.insert(
+            name.to_owned(),
+            TableInfo {
+                id,
+                name: name.to_owned(),
+                columns: columns.to_vec(),
+                heap,
+                row_count: 0,
+            },
+        );
+        Ok(())
+    }
+
+    /// Drops a table (its pages are abandoned) and rewrites the catalog.
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
+        let info = self
+            .tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
+        self.indexes.retain(|ix| ix.table_id != info.id);
+        self.rewrite_system_catalog()
+    }
+
+    /// Appends one tuple and maintains every index on the table.
+    pub fn insert(&mut self, name: &str, tuple: &[Datum]) -> StorageResult<Rid> {
+        let info = self
+            .tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
+        if tuple.len() != info.columns.len() {
+            return Err(StorageError::Internal(format!(
+                "{name} stores {}-column tuples, got {}",
+                info.columns.len(),
+                tuple.len()
+            )));
+        }
+        // Validate every indexed key *before* touching the heap, so a
+        // rejected tuple leaves heap and indexes consistent. A pager I/O
+        // failure mid-maintenance can still strand a heap row without
+        // all its postings — closing that window needs the WAL tracked
+        // in ROADMAP.md.
+        for ix in &self.indexes {
+            if ix.table_id == info.id {
+                crate::btree::check_key(&tuple[ix.col])?;
+            }
+        }
+        let info = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
+        let rid = info.heap.insert(&self.pool, &encode_tuple(tuple))?;
+        info.row_count += 1;
+        let table_id = info.id;
+        let mut roots_moved = false;
+        for ix in &mut self.indexes {
+            if ix.table_id == table_id {
+                let old_root = ix.tree.root;
+                ix.tree.insert(&self.pool, &tuple[ix.col], rid)?;
+                roots_moved |= ix.tree.root != old_root;
+            }
+        }
+        if roots_moved {
+            self.rewrite_system_indexes()?;
+        }
+        Ok(rid)
+    }
+
+    /// All tuples of a table, in heap order.
+    pub fn scan(&self, name: &str) -> StorageResult<Vec<Tuple>> {
+        let info = self.table(name)?;
+        let mut out = Vec::with_capacity(info.row_count);
+        let mut err = None;
+        info.heap
+            .scan(&self.pool, |_, rec| match decode_tuple(rec) {
+                Ok(tuple) => out.push(tuple),
+                Err(e) => err = Some(e),
+            })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    pub fn row_count(&self, name: &str) -> StorageResult<usize> {
+        Ok(self.table(name)?.row_count)
+    }
+
+    /// Visits every tuple of a table in heap order without building the
+    /// intermediate `Vec` that [`StorageEngine::scan`] returns.
+    pub fn for_each(&self, name: &str, f: &mut dyn FnMut(&Tuple)) -> StorageResult<()> {
+        let info = self.table(name)?;
+        let mut err = None;
+        info.heap
+            .scan(&self.pool, |_, rec| match decode_tuple(rec) {
+                Ok(tuple) => f(&tuple),
+                Err(e) => err = Some(e),
+            })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether any stored tuple matches `values` at columns `cols`.
+    /// Early-exits on the first hit instead of materializing the table.
+    pub fn contains(&self, name: &str, cols: &[usize], values: &[Datum]) -> StorageResult<bool> {
+        let info = self.table(name)?;
+        let mut found = false;
+        let mut err = None;
+        info.heap
+            .scan_while(&self.pool, |_, rec| match decode_tuple(rec) {
+                Ok(tuple) => {
+                    found = cols.iter().zip(values).all(|(&c, v)| &tuple[c] == v);
+                    !found
+                }
+                Err(e) => {
+                    err = Some(e);
+                    false
+                }
+            })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(found),
+        }
+    }
+
+    /// Builds a B+-tree over an existing column and registers it.
+    pub fn create_index(&mut self, name: &str, col: usize) -> StorageResult<()> {
+        let info = self.table(name)?;
+        if col >= info.columns.len() {
+            return Err(StorageError::Internal(format!(
+                "index column {col} out of range for {name} ({} columns)",
+                info.columns.len()
+            )));
+        }
+        let table_id = info.id;
+        let heap = info.heap;
+        if self.find_index(table_id, col).is_some() {
+            return Ok(()); // idempotent, like the in-memory engine
+        }
+        let mut tree = BPlusTree::create(&self.pool)?;
+        let mut postings: Vec<(Datum, Rid)> = Vec::new();
+        let mut err = None;
+        heap.scan(&self.pool, |rid, rec| match decode_tuple(rec) {
+            Ok(tuple) => postings.push((tuple[col].clone(), rid)),
+            Err(e) => err = Some(e),
+        })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        for (key, rid) in postings {
+            tree.insert(&self.pool, &key, rid)?;
+        }
+        self.indexes.push(IndexInfo {
+            table_id,
+            col,
+            tree,
+        });
+        self.sys_indexes.insert(
+            &self.pool,
+            &encode_tuple(&[
+                Datum::Int(table_id),
+                Datum::Int(col as i64),
+                Datum::Int(i64::from(tree.root)),
+            ]),
+        )?;
+        Ok(())
+    }
+
+    pub fn has_index(&self, name: &str, col: usize) -> bool {
+        self.tables
+            .get(name)
+            .is_some_and(|info| self.find_index(info.id, col).is_some())
+    }
+
+    /// Tuples whose `col` equals `key`, via the B+-tree; `None` when no
+    /// index covers the column.
+    pub fn index_lookup(
+        &self,
+        name: &str,
+        col: usize,
+        key: &Datum,
+    ) -> StorageResult<Option<Vec<Tuple>>> {
+        let info = self.table(name)?;
+        let Some(ix) = self.find_index(info.id, col) else {
+            return Ok(None);
+        };
+        let rids = ix.tree.lookup(&self.pool, key)?;
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            out.push(decode_tuple(&info.heap.fetch(&self.pool, rid)?)?);
+        }
+        Ok(Some(out))
+    }
+
+    /// Removes all rows; indexes are rebuilt empty.
+    pub fn truncate(&mut self, name: &str) -> StorageResult<()> {
+        let info = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
+        info.heap.truncate(&self.pool)?;
+        info.row_count = 0;
+        let table_id = info.id;
+        let mut roots_moved = false;
+        for ix in &mut self.indexes {
+            if ix.table_id == table_id {
+                ix.tree = BPlusTree::create(&self.pool)?;
+                roots_moved = true;
+            }
+        }
+        if roots_moved {
+            self.rewrite_system_indexes()?;
+        }
+        Ok(())
+    }
+
+    /// Flushes every dirty page (and syncs file-backed storage).
+    pub fn flush(&self) -> StorageResult<()> {
+        self.pool.flush()
+    }
+
+    fn find_index(&self, table_id: i64, col: usize) -> Option<&IndexInfo> {
+        self.indexes
+            .iter()
+            .find(|ix| ix.table_id == table_id && ix.col == col)
+    }
+
+    fn rewrite_system_indexes(&mut self) -> StorageResult<()> {
+        self.sys_indexes.truncate(&self.pool)?;
+        for ix in &self.indexes {
+            self.sys_indexes.insert(
+                &self.pool,
+                &encode_tuple(&[
+                    Datum::Int(ix.table_id),
+                    Datum::Int(ix.col as i64),
+                    Datum::Int(i64::from(ix.tree.root)),
+                ]),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn rewrite_system_catalog(&mut self) -> StorageResult<()> {
+        self.sys_tables.truncate(&self.pool)?;
+        self.sys_columns.truncate(&self.pool)?;
+        for info in self.tables.values() {
+            self.sys_tables.insert(
+                &self.pool,
+                &encode_tuple(&[
+                    Datum::Int(info.id),
+                    Datum::text(&info.name),
+                    Datum::Int(i64::from(info.heap.first)),
+                ]),
+            )?;
+            for (idx, (col_name, ty)) in info.columns.iter().enumerate() {
+                self.sys_columns.insert(
+                    &self.pool,
+                    &encode_tuple(&[
+                        Datum::Int(info.id),
+                        Datum::Int(idx as i64),
+                        Datum::text(col_name),
+                        Datum::Int(ty.to_tag()),
+                    ]),
+                )?;
+            }
+        }
+        self.rewrite_system_indexes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cols(spec: &[(&str, ColType)]) -> Vec<(String, ColType)> {
+        spec.iter().map(|(n, t)| (n.to_string(), *t)).collect()
+    }
+
+    fn empl_row(eno: i64, nam: &str, sal: i64, dno: i64) -> Tuple {
+        vec![
+            Datum::Int(eno),
+            Datum::text(nam),
+            Datum::Int(sal),
+            Datum::Int(dno),
+        ]
+    }
+
+    fn engine_with_empl(pool_pages: usize, rows: usize) -> StorageEngine {
+        let mut eng = StorageEngine::in_memory(pool_pages).unwrap();
+        eng.create_table(
+            "empl",
+            &cols(&[
+                ("eno", ColType::Int),
+                ("nam", ColType::Text),
+                ("sal", ColType::Int),
+                ("dno", ColType::Int),
+            ]),
+        )
+        .unwrap();
+        for i in 0..rows as i64 {
+            eng.insert("empl", &empl_row(i, &format!("e{i}"), 10_000 + i, i % 10))
+                .unwrap();
+        }
+        eng
+    }
+
+    #[test]
+    fn create_insert_scan() {
+        let eng = engine_with_empl(16, 5);
+        assert!(eng.has_table("empl"));
+        assert_eq!(eng.row_count("empl").unwrap(), 5);
+        let rows = eng.scan("empl").unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[2], empl_row(2, "e2", 10_002, 2));
+        assert!(eng.scan("nosuch").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut eng = engine_with_empl(8, 0);
+        assert!(matches!(
+            eng.create_table("empl", &cols(&[("x", ColType::Int)])),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn index_lookup_matches_scan_filter() {
+        let mut eng = engine_with_empl(16, 500);
+        eng.create_index("empl", 3).unwrap();
+        assert!(eng.has_index("empl", 3));
+        assert!(!eng.has_index("empl", 0));
+        let via_index = eng
+            .index_lookup("empl", 3, &Datum::Int(7))
+            .unwrap()
+            .unwrap();
+        let via_scan: Vec<Tuple> = eng
+            .scan("empl")
+            .unwrap()
+            .into_iter()
+            .filter(|t| t[3] == Datum::Int(7))
+            .collect();
+        assert_eq!(via_index.len(), via_scan.len());
+        let a: std::collections::BTreeSet<String> =
+            via_index.iter().map(|t| format!("{t:?}")).collect();
+        let b: std::collections::BTreeSet<String> =
+            via_scan.iter().map(|t| format!("{t:?}")).collect();
+        assert_eq!(a, b);
+        assert_eq!(eng.index_lookup("empl", 0, &Datum::Int(1)).unwrap(), None);
+    }
+
+    #[test]
+    fn indexes_maintained_on_insert() {
+        let mut eng = engine_with_empl(16, 0);
+        eng.create_index("empl", 1).unwrap();
+        for i in 0..300i64 {
+            eng.insert("empl", &empl_row(i, &format!("n{}", i % 50), 20_000, 1))
+                .unwrap();
+        }
+        let hits = eng
+            .index_lookup("empl", 1, &Datum::text("n13"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(hits.len(), 6);
+        assert!(hits.iter().all(|t| t[1] == Datum::text("n13")));
+    }
+
+    #[test]
+    fn truncate_clears_rows_and_indexes() {
+        let mut eng = engine_with_empl(16, 200);
+        eng.create_index("empl", 3).unwrap();
+        eng.truncate("empl").unwrap();
+        assert_eq!(eng.row_count("empl").unwrap(), 0);
+        assert!(eng.scan("empl").unwrap().is_empty());
+        assert_eq!(
+            eng.index_lookup("empl", 3, &Datum::Int(1))
+                .unwrap()
+                .unwrap(),
+            Vec::<Tuple>::new()
+        );
+        eng.insert("empl", &empl_row(1, "back", 30_000, 1)).unwrap();
+        assert_eq!(
+            eng.index_lookup("empl", 3, &Datum::Int(1))
+                .unwrap()
+                .unwrap()
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn drop_table_removes_everything() {
+        let mut eng = engine_with_empl(16, 10);
+        eng.create_index("empl", 0).unwrap();
+        eng.drop_table("empl").unwrap();
+        assert!(!eng.has_table("empl"));
+        assert!(eng.drop_table("empl").is_err());
+        // Name is reusable with a different shape.
+        eng.create_table("empl", &cols(&[("only", ColType::Text)]))
+            .unwrap();
+        eng.insert("empl", &[Datum::text("x")]).unwrap();
+        assert_eq!(eng.scan("empl").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn works_under_8_page_pool_with_data_larger_than_pool() {
+        let mut eng = engine_with_empl(8, 2000);
+        eng.create_index("empl", 0).unwrap();
+        assert_eq!(eng.scan("empl").unwrap().len(), 2000);
+        for probe in [0i64, 555, 1999] {
+            let hit = eng
+                .index_lookup("empl", 0, &Datum::Int(probe))
+                .unwrap()
+                .unwrap();
+            assert_eq!(hit.len(), 1, "eno {probe}");
+        }
+        let stats = eng.pool_stats();
+        assert!(
+            stats.page_reads > 0,
+            "pool smaller than data must miss: {stats:?}"
+        );
+        assert!(stats.buffer_hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn point_lookup_reads_fewer_pages_than_full_scan() {
+        let mut eng = engine_with_empl(8, 2000);
+        eng.create_index("empl", 0).unwrap();
+        let before = eng.pool_stats();
+        let _ = eng.scan("empl").unwrap();
+        let scan_reads = eng.pool_stats().page_reads - before.page_reads;
+        let before = eng.pool_stats();
+        let _ = eng
+            .index_lookup("empl", 0, &Datum::Int(1234))
+            .unwrap()
+            .unwrap();
+        let lookup_reads = eng.pool_stats().page_reads - before.page_reads;
+        assert!(
+            lookup_reads < scan_reads,
+            "index lookup read {lookup_reads} pages, full scan {scan_reads}"
+        );
+    }
+
+    #[test]
+    fn oversized_index_key_leaves_heap_and_index_consistent() {
+        // Regression: the heap row used to land before index maintenance
+        // failed, leaving scan() and index_lookup() disagreeing forever.
+        let mut eng = StorageEngine::in_memory(8).unwrap();
+        eng.create_table("t", &cols(&[("a", ColType::Text)]))
+            .unwrap();
+        eng.create_index("t", 0).unwrap();
+        let huge = "x".repeat(crate::btree::MAX_KEY_LEN + 50);
+        assert!(matches!(
+            eng.insert("t", &[Datum::text(&huge)]),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+        assert_eq!(eng.row_count("t").unwrap(), 0);
+        assert!(
+            eng.scan("t").unwrap().is_empty(),
+            "heap must not keep the row"
+        );
+        eng.insert("t", &[Datum::text("fine")]).unwrap();
+        assert_eq!(
+            eng.index_lookup("t", 0, &Datum::text("fine"))
+                .unwrap()
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(eng.scan("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn corrupt_page_file_errors_instead_of_panicking() {
+        let dir = std::env::temp_dir().join(format!("rqs-engine-corrupt-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corrupt.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut eng = StorageEngine::open(&path, 8).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int)]))
+                .unwrap();
+            eng.insert("t", &[Datum::Int(1)]).unwrap();
+            eng.flush().unwrap();
+        }
+        // Corrupt the first slot of page 0 (system_tables): an offset
+        // past the page end would read out of bounds without validation.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[16] = 0xff;
+        bytes[17] = 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        match StorageEngine::open(&path, 8) {
+            Err(StorageError::Corrupt(_)) => {}
+            other => panic!("expected Corrupt error, got {:?}", other.map(|_| "engine")),
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn contains_probes_without_materializing() {
+        let eng = engine_with_empl(8, 500);
+        assert!(eng.contains("empl", &[0], &[Datum::Int(3)]).unwrap());
+        assert!(eng
+            .contains("empl", &[0, 3], &[Datum::Int(3), Datum::Int(3)])
+            .unwrap());
+        assert!(!eng.contains("empl", &[0], &[Datum::Int(9999)]).unwrap());
+        let before = eng.pool_stats().page_reads + eng.pool_stats().buffer_hits;
+        // Early exit: probing the very first row touches one heap page.
+        assert!(eng.contains("empl", &[0], &[Datum::Int(0)]).unwrap());
+        let touched = eng.pool_stats().page_reads + eng.pool_stats().buffer_hits - before;
+        assert!(touched <= 2, "existence probe touched {touched} pages");
+        assert!(eng.contains("nosuch", &[0], &[Datum::Int(0)]).is_err());
+    }
+
+    #[test]
+    fn arity_mismatches_error_instead_of_panicking() {
+        let mut eng = engine_with_empl(8, 3);
+        assert!(matches!(
+            eng.insert("empl", &[Datum::Int(1)]),
+            Err(StorageError::Internal(_))
+        ));
+        assert!(matches!(
+            eng.create_index("empl", 9),
+            Err(StorageError::Internal(_))
+        ));
+        // With an index present, a short tuple still errors cleanly.
+        eng.create_index("empl", 3).unwrap();
+        assert!(eng
+            .insert("empl", &[Datum::Int(1), Datum::text("x")])
+            .is_err());
+        assert_eq!(eng.row_count("empl").unwrap(), 3);
+    }
+
+    #[test]
+    fn drop_without_flush_still_persists() {
+        let dir = std::env::temp_dir().join(format!("rqs-engine-dropflush-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dropflush.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut eng = StorageEngine::open(&path, 8).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int)]))
+                .unwrap();
+            eng.insert("t", &[Datum::Int(42)]).unwrap();
+            // No flush(): the Drop impl must write the dirty pages back.
+        }
+        let eng = StorageEngine::open(&path, 8).unwrap();
+        assert_eq!(eng.scan("t").unwrap(), vec![vec![Datum::Int(42)]]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_bootstraps_catalog_from_system_pages() {
+        let dir = std::env::temp_dir().join(format!("rqs-engine-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reopen.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut eng = StorageEngine::open(&path, 16).unwrap();
+            eng.create_table(
+                "empl",
+                &cols(&[
+                    ("eno", ColType::Int),
+                    ("nam", ColType::Text),
+                    ("sal", ColType::Int),
+                    ("dno", ColType::Int),
+                ]),
+            )
+            .unwrap();
+            eng.create_table(
+                "dept",
+                &cols(&[("dno", ColType::Int), ("fct", ColType::Text)]),
+            )
+            .unwrap();
+            eng.create_index("empl", 1).unwrap();
+            for i in 0..700i64 {
+                eng.insert("empl", &empl_row(i, &format!("p{i}"), 10_000 + i, i % 4))
+                    .unwrap();
+            }
+            eng.insert("dept", &[Datum::Int(1), Datum::text("hq")])
+                .unwrap();
+            eng.flush().unwrap();
+        }
+        let eng = StorageEngine::open(&path, 16).unwrap();
+        assert_eq!(eng.table_names().collect::<Vec<_>>(), vec!["dept", "empl"]);
+        let empl = eng.table("empl").unwrap();
+        assert_eq!(
+            empl.columns,
+            cols(&[
+                ("eno", ColType::Int),
+                ("nam", ColType::Text),
+                ("sal", ColType::Int),
+                ("dno", ColType::Int),
+            ])
+        );
+        assert_eq!(eng.row_count("empl").unwrap(), 700);
+        assert_eq!(eng.row_count("dept").unwrap(), 1);
+        assert!(eng.has_index("empl", 1));
+        let hit = eng
+            .index_lookup("empl", 1, &Datum::text("p456"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(hit, vec![empl_row(456, "p456", 10_456, 0)]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_after_drop_does_not_resurrect() {
+        let dir = std::env::temp_dir().join(format!("rqs-engine-drop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("drop.pages");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut eng = StorageEngine::open(&path, 8).unwrap();
+            eng.create_table("keep", &cols(&[("a", ColType::Int)]))
+                .unwrap();
+            eng.create_table("gone", &cols(&[("b", ColType::Int)]))
+                .unwrap();
+            eng.drop_table("gone").unwrap();
+            eng.flush().unwrap();
+        }
+        let eng = StorageEngine::open(&path, 8).unwrap();
+        assert!(eng.has_table("keep"));
+        assert!(!eng.has_table("gone"));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

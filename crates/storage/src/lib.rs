@@ -1,0 +1,85 @@
+//! Paged storage engine for the relational query system.
+//!
+//! The paper's cost model is ultimately *pages touched*: its front-end
+//! optimizer earns its keep by making the DBMS read fewer pages. This
+//! crate is the physical layer that makes that measurable — a miniature
+//! but real storage engine in the classical architecture:
+//!
+//! * [`page`] — fixed-size (4 KiB) slotted pages holding variable-length
+//!   records;
+//! * [`codec`] — serialization of [`value::Datum`] tuples into records;
+//! * [`pager`] — the "disk": an in-memory page vector or a real file,
+//!   addressed by page id;
+//! * [`buffer`] — a pinned/unpinned buffer pool with clock (second-chance)
+//!   eviction between the engine and the pager, counting `page_reads` and
+//!   `buffer_hits`;
+//! * [`heap`] — linked heap files of tuple pages (table storage);
+//! * [`btree`] — B+-tree secondary indexes keyed on [`value::Datum`],
+//!   mapping keys to record ids;
+//! * [`engine`] — the [`engine::StorageEngine`] facade plus the
+//!   persistent system catalog (`system_tables`, `system_columns`,
+//!   `system_indexes` heaps at fixed page ids) from which a database is
+//!   bootstrapped on reopen.
+//!
+//! Everything is single-threaded by design (the coupled Prolog session
+//! is); the buffer pool uses interior mutability so read paths work
+//! through `&self`. Write-ahead logging and concurrency control are
+//! deliberate non-goals for now and tracked in ROADMAP.md.
+
+use std::fmt;
+
+pub mod btree;
+pub mod buffer;
+pub mod codec;
+pub mod engine;
+pub mod heap;
+pub mod page;
+pub mod pager;
+pub mod value;
+
+pub use buffer::{BufferPool, PoolStats};
+pub use engine::{ColType, StorageEngine};
+pub use page::{PageId, PAGE_SIZE};
+pub use value::{Datum, Tuple};
+
+pub type StorageResult<T> = std::result::Result<T, StorageError>;
+
+/// Errors surfaced by the storage engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Underlying file I/O failed.
+    Io(String),
+    /// A record exceeds what one page can hold.
+    RecordTooLarge(usize),
+    /// Reference to an unknown table.
+    UnknownTable(String),
+    /// A table with this name already exists.
+    DuplicateTable(String),
+    /// On-disk data failed to decode (corruption or version skew).
+    Corrupt(String),
+    /// Internal invariant failure (a bug in the engine).
+    Internal(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(m) => write!(f, "storage I/O error: {m}"),
+            StorageError::RecordTooLarge(n) => {
+                write!(f, "record of {n} bytes exceeds page capacity")
+            }
+            StorageError::UnknownTable(t) => write!(f, "unknown table in storage: {t}"),
+            StorageError::DuplicateTable(t) => write!(f, "table already stored: {t}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt page data: {m}"),
+            StorageError::Internal(m) => write!(f, "storage internal error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e.to_string())
+    }
+}

@@ -1,0 +1,148 @@
+//! The value model: what can live in a table cell.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::rc::Rc;
+
+/// A single cell value. Text uses `Rc<str>` so wide intermediate results
+/// share one allocation per distinct string instead of cloning buffers.
+#[derive(Clone, Debug)]
+pub enum Datum {
+    Int(i64),
+    Text(Rc<str>),
+}
+
+impl Datum {
+    pub fn text(s: &str) -> Datum {
+        Datum::Text(Rc::from(s))
+    }
+
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Datum::Int(i) => Some(*i),
+            Datum::Text(_) => None,
+        }
+    }
+
+    pub fn as_text(&self) -> Option<&str> {
+        match self {
+            Datum::Text(s) => Some(s),
+            Datum::Int(_) => None,
+        }
+    }
+
+    /// Total order used for comparisons and index keys. Cross-type
+    /// comparison orders all ints before all texts, so sorting is total;
+    /// the planner rejects cross-type predicates before execution.
+    pub fn total_cmp(&self, other: &Datum) -> Ordering {
+        match (self, other) {
+            (Datum::Int(a), Datum::Int(b)) => a.cmp(b),
+            (Datum::Text(a), Datum::Text(b)) => a.as_ref().cmp(b.as_ref()),
+            (Datum::Int(_), Datum::Text(_)) => Ordering::Less,
+            (Datum::Text(_), Datum::Int(_)) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialEq for Datum {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Datum {}
+
+impl PartialOrd for Datum {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Datum {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Datum {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Datum::Int(i) => {
+                0u8.hash(state);
+                i.hash(state);
+            }
+            Datum::Text(s) => {
+                1u8.hash(state);
+                s.as_bytes().hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Datum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Datum::Int(i) => write!(f, "{i}"),
+            Datum::Text(s) => write!(f, "'{s}'"),
+        }
+    }
+}
+
+impl From<i64> for Datum {
+    fn from(i: i64) -> Self {
+        Datum::Int(i)
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(s: &str) -> Self {
+        Datum::text(s)
+    }
+}
+
+/// A stored or intermediate tuple.
+pub type Tuple = Vec<Datum>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality_and_order() {
+        assert_eq!(Datum::Int(3), Datum::Int(3));
+        assert_ne!(Datum::Int(3), Datum::text("3"));
+        assert!(Datum::Int(2) < Datum::Int(10));
+        assert!(Datum::text("abc") < Datum::text("abd"));
+        // Total order across types is stable.
+        assert!(Datum::Int(i64::MAX) < Datum::text(""));
+    }
+
+    #[test]
+    fn text_sharing_is_cheap() {
+        let a = Datum::text("smiley");
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Datum::Int(5).as_int(), Some(5));
+        assert_eq!(Datum::Int(5).as_text(), None);
+        assert_eq!(Datum::text("x").as_text(), Some("x"));
+    }
+
+    #[test]
+    fn display_quotes_text() {
+        assert_eq!(Datum::text("jones").to_string(), "'jones'");
+        assert_eq!(Datum::Int(40000).to_string(), "40000");
+    }
+
+    #[test]
+    fn hash_distinguishes_types() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Datum::Int(1));
+        set.insert(Datum::text("1"));
+        assert_eq!(set.len(), 2);
+    }
+}

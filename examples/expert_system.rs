@@ -59,7 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sols = engine.query_all("same_manager(X, jones), specialist(X, languages).")?;
     println!(
         "\nFollow-up inside Prolog only: partner for a languages job: {}",
-        sols[0].get("X").map(ToString::to_string).unwrap_or_default()
+        sols[0]
+            .get("X")
+            .map(ToString::to_string)
+            .unwrap_or_default()
     );
     assert_eq!(sols.len(), 1);
     Ok(())

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. The Appendix query: "who works directly for Smiley?"
     //    `t_nam` marks the target variable (§3's variable-free convention).
-    println!("{}", session.explain("works_dir_for(t_nam, smiley)", "works_dir_for")?);
+    println!(
+        "{}",
+        session.explain("works_dir_for(t_nam, smiley)", "works_dir_for")?
+    );
 
     // 5. Answers are plain data.
     let run = session.query("works_dir_for(t_nam, smiley)", "works_dir_for")?;

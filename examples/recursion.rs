@@ -20,7 +20,12 @@ use prolog_front_end::pfe_core::{views, Datum, Session};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut session = Session::empdep();
     session.consult(views::WORKS_FOR)?;
-    let firm = Firm::generate(FirmParams { depth: 4, branching: 2, staff_per_dept: 3, seed: 11 });
+    let firm = Firm::generate(FirmParams {
+        depth: 4,
+        branching: 2,
+        staff_per_dept: 3,
+        seed: 11,
+    });
     firm.load_into(session.coupler_mut())?;
     println!(
         "firm: {} employees, {} departments, max chain {}\n",
@@ -31,23 +36,44 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let coupler = session.coupler_mut();
 
     // "Smiley's people": everyone below the CEO.
-    let boss = Bound { side: BoundSide::High, value: Datum::text(firm.ceo()) };
+    let boss = Bound {
+        side: BoundSide::High,
+        value: Datum::text(firm.ceo()),
+    };
     let depth = firm.max_chain() + 1;
 
     let naive = eval_naive(coupler, "works_for", &boss, depth)?;
-    println!("naive      : {} queries, {} total FROM variables, {} answers,",
-        naive.queries_issued, naive.total_from_vars, naive.answers.len());
-    println!("             {} rows scanned, {} joins",
-        naive.metrics.rows_scanned, naive.metrics.joins);
+    println!(
+        "naive      : {} queries, {} total FROM variables, {} answers,",
+        naive.queries_issued,
+        naive.total_from_vars,
+        naive.answers.len()
+    );
+    println!(
+        "             {} rows scanned, {} joins",
+        naive.metrics.rows_scanned, naive.metrics.joins
+    );
 
     let spec = ClosureSpec::from_view(coupler, "works_dir_for")?;
     let inter = eval_intermediate(coupler, &spec, &boss, "intermediate")?;
-    println!("intermediate: {} queries, {} total FROM variables, {} answers,",
-        inter.queries_issued, inter.total_from_vars, inter.answers.len());
-    println!("             {} rows scanned, {} joins",
-        inter.metrics.rows_scanned, inter.metrics.joins);
-    println!("             frontier sizes per step: {:?}",
-        inter.steps.iter().map(|s| s.frontier_size).collect::<Vec<_>>());
+    println!(
+        "intermediate: {} queries, {} total FROM variables, {} answers,",
+        inter.queries_issued,
+        inter.total_from_vars,
+        inter.answers.len()
+    );
+    println!(
+        "             {} rows scanned, {} joins",
+        inter.metrics.rows_scanned, inter.metrics.joins
+    );
+    println!(
+        "             frontier sizes per step: {:?}",
+        inter
+            .steps
+            .iter()
+            .map(|s| s.frontier_size)
+            .collect::<Vec<_>>()
+    );
     assert_eq!(
         sorted(&naive.answers),
         sorted(&inter.answers),
@@ -55,18 +81,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // "Jones' managers at any level": the orientation experiment.
-    let low = Bound { side: BoundSide::Low, value: Datum::text(firm.deepest_employee()) };
+    let low = Bound {
+        side: BoundSide::Low,
+        value: Datum::text(firm.deepest_employee()),
+    };
     let good = eval_intermediate(coupler, &spec, &low, "intermediate")?;
     let bad = eval_intermediate_mismatched(coupler, &spec, &low, "intermediate")?;
     println!("\nworks_for({}, Superior):", firm.deepest_employee());
-    println!("  bottom-up (right orientation): {} queries, max frontier {}",
+    println!(
+        "  bottom-up (right orientation): {} queries, max frontier {}",
         good.queries_issued,
-        good.steps.iter().map(|s| s.frontier_size).max().unwrap_or(0));
-    println!("  top-down  (wrong orientation): {} queries over {} candidate bosses,",
-        bad.queries_issued, bad.candidates_tried);
-    println!("             total intermediate tuples {} vs {}",
+        good.steps
+            .iter()
+            .map(|s| s.frontier_size)
+            .max()
+            .unwrap_or(0)
+    );
+    println!(
+        "  top-down  (wrong orientation): {} queries over {} candidate bosses,",
+        bad.queries_issued, bad.candidates_tried
+    );
+    println!(
+        "             total intermediate tuples {} vs {}",
         bad.steps.iter().map(|s| s.frontier_size).sum::<usize>(),
-        good.steps.iter().map(|s| s.frontier_size).sum::<usize>());
+        good.steps.iter().map(|s| s.frontier_size).sum::<usize>()
+    );
     assert_eq!(sorted(&good.answers), sorted(&bad.answers));
     Ok(())
 }

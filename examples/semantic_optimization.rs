@@ -27,8 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Algorithm 2: chase + referential integrity + minimization.
     let simplifier = Simplifier::new(&db, &constraints);
-    let SimplifyOutcome::Simplified(optimized, stats) = simplifier.simplify(direct.clone())
-    else {
+    let SimplifyOutcome::Simplified(optimized, stats) = simplifier.simplify(direct.clone()) else {
         unreachable!("the query is satisfiable");
     };
     let optimized_sql = translate(&optimized, &db, MappingOptions::default())?;
@@ -50,7 +49,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Execute both against a generated firm and compare the DBMS work.
     let mut session = Session::empdep();
     session.consult(views::SAME_MANAGER)?;
-    let firm = Firm::generate(FirmParams { depth: 3, branching: 3, staff_per_dept: 5, seed: 1 });
+    let firm = Firm::generate(FirmParams {
+        depth: 3,
+        branching: 3,
+        staff_per_dept: 5,
+        seed: 1,
+    });
     firm.load_into(session.coupler_mut())?;
     let target = firm.deepest_employee().to_owned();
 
@@ -60,13 +64,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     session.config_mut().optimize = false;
     let direct_run = session.query(&goal, "same_manager")?;
 
-    println!("=== execution on a {}-employee firm ===", firm.employees.len());
+    println!(
+        "=== execution on a {}-employee firm ===",
+        firm.employees.len()
+    );
     let (om, dm) = (optimized_run.total_metrics(), direct_run.total_metrics());
     println!("                 direct    optimized");
     println!("joins         {:>8} {:>11}", dm.joins, om.joins);
-    println!("rows scanned  {:>8} {:>11}", dm.rows_scanned, om.rows_scanned);
-    println!("intermediate  {:>8} {:>11}", dm.intermediate_tuples, om.intermediate_tuples);
-    println!("answers       {:>8} {:>11}", direct_run.answers.len(), optimized_run.answers.len());
+    println!(
+        "rows scanned  {:>8} {:>11}",
+        dm.rows_scanned, om.rows_scanned
+    );
+    println!(
+        "intermediate  {:>8} {:>11}",
+        dm.intermediate_tuples, om.intermediate_tuples
+    );
+    println!(
+        "answers       {:>8} {:>11}",
+        direct_run.answers.len(),
+        optimized_run.answers.len()
+    );
     assert_eq!(direct_run.answers.len(), optimized_run.answers.len());
 
     // §6.1 value bounds: a salary predicate subsumed by the integrity
@@ -92,7 +109,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "less(S, 2000):   {}",
-        impossible.branches[0].empty_reason.as_deref().unwrap_or("(executed)")
+        impossible.branches[0]
+            .empty_reason
+            .as_deref()
+            .unwrap_or("(executed)")
     );
     assert!(impossible.answers.is_empty());
     assert!(impossible.branches[0].sql.is_none());

@@ -53,10 +53,20 @@ fn appendix_dbcl_form() {
     //         [empl, v_eno1, smiley, v_sal2, v_dno2, *, *]],
     //        []).
     assert_eq!(q.target[1], Entry::target("nam"));
-    assert!(q.target.iter().enumerate().all(|(i, e)| i == 1 || *e == Entry::Star));
+    assert!(q
+        .target
+        .iter()
+        .enumerate()
+        .all(|(i, e)| i == 1 || *e == Entry::Star));
     assert_eq!(q.rows.len(), 3);
-    assert_eq!(q.rows[1].entries[3], q.rows[0].entries[3], "shared dno symbol");
-    assert_eq!(q.rows[2].entries[0], q.rows[1].entries[5], "mgr = eno equijoin");
+    assert_eq!(
+        q.rows[1].entries[3], q.rows[0].entries[3],
+        "shared dno symbol"
+    );
+    assert_eq!(
+        q.rows[2].entries[0], q.rows[1].entries[5],
+        "mgr = eno equijoin"
+    );
     assert_eq!(q.rows[2].entries[1], Entry::sym_const("smiley"));
     assert!(q.comparisons.is_empty());
 }
@@ -84,7 +94,10 @@ fn appendix_sql_with_v12_numbering() {
     let sql = translate(
         &out.branches[0].query,
         &db,
-        MappingOptions { first_var_index: 12, distinct: false },
+        MappingOptions {
+            first_var_index: 12,
+            distinct: false,
+        },
     )
     .unwrap();
     let text = sql.to_sql();
@@ -108,16 +121,28 @@ fn appendix_syntax_tree() {
     let sql = translate(
         &out.branches[0].query,
         &db,
-        MappingOptions { first_var_index: 12, distinct: false },
+        MappingOptions {
+            first_var_index: 12,
+            distinct: false,
+        },
     )
     .unwrap();
     let tree = sql.to_syntax_tree();
     let text = tree.to_string();
     assert!(text.starts_with("select([dot(v12, nam)]"), "{text}");
-    assert!(text.contains("from([(empl, v12), (dept, v13), (empl, v14)])"), "{text}");
-    assert!(text.contains("equal(dot(v12, dno), dot(v13, dno))"), "{text}");
+    assert!(
+        text.contains("from([(empl, v12), (dept, v13), (empl, v14)])"),
+        "{text}"
+    );
+    assert!(
+        text.contains("equal(dot(v12, dno), dot(v13, dno))"),
+        "{text}"
+    );
     assert!(text.contains("equal(dot(v14, nam), smiley)"), "{text}");
-    assert!(text.contains("equal(dot(v13, mgr), dot(v14, eno))"), "{text}");
+    assert!(
+        text.contains("equal(dot(v13, mgr), dot(v14, eno))"),
+        "{text}"
+    );
     // The tree is itself a parseable Prolog term (DBCL is Prolog).
     prolog::parse_term(&text).unwrap();
 }
@@ -135,7 +160,9 @@ fn appendix_end_to_end_transcript() {
     .unwrap();
     s.load_dept(&[(10, "hq", 1), (20, "field", 2)]).unwrap();
     s.check_integrity().unwrap();
-    let transcript = s.explain("works_dir_for(t_nam, smiley)", "works_dir_for").unwrap();
+    let transcript = s
+        .explain("works_dir_for(t_nam, smiley)", "works_dir_for")
+        .unwrap();
     assert!(transcript.contains("metaevaluate"), "{transcript}");
     assert!(transcript.contains("dbcl("), "{transcript}");
     assert!(transcript.contains("SELECT"), "{transcript}");

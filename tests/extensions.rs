@@ -7,8 +7,8 @@ use prolog_front_end::dbcl::{DatabaseDef, DbclQuery, DbclStatement};
 use prolog_front_end::metaeval::{views, MetaEvaluator};
 use prolog_front_end::pfe_core::{Datum, Session};
 use prolog_front_end::sqlgen::dnf::generate_dnf_union_sql;
-use prolog_front_end::sqlgen::negation::translate_with_negation;
 use prolog_front_end::sqlgen::mapping::MappingOptions;
+use prolog_front_end::sqlgen::negation::translate_with_negation;
 
 fn little_firm_session() -> Session {
     let mut s = Session::empdep();
@@ -44,14 +44,15 @@ fn x1_disjunction_dnf_union() {
               [])",
     )
     .unwrap();
-    let stmt = DbclStatement::Disjunction(vec![
-        DbclStatement::Query(cheap),
-        DbclStatement::Query(hq),
-    ]);
+    let stmt =
+        DbclStatement::Disjunction(vec![DbclStatement::Query(cheap), DbclStatement::Query(hq)]);
     let union_sql = generate_dnf_union_sql(
         &stmt,
         &DatabaseDef::empdep(),
-        MappingOptions { first_var_index: 1, distinct: true },
+        MappingOptions {
+            first_var_index: 1,
+            distinct: true,
+        },
     )
     .unwrap();
     let result = s.coupler_mut().rqs.execute(&union_sql).unwrap();
@@ -71,8 +72,7 @@ fn x1_disjunctive_view_through_pipeline() {
     )
     .unwrap();
     let run = s.query("target_group(t_X)", "target_group").unwrap();
-    let mut names: Vec<String> =
-        run.answers.iter().map(|a| a["X"].to_string()).collect();
+    let mut names: Vec<String> = run.answers.iter().map(|a| a["X"].to_string()).collect();
     names.sort();
     assert_eq!(names, ["'control'", "'miller'", "'smiley'"]);
     assert_eq!(run.branches.len(), 2);
@@ -106,7 +106,10 @@ fn x2_negation_not_in() {
         &managers,
         &manages_jones,
         &DatabaseDef::empdep(),
-        MappingOptions { first_var_index: 1, distinct: true },
+        MappingOptions {
+            first_var_index: 1,
+            distinct: true,
+        },
     )
     .unwrap();
     let result = s.coupler_mut().rqs.execute(&sql.to_sql()).unwrap();
@@ -182,7 +185,12 @@ fn x4_cache_counts() {
     for (eno, nam, sal, dno) in [(1, "e1", 80_000, 1), (2, "e2", 60_000, 1)] {
         c.load_tuple(
             "empl",
-            &[Datum::Int(eno), Datum::text(nam), Datum::Int(sal), Datum::Int(dno)],
+            &[
+                Datum::Int(eno),
+                Datum::text(nam),
+                Datum::Int(sal),
+                Datum::Int(dno),
+            ],
         )
         .unwrap();
     }

@@ -6,15 +6,15 @@
 //! When the optimizer proves a query empty, the direct translation must
 //! indeed return no rows.
 
-use proptest::prelude::*;
-use prolog_front_end::coupling::workload::{Firm, FirmParams};
+use prolog::Atom;
 use prolog_front_end::coupling::ddl_statements;
+use prolog_front_end::coupling::workload::{Firm, FirmParams};
 use prolog_front_end::dbcl::{
     CompOp, Comparison, ConstraintSet, DatabaseDef, DbclQuery, Entry, Operand, Row, Symbol,
 };
 use prolog_front_end::optimizer::{Simplifier, SimplifyOutcome};
 use prolog_front_end::sqlgen::mapping::{to_sql_text, MappingOptions};
-use prolog::Atom;
+use proptest::prelude::*;
 
 /// Pool of symbols/constants the generator draws from. Constants are
 /// chosen to sometimes hit the generated data (dept numbers 1–6, employee
@@ -45,7 +45,10 @@ struct GenRow {
 }
 
 fn row_strategy() -> impl Strategy<Value = GenRow> {
-    (proptest::bool::ANY, proptest::collection::vec(cell_strategy(), 4))
+    (
+        proptest::bool::ANY,
+        proptest::collection::vec(cell_strategy(), 4),
+    )
         .prop_map(|(is_empl, cells)| GenRow { is_empl, cells })
 }
 
@@ -58,14 +61,20 @@ struct GenComparison {
 }
 
 fn comparison_strategy() -> impl Strategy<Value = GenComparison> {
-    (0usize..6, 0usize..5, proptest::option::of(0i64..100_000), 0usize..5).prop_map(
-        |(op_idx, lhs_shared, rhs_const, rhs_shared)| GenComparison {
-            op_idx,
-            lhs_shared,
-            rhs_const,
-            rhs_shared,
-        },
+    (
+        0usize..6,
+        0usize..5,
+        proptest::option::of(0i64..100_000),
+        0usize..5,
     )
+        .prop_map(
+            |(op_idx, lhs_shared, rhs_const, rhs_shared)| GenComparison {
+                op_idx,
+                lhs_shared,
+                rhs_const,
+                rhs_shared,
+            },
+        )
 }
 
 /// Builds a valid DbclQuery from the generated description; returns `None`
@@ -151,7 +160,14 @@ fn build_query(db: &DatabaseDef, rows: &[GenRow], comps: &[GenComparison]) -> Op
         if anchored_numeric.is_empty() {
             break;
         }
-        let ops = [CompOp::Less, CompOp::Greater, CompOp::Leq, CompOp::Geq, CompOp::Eq, CompOp::Neq];
+        let ops = [
+            CompOp::Less,
+            CompOp::Greater,
+            CompOp::Leq,
+            CompOp::Geq,
+            CompOp::Eq,
+            CompOp::Neq,
+        ];
         let lhs = anchored_numeric[c.lhs_shared % anchored_numeric.len()];
         let rhs = match c.rhs_const {
             Some(k) => Operand::Const(prolog_front_end::dbcl::Value::Int(k)),
@@ -160,7 +176,9 @@ fn build_query(db: &DatabaseDef, rows: &[GenRow], comps: &[GenComparison]) -> Op
         if Operand::Sym(lhs) == rhs {
             continue; // self-comparisons degenerate
         }
-        query.comparisons.push(Comparison::new(ops[c.op_idx], Operand::Sym(lhs), rhs));
+        query
+            .comparisons
+            .push(Comparison::new(ops[c.op_idx], Operand::Sym(lhs), rhs));
     }
     Some(query)
 }
@@ -172,7 +190,12 @@ fn load_firm() -> rqs::Database {
     for ddl in ddl_statements(&db_def, &cs) {
         db.execute(&ddl).unwrap();
     }
-    let firm = Firm::generate(FirmParams { depth: 2, branching: 2, staff_per_dept: 1, seed: 5 });
+    let firm = Firm::generate(FirmParams {
+        depth: 2,
+        branching: 2,
+        staff_per_dept: 1,
+        seed: 5,
+    });
     firm.load_into_rqs(&mut db).unwrap();
     db
 }

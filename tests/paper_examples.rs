@@ -72,13 +72,19 @@ fn example_4_1_partner_flow() {
     )
     .unwrap();
     let run = s
-        .query("same_manager(t_X, jones), specialist(t_X, driving)", "partner")
+        .query(
+            "same_manager(t_X, jones), specialist(t_X, driving)",
+            "partner",
+        )
         .unwrap();
     assert_eq!(run.answers.len(), 1);
     assert_eq!(run.answers[0]["X"], Datum::text("miller"));
     // Second ask: served from the internal cache, no SQL.
     let again = s
-        .query("same_manager(t_X, jones), specialist(t_X, driving)", "partner")
+        .query(
+            "same_manager(t_X, jones), specialist(t_X, driving)",
+            "partner",
+        )
         .unwrap();
     assert!(again.branches[0].cache_hit);
 }
@@ -133,7 +139,9 @@ fn example_6_2_full_simplification() {
     let db = DatabaseDef::empdep();
     let cs = ConstraintSet::empdep();
     let outcome = Simplifier::new(&db, &cs).simplify(DbclQuery::example_4_1());
-    let SimplifyOutcome::Simplified(q, stats) = outcome else { panic!("empty") };
+    let SimplifyOutcome::Simplified(q, stats) = outcome else {
+        panic!("empty")
+    };
     assert_eq!(q.rows.len(), 2);
     assert_eq!(stats.rows_removed(), 4);
     let sql = translate(&q, &db, MappingOptions::default()).unwrap();
@@ -179,18 +187,28 @@ fn example_6_2_answers_agree_on_data() {
 fn example_7_1_query_growth() {
     let mut c = Coupler::empdep();
     c.consult(views::WORKS_FOR).unwrap();
-    for (eno, nam, sal, dno) in
-        [(1, "e1", 80_000, 1), (2, "e2", 60_000, 1), (3, "e3", 30_000, 2)]
-    {
+    for (eno, nam, sal, dno) in [
+        (1, "e1", 80_000, 1),
+        (2, "e2", 60_000, 1),
+        (3, "e3", 30_000, 2),
+    ] {
         c.load_tuple(
             "empl",
-            &[Datum::Int(eno), Datum::text(nam), Datum::Int(sal), Datum::Int(dno)],
+            &[
+                Datum::Int(eno),
+                Datum::text(nam),
+                Datum::Int(sal),
+                Datum::Int(dno),
+            ],
         )
         .unwrap();
     }
     for (dno, fct, mgr) in [(1, "hq", 1), (2, "field", 2)] {
-        c.load_tuple("dept", &[Datum::Int(dno), Datum::text(fct), Datum::Int(mgr)])
-            .unwrap();
+        c.load_tuple(
+            "dept",
+            &[Datum::Int(dno), Datum::text(fct), Datum::Int(mgr)],
+        )
+        .unwrap();
     }
     c.check_integrity().unwrap();
     // Disable optimization to observe the raw naive growth of the paper.

@@ -6,7 +6,6 @@
 //! The workload generator produces only such databases, so we check the
 //! invariant end-to-end on random hierarchies and random queries.
 
-use proptest::prelude::*;
 use prolog_front_end::coupling::recursion::{
     eval_intermediate, eval_naive, Bound, BoundSide, ClosureSpec,
 };
@@ -14,6 +13,7 @@ use prolog_front_end::coupling::workload::{Firm, FirmParams};
 use prolog_front_end::dbcl::{CompOp, Comparison, DbclQuery, Operand, Symbol, Value};
 use prolog_front_end::optimizer::ineq::simplify_inequalities;
 use prolog_front_end::pfe_core::{views, QueryRun, Session};
+use proptest::prelude::*;
 
 fn firm_session(params: FirmParams) -> (Session, Firm) {
     let mut s = Session::empdep();
@@ -29,11 +29,7 @@ fn firm_session(params: FirmParams) -> (Session, Firm) {
 }
 
 fn sorted_answers(run: &QueryRun, var: &str) -> Vec<String> {
-    let mut v: Vec<String> = run
-        .answers
-        .iter()
-        .map(|a| a[var].to_string())
-        .collect();
+    let mut v: Vec<String> = run.answers.iter().map(|a| a[var].to_string()).collect();
     v.sort();
     v
 }
@@ -125,12 +121,20 @@ fn row_strategy() -> impl Strategy<Value = String> {
     )
         .prop_map(|(rel, entries)| {
             // Align entries to the relation's applicable columns.
-            let applicable: &[usize] = if rel == "empl" { &[0, 1, 2, 3] } else { &[3, 4, 5] };
+            let applicable: &[usize] = if rel == "empl" {
+                &[0, 1, 2, 3]
+            } else {
+                &[3, 4, 5]
+            };
             let cells: Vec<String> = (0..6)
                 .map(|i| {
                     if applicable.contains(&i) {
                         let e = &entries[i];
-                        if e == "*" { "v_x9".to_owned() } else { e.clone() }
+                        if e == "*" {
+                            "v_x9".to_owned()
+                        } else {
+                            e.clone()
+                        }
                     } else {
                         "*".to_owned()
                     }
@@ -202,7 +206,10 @@ fn eval_operand(op: &Operand, assignment: &[i64; 4]) -> i64 {
 
 fn satisfies(comps: &[Comparison], assignment: &[i64; 4]) -> bool {
     comps.iter().all(|c| {
-        c.op.eval_int(eval_operand(&c.lhs, assignment), eval_operand(&c.rhs, assignment))
+        c.op.eval_int(
+            eval_operand(&c.lhs, assignment),
+            eval_operand(&c.rhs, assignment),
+        )
     })
 }
 

@@ -25,10 +25,12 @@ fn load(data: &TestData) -> Database {
     db.execute("CREATE TABLE r (a INT, b INT, c TEXT)").unwrap();
     db.execute("CREATE TABLE s (b INT, d TEXT)").unwrap();
     for (a, b, c) in &data.r_rows {
-        db.execute(&format!("INSERT INTO r VALUES ({a}, {b}, '{c}')")).unwrap();
+        db.execute(&format!("INSERT INTO r VALUES ({a}, {b}, '{c}')"))
+            .unwrap();
     }
     for (b, d) in &data.s_rows {
-        db.execute(&format!("INSERT INTO s VALUES ({b}, '{d}')")).unwrap();
+        db.execute(&format!("INSERT INTO s VALUES ({b}, '{d}')"))
+            .unwrap();
     }
     db
 }
@@ -80,7 +82,12 @@ impl Cond {
 
 fn cond_strategy() -> impl Strategy<Value = Cond> {
     let ops = prop_oneof![
-        Just("="), Just("<>"), Just("<"), Just(">"), Just("<="), Just(">=")
+        Just("="),
+        Just("<>"),
+        Just("<"),
+        Just(">"),
+        Just("<="),
+        Just(">=")
     ];
     prop_oneof![
         (ops.clone(), 0i64..6).prop_map(|(op, k)| Cond::RestrictA(op, k)),

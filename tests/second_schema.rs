@@ -31,8 +31,11 @@ fn sp_constraints() -> ConstraintSet {
 
 fn sp_coupler() -> Coupler {
     let mut c = Coupler::new(sp_database(), sp_constraints()).unwrap();
-    for (sno, sname, city) in [(1, "acme", "london"), (2, "bolt", "paris"), (3, "coil", "london")]
-    {
+    for (sno, sname, city) in [
+        (1, "acme", "london"),
+        (2, "bolt", "paris"),
+        (3, "coil", "london"),
+    ] {
         c.load_tuple(
             "supplier",
             &[Datum::Int(sno), Datum::text(sname), Datum::text(city)],
@@ -40,12 +43,18 @@ fn sp_coupler() -> Coupler {
         .unwrap();
     }
     for (pno, pname, weight) in [(10, "nut", 5), (20, "bolt", 9), (30, "screw", 2)] {
-        c.load_tuple("part", &[Datum::Int(pno), Datum::text(pname), Datum::Int(weight)])
-            .unwrap();
+        c.load_tuple(
+            "part",
+            &[Datum::Int(pno), Datum::text(pname), Datum::Int(weight)],
+        )
+        .unwrap();
     }
     for (sno, pno, qty) in [(1, 10, 100), (1, 20, 50), (2, 10, 300), (3, 30, 400)] {
-        c.load_tuple("shipment", &[Datum::Int(sno), Datum::Int(pno), Datum::Int(qty)])
-            .unwrap();
+        c.load_tuple(
+            "shipment",
+            &[Datum::Int(sno), Datum::Int(pno), Datum::Int(qty)],
+        )
+        .unwrap();
     }
     c.check_integrity().unwrap();
     c
@@ -58,7 +67,10 @@ fn schema_and_constraints_validate() {
     cs.validate(&db).unwrap();
     // Universal-relation columns: shared sno/pno collapse.
     let cols: Vec<String> = db.attributes.iter().map(ToString::to_string).collect();
-    assert_eq!(cols, ["sno", "sname", "city", "pno", "pname", "weight", "qty"]);
+    assert_eq!(
+        cols,
+        ["sno", "sname", "city", "pno", "pname", "weight", "qty"]
+    );
 }
 
 #[test]
@@ -66,8 +78,14 @@ fn ddl_includes_composite_key() {
     let ddl = prolog_front_end::coupling::ddl_statements(&sp_database(), &sp_constraints());
     let all = ddl.join("\n");
     assert!(all.contains("PRIMARY KEY (sno, pno)"), "{all}");
-    assert!(all.contains("FOREIGN KEY (sno) REFERENCES supplier (sno)"), "{all}");
-    assert!(all.contains("FOREIGN KEY (pno) REFERENCES part (pno)"), "{all}");
+    assert!(
+        all.contains("FOREIGN KEY (sno) REFERENCES supplier (sno)"),
+        "{all}"
+    );
+    assert!(
+        all.contains("FOREIGN KEY (pno) REFERENCES part (pno)"),
+        "{all}"
+    );
 }
 
 #[test]
@@ -107,7 +125,10 @@ fn refint_direction_sensitivity() {
     let SimplifyOutcome::Simplified(out, stats) = Simplifier::new(&db, &cs).simplify(q) else {
         panic!("satisfiable")
     };
-    assert_eq!(stats.rows_removed_refint, 1, "only the part row goes:\n{out}");
+    assert_eq!(
+        stats.rows_removed_refint, 1,
+        "only the part row goes:\n{out}"
+    );
     let relations: Vec<&str> = out.rows.iter().map(|r| r.relation.as_str()).collect();
     assert_eq!(relations, ["supplier", "shipment"]);
 }
