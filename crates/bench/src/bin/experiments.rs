@@ -300,13 +300,24 @@ fn s1_storage() {
     db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
         .expect("ddl runs");
     let n = 2000;
+    let mut load_wal_appends = 0u64;
+    let mut load_wal_bytes = 0u64;
     for chunk_start in (0..n).step_by(100) {
         let rows: Vec<String> = (chunk_start..chunk_start + 100)
             .map(|i| format!("({i}, 'e{i}', {}, {})", 10_000 + i, i % 25))
             .collect();
-        db.execute(&format!("INSERT INTO empl VALUES {}", rows.join(", ")))
+        let r = db
+            .execute(&format!("INSERT INTO empl VALUES {}", rows.join(", ")))
             .expect("insert runs");
+        load_wal_appends += r.metrics.wal_appends;
+        load_wal_bytes += r.metrics.wal_bytes;
     }
+    measured(&format!(
+        "durability cost of the {n}-row load: {load_wal_appends} WAL frames, \
+         {:.1} KiB logged ({:.0} bytes/row); queries append nothing",
+        load_wal_bytes as f64 / 1024.0,
+        load_wal_bytes as f64 / n as f64,
+    ));
     let point = "SELECT v.sal FROM empl v WHERE v.nam = 'e1234'";
     let scan = db.execute(point).expect("query runs");
     db.execute("CREATE INDEX ON empl (nam)")

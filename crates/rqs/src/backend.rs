@@ -16,13 +16,13 @@
 //! test in `tests/backend_differential.rs` enforces this); they differ
 //! only in physical cost.
 
-use crate::catalog::{Catalog, Column};
+use crate::catalog::{Catalog, Column, TableConstraint};
 use crate::error::{RqsError, RqsResult};
 use crate::value::{Datum, Tuple};
 use std::collections::BTreeMap;
 use std::path::Path;
 use storage::engine::ColType;
-use storage::{PoolStats, StorageEngine, StorageError};
+use storage::{Fault, PoolStats, StorageEngine, StorageError};
 
 impl From<StorageError> for RqsError {
     fn from(e: StorageError) -> RqsError {
@@ -89,6 +89,49 @@ pub trait StorageBackend {
     fn flush(&self) -> RqsResult<()> {
         Ok(())
     }
+
+    /// Opens a transaction grouping the following mutations into one
+    /// atomic, durable unit. The in-memory backend has no durability
+    /// and treats statements as atomic already: a no-op there.
+    fn begin(&mut self) -> RqsResult<()> {
+        Ok(())
+    }
+
+    /// Commits the open transaction (forces the WAL on paged backends).
+    fn commit(&mut self) -> RqsResult<()> {
+        Ok(())
+    }
+
+    /// Rolls the open transaction back; never fails (a backend that
+    /// cannot roll back forward-errors on the mutations themselves).
+    fn abort(&mut self) {}
+
+    /// Persists the integrity constraints of a table so they survive
+    /// reopen (paged backends only; in-memory state dies with the
+    /// process anyway).
+    fn persist_constraints(
+        &mut self,
+        _name: &str,
+        _constraints: &[TableConstraint],
+    ) -> RqsResult<()> {
+        Ok(())
+    }
+
+    /// Constraints previously persisted for a table (empty when the
+    /// backend does not persist them).
+    fn stored_constraints(&self, _name: &str) -> RqsResult<Vec<TableConstraint>> {
+        Ok(Vec::new())
+    }
+
+    /// Checkpoint: make the database file self-contained (write dirty
+    /// pages back and truncate the WAL where one exists).
+    fn checkpoint(&self) -> RqsResult<()> {
+        self.flush()
+    }
+
+    /// Test/ops helper: drop the backend as a crash would — without
+    /// flushing buffered state — so reopening must run crash recovery.
+    fn crash(self: Box<Self>) {}
 }
 
 /// A read view over schema + storage, what the planner and executor
@@ -124,9 +167,17 @@ struct MemTable {
 }
 
 /// The original storage representation: everything in RAM, no paging.
+///
+/// It has no durability, but it *does* honor statement atomicity so the
+/// two backends stay observationally identical through SQL: between
+/// `begin` and `abort` it journals each touched table's original row
+/// count and trims back on abort (only inserts can fail mid-statement —
+/// the other statement shapes pre-validate before mutating).
 #[derive(Clone, Debug, Default)]
 pub struct InMemoryBackend {
     tables: BTreeMap<String, MemTable>,
+    /// table → row count at first touch within the open statement.
+    txn_baseline: Option<BTreeMap<String, usize>>,
 }
 
 impl InMemoryBackend {
@@ -177,6 +228,33 @@ impl StorageBackend for InMemoryBackend {
         Ok(removed)
     }
 
+    fn begin(&mut self) -> RqsResult<()> {
+        self.txn_baseline = Some(BTreeMap::new());
+        Ok(())
+    }
+
+    fn commit(&mut self) -> RqsResult<()> {
+        self.txn_baseline = None;
+        Ok(())
+    }
+
+    fn abort(&mut self) {
+        let Some(baseline) = self.txn_baseline.take() else {
+            return;
+        };
+        for (name, len) in baseline {
+            if let Some(table) = self.tables.get_mut(&name) {
+                table.rows.truncate(len);
+                for index in table.indexes.values_mut() {
+                    for postings in index.values_mut() {
+                        postings.retain(|&rid| rid < len);
+                    }
+                    index.retain(|_, postings| !postings.is_empty());
+                }
+            }
+        }
+    }
+
     fn insert(&mut self, name: &str, tuple: Tuple) -> RqsResult<()> {
         // Enforce the paged engine's record-size cap so the two backends
         // stay observationally identical through SQL (a tuple that
@@ -184,6 +262,10 @@ impl StorageBackend for InMemoryBackend {
         let encoded = encoded_tuple_len(&tuple);
         if encoded > storage::page::Page::max_record_len() {
             return Err(StorageError::RecordTooLarge(encoded).into());
+        }
+        let rows_before = self.table(name)?.rows.len();
+        if let Some(baseline) = &mut self.txn_baseline {
+            baseline.entry(name.to_owned()).or_insert(rows_before);
         }
         let table = self.table_mut(name)?;
         let rid = table.rows.len();
@@ -287,6 +369,18 @@ impl PagedBackend {
         })
     }
 
+    /// File-backed paged database whose durable writes are charged
+    /// against `fault` — the crash-recovery test harness.
+    pub fn open_with_fault(
+        path: &Path,
+        pool_pages: usize,
+        fault: Fault,
+    ) -> RqsResult<PagedBackend> {
+        Ok(PagedBackend {
+            engine: StorageEngine::open_with_fault(path, pool_pages, fault)?,
+        })
+    }
+
     pub fn engine(&self) -> &StorageEngine {
         &self.engine
     }
@@ -350,6 +444,43 @@ impl StorageBackend for PagedBackend {
 
     fn flush(&self) -> RqsResult<()> {
         Ok(self.engine.flush()?)
+    }
+
+    fn begin(&mut self) -> RqsResult<()> {
+        Ok(self.engine.begin()?)
+    }
+
+    fn commit(&mut self) -> RqsResult<()> {
+        Ok(self.engine.commit()?)
+    }
+
+    fn abort(&mut self) {
+        self.engine.abort();
+    }
+
+    fn persist_constraints(
+        &mut self,
+        name: &str,
+        constraints: &[TableConstraint],
+    ) -> RqsResult<()> {
+        let specs: Vec<String> = constraints.iter().map(TableConstraint::to_spec).collect();
+        Ok(self.engine.set_constraints(name, &specs)?)
+    }
+
+    fn stored_constraints(&self, name: &str) -> RqsResult<Vec<TableConstraint>> {
+        self.engine
+            .constraints(name)?
+            .iter()
+            .map(|spec| TableConstraint::parse_spec(spec))
+            .collect()
+    }
+
+    fn checkpoint(&self) -> RqsResult<()> {
+        Ok(self.engine.checkpoint()?)
+    }
+
+    fn crash(self: Box<Self>) {
+        self.engine.simulate_crash();
     }
 
     fn contains(&self, name: &str, cols: &[usize], values: &[Datum]) -> RqsResult<bool> {

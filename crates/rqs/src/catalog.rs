@@ -53,6 +53,51 @@ pub enum TableConstraint {
     },
 }
 
+impl TableConstraint {
+    /// Serializes the constraint to the compact text spec persisted in
+    /// the paged engine's `system_constraints` catalog. Column names
+    /// are SQL identifiers (no spaces or commas), so space- and
+    /// comma-separated fields are unambiguous.
+    pub fn to_spec(&self) -> String {
+        match self {
+            TableConstraint::ValueBound { column, lo, hi } => format!("bound {column} {lo} {hi}"),
+            TableConstraint::Key { columns } => format!("key {}", columns.join(",")),
+            TableConstraint::ForeignKey {
+                columns,
+                parent_table,
+                parent_columns,
+            } => format!(
+                "fk {} {parent_table} {}",
+                columns.join(","),
+                parent_columns.join(",")
+            ),
+        }
+    }
+
+    /// Parses a spec produced by [`TableConstraint::to_spec`].
+    pub fn parse_spec(spec: &str) -> RqsResult<TableConstraint> {
+        let corrupt = || RqsError::Internal(format!("malformed constraint spec: {spec:?}"));
+        let fields: Vec<&str> = spec.split(' ').collect();
+        let split_cols = |s: &str| -> Vec<String> { s.split(',').map(str::to_owned).collect() };
+        match fields.as_slice() {
+            ["bound", column, lo, hi] => Ok(TableConstraint::ValueBound {
+                column: (*column).to_owned(),
+                lo: lo.parse().map_err(|_| corrupt())?,
+                hi: hi.parse().map_err(|_| corrupt())?,
+            }),
+            ["key", columns] => Ok(TableConstraint::Key {
+                columns: split_cols(columns),
+            }),
+            ["fk", columns, parent, parent_columns] => Ok(TableConstraint::ForeignKey {
+                columns: split_cols(columns),
+                parent_table: (*parent).to_owned(),
+                parent_columns: split_cols(parent_columns),
+            }),
+            _ => Err(corrupt()),
+        }
+    }
+}
+
 /// A table schema: name, typed columns, constraints. Rows live in the
 /// storage backend.
 #[derive(Clone, Debug)]
@@ -492,6 +537,42 @@ mod tests {
         )
         .unwrap();
         insert_checked(&cat, &mut backend, "empl", row(1, "fine", 20_000, 99)).unwrap();
+    }
+
+    #[test]
+    fn constraint_specs_round_trip() {
+        let constraints = [
+            TableConstraint::ValueBound {
+                column: "sal".into(),
+                lo: -10,
+                hi: 90_000,
+            },
+            TableConstraint::Key {
+                columns: vec!["eno".into()],
+            },
+            TableConstraint::Key {
+                columns: vec!["a".into(), "b".into()],
+            },
+            TableConstraint::ForeignKey {
+                columns: vec!["dno".into()],
+                parent_table: "dept".into(),
+                parent_columns: vec!["dno".into()],
+            },
+            TableConstraint::ForeignKey {
+                columns: vec!["x".into(), "y".into()],
+                parent_table: "p".into(),
+                parent_columns: vec!["u".into(), "v".into()],
+            },
+        ];
+        for c in &constraints {
+            assert_eq!(&TableConstraint::parse_spec(&c.to_spec()).unwrap(), c);
+        }
+        for bad in ["", "nope", "bound a b c", "key", "fk a b"] {
+            assert!(
+                TableConstraint::parse_spec(bad).is_err(),
+                "{bad:?} must not parse"
+            );
+        }
     }
 
     #[test]

@@ -68,17 +68,25 @@ impl Database {
         })
     }
 
-    /// Opens (creating if missing) a file-backed paged database. Schemas
-    /// are bootstrapped from the file's system-catalog pages. Integrity
-    /// constraints are session metadata and are not yet persisted —
-    /// re-issue them (or use [`Database::catalog_mut`]) after reopening.
+    /// Opens (creating if missing) a file-backed paged database. Before
+    /// anything else the engine replays the write-ahead log (committed
+    /// statements survive a crash; torn tails are discarded), then
+    /// schemas *and integrity constraints* are bootstrapped from the
+    /// file's system-catalog pages — no DDL needs re-issuing.
     ///
     /// Dropping the database flushes resident dirty pages best-effort;
-    /// call [`Database::flush`] explicitly when you need write-back
-    /// errors surfaced (there is no write-ahead log yet, see
-    /// ROADMAP.md).
+    /// every committed statement is already durable in the WAL, so even
+    /// a lost flush only costs recovery time on the next open. Call
+    /// [`Database::checkpoint`] to fold the log into the database file.
     pub fn open_paged(path: &Path, pool_pages: usize) -> RqsResult<Self> {
-        let backend = PagedBackend::open(path, pool_pages)?;
+        Self::from_paged_backend(PagedBackend::open(path, pool_pages)?)
+    }
+
+    /// Builds a database over an already-opened paged backend,
+    /// bootstrapping schemas and constraints from its system catalog
+    /// (the tail of [`Database::open_paged`]; public so the
+    /// crash-recovery harness can wire in fault-injecting backends).
+    pub fn from_paged_backend(backend: PagedBackend) -> RqsResult<Self> {
         let mut catalog = Catalog::new();
         let engine = backend.engine();
         let names: Vec<String> = engine.table_names().map(str::to_owned).collect();
@@ -92,7 +100,9 @@ impl Database {
                     ty: crate::backend::from_col_type(*ty),
                 })
                 .collect();
-            catalog.create_table(Table::new(&name, columns))?;
+            let mut table = Table::new(&name, columns);
+            table.constraints = backend.stored_constraints(&name)?;
+            catalog.create_table(table)?;
         }
         Ok(Database {
             catalog,
@@ -143,34 +153,78 @@ impl Database {
     }
 
     /// Writes dirty pages back (paged file-backed databases; a no-op for
-    /// in-memory backends).
+    /// in-memory backends). The WAL is left alone; see
+    /// [`Database::checkpoint`].
     pub fn flush(&self) -> RqsResult<()> {
         self.backend.flush()
     }
 
-    /// Executes one SQL statement.
+    /// Checkpoint: write dirty pages back *and* truncate the WAL, so
+    /// the database file alone carries the whole state.
+    pub fn checkpoint(&self) -> RqsResult<()> {
+        self.backend.checkpoint()
+    }
+
+    /// Test/ops helper simulating a crash: drops the database without
+    /// flushing buffered pages. Committed statements are recovered from
+    /// the WAL on the next [`Database::open_paged`].
+    pub fn crash(self) {
+        let Database { backend, .. } = self;
+        backend.crash();
+    }
+
+    /// Runs `f` as one backend transaction: begin, mutate, commit —
+    /// aborting (and rolling back pages + engine catalog) if any step
+    /// fails. This is what makes a multi-row INSERT, or a DML statement
+    /// interrupted by an I/O error mid-index-maintenance, atomic.
+    fn run_txn<T>(
+        backend: &mut Box<dyn StorageBackend>,
+        f: impl FnOnce(&mut dyn StorageBackend) -> RqsResult<T>,
+    ) -> RqsResult<T> {
+        backend.begin()?;
+        match f(backend.as_mut()) {
+            Ok(v) => match backend.commit() {
+                Ok(()) => Ok(v),
+                Err(e) => {
+                    backend.abort();
+                    Err(e)
+                }
+            },
+            Err(e) => {
+                backend.abort();
+                Err(e)
+            }
+        }
+    }
+
+    /// Executes one SQL statement. Mutating statements run as one WAL
+    /// transaction on paged backends: either every effect (rows, index
+    /// postings, catalog mutations) commits durably, or none do.
     pub fn execute(&mut self, sql_text: &str) -> RqsResult<QueryResult> {
         let stmt = sql::parse_statement(sql_text)?;
-        match stmt {
+        let io_before = self.backend.stats();
+        let mut result = match stmt {
             Statement::CreateTable {
                 name,
                 columns,
                 constraints,
             } => {
+                if self.catalog.has_table(&name) {
+                    return Err(RqsError::DuplicateTable(name));
+                }
                 let cols: Vec<Column> = columns
                     .into_iter()
                     .map(|(name, ty)| Column { name, ty })
                     .collect();
                 let mut table = Table::new(&name, cols);
                 table.constraints = constraints;
+                Self::run_txn(&mut self.backend, |b| {
+                    b.create_table(&name, &table.columns)?;
+                    b.persist_constraints(&name, &table.constraints)
+                })?;
+                // Only after the backend committed: the schema entry can
+                // no longer end up pointing at rolled-back storage.
                 self.catalog.create_table(table)?;
-                if let Err(e) = self
-                    .backend
-                    .create_table(&name, &self.catalog.table(&name)?.columns)
-                {
-                    self.catalog.drop_table(&name)?;
-                    return Err(e);
-                }
                 Ok(QueryResult::default())
             }
             Statement::CreateIndex { table, column } => {
@@ -179,15 +233,22 @@ impl Database {
                     .table(&table)?
                     .column_index(&column)
                     .ok_or_else(|| RqsError::UnknownColumn(format!("{table}.{column}")))?;
+                // Not wrapped in a transaction: the paged backend bulk-
+                // builds the tree unlogged and transacts only the
+                // catalog registration (see StorageEngine::create_index).
                 self.backend.create_index(&table, col)?;
                 Ok(QueryResult::default())
             }
             Statement::Insert { table, rows } => {
                 let affected = rows.len();
-                for row in rows {
-                    catalog::check_insert(&self.catalog, self.backend.as_ref(), &table, &row)?;
-                    self.backend.insert(&table, row)?;
-                }
+                let catalog = &self.catalog;
+                Self::run_txn(&mut self.backend, |b| {
+                    for row in rows {
+                        catalog::check_insert(catalog, b, &table, &row)?;
+                        b.insert(&table, row)?;
+                    }
+                    Ok(())
+                })?;
                 Ok(QueryResult {
                     affected,
                     ..Default::default()
@@ -195,18 +256,17 @@ impl Database {
             }
             Statement::Delete { table } => {
                 self.catalog.table(&table)?;
-                let affected = self.backend.truncate(&table)?;
+                let affected = Self::run_txn(&mut self.backend, |b| b.truncate(&table))?;
                 Ok(QueryResult {
                     affected,
                     ..Default::default()
                 })
             }
             Statement::DropTable { name } => {
-                // Backend first: if its catalog rewrite fails the schema
-                // entry survives and the name stays usable, mirroring the
-                // CreateTable rollback above.
                 self.catalog.table(&name)?;
-                self.backend.drop_table(&name)?;
+                Self::run_txn(&mut self.backend, |b| b.drop_table(&name))?;
+                // After the backend committed the drop, unregister the
+                // schema; a failed/aborted drop leaves both sides intact.
                 self.catalog.drop_table(&name)?;
                 Ok(QueryResult::default())
             }
@@ -222,7 +282,16 @@ impl Database {
                     ..Default::default()
                 })
             }
+        }?;
+        let io_after = self.backend.stats();
+        result.metrics.wal_appends = io_after.wal_appends - io_before.wal_appends;
+        result.metrics.wal_bytes = io_after.wal_bytes - io_before.wal_bytes;
+        if result.metrics.page_reads == 0 && result.metrics.buffer_hits == 0 {
+            // DML statements: page counters were not filled by a SELECT.
+            result.metrics.page_reads = io_after.page_reads - io_before.page_reads;
+            result.metrics.buffer_hits = io_after.buffer_hits - io_before.buffer_hits;
         }
+        Ok(result)
     }
 
     /// Executes a SELECT without requiring `&mut self`.
@@ -408,11 +477,61 @@ mod tests {
     }
 
     #[test]
+    fn dml_reports_wal_cost_queries_do_not() {
+        let mut db = Database::paged(8).unwrap();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        let r = db.execute("INSERT INTO t VALUES (1), (2), (3)").unwrap();
+        assert!(
+            r.metrics.wal_appends >= 3,
+            "multi-row insert must log begin+image(s)+commit: {:?}",
+            r.metrics
+        );
+        assert!(r.metrics.wal_bytes > 0);
+        let q = db.execute("SELECT v.a FROM t v").unwrap();
+        assert_eq!((q.metrics.wal_appends, q.metrics.wal_bytes), (0, 0));
+        // In-memory databases log nothing.
+        let mut mem = Database::new();
+        mem.execute("CREATE TABLE t (a INT)").unwrap();
+        let r = mem.execute("INSERT INTO t VALUES (1)").unwrap();
+        assert_eq!((r.metrics.wal_appends, r.metrics.wal_bytes), (0, 0));
+    }
+
+    #[test]
+    fn failed_multi_row_insert_is_atomic() {
+        // The third row violates the CHECK (and then a PK probe): on
+        // both backends the whole statement rolls back — the first two
+        // rows must not survive, and indexes must agree.
+        for mut db in [Database::new(), Database::paged(8).unwrap()] {
+            db.execute("CREATE TABLE t (a INT, PRIMARY KEY (a), CHECK (a BETWEEN 0 AND 10))")
+                .unwrap();
+            db.execute("CREATE INDEX ON t (a)").unwrap();
+            assert!(db.execute("INSERT INTO t VALUES (1), (2), (99)").is_err());
+            assert!(db.execute("INSERT INTO t VALUES (3), (4), (3)").is_err());
+            let rows = db.execute("SELECT v.a FROM t v").unwrap().rows;
+            assert!(rows.is_empty(), "partial statement must not survive");
+            for k in [1i64, 2, 3, 4] {
+                assert_eq!(
+                    db.backend()
+                        .index_lookup("t", 0, &Datum::Int(k))
+                        .unwrap()
+                        .unwrap(),
+                    Vec::<crate::value::Tuple>::new(),
+                    "rolled-back posting for {k} must be gone"
+                );
+            }
+            // The statement after a rollback works normally.
+            db.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+            assert_eq!(db.execute("SELECT v.a FROM t v").unwrap().rows.len(), 2);
+        }
+    }
+
+    #[test]
     fn open_paged_reboots_catalog_from_file() {
         let dir = std::env::temp_dir().join(format!("rqs-db-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("reopen.rqs");
         let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(storage::engine::wal_path(&path));
         {
             let mut db = Database::open_paged(&path, 8).unwrap();
             db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
@@ -434,6 +553,7 @@ mod tests {
         let r = db.query("SELECT v.eno FROM empl v").unwrap();
         assert_eq!(r.rows.len(), 300);
         std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(storage::engine::wal_path(&path));
     }
 
     #[test]

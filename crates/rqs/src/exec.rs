@@ -34,6 +34,11 @@ pub struct QueryMetrics {
     pub page_reads: u64,
     /// Page fetches served by the buffer pool (paged backend only).
     pub buffer_hits: u64,
+    /// WAL frames appended (paged backend DML; 0 for queries and
+    /// in-memory databases).
+    pub wal_appends: u64,
+    /// WAL bytes appended, frame headers included (paged backend DML).
+    pub wal_bytes: u64,
 }
 
 impl QueryMetrics {
@@ -48,6 +53,8 @@ impl QueryMetrics {
         self.subqueries += other.subqueries;
         self.page_reads += other.page_reads;
         self.buffer_hits += other.buffer_hits;
+        self.wal_appends += other.wal_appends;
+        self.wal_bytes += other.wal_bytes;
     }
 }
 

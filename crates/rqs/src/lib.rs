@@ -31,18 +31,27 @@
 //!   `storage` crate's engine: tuples serialized onto fixed-size (4 KiB)
 //!   slotted heap pages, fetched through a pinned/unpinned buffer pool
 //!   with clock eviction over an in-memory or file-backed pager;
-//!   secondary indexes are B+-trees keyed on [`Datum`]; and the schema
-//!   itself persists as rows of three bootstrap heaps (`system_tables`,
-//!   `system_columns`, `system_indexes`) at fixed page ids, from which
-//!   [`Database::open_paged`] rebuilds the catalog on reopen.
+//!   secondary indexes are B+-trees keyed on [`Datum`]; the schema and
+//!   integrity constraints persist as rows of four bootstrap heaps
+//!   (`system_tables`, `system_columns`, `system_indexes`,
+//!   `system_constraints`) at fixed page ids, from which
+//!   [`Database::open_paged`] rebuilds the catalog on reopen; and every
+//!   mutating SQL statement commits through a write-ahead log, so
+//!   committed statements survive crashes ([`Database::open_paged`]
+//!   replays the log before bootstrapping) and failed statements roll
+//!   back completely — heap rows, index postings and catalog mutations
+//!   alike.
 //!
 //! On the paged backend every scan and index lookup goes through the
 //! buffer pool, so [`exec::QueryMetrics::page_reads`] and
 //! [`exec::QueryMetrics::buffer_hits`] report real page traffic — the
-//! paper's actual cost model. The two backends are observationally
-//! identical through SQL (enforced by `tests/backend_differential.rs`);
-//! they differ only in physical cost. Write-ahead logging and
-//! concurrency control are future work tracked in ROADMAP.md.
+//! paper's actual cost model — and DML statements additionally report
+//! [`exec::QueryMetrics::wal_appends`]/[`exec::QueryMetrics::wal_bytes`],
+//! the price of durability. The two backends are observationally
+//! identical through SQL (enforced by `tests/backend_differential.rs`
+//! and the crash harness in `tests/crash_recovery.rs`); they differ
+//! only in physical cost. Concurrency control is future work tracked
+//! in ROADMAP.md.
 //!
 //! Crucially, this crate depends on nothing else in the workspace above
 //! the storage layer: the only connection between front-end and DBMS is

@@ -13,6 +13,13 @@
 //! lookups descend to the leftmost candidate leaf and walk the chain.
 //! Splits rebuild nodes from scratch — simple, and with 4 KiB pages and
 //! short keys, far from the bottleneck.
+//!
+//! Like the heap, tree mutations run through [`BufferPool`] guards and
+//! inherit WAL transaction semantics from the pool: an aborted insert
+//! restores every touched node (split allocations revert to free
+//! pages), and the caller rolls back its copy of the root id. Bulk
+//! builds (`StorageEngine::create_index`) run outside transactions and
+//! are forced to disk before the catalog registers the root.
 
 use crate::buffer::BufferPool;
 use crate::codec::{decode_datum, encode_key};

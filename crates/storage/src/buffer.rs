@@ -1,5 +1,6 @@
 //! The buffer pool: a fixed set of in-memory frames between the engine
-//! and the pager, with clock (second-chance) eviction.
+//! and the pager, with clock (second-chance) eviction and write-ahead
+//! logging.
 //!
 //! Access is guard-based: [`BufferPool::fetch`] returns a [`PinnedPage`]
 //! that pins its frame for as long as it lives (pinned frames are never
@@ -7,19 +8,40 @@
 //! pages while faulting others in. The pool uses interior mutability
 //! throughout: the executor's read paths run through `&self`.
 //!
+//! Transactions (pools built with [`BufferPool::with_wal`]): between
+//! [`BufferPool::begin_txn`] and `commit_txn`/`abort_txn`, the first
+//! write to each page saves an in-memory before-image. The protocol is
+//! **no-steal / force-the-log**:
+//!
+//! * frames touched by the active transaction are never evicted (their
+//!   redo is not yet in the log, and the database file must never hold
+//!   uncommitted data) — a transaction whose write set exceeds the pool
+//!   fails cleanly and aborts;
+//! * a dirty frame may only be written back once its page LSN is
+//!   covered by the durable log (`page.lsn() <= wal.durable_lsn()`);
+//!   commit forces the log, so committed dirty frames are always
+//!   evictable;
+//! * `commit_txn` appends `Begin`, one stamped page image per touched
+//!   frame, and `Commit`, then syncs the log — pages flow to the
+//!   database file lazily afterwards;
+//! * `abort_txn` restores every before-image (allocations made by the
+//!   transaction revert to free pages).
+//!
 //! Counters: every miss that goes to the pager is a `page_read`, every
 //! fetch served from a frame is a `buffer_hit`, every write-back is a
-//! `page_write`. These flow into `rqs::QueryMetrics` so benchmarks can
-//! report saved page I/O — the paper's actual cost model.
+//! `page_write`, every log frame a `wal_append`. These flow into
+//! `rqs::QueryMetrics` so benchmarks can report saved page I/O — the
+//! paper's actual cost model — and what durability costs next to it.
 
 use crate::page::{Page, PageId, PageKind};
 use crate::pager::Pager;
+use crate::wal::{Wal, WalRecord};
 use crate::{StorageError, StorageResult};
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::rc::Rc;
 
-/// Cumulative I/O counters.
+/// Cumulative I/O and logging counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PoolStats {
     /// Pages faulted in from the pager (misses).
@@ -28,6 +50,10 @@ pub struct PoolStats {
     pub buffer_hits: u64,
     /// Dirty pages written back to the pager.
     pub page_writes: u64,
+    /// WAL frames appended.
+    pub wal_appends: u64,
+    /// WAL bytes appended (frame headers included).
+    pub wal_bytes: u64,
 }
 
 struct Frame {
@@ -36,10 +62,51 @@ struct Frame {
     dirty: bool,
     /// Clock reference bit (second chance).
     referenced: bool,
+    /// Touched (written) by the active transaction; unevictable.
+    in_txn: bool,
+    /// Pre-transaction image and dirty flag, for rollback.
+    before: Option<(Box<Page>, bool)>,
+}
+
+impl Frame {
+    /// Captures the pre-transaction state on the first write inside a
+    /// transaction.
+    fn capture_before(&mut self) {
+        if !self.in_txn {
+            let mut copy = Page::zeroed();
+            copy.copy_from(&self.page);
+            self.before = Some((copy, self.dirty));
+            self.in_txn = true;
+        }
+    }
+
+    /// Restores the pre-transaction state (abort).
+    fn rollback(&mut self) {
+        if let Some((image, was_dirty)) = self.before.take() {
+            self.page = image;
+            self.dirty = was_dirty;
+        }
+        self.in_txn = false;
+    }
+}
+
+/// Active-transaction bookkeeping.
+struct TxnCtx {
+    id: u64,
+    /// Whether any frame of this transaction reached the log (a failed
+    /// commit rewinds the log back to `mark` only if a Begin went out).
+    logged: bool,
+    /// End-of-log boundary at begin; a failed commit's frames —
+    /// including a fully written Commit whose sync failed — are
+    /// physically discarded back to here so recovery can never replay
+    /// a statement the caller saw fail.
+    mark: crate::wal::WalMark,
 }
 
 struct Inner {
     pager: Pager,
+    wal: Option<Wal>,
+    txn: Option<TxnCtx>,
     frames: Vec<Rc<RefCell<Frame>>>,
     map: HashMap<PageId, usize>,
     hand: usize,
@@ -49,6 +116,7 @@ struct Inner {
 /// A page pinned in the pool. Dropping the guard unpins it.
 pub struct PinnedPage {
     frame: Rc<RefCell<Frame>>,
+    txn_active: Rc<Cell<bool>>,
 }
 
 impl PinnedPage {
@@ -57,9 +125,13 @@ impl PinnedPage {
         f(&self.frame.borrow().page)
     }
 
-    /// Write access; marks the frame dirty.
+    /// Write access; marks the frame dirty and, inside a transaction,
+    /// saves the before-image on first touch.
     pub fn with_mut<R>(&self, f: impl FnOnce(&mut Page) -> R) -> R {
         let mut frame = self.frame.borrow_mut();
+        if self.txn_active.get() {
+            frame.capture_before();
+        }
         frame.dirty = true;
         f(&mut frame.page)
     }
@@ -72,21 +144,37 @@ impl PinnedPage {
 /// The pool. Single-threaded; `Rc` strong counts implement pinning.
 pub struct BufferPool {
     inner: RefCell<Inner>,
+    /// Mirrors `Inner::txn.is_some()`; shared with guards so `with_mut`
+    /// can capture before-images without reaching back into the pool.
+    txn_active: Rc<Cell<bool>>,
     capacity: usize,
 }
 
 impl BufferPool {
-    /// A pool of `capacity` frames over the given pager. Capacities below
-    /// 2 are raised to 2 (split operations pin two pages at once).
+    /// A pool of `capacity` frames over the given pager, without a log
+    /// (no transactions; used by component-level tests). Capacities
+    /// below 2 are raised to 2 (split operations pin two pages at once).
     pub fn new(pager: Pager, capacity: usize) -> BufferPool {
+        Self::build(pager, None, capacity)
+    }
+
+    /// A pool whose mutations can be grouped into WAL transactions.
+    pub fn with_wal(pager: Pager, capacity: usize, wal: Wal) -> BufferPool {
+        Self::build(pager, Some(wal), capacity)
+    }
+
+    fn build(pager: Pager, wal: Option<Wal>, capacity: usize) -> BufferPool {
         BufferPool {
             inner: RefCell::new(Inner {
                 pager,
+                wal,
+                txn: None,
                 frames: Vec::new(),
                 map: HashMap::new(),
                 hand: 0,
                 stats: PoolStats::default(),
             }),
+            txn_active: Rc::new(Cell::new(false)),
             capacity: capacity.max(2),
         }
     }
@@ -96,12 +184,132 @@ impl BufferPool {
     }
 
     pub fn stats(&self) -> PoolStats {
-        self.inner.borrow().stats
+        let inner = self.inner.borrow();
+        let mut stats = inner.stats;
+        if let Some(wal) = &inner.wal {
+            stats.wal_appends = wal.stats().appends;
+            stats.wal_bytes = wal.stats().bytes;
+        }
+        stats
     }
 
     /// Number of pages the pager has allocated.
     pub fn page_count(&self) -> u32 {
         self.inner.borrow().pager.page_count()
+    }
+
+    /// Bytes currently sitting in the WAL (0 without one).
+    pub fn wal_len_bytes(&self) -> u64 {
+        self.inner.borrow().wal.as_ref().map_or(0, Wal::len_bytes)
+    }
+
+    /// Whether a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn_active.get()
+    }
+
+    /// Opens a transaction; fails if one is already active or the pool
+    /// has no WAL.
+    pub fn begin_txn(&self) -> StorageResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        if inner.txn.is_some() {
+            return Err(StorageError::Internal(
+                "transaction already active (the engine is single-statement)".into(),
+            ));
+        }
+        let Some(wal) = inner.wal.as_mut() else {
+            return Err(StorageError::Internal(
+                "buffer pool has no WAL; transactions unavailable".into(),
+            ));
+        };
+        let id = wal.begin_txn_id();
+        let mark = wal.mark();
+        inner.txn = Some(TxnCtx {
+            id,
+            logged: false,
+            mark,
+        });
+        self.txn_active.set(true);
+        Ok(())
+    }
+
+    /// Commits the active transaction: logs `Begin`, a stamped image of
+    /// every touched page, `Commit`, then forces the log. On any error
+    /// the transaction is rolled back (as [`BufferPool::abort_txn`])
+    /// before the error is returned.
+    pub fn commit_txn(&self) -> StorageResult<()> {
+        let result = self.commit_txn_inner();
+        if result.is_err() {
+            self.abort_txn();
+        }
+        result
+    }
+
+    fn commit_txn_inner(&self) -> StorageResult<()> {
+        let mut inner = self.inner.borrow_mut();
+        let inner = &mut *inner;
+        let Some(txn) = inner.txn.as_mut() else {
+            return Err(StorageError::Internal("commit without begin".into()));
+        };
+        let touched: Vec<Rc<RefCell<Frame>>> = inner
+            .frames
+            .iter()
+            .filter(|f| f.borrow().in_txn)
+            .map(Rc::clone)
+            .collect();
+        if touched.is_empty() {
+            // Read-only statement: nothing to log.
+            inner.txn = None;
+            self.txn_active.set(false);
+            return Ok(());
+        }
+        let wal = inner.wal.as_mut().expect("txn implies wal");
+        wal.append(&WalRecord::Begin { txn: txn.id })?;
+        txn.logged = true;
+        for frame in &touched {
+            let mut frame = frame.borrow_mut();
+            // Stamp the image with the LSN its Update frame will get,
+            // both in the resident page and in the logged copy.
+            frame.page.set_lsn(wal.next_lsn());
+            wal.append(&WalRecord::Update {
+                txn: txn.id,
+                page: frame.id,
+                image: Box::new(*frame.page.as_bytes()),
+            })?;
+        }
+        wal.append(&WalRecord::Commit { txn: txn.id })?;
+        wal.sync()?;
+        for frame in &touched {
+            let mut frame = frame.borrow_mut();
+            frame.in_txn = false;
+            frame.before = None;
+        }
+        inner.txn = None;
+        self.txn_active.set(false);
+        Ok(())
+    }
+
+    /// Rolls the active transaction back: every touched frame reverts
+    /// to its before-image (pages allocated by the transaction revert
+    /// to free pages and are abandoned). A no-op without an active
+    /// transaction. Never fails; if the transaction already reached the
+    /// log, its frames are physically rewound out of it
+    /// ([`Wal::discard_after`]) so a half-logged — or fully logged but
+    /// unsynced — commit can never be replayed by recovery.
+    pub fn abort_txn(&self) {
+        let mut inner = self.inner.borrow_mut();
+        let Some(txn) = inner.txn.take() else {
+            return;
+        };
+        self.txn_active.set(false);
+        for frame in &inner.frames {
+            frame.borrow_mut().rollback();
+        }
+        if txn.logged {
+            if let Some(wal) = inner.wal.as_mut() {
+                wal.discard_after(txn.mark);
+            }
+        }
     }
 
     /// Allocates a fresh page of the given kind and pins it.
@@ -110,15 +318,30 @@ impl BufferPool {
         let id = inner.pager.allocate()?;
         let mut page = Page::zeroed();
         page.init(kind);
-        let frame = Rc::new(RefCell::new(Frame {
+        let mut frame = Frame {
             id,
             page,
             dirty: true,
             referenced: true,
-        }));
+            in_txn: false,
+            before: None,
+        };
+        if self.txn_active.get() {
+            // A brand-new page's before-image is a free page: aborting
+            // abandons the allocation.
+            frame.before = Some((Page::zeroed(), false));
+            frame.in_txn = true;
+        }
+        let frame = Rc::new(RefCell::new(frame));
         let slot = Self::place(&mut inner, self.capacity, Rc::clone(&frame))?;
         inner.map.insert(id, slot);
-        Ok((id, PinnedPage { frame }))
+        Ok((
+            id,
+            PinnedPage {
+                frame,
+                txn_active: Rc::clone(&self.txn_active),
+            },
+        ))
     }
 
     /// Fetches a page, from a frame if resident, else from the pager.
@@ -128,7 +351,10 @@ impl BufferPool {
             inner.stats.buffer_hits += 1;
             let frame = Rc::clone(&inner.frames[slot]);
             frame.borrow_mut().referenced = true;
-            return Ok(PinnedPage { frame });
+            return Ok(PinnedPage {
+                frame,
+                txn_active: Rc::clone(&self.txn_active),
+            });
         }
         inner.stats.page_reads += 1;
         let mut page = Page::zeroed();
@@ -139,14 +365,21 @@ impl BufferPool {
             page,
             dirty: false,
             referenced: true,
+            in_txn: false,
+            before: None,
         }));
         let slot = Self::place(&mut inner, self.capacity, Rc::clone(&frame))?;
         inner.map.insert(id, slot);
-        Ok(PinnedPage { frame })
+        Ok(PinnedPage {
+            frame,
+            txn_active: Rc::clone(&self.txn_active),
+        })
     }
 
     /// Finds a slot for a new frame, evicting with the clock policy when
-    /// the pool is full. Pinned frames (strong count > 1) are skipped.
+    /// the pool is full. Pinned frames (strong count > 1), frames
+    /// touched by the active transaction (no-steal) and dirty frames
+    /// whose LSN is past the durable log (write-ahead rule) are skipped.
     fn place(
         inner: &mut Inner,
         capacity: usize,
@@ -167,6 +400,19 @@ impl BufferPool {
                 continue; // pinned by a live guard (pool + candidate + guard)
             }
             let mut victim = candidate.borrow_mut();
+            if victim.in_txn {
+                continue; // no-steal: uncommitted changes stay resident
+            }
+            if victim.dirty {
+                // Write-ahead: never let a page overtake the log it
+                // depends on. Commit forces the log, so this only
+                // triggers if an unlogged mutation path appears.
+                if let Some(wal) = &inner.wal {
+                    if victim.page.lsn() > wal.durable_lsn() {
+                        continue;
+                    }
+                }
+            }
             if victim.referenced {
                 victim.referenced = false;
                 continue;
@@ -183,17 +429,20 @@ impl BufferPool {
             return Ok(slot);
         }
         Err(StorageError::Internal(format!(
-            "buffer pool exhausted: all {n} frames pinned"
+            "buffer pool exhausted: all {n} frames pinned or in the active transaction"
         )))
     }
 
-    /// Writes every dirty frame back and syncs file-backed storage.
+    /// Writes every committed dirty frame back and syncs file-backed
+    /// storage. Frames touched by an active transaction are skipped
+    /// (no-steal); the log is left alone — see
+    /// [`BufferPool::checkpoint`] for write-back plus log truncation.
     pub fn flush(&self) -> StorageResult<()> {
         let mut inner = self.inner.borrow_mut();
         let frames: Vec<Rc<RefCell<Frame>>> = inner.frames.iter().map(Rc::clone).collect();
         for frame in frames {
             let mut frame = frame.borrow_mut();
-            if frame.dirty {
+            if frame.dirty && !frame.in_txn {
                 inner.stats.page_writes += 1;
                 let Frame { id, ref page, .. } = *frame;
                 inner.pager.write(id, page)?;
@@ -201,6 +450,28 @@ impl BufferPool {
             }
         }
         inner.pager.sync()
+    }
+
+    /// Checkpoint: writes every committed dirty page back, syncs the
+    /// pager, then truncates the WAL — all durable state now lives in
+    /// the database file. If the write-back fails the log is left
+    /// intact, so a crash mid-checkpoint still recovers. Refused while
+    /// a transaction is open: truncating the log would invalidate the
+    /// transaction's rewind mark, and a subsequently failed commit
+    /// would rewind to a pre-checkpoint offset — resurrecting the
+    /// failed statement and stranding later commits.
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        if self.in_txn() {
+            return Err(StorageError::Internal(
+                "checkpoint during an active transaction (commit or abort it first)".into(),
+            ));
+        }
+        self.flush()?;
+        let mut inner = self.inner.borrow_mut();
+        if let Some(wal) = inner.wal.as_mut() {
+            wal.reset()?;
+        }
+        Ok(())
     }
 }
 
@@ -210,6 +481,10 @@ mod tests {
 
     fn pool(capacity: usize) -> BufferPool {
         BufferPool::new(Pager::in_memory(), capacity)
+    }
+
+    fn txn_pool(capacity: usize) -> BufferPool {
+        BufferPool::with_wal(Pager::in_memory(), capacity, Wal::in_memory())
     }
 
     #[test]
@@ -291,5 +566,109 @@ mod tests {
         assert_eq!(guard.with(|p| p.record(0).to_vec()), b"durable");
         drop(guard);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn abort_restores_before_images_and_allocations() {
+        let pool = txn_pool(8);
+        let (id, g) = pool.allocate(PageKind::Heap).unwrap();
+        g.with_mut(|p| p.push_record(b"committed").unwrap());
+        drop(g);
+        pool.begin_txn().unwrap();
+        pool.commit_txn().unwrap(); // empty txn commits as a no-op
+        assert_eq!(pool.stats().wal_appends, 0);
+
+        pool.begin_txn().unwrap();
+        let g = pool.fetch(id).unwrap();
+        g.with_mut(|p| p.push_record(b"uncommitted").unwrap());
+        drop(g);
+        let (new_id, g2) = pool.allocate(PageKind::Heap).unwrap();
+        g2.with_mut(|p| p.push_record(b"new page").unwrap());
+        drop(g2);
+        pool.abort_txn();
+        let g = pool.fetch(id).unwrap();
+        assert_eq!(g.with(|p| p.slot_count()), 1, "txn record rolled back");
+        drop(g);
+        let g = pool.fetch(new_id).unwrap();
+        assert_eq!(
+            g.with(|p| (p.kind().unwrap(), p.slot_count())),
+            (PageKind::Free, 0)
+        );
+        drop(g);
+        assert_eq!(pool.stats().wal_appends, 0, "nothing was logged");
+    }
+
+    #[test]
+    fn commit_logs_and_stamps_lsns() {
+        let pool = txn_pool(8);
+        pool.begin_txn().unwrap();
+        let (a, ga) = pool.allocate(PageKind::Heap).unwrap();
+        ga.with_mut(|p| p.push_record(b"a").unwrap());
+        let (b, gb) = pool.allocate(PageKind::Heap).unwrap();
+        gb.with_mut(|p| p.push_record(b"b").unwrap());
+        drop((ga, gb));
+        pool.commit_txn().unwrap();
+        // Begin + 2 updates + Commit.
+        let stats = pool.stats();
+        assert_eq!(stats.wal_appends, 4);
+        assert!(stats.wal_bytes > 2 * crate::page::PAGE_SIZE as u64);
+        for id in [a, b] {
+            let g = pool.fetch(id).unwrap();
+            assert!(g.with(|p| p.lsn()) > 0, "page {id} must carry its LSN");
+            drop(g);
+        }
+        assert!(!pool.in_txn());
+    }
+
+    #[test]
+    fn no_steal_keeps_txn_pages_resident_and_errors_when_pool_too_small() {
+        let pool = txn_pool(3);
+        // Fill with committed pages first.
+        let mut ids = Vec::new();
+        for i in 0..3u8 {
+            let (id, g) = pool.allocate(PageKind::Heap).unwrap();
+            g.with_mut(|p| p.push_record(&[i]).unwrap());
+            ids.push(id);
+        }
+        pool.begin_txn().unwrap();
+        // Touch every frame inside the transaction: none may be evicted,
+        // so the next allocation must fail cleanly.
+        for &id in &ids {
+            let g = pool.fetch(id).unwrap();
+            g.with_mut(|p| p.push_record(b"txn").unwrap());
+            drop(g);
+        }
+        assert!(matches!(
+            pool.allocate(PageKind::Heap),
+            Err(StorageError::Internal(_))
+        ));
+        pool.abort_txn();
+        // After abort the frames are evictable again.
+        assert!(pool.allocate(PageKind::Heap).is_ok());
+    }
+
+    #[test]
+    fn double_begin_rejected_and_commit_without_begin_rejected() {
+        let pool = txn_pool(4);
+        pool.begin_txn().unwrap();
+        assert!(pool.begin_txn().is_err());
+        pool.abort_txn();
+        assert!(pool.commit_txn().is_err());
+        assert!(pool.begin_txn().is_ok());
+        pool.abort_txn();
+        pool.abort_txn(); // idempotent
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal() {
+        let pool = txn_pool(4);
+        pool.begin_txn().unwrap();
+        let (_, g) = pool.allocate(PageKind::Heap).unwrap();
+        g.with_mut(|p| p.push_record(b"x").unwrap());
+        drop(g);
+        pool.commit_txn().unwrap();
+        assert!(pool.wal_len_bytes() > 0);
+        pool.checkpoint().unwrap();
+        assert_eq!(pool.wal_len_bytes(), 0);
     }
 }

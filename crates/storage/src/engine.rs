@@ -1,36 +1,56 @@
-//! The storage engine facade and its persistent system catalog.
+//! The storage engine facade: transactions, system catalog, recovery.
 //!
-//! Table schemas are not special-cased: they are rows in three bootstrap
+//! Table schemas are not special-cased: they are rows in four bootstrap
 //! heap files living at fixed page ids —
 //!
 //! * `system_tables` (page 0): `(table id, name, heap first page)`;
 //! * `system_columns` (page 1): `(table id, column index, name, type)`;
-//! * `system_indexes` (page 2): `(table id, column index, root page)`.
+//! * `system_indexes` (page 2): `(table id, column index, root page)`;
+//! * `system_constraints` (page 3): `(table id, sequence, spec text)` —
+//!   opaque constraint specs owned by the relational layer, persisted
+//!   so integrity constraints survive reopen.
 //!
 //! Opening an existing database therefore needs no side files: the
-//! engine reads the three well-known heaps and reconstructs every table,
-//! column and B+-tree root from them, exactly the `system_tables`
-//! bootstrap the exemplar engines use. Mutations that move catalog state
-//! (dropping tables, B+-tree root splits) rewrite the affected system
-//! heap; they are tiny.
+//! engine first lets the WAL replay committed transactions into the
+//! pager ([`crate::wal::Wal::recover`]), then reads the four well-known
+//! heaps and reconstructs every table, column, B+-tree root and
+//! constraint spec from them.
+//!
+//! Every mutating operation runs inside a WAL transaction. Callers may
+//! group several operations with [`StorageEngine::begin`] /
+//! [`StorageEngine::commit`] / [`StorageEngine::abort`] (the relational
+//! layer wraps each SQL statement this way); an operation invoked with
+//! no open transaction wraps itself (autocommit). Abort rolls back both
+//! the page level (buffer-pool before-images) and the engine's
+//! in-memory catalog (a snapshot taken at begin), so a failed statement
+//! — including a pager I/O error between a heap insert and its index
+//! maintenance — leaves no stranded row. Commit forces the log; when
+//! the log grows past [`WAL_CHECKPOINT_BYTES`] the engine checkpoints
+//! (write dirty pages back, truncate the log) automatically.
 
 use crate::btree::BPlusTree;
 use crate::buffer::{BufferPool, PoolStats};
 use crate::codec::{decode_tuple, encode_tuple};
 use crate::heap::{HeapFile, Rid};
 use crate::page::PageId;
-use crate::pager::Pager;
+use crate::pager::{Fault, Pager};
 use crate::value::{Datum, Tuple};
+use crate::wal::Wal;
 use crate::{StorageError, StorageResult};
 use std::collections::BTreeMap;
-use std::path::Path;
+use std::ffi::OsString;
+use std::path::{Path, PathBuf};
 
 const SYSTEM_TABLES_PAGE: PageId = 0;
 const SYSTEM_COLUMNS_PAGE: PageId = 1;
 const SYSTEM_INDEXES_PAGE: PageId = 2;
+const SYSTEM_CONSTRAINTS_PAGE: PageId = 3;
 
 /// First table id handed to user tables (below are reserved).
 const FIRST_USER_TABLE_ID: i64 = 100;
+
+/// Committing past this much log triggers an automatic checkpoint.
+pub const WAL_CHECKPOINT_BYTES: u64 = 4 << 20;
 
 /// Column type tag persisted in `system_columns`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -64,6 +84,9 @@ pub struct TableInfo {
     pub id: i64,
     pub name: String,
     pub columns: Vec<(String, ColType)>,
+    /// Opaque constraint specs (the relational layer's serialization),
+    /// persisted in `system_constraints`.
+    pub constraints: Vec<String>,
     heap: HeapFile,
     row_count: usize,
 }
@@ -75,71 +98,151 @@ struct IndexInfo {
     tree: BPlusTree,
 }
 
-/// The paged storage engine: buffer pool + heap files + B+-trees +
-/// persistent catalog.
+/// Copy of the engine's in-memory catalog, taken at transaction begin
+/// and restored on abort.
+struct EngineSnapshot {
+    tables: BTreeMap<String, TableInfo>,
+    indexes: Vec<IndexInfo>,
+    next_table_id: i64,
+    sys_tables: HeapFile,
+    sys_columns: HeapFile,
+    sys_indexes: HeapFile,
+    sys_constraints: HeapFile,
+}
+
+/// The paged storage engine: buffer pool + WAL + heap files + B+-trees
+/// + persistent catalog.
 pub struct StorageEngine {
     pool: BufferPool,
     sys_tables: HeapFile,
     sys_columns: HeapFile,
     sys_indexes: HeapFile,
+    sys_constraints: HeapFile,
     tables: BTreeMap<String, TableInfo>,
     indexes: Vec<IndexInfo>,
     next_table_id: i64,
+    snapshot: Option<EngineSnapshot>,
+    crashed: bool,
 }
 
 impl Drop for StorageEngine {
     /// Best-effort write-back so dropping a file-backed engine without
     /// an explicit [`StorageEngine::flush`] does not silently lose every
     /// page still resident in the buffer pool. Errors are swallowed —
-    /// call `flush()` yourself when you need to observe them.
+    /// call `flush()` yourself when you need to observe them. (Even a
+    /// fully lost flush is no longer fatal: committed statements replay
+    /// from the WAL on reopen.)
     fn drop(&mut self) {
-        let _ = self.pool.flush();
+        if !self.crashed {
+            let _ = self.pool.flush();
+        }
     }
+}
+
+/// The WAL sits beside the database file as `<file>.wal`.
+pub fn wal_path(db_path: &Path) -> PathBuf {
+    let mut os = OsString::from(db_path.as_os_str());
+    os.push(".wal");
+    PathBuf::from(os)
 }
 
 impl StorageEngine {
     /// A fresh anonymous in-memory database with a `pool_pages`-frame
     /// buffer pool (the pages themselves still flow through the full
-    /// pager/buffer machinery, so I/O counters are meaningful).
+    /// pager/buffer/WAL machinery, so I/O and logging counters are
+    /// meaningful).
     pub fn in_memory(pool_pages: usize) -> StorageResult<StorageEngine> {
-        Self::with_pager(Pager::in_memory(), pool_pages)
+        Self::with_pager_and_wal(Pager::in_memory(), Wal::in_memory(), pool_pages)
     }
 
-    /// Opens (creating if missing) a file-backed database.
+    /// Opens (creating if missing) a file-backed database; its WAL
+    /// lives beside it as `<path>.wal` and is replayed before the
+    /// catalog is bootstrapped.
     pub fn open(path: &Path, pool_pages: usize) -> StorageResult<StorageEngine> {
-        Self::with_pager(Pager::open(path)?, pool_pages)
+        let wal = Wal::open(&wal_path(path), None)?;
+        Self::with_pager_and_wal(Pager::open(path)?, wal, pool_pages)
     }
 
-    fn with_pager(pager: Pager, pool_pages: usize) -> StorageResult<StorageEngine> {
+    /// Like [`StorageEngine::open`], but every durable write (page
+    /// writes, allocations, WAL appends, syncs) is charged against the
+    /// shared fault switch — the crash-recovery test harness.
+    pub fn open_with_fault(
+        path: &Path,
+        pool_pages: usize,
+        fault: Fault,
+    ) -> StorageResult<StorageEngine> {
+        let wal = Wal::open(&wal_path(path), Some(fault.clone()))?;
+        let pager = Pager::faulty(Pager::open(path)?, fault);
+        Self::with_pager_and_wal(pager, wal, pool_pages)
+    }
+
+    fn with_pager_and_wal(
+        mut pager: Pager,
+        mut wal: Wal,
+        pool_pages: usize,
+    ) -> StorageResult<StorageEngine> {
+        // Crash recovery first: replay committed transactions into the
+        // pager, discard torn tails, checkpoint.
+        wal.recover(&mut pager)?;
         let fresh = pager.page_count() == 0;
-        let pool = BufferPool::new(pager, pool_pages);
+        let pool = BufferPool::with_wal(pager, pool_pages, wal);
         if fresh {
-            let sys_tables = HeapFile::create(&pool)?;
-            let sys_columns = HeapFile::create(&pool)?;
-            let sys_indexes = HeapFile::create(&pool)?;
+            // The bootstrap heaps are created inside a transaction so a
+            // crash right after creation replays to a well-formed (if
+            // empty) database instead of four zeroed pages.
+            pool.begin_txn()?;
+            let created = (|| -> StorageResult<_> {
+                let sys_tables = HeapFile::create(&pool)?;
+                let sys_columns = HeapFile::create(&pool)?;
+                let sys_indexes = HeapFile::create(&pool)?;
+                let sys_constraints = HeapFile::create(&pool)?;
+                Ok((sys_tables, sys_columns, sys_indexes, sys_constraints))
+            })();
+            let (sys_tables, sys_columns, sys_indexes, sys_constraints) = match created {
+                Ok(heaps) => heaps,
+                Err(e) => {
+                    pool.abort_txn();
+                    return Err(e);
+                }
+            };
+            pool.commit_txn()?;
             debug_assert_eq!(
-                (sys_tables.first, sys_columns.first, sys_indexes.first),
-                (SYSTEM_TABLES_PAGE, SYSTEM_COLUMNS_PAGE, SYSTEM_INDEXES_PAGE)
+                (
+                    sys_tables.first,
+                    sys_columns.first,
+                    sys_indexes.first,
+                    sys_constraints.first
+                ),
+                (
+                    SYSTEM_TABLES_PAGE,
+                    SYSTEM_COLUMNS_PAGE,
+                    SYSTEM_INDEXES_PAGE,
+                    SYSTEM_CONSTRAINTS_PAGE
+                )
             );
             Ok(StorageEngine {
                 pool,
                 sys_tables,
                 sys_columns,
                 sys_indexes,
+                sys_constraints,
                 tables: BTreeMap::new(),
                 indexes: Vec::new(),
                 next_table_id: FIRST_USER_TABLE_ID,
+                snapshot: None,
+                crashed: false,
             })
         } else {
             Self::bootstrap(pool)
         }
     }
 
-    /// Rebuilds the in-memory catalog from the three system heaps.
+    /// Rebuilds the in-memory catalog from the four system heaps.
     fn bootstrap(pool: BufferPool) -> StorageResult<StorageEngine> {
         let sys_tables = HeapFile::open(&pool, SYSTEM_TABLES_PAGE)?;
         let sys_columns = HeapFile::open(&pool, SYSTEM_COLUMNS_PAGE)?;
         let sys_indexes = HeapFile::open(&pool, SYSTEM_INDEXES_PAGE)?;
+        let sys_constraints = HeapFile::open(&pool, SYSTEM_CONSTRAINTS_PAGE)?;
 
         let mut rows: Vec<Tuple> = Vec::new();
         sys_tables.scan(&pool, |_, rec| {
@@ -161,6 +264,7 @@ impl StorageEngine {
                     id: *id,
                     name: name.to_string(),
                     columns: Vec::new(),
+                    constraints: Vec::new(),
                     heap,
                     row_count,
                 },
@@ -194,6 +298,29 @@ impl StorageEngine {
             table.columns = cols.into_iter().map(|(_, n, t)| (n, t)).collect();
         }
 
+        let mut con_rows: Vec<Tuple> = Vec::new();
+        sys_constraints.scan(&pool, |_, rec| {
+            con_rows.push(decode_tuple(rec).unwrap_or_default())
+        })?;
+        let mut con_by_table: BTreeMap<i64, Vec<(i64, String)>> = BTreeMap::new();
+        for row in con_rows {
+            let [Datum::Int(tid), Datum::Int(seq), Datum::Text(spec)] = row.as_slice() else {
+                return Err(StorageError::Corrupt("bad system_constraints row".into()));
+            };
+            con_by_table
+                .entry(*tid)
+                .or_default()
+                .push((*seq, spec.to_string()));
+        }
+        for (tid, mut specs) in con_by_table {
+            let name = by_id.get(&tid).ok_or_else(|| {
+                StorageError::Corrupt(format!("constraints for unknown table {tid}"))
+            })?;
+            specs.sort_by_key(|(seq, _)| *seq);
+            let table = tables.get_mut(name).expect("by_id is derived from tables");
+            table.constraints = specs.into_iter().map(|(_, s)| s).collect();
+        }
+
         let mut idx_rows: Vec<Tuple> = Vec::new();
         sys_indexes.scan(&pool, |_, rec| {
             idx_rows.push(decode_tuple(rec).unwrap_or_default())
@@ -215,15 +342,118 @@ impl StorageEngine {
             sys_tables,
             sys_columns,
             sys_indexes,
+            sys_constraints,
             tables,
             indexes,
             next_table_id,
+            snapshot: None,
+            crashed: false,
         })
     }
 
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
     }
+
+    // -----------------------------------------------------------------
+    // Transactions
+    // -----------------------------------------------------------------
+
+    /// Whether a transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.snapshot.is_some()
+    }
+
+    /// Opens a transaction spanning the next mutating operations.
+    /// Errors if one is already open.
+    pub fn begin(&mut self) -> StorageResult<()> {
+        if self.snapshot.is_some() {
+            return Err(StorageError::Internal("transaction already active".into()));
+        }
+        self.pool.begin_txn()?;
+        self.snapshot = Some(EngineSnapshot {
+            tables: self.tables.clone(),
+            indexes: self.indexes.clone(),
+            next_table_id: self.next_table_id,
+            sys_tables: self.sys_tables,
+            sys_columns: self.sys_columns,
+            sys_indexes: self.sys_indexes,
+            sys_constraints: self.sys_constraints,
+        });
+        Ok(())
+    }
+
+    /// Commits the open transaction: page images + Commit frame are
+    /// forced to the log. On error the transaction is rolled back
+    /// (pages and catalog) before the error returns.
+    pub fn commit(&mut self) -> StorageResult<()> {
+        if self.snapshot.is_none() {
+            return Err(StorageError::Internal("commit without begin".into()));
+        }
+        match self.pool.commit_txn() {
+            Ok(()) => {
+                self.snapshot = None;
+                // Keep the log bounded; failure leaves the log intact
+                // (and the commit stands), so it is not an error here.
+                if self.pool.wal_len_bytes() > WAL_CHECKPOINT_BYTES {
+                    let _ = self.pool.checkpoint();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                // Pages already rolled back by the pool; restore the
+                // in-memory catalog to match.
+                self.restore_snapshot();
+                Err(e)
+            }
+        }
+    }
+
+    /// Rolls the open transaction back (no-op without one).
+    pub fn abort(&mut self) {
+        if self.snapshot.is_none() {
+            return;
+        }
+        self.pool.abort_txn();
+        self.restore_snapshot();
+    }
+
+    fn restore_snapshot(&mut self) {
+        let snap = self.snapshot.take().expect("caller checked");
+        self.tables = snap.tables;
+        self.indexes = snap.indexes;
+        self.next_table_id = snap.next_table_id;
+        self.sys_tables = snap.sys_tables;
+        self.sys_columns = snap.sys_columns;
+        self.sys_indexes = snap.sys_indexes;
+        self.sys_constraints = snap.sys_constraints;
+    }
+
+    /// Runs `f` inside the open transaction if there is one (the caller
+    /// then owns commit/abort), else wraps it in its own transaction.
+    fn autocommit<R>(
+        &mut self,
+        f: impl FnOnce(&mut StorageEngine) -> StorageResult<R>,
+    ) -> StorageResult<R> {
+        if self.in_txn() {
+            return f(self);
+        }
+        self.begin()?;
+        match f(self) {
+            Ok(v) => {
+                self.commit()?;
+                Ok(v)
+            }
+            Err(e) => {
+                self.abort();
+                Err(e)
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Catalog
+    // -----------------------------------------------------------------
 
     pub fn has_table(&self, name: &str) -> bool {
         self.tables.contains_key(name)
@@ -245,52 +475,81 @@ impl StorageEngine {
         if self.tables.contains_key(name) {
             return Err(StorageError::DuplicateTable(name.to_owned()));
         }
-        let id = self.next_table_id;
-        self.next_table_id += 1;
-        let heap = HeapFile::create(&self.pool)?;
-        self.sys_tables.insert(
-            &self.pool,
-            &encode_tuple(&[
-                Datum::Int(id),
-                Datum::text(name),
-                Datum::Int(i64::from(heap.first)),
-            ]),
-        )?;
-        for (idx, (col_name, ty)) in columns.iter().enumerate() {
-            self.sys_columns.insert(
-                &self.pool,
+        self.autocommit(|eng| {
+            let id = eng.next_table_id;
+            eng.next_table_id += 1;
+            let heap = HeapFile::create(&eng.pool)?;
+            eng.sys_tables.insert(
+                &eng.pool,
                 &encode_tuple(&[
                     Datum::Int(id),
-                    Datum::Int(idx as i64),
-                    Datum::text(col_name),
-                    Datum::Int(ty.to_tag()),
+                    Datum::text(name),
+                    Datum::Int(i64::from(heap.first)),
                 ]),
             )?;
+            for (idx, (col_name, ty)) in columns.iter().enumerate() {
+                eng.sys_columns.insert(
+                    &eng.pool,
+                    &encode_tuple(&[
+                        Datum::Int(id),
+                        Datum::Int(idx as i64),
+                        Datum::text(col_name),
+                        Datum::Int(ty.to_tag()),
+                    ]),
+                )?;
+            }
+            eng.tables.insert(
+                name.to_owned(),
+                TableInfo {
+                    id,
+                    name: name.to_owned(),
+                    columns: columns.to_vec(),
+                    constraints: Vec::new(),
+                    heap,
+                    row_count: 0,
+                },
+            );
+            Ok(())
+        })
+    }
+
+    /// Replaces the persisted constraint specs of a table. The specs
+    /// are opaque strings owned by the relational layer; the engine
+    /// stores and returns them verbatim.
+    pub fn set_constraints(&mut self, name: &str, specs: &[String]) -> StorageResult<()> {
+        if !self.tables.contains_key(name) {
+            return Err(StorageError::UnknownTable(name.to_owned()));
         }
-        self.tables.insert(
-            name.to_owned(),
-            TableInfo {
-                id,
-                name: name.to_owned(),
-                columns: columns.to_vec(),
-                heap,
-                row_count: 0,
-            },
-        );
-        Ok(())
+        self.autocommit(|eng| {
+            let info = eng.tables.get_mut(name).expect("checked above");
+            info.constraints = specs.to_vec();
+            eng.rewrite_system_constraints()
+        })
+    }
+
+    /// The persisted constraint specs of a table.
+    pub fn constraints(&self, name: &str) -> StorageResult<&[String]> {
+        Ok(&self.table(name)?.constraints)
     }
 
     /// Drops a table (its pages are abandoned) and rewrites the catalog.
     pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
-        let info = self
-            .tables
-            .remove(name)
-            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
-        self.indexes.retain(|ix| ix.table_id != info.id);
-        self.rewrite_system_catalog()
+        if !self.tables.contains_key(name) {
+            return Err(StorageError::UnknownTable(name.to_owned()));
+        }
+        self.autocommit(|eng| {
+            let info = eng.tables.remove(name).expect("checked above");
+            eng.indexes.retain(|ix| ix.table_id != info.id);
+            eng.rewrite_system_catalog()
+        })
     }
 
-    /// Appends one tuple and maintains every index on the table.
+    // -----------------------------------------------------------------
+    // Data
+    // -----------------------------------------------------------------
+
+    /// Appends one tuple and maintains every index on the table; one
+    /// transaction unless the caller opened one.
     pub fn insert(&mut self, name: &str, tuple: &[Datum]) -> StorageResult<Rid> {
         let info = self
             .tables
@@ -303,35 +562,34 @@ impl StorageEngine {
                 tuple.len()
             )));
         }
-        // Validate every indexed key *before* touching the heap, so a
-        // rejected tuple leaves heap and indexes consistent. A pager I/O
-        // failure mid-maintenance can still strand a heap row without
-        // all its postings — closing that window needs the WAL tracked
-        // in ROADMAP.md.
+        // Validate every indexed key before mutating anything: cheap
+        // rejections shouldn't pay for a transaction rollback.
         for ix in &self.indexes {
             if ix.table_id == info.id {
                 crate::btree::check_key(&tuple[ix.col])?;
             }
         }
-        let info = self
-            .tables
-            .get_mut(name)
-            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
-        let rid = info.heap.insert(&self.pool, &encode_tuple(tuple))?;
-        info.row_count += 1;
-        let table_id = info.id;
-        let mut roots_moved = false;
-        for ix in &mut self.indexes {
-            if ix.table_id == table_id {
-                let old_root = ix.tree.root;
-                ix.tree.insert(&self.pool, &tuple[ix.col], rid)?;
-                roots_moved |= ix.tree.root != old_root;
+        self.autocommit(|eng| {
+            let info = eng
+                .tables
+                .get_mut(name)
+                .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
+            let rid = info.heap.insert(&eng.pool, &encode_tuple(tuple))?;
+            info.row_count += 1;
+            let table_id = info.id;
+            let mut roots_moved = false;
+            for ix in &mut eng.indexes {
+                if ix.table_id == table_id {
+                    let old_root = ix.tree.root;
+                    ix.tree.insert(&eng.pool, &tuple[ix.col], rid)?;
+                    roots_moved |= ix.tree.root != old_root;
+                }
             }
-        }
-        if roots_moved {
-            self.rewrite_system_indexes()?;
-        }
-        Ok(rid)
+            if roots_moved {
+                eng.rewrite_system_indexes()?;
+            }
+            Ok(rid)
+        })
     }
 
     /// All tuples of a table, in heap order.
@@ -394,7 +652,21 @@ impl StorageEngine {
     }
 
     /// Builds a B+-tree over an existing column and registers it.
+    ///
+    /// The bulk build itself is *not* logged — logging an image of every
+    /// node the build touches would dwarf the data and pin the whole
+    /// tree in the pool under the no-steal rule. Instead the build runs
+    /// unlogged, the finished tree is forced to the database file, and
+    /// only then is the catalog row committed through the WAL: a crash
+    /// at any point either misses the catalog row (the orphaned build
+    /// pages are abandoned, the index simply does not exist) or has
+    /// both the tree and its registration durable.
     pub fn create_index(&mut self, name: &str, col: usize) -> StorageResult<()> {
+        if self.in_txn() {
+            return Err(StorageError::Internal(
+                "create_index cannot run inside a transaction (bulk build is unlogged)".into(),
+            ));
+        }
         let info = self.table(name)?;
         if col >= info.columns.len() {
             return Err(StorageError::Internal(format!(
@@ -420,20 +692,24 @@ impl StorageEngine {
         for (key, rid) in postings {
             tree.insert(&self.pool, &key, rid)?;
         }
-        self.indexes.push(IndexInfo {
-            table_id,
-            col,
-            tree,
-        });
-        self.sys_indexes.insert(
-            &self.pool,
-            &encode_tuple(&[
-                Datum::Int(table_id),
-                Datum::Int(col as i64),
-                Datum::Int(i64::from(tree.root)),
-            ]),
-        )?;
-        Ok(())
+        // Force the finished tree before the catalog points at it.
+        self.pool.flush()?;
+        self.autocommit(|eng| {
+            eng.sys_indexes.insert(
+                &eng.pool,
+                &encode_tuple(&[
+                    Datum::Int(table_id),
+                    Datum::Int(col as i64),
+                    Datum::Int(i64::from(tree.root)),
+                ]),
+            )?;
+            eng.indexes.push(IndexInfo {
+                table_id,
+                col,
+                tree,
+            });
+            Ok(())
+        })
     }
 
     pub fn has_index(&self, name: &str, col: usize) -> bool {
@@ -464,29 +740,52 @@ impl StorageEngine {
 
     /// Removes all rows; indexes are rebuilt empty.
     pub fn truncate(&mut self, name: &str) -> StorageResult<()> {
-        let info = self
-            .tables
-            .get_mut(name)
-            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
-        info.heap.truncate(&self.pool)?;
-        info.row_count = 0;
-        let table_id = info.id;
-        let mut roots_moved = false;
-        for ix in &mut self.indexes {
-            if ix.table_id == table_id {
-                ix.tree = BPlusTree::create(&self.pool)?;
-                roots_moved = true;
+        if !self.tables.contains_key(name) {
+            return Err(StorageError::UnknownTable(name.to_owned()));
+        }
+        self.autocommit(|eng| {
+            let info = eng.tables.get_mut(name).expect("checked above");
+            info.heap.truncate(&eng.pool)?;
+            info.row_count = 0;
+            let table_id = info.id;
+            let mut roots_moved = false;
+            for ix in &mut eng.indexes {
+                if ix.table_id == table_id {
+                    ix.tree = BPlusTree::create(&eng.pool)?;
+                    roots_moved = true;
+                }
             }
-        }
-        if roots_moved {
-            self.rewrite_system_indexes()?;
-        }
-        Ok(())
+            if roots_moved {
+                eng.rewrite_system_indexes()?;
+            }
+            Ok(())
+        })
     }
 
-    /// Flushes every dirty page (and syncs file-backed storage).
+    // -----------------------------------------------------------------
+    // Durability
+    // -----------------------------------------------------------------
+
+    /// Writes every committed dirty page back (and syncs file-backed
+    /// storage). The WAL is left alone; see
+    /// [`StorageEngine::checkpoint`].
     pub fn flush(&self) -> StorageResult<()> {
         self.pool.flush()
+    }
+
+    /// Checkpoint: flush + truncate the WAL. After a successful
+    /// checkpoint all durable state lives in the database file and
+    /// recovery has nothing to replay. Refused while a transaction is
+    /// open (it would invalidate the transaction's rewind mark).
+    pub fn checkpoint(&self) -> StorageResult<()> {
+        self.pool.checkpoint()
+    }
+
+    /// Test/ops helper simulating a crash: drops the engine *without*
+    /// the best-effort flush, so everything resident only in the buffer
+    /// pool is lost and the next open must recover from the WAL.
+    pub fn simulate_crash(mut self) {
+        self.crashed = true;
     }
 
     fn find_index(&self, table_id: i64, col: usize) -> Option<&IndexInfo> {
@@ -506,6 +805,23 @@ impl StorageEngine {
                     Datum::Int(i64::from(ix.tree.root)),
                 ]),
             )?;
+        }
+        Ok(())
+    }
+
+    fn rewrite_system_constraints(&mut self) -> StorageResult<()> {
+        self.sys_constraints.truncate(&self.pool)?;
+        for info in self.tables.values() {
+            for (seq, spec) in info.constraints.iter().enumerate() {
+                self.sys_constraints.insert(
+                    &self.pool,
+                    &encode_tuple(&[
+                        Datum::Int(info.id),
+                        Datum::Int(seq as i64),
+                        Datum::text(spec),
+                    ]),
+                )?;
+            }
         }
         Ok(())
     }
@@ -534,6 +850,7 @@ impl StorageEngine {
                 )?;
             }
         }
+        self.rewrite_system_constraints()?;
         self.rewrite_system_indexes()
     }
 }
@@ -572,6 +889,20 @@ mod tests {
                 .unwrap();
         }
         eng
+    }
+
+    fn temp_db(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rqs-engine-{}-{tag}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.pages");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(wal_path(&path));
+        path
+    }
+
+    fn cleanup(path: &Path) {
+        let _ = std::fs::remove_file(path);
+        let _ = std::fs::remove_file(wal_path(path));
     }
 
     #[test]
@@ -742,28 +1073,27 @@ mod tests {
 
     #[test]
     fn corrupt_page_file_errors_instead_of_panicking() {
-        let dir = std::env::temp_dir().join(format!("rqs-engine-corrupt-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("corrupt.pages");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_db("corrupt");
         {
             let mut eng = StorageEngine::open(&path, 8).unwrap();
             eng.create_table("t", &cols(&[("a", ColType::Int)]))
                 .unwrap();
             eng.insert("t", &[Datum::Int(1)]).unwrap();
-            eng.flush().unwrap();
+            // Checkpoint so recovery has nothing to replay: the corrupt
+            // page must be *read*, not papered over by a WAL image.
+            eng.checkpoint().unwrap();
         }
         // Corrupt the first slot of page 0 (system_tables): an offset
         // past the page end would read out of bounds without validation.
         let mut bytes = std::fs::read(&path).unwrap();
-        bytes[16] = 0xff;
-        bytes[17] = 0xff;
+        bytes[24] = 0xff;
+        bytes[25] = 0xff;
         std::fs::write(&path, &bytes).unwrap();
         match StorageEngine::open(&path, 8) {
             Err(StorageError::Corrupt(_)) => {}
             other => panic!("expected Corrupt error, got {:?}", other.map(|_| "engine")),
         }
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
@@ -803,10 +1133,7 @@ mod tests {
 
     #[test]
     fn drop_without_flush_still_persists() {
-        let dir = std::env::temp_dir().join(format!("rqs-engine-dropflush-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("dropflush.pages");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_db("dropflush");
         {
             let mut eng = StorageEngine::open(&path, 8).unwrap();
             eng.create_table("t", &cols(&[("a", ColType::Int)]))
@@ -816,15 +1143,12 @@ mod tests {
         }
         let eng = StorageEngine::open(&path, 8).unwrap();
         assert_eq!(eng.scan("t").unwrap(), vec![vec![Datum::Int(42)]]);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
     fn reopen_bootstraps_catalog_from_system_pages() {
-        let dir = std::env::temp_dir().join(format!("rqs-engine-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("reopen.pages");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_db("reopen");
         {
             let mut eng = StorageEngine::open(&path, 16).unwrap();
             eng.create_table(
@@ -871,15 +1195,12 @@ mod tests {
             .unwrap()
             .unwrap();
         assert_eq!(hit, vec![empl_row(456, "p456", 10_456, 0)]);
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
     }
 
     #[test]
     fn reopen_after_drop_does_not_resurrect() {
-        let dir = std::env::temp_dir().join(format!("rqs-engine-drop-{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join("drop.pages");
-        let _ = std::fs::remove_file(&path);
+        let path = temp_db("drop");
         {
             let mut eng = StorageEngine::open(&path, 8).unwrap();
             eng.create_table("keep", &cols(&[("a", ColType::Int)]))
@@ -892,6 +1213,250 @@ mod tests {
         let eng = StorageEngine::open(&path, 8).unwrap();
         assert!(eng.has_table("keep"));
         assert!(!eng.has_table("gone"));
-        std::fs::remove_file(&path).unwrap();
+        cleanup(&path);
+    }
+
+    // -----------------------------------------------------------------
+    // WAL / transaction tests
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn explicit_abort_rolls_back_rows_and_catalog() {
+        let mut eng = engine_with_empl(16, 3);
+        eng.create_index("empl", 0).unwrap();
+        eng.begin().unwrap();
+        eng.insert("empl", &empl_row(100, "doomed", 1, 1)).unwrap();
+        eng.create_table("tmp", &cols(&[("x", ColType::Int)]))
+            .unwrap();
+        assert!(eng.has_table("tmp"));
+        assert_eq!(eng.row_count("empl").unwrap(), 4);
+        eng.abort();
+        assert_eq!(eng.row_count("empl").unwrap(), 3);
+        assert_eq!(eng.scan("empl").unwrap().len(), 3);
+        assert!(!eng.has_table("tmp"));
+        assert_eq!(
+            eng.index_lookup("empl", 0, &Datum::Int(100))
+                .unwrap()
+                .unwrap(),
+            Vec::<Tuple>::new(),
+            "aborted posting must be gone"
+        );
+        // The engine keeps working after the abort.
+        eng.insert("empl", &empl_row(4, "fine", 20_000, 1)).unwrap();
+        assert_eq!(eng.row_count("empl").unwrap(), 4);
+    }
+
+    #[test]
+    fn committed_statements_survive_a_crash_without_flush() {
+        let path = temp_db("crash");
+        {
+            let mut eng = StorageEngine::open(&path, 16).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int), ("b", ColType::Text)]))
+                .unwrap();
+            eng.create_index("t", 0).unwrap();
+            for i in 0..50 {
+                eng.insert("t", &[Datum::Int(i), Datum::text(&format!("v{i}"))])
+                    .unwrap();
+            }
+            // Crash: no flush, buffer pool contents are lost.
+            eng.simulate_crash();
+        }
+        let eng = StorageEngine::open(&path, 16).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 50);
+        assert_eq!(eng.scan("t").unwrap().len(), 50);
+        assert!(eng.has_index("t", 0));
+        let hit = eng.index_lookup("t", 0, &Datum::Int(33)).unwrap().unwrap();
+        assert_eq!(hit, vec![vec![Datum::Int(33), Datum::text("v33")]]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn pager_fault_mid_statement_leaves_no_stranded_row() {
+        // Regression for the PR-1 known issue: an I/O error between the
+        // heap insert and its index maintenance used to strand a row
+        // without postings. Now the statement's transaction aborts.
+        let path = temp_db("fault-strand");
+        let fault = Fault::new();
+        let mut eng = StorageEngine::open_with_fault(&path, 8, fault.clone()).unwrap();
+        eng.create_table("t", &cols(&[("a", ColType::Int), ("pad", ColType::Text)]))
+            .unwrap();
+        eng.create_index("t", 0).unwrap();
+        let pad = "p".repeat(200);
+        // Seed enough data that statements allocate pages and evict
+        // under the 8-frame pool, so injected faults land at many
+        // different points inside a statement.
+        let mut committed = 0i64;
+        for _ in 0..200 {
+            eng.insert("t", &[Datum::Int(committed), Datum::text(&pad)])
+                .unwrap();
+            committed += 1;
+        }
+        // March the failure point forward one durable write at a time:
+        // each failing budget aborts a statement at a different spot
+        // (heap-page eviction, B+-tree split allocation, WAL append,
+        // WAL sync) — including between the heap insert and its index
+        // maintenance.
+        let mut failures = 0;
+        for budget in 0..40 {
+            fault.fail_after_writes(budget);
+            let attempt = eng.insert("t", &[Datum::Int(committed), Datum::text(&pad)]);
+            fault.heal();
+            match attempt {
+                Ok(_) => committed += 1,
+                Err(_) => failures += 1,
+            }
+        }
+        assert!(failures > 0, "fault injection never fired");
+        // No stranded rows: heap and index agree exactly.
+        assert_eq!(eng.row_count("t").unwrap(), committed as usize);
+        let rows = eng.scan("t").unwrap();
+        assert_eq!(rows.len(), committed as usize);
+        for i in 0..committed {
+            let hits = eng.index_lookup("t", 0, &Datum::Int(i)).unwrap().unwrap();
+            assert_eq!(hits.len(), 1, "row {i} must have exactly one posting");
+        }
+        // And the failed key is fully absent.
+        assert_eq!(
+            eng.index_lookup("t", 0, &Datum::Int(committed))
+                .unwrap()
+                .unwrap(),
+            Vec::<Tuple>::new()
+        );
+        // The engine stays usable.
+        eng.insert("t", &[Datum::Int(committed), Datum::text("ok")])
+            .unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), committed as usize + 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn failed_commit_sync_leaves_no_zombie_after_crash() {
+        // A commit whose frames all hit the file but whose sync failed
+        // is reported as an error and rolled back; after a crash the
+        // statement must NOT resurrect from the fully-written Commit
+        // frame (the abort rewinds it out of the log).
+        let path = temp_db("zombie");
+        let fault = Fault::new();
+        {
+            let mut eng = StorageEngine::open_with_fault(&path, 16, fault.clone()).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int)]))
+                .unwrap();
+            for i in 0..3 {
+                eng.insert("t", &[Datum::Int(i)]).unwrap();
+            }
+            // A plain insert logs Begin + 1 page image + Commit (3
+            // appends), then syncs: budget 3 lets every append through
+            // and fails exactly the sync.
+            fault.fail_after_writes(3);
+            assert!(matches!(
+                eng.insert("t", &[Datum::Int(99)]),
+                Err(StorageError::Io(_))
+            ));
+            fault.heal();
+            assert_eq!(eng.row_count("t").unwrap(), 3, "rolled back in memory");
+            eng.simulate_crash();
+        }
+        let eng = StorageEngine::open(&path, 16).unwrap();
+        let rows = eng.scan("t").unwrap();
+        assert_eq!(rows.len(), 3, "failed statement must not resurrect");
+        assert!(
+            !rows.contains(&vec![Datum::Int(99)]),
+            "zombie row replayed from an unsynced Commit frame"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn constraints_persist_across_reopen() {
+        let path = temp_db("constraints");
+        {
+            let mut eng = StorageEngine::open(&path, 8).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int)]))
+                .unwrap();
+            eng.set_constraints("t", &["key a".to_string(), "bound a 0 100".to_string()])
+                .unwrap();
+            eng.create_table("u", &cols(&[("b", ColType::Int)]))
+                .unwrap();
+            eng.set_constraints("u", &["key b".to_string()]).unwrap();
+            eng.simulate_crash(); // even without a flush
+        }
+        let eng = StorageEngine::open(&path, 8).unwrap();
+        assert_eq!(
+            eng.constraints("t").unwrap(),
+            ["key a".to_string(), "bound a 0 100".to_string()]
+        );
+        assert_eq!(eng.constraints("u").unwrap(), ["key b".to_string()]);
+        // Dropping a table drops its constraint rows too.
+        let mut eng = eng;
+        eng.drop_table("t").unwrap();
+        eng.flush().unwrap();
+        drop(eng);
+        let eng = StorageEngine::open(&path, 8).unwrap();
+        assert!(eng.constraints("t").is_err());
+        assert_eq!(eng.constraints("u").unwrap(), ["key b".to_string()]);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_preserves_state() {
+        let path = temp_db("checkpoint");
+        {
+            let mut eng = StorageEngine::open(&path, 16).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int)]))
+                .unwrap();
+            for i in 0..100 {
+                eng.insert("t", &[Datum::Int(i)]).unwrap();
+            }
+            assert!(eng.pool_stats().wal_appends > 0);
+            eng.checkpoint().unwrap();
+            assert_eq!(
+                std::fs::metadata(wal_path(&path)).unwrap().len(),
+                8,
+                "checkpoint must truncate the log to its header"
+            );
+            eng.simulate_crash();
+        }
+        // Nothing to replay, everything in the data file.
+        let eng = StorageEngine::open(&path, 16).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 100);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn checkpoint_is_refused_during_a_transaction() {
+        // Regression: a mid-transaction checkpoint used to truncate the
+        // log under the transaction's rewind mark; a subsequently
+        // failed commit then rewound to a pre-checkpoint offset,
+        // resurrecting the failed statement on recovery.
+        let path = temp_db("ckpt-txn");
+        let mut eng = StorageEngine::open(&path, 16).unwrap();
+        eng.create_table("t", &cols(&[("a", ColType::Int)]))
+            .unwrap();
+        eng.begin().unwrap();
+        eng.insert("t", &[Datum::Int(1)]).unwrap();
+        assert!(matches!(eng.checkpoint(), Err(StorageError::Internal(_))));
+        eng.commit().unwrap();
+        eng.checkpoint().unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 1);
+        drop(eng);
+        let eng = StorageEngine::open(&path, 16).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 1);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn wal_metrics_count_logging_cost() {
+        let mut eng = engine_with_empl(16, 10);
+        let stats = eng.pool_stats();
+        // 10 single-row inserts + DDL: every one logged Begin/images/Commit.
+        assert!(stats.wal_appends >= 30, "{stats:?}");
+        assert!(
+            stats.wal_bytes > 10 * crate::page::PAGE_SIZE as u64,
+            "{stats:?}"
+        );
+        let before = eng.pool_stats().wal_appends;
+        eng.insert("empl", &empl_row(50, "x", 20_000, 1)).unwrap();
+        let after = eng.pool_stats().wal_appends;
+        assert!(after >= before + 3, "insert must log begin+image+commit");
     }
 }

@@ -6,6 +6,13 @@
 //! the head page and abandons the rest of the chain (a free list is a
 //! ROADMAP follow-up; the paper's workloads only truncate the small
 //! intermediate-result relations).
+//!
+//! Heap mutations go through [`BufferPool`] guards, so inside a WAL
+//! transaction every touched page gets a before-image (rollback) and a
+//! commit-time redo image automatically; this module never talks to the
+//! log directly. Callers that mutate a `HeapFile` inside a transaction
+//! must roll back their copy of the `first`/`last` pointers on abort
+//! (the engine snapshots them alongside its catalog).
 
 use crate::buffer::BufferPool;
 use crate::page::{PageId, PageKind, NO_PAGE};

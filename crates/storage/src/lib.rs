@@ -8,23 +8,48 @@
 //! * [`page`] — fixed-size (4 KiB) slotted pages holding variable-length
 //!   records;
 //! * [`codec`] — serialization of [`value::Datum`] tuples into records;
-//! * [`pager`] — the "disk": an in-memory page vector or a real file,
-//!   addressed by page id;
+//! * [`pager`] — the "disk": an in-memory page vector, a real file, or
+//!   a fault-injecting wrapper ([`pager::Fault`]) used by the
+//!   crash-recovery harness, addressed by page id;
 //! * [`buffer`] — a pinned/unpinned buffer pool with clock (second-chance)
 //!   eviction between the engine and the pager, counting `page_reads` and
-//!   `buffer_hits`;
+//!   `buffer_hits`, and grouping mutations into WAL transactions;
+//! * [`wal`] — the write-ahead log: checksummed page-image redo frames
+//!   with Begin/Commit/Abort framing and redo-only crash recovery;
 //! * [`heap`] — linked heap files of tuple pages (table storage);
 //! * [`btree`] — B+-tree secondary indexes keyed on [`value::Datum`],
 //!   mapping keys to record ids;
 //! * [`engine`] — the [`engine::StorageEngine`] facade plus the
 //!   persistent system catalog (`system_tables`, `system_columns`,
-//!   `system_indexes` heaps at fixed page ids) from which a database is
-//!   bootstrapped on reopen.
+//!   `system_indexes`, `system_constraints` heaps at fixed page ids)
+//!   from which a database is bootstrapped on reopen.
+//!
+//! # Durability protocol
+//!
+//! Every mutating engine operation runs inside a WAL transaction
+//! (statement-level autocommit, or grouped via `begin`/`commit`/
+//! `abort`). The rules, classical and deliberately simple:
+//!
+//! * **no-steal** — pages dirtied by the active transaction are never
+//!   evicted, so the database file never contains uncommitted data and
+//!   recovery is redo-only (consequence: a single statement's write set
+//!   must fit in the buffer pool);
+//! * **force the log at commit** — commit appends `Begin`, one
+//!   CRC-checked page image per touched page (each stamped with its
+//!   LSN), and `Commit`, then fsyncs the log; data pages reach the
+//!   database file lazily via eviction, [`StorageEngine::flush`] or a
+//!   checkpoint;
+//! * **recovery on open** — replay the images of committed
+//!   transactions in log order, discard aborted/unfinished transactions
+//!   and any torn tail (bad length or checksum), then checkpoint;
+//! * **checkpoint** — write all committed dirty pages back, sync, then
+//!   truncate the log; runs explicitly or automatically once the log
+//!   exceeds [`engine::WAL_CHECKPOINT_BYTES`].
 //!
 //! Everything is single-threaded by design (the coupled Prolog session
 //! is); the buffer pool uses interior mutability so read paths work
-//! through `&self`. Write-ahead logging and concurrency control are
-//! deliberate non-goals for now and tracked in ROADMAP.md.
+//! through `&self`. Concurrency control remains a non-goal for now and
+//! is tracked in ROADMAP.md.
 
 use std::fmt;
 
@@ -36,11 +61,14 @@ pub mod heap;
 pub mod page;
 pub mod pager;
 pub mod value;
+pub mod wal;
 
 pub use buffer::{BufferPool, PoolStats};
 pub use engine::{ColType, StorageEngine};
 pub use page::{PageId, PAGE_SIZE};
+pub use pager::Fault;
 pub use value::{Datum, Tuple};
+pub use wal::{RecoveryReport, Wal, WalStats};
 
 pub type StorageResult<T> = std::result::Result<T, StorageError>;
 

@@ -10,7 +10,9 @@
 //!      8     1  page kind
 //!      9     3  reserved
 //!     12     4  extra (B+-tree internal nodes: leftmost child page id)
-//!     16   4*n  slot array: (cell offset u16, cell length u16) per record
+//!     16     8  page LSN: log sequence number of the WAL record that
+//!               last stamped this page (0 = never logged)
+//!     24   4*n  slot array: (cell offset u16, cell length u16) per record
 //!   free_end.. PAGE_SIZE  cell data
 //! ```
 //!
@@ -30,7 +32,7 @@ pub type PageId = u32;
 /// Chain terminator / "no page" marker.
 pub const NO_PAGE: PageId = u32::MAX;
 
-const HEADER_SIZE: usize = 16;
+const HEADER_SIZE: usize = 24;
 const SLOT_SIZE: usize = 4;
 
 /// What a page stores; persisted in the header so reopening a file can
@@ -99,6 +101,18 @@ impl Page {
 
     pub fn set_extra(&mut self, v: u32) {
         self.bytes[12..16].copy_from_slice(&v.to_le_bytes());
+    }
+
+    /// Log sequence number of the WAL record that last captured this
+    /// page's image (0 for pages that were never logged). The buffer
+    /// pool stamps it at commit; recovery and the eviction rule compare
+    /// it against the durable LSN.
+    pub fn lsn(&self) -> u64 {
+        u64::from_le_bytes(self.bytes[16..24].try_into().expect("8 bytes"))
+    }
+
+    pub fn set_lsn(&mut self, lsn: u64) {
+        self.bytes[16..24].copy_from_slice(&lsn.to_le_bytes());
     }
 
     pub fn slot_count(&self) -> usize {
@@ -242,8 +256,12 @@ mod tests {
         assert_eq!(p.slot_count(), 0);
         p.set_next(7);
         p.set_extra(99);
+        p.set_lsn(0xdead_beef_0042);
         assert_eq!(p.next(), 7);
         assert_eq!(p.extra(), 99);
+        assert_eq!(p.lsn(), 0xdead_beef_0042);
+        p.init(PageKind::Heap);
+        assert_eq!(p.lsn(), 0, "init must clear the page LSN");
     }
 
     #[test]
@@ -280,7 +298,7 @@ mod tests {
             p.push_record(&record).unwrap();
             n += 1;
         }
-        // 4096 - 16 header = 4080; each record costs 104 bytes.
+        // 4096 - 24 header = 4072; each record costs 104 bytes.
         assert_eq!(n, 39);
         assert!(p.push_record(&record).is_err());
     }

@@ -1,19 +1,66 @@
 //! The "disk": page-granular storage behind the buffer pool.
 //!
-//! Two modes share one interface: an anonymous in-memory page vector
+//! Three modes share one interface: an anonymous in-memory page vector
 //! (what the benchmarks use — still exercising the full page/buffer
-//! machinery and its counters), and a real file whose offset `i *
-//! PAGE_SIZE` holds page `i` (what persistence tests use).
+//! machinery and its counters), a real file whose offset `i *
+//! PAGE_SIZE` holds page `i` (what persistence tests use), and a
+//! fault-injecting wrapper around either (what the crash-recovery
+//! harness uses to make durable writes fail on demand).
 
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::{StorageError, StorageResult};
+use std::cell::Cell;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::rc::Rc;
+
+/// A shared fault-injection switch, cloned into the pager (and the WAL)
+/// by [`crate::engine::StorageEngine::open_with_fault`]. Arming it makes
+/// the next `n` durable write operations (page writes, page
+/// allocations, WAL appends, syncs) succeed and every one after that
+/// fail with [`StorageError::Io`], modelling a disk that runs out of
+/// space or starts erroring mid-workload. Reads never fault: after an
+/// injected failure the engine must still be able to *look at* its
+/// state so tests can assert it stayed consistent.
+#[derive(Clone, Debug, Default)]
+pub struct Fault {
+    writes_remaining: Rc<Cell<Option<u64>>>,
+}
+
+impl Fault {
+    /// An unarmed fault switch: everything succeeds until armed.
+    pub fn new() -> Fault {
+        Fault::default()
+    }
+
+    /// Arms the switch: `n` more durable writes succeed, then all fail.
+    pub fn fail_after_writes(&self, n: u64) {
+        self.writes_remaining.set(Some(n));
+    }
+
+    /// Disarms the switch; subsequent writes succeed again.
+    pub fn heal(&self) {
+        self.writes_remaining.set(None);
+    }
+
+    /// Charges one durable write against the budget.
+    pub(crate) fn tap(&self) -> StorageResult<()> {
+        match self.writes_remaining.get() {
+            None => Ok(()),
+            Some(0) => Err(StorageError::Io("injected write fault".into())),
+            Some(n) => {
+                self.writes_remaining.set(Some(n - 1));
+                Ok(())
+            }
+        }
+    }
+}
 
 pub enum Pager {
     Mem(Vec<Box<Page>>),
     File { file: File, page_count: u32 },
+    Faulty { inner: Box<Pager>, fault: Fault },
 }
 
 impl Pager {
@@ -43,11 +90,20 @@ impl Pager {
         })
     }
 
+    /// Wraps any pager in the fault-injecting shim driven by `fault`.
+    pub fn faulty(inner: Pager, fault: Fault) -> Pager {
+        Pager::Faulty {
+            inner: Box::new(inner),
+            fault,
+        }
+    }
+
     /// Number of allocated pages.
     pub fn page_count(&self) -> u32 {
         match self {
             Pager::Mem(pages) => pages.len() as u32,
             Pager::File { page_count, .. } => *page_count,
+            Pager::Faulty { inner, .. } => inner.page_count(),
         }
     }
 
@@ -61,8 +117,22 @@ impl Pager {
                 file.write_all(Page::zeroed().as_bytes())?;
                 *page_count += 1;
             }
+            Pager::Faulty { inner, fault } => {
+                fault.tap()?;
+                return inner.allocate();
+            }
         }
         Ok(id)
+    }
+
+    /// Grows the pager until at least `n` pages exist (WAL recovery may
+    /// replay images of pages allocated after the last durable file
+    /// extension).
+    pub fn ensure_page_count(&mut self, n: u32) -> StorageResult<()> {
+        while self.page_count() < n {
+            self.allocate()?;
+        }
+        Ok(())
     }
 
     fn check_bounds(&self, id: PageId) -> StorageResult<()> {
@@ -84,6 +154,7 @@ impl Pager {
                 file.seek(SeekFrom::Start(u64::from(id) * PAGE_SIZE as u64))?;
                 file.read_exact(out.as_bytes_mut())?;
             }
+            Pager::Faulty { inner, .. } => inner.read(id, out)?,
         }
         Ok(())
     }
@@ -97,14 +168,23 @@ impl Pager {
                 file.seek(SeekFrom::Start(u64::from(id) * PAGE_SIZE as u64))?;
                 file.write_all(page.as_bytes())?;
             }
+            Pager::Faulty { inner, fault } => {
+                fault.tap()?;
+                inner.write(id, page)?;
+            }
         }
         Ok(())
     }
 
     /// Flushes file-backed storage to the OS.
     pub fn sync(&mut self) -> StorageResult<()> {
-        if let Pager::File { file, .. } = self {
-            file.sync_all()?;
+        match self {
+            Pager::File { file, .. } => file.sync_all()?,
+            Pager::Faulty { inner, fault } => {
+                fault.tap()?;
+                inner.sync()?;
+            }
+            Pager::Mem(_) => {}
         }
         Ok(())
     }
@@ -154,6 +234,30 @@ mod tests {
         pager.read(1, &mut out).unwrap();
         assert_eq!(out.record(0), b"payload");
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn fault_injection_fails_writes_after_budget() {
+        let fault = Fault::new();
+        let mut pager = Pager::faulty(Pager::in_memory(), fault.clone());
+        let a = pager.allocate().unwrap();
+        let mut page = Page::zeroed();
+        page.init(PageKind::Heap);
+        page.push_record(b"ok").unwrap();
+        pager.write(a, &page).unwrap();
+        // Budget of 1: the next write succeeds, the one after fails.
+        fault.fail_after_writes(1);
+        pager.write(a, &page).unwrap();
+        assert!(matches!(pager.write(a, &page), Err(StorageError::Io(_))));
+        assert!(matches!(pager.allocate(), Err(StorageError::Io(_))));
+        assert!(matches!(pager.sync(), Err(StorageError::Io(_))));
+        // Reads keep working so post-fault state can be inspected.
+        let mut out = Page::zeroed();
+        pager.read(a, &mut out).unwrap();
+        assert_eq!(out.record(0), b"ok");
+        fault.heal();
+        pager.write(a, &page).unwrap();
+        pager.sync().unwrap();
     }
 
     #[test]

@@ -79,7 +79,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- 4: persistence through the system catalog --------------------
     let path = std::env::temp_dir().join("pfe_paged_storage_example.rqs");
+    // Remove the database file *and* its write-ahead log: a stale WAL
+    // beside a fresh file would replay the previous run's statements.
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(storage::engine::wal_path(&path));
     {
         let mut db = Database::open_paged(&path, 8)?;
         db.execute("CREATE TABLE dept (dno INT, fct TEXT, mgr INT)")?;
@@ -96,5 +99,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.metrics.rows_scanned
     );
     std::fs::remove_file(&path)?;
+    let _ = std::fs::remove_file(storage::engine::wal_path(&path));
     Ok(())
 }
