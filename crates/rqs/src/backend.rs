@@ -19,7 +19,8 @@
 use crate::catalog::{Catalog, Column, TableConstraint};
 use crate::error::{RqsError, RqsResult};
 use crate::value::{Datum, Tuple};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
 use std::path::Path;
 use storage::engine::ColType;
 use storage::{Fault, PoolStats, StorageEngine, StorageError};
@@ -29,13 +30,18 @@ impl From<StorageError> for RqsError {
         match e {
             StorageError::UnknownTable(t) => RqsError::UnknownTable(t),
             StorageError::DuplicateTable(t) => RqsError::DuplicateTable(t),
+            StorageError::Conflict(m) => RqsError::Conflict(m),
             other => RqsError::Internal(other.to_string()),
         }
     }
 }
 
 /// Physical table storage: rows in, rows out, plus secondary indexes.
-pub trait StorageBackend {
+///
+/// Backends are `Send` so one database can be owned by the shared
+/// server and handed between session threads (statements still execute
+/// one at a time, under the server's mutex).
+pub trait StorageBackend: Send {
     /// Short human-readable backend name (shows up in diagnostics).
     fn name(&self) -> &'static str;
 
@@ -72,6 +78,20 @@ pub trait StorageBackend {
     /// column has no index (caller falls back to a scan).
     fn index_lookup(&self, name: &str, col: usize, key: &Datum) -> RqsResult<Option<Vec<Tuple>>>;
 
+    /// Tuples whose `col` falls inside `(lower, upper)` via an ordered
+    /// index cursor, or `None` when the column has no index (caller
+    /// falls back to a scan). Feeds inequality restrictions (`<`, `<=`,
+    /// `>`, `>=`, `BETWEEN`) without touching the whole table.
+    fn index_range(
+        &self,
+        _name: &str,
+        _col: usize,
+        _lower: Bound<&Datum>,
+        _upper: Bound<&Datum>,
+    ) -> RqsResult<Option<Vec<Tuple>>> {
+        Ok(None)
+    }
+
     /// Whether any stored tuple matches `values` at columns `cols`
     /// (constraint probes). Implementations should early-exit rather
     /// than materialize the table.
@@ -91,20 +111,60 @@ pub trait StorageBackend {
     }
 
     /// Opens a transaction grouping the following mutations into one
-    /// atomic, durable unit. The in-memory backend has no durability
-    /// and treats statements as atomic already: a no-op there.
+    /// atomic, durable unit and makes it the active one.
     fn begin(&mut self) -> RqsResult<()> {
         Ok(())
     }
 
-    /// Commits the open transaction (forces the WAL on paged backends).
+    /// Commits the active transaction (forces the WAL on paged backends).
     fn commit(&mut self) -> RqsResult<()> {
         Ok(())
     }
 
-    /// Rolls the open transaction back; never fails (a backend that
+    /// Rolls the active transaction back; never fails (a backend that
     /// cannot roll back forward-errors on the mutations themselves).
     fn abort(&mut self) {}
+
+    /// Whether a transaction is currently active (joined by mutations).
+    /// `Database::execute` skips its per-statement transaction wrapper
+    /// when one is — the session owning it commits or aborts instead.
+    fn in_txn(&self) -> bool {
+        false
+    }
+
+    // -- Session-scoped transactions (the shared server's API) ---------
+    //
+    // A server session opens a transaction once (`begin_session`), then
+    // resumes it before and suspends it after each of its statements;
+    // any number of sessions' transactions may be open at a time. The
+    // defaults emulate this over begin/commit/abort for backends with a
+    // single implicit transaction — correct only single-sessioned;
+    // both shipped backends override with real multi-transaction state.
+
+    /// Opens a session transaction and returns its id, leaving it
+    /// *suspended* (resume it before the first statement).
+    fn begin_session(&mut self) -> RqsResult<u64> {
+        self.begin()?;
+        Ok(0)
+    }
+
+    /// Makes an open session transaction active.
+    fn resume_session(&mut self, _id: u64) -> RqsResult<()> {
+        Ok(())
+    }
+
+    /// Suspends the active session transaction (it stays open).
+    fn suspend_session(&mut self) {}
+
+    /// Commits an open session transaction by id.
+    fn commit_session(&mut self, _id: u64) -> RqsResult<()> {
+        self.commit()
+    }
+
+    /// Rolls an open session transaction back by id.
+    fn abort_session(&mut self, _id: u64) {
+        self.abort();
+    }
 
     /// Persists the integrity constraints of a table so they survive
     /// reopen (paged backends only; in-memory state dies with the
@@ -166,18 +226,59 @@ struct MemTable {
     indexes: BTreeMap<usize, BTreeMap<Datum, Vec<usize>>>,
 }
 
+/// Whether `(lower, upper)` denotes an empty range. `BTreeMap::range`
+/// panics on inverted (or doubly-excluded equal) bounds; the planner
+/// can produce such ranges from contradictory restrictions.
+fn bounds_are_empty(lower: &Bound<&Datum>, upper: &Bound<&Datum>) -> bool {
+    match (lower, upper) {
+        (Bound::Included(l), Bound::Included(u)) => l > u,
+        (Bound::Included(l), Bound::Excluded(u))
+        | (Bound::Excluded(l), Bound::Included(u))
+        | (Bound::Excluded(l), Bound::Excluded(u)) => l >= u,
+        _ => false,
+    }
+}
+
+/// Pre-transaction state of one table, saved on its first mutation.
+///
+/// Appends only need the old row count (rollback trims rows and index
+/// postings — O(1) to capture, so bulk loads stay linear); destructive
+/// statements (truncate, drop, create over the same name, index
+/// builds) save the whole table (`None` = it did not exist).
+#[derive(Clone, Debug)]
+enum MemSaved {
+    RowCount(usize),
+    Full(Option<MemTable>),
+}
+
+/// Rewinds a table to its first `rows` rows, pruning index postings of
+/// the trimmed tail.
+fn rewind_rows(table: &mut MemTable, rows: usize) {
+    table.rows.truncate(rows);
+    for index in table.indexes.values_mut() {
+        for postings in index.values_mut() {
+            postings.retain(|&rid| rid < rows);
+        }
+        index.retain(|_, postings| !postings.is_empty());
+    }
+}
+
 /// The original storage representation: everything in RAM, no paging.
 ///
-/// It has no durability, but it *does* honor statement atomicity so the
-/// two backends stay observationally identical through SQL: between
-/// `begin` and `abort` it journals each touched table's original row
-/// count and trims back on abort (only inserts can fail mid-statement —
-/// the other statement shapes pre-validate before mutating).
+/// It has no durability, but it *does* honor transaction atomicity so
+/// the two backends stay observationally identical through SQL: the
+/// first mutation of each table inside a transaction saves rollback
+/// state for it ([`MemSaved`], copy-on-first-touch), and abort restores
+/// exactly the touched entries. Any number of session transactions may
+/// be open at once — one per server session — with at most one active
+/// at a time, mirroring the paged engine's model.
 #[derive(Clone, Debug, Default)]
 pub struct InMemoryBackend {
     tables: BTreeMap<String, MemTable>,
-    /// table → row count at first touch within the open statement.
-    txn_baseline: Option<BTreeMap<String, usize>>,
+    /// txn id → (table → saved pre-transaction state).
+    txns: HashMap<u64, BTreeMap<String, MemSaved>>,
+    active: Option<u64>,
+    next_txn: u64,
 }
 
 impl InMemoryBackend {
@@ -196,6 +297,68 @@ impl InMemoryBackend {
             .get_mut(name)
             .ok_or_else(|| RqsError::UnknownTable(name.to_owned()))
     }
+
+    /// Saves `name`'s row count for rollback (appends) on first touch.
+    fn touch_rows(&mut self, name: &str) {
+        let Some(id) = self.active else {
+            return;
+        };
+        let Some(touched) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if !touched.contains_key(name) {
+            let rows = self.tables.get(name).map_or(0, |t| t.rows.len());
+            touched.insert(name.to_owned(), MemSaved::RowCount(rows));
+        }
+    }
+
+    /// Saves `name`'s whole state for rollback (destructive statements).
+    /// An existing row-count baseline is upgraded by rewinding a copy to
+    /// it — only appends can have happened since, so that copy *is* the
+    /// pre-transaction state.
+    fn touch_full(&mut self, name: &str) {
+        let Some(id) = self.active else {
+            return;
+        };
+        let Some(touched) = self.txns.get_mut(&id) else {
+            return;
+        };
+        let saved = match touched.get(name) {
+            Some(MemSaved::Full(_)) => return,
+            Some(MemSaved::RowCount(rows)) => {
+                let mut copy = self.tables.get(name).cloned().expect("counted rows");
+                rewind_rows(&mut copy, *rows);
+                Some(copy)
+            }
+            None => self.tables.get(name).cloned(),
+        };
+        touched.insert(name.to_owned(), MemSaved::Full(saved));
+    }
+
+    /// Restores every table a transaction touched, then forgets it.
+    fn restore(&mut self, id: u64) {
+        let Some(touched) = self.txns.remove(&id) else {
+            return;
+        };
+        for (name, saved) in touched {
+            match saved {
+                MemSaved::RowCount(rows) => {
+                    if let Some(table) = self.tables.get_mut(&name) {
+                        rewind_rows(table, rows);
+                    }
+                }
+                MemSaved::Full(Some(table)) => {
+                    self.tables.insert(name, table);
+                }
+                MemSaved::Full(None) => {
+                    self.tables.remove(&name);
+                }
+            }
+        }
+        if self.active == Some(id) {
+            self.active = None;
+        }
+    }
 }
 
 impl StorageBackend for InMemoryBackend {
@@ -207,11 +370,13 @@ impl StorageBackend for InMemoryBackend {
         if self.tables.contains_key(name) {
             return Err(RqsError::DuplicateTable(name.to_owned()));
         }
+        self.touch_full(name);
         self.tables.insert(name.to_owned(), MemTable::default());
         Ok(())
     }
 
     fn drop_table(&mut self, name: &str) -> RqsResult<()> {
+        self.touch_full(name);
         self.tables
             .remove(name)
             .map(|_| ())
@@ -219,6 +384,8 @@ impl StorageBackend for InMemoryBackend {
     }
 
     fn truncate(&mut self, name: &str) -> RqsResult<usize> {
+        self.table(name)?;
+        self.touch_full(name);
         let table = self.table_mut(name)?;
         let removed = table.rows.len();
         table.rows.clear();
@@ -229,30 +396,70 @@ impl StorageBackend for InMemoryBackend {
     }
 
     fn begin(&mut self) -> RqsResult<()> {
-        self.txn_baseline = Some(BTreeMap::new());
+        if self.active.is_some() {
+            return Err(RqsError::Internal("transaction already active".into()));
+        }
+        self.next_txn += 1;
+        let id = self.next_txn;
+        self.txns.insert(id, BTreeMap::new());
+        self.active = Some(id);
         Ok(())
     }
 
     fn commit(&mut self) -> RqsResult<()> {
-        self.txn_baseline = None;
+        let Some(id) = self.active.take() else {
+            return Err(RqsError::Internal("commit without begin".into()));
+        };
+        self.txns.remove(&id);
         Ok(())
     }
 
     fn abort(&mut self) {
-        let Some(baseline) = self.txn_baseline.take() else {
-            return;
-        };
-        for (name, len) in baseline {
-            if let Some(table) = self.tables.get_mut(&name) {
-                table.rows.truncate(len);
-                for index in table.indexes.values_mut() {
-                    for postings in index.values_mut() {
-                        postings.retain(|&rid| rid < len);
-                    }
-                    index.retain(|_, postings| !postings.is_empty());
-                }
-            }
+        if let Some(id) = self.active {
+            self.restore(id);
         }
+    }
+
+    fn in_txn(&self) -> bool {
+        self.active.is_some()
+    }
+
+    fn begin_session(&mut self) -> RqsResult<u64> {
+        self.next_txn += 1;
+        let id = self.next_txn;
+        self.txns.insert(id, BTreeMap::new());
+        Ok(id)
+    }
+
+    fn resume_session(&mut self, id: u64) -> RqsResult<()> {
+        if !self.txns.contains_key(&id) {
+            return Err(RqsError::Internal(format!(
+                "resume of unknown transaction {id}"
+            )));
+        }
+        if self.active.is_some() && self.active != Some(id) {
+            return Err(RqsError::Internal(
+                "another transaction is active; suspend it first".into(),
+            ));
+        }
+        self.active = Some(id);
+        Ok(())
+    }
+
+    fn suspend_session(&mut self) {
+        self.active = None;
+    }
+
+    fn commit_session(&mut self, id: u64) -> RqsResult<()> {
+        self.txns.remove(&id);
+        if self.active == Some(id) {
+            self.active = None;
+        }
+        Ok(())
+    }
+
+    fn abort_session(&mut self, id: u64) {
+        self.restore(id);
     }
 
     fn insert(&mut self, name: &str, tuple: Tuple) -> RqsResult<()> {
@@ -263,10 +470,8 @@ impl StorageBackend for InMemoryBackend {
         if encoded > storage::page::Page::max_record_len() {
             return Err(StorageError::RecordTooLarge(encoded).into());
         }
-        let rows_before = self.table(name)?.rows.len();
-        if let Some(baseline) = &mut self.txn_baseline {
-            baseline.entry(name.to_owned()).or_insert(rows_before);
-        }
+        self.table(name)?;
+        self.touch_rows(name);
         let table = self.table_mut(name)?;
         let rid = table.rows.len();
         for (&col, index) in table.indexes.iter_mut() {
@@ -292,6 +497,8 @@ impl StorageBackend for InMemoryBackend {
     }
 
     fn create_index(&mut self, name: &str, col: usize) -> RqsResult<()> {
+        self.table(name)?;
+        self.touch_full(name);
         let table = self.table_mut(name)?;
         let mut index: BTreeMap<Datum, Vec<usize>> = BTreeMap::new();
         for (rid, row) in table.rows.iter().enumerate() {
@@ -316,6 +523,27 @@ impl StorageBackend for InMemoryBackend {
         Ok(Some(
             rids.iter().map(|&rid| table.rows[rid].clone()).collect(),
         ))
+    }
+
+    fn index_range(
+        &self,
+        name: &str,
+        col: usize,
+        lower: Bound<&Datum>,
+        upper: Bound<&Datum>,
+    ) -> RqsResult<Option<Vec<Tuple>>> {
+        let table = self.table(name)?;
+        let Some(index) = table.indexes.get(&col) else {
+            return Ok(None);
+        };
+        if bounds_are_empty(&lower, &upper) {
+            return Ok(Some(Vec::new()));
+        }
+        let mut out = Vec::new();
+        for rids in index.range((lower, upper)).map(|(_, v)| v) {
+            out.extend(rids.iter().map(|&rid| table.rows[rid].clone()));
+        }
+        Ok(Some(out))
     }
 
     fn stats(&self) -> PoolStats {
@@ -353,6 +581,16 @@ pub(crate) fn from_col_type(ty: ColType) -> crate::catalog::ColumnType {
 pub struct PagedBackend {
     engine: StorageEngine,
 }
+
+// Compile-time proof that the storage rewrite holds: both backends (and
+// therefore `Box<dyn StorageBackend>`) cross thread boundaries, which
+// is what lets the `server` crate share one database among sessions.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<PagedBackend>();
+    assert_send::<InMemoryBackend>();
+    assert_send::<Box<dyn StorageBackend>>();
+};
 
 impl PagedBackend {
     /// Anonymous in-memory paged database (pages + buffer pool, no file).
@@ -438,6 +676,19 @@ impl StorageBackend for PagedBackend {
         Ok(self.engine.index_lookup(name, col, key)?)
     }
 
+    fn index_range(
+        &self,
+        name: &str,
+        col: usize,
+        lower: Bound<&Datum>,
+        upper: Bound<&Datum>,
+    ) -> RqsResult<Option<Vec<Tuple>>> {
+        if bounds_are_empty(&lower, &upper) && self.engine.has_index(name, col) {
+            return Ok(Some(Vec::new()));
+        }
+        Ok(self.engine.index_range(name, col, lower, upper)?)
+    }
+
     fn stats(&self) -> PoolStats {
         self.engine.pool_stats()
     }
@@ -447,7 +698,8 @@ impl StorageBackend for PagedBackend {
     }
 
     fn begin(&mut self) -> RqsResult<()> {
-        Ok(self.engine.begin()?)
+        self.engine.begin()?;
+        Ok(())
     }
 
     fn commit(&mut self) -> RqsResult<()> {
@@ -456,6 +708,32 @@ impl StorageBackend for PagedBackend {
 
     fn abort(&mut self) {
         self.engine.abort();
+    }
+
+    fn in_txn(&self) -> bool {
+        self.engine.in_txn()
+    }
+
+    fn begin_session(&mut self) -> RqsResult<u64> {
+        let id = self.engine.begin()?;
+        self.engine.suspend();
+        Ok(id)
+    }
+
+    fn resume_session(&mut self, id: u64) -> RqsResult<()> {
+        Ok(self.engine.resume(id)?)
+    }
+
+    fn suspend_session(&mut self) {
+        self.engine.suspend();
+    }
+
+    fn commit_session(&mut self, id: u64) -> RqsResult<()> {
+        Ok(self.engine.commit_txn(id)?)
+    }
+
+    fn abort_session(&mut self, id: u64) {
+        self.engine.abort_txn(id);
     }
 
     fn persist_constraints(

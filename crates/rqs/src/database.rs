@@ -177,10 +177,18 @@ impl Database {
     /// aborting (and rolling back pages + engine catalog) if any step
     /// fails. This is what makes a multi-row INSERT, or a DML statement
     /// interrupted by an I/O error mid-index-maintenance, atomic.
+    ///
+    /// When a session transaction is already active (the shared server
+    /// resumed one around this statement), the statement simply joins
+    /// it: the session owns commit/abort, and an error making it out of
+    /// here tells the session to abort the whole transaction.
     fn run_txn<T>(
         backend: &mut Box<dyn StorageBackend>,
         f: impl FnOnce(&mut dyn StorageBackend) -> RqsResult<T>,
     ) -> RqsResult<T> {
+        if backend.in_txn() {
+            return f(backend.as_mut());
+        }
         backend.begin()?;
         match f(backend.as_mut()) {
             Ok(v) => match backend.commit() {
@@ -195,6 +203,39 @@ impl Database {
                 Err(e)
             }
         }
+    }
+
+    // -----------------------------------------------------------------
+    // Session transactions (the shared server's surface)
+    // -----------------------------------------------------------------
+
+    /// Opens a session-scoped transaction spanning several `execute`
+    /// calls and returns its id (suspended; resume it per statement).
+    /// DDL is not supported inside session transactions — the schema
+    /// registry has no per-transaction rollback (the server enforces
+    /// this before executing).
+    pub fn begin_session_txn(&mut self) -> RqsResult<u64> {
+        self.backend.begin_session()
+    }
+
+    /// Makes an open session transaction active for the next statement.
+    pub fn resume_session_txn(&mut self, id: u64) -> RqsResult<()> {
+        self.backend.resume_session(id)
+    }
+
+    /// Suspends the active session transaction after a statement.
+    pub fn suspend_session_txn(&mut self) {
+        self.backend.suspend_session();
+    }
+
+    /// Commits an open session transaction.
+    pub fn commit_session_txn(&mut self, id: u64) -> RqsResult<()> {
+        self.backend.commit_session(id)
+    }
+
+    /// Rolls an open session transaction back.
+    pub fn abort_session_txn(&mut self, id: u64) {
+        self.backend.abort_session(id);
     }
 
     /// Executes one SQL statement. Mutating statements run as one WAL
@@ -474,6 +515,63 @@ mod tests {
             scan.metrics.page_reads
         );
         assert_eq!(indexed.metrics.rows_scanned, 1);
+    }
+
+    #[test]
+    fn paged_index_range_scan_reads_fewer_pages_than_full_scan() {
+        let mut db = Database::paged(8).unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        for i in 0..2000 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                .unwrap();
+        }
+        let q = "SELECT v.b FROM t v WHERE v.a >= 100 AND v.a < 120";
+        let scan = db.execute(q).unwrap();
+        db.execute("CREATE INDEX ON t (a)").unwrap();
+        let ranged = db.execute(q).unwrap();
+        assert_eq!(scan.rows, ranged.rows);
+        assert_eq!(ranged.rows.len(), 20);
+        assert_eq!(
+            ranged.metrics.rows_scanned, 20,
+            "range cursor must touch only the matching keys"
+        );
+        assert!(
+            ranged.metrics.page_reads < scan.metrics.page_reads,
+            "range read {} pages, full scan {}",
+            ranged.metrics.page_reads,
+            scan.metrics.page_reads
+        );
+        // One-sided and contradictory ranges behave too.
+        let r = db.execute("SELECT v.b FROM t v WHERE v.a > 1997").unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let r = db
+            .execute("SELECT v.b FROM t v WHERE v.a > 10 AND v.a < 5")
+            .unwrap();
+        assert!(r.rows.is_empty());
+    }
+
+    #[test]
+    fn range_restrictions_agree_across_backends() {
+        let queries = [
+            "SELECT v.a FROM t v WHERE v.a < 7",
+            "SELECT v.a FROM t v WHERE v.a >= 3 AND v.a <= 12",
+            "SELECT v.a FROM t v WHERE v.a > 3 AND v.a < 4",
+            "SELECT v.a FROM t v WHERE v.a > 18 AND v.b = 'x19'",
+            "SELECT v.a FROM t v WHERE v.a >= 5 AND v.a >= 9 AND v.a < 11",
+        ];
+        let mut results: Vec<Vec<QueryResult>> = Vec::new();
+        for mut db in [Database::new(), Database::paged(8).unwrap()] {
+            db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+            for i in 0..20 {
+                db.execute(&format!("INSERT INTO t VALUES ({i}, 'x{i}')"))
+                    .unwrap();
+            }
+            db.execute("CREATE INDEX ON t (a)").unwrap();
+            results.push(queries.iter().map(|q| db.execute(q).unwrap()).collect());
+        }
+        for (q, (mem, paged)) in queries.iter().zip(results[0].iter().zip(&results[1])) {
+            assert_eq!(mem.rows, paged.rows, "backends diverged on {q}");
+        }
     }
 
     #[test]

@@ -19,6 +19,11 @@ pub enum RqsError {
     Type(String),
     /// An integrity constraint rejected a modification.
     ConstraintViolation(String),
+    /// A concurrent transaction holds a resource this statement needs
+    /// (lock conflict, wait-die abort, or lock timeout). The statement
+    /// — and any explicit transaction it ran in — was rolled back; the
+    /// client may retry.
+    Conflict(String),
     /// Internal invariant failure (a bug in the engine).
     Internal(String),
 }
@@ -32,6 +37,7 @@ impl fmt::Display for RqsError {
             RqsError::DuplicateTable(t) => write!(f, "table already exists: {t}"),
             RqsError::Type(m) => write!(f, "type error: {m}"),
             RqsError::ConstraintViolation(m) => write!(f, "integrity constraint violated: {m}"),
+            RqsError::Conflict(m) => write!(f, "transaction conflict: {m}"),
             RqsError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }

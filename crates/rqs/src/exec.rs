@@ -295,6 +295,35 @@ fn scan_var(
             return Ok(rows.into_iter().filter(check).collect());
         }
     }
+    // Ordered-index path: inequality restrictions (`<`, `<=`, `>`, `>=`
+    // — a BETWEEN is two of them) on an indexed column collapse into
+    // one range cursor over the B+-tree's leaf chain, touching only the
+    // matching key range instead of the whole heap.
+    use crate::sql::ast::CmpOp;
+    use std::ops::Bound;
+    for r in &restrictions {
+        if !matches!(r.op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
+            || !snap.backend.has_index(&info.table, r.col)
+        {
+            continue;
+        }
+        let col = r.col;
+        let mut lower: Bound<&Datum> = Bound::Unbounded;
+        let mut upper: Bound<&Datum> = Bound::Unbounded;
+        for s in restrictions.iter().filter(|s| s.col == col) {
+            match s.op {
+                CmpOp::Gt => lower = tighten_lower(lower, Bound::Excluded(&s.value)),
+                CmpOp::Ge => lower = tighten_lower(lower, Bound::Included(&s.value)),
+                CmpOp::Lt => upper = tighten_upper(upper, Bound::Excluded(&s.value)),
+                CmpOp::Le => upper = tighten_upper(upper, Bound::Included(&s.value)),
+                _ => {}
+            }
+        }
+        if let Some(rows) = snap.backend.index_range(&info.table, col, lower, upper)? {
+            metrics.rows_scanned += rows.len() as u64;
+            return Ok(rows.into_iter().filter(check).collect());
+        }
+    }
     // Filter over borrowed rows, cloning only the survivors.
     let mut rows = Vec::new();
     let mut scanned = 0u64;
@@ -306,6 +335,56 @@ fn scan_var(
     })?;
     metrics.rows_scanned += scanned;
     Ok(rows)
+}
+
+/// The tighter of two lower bounds (the larger value; on ties an
+/// exclusive bound excludes more).
+fn tighten_lower<'a>(
+    cur: std::ops::Bound<&'a Datum>,
+    new: std::ops::Bound<&'a Datum>,
+) -> std::ops::Bound<&'a Datum> {
+    use std::ops::Bound::*;
+    let (cv, cx) = match cur {
+        Unbounded => return new,
+        Included(v) => (v, false),
+        Excluded(v) => (v, true),
+    };
+    let (nv, nx) = match new {
+        Unbounded => return cur,
+        Included(v) => (v, false),
+        Excluded(v) => (v, true),
+    };
+    match nv.total_cmp(cv) {
+        std::cmp::Ordering::Greater => new,
+        std::cmp::Ordering::Less => cur,
+        std::cmp::Ordering::Equal if nx && !cx => new,
+        std::cmp::Ordering::Equal => cur,
+    }
+}
+
+/// The tighter of two upper bounds (the smaller value; on ties an
+/// exclusive bound excludes more).
+fn tighten_upper<'a>(
+    cur: std::ops::Bound<&'a Datum>,
+    new: std::ops::Bound<&'a Datum>,
+) -> std::ops::Bound<&'a Datum> {
+    use std::ops::Bound::*;
+    let (cv, cx) = match cur {
+        Unbounded => return new,
+        Included(v) => (v, false),
+        Excluded(v) => (v, true),
+    };
+    let (nv, nx) = match new {
+        Unbounded => return cur,
+        Included(v) => (v, false),
+        Excluded(v) => (v, true),
+    };
+    match nv.total_cmp(cv) {
+        std::cmp::Ordering::Less => new,
+        std::cmp::Ordering::Greater => cur,
+        std::cmp::Ordering::Equal if nx && !cx => new,
+        std::cmp::Ordering::Equal => cur,
+    }
 }
 
 #[cfg(test)]

@@ -50,8 +50,11 @@
 //! the price of durability. The two backends are observationally
 //! identical through SQL (enforced by `tests/backend_differential.rs`
 //! and the crash harness in `tests/crash_recovery.rs`); they differ
-//! only in physical cost. Concurrency control is future work tracked
-//! in ROADMAP.md.
+//! only in physical cost. Both are `Send` and support any number of
+//! open session-scoped transactions (one active at a time), which is
+//! what the `server` crate builds its concurrent shared-database
+//! sessions on — isolation between sessions lives there, in a
+//! table-level two-phase lock manager.
 //!
 //! Crucially, this crate depends on nothing else in the workspace above
 //! the storage layer: the only connection between front-end and DBMS is

@@ -1,0 +1,635 @@
+//! The shared-database server: one database, many concurrent sessions.
+//!
+//! The paper couples a Prolog front-end to a *shared* relational query
+//! system; this crate is the sharing. A [`SharedDatabase`] is an
+//! `Arc`-cloneable, `Send` handle over one [`rqs::Database`] (either
+//! backend). Each client gets a [`ServerSession`], which accepts the
+//! same SQL the database does plus three session-control statements:
+//!
+//! * `BEGIN` — open an explicit transaction spanning the following
+//!   statements;
+//! * `COMMIT` — make it durable (forces the WAL on paged backends);
+//! * `ROLLBACK` (or `ABORT`) — undo all of it.
+//!
+//! Without `BEGIN`, every statement autocommits, exactly as before.
+//!
+//! # Concurrency model
+//!
+//! Statements execute one at a time (a mutex over the database — the
+//! engine's working set is one buffer pool, so statement execution is
+//! not the part worth parallelizing), but *transactions interleave at
+//! statement granularity*: while session A's transaction is open,
+//! sessions B, C, … run their own statements and transactions. What
+//! keeps that serializable is strict table-level two-phase locking
+//! ([`storage::lock::LockManager`]):
+//!
+//! * before a statement runs, its session takes a shared lock on every
+//!   table it reads and an exclusive lock on every table it writes
+//!   (plus the parent tables of foreign-key checks, shared);
+//! * DDL takes the schema pseudo-lock exclusively; every other
+//!   statement takes it shared — so DDL serializes against everything;
+//! * locks are held to transaction end (autocommit: statement end);
+//! * deadlocks are avoided by wait-die: older transactions wait,
+//!   younger ones abort with [`RqsError::Conflict`] and may simply
+//!   retry.
+//!
+//! Because writers exclude readers at table granularity, there are no
+//! dirty reads (the buffer pool holds uncommitted pages, but no other
+//! session can reach them through a locked table), no lost updates and
+//! no write skew — the classic anomalies the concurrency test suite
+//! probes for.
+//!
+//! An error during an explicit transaction (constraint violation, lock
+//! conflict, I/O failure) aborts the *whole* transaction — the session
+//! reports [`ServerError::RolledBack`] so the client knows to restart
+//! it. DDL inside an explicit transaction is rejected up front: the
+//! relational schema registry has no per-transaction rollback.
+//!
+//! The [`net`] module serves sessions over TCP with a line-oriented
+//! text protocol; in-process callers just use [`SharedDatabase::session`]
+//! directly.
+
+pub mod net;
+
+use rqs::sql::{SelectStmt, Statement};
+use rqs::{Catalog, Database, QueryResult, RqsError, TableConstraint};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Duration;
+use storage::{LockManager, LockMode};
+
+/// The pseudo-resource DDL locks exclusively and every other statement
+/// locks shared. The leading NUL keeps it out of the table namespace.
+const SCHEMA_RESOURCE: &str = "\0schema";
+
+/// Errors surfaced by a session.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServerError {
+    /// The statement failed; no explicit transaction was open (or the
+    /// failure happened outside one), so only the statement rolled back.
+    Statement(RqsError),
+    /// The statement failed *inside* an explicit transaction, which was
+    /// rolled back entirely; the client should restart it.
+    RolledBack(RqsError),
+    /// Session-control misuse: `BEGIN` inside a transaction, `COMMIT`
+    /// without one, DDL inside an explicit transaction.
+    Session(String),
+    /// The shared database has been shut down (crash simulation).
+    Closed,
+}
+
+impl fmt::Display for ServerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServerError::Statement(e) => write!(f, "{e}"),
+            ServerError::RolledBack(e) => write!(f, "{e} (transaction rolled back)"),
+            ServerError::Session(m) => write!(f, "session error: {m}"),
+            ServerError::Closed => write!(f, "database is closed"),
+        }
+    }
+}
+
+impl std::error::Error for ServerError {}
+
+impl ServerError {
+    /// The statement can be retried as-is (lock conflict under
+    /// wait-die or lock timeout, after restarting any transaction).
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            ServerError::Statement(RqsError::Conflict(_))
+                | ServerError::RolledBack(RqsError::Conflict(_))
+        )
+    }
+}
+
+pub type ServerResult<T> = Result<T, ServerError>;
+
+struct Shared {
+    /// `None` once [`SharedDatabase::crash`] ran.
+    db: Mutex<Option<Database>>,
+    locks: LockManager,
+    /// Lock-owner timestamps: smaller = older (wait-die winners).
+    next_owner: AtomicU64,
+}
+
+fn db_slot(m: &Mutex<Option<Database>>) -> MutexGuard<'_, Option<Database>> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// An `Arc`-cloneable, `Send` handle to one shared database. Clone it
+/// into as many threads as you like; open a [`ServerSession`] per
+/// client.
+#[derive(Clone)]
+pub struct SharedDatabase {
+    inner: Arc<Shared>,
+}
+
+impl SharedDatabase {
+    /// Shares an existing database (either backend).
+    pub fn from_database(db: Database) -> SharedDatabase {
+        Self::with_lock_timeout(db, Duration::from_secs(10))
+    }
+
+    /// Like [`SharedDatabase::from_database`] with a custom lock-wait
+    /// timeout (tests use short ones).
+    pub fn with_lock_timeout(db: Database, timeout: Duration) -> SharedDatabase {
+        SharedDatabase {
+            inner: Arc::new(Shared {
+                db: Mutex::new(Some(db)),
+                locks: LockManager::with_timeout(timeout),
+                next_owner: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// A shared in-memory database (the original backend).
+    pub fn in_memory() -> SharedDatabase {
+        Self::from_database(Database::new())
+    }
+
+    /// A shared paged database on anonymous in-memory pages.
+    pub fn paged(pool_pages: usize) -> rqs::RqsResult<SharedDatabase> {
+        Ok(Self::from_database(Database::paged(pool_pages)?))
+    }
+
+    /// Opens (creating if missing) a shared file-backed paged database;
+    /// the WAL is replayed before the first session sees it.
+    pub fn open(path: &std::path::Path, pool_pages: usize) -> rqs::RqsResult<SharedDatabase> {
+        Ok(Self::from_database(Database::open_paged(path, pool_pages)?))
+    }
+
+    /// Opens a new session. Sessions are independent: each has its own
+    /// autocommit/explicit-transaction state.
+    pub fn session(&self) -> ServerSession {
+        ServerSession {
+            shared: Arc::clone(&self.inner),
+            txn: None,
+        }
+    }
+
+    /// Runs `f` with the underlying database (test assertions, ops).
+    /// Takes the statement mutex; do not call while holding a session
+    /// mid-statement (sessions never are between calls).
+    pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> ServerResult<R> {
+        let mut slot = db_slot(&self.inner.db);
+        let db = slot.as_mut().ok_or(ServerError::Closed)?;
+        Ok(f(db))
+    }
+
+    /// Checkpoint: fold the WAL into the database file (fails while
+    /// transactions are open, like the engine itself).
+    pub fn checkpoint(&self) -> ServerResult<()> {
+        self.with_db(|db| db.checkpoint())?
+            .map_err(ServerError::Statement)
+    }
+
+    /// Simulates a crash: the database is dropped *without* flushing
+    /// buffered pages, open transactions evaporate (they were never
+    /// logged), and every subsequent session call returns
+    /// [`ServerError::Closed`]. Reopen the file to recover.
+    pub fn crash(&self) -> ServerResult<()> {
+        let mut slot = db_slot(&self.inner.db);
+        let db = slot.take().ok_or(ServerError::Closed)?;
+        db.crash();
+        Ok(())
+    }
+}
+
+/// One open transaction of a session.
+struct OpenTxn {
+    /// Lock-owner timestamp (wait-die age).
+    owner: u64,
+    /// Backend transaction id.
+    txn: u64,
+}
+
+/// One client's connection state: autocommit by default, or an explicit
+/// transaction between `BEGIN` and `COMMIT`/`ROLLBACK`.
+pub struct ServerSession {
+    shared: Arc<Shared>,
+    txn: Option<OpenTxn>,
+}
+
+impl ServerSession {
+    /// Whether an explicit transaction is open.
+    pub fn in_txn(&self) -> bool {
+        self.txn.is_some()
+    }
+
+    /// Executes one statement: SQL, or the session-control verbs
+    /// `BEGIN` / `COMMIT` / `ROLLBACK` (alias `ABORT`).
+    pub fn execute(&mut self, sql: &str) -> ServerResult<QueryResult> {
+        let verb = sql
+            .split_whitespace()
+            .next()
+            .unwrap_or("")
+            .to_ascii_uppercase();
+        match verb.as_str() {
+            "BEGIN" => self.begin(),
+            "COMMIT" | "END" => self.commit(),
+            "ROLLBACK" | "ABORT" => self.rollback(),
+            _ => self.statement(sql),
+        }
+    }
+
+    fn begin(&mut self) -> ServerResult<QueryResult> {
+        if self.txn.is_some() {
+            return Err(ServerError::Session(
+                "BEGIN inside an open transaction".into(),
+            ));
+        }
+        let owner = self.shared.next_owner.fetch_add(1, Ordering::SeqCst);
+        let txn = {
+            let mut slot = db_slot(&self.shared.db);
+            let db = slot.as_mut().ok_or(ServerError::Closed)?;
+            db.begin_session_txn().map_err(ServerError::Statement)?
+        };
+        self.txn = Some(OpenTxn { owner, txn });
+        Ok(QueryResult::default())
+    }
+
+    fn commit(&mut self) -> ServerResult<QueryResult> {
+        let Some(open) = self.txn.take() else {
+            return Err(ServerError::Session("COMMIT without BEGIN".into()));
+        };
+        let result = {
+            let mut slot = db_slot(&self.shared.db);
+            match slot.as_mut() {
+                Some(db) => db.commit_session_txn(open.txn),
+                None => {
+                    drop(slot);
+                    return self.closed(open.owner);
+                }
+            }
+        };
+        self.shared.locks.release_all(open.owner);
+        match result {
+            Ok(()) => Ok(QueryResult::default()),
+            // The backend rolled the transaction back before erroring.
+            Err(e) => Err(ServerError::RolledBack(e)),
+        }
+    }
+
+    fn rollback(&mut self) -> ServerResult<QueryResult> {
+        let Some(open) = self.txn.take() else {
+            return Err(ServerError::Session("ROLLBACK without BEGIN".into()));
+        };
+        {
+            let mut slot = db_slot(&self.shared.db);
+            match slot.as_mut() {
+                Some(db) => db.abort_session_txn(open.txn),
+                None => {
+                    drop(slot);
+                    return self.closed(open.owner);
+                }
+            }
+        }
+        self.shared.locks.release_all(open.owner);
+        Ok(QueryResult::default())
+    }
+
+    fn statement(&mut self, sql: &str) -> ServerResult<QueryResult> {
+        let stmt = rqs::sql::parse_statement(sql).map_err(ServerError::Statement)?;
+        let ddl = matches!(
+            stmt,
+            Statement::CreateTable { .. }
+                | Statement::DropTable { .. }
+                | Statement::CreateIndex { .. }
+        );
+        if ddl && self.txn.is_some() {
+            return Err(ServerError::Session(
+                "DDL is not allowed inside an explicit transaction".into(),
+            ));
+        }
+        let owner = match &self.txn {
+            Some(open) => open.owner,
+            None => self.shared.next_owner.fetch_add(1, Ordering::SeqCst),
+        };
+
+        // Phase 1: locks, acquired *before* the statement mutex so a
+        // waiter never blocks the session that must release it.
+        // Schema first (stabilizes the catalog against DDL), then the
+        // statement's tables in name order.
+        let schema_mode = if ddl {
+            LockMode::Exclusive
+        } else {
+            LockMode::Shared
+        };
+        if let Err(e) = self
+            .shared
+            .locks
+            .acquire(owner, SCHEMA_RESOURCE, schema_mode)
+        {
+            return self.fail(owner, e.into());
+        }
+        let plan = {
+            let mut slot = db_slot(&self.shared.db);
+            slot.as_mut().map(|db| lock_plan(&stmt, db.catalog()))
+        };
+        let Some(plan) = plan else {
+            return self.closed(owner);
+        };
+        for (table, mode) in &plan {
+            if let Err(e) = self.shared.locks.acquire(owner, table, *mode) {
+                return self.fail(owner, e.into());
+            }
+        }
+
+        // Phase 2: execute under the statement mutex, with the session's
+        // transaction (if any) switched in.
+        let result = {
+            let mut slot = db_slot(&self.shared.db);
+            let Some(db) = slot.as_mut() else {
+                drop(slot);
+                return self.closed(owner);
+            };
+            match &self.txn {
+                Some(open) => match db.resume_session_txn(open.txn) {
+                    Ok(()) => {
+                        let r = db.execute(sql);
+                        db.suspend_session_txn();
+                        r
+                    }
+                    Err(e) => Err(e),
+                },
+                None => db.execute(sql),
+            }
+        };
+        match result {
+            Ok(r) => {
+                if self.txn.is_none() {
+                    // Autocommit: the statement's own transaction has
+                    // committed; its locks end with it.
+                    self.shared.locks.release_all(owner);
+                }
+                Ok(r)
+            }
+            Err(e) => self.fail(owner, e),
+        }
+    }
+
+    /// Failure path: an error inside an explicit transaction aborts the
+    /// whole transaction (statement-level atomicity is not separable
+    /// from it once several statements share one WAL transaction).
+    fn fail(&mut self, owner: u64, e: RqsError) -> ServerResult<QueryResult> {
+        if let Some(open) = self.txn.take() {
+            if let Some(db) = db_slot(&self.shared.db).as_mut() {
+                db.abort_session_txn(open.txn);
+            }
+            self.shared.locks.release_all(open.owner);
+            return Err(ServerError::RolledBack(e));
+        }
+        self.shared.locks.release_all(owner);
+        Err(ServerError::Statement(e))
+    }
+
+    /// Closed-database path: the transaction (if any) evaporated with
+    /// the database, but the session's locks must still be released or
+    /// every later session would see eternal conflicts instead of
+    /// [`ServerError::Closed`].
+    fn closed(&mut self, owner: u64) -> ServerResult<QueryResult> {
+        if let Some(open) = self.txn.take() {
+            self.shared.locks.release_all(open.owner);
+        }
+        self.shared.locks.release_all(owner);
+        Err(ServerError::Closed)
+    }
+}
+
+impl Drop for ServerSession {
+    /// A dropped session rolls its open transaction back and releases
+    /// its locks — a disconnected client must not wedge the server.
+    fn drop(&mut self) {
+        if let Some(open) = self.txn.take() {
+            if let Some(db) = db_slot(&self.shared.db).as_mut() {
+                db.abort_session_txn(open.txn);
+            }
+            self.shared.locks.release_all(open.owner);
+        }
+    }
+}
+
+/// The tables a statement touches and how: exclusive for targets of
+/// writes, shared for reads (scans, subqueries, and the parent tables
+/// foreign-key checks probe). DDL needs no table locks — its exclusive
+/// schema lock already serializes it against every statement.
+fn lock_plan(stmt: &Statement, catalog: &Catalog) -> BTreeMap<String, LockMode> {
+    let mut plan: BTreeMap<String, LockMode> = BTreeMap::new();
+    let read = |plan: &mut BTreeMap<String, LockMode>, table: &str| {
+        plan.entry(table.to_owned()).or_insert(LockMode::Shared);
+    };
+    match stmt {
+        Statement::Select(s) | Statement::Explain(s) => {
+            let mut tables = Vec::new();
+            collect_select_tables(s, &mut tables);
+            for t in tables {
+                read(&mut plan, &t);
+            }
+        }
+        Statement::Insert { table, .. } => {
+            // Constraint checks read the foreign-key parents.
+            if let Ok(schema) = catalog.table(table) {
+                for c in &schema.constraints {
+                    if let TableConstraint::ForeignKey { parent_table, .. } = c {
+                        read(&mut plan, parent_table);
+                    }
+                }
+            }
+            plan.insert(table.clone(), LockMode::Exclusive);
+        }
+        Statement::Delete { table } => {
+            plan.insert(table.clone(), LockMode::Exclusive);
+        }
+        Statement::CreateTable { .. }
+        | Statement::DropTable { .. }
+        | Statement::CreateIndex { .. } => {}
+    }
+    plan
+}
+
+/// Every table named anywhere in a SELECT: FROM clauses of the core,
+/// the UNION arms, and `[NOT] IN` subqueries, recursively.
+fn collect_select_tables(stmt: &SelectStmt, out: &mut Vec<String>) {
+    for core in std::iter::once(&stmt.core).chain(stmt.unions.iter()) {
+        for (table, _) in &core.from {
+            out.push(table.clone());
+        }
+        for cond in &core.conds {
+            if let rqs::sql::Condition::InSubquery { subquery, .. } = cond {
+                collect_select_tables(subquery, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rqs::Datum;
+
+    const _: fn() = || {
+        fn assert_send<T: Send>() {}
+        assert_send::<SharedDatabase>();
+        assert_send::<ServerSession>();
+    };
+
+    fn shared() -> SharedDatabase {
+        SharedDatabase::with_lock_timeout(Database::paged(32).unwrap(), Duration::from_millis(200))
+    }
+
+    #[test]
+    fn autocommit_statements_flow_like_a_plain_database() {
+        let db = shared();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        let r = s
+            .execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        let r = s.execute("SELECT v.b FROM t v WHERE v.a = 2").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::text("y")]]);
+    }
+
+    #[test]
+    fn explicit_transactions_commit_and_roll_back() {
+        let db = shared();
+        let mut a = db.session();
+        let mut b = db.session();
+        a.execute("CREATE TABLE t (a INT)").unwrap();
+
+        a.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO t VALUES (1)").unwrap();
+        a.execute("COMMIT").unwrap();
+        assert_eq!(b.execute("SELECT v.a FROM t v").unwrap().rows.len(), 1);
+
+        a.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO t VALUES (2)").unwrap();
+        a.execute("ROLLBACK").unwrap();
+        assert_eq!(b.execute("SELECT v.a FROM t v").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn session_control_misuse_is_rejected() {
+        let db = shared();
+        let mut s = db.session();
+        assert!(matches!(s.execute("COMMIT"), Err(ServerError::Session(_))));
+        assert!(matches!(
+            s.execute("ROLLBACK"),
+            Err(ServerError::Session(_))
+        ));
+        s.execute("BEGIN").unwrap();
+        assert!(matches!(s.execute("BEGIN"), Err(ServerError::Session(_))));
+        assert!(matches!(
+            s.execute("CREATE TABLE t (a INT)"),
+            Err(ServerError::Session(_))
+        ));
+        s.execute("ROLLBACK").unwrap();
+    }
+
+    #[test]
+    fn writer_blocks_reader_until_commit_no_dirty_reads() {
+        let db = shared();
+        let mut a = db.session();
+        a.execute("CREATE TABLE t (a INT)").unwrap();
+        a.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO t VALUES (1)").unwrap();
+        // A younger reader dies on the exclusive lock rather than
+        // seeing the uncommitted row.
+        let mut b = db.session();
+        let err = b.execute("SELECT v.a FROM t v").unwrap_err();
+        assert!(err.is_retryable(), "{err}");
+        a.execute("COMMIT").unwrap();
+        assert_eq!(b.execute("SELECT v.a FROM t v").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn statement_error_inside_txn_rolls_the_whole_txn_back() {
+        let db = shared();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (a INT, PRIMARY KEY (a))")
+            .unwrap();
+        s.execute("INSERT INTO t VALUES (1)").unwrap();
+        s.execute("BEGIN").unwrap();
+        s.execute("INSERT INTO t VALUES (2)").unwrap();
+        let err = s.execute("INSERT INTO t VALUES (1)").unwrap_err();
+        assert!(matches!(err, ServerError::RolledBack(_)), "{err}");
+        assert!(!s.in_txn(), "transaction must be gone");
+        let rows = s.execute("SELECT v.a FROM t v").unwrap().rows;
+        assert_eq!(rows, vec![vec![Datum::Int(1)]], "row 2 rolled back");
+    }
+
+    #[test]
+    fn dropped_session_releases_its_locks_and_transaction() {
+        let db = shared();
+        let mut a = db.session();
+        a.execute("CREATE TABLE t (a INT)").unwrap();
+        {
+            let mut doomed = db.session();
+            doomed.execute("BEGIN").unwrap();
+            doomed.execute("INSERT INTO t VALUES (9)").unwrap();
+            // Dropped here: rollback + release.
+        }
+        let r = a.execute("SELECT v.a FROM t v").unwrap();
+        assert!(r.rows.is_empty(), "doomed insert must not survive");
+        a.execute("INSERT INTO t VALUES (1)").unwrap();
+    }
+
+    #[test]
+    fn crash_mid_transaction_releases_locks_instead_of_leaking_them() {
+        // Regression: a statement observing Closed used to return early
+        // with its (and its transaction's) locks still registered, so
+        // later sessions saw eternal retryable Conflicts instead of
+        // Closed.
+        let db = shared();
+        let mut a = db.session();
+        a.execute("CREATE TABLE t (a INT)").unwrap();
+        a.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO t VALUES (1)").unwrap();
+        db.crash().unwrap();
+        assert!(matches!(
+            a.execute("INSERT INTO t VALUES (2)"),
+            Err(ServerError::Closed)
+        ));
+        assert!(!a.in_txn(), "the transaction died with the database");
+        // A younger session must now observe Closed, not a lock
+        // conflict against A's ghost.
+        let mut b = db.session();
+        assert!(matches!(
+            b.execute("SELECT v.a FROM t v"),
+            Err(ServerError::Closed)
+        ));
+        assert!(matches!(a.execute("COMMIT"), Err(ServerError::Session(_))));
+    }
+
+    #[test]
+    fn crash_closes_the_database_for_every_session() {
+        let db = shared();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        db.crash().unwrap();
+        assert!(matches!(
+            s.execute("SELECT v.a FROM t v"),
+            Err(ServerError::Closed)
+        ));
+        assert!(matches!(db.crash(), Err(ServerError::Closed)));
+    }
+
+    #[test]
+    fn in_memory_backend_shares_too() {
+        let db = SharedDatabase::in_memory();
+        let mut a = db.session();
+        let mut b = db.session();
+        a.execute("CREATE TABLE t (a INT)").unwrap();
+        a.execute("BEGIN").unwrap();
+        a.execute("INSERT INTO t VALUES (1)").unwrap();
+        a.execute("ROLLBACK").unwrap();
+        b.execute("BEGIN").unwrap();
+        b.execute("INSERT INTO t VALUES (2)").unwrap();
+        b.execute("COMMIT").unwrap();
+        let rows = a.execute("SELECT v.a FROM t v").unwrap().rows;
+        assert_eq!(rows, vec![vec![Datum::Int(2)]]);
+    }
+}

@@ -1,0 +1,307 @@
+//! Line-oriented TCP serving of a [`SharedDatabase`].
+//!
+//! One statement per line in, a small tagged-line response out:
+//!
+//! ```text
+//! client: CREATE TABLE t (a INT, b TEXT)
+//! server: OK 0
+//! client: INSERT INTO t VALUES (1, 'x'), (2, 'y')
+//! server: OK 2
+//! client: SELECT v.a, v.b FROM t v
+//! server: COLS v.a\tv.b
+//! server: ROW 1\t'x'
+//! server: ROW 2\t'y'
+//! server: OK 2
+//! client: SELECT nonsense
+//! server: ERR SQL syntax error: …
+//! ```
+//!
+//! `BEGIN` / `COMMIT` / `ROLLBACK` work per connection (each
+//! connection is one [`ServerSession`]); disconnecting mid-transaction
+//! rolls it back. The protocol carries no typing — it exists so N
+//! clients can hammer one database over sockets (and so the coupling
+//! layer could sit on the far side of a wire, as in the paper's
+//! front-end/DBMS split), not as a competitor to real drivers. The
+//! [`Client`] helper speaks the same protocol for tests, benchmarks
+//! and examples.
+
+use crate::{ServerSession, SharedDatabase};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A running TCP server. Dropping (or [`Server::stop`]) shuts the
+/// accept loop down; connections already being served finish their
+/// current line.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept_loop: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serves sessions of `db`, one thread per connection.
+    pub fn start(db: SharedDatabase, addr: &str) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let accept_loop = std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let session = db.session();
+                        let _ = stream.set_nonblocking(false);
+                        std::thread::spawn(move || {
+                            let _ = serve_connection(session, stream);
+                        });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                    Err(_) => break,
+                }
+            }
+        });
+        Ok(Server {
+            addr,
+            shutdown,
+            accept_loop: Some(accept_loop),
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting connections and joins the accept loop.
+    pub fn stop(mut self) {
+        self.shutdown_now();
+    }
+
+    fn shutdown_now(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_loop.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_now();
+    }
+}
+
+fn serve_connection(mut session: ServerSession, stream: TcpStream) -> io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+    for line in reader.lines() {
+        let line = line?;
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        match session.execute(sql) {
+            Ok(result) => {
+                if result.columns.is_empty() {
+                    writeln!(writer, "OK {}", result.affected)?;
+                } else {
+                    let cols: Vec<String> = result.columns.iter().map(|c| escape_cell(c)).collect();
+                    writeln!(writer, "COLS {}", cols.join("\t"))?;
+                    for row in &result.rows {
+                        let cells: Vec<String> =
+                            row.iter().map(|d| escape_cell(&d.to_string())).collect();
+                        writeln!(writer, "ROW {}", cells.join("\t"))?;
+                    }
+                    writeln!(writer, "OK {}", result.rows.len())?;
+                }
+            }
+            Err(e) => {
+                let msg = e.to_string().replace(['\r', '\n'], " ");
+                writeln!(writer, "ERR {msg}")?;
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Escapes one cell for the tab/newline-framed wire: text datums may
+/// contain both framing characters.
+fn escape_cell(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\t' => out.push_str("\\t"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+/// Inverse of [`escape_cell`].
+fn unescape_cell(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('t') => out.push('\t'),
+            Some('n') => out.push('\n'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+/// A statement's outcome as the wire carries it: stringly-typed rows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WireResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<String>>,
+    /// Affected row count for DML/DDL, result row count for queries.
+    pub affected: usize,
+}
+
+/// A blocking client for the line protocol.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(Client {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one statement; `Ok(Err(msg))` is a server-side error
+    /// (syntax, constraint, conflict, rolled-back transaction).
+    pub fn execute(&mut self, sql: &str) -> io::Result<Result<WireResult, String>> {
+        writeln!(self.writer, "{}", sql.replace(['\r', '\n'], " "))?;
+        self.writer.flush()?;
+        let mut result = WireResult::default();
+        loop {
+            let mut line = String::new();
+            if self.reader.read_line(&mut line)? == 0 {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                ));
+            }
+            let line = line.trim_end_matches(['\r', '\n']);
+            if let Some(rest) = line.strip_prefix("OK ") {
+                result.affected = rest.trim().parse().unwrap_or(0);
+                return Ok(Ok(result));
+            } else if let Some(rest) = line.strip_prefix("ERR ") {
+                return Ok(Err(rest.to_owned()));
+            } else if let Some(rest) = line.strip_prefix("COLS ") {
+                result.columns = rest.split('\t').map(unescape_cell).collect();
+            } else if let Some(rest) = line.strip_prefix("ROW ") {
+                result
+                    .rows
+                    .push(rest.split('\t').map(unescape_cell).collect());
+            } else {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("unexpected protocol line: {line}"),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_escaping_round_trips() {
+        for s in ["plain", "a\tb", "a\nb\r\\c", "\\t is not a tab", ""] {
+            assert_eq!(unescape_cell(&escape_cell(s)), s, "{s:?}");
+            assert!(!escape_cell(s).contains(['\t', '\n', '\r']));
+        }
+    }
+
+    #[test]
+    fn datums_with_framing_characters_survive_the_wire() {
+        let Ok(server) = Server::start(SharedDatabase::paged(16).unwrap(), "127.0.0.1:0") else {
+            eprintln!("skipping: cannot bind a TCP socket in this environment");
+            return;
+        };
+        let db_side = server.addr();
+        let mut c = Client::connect(db_side).unwrap();
+        c.execute("CREATE TABLE t (a INT, b TEXT)")
+            .unwrap()
+            .unwrap();
+        // A tab inside a quoted literal is legal on one protocol line.
+        c.execute("INSERT INTO t VALUES (1, 'x\ty')")
+            .unwrap()
+            .unwrap();
+        let r = c.execute("SELECT v.b FROM t v").unwrap().unwrap();
+        assert_eq!(r.rows, vec![vec!["'x\ty'".to_owned()]]);
+        server.stop();
+    }
+
+    #[test]
+    fn tcp_round_trip_with_transactions() {
+        let Ok(server) = Server::start(SharedDatabase::paged(16).unwrap(), "127.0.0.1:0") else {
+            eprintln!("skipping: cannot bind a TCP socket in this environment");
+            return;
+        };
+        let mut c1 = Client::connect(server.addr()).unwrap();
+        let mut c2 = Client::connect(server.addr()).unwrap();
+        c1.execute("CREATE TABLE t (a INT, b TEXT)")
+            .unwrap()
+            .unwrap();
+        let r = c1
+            .execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+            .unwrap()
+            .unwrap();
+        assert_eq!(r.affected, 2);
+        // Client 2 sees committed data over its own connection.
+        let r = c2.execute("SELECT v.a, v.b FROM t v").unwrap().unwrap();
+        assert_eq!(r.columns, ["v.a", "v.b"]);
+        assert_eq!(
+            r.rows,
+            vec![
+                vec!["1".to_owned(), "'x'".to_owned()],
+                vec!["2".to_owned(), "'y'".to_owned()],
+            ]
+        );
+        // Transactions work per connection; a rollback leaves no trace.
+        c2.execute("BEGIN").unwrap().unwrap();
+        c2.execute("INSERT INTO t VALUES (3, 'z')")
+            .unwrap()
+            .unwrap();
+        c2.execute("ROLLBACK").unwrap().unwrap();
+        let r = c1.execute("SELECT v.a FROM t v").unwrap().unwrap();
+        assert_eq!(r.affected, 2);
+        // Errors come back as ERR lines, not broken connections.
+        let err = c1.execute("SELECT garbage").unwrap().unwrap_err();
+        assert!(err.contains("syntax"), "{err}");
+        server.stop();
+    }
+}

@@ -202,7 +202,7 @@ impl BPlusTree {
                             }
                             .encode(),
                         )
-                    })?;
+                    })??;
                     self.root = new_root;
                     promoted = None;
                 }
@@ -223,7 +223,7 @@ impl BPlusTree {
         let record = entry.encode();
         let pos = guard.with(|p| leaf_position(p, &entry))?;
         if guard.with(|p| p.fits(record.len())) {
-            guard.with_mut(|p| p.insert_record_at(pos, &record))?;
+            guard.with_mut(|p| p.insert_record_at(pos, &record))??;
             return Ok(None);
         }
         // Split: collect all entries plus the new one, redistribute.
@@ -247,7 +247,7 @@ impl BPlusTree {
                 p.push_record(&e.encode())?;
             }
             Ok(())
-        })?;
+        })??;
         guard.with_mut(|p| -> StorageResult<()> {
             p.init(PageKind::BTreeLeaf);
             p.set_next(right_id);
@@ -255,7 +255,7 @@ impl BPlusTree {
                 p.push_record(&e.encode())?;
             }
             Ok(())
-        })?;
+        })??;
         Ok(Some((separator, right_id)))
     }
 
@@ -276,7 +276,7 @@ impl BPlusTree {
         .encode();
         let pos = guard.with(|p| internal_position(p, &sep))?;
         if guard.with(|p| p.fits(record.len())) {
-            guard.with_mut(|p| p.insert_record_at(pos, &record))?;
+            guard.with_mut(|p| p.insert_record_at(pos, &record))??;
             return Ok(None);
         }
         // Split. children = [leftmost, e0.child, e1.child, ...].
@@ -301,7 +301,7 @@ impl BPlusTree {
                 p.push_record(&e.encode())?;
             }
             Ok(())
-        })?;
+        })??;
         guard.with_mut(|p| -> StorageResult<()> {
             p.init(PageKind::BTreeInternal);
             p.set_extra(leftmost);
@@ -309,7 +309,7 @@ impl BPlusTree {
                 p.push_record(&e.encode())?;
             }
             Ok(())
-        })?;
+        })??;
         Ok(Some((promoted.key, right_id)))
     }
 
@@ -361,6 +361,129 @@ impl BPlusTree {
             current = next;
         }
         Ok(rids)
+    }
+
+    /// All rids whose key falls inside `(lower, upper)`, in key order —
+    /// the ordered-cursor path behind inequality restrictions (`<`,
+    /// `<=`, `>`, `>=`, `BETWEEN`). Descends to the leftmost candidate
+    /// leaf for the lower bound, then walks the leaf chain until an
+    /// entry exceeds the upper bound, so the cost is proportional to the
+    /// matching range, not the table.
+    pub fn range(
+        &self,
+        pool: &BufferPool,
+        lower: std::ops::Bound<&Datum>,
+        upper: std::ops::Bound<&Datum>,
+    ) -> StorageResult<Vec<Rid>> {
+        use std::ops::Bound;
+        let lower_key = match lower {
+            Bound::Included(d) | Bound::Excluded(d) => Some(encode_key(d)),
+            Bound::Unbounded => None,
+        };
+        let upper_key = match upper {
+            Bound::Included(d) | Bound::Excluded(d) => Some(encode_key(d)),
+            Bound::Unbounded => None,
+        };
+        // Descend to the leftmost leaf that could hold the lower bound
+        // (the leftmost leaf outright when unbounded below).
+        let mut current = self.root;
+        loop {
+            let guard = pool.fetch(current)?;
+            match guard.with(|p| p.kind())? {
+                PageKind::BTreeLeaf => break,
+                PageKind::BTreeInternal => {
+                    let child = guard.with(|p| match &lower_key {
+                        Some(key) => child_for_lookup(p, key),
+                        None => Ok(p.extra()),
+                    })?;
+                    drop(guard);
+                    current = child;
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {current} is {other:?}, expected a B+-tree node"
+                    )))
+                }
+            }
+        }
+        // Walk the leaf chain while keys may still fall in range.
+        let mut rids = Vec::new();
+        while current != NO_PAGE {
+            let guard = pool.fetch(current)?;
+            let (matches, done, next) = guard.with(|p| -> StorageResult<_> {
+                let mut matches = Vec::new();
+                let mut done = false;
+                for record in p.records() {
+                    let entry = LeafEntry::decode(record)?;
+                    if let Some(key) = &lower_key {
+                        let ord = cmp_keys(&entry.key, key)?;
+                        let below = match lower {
+                            Bound::Included(_) => ord == Ordering::Less,
+                            _ => ord != Ordering::Greater,
+                        };
+                        if below {
+                            continue;
+                        }
+                    }
+                    if let Some(key) = &upper_key {
+                        let ord = cmp_keys(&entry.key, key)?;
+                        let above = match upper {
+                            Bound::Included(_) => ord == Ordering::Greater,
+                            _ => ord != Ordering::Less,
+                        };
+                        if above {
+                            done = true;
+                            break;
+                        }
+                    }
+                    matches.push(entry.rid);
+                }
+                Ok((matches, done, p.next()))
+            })?;
+            rids.extend(matches);
+            if done {
+                break;
+            }
+            current = next;
+        }
+        Ok(rids)
+    }
+
+    /// Every page id of the tree (root, internal nodes, leaves). The
+    /// engine hands these to the free list when the index is rebuilt or
+    /// dropped. Guarded against pointer cycles like chain walks are.
+    pub fn collect_pages(&self, pool: &BufferPool) -> StorageResult<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root];
+        let limit = pool.page_count() as usize;
+        while let Some(id) = stack.pop() {
+            if out.len() > limit {
+                return Err(StorageError::Corrupt(
+                    "B+-tree cycle: child pointers revisit a page".into(),
+                ));
+            }
+            out.push(id);
+            let guard = pool.fetch(id)?;
+            match guard.with(|p| p.kind())? {
+                PageKind::BTreeLeaf => {}
+                PageKind::BTreeInternal => {
+                    let children = guard.with(|p| -> StorageResult<Vec<PageId>> {
+                        let mut cs = vec![p.extra()];
+                        for record in p.records() {
+                            cs.push(InternalEntry::decode(record)?.child);
+                        }
+                        Ok(cs)
+                    })?;
+                    stack.extend(children);
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {id} is {other:?}, expected a B+-tree node"
+                    )))
+                }
+            }
+        }
+        Ok(out)
     }
 
     /// Tree height (1 for a lone leaf); test/diagnostic helper.
@@ -576,6 +699,103 @@ mod tests {
             let got = tree.lookup(&pool, &key).unwrap();
             assert!(got.contains(&r), "posting lost for {key:?}");
         }
+    }
+
+    #[test]
+    fn range_scan_matches_filtered_lookup() {
+        use std::ops::Bound;
+        let pool = pool(8);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        let n = 2000u32;
+        for i in 0..n {
+            let key = (i * 7919) % n;
+            tree.insert(&pool, &Datum::Int(i64::from(key)), rid(key))
+                .unwrap();
+        }
+        let cases: Vec<(Bound<Datum>, Bound<Datum>, Vec<u32>)> = vec![
+            (
+                Bound::Included(Datum::Int(100)),
+                Bound::Excluded(Datum::Int(110)),
+                (100..110).collect(),
+            ),
+            (
+                Bound::Excluded(Datum::Int(1995)),
+                Bound::Unbounded,
+                (1996..n).collect(),
+            ),
+            (
+                Bound::Unbounded,
+                Bound::Included(Datum::Int(5)),
+                (0..=5).collect(),
+            ),
+            (Bound::Unbounded, Bound::Unbounded, (0..n).collect()),
+            (
+                Bound::Included(Datum::Int(50)),
+                Bound::Included(Datum::Int(50)),
+                vec![50],
+            ),
+            (Bound::Included(Datum::Int(3000)), Bound::Unbounded, vec![]),
+        ];
+        for (lower, upper, expect) in cases {
+            let got = tree.range(&pool, lower.as_ref(), upper.as_ref()).unwrap();
+            let want: Vec<Rid> = expect.iter().map(|&k| rid(k)).collect();
+            assert_eq!(got, want, "range {lower:?}..{upper:?}");
+        }
+    }
+
+    #[test]
+    fn range_scan_reads_fewer_pages_than_full_walk() {
+        use std::ops::Bound;
+        let pool = pool(4);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        for i in 0..3000i64 {
+            tree.insert(&pool, &Datum::Int(i), rid(i as u32)).unwrap();
+        }
+        let before = pool.stats();
+        let narrow = tree
+            .range(
+                &pool,
+                Bound::Included(&Datum::Int(1500)),
+                Bound::Excluded(&Datum::Int(1510)),
+            )
+            .unwrap();
+        let narrow_cost = {
+            let s = pool.stats();
+            (s.page_reads + s.buffer_hits) - (before.page_reads + before.buffer_hits)
+        };
+        assert_eq!(narrow.len(), 10);
+        let before = pool.stats();
+        let full = tree
+            .range(&pool, Bound::Unbounded, Bound::Unbounded)
+            .unwrap();
+        let full_cost = {
+            let s = pool.stats();
+            (s.page_reads + s.buffer_hits) - (before.page_reads + before.buffer_hits)
+        };
+        assert_eq!(full.len(), 3000);
+        assert!(
+            narrow_cost * 4 < full_cost,
+            "narrow range touched {narrow_cost} pages, full walk {full_cost}"
+        );
+    }
+
+    #[test]
+    fn collect_pages_covers_the_whole_tree() {
+        let pool = pool(8);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        for i in 0..1200i64 {
+            tree.insert(&pool, &Datum::Int(i), rid(i as u32)).unwrap();
+        }
+        assert!(tree.height(&pool).unwrap() >= 2);
+        let pages = tree.collect_pages(&pool).unwrap();
+        assert!(pages.contains(&tree.root));
+        // Every allocated page belongs to this tree (nothing else was
+        // created on this pool), so the sets must match exactly.
+        let mut sorted: Vec<PageId> = pages.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), pages.len(), "no page listed twice");
+        assert_eq!(sorted.len(), pool.page_count() as usize);
     }
 
     #[test]

@@ -1,31 +1,52 @@
 //! The buffer pool: a fixed set of in-memory frames between the engine
-//! and the pager, with clock (second-chance) eviction and write-ahead
-//! logging.
+//! and the pager, with clock (second-chance) eviction, write-ahead
+//! logging and multi-transaction bookkeeping.
 //!
 //! Access is guard-based: [`BufferPool::fetch`] returns a [`PinnedPage`]
 //! that pins its frame for as long as it lives (pinned frames are never
 //! evicted), so multi-page operations like B+-tree splits can hold a few
-//! pages while faulting others in. The pool uses interior mutability
-//! throughout: the executor's read paths run through `&self`.
+//! pages while faulting others in. The pool is `Send + Sync`: the frame
+//! table sits behind a `Mutex`, every frame carries its own latch, and
+//! guards touch only their frame's latch — the shared server's sessions
+//! all funnel through one pool.
 //!
-//! Transactions (pools built with [`BufferPool::with_wal`]): between
-//! [`BufferPool::begin_txn`] and `commit_txn`/`abort_txn`, the first
-//! write to each page saves an in-memory before-image. The protocol is
-//! **no-steal / force-the-log**:
+//! Transactions (pools built with [`BufferPool::with_wal`]): any number
+//! of transactions may be *open* at once — one per server session — but
+//! at most one is *active* (joined by writes) at a time, because the
+//! engine executes one statement at a time; sessions switch their
+//! transaction in with [`BufferPool::resume_txn`] / out with
+//! [`BufferPool::suspend_txn`]. Between begin and commit/abort, the
+//! first write to each page saves an in-memory before-image and marks
+//! the frame as owned by that transaction. A write to a frame owned by
+//! a *different* open transaction fails with
+//! [`StorageError::Conflict`] — the storage-level backstop beneath the
+//! table-level lock manager ([`crate::lock`]), which makes such
+//! collisions rare. The protocol is **no-steal / force-the-log**:
 //!
-//! * frames touched by the active transaction are never evicted (their
-//!   redo is not yet in the log, and the database file must never hold
+//! * frames owned by an open transaction are never evicted (their redo
+//!   is not yet in the log, and the database file must never hold
 //!   uncommitted data) — a transaction whose write set exceeds the pool
 //!   fails cleanly and aborts;
 //! * a dirty frame may only be written back once its page LSN is
 //!   covered by the durable log (`page.lsn() <= wal.durable_lsn()`);
-//!   commit forces the log, so committed dirty frames are always
-//!   evictable;
-//! * `commit_txn` appends `Begin`, one stamped page image per touched
-//!   frame, and `Commit`, then syncs the log — pages flow to the
-//!   database file lazily afterwards;
-//! * `abort_txn` restores every before-image (allocations made by the
-//!   transaction revert to free pages).
+//! * [`BufferPool::commit_txn`] appends `Begin`, one stamped page image
+//!   per owned frame, and `Commit`, then syncs the log — all under the
+//!   pool lock, so the frames of one commit are always contiguous in
+//!   the log and a failed commit can be physically rewound
+//!   ([`crate::wal::Wal::discard_after`]) without touching any other
+//!   transaction's frames;
+//! * [`BufferPool::abort_txn`] restores every before-image; pages the
+//!   transaction allocated from the pager revert to free pages and are
+//!   remembered in an in-memory recycle list so the next allocation
+//!   reuses them instead of growing the file.
+//!
+//! Allocation order: the recycle list first, then the persistent
+//! free-page list (head in the meta page's `extra` word, pages chained
+//! through their `next` pointers — see [`BufferPool::free_pages`]),
+//! then appending a fresh page via the pager. Free-list maintenance is
+//! opportunistic: when the meta page is owned by another open
+//! transaction the pool silently falls back to appending (allocation)
+//! or abandons the pages (reclamation) rather than conflicting.
 //!
 //! Counters: every miss that goes to the pager is a `page_read`, every
 //! fetch served from a frame is a `buffer_hit`, every write-back is a
@@ -33,13 +54,25 @@
 //! `rqs::QueryMetrics` so benchmarks can report saved page I/O — the
 //! paper's actual cost model — and what durability costs next to it.
 
-use crate::page::{Page, PageId, PageKind};
+use crate::page::{Page, PageId, PageKind, NO_PAGE};
 use crate::pager::Pager;
 use crate::wal::{Wal, WalRecord};
 use crate::{StorageError, StorageResult};
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Identifies one write-ahead-log transaction. Ids are handed out by the
+/// WAL, start at 1 and never repeat within a log generation; 0 is
+/// reserved for "no transaction".
+pub type TxnId = u64;
+
+/// Locks a mutex, recovering the data if a previous holder panicked
+/// (poisoning carries no extra invariant here: every critical section
+/// leaves the structures consistent or returns an error first).
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 /// Cumulative I/O and logging counters.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -62,8 +95,8 @@ struct Frame {
     dirty: bool,
     /// Clock reference bit (second chance).
     referenced: bool,
-    /// Touched (written) by the active transaction; unevictable.
-    in_txn: bool,
+    /// Open transaction that wrote this frame; unevictable while set.
+    owner: Option<TxnId>,
     /// Pre-transaction image and dirty flag, for rollback.
     before: Option<(Box<Page>, bool)>,
 }
@@ -71,12 +104,29 @@ struct Frame {
 impl Frame {
     /// Captures the pre-transaction state on the first write inside a
     /// transaction.
-    fn capture_before(&mut self) {
-        if !self.in_txn {
-            let mut copy = Page::zeroed();
-            copy.copy_from(&self.page);
-            self.before = Some((copy, self.dirty));
-            self.in_txn = true;
+    fn capture_before(&mut self, txn: TxnId) {
+        let mut copy = Page::zeroed();
+        copy.copy_from(&self.page);
+        self.before = Some((copy, self.dirty));
+        self.owner = Some(txn);
+    }
+
+    /// Admits (or rejects) a write under the currently active
+    /// transaction (`0` = none), saving the before-image on the first
+    /// touch. A frame owned by a different open transaction refuses the
+    /// write — the page-level backstop beneath the table lock manager.
+    fn prepare_write(&mut self, active: u64) -> StorageResult<()> {
+        match self.owner {
+            Some(owner) if owner == active => Ok(()),
+            Some(owner) => Err(StorageError::Conflict(format!(
+                "page {} is written by open transaction {owner}",
+                self.id
+            ))),
+            None if active == 0 => Ok(()), // unlogged write outside any txn
+            None => {
+                self.capture_before(active);
+                Ok(())
+            }
         }
     }
 
@@ -86,67 +136,72 @@ impl Frame {
             self.page = image;
             self.dirty = was_dirty;
         }
-        self.in_txn = false;
+        self.owner = None;
     }
 }
 
-/// Active-transaction bookkeeping.
+/// Per-open-transaction bookkeeping.
+#[derive(Default)]
 struct TxnCtx {
-    id: u64,
-    /// Whether any frame of this transaction reached the log (a failed
-    /// commit rewinds the log back to `mark` only if a Begin went out).
-    logged: bool,
-    /// End-of-log boundary at begin; a failed commit's frames —
-    /// including a fully written Commit whose sync failed — are
-    /// physically discarded back to here so recovery can never replay
-    /// a statement the caller saw fail.
-    mark: crate::wal::WalMark,
+    /// Pages this transaction allocated from the *pager* (not from the
+    /// free list); recycled on abort so aborted allocations do not grow
+    /// the file.
+    allocated: Vec<PageId>,
 }
 
 struct Inner {
     pager: Pager,
     wal: Option<Wal>,
-    txn: Option<TxnCtx>,
-    frames: Vec<Rc<RefCell<Frame>>>,
+    txns: HashMap<TxnId, TxnCtx>,
+    frames: Vec<Arc<Mutex<Frame>>>,
     map: HashMap<PageId, usize>,
     hand: usize,
     stats: PoolStats,
+    /// Aborted-transaction allocations, reusable immediately (their disk
+    /// image is a free page). In-memory only: lost on crash, at worst
+    /// leaking the pages a crash already abandoned.
+    recycled: Vec<PageId>,
+    /// Page whose `extra` word anchors the persistent free-page list
+    /// (set by the engine once the meta page exists).
+    meta_page: Option<PageId>,
 }
 
 /// A page pinned in the pool. Dropping the guard unpins it.
 pub struct PinnedPage {
-    frame: Rc<RefCell<Frame>>,
-    txn_active: Rc<Cell<bool>>,
+    frame: Arc<Mutex<Frame>>,
+    active: Arc<AtomicU64>,
 }
 
 impl PinnedPage {
     /// Read access to the pinned page.
     pub fn with<R>(&self, f: impl FnOnce(&Page) -> R) -> R {
-        f(&self.frame.borrow().page)
+        f(&lock(&self.frame).page)
     }
 
     /// Write access; marks the frame dirty and, inside a transaction,
-    /// saves the before-image on first touch.
-    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Page) -> R) -> R {
-        let mut frame = self.frame.borrow_mut();
-        if self.txn_active.get() {
-            frame.capture_before();
-        }
+    /// saves the before-image on first touch. Fails with
+    /// [`StorageError::Conflict`] if the frame is owned by a different
+    /// open transaction.
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
+        let mut frame = lock(&self.frame);
+        frame.prepare_write(self.active.load(Ordering::SeqCst))?;
         frame.dirty = true;
-        f(&mut frame.page)
+        Ok(f(&mut frame.page))
     }
 
     pub fn id(&self) -> PageId {
-        self.frame.borrow().id
+        lock(&self.frame).id
     }
 }
 
-/// The pool. Single-threaded; `Rc` strong counts implement pinning.
+/// The pool. `Arc` strong counts implement pinning: a frame whose only
+/// holders are the pool itself is evictable.
 pub struct BufferPool {
-    inner: RefCell<Inner>,
-    /// Mirrors `Inner::txn.is_some()`; shared with guards so `with_mut`
-    /// can capture before-images without reaching back into the pool.
-    txn_active: Rc<Cell<bool>>,
+    inner: Mutex<Inner>,
+    /// The transaction currently joined by writes (0 = none); shared
+    /// with guards so `with_mut` can capture before-images without
+    /// reaching back into the pool.
+    active: Arc<AtomicU64>,
     capacity: usize,
 }
 
@@ -165,16 +220,18 @@ impl BufferPool {
 
     fn build(pager: Pager, wal: Option<Wal>, capacity: usize) -> BufferPool {
         BufferPool {
-            inner: RefCell::new(Inner {
+            inner: Mutex::new(Inner {
                 pager,
                 wal,
-                txn: None,
+                txns: HashMap::new(),
                 frames: Vec::new(),
                 map: HashMap::new(),
                 hand: 0,
                 stats: PoolStats::default(),
+                recycled: Vec::new(),
+                meta_page: None,
             }),
-            txn_active: Rc::new(Cell::new(false)),
+            active: Arc::new(AtomicU64::new(0)),
             capacity: capacity.max(2),
         }
     }
@@ -184,7 +241,7 @@ impl BufferPool {
     }
 
     pub fn stats(&self) -> PoolStats {
-        let inner = self.inner.borrow();
+        let inner = lock(&self.inner);
         let mut stats = inner.stats;
         if let Some(wal) = &inner.wal {
             stats.wal_appends = wal.stats().appends;
@@ -195,26 +252,47 @@ impl BufferPool {
 
     /// Number of pages the pager has allocated.
     pub fn page_count(&self) -> u32 {
-        self.inner.borrow().pager.page_count()
+        lock(&self.inner).pager.page_count()
     }
 
     /// Bytes currently sitting in the WAL (0 without one).
     pub fn wal_len_bytes(&self) -> u64 {
-        self.inner.borrow().wal.as_ref().map_or(0, Wal::len_bytes)
+        lock(&self.inner).wal.as_ref().map_or(0, Wal::len_bytes)
     }
 
-    /// Whether a transaction is open.
+    /// Anchors the persistent free-page list at `page`'s `extra` word
+    /// (the engine's meta page). `None` disables the list (pre-meta
+    /// database files).
+    pub fn set_meta_page(&self, page: Option<PageId>) {
+        lock(&self.inner).meta_page = page;
+    }
+
+    /// The transaction currently joined by writes, if any.
+    pub fn active_txn(&self) -> Option<TxnId> {
+        match self.active.load(Ordering::SeqCst) {
+            0 => None,
+            id => Some(id),
+        }
+    }
+
+    /// Whether a transaction is active (joined by writes).
     pub fn in_txn(&self) -> bool {
-        self.txn_active.get()
+        self.active_txn().is_some()
     }
 
-    /// Opens a transaction; fails if one is already active or the pool
+    /// Number of open (possibly suspended) transactions.
+    pub fn open_txn_count(&self) -> usize {
+        lock(&self.inner).txns.len()
+    }
+
+    /// Opens a transaction and makes it the active one. Fails if another
+    /// transaction is currently active (suspend it first) or the pool
     /// has no WAL.
-    pub fn begin_txn(&self) -> StorageResult<()> {
-        let mut inner = self.inner.borrow_mut();
-        if inner.txn.is_some() {
+    pub fn begin_txn(&self) -> StorageResult<TxnId> {
+        let mut inner = lock(&self.inner);
+        if self.active.load(Ordering::SeqCst) != 0 {
             return Err(StorageError::Internal(
-                "transaction already active (the engine is single-statement)".into(),
+                "another transaction is active; suspend or finish it first".into(),
             ));
         }
         let Some(wal) = inner.wal.as_mut() else {
@@ -223,98 +301,167 @@ impl BufferPool {
             ));
         };
         let id = wal.begin_txn_id();
-        let mark = wal.mark();
-        inner.txn = Some(TxnCtx {
-            id,
-            logged: false,
-            mark,
-        });
-        self.txn_active.set(true);
+        inner.txns.insert(id, TxnCtx::default());
+        self.active.store(id, Ordering::SeqCst);
+        Ok(id)
+    }
+
+    /// Makes an open transaction the active one (a session switching its
+    /// transaction in before a statement).
+    pub fn resume_txn(&self, id: TxnId) -> StorageResult<()> {
+        let inner = lock(&self.inner);
+        if !inner.txns.contains_key(&id) {
+            return Err(StorageError::Internal(format!(
+                "resume of unknown transaction {id}"
+            )));
+        }
+        let current = self.active.load(Ordering::SeqCst);
+        if current != 0 && current != id {
+            return Err(StorageError::Internal(format!(
+                "transaction {current} is active; suspend it before resuming {id}"
+            )));
+        }
+        self.active.store(id, Ordering::SeqCst);
         Ok(())
     }
 
-    /// Commits the active transaction: logs `Begin`, a stamped image of
-    /// every touched page, `Commit`, then forces the log. On any error
-    /// the transaction is rolled back (as [`BufferPool::abort_txn`])
-    /// before the error is returned.
-    pub fn commit_txn(&self) -> StorageResult<()> {
-        let result = self.commit_txn_inner();
-        if result.is_err() {
-            self.abort_txn();
-        }
-        result
+    /// Detaches the active transaction (it stays open; its frames stay
+    /// owned and unevictable). A no-op when none is active.
+    pub fn suspend_txn(&self) {
+        self.active.store(0, Ordering::SeqCst);
     }
 
-    fn commit_txn_inner(&self) -> StorageResult<()> {
-        let mut inner = self.inner.borrow_mut();
+    /// Commits an open transaction: logs `Begin`, a stamped image of
+    /// every owned page, `Commit`, then forces the log. On any error the
+    /// transaction is rolled back (as [`BufferPool::abort_txn`]) before
+    /// the error is returned. The whole commit runs under the pool lock,
+    /// so its frames are contiguous in the log and a failed commit is
+    /// physically rewound without touching other transactions.
+    pub fn commit_txn(&self, id: TxnId) -> StorageResult<()> {
+        let mut inner = lock(&self.inner);
         let inner = &mut *inner;
-        let Some(txn) = inner.txn.as_mut() else {
-            return Err(StorageError::Internal("commit without begin".into()));
-        };
-        let touched: Vec<Rc<RefCell<Frame>>> = inner
+        if !inner.txns.contains_key(&id) {
+            return Err(StorageError::Internal(format!(
+                "commit of unknown transaction {id}"
+            )));
+        }
+        let touched: Vec<Arc<Mutex<Frame>>> = inner
             .frames
             .iter()
-            .filter(|f| f.borrow().in_txn)
-            .map(Rc::clone)
+            .filter(|f| lock(f).owner == Some(id))
+            .map(Arc::clone)
             .collect();
         if touched.is_empty() {
-            // Read-only statement: nothing to log.
-            inner.txn = None;
-            self.txn_active.set(false);
+            // Read-only transaction: nothing to log.
+            Self::finish_txn(inner, &self.active, id);
             return Ok(());
         }
         let wal = inner.wal.as_mut().expect("txn implies wal");
-        wal.append(&WalRecord::Begin { txn: txn.id })?;
-        txn.logged = true;
-        for frame in &touched {
-            let mut frame = frame.borrow_mut();
-            // Stamp the image with the LSN its Update frame will get,
-            // both in the resident page and in the logged copy.
-            frame.page.set_lsn(wal.next_lsn());
-            wal.append(&WalRecord::Update {
-                txn: txn.id,
-                page: frame.id,
-                image: Box::new(*frame.page.as_bytes()),
-            })?;
-        }
-        wal.append(&WalRecord::Commit { txn: txn.id })?;
-        wal.sync()?;
-        for frame in &touched {
-            let mut frame = frame.borrow_mut();
-            frame.in_txn = false;
-            frame.before = None;
-        }
-        inner.txn = None;
-        self.txn_active.set(false);
-        Ok(())
-    }
-
-    /// Rolls the active transaction back: every touched frame reverts
-    /// to its before-image (pages allocated by the transaction revert
-    /// to free pages and are abandoned). A no-op without an active
-    /// transaction. Never fails; if the transaction already reached the
-    /// log, its frames are physically rewound out of it
-    /// ([`Wal::discard_after`]) so a half-logged — or fully logged but
-    /// unsynced — commit can never be replayed by recovery.
-    pub fn abort_txn(&self) {
-        let mut inner = self.inner.borrow_mut();
-        let Some(txn) = inner.txn.take() else {
-            return;
-        };
-        self.txn_active.set(false);
-        for frame in &inner.frames {
-            frame.borrow_mut().rollback();
-        }
-        if txn.logged {
-            if let Some(wal) = inner.wal.as_mut() {
-                wal.discard_after(txn.mark);
+        let mark = wal.mark();
+        let logged = (|| -> StorageResult<()> {
+            wal.append(&WalRecord::Begin { txn: id })?;
+            for frame in &touched {
+                let mut frame = lock(frame);
+                // Stamp the image with the LSN its Update frame will
+                // get, both in the resident page and in the logged copy.
+                frame.page.set_lsn(wal.next_lsn());
+                wal.append(&WalRecord::Update {
+                    txn: id,
+                    page: frame.id,
+                    image: Box::new(*frame.page.as_bytes()),
+                })?;
+            }
+            wal.append(&WalRecord::Commit { txn: id })?;
+            wal.sync()
+        })();
+        match logged {
+            Ok(()) => {
+                for frame in &touched {
+                    let mut frame = lock(frame);
+                    frame.owner = None;
+                    frame.before = None;
+                }
+                Self::finish_txn(inner, &self.active, id);
+                Ok(())
+            }
+            Err(e) => {
+                // Rewind the half-logged (or fully logged but unsynced)
+                // commit out of the log, then roll the pages back.
+                wal.discard_after(mark);
+                Self::rollback_txn(inner, &self.active, id);
+                Err(e)
             }
         }
     }
 
-    /// Allocates a fresh page of the given kind and pins it.
+    /// Rolls an open transaction back: every owned frame reverts to its
+    /// before-image, and pages the transaction allocated from the pager
+    /// are queued for reuse. A no-op for an unknown id; never fails.
+    pub fn abort_txn(&self, id: TxnId) {
+        let mut inner = lock(&self.inner);
+        Self::rollback_txn(&mut inner, &self.active, id);
+    }
+
+    /// Removes transaction bookkeeping after a commit (or an empty
+    /// transaction) and deactivates it if it was active.
+    fn finish_txn(inner: &mut Inner, active: &AtomicU64, id: TxnId) {
+        inner.txns.remove(&id);
+        let _ = active.compare_exchange(id, 0, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    fn rollback_txn(inner: &mut Inner, active: &AtomicU64, id: TxnId) {
+        let Some(ctx) = inner.txns.remove(&id) else {
+            return;
+        };
+        for frame in &inner.frames {
+            let mut frame = lock(frame);
+            if frame.owner == Some(id) {
+                frame.rollback();
+            }
+        }
+        inner.recycled.extend(ctx.allocated);
+        let _ = active.compare_exchange(id, 0, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Allocates a page of the given kind and pins it: first from the
+    /// recycle list (aborted allocations), then from the persistent
+    /// free list, then by appending a fresh page via the pager.
     pub fn allocate(&self, kind: PageKind) -> StorageResult<(PageId, PinnedPage)> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
+        let inner = &mut *inner;
+        let active = self.active.load(Ordering::SeqCst);
+
+        // 1. Recycled pages: Free on disk, not on the persistent list.
+        let mut skipped = Vec::new();
+        let mut reuse: Option<PageId> = None;
+        while let Some(id) = inner.recycled.pop() {
+            if id >= inner.pager.page_count() {
+                continue; // stale entry (should not happen; be safe)
+            }
+            if let Some(&slot) = inner.map.get(&id) {
+                let frame = Arc::clone(&inner.frames[slot]);
+                let usable = Arc::strong_count(&frame) <= 2 && lock(&frame).owner.is_none();
+                if !usable {
+                    skipped.push(id);
+                    continue;
+                }
+            }
+            reuse = Some(id);
+            break;
+        }
+        inner.recycled.extend(skipped);
+        if let Some(id) = reuse {
+            let guard = self.adopt_free_page(inner, id, kind, active, true)?;
+            return Ok((id, guard));
+        }
+
+        // 2. Persistent free list (opportunistic).
+        if let Some(id) = Self::pop_free_list(inner, self.capacity, active)? {
+            let guard = self.adopt_free_page(inner, id, kind, active, false)?;
+            return Ok((id, guard));
+        }
+
+        // 3. Append a fresh page.
         let id = inner.pager.allocate()?;
         let mut page = Page::zeroed();
         page.init(kind);
@@ -323,68 +470,251 @@ impl BufferPool {
             page,
             dirty: true,
             referenced: true,
-            in_txn: false,
+            owner: None,
             before: None,
         };
-        if self.txn_active.get() {
+        if active != 0 {
             // A brand-new page's before-image is a free page: aborting
-            // abandons the allocation.
+            // abandons the allocation (and recycles the id).
             frame.before = Some((Page::zeroed(), false));
-            frame.in_txn = true;
+            frame.owner = Some(active);
+            if let Some(ctx) = inner.txns.get_mut(&active) {
+                ctx.allocated.push(id);
+            }
         }
-        let frame = Rc::new(RefCell::new(frame));
-        let slot = Self::place(&mut inner, self.capacity, Rc::clone(&frame))?;
+        let frame = Arc::new(Mutex::new(frame));
+        let slot = Self::place(inner, self.capacity, Arc::clone(&frame))?;
         inner.map.insert(id, slot);
         Ok((
             id,
             PinnedPage {
                 frame,
-                txn_active: Rc::clone(&self.txn_active),
+                active: Arc::clone(&self.active),
             },
         ))
     }
 
+    /// Turns a known-free page into a fresh allocation of `kind`,
+    /// faulting it in if needed. `recyclable` records the page in the
+    /// active transaction's allocation list (recycle-list pages revert
+    /// to the recycle list on abort; free-list pages revert through
+    /// their own restored pointers instead).
+    fn adopt_free_page(
+        &self,
+        inner: &mut Inner,
+        id: PageId,
+        kind: PageKind,
+        active: u64,
+        recyclable: bool,
+    ) -> StorageResult<PinnedPage> {
+        let frame = match inner.map.get(&id) {
+            Some(&slot) => Arc::clone(&inner.frames[slot]),
+            None => {
+                // Disk holds a free page; no need to read it back.
+                let frame = Arc::new(Mutex::new(Frame {
+                    id,
+                    page: Page::zeroed(),
+                    dirty: false,
+                    referenced: true,
+                    owner: None,
+                    before: None,
+                }));
+                let slot = Self::place(inner, self.capacity, Arc::clone(&frame))?;
+                inner.map.insert(id, slot);
+                frame
+            }
+        };
+        {
+            let mut f = lock(&frame);
+            f.prepare_write(active)?;
+            f.page.init(kind);
+            f.dirty = true;
+            f.referenced = true;
+        }
+        if recyclable && active != 0 {
+            if let Some(ctx) = inner.txns.get_mut(&active) {
+                ctx.allocated.push(id);
+            }
+        }
+        Ok(PinnedPage {
+            frame,
+            active: Arc::clone(&self.active),
+        })
+    }
+
+    /// Pops the head of the persistent free list, updating the meta
+    /// page under the active transaction (both writes get before-images,
+    /// so an abort relinks the list). Returns `None` — falling back to
+    /// a pager append — when there is no meta page, the list is empty,
+    /// or the involved pages are owned by another open transaction.
+    fn pop_free_list(
+        inner: &mut Inner,
+        capacity: usize,
+        active: u64,
+    ) -> StorageResult<Option<PageId>> {
+        // Only transactional allocations may reuse listed pages: a
+        // listed page's Free image sits in the log (the reclaim commit
+        // wrote it), so an *unlogged* reuse (index bulk builds) would
+        // be clobbered when recovery replays that Free image. Inside a
+        // transaction the reuse is logged with a later LSN and replays
+        // after the Free image, in order.
+        if active == 0 {
+            return Ok(None);
+        }
+        let Some(meta_id) = inner.meta_page else {
+            return Ok(None);
+        };
+        let meta = Self::frame_at(inner, capacity, meta_id)?;
+        let head = {
+            let m = lock(&meta);
+            // `active != 0` is guaranteed by the guard above.
+            if m.owner.is_some() && m.owner != Some(active) {
+                return Ok(None);
+            }
+            m.page.extra()
+        };
+        if head == NO_PAGE || head >= inner.pager.page_count() {
+            return Ok(None);
+        }
+        let head_frame = Self::frame_at(inner, capacity, head)?;
+        let next = {
+            let h = lock(&head_frame);
+            let foreign = h.owner.is_some() && h.owner != Some(active);
+            if foreign || h.page.kind() != Ok(PageKind::Free) || Arc::strong_count(&head_frame) > 2
+            {
+                return Ok(None); // corrupt list head or page in use: leave it
+            }
+            h.page.next()
+        };
+        {
+            let mut m = lock(&meta);
+            if m.prepare_write(active).is_err() {
+                return Ok(None);
+            }
+            m.page.set_extra(next);
+            m.dirty = true;
+        }
+        Ok(Some(head))
+    }
+
+    /// Links `ids` into the persistent free list for reuse by later
+    /// allocations. Best-effort: pages (or the meta page) owned by
+    /// another open transaction are skipped — a skipped page is merely
+    /// leaked, exactly what happened before the free list existed.
+    /// Returns how many pages were actually linked. Runs under the
+    /// caller's transaction, so an abort restores every pointer.
+    pub fn free_pages(&self, ids: &[PageId]) -> StorageResult<usize> {
+        let mut inner = lock(&self.inner);
+        let inner = &mut *inner;
+        let active = self.active.load(Ordering::SeqCst);
+        let Some(meta_id) = inner.meta_page else {
+            return Ok(0);
+        };
+        let meta = Self::frame_at(inner, self.capacity, meta_id)?;
+        let mut head = {
+            let mut m = lock(&meta);
+            if m.prepare_write(active).is_err() {
+                return Ok(0);
+            }
+            m.page.extra()
+        };
+        let mut freed = 0;
+        for &id in ids {
+            if id == meta_id || id >= inner.pager.page_count() {
+                continue;
+            }
+            let frame = Self::frame_at(inner, self.capacity, id)?;
+            {
+                let mut f = lock(&frame);
+                if Arc::strong_count(&frame) > 2 || f.prepare_write(active).is_err() {
+                    continue; // pinned or foreign-owned: leak it instead
+                }
+                f.page.init(PageKind::Free);
+                f.page.set_next(head);
+                f.dirty = true;
+            }
+            head = id;
+            freed += 1;
+        }
+        if freed > 0 {
+            let mut m = lock(&meta);
+            m.prepare_write(active)?; // succeeded above; same txn
+            m.page.set_extra(head);
+            m.dirty = true;
+        }
+        Ok(freed)
+    }
+
+    /// Number of pages on the persistent free list (walks the chain;
+    /// diagnostics and tests).
+    pub fn free_list_len(&self) -> StorageResult<usize> {
+        let mut inner = lock(&self.inner);
+        let inner = &mut *inner;
+        let Some(meta_id) = inner.meta_page else {
+            return Ok(0);
+        };
+        let meta = Self::frame_at(inner, self.capacity, meta_id)?;
+        let mut cursor = lock(&meta).page.extra();
+        let mut n = 0usize;
+        while cursor != NO_PAGE {
+            if n as u32 >= inner.pager.page_count() {
+                return Err(StorageError::Corrupt(
+                    "free list cycle: next pointers revisit a page".into(),
+                ));
+            }
+            let frame = Self::frame_at(inner, self.capacity, cursor)?;
+            cursor = lock(&frame).page.next();
+            n += 1;
+        }
+        Ok(n)
+    }
+
     /// Fetches a page, from a frame if resident, else from the pager.
     pub fn fetch(&self, id: PageId) -> StorageResult<PinnedPage> {
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
+        let frame = Self::frame_at(&mut inner, self.capacity, id)?;
+        Ok(PinnedPage {
+            frame,
+            active: Arc::clone(&self.active),
+        })
+    }
+
+    /// Resident frame for `id`, faulting it in (and evicting) if needed.
+    /// The returned `Arc` itself protects the frame from eviction while
+    /// held (strong count ≥ 3 during the clock sweep's check).
+    fn frame_at(
+        inner: &mut Inner,
+        capacity: usize,
+        id: PageId,
+    ) -> StorageResult<Arc<Mutex<Frame>>> {
         if let Some(&slot) = inner.map.get(&id) {
             inner.stats.buffer_hits += 1;
-            let frame = Rc::clone(&inner.frames[slot]);
-            frame.borrow_mut().referenced = true;
-            return Ok(PinnedPage {
-                frame,
-                txn_active: Rc::clone(&self.txn_active),
-            });
+            let frame = Arc::clone(&inner.frames[slot]);
+            lock(&frame).referenced = true;
+            return Ok(frame);
         }
         inner.stats.page_reads += 1;
         let mut page = Page::zeroed();
         inner.pager.read(id, &mut page)?;
         page.validate()?;
-        let frame = Rc::new(RefCell::new(Frame {
+        let frame = Arc::new(Mutex::new(Frame {
             id,
             page,
             dirty: false,
             referenced: true,
-            in_txn: false,
+            owner: None,
             before: None,
         }));
-        let slot = Self::place(&mut inner, self.capacity, Rc::clone(&frame))?;
+        let slot = Self::place(inner, capacity, Arc::clone(&frame))?;
         inner.map.insert(id, slot);
-        Ok(PinnedPage {
-            frame,
-            txn_active: Rc::clone(&self.txn_active),
-        })
+        Ok(frame)
     }
 
     /// Finds a slot for a new frame, evicting with the clock policy when
-    /// the pool is full. Pinned frames (strong count > 1), frames
-    /// touched by the active transaction (no-steal) and dirty frames
-    /// whose LSN is past the durable log (write-ahead rule) are skipped.
-    fn place(
-        inner: &mut Inner,
-        capacity: usize,
-        frame: Rc<RefCell<Frame>>,
-    ) -> StorageResult<usize> {
+    /// the pool is full. Pinned frames (strong count > 2), frames owned
+    /// by an open transaction (no-steal) and dirty frames whose LSN is
+    /// past the durable log (write-ahead rule) are skipped.
+    fn place(inner: &mut Inner, capacity: usize, frame: Arc<Mutex<Frame>>) -> StorageResult<usize> {
         if inner.frames.len() < capacity {
             inner.frames.push(frame);
             return Ok(inner.frames.len() - 1);
@@ -395,12 +725,12 @@ impl BufferPool {
         for _ in 0..3 * n {
             let slot = inner.hand;
             inner.hand = (inner.hand + 1) % n;
-            let candidate = Rc::clone(&inner.frames[slot]);
-            if Rc::strong_count(&candidate) > 2 {
+            let candidate = Arc::clone(&inner.frames[slot]);
+            if Arc::strong_count(&candidate) > 2 {
                 continue; // pinned by a live guard (pool + candidate + guard)
             }
-            let mut victim = candidate.borrow_mut();
-            if victim.in_txn {
+            let mut victim = lock(&candidate);
+            if victim.owner.is_some() {
                 continue; // no-steal: uncommitted changes stay resident
             }
             if victim.dirty {
@@ -429,20 +759,21 @@ impl BufferPool {
             return Ok(slot);
         }
         Err(StorageError::Internal(format!(
-            "buffer pool exhausted: all {n} frames pinned or in the active transaction"
+            "buffer pool exhausted: all {n} frames pinned or owned by open transactions"
         )))
     }
 
     /// Writes every committed dirty frame back and syncs file-backed
-    /// storage. Frames touched by an active transaction are skipped
+    /// storage. Frames owned by open transactions are skipped
     /// (no-steal); the log is left alone — see
     /// [`BufferPool::checkpoint`] for write-back plus log truncation.
     pub fn flush(&self) -> StorageResult<()> {
-        let mut inner = self.inner.borrow_mut();
-        let frames: Vec<Rc<RefCell<Frame>>> = inner.frames.iter().map(Rc::clone).collect();
+        let mut inner = lock(&self.inner);
+        let inner = &mut *inner;
+        let frames: Vec<Arc<Mutex<Frame>>> = inner.frames.iter().map(Arc::clone).collect();
         for frame in frames {
-            let mut frame = frame.borrow_mut();
-            if frame.dirty && !frame.in_txn {
+            let mut frame = lock(&frame);
+            if frame.dirty && frame.owner.is_none() {
                 inner.stats.page_writes += 1;
                 let Frame { id, ref page, .. } = *frame;
                 inner.pager.write(id, page)?;
@@ -456,18 +787,16 @@ impl BufferPool {
     /// pager, then truncates the WAL — all durable state now lives in
     /// the database file. If the write-back fails the log is left
     /// intact, so a crash mid-checkpoint still recovers. Refused while
-    /// a transaction is open: truncating the log would invalidate the
-    /// transaction's rewind mark, and a subsequently failed commit
-    /// would rewind to a pre-checkpoint offset — resurrecting the
-    /// failed statement and stranding later commits.
+    /// any transaction is open: open transactions hold unlogged frames
+    /// whose redo must land in the log the checkpoint would race.
     pub fn checkpoint(&self) -> StorageResult<()> {
-        if self.in_txn() {
+        if !lock(&self.inner).txns.is_empty() {
             return Err(StorageError::Internal(
-                "checkpoint during an active transaction (commit or abort it first)".into(),
+                "checkpoint during an open transaction (commit or abort it first)".into(),
             ));
         }
         self.flush()?;
-        let mut inner = self.inner.borrow_mut();
+        let mut inner = lock(&self.inner);
         if let Some(wal) = inner.wal.as_mut() {
             wal.reset()?;
         }
@@ -485,6 +814,15 @@ mod tests {
 
     fn txn_pool(capacity: usize) -> BufferPool {
         BufferPool::with_wal(Pager::in_memory(), capacity, Wal::in_memory())
+    }
+
+    #[test]
+    fn pool_and_guards_are_send() {
+        fn assert_send<T: Send>() {}
+        fn assert_sync<T: Sync>() {}
+        assert_send::<BufferPool>();
+        assert_sync::<BufferPool>();
+        assert_send::<PinnedPage>();
     }
 
     #[test]
@@ -508,7 +846,7 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..10u8 {
             let (id, guard) = pool.allocate(PageKind::Heap).unwrap();
-            guard.with_mut(|p| p.push_record(&[i]).unwrap());
+            guard.with_mut(|p| p.push_record(&[i]).unwrap()).unwrap();
             ids.push(id);
         }
         // Far more pages than frames: every page must still read back.
@@ -525,7 +863,9 @@ mod tests {
     fn pinned_pages_survive_eviction_pressure() {
         let pool = pool(2);
         let (id_a, guard_a) = pool.allocate(PageKind::Heap).unwrap();
-        guard_a.with_mut(|p| p.push_record(b"pinned").unwrap());
+        guard_a
+            .with_mut(|p| p.push_record(b"pinned").unwrap())
+            .unwrap();
         // Cycle many other pages through the pool while `guard_a` lives.
         for _ in 0..6 {
             let (_, g) = pool.allocate(PageKind::Heap).unwrap();
@@ -557,7 +897,9 @@ mod tests {
         {
             let pool = BufferPool::new(Pager::open(&path).unwrap(), 4);
             let (_, guard) = pool.allocate(PageKind::Heap).unwrap();
-            guard.with_mut(|p| p.push_record(b"durable").unwrap());
+            guard
+                .with_mut(|p| p.push_record(b"durable").unwrap())
+                .unwrap();
             drop(guard);
             pool.flush().unwrap();
         }
@@ -569,23 +911,26 @@ mod tests {
     }
 
     #[test]
-    fn abort_restores_before_images_and_allocations() {
+    fn abort_restores_before_images_and_recycles_allocations() {
         let pool = txn_pool(8);
         let (id, g) = pool.allocate(PageKind::Heap).unwrap();
-        g.with_mut(|p| p.push_record(b"committed").unwrap());
+        g.with_mut(|p| p.push_record(b"committed").unwrap())
+            .unwrap();
         drop(g);
-        pool.begin_txn().unwrap();
-        pool.commit_txn().unwrap(); // empty txn commits as a no-op
+        let t = pool.begin_txn().unwrap();
+        pool.commit_txn(t).unwrap(); // empty txn commits as a no-op
         assert_eq!(pool.stats().wal_appends, 0);
 
-        pool.begin_txn().unwrap();
+        let t = pool.begin_txn().unwrap();
         let g = pool.fetch(id).unwrap();
-        g.with_mut(|p| p.push_record(b"uncommitted").unwrap());
+        g.with_mut(|p| p.push_record(b"uncommitted").unwrap())
+            .unwrap();
         drop(g);
         let (new_id, g2) = pool.allocate(PageKind::Heap).unwrap();
-        g2.with_mut(|p| p.push_record(b"new page").unwrap());
+        g2.with_mut(|p| p.push_record(b"new page").unwrap())
+            .unwrap();
         drop(g2);
-        pool.abort_txn();
+        pool.abort_txn(t);
         let g = pool.fetch(id).unwrap();
         assert_eq!(g.with(|p| p.slot_count()), 1, "txn record rolled back");
         drop(g);
@@ -596,18 +941,25 @@ mod tests {
         );
         drop(g);
         assert_eq!(pool.stats().wal_appends, 0, "nothing was logged");
+        // The aborted allocation is recycled: the next allocation reuses
+        // its page id instead of growing the pager.
+        let pages_before = pool.page_count();
+        let (reused, g) = pool.allocate(PageKind::Heap).unwrap();
+        assert_eq!(reused, new_id, "aborted allocation must be recycled");
+        assert_eq!(pool.page_count(), pages_before);
+        drop(g);
     }
 
     #[test]
     fn commit_logs_and_stamps_lsns() {
         let pool = txn_pool(8);
-        pool.begin_txn().unwrap();
+        let t = pool.begin_txn().unwrap();
         let (a, ga) = pool.allocate(PageKind::Heap).unwrap();
-        ga.with_mut(|p| p.push_record(b"a").unwrap());
+        ga.with_mut(|p| p.push_record(b"a").unwrap()).unwrap();
         let (b, gb) = pool.allocate(PageKind::Heap).unwrap();
-        gb.with_mut(|p| p.push_record(b"b").unwrap());
+        gb.with_mut(|p| p.push_record(b"b").unwrap()).unwrap();
         drop((ga, gb));
-        pool.commit_txn().unwrap();
+        pool.commit_txn(t).unwrap();
         // Begin + 2 updates + Commit.
         let stats = pool.stats();
         assert_eq!(stats.wal_appends, 4);
@@ -627,48 +979,173 @@ mod tests {
         let mut ids = Vec::new();
         for i in 0..3u8 {
             let (id, g) = pool.allocate(PageKind::Heap).unwrap();
-            g.with_mut(|p| p.push_record(&[i]).unwrap());
+            g.with_mut(|p| p.push_record(&[i]).unwrap()).unwrap();
             ids.push(id);
         }
-        pool.begin_txn().unwrap();
+        let t = pool.begin_txn().unwrap();
         // Touch every frame inside the transaction: none may be evicted,
         // so the next allocation must fail cleanly.
         for &id in &ids {
             let g = pool.fetch(id).unwrap();
-            g.with_mut(|p| p.push_record(b"txn").unwrap());
+            g.with_mut(|p| p.push_record(b"txn").unwrap()).unwrap();
             drop(g);
         }
         assert!(matches!(
             pool.allocate(PageKind::Heap),
             Err(StorageError::Internal(_))
         ));
-        pool.abort_txn();
+        pool.abort_txn(t);
         // After abort the frames are evictable again.
         assert!(pool.allocate(PageKind::Heap).is_ok());
     }
 
     #[test]
-    fn double_begin_rejected_and_commit_without_begin_rejected() {
+    fn double_begin_rejected_and_commit_of_unknown_txn_rejected() {
         let pool = txn_pool(4);
-        pool.begin_txn().unwrap();
+        let t = pool.begin_txn().unwrap();
         assert!(pool.begin_txn().is_err());
-        pool.abort_txn();
-        assert!(pool.commit_txn().is_err());
-        assert!(pool.begin_txn().is_ok());
-        pool.abort_txn();
-        pool.abort_txn(); // idempotent
+        pool.abort_txn(t);
+        assert!(pool.commit_txn(t).is_err(), "txn is gone");
+        let t2 = pool.begin_txn().unwrap();
+        pool.abort_txn(t2);
+        pool.abort_txn(t2); // idempotent
+    }
+
+    #[test]
+    fn suspended_transactions_interleave_and_conflict_cleanly() {
+        let pool = txn_pool(8);
+        // Txn A writes page pa, then suspends.
+        let ta = pool.begin_txn().unwrap();
+        let (pa, ga) = pool.allocate(PageKind::Heap).unwrap();
+        ga.with_mut(|p| p.push_record(b"a1").unwrap()).unwrap();
+        drop(ga);
+        pool.suspend_txn();
+        assert!(!pool.in_txn());
+        assert_eq!(pool.open_txn_count(), 1);
+
+        // Txn B runs while A is open, on its own page.
+        let tb = pool.begin_txn().unwrap();
+        let (pb, gb) = pool.allocate(PageKind::Heap).unwrap();
+        gb.with_mut(|p| p.push_record(b"b1").unwrap()).unwrap();
+        // Writing A's page from B is a conflict, not corruption.
+        let g = pool.fetch(pa).unwrap();
+        assert!(matches!(
+            g.with_mut(|p| p.slot_count()),
+            Err(StorageError::Conflict(_))
+        ));
+        assert_eq!(g.with(|p| p.slot_count()), 1, "reads still allowed");
+        drop((g, gb));
+        pool.commit_txn(tb).unwrap();
+
+        // Resume A, write more, commit.
+        pool.resume_txn(ta).unwrap();
+        let g = pool.fetch(pa).unwrap();
+        g.with_mut(|p| p.push_record(b"a2").unwrap()).unwrap();
+        drop(g);
+        pool.commit_txn(ta).unwrap();
+        assert_eq!(pool.open_txn_count(), 0);
+        // Both transactions' effects visible.
+        for (id, n) in [(pa, 2), (pb, 1)] {
+            let g = pool.fetch(id).unwrap();
+            assert_eq!(g.with(|p| p.slot_count()), n);
+            drop(g);
+        }
+        // Begin+Update+Commit per txn = 3 + 3 appends.
+        assert_eq!(pool.stats().wal_appends, 6);
+    }
+
+    #[test]
+    fn resume_requires_known_txn_and_no_other_active() {
+        let pool = txn_pool(4);
+        assert!(pool.resume_txn(99).is_err());
+        let ta = pool.begin_txn().unwrap();
+        pool.suspend_txn();
+        let tb = pool.begin_txn().unwrap();
+        assert!(pool.resume_txn(ta).is_err(), "tb is active");
+        pool.suspend_txn();
+        pool.resume_txn(ta).unwrap();
+        pool.abort_txn(ta);
+        pool.abort_txn(tb);
     }
 
     #[test]
     fn checkpoint_truncates_wal() {
         let pool = txn_pool(4);
-        pool.begin_txn().unwrap();
+        let t = pool.begin_txn().unwrap();
         let (_, g) = pool.allocate(PageKind::Heap).unwrap();
-        g.with_mut(|p| p.push_record(b"x").unwrap());
+        g.with_mut(|p| p.push_record(b"x").unwrap()).unwrap();
         drop(g);
-        pool.commit_txn().unwrap();
+        pool.commit_txn(t).unwrap();
         assert!(pool.wal_len_bytes() > 0);
         pool.checkpoint().unwrap();
         assert_eq!(pool.wal_len_bytes(), 0);
+    }
+
+    #[test]
+    fn free_list_round_trips_pages_through_the_meta_page() {
+        let pool = txn_pool(8);
+        // Build a meta page by hand (the engine normally owns this).
+        let t = pool.begin_txn().unwrap();
+        let (meta, g) = pool.allocate(PageKind::Meta).unwrap();
+        g.with_mut(|p| p.set_extra(NO_PAGE)).unwrap();
+        drop(g);
+        let (a, ga) = pool.allocate(PageKind::Heap).unwrap();
+        let (b, gb) = pool.allocate(PageKind::Heap).unwrap();
+        drop((ga, gb));
+        pool.commit_txn(t).unwrap();
+        pool.set_meta_page(Some(meta));
+        assert_eq!(pool.free_list_len().unwrap(), 0);
+
+        let t = pool.begin_txn().unwrap();
+        assert_eq!(pool.free_pages(&[a, b]).unwrap(), 2);
+        assert_eq!(pool.free_list_len().unwrap(), 2);
+        pool.commit_txn(t).unwrap();
+
+        // Allocations reuse the freed pages instead of growing the file.
+        let pages = pool.page_count();
+        let t = pool.begin_txn().unwrap();
+        let (r1, g1) = pool.allocate(PageKind::Heap).unwrap();
+        let (r2, g2) = pool.allocate(PageKind::Heap).unwrap();
+        drop((g1, g2));
+        pool.commit_txn(t).unwrap();
+        let mut got = [r1, r2];
+        got.sort_unstable();
+        let mut want = [a, b];
+        want.sort_unstable();
+        assert_eq!(got, want);
+        assert_eq!(pool.page_count(), pages, "file must not grow");
+        assert_eq!(pool.free_list_len().unwrap(), 0);
+    }
+
+    #[test]
+    fn aborted_free_list_pop_relinks_the_list() {
+        let pool = txn_pool(8);
+        let t = pool.begin_txn().unwrap();
+        let (meta, g) = pool.allocate(PageKind::Meta).unwrap();
+        g.with_mut(|p| p.set_extra(NO_PAGE)).unwrap();
+        drop(g);
+        let (a, ga) = pool.allocate(PageKind::Heap).unwrap();
+        drop(ga);
+        pool.commit_txn(t).unwrap();
+        pool.set_meta_page(Some(meta));
+        let t = pool.begin_txn().unwrap();
+        pool.free_pages(&[a]).unwrap();
+        pool.commit_txn(t).unwrap();
+        assert_eq!(pool.free_list_len().unwrap(), 1);
+
+        // Pop inside a transaction, then abort: the list is restored.
+        let t = pool.begin_txn().unwrap();
+        let (popped, g) = pool.allocate(PageKind::Heap).unwrap();
+        assert_eq!(popped, a);
+        drop(g);
+        pool.abort_txn(t);
+        assert_eq!(pool.free_list_len().unwrap(), 1, "abort must relink");
+        // And the page is reusable again afterwards.
+        let t = pool.begin_txn().unwrap();
+        let (again, g) = pool.allocate(PageKind::Heap).unwrap();
+        assert_eq!(again, a);
+        drop(g);
+        pool.commit_txn(t).unwrap();
+        assert_eq!(pool.free_list_len().unwrap(), 0);
     }
 }

@@ -20,31 +20,53 @@
 //! group several operations with [`StorageEngine::begin`] /
 //! [`StorageEngine::commit`] / [`StorageEngine::abort`] (the relational
 //! layer wraps each SQL statement this way); an operation invoked with
-//! no open transaction wraps itself (autocommit). Abort rolls back both
-//! the page level (buffer-pool before-images) and the engine's
-//! in-memory catalog (a snapshot taken at begin), so a failed statement
-//! — including a pager I/O error between a heap insert and its index
-//! maintenance — leaves no stranded row. Commit forces the log; when
-//! the log grows past [`WAL_CHECKPOINT_BYTES`] the engine checkpoints
-//! (write dirty pages back, truncate the log) automatically.
+//! no open transaction wraps itself (autocommit). Any number of
+//! transactions may be *open* at once — the shared server gives each
+//! session its own, switching it in with [`StorageEngine::resume`] and
+//! out with [`StorageEngine::suspend`] around every statement — while
+//! at most one is *active* (receiving writes) at a time. Isolation
+//! between open transactions is the caller's job (the server's
+//! table-level lock manager); the engine contributes clean
+//! per-transaction rollback and a page-ownership conflict check in the
+//! buffer pool.
+//!
+//! Abort rolls back both the page level (buffer-pool before-images)
+//! and the engine's in-memory catalog. The catalog rollback state is
+//! captured lazily, copy-on-first-touch: a transaction snapshots only
+//! the [`TableInfo`]s (and, separately, the index list and the
+//! scalar/system-heap state) it actually mutates, so a statement
+//! touching one table of a thousand-table schema copies one entry, not
+//! the whole catalog. Commit forces the log; when the log grows past
+//! [`WAL_CHECKPOINT_BYTES`] the engine checkpoints (write dirty pages
+//! back, truncate the log) automatically — unless other transactions
+//! are open, in which case the checkpoint waits for a quiet moment.
+//!
+//! A fifth bootstrap page (`meta`, page 4) anchors the persistent
+//! free-page list: pages abandoned by truncation, `DROP TABLE` and
+//! index rebuilds are chained there and reused by later allocations
+//! instead of growing the file forever. Databases created before the
+//! meta page existed open fine — the free list is simply disabled.
 
 use crate::btree::BPlusTree;
-use crate::buffer::{BufferPool, PoolStats};
+use crate::buffer::{BufferPool, PoolStats, TxnId};
 use crate::codec::{decode_tuple, encode_tuple};
 use crate::heap::{HeapFile, Rid};
-use crate::page::PageId;
+use crate::page::{PageId, PageKind, NO_PAGE};
 use crate::pager::{Fault, Pager};
 use crate::value::{Datum, Tuple};
 use crate::wal::Wal;
 use crate::{StorageError, StorageResult};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::ffi::OsString;
+use std::ops::Bound;
 use std::path::{Path, PathBuf};
 
 const SYSTEM_TABLES_PAGE: PageId = 0;
 const SYSTEM_COLUMNS_PAGE: PageId = 1;
 const SYSTEM_INDEXES_PAGE: PageId = 2;
 const SYSTEM_CONSTRAINTS_PAGE: PageId = 3;
+/// The meta page: its `extra` word holds the free-page list head.
+const META_PAGE: PageId = 4;
 
 /// First table id handed to user tables (below are reserved).
 const FIRST_USER_TABLE_ID: i64 = 100;
@@ -98,16 +120,32 @@ struct IndexInfo {
     tree: BPlusTree,
 }
 
-/// Copy of the engine's in-memory catalog, taken at transaction begin
-/// and restored on abort.
-struct EngineSnapshot {
-    tables: BTreeMap<String, TableInfo>,
-    indexes: Vec<IndexInfo>,
+/// Scalar and system-heap state a transaction saves on first touch.
+#[derive(Clone, Copy)]
+struct MetaState {
     next_table_id: i64,
     sys_tables: HeapFile,
     sys_columns: HeapFile,
     sys_indexes: HeapFile,
     sys_constraints: HeapFile,
+}
+
+/// Copy-on-first-touch rollback state of one open transaction. Only
+/// what the transaction actually mutates is saved: per-table entries
+/// (`None` = the table did not exist), the index list, and the scalar
+/// state — not a clone of the whole catalog.
+#[derive(Default)]
+struct TxnTouch {
+    tables: BTreeMap<String, Option<TableInfo>>,
+    indexes: Option<Vec<IndexInfo>>,
+    meta: Option<MetaState>,
+    /// Pages the transaction abandoned (truncated chains, dropped
+    /// tables' heaps and trees). Linked onto the free list only *after*
+    /// commit — freeing inside the transaction would pin one unevictable
+    /// frame per page under no-steal, exhausting the pool on large
+    /// drops. A crash between commit and reclamation merely leaks the
+    /// pages, which is exactly the pre-free-list behavior.
+    pending_free: Vec<PageId>,
 }
 
 /// The paged storage engine: buffer pool + WAL + heap files + B+-trees
@@ -121,7 +159,8 @@ pub struct StorageEngine {
     tables: BTreeMap<String, TableInfo>,
     indexes: Vec<IndexInfo>,
     next_table_id: i64,
-    snapshot: Option<EngineSnapshot>,
+    /// Rollback state per open transaction, keyed by WAL transaction id.
+    txns: HashMap<TxnId, TxnTouch>,
     crashed: bool,
 }
 
@@ -185,27 +224,35 @@ impl StorageEngine {
         // pager, discard torn tails, checkpoint.
         wal.recover(&mut pager)?;
         let fresh = pager.page_count() == 0;
-        let pool = BufferPool::with_wal(pager, pool_pages, wal);
+        // The bootstrap transaction pins five unevictable pages under
+        // no-steal, and any real statement needs headroom beyond its
+        // own write set; clamp tiny pools up to a workable floor.
+        let pool = BufferPool::with_wal(pager, pool_pages.max(8), wal);
         if fresh {
-            // The bootstrap heaps are created inside a transaction so a
+            // The bootstrap heaps (and the meta page anchoring the
+            // free-page list) are created inside a transaction so a
             // crash right after creation replays to a well-formed (if
-            // empty) database instead of four zeroed pages.
-            pool.begin_txn()?;
+            // empty) database instead of five zeroed pages.
+            let txn = pool.begin_txn()?;
             let created = (|| -> StorageResult<_> {
                 let sys_tables = HeapFile::create(&pool)?;
                 let sys_columns = HeapFile::create(&pool)?;
                 let sys_indexes = HeapFile::create(&pool)?;
                 let sys_constraints = HeapFile::create(&pool)?;
+                let (meta_id, meta) = pool.allocate(PageKind::Meta)?;
+                meta.with_mut(|p| p.set_extra(NO_PAGE))?;
+                drop(meta);
+                debug_assert_eq!(meta_id, META_PAGE);
                 Ok((sys_tables, sys_columns, sys_indexes, sys_constraints))
             })();
             let (sys_tables, sys_columns, sys_indexes, sys_constraints) = match created {
                 Ok(heaps) => heaps,
                 Err(e) => {
-                    pool.abort_txn();
+                    pool.abort_txn(txn);
                     return Err(e);
                 }
             };
-            pool.commit_txn()?;
+            pool.commit_txn(txn)?;
             debug_assert_eq!(
                 (
                     sys_tables.first,
@@ -220,6 +267,7 @@ impl StorageEngine {
                     SYSTEM_CONSTRAINTS_PAGE
                 )
             );
+            pool.set_meta_page(Some(META_PAGE));
             Ok(StorageEngine {
                 pool,
                 sys_tables,
@@ -229,7 +277,7 @@ impl StorageEngine {
                 tables: BTreeMap::new(),
                 indexes: Vec::new(),
                 next_table_id: FIRST_USER_TABLE_ID,
-                snapshot: None,
+                txns: HashMap::new(),
                 crashed: false,
             })
         } else {
@@ -239,6 +287,17 @@ impl StorageEngine {
 
     /// Rebuilds the in-memory catalog from the four system heaps.
     fn bootstrap(pool: BufferPool) -> StorageResult<StorageEngine> {
+        // Databases created before the meta page existed lack page 4 (or
+        // use it for data): the free list is disabled for them.
+        let meta = if pool.page_count() > META_PAGE {
+            let guard = pool.fetch(META_PAGE)?;
+            guard
+                .with(|p| p.kind() == Ok(PageKind::Meta))
+                .then_some(META_PAGE)
+        } else {
+            None
+        };
+        pool.set_meta_page(meta);
         let sys_tables = HeapFile::open(&pool, SYSTEM_TABLES_PAGE)?;
         let sys_columns = HeapFile::open(&pool, SYSTEM_COLUMNS_PAGE)?;
         let sys_indexes = HeapFile::open(&pool, SYSTEM_INDEXES_PAGE)?;
@@ -346,7 +405,7 @@ impl StorageEngine {
             tables,
             indexes,
             next_table_id,
-            snapshot: None,
+            txns: HashMap::new(),
             crashed: false,
         })
     }
@@ -355,46 +414,87 @@ impl StorageEngine {
         self.pool.stats()
     }
 
+    /// Pages currently reusable on the persistent free list.
+    pub fn free_page_count(&self) -> StorageResult<usize> {
+        self.pool.free_list_len()
+    }
+
     // -----------------------------------------------------------------
     // Transactions
     // -----------------------------------------------------------------
 
-    /// Whether a transaction is open.
+    /// Whether a transaction is active (joined by the next mutation).
     pub fn in_txn(&self) -> bool {
-        self.snapshot.is_some()
+        self.pool.in_txn()
     }
 
-    /// Opens a transaction spanning the next mutating operations.
-    /// Errors if one is already open.
-    pub fn begin(&mut self) -> StorageResult<()> {
-        if self.snapshot.is_some() {
+    /// The active transaction's id, if any.
+    pub fn active_txn(&self) -> Option<TxnId> {
+        self.pool.active_txn()
+    }
+
+    /// Number of open (active or suspended) transactions.
+    pub fn open_txn_count(&self) -> usize {
+        self.txns.len()
+    }
+
+    /// Opens a transaction spanning the next mutating operations and
+    /// makes it active. Errors if another transaction is active
+    /// (suspend it first; any number may be open but suspended).
+    pub fn begin(&mut self) -> StorageResult<TxnId> {
+        if self.pool.in_txn() {
             return Err(StorageError::Internal("transaction already active".into()));
         }
-        self.pool.begin_txn()?;
-        self.snapshot = Some(EngineSnapshot {
-            tables: self.tables.clone(),
-            indexes: self.indexes.clone(),
-            next_table_id: self.next_table_id,
-            sys_tables: self.sys_tables,
-            sys_columns: self.sys_columns,
-            sys_indexes: self.sys_indexes,
-            sys_constraints: self.sys_constraints,
-        });
-        Ok(())
+        let id = self.pool.begin_txn()?;
+        self.txns.insert(id, TxnTouch::default());
+        Ok(id)
     }
 
-    /// Commits the open transaction: page images + Commit frame are
+    /// Makes an open (suspended) transaction active again — a session
+    /// switching its transaction in before a statement.
+    pub fn resume(&mut self, id: TxnId) -> StorageResult<()> {
+        if !self.txns.contains_key(&id) {
+            return Err(StorageError::Internal(format!(
+                "resume of unknown transaction {id}"
+            )));
+        }
+        self.pool.resume_txn(id)
+    }
+
+    /// Detaches the active transaction, leaving it open (no-op when
+    /// none is active).
+    pub fn suspend(&mut self) {
+        self.pool.suspend_txn();
+    }
+
+    /// Commits the active transaction: page images + Commit frame are
     /// forced to the log. On error the transaction is rolled back
     /// (pages and catalog) before the error returns.
     pub fn commit(&mut self) -> StorageResult<()> {
-        if self.snapshot.is_none() {
+        let Some(id) = self.pool.active_txn() else {
             return Err(StorageError::Internal("commit without begin".into()));
+        };
+        self.commit_txn(id)
+    }
+
+    /// Commits an open transaction by id (it need not be active).
+    pub fn commit_txn(&mut self, id: TxnId) -> StorageResult<()> {
+        if !self.txns.contains_key(&id) {
+            return Err(StorageError::Internal(format!(
+                "commit of unknown transaction {id}"
+            )));
         }
-        match self.pool.commit_txn() {
+        match self.pool.commit_txn(id) {
             Ok(()) => {
-                self.snapshot = None;
-                // Keep the log bounded; failure leaves the log intact
-                // (and the commit stands), so it is not an error here.
+                let pending = self
+                    .txns
+                    .remove(&id)
+                    .map(|t| t.pending_free)
+                    .unwrap_or_default();
+                self.reclaim_deferred(pending);
+                // Keep the log bounded; failure (e.g. other transactions
+                // still open) leaves the log intact and the commit
+                // stands, so it is not an error here.
                 if self.pool.wal_len_bytes() > WAL_CHECKPOINT_BYTES {
                     let _ = self.pool.checkpoint();
                 }
@@ -403,34 +503,144 @@ impl StorageEngine {
             Err(e) => {
                 // Pages already rolled back by the pool; restore the
                 // in-memory catalog to match.
-                self.restore_snapshot();
+                self.restore_touch(id);
                 Err(e)
             }
         }
     }
 
-    /// Rolls the open transaction back (no-op without one).
+    /// Rolls the active transaction back (no-op without one).
     pub fn abort(&mut self) {
-        if self.snapshot.is_none() {
+        if let Some(id) = self.pool.active_txn() {
+            self.abort_txn(id);
+        }
+    }
+
+    /// Rolls an open transaction back by id (it need not be active).
+    pub fn abort_txn(&mut self, id: TxnId) {
+        self.pool.abort_txn(id);
+        self.restore_touch(id);
+    }
+
+    /// Restores the catalog entries a transaction saved before mutating
+    /// them (the copy-on-first-touch counterpart of the old full-catalog
+    /// snapshot restore).
+    fn restore_touch(&mut self, id: TxnId) {
+        let Some(touch) = self.txns.remove(&id) else {
+            return;
+        };
+        for (name, saved) in touch.tables {
+            match saved {
+                Some(info) => {
+                    self.tables.insert(name, info);
+                }
+                None => {
+                    self.tables.remove(&name);
+                }
+            }
+        }
+        if let Some(indexes) = touch.indexes {
+            self.indexes = indexes;
+        }
+        if let Some(meta) = touch.meta {
+            self.next_table_id = meta.next_table_id;
+            self.sys_tables = meta.sys_tables;
+            self.sys_columns = meta.sys_columns;
+            self.sys_indexes = meta.sys_indexes;
+            self.sys_constraints = meta.sys_constraints;
+        }
+    }
+
+    /// Queues pages for free-list linking once the active transaction
+    /// commits (dropped silently if it aborts — the pages then still
+    /// belong to the rolled-back structures).
+    fn defer_free(&mut self, pages: Vec<PageId>) {
+        let Some(id) = self.pool.active_txn() else {
+            return;
+        };
+        if let Some(touch) = self.txns.get_mut(&id) {
+            touch.pending_free.extend(pages);
+        }
+    }
+
+    /// Links committed-abandoned pages onto the free list in small
+    /// transactions sized to the pool (each freed page pins a frame
+    /// under no-steal until its batch commits). Best-effort: any
+    /// failure just leaks the remaining pages.
+    fn reclaim_deferred(&mut self, pages: Vec<PageId>) {
+        if pages.is_empty() {
             return;
         }
-        self.pool.abort_txn();
-        self.restore_snapshot();
+        let batch = (self.pool.capacity() / 2).max(1);
+        for chunk in pages.chunks(batch) {
+            let Ok(id) = self.begin() else {
+                return;
+            };
+            match self.pool.free_pages(chunk) {
+                Ok(_) => {
+                    if self.commit_txn(id).is_err() {
+                        return;
+                    }
+                }
+                Err(_) => {
+                    self.abort_txn(id);
+                    return;
+                }
+            }
+        }
     }
 
-    fn restore_snapshot(&mut self) {
-        let snap = self.snapshot.take().expect("caller checked");
-        self.tables = snap.tables;
-        self.indexes = snap.indexes;
-        self.next_table_id = snap.next_table_id;
-        self.sys_tables = snap.sys_tables;
-        self.sys_columns = snap.sys_columns;
-        self.sys_indexes = snap.sys_indexes;
-        self.sys_constraints = snap.sys_constraints;
+    /// Saves `name`'s catalog entry into the active transaction's touch
+    /// set, once, before its first mutation (`None` when absent, so an
+    /// abort un-creates it).
+    fn touch_table(&mut self, name: &str) {
+        let Some(id) = self.pool.active_txn() else {
+            return;
+        };
+        let Some(touch) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if !touch.tables.contains_key(name) {
+            let saved = self.tables.get(name).cloned();
+            touch.tables.insert(name.to_owned(), saved);
+        }
     }
 
-    /// Runs `f` inside the open transaction if there is one (the caller
-    /// then owns commit/abort), else wraps it in its own transaction.
+    /// Saves the index list on its first mutation by the active txn.
+    fn touch_indexes(&mut self) {
+        let Some(id) = self.pool.active_txn() else {
+            return;
+        };
+        let Some(touch) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if touch.indexes.is_none() {
+            touch.indexes = Some(self.indexes.clone());
+        }
+    }
+
+    /// Saves the scalar/system-heap state on its first mutation.
+    fn touch_meta(&mut self) {
+        let Some(id) = self.pool.active_txn() else {
+            return;
+        };
+        let Some(touch) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if touch.meta.is_none() {
+            touch.meta = Some(MetaState {
+                next_table_id: self.next_table_id,
+                sys_tables: self.sys_tables,
+                sys_columns: self.sys_columns,
+                sys_indexes: self.sys_indexes,
+                sys_constraints: self.sys_constraints,
+            });
+        }
+    }
+
+    /// Runs `f` inside the active transaction if there is one (the
+    /// caller then owns commit/abort), else wraps it in its own
+    /// transaction.
     fn autocommit<R>(
         &mut self,
         f: impl FnOnce(&mut StorageEngine) -> StorageResult<R>,
@@ -438,14 +648,14 @@ impl StorageEngine {
         if self.in_txn() {
             return f(self);
         }
-        self.begin()?;
+        let id = self.begin()?;
         match f(self) {
             Ok(v) => {
-                self.commit()?;
+                self.commit_txn(id)?;
                 Ok(v)
             }
             Err(e) => {
-                self.abort();
+                self.abort_txn(id);
                 Err(e)
             }
         }
@@ -476,6 +686,8 @@ impl StorageEngine {
             return Err(StorageError::DuplicateTable(name.to_owned()));
         }
         self.autocommit(|eng| {
+            eng.touch_meta();
+            eng.touch_table(name);
             let id = eng.next_table_id;
             eng.next_table_id += 1;
             let heap = HeapFile::create(&eng.pool)?;
@@ -521,6 +733,8 @@ impl StorageEngine {
             return Err(StorageError::UnknownTable(name.to_owned()));
         }
         self.autocommit(|eng| {
+            eng.touch_meta();
+            eng.touch_table(name);
             let info = eng.tables.get_mut(name).expect("checked above");
             info.constraints = specs.to_vec();
             eng.rewrite_system_constraints()
@@ -532,15 +746,27 @@ impl StorageEngine {
         Ok(&self.table(name)?.constraints)
     }
 
-    /// Drops a table (its pages are abandoned) and rewrites the catalog.
+    /// Drops a table — its heap chain and index trees go onto the
+    /// free-page list for reuse — and rewrites the catalog.
     pub fn drop_table(&mut self, name: &str) -> StorageResult<()> {
         if !self.tables.contains_key(name) {
             return Err(StorageError::UnknownTable(name.to_owned()));
         }
         self.autocommit(|eng| {
-            let info = eng.tables.remove(name).expect("checked above");
-            eng.indexes.retain(|ix| ix.table_id != info.id);
-            eng.rewrite_system_catalog()
+            eng.touch_meta();
+            eng.touch_table(name);
+            eng.touch_indexes();
+            let info = eng.tables.get(name).expect("checked above");
+            let mut reclaim = info.heap.all_pages(&eng.pool)?;
+            let table_id = info.id;
+            for ix in eng.indexes.iter().filter(|ix| ix.table_id == table_id) {
+                reclaim.extend(ix.tree.collect_pages(&eng.pool)?);
+            }
+            eng.tables.remove(name);
+            eng.indexes.retain(|ix| ix.table_id != table_id);
+            eng.rewrite_system_catalog()?;
+            eng.defer_free(reclaim);
+            Ok(())
         })
     }
 
@@ -564,12 +790,18 @@ impl StorageEngine {
         }
         // Validate every indexed key before mutating anything: cheap
         // rejections shouldn't pay for a transaction rollback.
+        let mut indexed = false;
         for ix in &self.indexes {
             if ix.table_id == info.id {
                 crate::btree::check_key(&tuple[ix.col])?;
+                indexed = true;
             }
         }
         self.autocommit(|eng| {
+            eng.touch_table(name);
+            if indexed {
+                eng.touch_indexes();
+            }
             let info = eng
                 .tables
                 .get_mut(name)
@@ -586,6 +818,7 @@ impl StorageEngine {
                 }
             }
             if roots_moved {
+                eng.touch_meta();
                 eng.rewrite_system_indexes()?;
             }
             Ok(rid)
@@ -695,6 +928,8 @@ impl StorageEngine {
         // Force the finished tree before the catalog points at it.
         self.pool.flush()?;
         self.autocommit(|eng| {
+            eng.touch_meta();
+            eng.touch_indexes();
             eng.sys_indexes.insert(
                 &eng.pool,
                 &encode_tuple(&[
@@ -738,16 +973,51 @@ impl StorageEngine {
         Ok(Some(out))
     }
 
-    /// Removes all rows; indexes are rebuilt empty.
+    /// Tuples whose `col` falls inside `(lower, upper)`, via the
+    /// B+-tree's ordered leaf chain; `None` when no index covers the
+    /// column. The page cost is proportional to the matching range —
+    /// this is what inequality restrictions (`<`, `<=`, `>`, `>=`,
+    /// `BETWEEN`) ride on instead of full heap scans.
+    pub fn index_range(
+        &self,
+        name: &str,
+        col: usize,
+        lower: Bound<&Datum>,
+        upper: Bound<&Datum>,
+    ) -> StorageResult<Option<Vec<Tuple>>> {
+        let info = self.table(name)?;
+        let Some(ix) = self.find_index(info.id, col) else {
+            return Ok(None);
+        };
+        let rids = ix.tree.range(&self.pool, lower, upper)?;
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            out.push(decode_tuple(&info.heap.fetch(&self.pool, rid)?)?);
+        }
+        Ok(Some(out))
+    }
+
+    /// Removes all rows; indexes are rebuilt empty. The abandoned chain
+    /// pages and old index trees go onto the free-page list instead of
+    /// leaking (reclaimed space is reused by later allocations).
     pub fn truncate(&mut self, name: &str) -> StorageResult<()> {
         if !self.tables.contains_key(name) {
             return Err(StorageError::UnknownTable(name.to_owned()));
         }
         self.autocommit(|eng| {
+            eng.touch_table(name);
+            eng.touch_indexes();
+            let info = eng.tables.get(name).expect("checked above");
+            let table_id = info.id;
+            // Collect what the truncation abandons *before* resetting
+            // the pointers that reach it.
+            let mut reclaim = info.heap.tail_pages(&eng.pool)?;
+            for ix in eng.indexes.iter().filter(|ix| ix.table_id == table_id) {
+                reclaim.extend(ix.tree.collect_pages(&eng.pool)?);
+            }
             let info = eng.tables.get_mut(name).expect("checked above");
             info.heap.truncate(&eng.pool)?;
             info.row_count = 0;
-            let table_id = info.id;
             let mut roots_moved = false;
             for ix in &mut eng.indexes {
                 if ix.table_id == table_id {
@@ -756,8 +1026,10 @@ impl StorageEngine {
                 }
             }
             if roots_moved {
+                eng.touch_meta();
                 eng.rewrite_system_indexes()?;
             }
+            eng.defer_free(reclaim);
             Ok(())
         })
     }
@@ -794,7 +1066,17 @@ impl StorageEngine {
             .find(|ix| ix.table_id == table_id && ix.col == col)
     }
 
+    /// Queues the chain pages a system-heap truncation is about to
+    /// abandon — catalog rewrites (root moves, DDL) must not leak pages
+    /// any more than user-table truncation does.
+    fn reclaim_sys_tail(&mut self, heap: HeapFile) -> StorageResult<()> {
+        let tail = heap.tail_pages(&self.pool)?;
+        self.defer_free(tail);
+        Ok(())
+    }
+
     fn rewrite_system_indexes(&mut self) -> StorageResult<()> {
+        self.reclaim_sys_tail(self.sys_indexes)?;
         self.sys_indexes.truncate(&self.pool)?;
         for ix in &self.indexes {
             self.sys_indexes.insert(
@@ -810,6 +1092,7 @@ impl StorageEngine {
     }
 
     fn rewrite_system_constraints(&mut self) -> StorageResult<()> {
+        self.reclaim_sys_tail(self.sys_constraints)?;
         self.sys_constraints.truncate(&self.pool)?;
         for info in self.tables.values() {
             for (seq, spec) in info.constraints.iter().enumerate() {
@@ -827,6 +1110,8 @@ impl StorageEngine {
     }
 
     fn rewrite_system_catalog(&mut self) -> StorageResult<()> {
+        self.reclaim_sys_tail(self.sys_tables)?;
+        self.reclaim_sys_tail(self.sys_columns)?;
         self.sys_tables.truncate(&self.pool)?;
         self.sys_columns.truncate(&self.pool)?;
         for info in self.tables.values() {
@@ -1442,6 +1727,221 @@ mod tests {
         let eng = StorageEngine::open(&path, 16).unwrap();
         assert_eq!(eng.row_count("t").unwrap(), 1);
         cleanup(&path);
+    }
+
+    #[test]
+    fn truncate_reclaims_pages_and_the_free_list_survives_reopen() {
+        let path = temp_db("freelist");
+        {
+            let mut eng = StorageEngine::open(&path, 16).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int), ("pad", ColType::Text)]))
+                .unwrap();
+            eng.create_index("t", 0).unwrap();
+            let pad = "p".repeat(400);
+            for i in 0..200 {
+                eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                    .unwrap();
+            }
+            assert_eq!(eng.free_page_count().unwrap(), 0);
+            eng.truncate("t").unwrap();
+            let freed = eng.free_page_count().unwrap();
+            assert!(freed > 10, "chain + old tree must be reclaimed: {freed}");
+            // Refilling reuses the freed pages instead of growing the file.
+            let pages_before = eng.pool.page_count();
+            for i in 0..200 {
+                eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                    .unwrap();
+            }
+            assert_eq!(
+                eng.pool.page_count(),
+                pages_before,
+                "refill must reuse the free list"
+            );
+            eng.flush().unwrap();
+        }
+        // The list head lives in the meta page: it survives reopen.
+        let mut eng = StorageEngine::open(&path, 16).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 200);
+        eng.truncate("t").unwrap();
+        let freed = eng.free_page_count().unwrap();
+        assert!(freed > 10, "free list must work after reopen: {freed}");
+        let pages_before = eng.pool.page_count();
+        eng.create_table("u", &cols(&[("x", ColType::Int)]))
+            .unwrap();
+        eng.insert("u", &[Datum::Int(1)]).unwrap();
+        assert_eq!(eng.pool.page_count(), pages_before);
+        cleanup(&path);
+    }
+
+    #[test]
+    fn drop_table_reclaims_heap_and_index_pages() {
+        let mut eng = StorageEngine::in_memory(16).unwrap();
+        eng.create_table("t", &cols(&[("a", ColType::Int), ("pad", ColType::Text)]))
+            .unwrap();
+        eng.create_index("t", 0).unwrap();
+        let pad = "x".repeat(300);
+        for i in 0..300 {
+            eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                .unwrap();
+        }
+        eng.drop_table("t").unwrap();
+        let freed = eng.free_page_count().unwrap();
+        assert!(freed > 20, "heap chain and tree must be reclaimed: {freed}");
+        // A new table's growth consumes the reclaimed pages first.
+        let pages_before = eng.pool.page_count();
+        eng.create_table("u", &cols(&[("a", ColType::Int), ("pad", ColType::Text)]))
+            .unwrap();
+        for i in 0..300 {
+            eng.insert("u", &[Datum::Int(i), Datum::text(&pad)])
+                .unwrap();
+        }
+        assert_eq!(eng.pool.page_count(), pages_before, "file must not grow");
+    }
+
+    #[test]
+    fn catalog_churn_reuses_system_heap_pages() {
+        // Regression: rewrite_system_constraints truncates the
+        // sys_constraints heap; once the spec list spans several pages,
+        // every rewrite used to abandon the old tail chain for good.
+        let mut eng = StorageEngine::in_memory(32).unwrap();
+        eng.create_table("t", &cols(&[("a", ColType::Int)]))
+            .unwrap();
+        let specs: Vec<String> = (0..300)
+            .map(|i| format!("bound column_{i:04} 0 {i}"))
+            .collect();
+        // Warm up: the first rewrites grow the heap and prime the free
+        // list (reclamation lands after each commit).
+        for _ in 0..3 {
+            eng.set_constraints("t", &specs).unwrap();
+        }
+        let pages = eng.pool.page_count();
+        for _ in 0..20 {
+            eng.set_constraints("t", &specs).unwrap();
+        }
+        assert_eq!(
+            eng.pool.page_count(),
+            pages,
+            "catalog rewrites must reuse their reclaimed chain pages"
+        );
+    }
+
+    #[test]
+    fn aborted_allocations_are_recycled_not_leaked() {
+        let mut eng = StorageEngine::in_memory(32).unwrap();
+        eng.create_table("t", &cols(&[("a", ColType::Int), ("pad", ColType::Text)]))
+            .unwrap();
+        let pad = "y".repeat(1500);
+        eng.begin().unwrap();
+        for i in 0..20 {
+            eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                .unwrap();
+        }
+        eng.abort();
+        let pages_after_abort = eng.pool.page_count();
+        // Re-running the same inserts reuses the aborted allocations.
+        for i in 0..20 {
+            eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                .unwrap();
+        }
+        assert_eq!(
+            eng.pool.page_count(),
+            pages_after_abort,
+            "aborted allocations must be recycled"
+        );
+        assert_eq!(eng.row_count("t").unwrap(), 20);
+    }
+
+    #[test]
+    fn suspended_transactions_interleave_with_per_txn_rollback() {
+        let mut eng = StorageEngine::in_memory(32).unwrap();
+        eng.create_table("ta", &cols(&[("a", ColType::Int)]))
+            .unwrap();
+        eng.create_table("tb", &cols(&[("b", ColType::Int)]))
+            .unwrap();
+
+        let txn_a = eng.begin().unwrap();
+        eng.insert("ta", &[Datum::Int(1)]).unwrap();
+        eng.suspend();
+
+        let txn_b = eng.begin().unwrap();
+        eng.insert("tb", &[Datum::Int(2)]).unwrap();
+        assert_eq!(eng.open_txn_count(), 2);
+        eng.commit_txn(txn_b).unwrap();
+
+        // Abort A: only A's effects disappear.
+        eng.resume(txn_a).unwrap();
+        eng.insert("ta", &[Datum::Int(3)]).unwrap();
+        eng.abort_txn(txn_a);
+        assert_eq!(eng.row_count("ta").unwrap(), 0, "A rolled back");
+        assert_eq!(eng.row_count("tb").unwrap(), 1, "B committed");
+        assert_eq!(eng.open_txn_count(), 0);
+
+        // Touch-based rollback also covers DDL: an aborted CREATE TABLE
+        // disappears while concurrent state stays.
+        let txn_c = eng.begin().unwrap();
+        eng.create_table("tc", &cols(&[("c", ColType::Int)]))
+            .unwrap();
+        assert!(eng.has_table("tc"));
+        eng.abort_txn(txn_c);
+        assert!(!eng.has_table("tc"));
+        assert!(eng.has_table("ta") && eng.has_table("tb"));
+    }
+
+    #[test]
+    fn committed_suspended_transactions_both_survive_a_crash() {
+        let path = temp_db("two-inflight");
+        {
+            let mut eng = StorageEngine::open(&path, 32).unwrap();
+            eng.create_table("ta", &cols(&[("a", ColType::Int)]))
+                .unwrap();
+            eng.create_table("tb", &cols(&[("b", ColType::Int)]))
+                .unwrap();
+            // Two in-flight transactions; exactly one commits before the
+            // crash.
+            let txn_a = eng.begin().unwrap();
+            eng.insert("ta", &[Datum::Int(10)]).unwrap();
+            eng.suspend();
+            let txn_b = eng.begin().unwrap();
+            eng.insert("tb", &[Datum::Int(20)]).unwrap();
+            eng.commit_txn(txn_b).unwrap();
+            eng.resume(txn_a).unwrap();
+            // A stays open (uncommitted) at the crash.
+            let _ = txn_a;
+            eng.simulate_crash();
+        }
+        let eng = StorageEngine::open(&path, 32).unwrap();
+        assert_eq!(eng.row_count("ta").unwrap(), 0, "open txn must vanish");
+        assert_eq!(eng.row_count("tb").unwrap(), 1, "committed txn survives");
+        cleanup(&path);
+    }
+
+    #[test]
+    fn index_range_matches_scan_filter() {
+        let mut eng = engine_with_empl(16, 500);
+        eng.create_index("empl", 2).unwrap();
+        let via_range = eng
+            .index_range(
+                "empl",
+                2,
+                Bound::Included(&Datum::Int(10_100)),
+                Bound::Excluded(&Datum::Int(10_120)),
+            )
+            .unwrap()
+            .unwrap();
+        let via_scan: Vec<Tuple> = eng
+            .scan("empl")
+            .unwrap()
+            .into_iter()
+            .filter(|t| t[2] >= Datum::Int(10_100) && t[2] < Datum::Int(10_120))
+            .collect();
+        assert_eq!(via_range.len(), via_scan.len());
+        assert_eq!(via_range.len(), 20);
+        // No index on the column → None (caller falls back to a scan).
+        assert_eq!(
+            eng.index_range("empl", 1, Bound::Unbounded, Bound::Unbounded)
+                .unwrap(),
+            None
+        );
     }
 
     #[test]

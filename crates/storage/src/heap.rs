@@ -82,15 +82,15 @@ impl HeapFile {
     pub fn insert(&mut self, pool: &BufferPool, record: &[u8]) -> StorageResult<Rid> {
         let tail = pool.fetch(self.last)?;
         if tail.with(|p| p.fits(record.len())) {
-            let slot = tail.with_mut(|p| p.push_record(record))?;
+            let slot = tail.with_mut(|p| p.push_record(record))??;
             return Ok(Rid {
                 page: self.last,
                 slot: slot as u16,
             });
         }
         let (new_id, new_page) = pool.allocate(PageKind::Heap)?;
-        let slot = new_page.with_mut(|p| p.push_record(record))?;
-        tail.with_mut(|p| p.set_next(new_id));
+        let slot = new_page.with_mut(|p| p.push_record(record))??;
+        tail.with_mut(|p| p.set_next(new_id))?;
         self.last = new_id;
         Ok(Rid {
             page: new_id,
@@ -191,9 +191,37 @@ impl HeapFile {
     /// Drops all records, keeping (and resetting) the head page.
     pub fn truncate(&mut self, pool: &BufferPool) -> StorageResult<()> {
         let guard = pool.fetch(self.first)?;
-        guard.with_mut(|p| p.init(PageKind::Heap));
+        guard.with_mut(|p| p.init(PageKind::Heap))?;
         self.last = self.first;
         Ok(())
+    }
+
+    /// The page ids of the chain *after* the head (what truncation
+    /// abandons), in chain order. The engine hands these to the buffer
+    /// pool's free list instead of leaking them.
+    pub fn tail_pages(&self, pool: &BufferPool) -> StorageResult<Vec<PageId>> {
+        let mut out = Vec::new();
+        let mut page_id = self.first;
+        let mut walked: u32 = 0;
+        loop {
+            walked = check_chain_step(pool, walked)?;
+            let guard = pool.fetch(page_id)?;
+            let next = guard.with(|p| p.next());
+            if next == NO_PAGE {
+                break;
+            }
+            out.push(next);
+            page_id = next;
+        }
+        Ok(out)
+    }
+
+    /// Every page id of the chain, head included (what dropping the
+    /// table abandons).
+    pub fn all_pages(&self, pool: &BufferPool) -> StorageResult<Vec<PageId>> {
+        let mut out = vec![self.first];
+        out.extend(self.tail_pages(pool)?);
+        Ok(out)
     }
 }
 
@@ -307,7 +335,7 @@ mod tests {
         }
         // Bend the tail's next pointer back to the head.
         let tail = pool.fetch(heap.last).unwrap();
-        tail.with_mut(|p| p.set_next(heap.first));
+        tail.with_mut(|p| p.set_next(heap.first)).unwrap();
         drop(tail);
         assert!(matches!(
             HeapFile::open(&pool, heap.first),

@@ -46,10 +46,16 @@
 //!   truncate the log; runs explicitly or automatically once the log
 //!   exceeds [`engine::WAL_CHECKPOINT_BYTES`].
 //!
-//! Everything is single-threaded by design (the coupled Prolog session
-//! is); the buffer pool uses interior mutability so read paths work
-//! through `&self`. Concurrency control remains a non-goal for now and
-//! is tracked in ROADMAP.md.
+//! # Concurrency
+//!
+//! The whole crate is `Send`: the buffer pool's frame table sits behind
+//! a mutex with per-frame latches, so one engine can be shared by many
+//! sessions (see the `server` crate). Any number of transactions may be
+//! *open* at once — one per session — while statements execute one at a
+//! time; isolation between transactions comes from the table-level
+//! two-phase [`lock`] manager (wait-die deadlock avoidance), with a
+//! page-ownership check in the buffer pool as the storage-level
+//! backstop ([`StorageError::Conflict`]).
 
 use std::fmt;
 
@@ -58,13 +64,15 @@ pub mod buffer;
 pub mod codec;
 pub mod engine;
 pub mod heap;
+pub mod lock;
 pub mod page;
 pub mod pager;
 pub mod value;
 pub mod wal;
 
-pub use buffer::{BufferPool, PoolStats};
+pub use buffer::{BufferPool, PoolStats, TxnId};
 pub use engine::{ColType, StorageEngine};
+pub use lock::{LockManager, LockMode};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::Fault;
 pub use value::{Datum, Tuple};
@@ -85,6 +93,11 @@ pub enum StorageError {
     DuplicateTable(String),
     /// On-disk data failed to decode (corruption or version skew).
     Corrupt(String),
+    /// A concurrent transaction holds a resource this one needs (lock
+    /// conflict under wait-die, lock wait timeout, or a page owned by
+    /// another open transaction). The statement was rolled back and can
+    /// be retried.
+    Conflict(String),
     /// Internal invariant failure (a bug in the engine).
     Internal(String),
 }
@@ -99,6 +112,7 @@ impl fmt::Display for StorageError {
             StorageError::UnknownTable(t) => write!(f, "unknown table in storage: {t}"),
             StorageError::DuplicateTable(t) => write!(f, "table already stored: {t}"),
             StorageError::Corrupt(m) => write!(f, "corrupt page data: {m}"),
+            StorageError::Conflict(m) => write!(f, "transaction conflict: {m}"),
             StorageError::Internal(m) => write!(f, "storage internal error: {m}"),
         }
     }

@@ -1,0 +1,262 @@
+//! Table-level two-phase locking with wait-die deadlock avoidance.
+//!
+//! The shared server gives every transaction (or autocommit statement)
+//! a monotonically increasing *owner id* — its timestamp — and acquires
+//! the locks its statement needs **before** executing it: shared for
+//! tables it reads, exclusive for tables it writes, plus a pseudo
+//! resource for the schema so DDL serializes against everything.
+//! Two-phase discipline is the caller's job: owners only ever call
+//! [`LockManager::acquire`] while running and [`LockManager::release_all`]
+//! once, at commit or abort.
+//!
+//! Deadlocks are avoided with **wait-die**: when a requested lock
+//! conflicts, an owner *older* (smaller id) than every conflicting
+//! holder blocks on a condvar until the holders release; a *younger*
+//! owner dies immediately with [`StorageError::Conflict`] — its
+//! transaction aborts and the client may retry (with the same odds of
+//! meeting the same holder again shrinking as older transactions drain).
+//! Because waiters are always older than the owners they wait for, the
+//! waits-for graph is ordered by age and can never form a cycle. A
+//! configurable timeout (default 10 s, see
+//! [`LockManager::with_timeout`]) backstops lost wakeups and
+//! pathological schedules: timing out also returns `Conflict`, so the
+//! caller's retry logic covers both.
+//!
+//! Lock upgrades (shared → exclusive by the same owner, the classic
+//! read-then-write statement) are granted in place when the upgrader is
+//! the sole holder and otherwise follow the same wait-die rule against
+//! the other holders.
+
+use crate::{StorageError, StorageResult};
+use std::collections::HashMap;
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// What an owner may do with a resource while holding the lock.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Concurrent readers; conflicts only with `Exclusive`.
+    Shared,
+    /// Sole access; conflicts with everything.
+    Exclusive,
+}
+
+#[derive(Default)]
+struct LockState {
+    /// resource → (owner id → granted mode).
+    locks: HashMap<String, HashMap<u64, LockMode>>,
+}
+
+/// The lock table. One per shared database.
+pub struct LockManager {
+    state: Mutex<LockState>,
+    released: Condvar,
+    timeout: Duration,
+}
+
+impl Default for LockManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn lock_state<'a>(m: &'a Mutex<LockState>) -> MutexGuard<'a, LockState> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+impl LockManager {
+    /// A lock manager with the default 10-second wait timeout.
+    pub fn new() -> LockManager {
+        Self::with_timeout(Duration::from_secs(10))
+    }
+
+    /// A lock manager whose waiters give up (with
+    /// [`StorageError::Conflict`]) after `timeout`.
+    pub fn with_timeout(timeout: Duration) -> LockManager {
+        LockManager {
+            state: Mutex::new(LockState::default()),
+            released: Condvar::new(),
+            timeout,
+        }
+    }
+
+    /// Acquires (or upgrades to) `mode` on `resource` for `owner`,
+    /// blocking while older-than-every-conflicting-holder, dying
+    /// otherwise. Re-acquiring an already held mode is a no-op; holding
+    /// `Exclusive` satisfies a `Shared` request.
+    pub fn acquire(&self, owner: u64, resource: &str, mode: LockMode) -> StorageResult<()> {
+        let deadline = Instant::now() + self.timeout;
+        let mut state = lock_state(&self.state);
+        loop {
+            let holders = state.locks.entry(resource.to_owned()).or_default();
+            match holders.get(&owner) {
+                Some(LockMode::Exclusive) => return Ok(()),
+                Some(LockMode::Shared) if mode == LockMode::Shared => return Ok(()),
+                _ => {}
+            }
+            let conflicting: Vec<u64> = holders
+                .iter()
+                .filter(|(&o, &m)| {
+                    o != owner && (mode == LockMode::Exclusive || m == LockMode::Exclusive)
+                })
+                .map(|(&o, _)| o)
+                .collect();
+            if conflicting.is_empty() {
+                holders.insert(owner, mode);
+                return Ok(());
+            }
+            // Wait-die: only an owner older than every conflicting
+            // holder may wait; a younger one dies so no cycle can form.
+            if conflicting.iter().any(|&holder| holder < owner) {
+                return Err(StorageError::Conflict(format!(
+                    "wait-die: transaction {owner} is younger than a holder of '{resource}'"
+                )));
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(StorageError::Conflict(format!(
+                    "timed out waiting for lock on '{resource}'"
+                )));
+            }
+            let (next, timed_out) = self
+                .released
+                .wait_timeout(state, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            state = next;
+            if timed_out.timed_out() {
+                return Err(StorageError::Conflict(format!(
+                    "timed out waiting for lock on '{resource}'"
+                )));
+            }
+        }
+    }
+
+    /// Releases every lock `owner` holds (transaction end) and wakes all
+    /// waiters.
+    pub fn release_all(&self, owner: u64) {
+        let mut state = lock_state(&self.state);
+        state.locks.retain(|_, holders| {
+            holders.remove(&owner);
+            !holders.is_empty()
+        });
+        self.released.notify_all();
+    }
+
+    /// Modes currently granted on `resource` (diagnostics and tests).
+    pub fn holders(&self, resource: &str) -> Vec<(u64, LockMode)> {
+        let state = lock_state(&self.state);
+        state
+            .locks
+            .get(resource)
+            .map(|h| {
+                let mut v: Vec<_> = h.iter().map(|(&o, &m)| (o, m)).collect();
+                v.sort_unstable_by_key(|&(o, _)| o);
+                v
+            })
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn shared_locks_coexist_exclusive_does_not() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        lm.acquire(2, "t", LockMode::Shared).unwrap();
+        // Owner 3 is younger than holders 1 and 2: dies immediately.
+        assert!(matches!(
+            lm.acquire(3, "t", LockMode::Exclusive),
+            Err(StorageError::Conflict(_))
+        ));
+        lm.release_all(1);
+        lm.release_all(2);
+        lm.acquire(3, "t", LockMode::Exclusive).unwrap();
+        assert!(matches!(
+            lm.acquire(4, "t", LockMode::Shared),
+            Err(StorageError::Conflict(_))
+        ));
+    }
+
+    #[test]
+    fn reentrant_and_upgrade_in_place() {
+        let lm = LockManager::with_timeout(Duration::from_millis(50));
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        // Sole holder: upgrade granted in place.
+        lm.acquire(1, "t", LockMode::Exclusive).unwrap();
+        // Exclusive satisfies shared.
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        assert_eq!(lm.holders("t"), vec![(1, LockMode::Exclusive)]);
+        lm.release_all(1);
+        assert!(lm.holders("t").is_empty());
+    }
+
+    #[test]
+    fn older_owner_waits_for_younger_holder() {
+        let lm = Arc::new(LockManager::new());
+        lm.acquire(10, "t", LockMode::Exclusive).unwrap();
+        let waiter = {
+            let lm = Arc::clone(&lm);
+            std::thread::spawn(move || {
+                // Owner 5 is older than holder 10: blocks until release.
+                lm.acquire(5, "t", LockMode::Exclusive).unwrap();
+                lm.release_all(5);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "older owner must wait, not die");
+        lm.release_all(10);
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn younger_owner_dies_instead_of_deadlocking() {
+        let lm = LockManager::new();
+        lm.acquire(1, "a", LockMode::Exclusive).unwrap();
+        lm.acquire(2, "b", LockMode::Exclusive).unwrap();
+        // The classic crossing: 2 wants a (held by older 1) → dies at
+        // once instead of waiting for a cycle to form.
+        assert!(matches!(
+            lm.acquire(2, "a", LockMode::Exclusive),
+            Err(StorageError::Conflict(_))
+        ));
+        lm.release_all(2);
+        // 1 can now take b: no deadlock ever existed.
+        lm.acquire(1, "b", LockMode::Exclusive).unwrap();
+        lm.release_all(1);
+    }
+
+    #[test]
+    fn waiting_times_out_with_conflict() {
+        let lm = LockManager::with_timeout(Duration::from_millis(40));
+        lm.acquire(10, "t", LockMode::Exclusive).unwrap();
+        // Owner 5 is older, so it waits — and then times out.
+        let err = lm.acquire(5, "t", LockMode::Shared).unwrap_err();
+        assert!(matches!(err, StorageError::Conflict(_)), "{err}");
+        lm.release_all(10);
+        lm.acquire(5, "t", LockMode::Shared).unwrap();
+    }
+
+    #[test]
+    fn upgrade_with_other_sharers_follows_wait_die() {
+        let lm = LockManager::with_timeout(Duration::from_millis(40));
+        lm.acquire(1, "t", LockMode::Shared).unwrap();
+        lm.acquire(2, "t", LockMode::Shared).unwrap();
+        // 2 upgrading while older 1 still shares: 2 is younger → dies.
+        assert!(matches!(
+            lm.acquire(2, "t", LockMode::Exclusive),
+            Err(StorageError::Conflict(_))
+        ));
+        // 1 upgrading while younger 2 still shares: waits, then times out.
+        assert!(matches!(
+            lm.acquire(1, "t", LockMode::Exclusive),
+            Err(StorageError::Conflict(_))
+        ));
+        lm.release_all(2);
+        lm.acquire(1, "t", LockMode::Exclusive).unwrap();
+    }
+}

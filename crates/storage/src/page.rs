@@ -44,6 +44,9 @@ pub enum PageKind {
     Heap = 1,
     BTreeLeaf = 2,
     BTreeInternal = 3,
+    /// Engine metadata (one per database): the `extra` word holds the
+    /// head of the free-page list.
+    Meta = 4,
 }
 
 impl PageKind {
@@ -53,6 +56,7 @@ impl PageKind {
             1 => Ok(PageKind::Heap),
             2 => Ok(PageKind::BTreeLeaf),
             3 => Ok(PageKind::BTreeInternal),
+            4 => Ok(PageKind::Meta),
             other => Err(StorageError::Corrupt(format!("unknown page kind {other}"))),
         }
     }

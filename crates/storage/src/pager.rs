@@ -9,11 +9,11 @@
 
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::{StorageError, StorageResult};
-use std::cell::Cell;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
 
 /// A shared fault-injection switch, cloned into the pager (and the WAL)
 /// by [`crate::engine::StorageEngine::open_with_fault`]. Arming it makes
@@ -23,9 +23,20 @@ use std::rc::Rc;
 /// space or starts erroring mid-workload. Reads never fault: after an
 /// injected failure the engine must still be able to *look at* its
 /// state so tests can assert it stayed consistent.
-#[derive(Clone, Debug, Default)]
+///
+/// The budget is a single atomic (negative = disarmed) so the switch
+/// can be shared across the server's session threads.
+#[derive(Clone, Debug)]
 pub struct Fault {
-    writes_remaining: Rc<Cell<Option<u64>>>,
+    writes_remaining: Arc<AtomicI64>,
+}
+
+impl Default for Fault {
+    fn default() -> Fault {
+        Fault {
+            writes_remaining: Arc::new(AtomicI64::new(-1)),
+        }
+    }
 }
 
 impl Fault {
@@ -36,23 +47,31 @@ impl Fault {
 
     /// Arms the switch: `n` more durable writes succeed, then all fail.
     pub fn fail_after_writes(&self, n: u64) {
-        self.writes_remaining.set(Some(n));
+        self.writes_remaining
+            .store(n.min(i64::MAX as u64) as i64, Ordering::SeqCst);
     }
 
     /// Disarms the switch; subsequent writes succeed again.
     pub fn heal(&self) {
-        self.writes_remaining.set(None);
+        self.writes_remaining.store(-1, Ordering::SeqCst);
     }
 
     /// Charges one durable write against the budget.
     pub(crate) fn tap(&self) -> StorageResult<()> {
-        match self.writes_remaining.get() {
-            None => Ok(()),
-            Some(0) => Err(StorageError::Io("injected write fault".into())),
-            Some(n) => {
-                self.writes_remaining.set(Some(n - 1));
-                Ok(())
-            }
+        let seen = self
+            .writes_remaining
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                if v > 0 {
+                    Some(v - 1)
+                } else {
+                    None // disarmed (negative) or exhausted (0): unchanged
+                }
+            })
+            .unwrap_or_else(|v| v);
+        if seen == 0 {
+            Err(StorageError::Io("injected write fault".into()))
+        } else {
+            Ok(())
         }
     }
 }

@@ -2,19 +2,21 @@
 
 use std::cmp::Ordering;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
-/// A single cell value. Text uses `Rc<str>` so wide intermediate results
-/// share one allocation per distinct string instead of cloning buffers.
+/// A single cell value. Text uses `Arc<str>` so wide intermediate results
+/// share one allocation per distinct string instead of cloning buffers,
+/// and so tuples can cross thread boundaries (the shared server hands
+/// query results to concurrent sessions).
 #[derive(Clone, Debug)]
 pub enum Datum {
     Int(i64),
-    Text(Rc<str>),
+    Text(Arc<str>),
 }
 
 impl Datum {
     pub fn text(s: &str) -> Datum {
-        Datum::Text(Rc::from(s))
+        Datum::Text(Arc::from(s))
     }
 
     pub fn as_int(&self) -> Option<i64> {
