@@ -92,6 +92,30 @@ pub trait StorageBackend: Send {
         Ok(None)
     }
 
+    /// Deletes every row the access path yields that satisfies `pred`,
+    /// returning how many were removed. The predicate is a pure
+    /// function of the tuple, so both backends remove the same multiset
+    /// of rows. Constraint checks are the caller's job (the relational
+    /// layer re-validates before mutating).
+    fn delete_where(
+        &mut self,
+        name: &str,
+        access: &AccessPath,
+        pred: &mut dyn FnMut(&Tuple) -> bool,
+    ) -> RqsResult<usize>;
+
+    /// Rewrites every row the access path yields that satisfies `pred`
+    /// with the tuple `apply` produces, returning how many changed.
+    /// `apply` is a pure function of the old tuple (the relational
+    /// layer pre-validated its output against schema and constraints).
+    fn update_where(
+        &mut self,
+        name: &str,
+        access: &AccessPath,
+        pred: &mut dyn FnMut(&Tuple) -> bool,
+        apply: &mut dyn FnMut(&Tuple) -> Tuple,
+    ) -> RqsResult<usize>;
+
     /// Whether any stored tuple matches `values` at columns `cols`
     /// (constraint probes). Implementations should early-exit rather
     /// than materialize the table.
@@ -202,6 +226,24 @@ pub struct Snapshot<'a> {
     pub backend: &'a dyn StorageBackend,
 }
 
+/// How a statement locates its candidate rows — the planner's
+/// access-path choice (see `exec::choose_access`), handed through the
+/// backend trait so predicated UPDATE/DELETE ride the same index
+/// machinery as SELECT scans. The access path over-approximates: the
+/// backend still applies the full predicate to every candidate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AccessPath {
+    /// Walk the whole table.
+    FullScan,
+    /// Equality restriction on an indexed column: point lookup.
+    KeyEq(usize, Datum),
+    /// Inequality restrictions on an indexed column, collapsed into one
+    /// ordered-index range cursor.
+    KeyRange(usize, Bound<Datum>, Bound<Datum>),
+    /// A contradictory predicate: no row can match.
+    Nothing,
+}
+
 // ---------------------------------------------------------------------------
 // In-memory backend
 // ---------------------------------------------------------------------------
@@ -209,7 +251,7 @@ pub struct Snapshot<'a> {
 /// Size of a tuple under the storage crate's record encoding, computed
 /// without serializing (2-byte count, 1-byte tag + 8 for ints, 1-byte
 /// tag + 4-byte length + bytes for text).
-fn encoded_tuple_len(tuple: &Tuple) -> usize {
+pub(crate) fn encoded_tuple_len(tuple: &Tuple) -> usize {
     2 + tuple
         .iter()
         .map(|d| match d {
@@ -249,6 +291,19 @@ fn bounds_are_empty(lower: &Bound<&Datum>, upper: &Bound<&Datum>) -> bool {
 enum MemSaved {
     RowCount(usize),
     Full(Option<MemTable>),
+}
+
+/// Rebuilds every index of a table from its rows. Row-level UPDATE and
+/// DELETE shift row ids / change keys; with the whole table journaled
+/// anyway (`MemSaved::Full`), a rebuild is the simplest way to keep
+/// postings exact.
+fn rebuild_indexes(table: &mut MemTable) {
+    for (&col, index) in table.indexes.iter_mut() {
+        index.clear();
+        for (rid, row) in table.rows.iter().enumerate() {
+            index.entry(row[col].clone()).or_default().push(rid);
+        }
+    }
 }
 
 /// Rewinds a table to its first `rows` rows, pruning index postings of
@@ -333,6 +388,55 @@ impl InMemoryBackend {
             None => self.tables.get(name).cloned(),
         };
         touched.insert(name.to_owned(), MemSaved::Full(saved));
+    }
+
+    /// Row ids the access path yields for one table: `None` = every row
+    /// (no usable index), `Some` = the index-narrowed candidate set.
+    fn candidates(&self, name: &str, access: &AccessPath) -> RqsResult<Option<Vec<usize>>> {
+        let table = self.table(name)?;
+        Ok(match access {
+            AccessPath::FullScan => None,
+            AccessPath::Nothing => Some(Vec::new()),
+            AccessPath::KeyEq(col, key) => table
+                .indexes
+                .get(col)
+                .map(|index| index.get(key).cloned().unwrap_or_default()),
+            AccessPath::KeyRange(col, lower, upper) => table.indexes.get(col).map(|index| {
+                let (lower, upper) = (lower.as_ref(), upper.as_ref());
+                if bounds_are_empty(&lower, &upper) {
+                    Vec::new()
+                } else {
+                    index
+                        .range((lower, upper))
+                        .flat_map(|(_, rids)| rids.iter().copied())
+                        .collect()
+                }
+            }),
+        })
+    }
+
+    /// Row ids of the rows that satisfy both the access path and the
+    /// predicate, ascending.
+    fn matched(
+        &self,
+        name: &str,
+        access: &AccessPath,
+        pred: &mut dyn FnMut(&Tuple) -> bool,
+    ) -> RqsResult<Vec<usize>> {
+        let candidates = self.candidates(name, access)?;
+        let table = self.table(name)?;
+        let mut hits: Vec<usize> = match candidates {
+            Some(rids) => rids
+                .into_iter()
+                .filter(|&rid| pred(&table.rows[rid]))
+                .collect(),
+            None => (0..table.rows.len())
+                .filter(|&rid| pred(&table.rows[rid]))
+                .collect(),
+        };
+        hits.sort_unstable();
+        hits.dedup();
+        Ok(hits)
     }
 
     /// Restores every table a transaction touched, then forgets it.
@@ -546,6 +650,62 @@ impl StorageBackend for InMemoryBackend {
         Ok(Some(out))
     }
 
+    fn delete_where(
+        &mut self,
+        name: &str,
+        access: &AccessPath,
+        pred: &mut dyn FnMut(&Tuple) -> bool,
+    ) -> RqsResult<usize> {
+        let doomed = self.matched(name, access, pred)?;
+        if doomed.is_empty() {
+            return Ok(0);
+        }
+        self.touch_full(name);
+        let table = self.table_mut(name)?;
+        let doomed_set: std::collections::HashSet<usize> = doomed.iter().copied().collect();
+        let mut rid = 0;
+        table.rows.retain(|_| {
+            let keep = !doomed_set.contains(&rid);
+            rid += 1;
+            keep
+        });
+        rebuild_indexes(table);
+        Ok(doomed.len())
+    }
+
+    fn update_where(
+        &mut self,
+        name: &str,
+        access: &AccessPath,
+        pred: &mut dyn FnMut(&Tuple) -> bool,
+        apply: &mut dyn FnMut(&Tuple) -> Tuple,
+    ) -> RqsResult<usize> {
+        let matched = self.matched(name, access, pred)?;
+        if matched.is_empty() {
+            return Ok(0);
+        }
+        // Compute every replacement (and enforce the paged engine's
+        // record-size cap) before mutating, so an oversized row rejects
+        // the statement without partial effects.
+        let table = self.table(name)?;
+        let mut replacements = Vec::with_capacity(matched.len());
+        for &rid in &matched {
+            let new = apply(&table.rows[rid]);
+            let encoded = encoded_tuple_len(&new);
+            if encoded > storage::page::Page::max_record_len() {
+                return Err(StorageError::RecordTooLarge(encoded).into());
+            }
+            replacements.push((rid, new));
+        }
+        self.touch_full(name);
+        let table = self.table_mut(name)?;
+        for (rid, new) in replacements {
+            table.rows[rid] = new;
+        }
+        rebuild_indexes(table);
+        Ok(matched.len())
+    }
+
     fn stats(&self) -> PoolStats {
         PoolStats::default()
     }
@@ -621,6 +781,37 @@ impl PagedBackend {
 
     pub fn engine(&self) -> &StorageEngine {
         &self.engine
+    }
+
+    /// Candidate `(rid, tuple)` pairs for one access path; falls back to
+    /// a full scan when the named index is gone.
+    fn candidates_rids(
+        &self,
+        name: &str,
+        access: &AccessPath,
+    ) -> RqsResult<Vec<(storage::heap::Rid, Tuple)>> {
+        Ok(match access {
+            AccessPath::FullScan => self.engine.scan_rids(name)?,
+            AccessPath::Nothing => {
+                self.engine.table(name)?;
+                Vec::new()
+            }
+            AccessPath::KeyEq(col, key) => match self.engine.index_lookup_rids(name, *col, key)? {
+                Some(hits) => hits,
+                None => self.engine.scan_rids(name)?,
+            },
+            AccessPath::KeyRange(col, lower, upper) => {
+                let (lower, upper) = (lower.as_ref(), upper.as_ref());
+                if bounds_are_empty(&lower, &upper) && self.engine.has_index(name, *col) {
+                    Vec::new()
+                } else {
+                    match self.engine.index_range_rids(name, *col, lower, upper)? {
+                        Some(hits) => hits,
+                        None => self.engine.scan_rids(name)?,
+                    }
+                }
+            }
+        })
     }
 }
 
@@ -761,6 +952,37 @@ impl StorageBackend for PagedBackend {
         self.engine.simulate_crash();
     }
 
+    fn delete_where(
+        &mut self,
+        name: &str,
+        access: &AccessPath,
+        pred: &mut dyn FnMut(&Tuple) -> bool,
+    ) -> RqsResult<usize> {
+        let doomed: Vec<storage::heap::Rid> = self
+            .candidates_rids(name, access)?
+            .into_iter()
+            .filter(|(_, tuple)| pred(tuple))
+            .map(|(rid, _)| rid)
+            .collect();
+        Ok(self.engine.delete_rows(name, &doomed)?)
+    }
+
+    fn update_where(
+        &mut self,
+        name: &str,
+        access: &AccessPath,
+        pred: &mut dyn FnMut(&Tuple) -> bool,
+        apply: &mut dyn FnMut(&Tuple) -> Tuple,
+    ) -> RqsResult<usize> {
+        let updates: Vec<(storage::heap::Rid, Tuple)> = self
+            .candidates_rids(name, access)?
+            .into_iter()
+            .filter(|(_, tuple)| pred(tuple))
+            .map(|(rid, tuple)| (rid, apply(&tuple)))
+            .collect();
+        Ok(self.engine.update_rows(name, &updates)?)
+    }
+
     fn contains(&self, name: &str, cols: &[usize], values: &[Datum]) -> RqsResult<bool> {
         Ok(self.engine.contains(name, cols, values)?)
     }
@@ -823,10 +1045,101 @@ mod tests {
         assert!(backend.scan("t").is_err());
     }
 
+    /// DML contract both backends must honor identically: access paths
+    /// narrow candidates, predicates select rows, indexes stay exact.
+    fn exercise_dml(backend: &mut dyn StorageBackend) {
+        backend.create_table("d", &columns()).unwrap();
+        for i in 0..100i64 {
+            backend
+                .insert("d", vec![Datum::Int(i % 10), Datum::text(&format!("v{i}"))])
+                .unwrap();
+        }
+        backend.create_index("d", 0).unwrap();
+        // Point-indexed delete.
+        let removed = backend
+            .delete_where("d", &AccessPath::KeyEq(0, Datum::Int(3)), &mut |_| true)
+            .unwrap();
+        assert_eq!(removed, 10);
+        // Predicate narrows below the access path.
+        let removed = backend
+            .delete_where("d", &AccessPath::KeyEq(0, Datum::Int(4)), &mut |t| {
+                t[1] == Datum::text("v14")
+            })
+            .unwrap();
+        assert_eq!(removed, 1);
+        // Range-indexed update rewrites the indexed column itself.
+        let changed = backend
+            .update_where(
+                "d",
+                &AccessPath::KeyRange(0, Bound::Included(Datum::Int(8)), Bound::Unbounded),
+                &mut |_| true,
+                &mut |t| vec![Datum::Int(88), t[1].clone()],
+            )
+            .unwrap();
+        assert_eq!(changed, 20);
+        assert_eq!(backend.row_count("d").unwrap(), 89);
+        // Index agreement after the churn.
+        assert_eq!(
+            backend
+                .index_lookup("d", 0, &Datum::Int(3))
+                .unwrap()
+                .unwrap(),
+            Vec::<Tuple>::new()
+        );
+        assert_eq!(
+            backend
+                .index_lookup("d", 0, &Datum::Int(4))
+                .unwrap()
+                .unwrap()
+                .len(),
+            9
+        );
+        assert_eq!(
+            backend
+                .index_lookup("d", 0, &Datum::Int(88))
+                .unwrap()
+                .unwrap()
+                .len(),
+            20
+        );
+        assert!(backend
+            .index_lookup("d", 0, &Datum::Int(8))
+            .unwrap()
+            .unwrap()
+            .is_empty());
+        // Nothing path touches nothing; unknown tables error.
+        assert_eq!(
+            backend
+                .delete_where("d", &AccessPath::Nothing, &mut |_| true)
+                .unwrap(),
+            0
+        );
+        assert!(backend
+            .delete_where("nosuch", &AccessPath::FullScan, &mut |_| true)
+            .is_err());
+        // Full-scan update with no index on the touched column.
+        let changed = backend
+            .update_where(
+                "d",
+                &AccessPath::FullScan,
+                &mut |t| t[0] == Datum::Int(5),
+                &mut |t| vec![t[0].clone(), Datum::text("five")],
+            )
+            .unwrap();
+        assert_eq!(changed, 10);
+        let fives = backend
+            .index_lookup("d", 0, &Datum::Int(5))
+            .unwrap()
+            .unwrap();
+        assert!(fives.iter().all(|t| t[1] == Datum::text("five")));
+        backend.drop_table("d").unwrap();
+    }
+
     #[test]
     fn in_memory_backend_contract() {
         let mut backend = InMemoryBackend::new();
         exercise(&mut backend);
+        exercise_dml(&mut backend);
         assert_eq!(backend.stats(), PoolStats::default());
     }
 
@@ -834,6 +1147,7 @@ mod tests {
     fn paged_backend_contract() {
         let mut backend = PagedBackend::in_memory(8).unwrap();
         exercise(&mut backend);
+        exercise_dml(&mut backend);
         let stats = backend.stats();
         assert!(
             stats.page_reads > 0,

@@ -197,7 +197,11 @@ impl Catalog {
     }
 }
 
-fn resolve_columns(table: &Table, names: &[String], what: &str) -> RqsResult<Vec<usize>> {
+pub(crate) fn resolve_columns(
+    table: &Table,
+    names: &[String],
+    what: &str,
+) -> RqsResult<Vec<usize>> {
     names
         .iter()
         .map(|c| {
@@ -208,7 +212,7 @@ fn resolve_columns(table: &Table, names: &[String], what: &str) -> RqsResult<Vec
         .collect()
 }
 
-fn check_value_bound(
+pub(crate) fn check_value_bound(
     table: &Table,
     tuple: &Tuple,
     column: &str,

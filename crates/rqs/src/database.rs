@@ -22,6 +22,39 @@ pub struct QueryResult {
     pub metrics: QueryMetrics,
 }
 
+/// Runs `f` as one backend transaction: begin, mutate, commit —
+/// aborting (and rolling back pages + engine catalog) if any step
+/// fails. This is what makes a multi-row INSERT, a predicated UPDATE
+/// mid-index-maintenance, or a DML statement interrupted by an I/O
+/// error atomic.
+///
+/// When a session transaction is already active (the shared server
+/// resumed one around this statement), the statement simply joins it:
+/// the session owns commit/abort, and an error making it out of here
+/// tells the session to abort the whole transaction.
+pub(crate) fn run_txn<T>(
+    backend: &mut Box<dyn StorageBackend>,
+    f: impl FnOnce(&mut dyn StorageBackend) -> RqsResult<T>,
+) -> RqsResult<T> {
+    if backend.in_txn() {
+        return f(backend.as_mut());
+    }
+    backend.begin()?;
+    match f(backend.as_mut()) {
+        Ok(v) => match backend.commit() {
+            Ok(()) => Ok(v),
+            Err(e) => {
+                backend.abort();
+                Err(e)
+            }
+        },
+        Err(e) => {
+            backend.abort();
+            Err(e)
+        }
+    }
+}
+
 /// A relational database addressed through SQL.
 ///
 /// The schema lives in the [`Catalog`]; rows live in a pluggable
@@ -173,38 +206,6 @@ impl Database {
         backend.crash();
     }
 
-    /// Runs `f` as one backend transaction: begin, mutate, commit —
-    /// aborting (and rolling back pages + engine catalog) if any step
-    /// fails. This is what makes a multi-row INSERT, or a DML statement
-    /// interrupted by an I/O error mid-index-maintenance, atomic.
-    ///
-    /// When a session transaction is already active (the shared server
-    /// resumed one around this statement), the statement simply joins
-    /// it: the session owns commit/abort, and an error making it out of
-    /// here tells the session to abort the whole transaction.
-    fn run_txn<T>(
-        backend: &mut Box<dyn StorageBackend>,
-        f: impl FnOnce(&mut dyn StorageBackend) -> RqsResult<T>,
-    ) -> RqsResult<T> {
-        if backend.in_txn() {
-            return f(backend.as_mut());
-        }
-        backend.begin()?;
-        match f(backend.as_mut()) {
-            Ok(v) => match backend.commit() {
-                Ok(()) => Ok(v),
-                Err(e) => {
-                    backend.abort();
-                    Err(e)
-                }
-            },
-            Err(e) => {
-                backend.abort();
-                Err(e)
-            }
-        }
-    }
-
     // -----------------------------------------------------------------
     // Session transactions (the shared server's surface)
     // -----------------------------------------------------------------
@@ -259,7 +260,7 @@ impl Database {
                     .collect();
                 let mut table = Table::new(&name, cols);
                 table.constraints = constraints;
-                Self::run_txn(&mut self.backend, |b| {
+                run_txn(&mut self.backend, |b| {
                     b.create_table(&name, &table.columns)?;
                     b.persist_constraints(&name, &table.constraints)
                 })?;
@@ -283,7 +284,7 @@ impl Database {
             Statement::Insert { table, rows } => {
                 let affected = rows.len();
                 let catalog = &self.catalog;
-                Self::run_txn(&mut self.backend, |b| {
+                run_txn(&mut self.backend, |b| {
                     for row in rows {
                         catalog::check_insert(catalog, b, &table, &row)?;
                         b.insert(&table, row)?;
@@ -295,9 +296,43 @@ impl Database {
                     ..Default::default()
                 })
             }
-            Statement::Delete { table } => {
+            Statement::Delete {
+                table,
+                filter: None,
+            } => {
+                // Legacy truncation fast path (the front-end resetting a
+                // whole intermediate relation): no referential re-check,
+                // exactly the seed semantics.
                 self.catalog.table(&table)?;
-                let affected = Self::run_txn(&mut self.backend, |b| b.truncate(&table))?;
+                let affected = run_txn(&mut self.backend, |b| b.truncate(&table))?;
+                Ok(QueryResult {
+                    affected,
+                    ..Default::default()
+                })
+            }
+            Statement::Delete {
+                table,
+                filter: Some(conds),
+            } => {
+                let affected =
+                    crate::dml::execute_delete(&self.catalog, &mut self.backend, &table, &conds)?;
+                Ok(QueryResult {
+                    affected,
+                    ..Default::default()
+                })
+            }
+            Statement::Update {
+                table,
+                sets,
+                filter,
+            } => {
+                let affected = crate::dml::execute_update(
+                    &self.catalog,
+                    &mut self.backend,
+                    &table,
+                    &sets,
+                    &filter,
+                )?;
                 Ok(QueryResult {
                     affected,
                     ..Default::default()
@@ -305,7 +340,7 @@ impl Database {
             }
             Statement::DropTable { name } => {
                 self.catalog.table(&name)?;
-                Self::run_txn(&mut self.backend, |b| b.drop_table(&name))?;
+                run_txn(&mut self.backend, |b| b.drop_table(&name))?;
                 // After the backend committed the drop, unregister the
                 // schema; a failed/aborted drop leaves both sides intact.
                 self.catalog.drop_table(&name)?;
@@ -409,6 +444,251 @@ mod tests {
             db.execute("DROP TABLE t").unwrap();
             assert!(db.execute("SELECT v.b FROM t v").is_err(), "{db:?}");
         }
+    }
+
+    #[test]
+    fn update_and_predicated_delete_lifecycle() {
+        for mut db in backends() {
+            db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+            db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z'), (4, 'y')")
+                .unwrap();
+            let r = db.execute("UPDATE t SET b = 'upd' WHERE a > 2").unwrap();
+            assert_eq!(r.affected, 2, "{db:?}");
+            // Row 4's b was just rewritten to 'upd', so only row 2 matches.
+            let r = db.execute("UPDATE t SET a = a + 10 WHERE b = 'y'").unwrap();
+            assert_eq!(r.affected, 1);
+            let r = db
+                .execute("SELECT v.a, v.b FROM t v WHERE v.a > 10")
+                .unwrap();
+            assert_eq!(r.rows, vec![vec![Datum::Int(12), Datum::text("y")]]);
+            let r = db
+                .execute("DELETE FROM t WHERE a >= 12 AND b = 'y'")
+                .unwrap();
+            assert_eq!(r.affected, 1);
+            assert_eq!(db.execute("SELECT v.a FROM t v").unwrap().rows.len(), 3);
+            // No-match predicates affect nothing.
+            assert_eq!(
+                db.execute("UPDATE t SET b = 'n' WHERE a = 99")
+                    .unwrap()
+                    .affected,
+                0
+            );
+            assert_eq!(db.execute("DELETE FROM t WHERE 1 = 2").unwrap().affected, 0);
+            // Unknown tables/columns error.
+            assert!(db.execute("UPDATE nosuch SET a = 1").is_err());
+            assert!(db.execute("UPDATE t SET zzz = 1").is_err());
+            assert!(db.execute("DELETE FROM t WHERE zzz = 1").is_err());
+            // Type errors are static.
+            assert!(matches!(
+                db.execute("UPDATE t SET b = 1"),
+                Err(RqsError::Type(_))
+            ));
+            assert!(matches!(
+                db.execute("UPDATE t SET a = a + b"),
+                Err(RqsError::Type(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn update_rechecks_constraints_on_changed_columns() {
+        for mut db in backends() {
+            db.execute("CREATE TABLE dept (dno INT, fct TEXT, PRIMARY KEY (dno))")
+                .unwrap();
+            db.execute(
+                "CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT,
+                 PRIMARY KEY (eno),
+                 CHECK (sal BETWEEN 10000 AND 90000),
+                 FOREIGN KEY (dno) REFERENCES dept (dno))",
+            )
+            .unwrap();
+            db.execute("INSERT INTO dept VALUES (1, 'hq'), (2, 'lab')")
+                .unwrap();
+            db.execute(
+                "INSERT INTO empl VALUES (1, 'a', 20000, 1), (2, 'b', 30000, 1), (3, 'c', 40000, 2)",
+            )
+            .unwrap();
+            // CHECK bound on the assigned column.
+            assert!(matches!(
+                db.execute("UPDATE empl SET sal = sal + 80000 WHERE eno = 1"),
+                Err(RqsError::ConstraintViolation(_))
+            ));
+            // Key collision with a surviving row...
+            assert!(db.execute("UPDATE empl SET eno = 2 WHERE eno = 1").is_err());
+            // ...and between two updated rows.
+            assert!(db
+                .execute("UPDATE empl SET eno = 9 WHERE sal < 35000")
+                .is_err());
+            // Moving a key out of the way is fine.
+            db.execute("UPDATE empl SET eno = 10 WHERE eno = 1")
+                .unwrap();
+            // FK child re-check on the assigned column.
+            assert!(db
+                .execute("UPDATE empl SET dno = 99 WHERE eno = 2")
+                .is_err());
+            db.execute("UPDATE empl SET dno = 2 WHERE eno = 2").unwrap();
+            // Restrict: rewriting a referenced parent key is refused...
+            assert!(db.execute("UPDATE dept SET dno = 5 WHERE dno = 2").is_err());
+            // ...but a non-referenced parent column changes freely.
+            db.execute("UPDATE dept SET fct = 'ops' WHERE dno = 2")
+                .unwrap();
+            // Restrict: deleting a referenced parent row is refused.
+            assert!(matches!(
+                db.execute("DELETE FROM dept WHERE dno = 2"),
+                Err(RqsError::ConstraintViolation(_))
+            ));
+            // Unreference it, then the delete goes through.
+            db.execute("DELETE FROM empl WHERE dno = 2").unwrap();
+            let r = db.execute("DELETE FROM dept WHERE dno = 2").unwrap();
+            assert_eq!(r.affected, 1);
+            // State is intact after all the rejected statements.
+            assert_eq!(
+                db.execute("SELECT v.eno FROM empl v").unwrap().rows.len(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn failed_update_is_atomic_across_backends() {
+        // The predicate matches several rows; one of the replacements
+        // violates the CHECK. Nothing may stick.
+        for mut db in backends() {
+            db.execute("CREATE TABLE t (a INT, CHECK (a BETWEEN 0 AND 100))")
+                .unwrap();
+            db.execute("CREATE INDEX ON t (a)").unwrap();
+            db.execute("INSERT INTO t VALUES (10), (50), (90)").unwrap();
+            assert!(db.execute("UPDATE t SET a = a + 20").is_err());
+            let mut rows = db.execute("SELECT v.a FROM t v").unwrap().rows;
+            rows.sort();
+            assert_eq!(
+                rows,
+                vec![
+                    vec![Datum::Int(10)],
+                    vec![Datum::Int(50)],
+                    vec![Datum::Int(90)]
+                ]
+            );
+            for k in [10i64, 50, 90] {
+                assert_eq!(
+                    db.backend()
+                        .index_lookup("t", 0, &Datum::Int(k))
+                        .unwrap()
+                        .unwrap()
+                        .len(),
+                    1,
+                    "posting for {k} intact"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_update_and_delete_ride_the_index_on_paged() {
+        let mut db = Database::paged(8).unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        for i in 0..2000 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                .unwrap();
+        }
+        let scan = db.execute("UPDATE t SET b = 'u1' WHERE a = 1234").unwrap();
+        assert_eq!(scan.affected, 1);
+        db.execute("CREATE INDEX ON t (a)").unwrap();
+        let indexed = db.execute("UPDATE t SET b = 'u2' WHERE a = 1234").unwrap();
+        assert_eq!(indexed.affected, 1);
+        assert!(
+            indexed.metrics.page_reads + indexed.metrics.buffer_hits
+                < scan.metrics.page_reads + scan.metrics.buffer_hits,
+            "indexed update touched {}+{} pages, full-scan update {}+{}",
+            indexed.metrics.page_reads,
+            indexed.metrics.buffer_hits,
+            scan.metrics.page_reads,
+            scan.metrics.buffer_hits,
+        );
+        // Ranged DELETE rides index_range the same way.
+        let removed = db
+            .execute("DELETE FROM t WHERE a >= 100 AND a < 120")
+            .unwrap();
+        assert_eq!(removed.affected, 20);
+        assert_eq!(
+            db.execute("SELECT v.a FROM t v WHERE v.a >= 100 AND v.a < 120")
+                .unwrap()
+                .rows
+                .len(),
+            0
+        );
+    }
+
+    #[test]
+    fn large_update_exceeding_pool_fails_cleanly_on_paged() {
+        // The no-steal ceiling (ROADMAP): a statement's write set must
+        // fit the buffer pool. A whole-table UPDATE wider than a tiny
+        // pool is refused — what matters is that the failure is clean:
+        // full rollback, indexes intact, the session keeps working.
+        let mut db = Database::paged(8).unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        db.execute("CREATE INDEX ON t (a)").unwrap();
+        for i in 0..2000 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                .unwrap();
+        }
+        assert!(matches!(
+            db.execute("UPDATE t SET b = 'rewritten'"),
+            Err(RqsError::Internal(_))
+        ));
+        let r = db.execute("SELECT v.b FROM t v WHERE v.a = 999").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::text("row999")]], "rolled back");
+        assert_eq!(db.execute("SELECT v.a FROM t v").unwrap().rows.len(), 2000);
+        // A pool-sized write set still goes through afterwards.
+        let r = db
+            .execute("UPDATE t SET b = 'small' WHERE a >= 1990")
+            .unwrap();
+        assert_eq!(r.affected, 10);
+        // A pool sized for the table takes the whole-table rewrite.
+        let mut big = Database::paged(64).unwrap();
+        big.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        for i in 0..2000 {
+            big.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                .unwrap();
+        }
+        assert_eq!(
+            big.execute("UPDATE t SET b = 'rewritten'")
+                .unwrap()
+                .affected,
+            2000
+        );
+    }
+
+    #[test]
+    fn dml_survives_paged_reopen() {
+        let dir = std::env::temp_dir().join(format!("rqs-db-dml-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dml.rqs");
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(storage::engine::wal_path(&path));
+        {
+            let mut db = Database::open_paged(&path, 8).unwrap();
+            db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+            db.execute("CREATE INDEX ON t (a)").unwrap();
+            for i in 0..100 {
+                db.execute(&format!("INSERT INTO t VALUES ({i}, 'v')"))
+                    .unwrap();
+            }
+            db.execute("UPDATE t SET b = 'kept' WHERE a < 10").unwrap();
+            db.execute("DELETE FROM t WHERE a >= 50").unwrap();
+            // Crash, not flush: the DML must replay from the WAL.
+            db.crash();
+        }
+        let db = Database::open_paged(&path, 8).unwrap();
+        let r = db.query("SELECT v.a FROM t v").unwrap();
+        assert_eq!(r.rows.len(), 50);
+        let r = db.query("SELECT v.a FROM t v WHERE v.b = 'kept'").unwrap();
+        assert_eq!(r.rows.len(), 10);
+        let r = db.query("SELECT v.b FROM t v WHERE v.a = 7").unwrap();
+        assert_eq!(r.rows, vec![vec![Datum::text("kept")]]);
+        assert_eq!(r.metrics.rows_scanned, 1, "index survives the DML + reopen");
+        std::fs::remove_file(&path).unwrap();
+        let _ = std::fs::remove_file(storage::engine::wal_path(&path));
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Predicated UPDATE and DELETE.
+//!
+//! The WHERE clause of a DML statement is resolved through the same
+//! machinery as a single-table SELECT ([`plan::resolve`] over a
+//! synthetic core), so its restrictions feed [`exec::choose_access`]
+//! and indexed predicates ride `index_lookup`/`index_range` instead of
+//! heap scans. Execution then has three phases:
+//!
+//! 1. **read** — collect the matching rows through the chosen access
+//!    path (the predicate is a pure function of the tuple, so both
+//!    backends and both phases select the same multiset);
+//! 2. **re-check** — validate the statement against the integrity
+//!    constraints it can disturb: CHECK bounds and type/size caps on
+//!    assigned columns, key uniqueness against the *post-statement*
+//!    state, the row's own foreign keys, and restrict semantics for
+//!    parents (updating a referenced key column or deleting a
+//!    referenced row is refused while a child still points at it);
+//! 3. **mutate** — one backend transaction around
+//!    [`StorageBackend::update_where`]/[`StorageBackend::delete_where`],
+//!    so on the paged engine the whole statement commits (and
+//!    crash-recovers) atomically through the WAL.
+
+use crate::backend::{AccessPath, Snapshot, StorageBackend};
+use crate::catalog::{self, Catalog, ColumnType, Table, TableConstraint};
+use crate::database::run_txn;
+use crate::error::{RqsError, RqsResult};
+use crate::exec;
+use crate::plan::{self, JoinCond, Restriction};
+use crate::sql::ast::{ArithOp, Condition, SelectCore, SetExpr, SetOperand};
+use crate::value::{Datum, Tuple};
+use std::collections::HashSet;
+
+/// One resolved `SET col = expr` assignment.
+struct ResolvedSet {
+    col: usize,
+    expr: ResolvedExpr,
+}
+
+enum ResolvedExpr {
+    Value(ResolvedOperand),
+    Arith(ResolvedOperand, ArithOp, ResolvedOperand),
+}
+
+enum ResolvedOperand {
+    Col(usize),
+    Lit(Datum),
+}
+
+impl ResolvedOperand {
+    fn value(&self, row: &Tuple) -> Datum {
+        match self {
+            ResolvedOperand::Col(i) => row[*i].clone(),
+            ResolvedOperand::Lit(d) => d.clone(),
+        }
+    }
+}
+
+/// Resolves and statically type-checks the SET list against the schema.
+fn resolve_sets(table: &Table, sets: &[(String, SetExpr)]) -> RqsResult<Vec<ResolvedSet>> {
+    let mut out: Vec<ResolvedSet> = Vec::with_capacity(sets.len());
+    for (name, expr) in sets {
+        let col = table
+            .column_index(name)
+            .ok_or_else(|| RqsError::UnknownColumn(format!("{}.{name}", table.name)))?;
+        if out.iter().any(|s| s.col == col) {
+            return Err(RqsError::Syntax(format!("column {name} assigned twice")));
+        }
+        let operand = |op: &SetOperand| -> RqsResult<(ResolvedOperand, ColumnType)> {
+            match op {
+                SetOperand::Column(c) => {
+                    let i = table
+                        .column_index(c)
+                        .ok_or_else(|| RqsError::UnknownColumn(format!("{}.{c}", table.name)))?;
+                    Ok((ResolvedOperand::Col(i), table.columns[i].ty))
+                }
+                SetOperand::Literal(d @ Datum::Int(_)) => {
+                    Ok((ResolvedOperand::Lit(d.clone()), ColumnType::Int))
+                }
+                SetOperand::Literal(d @ Datum::Text(_)) => {
+                    Ok((ResolvedOperand::Lit(d.clone()), ColumnType::Text))
+                }
+            }
+        };
+        let target_ty = table.columns[col].ty;
+        let resolved = match expr {
+            SetExpr::Value(v) => {
+                let (v, ty) = operand(v)?;
+                if ty != target_ty {
+                    return Err(RqsError::Type(format!(
+                        "cannot assign {ty} to {}.{name} ({target_ty})",
+                        table.name
+                    )));
+                }
+                ResolvedExpr::Value(v)
+            }
+            SetExpr::Arith { lhs, op, rhs } => {
+                let (lhs, lty) = operand(lhs)?;
+                let (rhs, rty) = operand(rhs)?;
+                if lty != ColumnType::Int || rty != ColumnType::Int || target_ty != ColumnType::Int
+                {
+                    return Err(RqsError::Type(format!(
+                        "arithmetic in SET needs INT operands and an INT target ({}.{name})",
+                        table.name
+                    )));
+                }
+                ResolvedExpr::Arith(lhs, *op, rhs)
+            }
+        };
+        out.push(ResolvedSet {
+            col,
+            expr: resolved,
+        });
+    }
+    Ok(out)
+}
+
+/// Computes the replacement tuple for one matched row.
+fn apply_sets(sets: &[ResolvedSet], row: &Tuple) -> Tuple {
+    let mut new = row.clone();
+    for set in sets {
+        new[set.col] = match &set.expr {
+            ResolvedExpr::Value(v) => v.value(row),
+            ResolvedExpr::Arith(lhs, op, rhs) => {
+                let l = lhs.value(row).as_int().expect("statically typed INT");
+                let r = rhs.value(row).as_int().expect("statically typed INT");
+                Datum::Int(op.eval(l, r))
+            }
+        };
+    }
+    new
+}
+
+/// Resolves a DML WHERE clause through the SELECT resolver over a
+/// synthetic single-variable core, returning its pushed-down
+/// restrictions and same-row column comparisons.
+fn resolve_filter(
+    catalog: &Catalog,
+    backend: &dyn StorageBackend,
+    table: &str,
+    filter: &[Condition],
+) -> RqsResult<(Vec<Restriction>, Vec<JoinCond>)> {
+    let core = SelectCore {
+        distinct: false,
+        items: Vec::new(),
+        from: vec![(table.to_owned(), table.to_owned())],
+        conds: filter.to_vec(),
+    };
+    let snap = Snapshot { catalog, backend };
+    let resolved = plan::resolve(&snap, &core)?;
+    if !resolved.subqueries.is_empty() {
+        return Err(RqsError::Syntax(
+            "subqueries are not supported in DML predicates".into(),
+        ));
+    }
+    Ok((resolved.restrictions, resolved.joins))
+}
+
+/// The row predicate: every restriction and every same-row comparison.
+/// Always-false restrictions (`col == usize::MAX`) fail every row; the
+/// access path already short-circuits them to an empty candidate set.
+fn predicate<'a>(
+    restrictions: &'a [Restriction],
+    self_conds: &'a [JoinCond],
+) -> impl FnMut(&Tuple) -> bool + 'a {
+    move |row: &Tuple| {
+        restrictions
+            .iter()
+            .all(|r| r.col != usize::MAX && r.op.eval(row[r.col].total_cmp(&r.value)))
+            && self_conds
+                .iter()
+                .all(|j| j.op.eval(row[j.lcol].total_cmp(&row[j.rcol])))
+    }
+}
+
+/// Read phase: the rows the statement will touch, through the chosen
+/// access path.
+///
+/// The mutate phase re-walks the same candidates inside its backend
+/// call, so a DML statement reads its candidate set twice. That is
+/// deliberate: the constraint re-checks need the matched/untouched
+/// split *before* anything mutates, the predicate is a pure function
+/// of the tuple (both walks select the same multiset), and with the
+/// buffer pool hot from phase 1 the second walk mostly hits. Threading
+/// rids through the trait would save the re-walk at the cost of an
+/// id-typed backend interface; revisit if S3 ever shows it mattering.
+fn matched_rows(
+    backend: &dyn StorageBackend,
+    table: &str,
+    access: &AccessPath,
+    pred: &mut dyn FnMut(&Tuple) -> bool,
+) -> RqsResult<Vec<Tuple>> {
+    let candidates: Vec<Tuple> = match access {
+        AccessPath::Nothing => {
+            backend.row_count(table)?; // surface UnknownTable
+            Vec::new()
+        }
+        AccessPath::KeyEq(col, key) => match backend.index_lookup(table, *col, key)? {
+            Some(rows) => rows,
+            None => backend.scan(table)?,
+        },
+        AccessPath::KeyRange(col, lower, upper) => {
+            match backend.index_range(table, *col, lower.as_ref(), upper.as_ref())? {
+                Some(rows) => rows,
+                None => backend.scan(table)?,
+            }
+        }
+        AccessPath::FullScan => backend.scan(table)?,
+    };
+    Ok(candidates.into_iter().filter(|t| pred(t)).collect())
+}
+
+/// The rows the statement leaves untouched (everything failing `pred`).
+fn untouched_rows(
+    backend: &dyn StorageBackend,
+    table: &str,
+    pred: &mut dyn FnMut(&Tuple) -> bool,
+) -> RqsResult<Vec<Tuple>> {
+    let mut out = Vec::new();
+    backend.for_each(table, &mut |row| {
+        if !pred(row) {
+            out.push(row.clone());
+        }
+    })?;
+    Ok(out)
+}
+
+fn key_of(row: &Tuple, cols: &[usize]) -> Vec<Datum> {
+    cols.iter().map(|&c| row[c].clone()).collect()
+}
+
+/// One foreign-key edge into a parent table: the child's schema, its
+/// fk column indices, and the parent's referenced column indices.
+type FkEdge<'a> = (&'a Table, Vec<usize>, Vec<usize>);
+
+/// Names of every table holding a foreign key into `parent`. Public so
+/// the server's lock planner reads exactly the tables the restrict
+/// checks here will read — one enumeration, no drift. Lookup failures
+/// (unknown parent, corrupt constraint) yield an empty list; the
+/// statement itself will surface them.
+pub fn referencing_table_names(catalog: &Catalog, parent: &str) -> Vec<String> {
+    referencing_edges(catalog, parent)
+        .map(|edges| {
+            edges
+                .iter()
+                .map(|(child, _, _)| child.name.clone())
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Every [`FkEdge`] whose parent is `name` — the edges restrict
+/// semantics must re-check.
+fn referencing_edges<'a>(catalog: &'a Catalog, name: &str) -> RqsResult<Vec<FkEdge<'a>>> {
+    let parent = catalog.table(name)?;
+    let mut out = Vec::new();
+    for child_name in catalog.table_names() {
+        let child = catalog.table(child_name)?;
+        for c in &child.constraints {
+            let TableConstraint::ForeignKey {
+                columns,
+                parent_table,
+                parent_columns,
+            } = c
+            else {
+                continue;
+            };
+            if parent_table != name {
+                continue;
+            }
+            let child_cols = catalog::resolve_columns(child, columns, "fk")?;
+            let parent_cols = catalog::resolve_columns(parent, parent_columns, "fk")?;
+            out.push((child, child_cols, parent_cols));
+        }
+    }
+    Ok(out)
+}
+
+/// Constraint re-checks for UPDATE, scoped to the assigned columns:
+/// CHECK bounds, key uniqueness against the post-statement state, the
+/// updated rows' own foreign keys, and children still referencing a
+/// rewritten parent key.
+fn check_update_constraints(
+    catalog: &Catalog,
+    backend: &dyn StorageBackend,
+    name: &str,
+    new_rows: &[Tuple],
+    changed: &HashSet<usize>,
+    pred: &mut dyn FnMut(&Tuple) -> bool,
+) -> RqsResult<()> {
+    let table = catalog.table(name)?;
+    for c in &table.constraints {
+        if let TableConstraint::ValueBound { column, lo, hi } = c {
+            let col = table
+                .column_index(column)
+                .ok_or_else(|| RqsError::Internal(format!("bound on missing column {column}")))?;
+            if changed.contains(&col) {
+                for row in new_rows {
+                    catalog::check_value_bound(table, row, column, *lo, *hi)?;
+                }
+            }
+        }
+    }
+
+    let edges = referencing_edges(catalog, name)?;
+    let parent_key_rewritten = edges
+        .iter()
+        .any(|(_, _, parent_cols)| parent_cols.iter().any(|c| changed.contains(c)));
+    let needs_final = parent_key_rewritten
+        || table.constraints.iter().any(|c| match c {
+            TableConstraint::Key { columns } => catalog::resolve_columns(table, columns, "key")
+                .is_ok_and(|cols| cols.iter().any(|c| changed.contains(c))),
+            TableConstraint::ForeignKey {
+                columns,
+                parent_table,
+                ..
+            } => {
+                parent_table == name
+                    && catalog::resolve_columns(table, columns, "fk")
+                        .is_ok_and(|cols| cols.iter().any(|c| changed.contains(c)))
+            }
+            TableConstraint::ValueBound { .. } => false,
+        });
+    let untouched = if needs_final {
+        untouched_rows(backend, name, pred)?
+    } else {
+        Vec::new()
+    };
+
+    // Key uniqueness against the final state (untouched ∪ new): catches
+    // collisions with surviving rows and between two updated rows.
+    for c in &table.constraints {
+        let TableConstraint::Key { columns } = c else {
+            continue;
+        };
+        let cols = catalog::resolve_columns(table, columns, "key")?;
+        if !cols.iter().any(|c| changed.contains(c)) {
+            continue;
+        }
+        let mut seen: HashSet<Vec<Datum>> = untouched.iter().map(|r| key_of(r, &cols)).collect();
+        for row in new_rows {
+            if !seen.insert(key_of(row, &cols)) {
+                return Err(RqsError::ConstraintViolation(format!(
+                    "duplicate key {columns:?} in {name}"
+                )));
+            }
+        }
+    }
+
+    // The updated rows' own foreign keys (only when an fk column was
+    // assigned). A self-referential parent is probed against the final
+    // state.
+    for c in &table.constraints {
+        let TableConstraint::ForeignKey {
+            columns,
+            parent_table,
+            parent_columns,
+        } = c
+        else {
+            continue;
+        };
+        let child_cols = catalog::resolve_columns(table, columns, "fk")?;
+        if !child_cols.iter().any(|c| changed.contains(c)) {
+            continue;
+        }
+        let parent = catalog.table(parent_table)?;
+        let parent_cols = catalog::resolve_columns(parent, parent_columns, "fk")?;
+        let parent_keys: HashSet<Vec<Datum>> = if parent_table == name {
+            untouched
+                .iter()
+                .chain(new_rows)
+                .map(|r| key_of(r, &parent_cols))
+                .collect()
+        } else {
+            let mut keys = HashSet::new();
+            backend.for_each(parent_table, &mut |row| {
+                keys.insert(key_of(row, &parent_cols));
+            })?;
+            keys
+        };
+        for row in new_rows {
+            if !parent_keys.contains(&key_of(row, &child_cols)) {
+                return Err(RqsError::ConstraintViolation(format!(
+                    "{name}{columns:?} -> {parent_table}{parent_columns:?}: no parent for {:?}",
+                    key_of(row, &child_cols)
+                )));
+            }
+        }
+    }
+
+    // Restrict semantics: rewriting a referenced key column must leave
+    // every child row a parent in the final state.
+    for (child, child_cols, parent_cols) in &edges {
+        if !parent_cols.iter().any(|c| changed.contains(c)) {
+            continue;
+        }
+        let final_keys: HashSet<Vec<Datum>> = untouched
+            .iter()
+            .chain(new_rows)
+            .map(|r| key_of(r, parent_cols))
+            .collect();
+        let mut orphan: Option<Vec<Datum>> = None;
+        let mut check = |row: &Tuple| {
+            let key = key_of(row, child_cols);
+            if orphan.is_none() && !final_keys.contains(&key) {
+                orphan = Some(key);
+            }
+        };
+        if child.name == name {
+            untouched.iter().chain(new_rows).for_each(&mut check);
+        } else {
+            backend.for_each(&child.name, &mut check)?;
+        }
+        if let Some(key) = orphan {
+            return Err(RqsError::ConstraintViolation(format!(
+                "{} still references {name} key {key:?}",
+                child.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Restrict semantics for DELETE: every child row must keep a parent
+/// among the surviving rows.
+fn check_delete_constraints(
+    catalog: &Catalog,
+    backend: &dyn StorageBackend,
+    name: &str,
+    pred: &mut dyn FnMut(&Tuple) -> bool,
+) -> RqsResult<()> {
+    let edges = referencing_edges(catalog, name)?;
+    if edges.is_empty() {
+        return Ok(());
+    }
+    let remaining = untouched_rows(backend, name, pred)?;
+    for (child, child_cols, parent_cols) in &edges {
+        let remaining_keys: HashSet<Vec<Datum>> =
+            remaining.iter().map(|r| key_of(r, parent_cols)).collect();
+        let mut orphan: Option<Vec<Datum>> = None;
+        let mut check = |row: &Tuple| {
+            let key = key_of(row, child_cols);
+            if orphan.is_none() && !remaining_keys.contains(&key) {
+                orphan = Some(key);
+            }
+        };
+        if child.name == name {
+            remaining.iter().for_each(&mut check);
+        } else {
+            backend.for_each(&child.name, &mut check)?;
+        }
+        if let Some(key) = orphan {
+            return Err(RqsError::ConstraintViolation(format!(
+                "{} still references {name} key {key:?}",
+                child.name
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Executes `UPDATE table SET … [WHERE …]`, returning the row count.
+pub(crate) fn execute_update(
+    catalog: &Catalog,
+    backend: &mut Box<dyn StorageBackend>,
+    table_name: &str,
+    sets: &[(String, SetExpr)],
+    filter: &[Condition],
+) -> RqsResult<usize> {
+    let table = catalog.table(table_name)?;
+    let sets = resolve_sets(table, sets)?;
+    let changed: HashSet<usize> = sets.iter().map(|s| s.col).collect();
+    let (restrictions, self_conds) = resolve_filter(catalog, backend.as_ref(), table_name, filter)?;
+    let restriction_refs: Vec<&Restriction> = restrictions.iter().collect();
+    let access = exec::choose_access(backend.as_ref(), table_name, &restriction_refs);
+    let mut pred = predicate(&restrictions, &self_conds);
+    let matched = matched_rows(backend.as_ref(), table_name, &access, &mut pred)?;
+    if matched.is_empty() {
+        return Ok(0);
+    }
+    let mut apply = |row: &Tuple| apply_sets(&sets, row);
+    let new_rows: Vec<Tuple> = matched.iter().map(&mut apply).collect();
+    // Record- and key-size cap parity with the paged engine: a tuple
+    // must fit one 4 KiB page, and values assigned to indexed columns
+    // must fit a B+-tree node — enforced here so both backends reject
+    // identically, before anything mutates.
+    for row in &new_rows {
+        let encoded = crate::backend::encoded_tuple_len(row);
+        if encoded > storage::page::Page::max_record_len() {
+            return Err(storage::StorageError::RecordTooLarge(encoded).into());
+        }
+        for &col in &changed {
+            if backend.has_index(table_name, col) {
+                storage::btree::check_key(&row[col])?;
+            }
+        }
+    }
+    check_update_constraints(
+        catalog,
+        backend.as_ref(),
+        table_name,
+        &new_rows,
+        &changed,
+        &mut pred,
+    )?;
+    run_txn(backend, |b| {
+        b.update_where(table_name, &access, &mut pred, &mut apply)
+    })
+}
+
+/// Executes `DELETE FROM table WHERE …`, returning the row count.
+pub(crate) fn execute_delete(
+    catalog: &Catalog,
+    backend: &mut Box<dyn StorageBackend>,
+    table_name: &str,
+    filter: &[Condition],
+) -> RqsResult<usize> {
+    catalog.table(table_name)?;
+    let (restrictions, self_conds) = resolve_filter(catalog, backend.as_ref(), table_name, filter)?;
+    let restriction_refs: Vec<&Restriction> = restrictions.iter().collect();
+    let access = exec::choose_access(backend.as_ref(), table_name, &restriction_refs);
+    let mut pred = predicate(&restrictions, &self_conds);
+    let matched = matched_rows(backend.as_ref(), table_name, &access, &mut pred)?;
+    if matched.is_empty() {
+        return Ok(0);
+    }
+    check_delete_constraints(catalog, backend.as_ref(), table_name, &mut pred)?;
+    run_txn(backend, |b| b.delete_where(table_name, &access, &mut pred))
+}

@@ -5,7 +5,7 @@
 //! these counters to show how many joins and scanned tuples the §6
 //! simplification saves, independently of wall-clock noise.
 
-use crate::backend::Snapshot;
+use crate::backend::{AccessPath, Snapshot, StorageBackend};
 use crate::error::{RqsError, RqsResult};
 use crate::plan::{self, JoinCond, JoinMethod, PhysicalPlan, Restriction};
 use crate::sql::ast::{SelectCore, SelectStmt};
@@ -262,48 +262,32 @@ pub fn run_physical(
     Ok(Relation { columns, rows })
 }
 
-/// Scans one range variable, applying its pushed-down restrictions, using a
-/// secondary index for an equality restriction when one exists.
-fn scan_var(
-    snap: &Snapshot,
-    core: &plan::ResolvedCore,
-    var: usize,
-    metrics: &mut QueryMetrics,
-) -> RqsResult<Vec<Tuple>> {
-    let info = &core.vars[var];
-    metrics.scans += 1;
-    let restrictions: Vec<&Restriction> =
-        core.restrictions.iter().filter(|r| r.var == var).collect();
-    // Always-false literal comparisons are encoded with col == usize::MAX.
-    if restrictions.iter().any(|r| r.col == usize::MAX) {
-        return Ok(Vec::new());
-    }
-    let check = |row: &Tuple| -> bool {
-        restrictions
-            .iter()
-            .all(|r| r.op.eval(row[r.col].total_cmp(&r.value)))
-    };
-    // Index path: equality restriction on an indexed column.
-    for r in &restrictions {
-        if matches!(r.op, crate::sql::ast::CmpOp::Eq) && snap.backend.has_index(&info.table, r.col)
-        {
-            let rows = snap
-                .backend
-                .index_lookup(&info.table, r.col, &r.value)?
-                .unwrap_or_default();
-            metrics.rows_scanned += rows.len() as u64;
-            return Ok(rows.into_iter().filter(check).collect());
-        }
-    }
-    // Ordered-index path: inequality restrictions (`<`, `<=`, `>`, `>=`
-    // — a BETWEEN is two of them) on an indexed column collapse into
-    // one range cursor over the B+-tree's leaf chain, touching only the
-    // matching key range instead of the whole heap.
+/// Picks how candidate rows of one table are located for a set of
+/// single-variable restrictions: an equality on an indexed column rides
+/// a point lookup, inequalities (`<`, `<=`, `>`, `>=` — a BETWEEN is
+/// two of them) on an indexed column collapse into one ordered range
+/// cursor, anything else walks the heap. This is the access-path half
+/// of [`scan_var`], shared with predicated UPDATE/DELETE so DML rides
+/// exactly the same index machinery as SELECT scans.
+pub fn choose_access(
+    backend: &dyn StorageBackend,
+    table: &str,
+    restrictions: &[&Restriction],
+) -> AccessPath {
     use crate::sql::ast::CmpOp;
     use std::ops::Bound;
-    for r in &restrictions {
+    // Always-false literal comparisons are encoded with col == usize::MAX.
+    if restrictions.iter().any(|r| r.col == usize::MAX) {
+        return AccessPath::Nothing;
+    }
+    for r in restrictions {
+        if matches!(r.op, CmpOp::Eq) && backend.has_index(table, r.col) {
+            return AccessPath::KeyEq(r.col, r.value.clone());
+        }
+    }
+    for r in restrictions {
         if !matches!(r.op, CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge)
-            || !snap.backend.has_index(&info.table, r.col)
+            || !backend.has_index(table, r.col)
         {
             continue;
         }
@@ -319,22 +303,65 @@ fn scan_var(
                 _ => {}
             }
         }
-        if let Some(rows) = snap.backend.index_range(&info.table, col, lower, upper)? {
-            metrics.rows_scanned += rows.len() as u64;
-            return Ok(rows.into_iter().filter(check).collect());
-        }
+        return AccessPath::KeyRange(col, lower.cloned(), upper.cloned());
     }
-    // Filter over borrowed rows, cloning only the survivors.
-    let mut rows = Vec::new();
-    let mut scanned = 0u64;
-    snap.backend.for_each(&info.table, &mut |row| {
-        scanned += 1;
-        if check(row) {
-            rows.push(row.clone());
+    AccessPath::FullScan
+}
+
+/// Scans one range variable, applying its pushed-down restrictions,
+/// through the access path [`choose_access`] picks.
+fn scan_var(
+    snap: &Snapshot,
+    core: &plan::ResolvedCore,
+    var: usize,
+    metrics: &mut QueryMetrics,
+) -> RqsResult<Vec<Tuple>> {
+    let info = &core.vars[var];
+    metrics.scans += 1;
+    let restrictions: Vec<&Restriction> =
+        core.restrictions.iter().filter(|r| r.var == var).collect();
+    let check = |row: &Tuple| -> bool {
+        restrictions
+            .iter()
+            .all(|r| r.op.eval(row[r.col].total_cmp(&r.value)))
+    };
+    let full_scan = |metrics: &mut QueryMetrics| -> RqsResult<Vec<Tuple>> {
+        // Filter over borrowed rows, cloning only the survivors.
+        let mut rows = Vec::new();
+        let mut scanned = 0u64;
+        snap.backend.for_each(&info.table, &mut |row| {
+            scanned += 1;
+            if check(row) {
+                rows.push(row.clone());
+            }
+        })?;
+        metrics.rows_scanned += scanned;
+        Ok(rows)
+    };
+    match choose_access(snap.backend, &info.table, &restrictions) {
+        AccessPath::Nothing => Ok(Vec::new()),
+        AccessPath::KeyEq(col, key) => {
+            let rows = snap
+                .backend
+                .index_lookup(&info.table, col, &key)?
+                .unwrap_or_default();
+            metrics.rows_scanned += rows.len() as u64;
+            Ok(rows.into_iter().filter(check).collect())
         }
-    })?;
-    metrics.rows_scanned += scanned;
-    Ok(rows)
+        AccessPath::KeyRange(col, lower, upper) => {
+            match snap
+                .backend
+                .index_range(&info.table, col, lower.as_ref(), upper.as_ref())?
+            {
+                Some(rows) => {
+                    metrics.rows_scanned += rows.len() as u64;
+                    Ok(rows.into_iter().filter(check).collect())
+                }
+                None => full_scan(metrics),
+            }
+        }
+        AccessPath::FullScan => full_scan(metrics),
+    }
 }
 
 /// The tighter of two lower bounds (the larger value; on ties an

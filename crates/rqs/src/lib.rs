@@ -75,13 +75,14 @@
 pub mod backend;
 pub mod catalog;
 pub mod database;
+pub mod dml;
 pub mod error;
 pub mod exec;
 pub mod plan;
 pub mod sql;
 pub mod value;
 
-pub use backend::{InMemoryBackend, PagedBackend, Snapshot, StorageBackend};
+pub use backend::{AccessPath, InMemoryBackend, PagedBackend, Snapshot, StorageBackend};
 pub use catalog::{Catalog, Column, ColumnType, Table, TableConstraint};
 pub use database::{Database, QueryResult};
 pub use error::{RqsError, RqsResult};

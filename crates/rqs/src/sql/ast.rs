@@ -171,6 +171,71 @@ impl fmt::Display for SelectStmt {
     }
 }
 
+/// One operand of a SET expression: a column of the updated table
+/// (referenced bare, no range variable) or a literal.
+#[derive(Clone, PartialEq, Debug)]
+pub enum SetOperand {
+    Column(String),
+    Literal(Datum),
+}
+
+impl fmt::Display for SetOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetOperand::Column(c) => f.write_str(c),
+            SetOperand::Literal(d) => write!(f, "{d}"),
+        }
+    }
+}
+
+/// Integer arithmetic allowed in SET expressions.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ArithOp {
+    Add,
+    Sub,
+}
+
+impl ArithOp {
+    /// Wrapping evaluation — DML must not panic on i64 overflow.
+    pub fn eval(&self, lhs: i64, rhs: i64) -> i64 {
+        match self {
+            ArithOp::Add => lhs.wrapping_add(rhs),
+            ArithOp::Sub => lhs.wrapping_sub(rhs),
+        }
+    }
+}
+
+impl fmt::Display for ArithOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+        })
+    }
+}
+
+/// The right-hand side of one `SET col = …` assignment: a plain operand
+/// or `operand ± operand` (INT columns only — enough for the classic
+/// `UPDATE counter SET v = v + 1`).
+#[derive(Clone, PartialEq, Debug)]
+pub enum SetExpr {
+    Value(SetOperand),
+    Arith {
+        lhs: SetOperand,
+        op: ArithOp,
+        rhs: SetOperand,
+    },
+}
+
+impl fmt::Display for SetExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SetExpr::Value(v) => write!(f, "{v}"),
+            SetExpr::Arith { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+        }
+    }
+}
+
 /// Any statement the engine accepts.
 #[derive(Clone, PartialEq, Debug)]
 pub enum Statement {
@@ -187,10 +252,23 @@ pub enum Statement {
         table: String,
         rows: Vec<Vec<Datum>>,
     },
-    /// `DELETE FROM t` — full truncation (no WHERE in this dialect; the
-    /// front-end only ever resets whole intermediate relations).
+    /// `DELETE FROM t [WHERE pred]`. Without WHERE this is the legacy
+    /// truncation the front-end uses to reset whole intermediate
+    /// relations (fast path, no referential checks — exactly the seed
+    /// semantics). With WHERE it is row-level DML: the predicate is a
+    /// conjunction of comparisons, matching rows are tombstoned in
+    /// place, and deleting a referenced parent row is refused.
     Delete {
         table: String,
+        filter: Option<Vec<Condition>>,
+    },
+    /// `UPDATE t SET col = expr, … [WHERE pred]` — in-place row rewrite
+    /// with index maintenance and constraint re-checks on the assigned
+    /// columns.
+    Update {
+        table: String,
+        sets: Vec<(String, SetExpr)>,
+        filter: Vec<Condition>,
     },
     DropTable {
         name: String,

@@ -109,6 +109,8 @@ pub fn tokenize(src: &str) -> RqsResult<Vec<Tok>> {
             b'>' => ">",
             b'*' => "*",
             b';' => ";",
+            b'+' => "+",
+            b'-' => "-",
             other => {
                 return Err(RqsError::Syntax(format!(
                     "unexpected character `{}`",
@@ -145,6 +147,16 @@ mod tests {
     fn neq_variants_normalize() {
         assert_eq!(tokenize("a <> b").unwrap()[1], Tok::Sym("<>"));
         assert_eq!(tokenize("a != b").unwrap()[1], Tok::Sym("<>"));
+    }
+
+    #[test]
+    fn arithmetic_symbols_lex_but_double_dash_stays_a_comment() {
+        let toks = tokenize("SET v = v + 1 - 2").unwrap();
+        assert!(toks.contains(&Tok::Sym("+")));
+        assert!(toks.contains(&Tok::Sym("-")));
+        // `--` still starts a comment, so the minus pair vanishes.
+        let toks = tokenize("v -- minus minus\n 1").unwrap();
+        assert_eq!(toks, [Tok::Word("v".into()), Tok::Int(1)]);
     }
 
     #[test]

@@ -14,16 +14,38 @@
 //!   WHERE (v1.dno = v2.dno) AND (v1.nam <> 'jones')
 //! SELECT … UNION SELECT …
 //! SELECT … WHERE v1.eno NOT IN (SELECT v2.mgr FROM dept v2)
+//! UPDATE empl SET sal = sal + 500, dno = 2 WHERE eno = 1
+//! DELETE FROM empl WHERE sal < 10000 AND dno = 3
 //! DELETE FROM intermediate
 //! DROP TABLE intermediate
 //! ```
 //!
 //! Conjunctive queries need no nesting ([Kim 1982], cited in §5); `NOT IN`
 //! exists for the §7 negation extension.
+//!
+//! # DML notes
+//!
+//! `UPDATE` and predicated `DELETE` take a conjunction of comparisons
+//! whose columns are written bare (`sal < 100`) or table-qualified
+//! (`empl.sal < 100`) — no range variables, no subqueries. The
+//! predicate feeds the same restriction planner as SELECT scans, so an
+//! equality on an indexed column rides `index_lookup` and inequalities
+//! collapse into one `index_range` cursor. SET expressions are a column
+//! or literal, optionally `± ` another operand (INT columns only) —
+//! enough for the textbook `UPDATE counter SET v = v + 1`. Assigned
+//! columns are re-checked against CHECK bounds, keys (against the
+//! post-statement state) and foreign keys, and updating or deleting a
+//! parent row still referenced by a child is refused (restrict
+//! semantics). Bare `DELETE FROM t` remains the legacy truncation fast
+//! path with the seed's semantics: no referential re-check, used by the
+//! front-end to reset whole intermediate relations.
 
 pub mod ast;
 pub mod lexer;
 pub mod parser;
 
-pub use ast::{CmpOp, ColumnRef, Condition, Scalar, SelectCore, SelectStmt, Statement};
+pub use ast::{
+    ArithOp, CmpOp, ColumnRef, Condition, Scalar, SelectCore, SelectStmt, SetExpr, SetOperand,
+    Statement,
+};
 pub use parser::parse_statement;

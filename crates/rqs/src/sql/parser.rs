@@ -64,6 +64,8 @@ impl Parser {
                 "<>" => "<>",
                 "*" => "*",
                 ";" => ";",
+                "+" => "+",
+                "-" => "-",
                 _ => return false,
             }))
         {
@@ -115,7 +117,15 @@ impl Parser {
         if self.eat_kw("DELETE") {
             self.expect_kw("FROM")?;
             let table = self.ident()?;
-            return Ok(Statement::Delete { table });
+            let filter = if self.eat_kw("WHERE") {
+                Some(self.dml_conditions(&table)?)
+            } else {
+                None
+            };
+            return Ok(Statement::Delete { table, filter });
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
         }
         if self.eat_kw("DROP") {
             self.expect_kw("TABLE")?;
@@ -235,6 +245,101 @@ impl Parser {
             }
         }
         Ok(Statement::Insert { table, rows })
+    }
+
+    // -- DML with predicates ------------------------------------------------
+
+    fn update(&mut self) -> RqsResult<Statement> {
+        let table = self.ident()?;
+        self.expect_kw("SET")?;
+        let mut sets = vec![self.assignment()?];
+        while self.eat_sym(",") {
+            sets.push(self.assignment()?);
+        }
+        let filter = if self.eat_kw("WHERE") {
+            self.dml_conditions(&table)?
+        } else {
+            Vec::new()
+        };
+        Ok(Statement::Update {
+            table,
+            sets,
+            filter,
+        })
+    }
+
+    fn assignment(&mut self) -> RqsResult<(String, SetExpr)> {
+        let column = self.ident()?;
+        self.expect_sym("=")?;
+        let lhs = self.set_operand()?;
+        let expr = if self.eat_sym("+") {
+            SetExpr::Arith {
+                lhs,
+                op: ArithOp::Add,
+                rhs: self.set_operand()?,
+            }
+        } else if self.eat_sym("-") {
+            SetExpr::Arith {
+                lhs,
+                op: ArithOp::Sub,
+                rhs: self.set_operand()?,
+            }
+        } else {
+            SetExpr::Value(lhs)
+        };
+        Ok((column, expr))
+    }
+
+    fn set_operand(&mut self) -> RqsResult<SetOperand> {
+        match self.peek() {
+            Some(Tok::Word(_)) => Ok(SetOperand::Column(self.ident()?)),
+            _ => Ok(SetOperand::Literal(self.literal()?)),
+        }
+    }
+
+    /// The WHERE clause of UPDATE/DELETE: a conjunction of comparisons.
+    /// Columns may be bare (`sal < 100`) or table-qualified
+    /// (`empl.sal < 100`); bare names resolve against the target table,
+    /// so the resulting [`Condition`]s feed the same restriction planner
+    /// SELECT uses. Subqueries are not part of the DML dialect.
+    fn dml_conditions(&mut self, table: &str) -> RqsResult<Vec<Condition>> {
+        let mut conds = vec![self.dml_condition(table)?];
+        while self.eat_kw("AND") {
+            conds.push(self.dml_condition(table)?);
+        }
+        Ok(conds)
+    }
+
+    fn dml_condition(&mut self, table: &str) -> RqsResult<Condition> {
+        let parenthesized = self.eat_sym("(");
+        let lhs = self.dml_scalar(table)?;
+        let op = self.cmp_op()?;
+        let rhs = self.dml_scalar(table)?;
+        if parenthesized {
+            self.expect_sym(")")?;
+        }
+        Ok(Condition::Compare { lhs, op, rhs })
+    }
+
+    fn dml_scalar(&mut self, table: &str) -> RqsResult<Scalar> {
+        match self.peek() {
+            Some(Tok::Word(_)) => {
+                let first = self.ident()?;
+                let cref = if self.eat_sym(".") {
+                    ColumnRef {
+                        var: first,
+                        column: self.ident()?,
+                    }
+                } else {
+                    ColumnRef {
+                        var: table.to_owned(),
+                        column: first,
+                    }
+                };
+                Ok(Scalar::Column(cref))
+            }
+            _ => Ok(Scalar::Literal(self.literal()?)),
+        }
     }
 
     // -- queries ------------------------------------------------------------
@@ -484,12 +589,115 @@ mod tests {
     fn parses_delete_and_drop() {
         assert!(matches!(
             parse_statement("DELETE FROM intermediate").unwrap(),
-            Statement::Delete { .. }
+            Statement::Delete { filter: None, .. }
         ));
         assert!(matches!(
             parse_statement("DROP TABLE intermediate;").unwrap(),
             Statement::DropTable { .. }
         ));
+    }
+
+    #[test]
+    fn parses_predicated_delete() {
+        let stmt = parse_statement("DELETE FROM empl WHERE sal < 20000 AND dno = 3").unwrap();
+        let Statement::Delete {
+            table,
+            filter: Some(conds),
+        } = stmt
+        else {
+            panic!("expected predicated delete")
+        };
+        assert_eq!(table, "empl");
+        assert_eq!(conds.len(), 2);
+        // Bare columns resolve against the target table.
+        assert_eq!(
+            conds[0],
+            Condition::Compare {
+                lhs: Scalar::Column(ColumnRef {
+                    var: "empl".into(),
+                    column: "sal".into()
+                }),
+                op: CmpOp::Lt,
+                rhs: Scalar::Literal(Datum::Int(20000)),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_update_with_arithmetic_and_where() {
+        let stmt = parse_statement("UPDATE counter SET v = v + 1 WHERE v >= 0").unwrap();
+        let Statement::Update {
+            table,
+            sets,
+            filter,
+        } = stmt
+        else {
+            panic!("expected update")
+        };
+        assert_eq!(table, "counter");
+        assert_eq!(
+            sets,
+            vec![(
+                "v".to_owned(),
+                SetExpr::Arith {
+                    lhs: SetOperand::Column("v".into()),
+                    op: ArithOp::Add,
+                    rhs: SetOperand::Literal(Datum::Int(1)),
+                }
+            )]
+        );
+        assert_eq!(filter.len(), 1);
+    }
+
+    #[test]
+    fn parses_update_multi_set_without_where() {
+        let stmt = parse_statement("UPDATE empl SET nam = 'x', sal = sal - 500, dno = 2").unwrap();
+        let Statement::Update { sets, filter, .. } = stmt else {
+            panic!("expected update")
+        };
+        assert_eq!(sets.len(), 3);
+        assert_eq!(
+            sets[0].1,
+            SetExpr::Value(SetOperand::Literal(Datum::text("x")))
+        );
+        assert_eq!(
+            sets[1].1,
+            SetExpr::Arith {
+                lhs: SetOperand::Column("sal".into()),
+                op: ArithOp::Sub,
+                rhs: SetOperand::Literal(Datum::Int(500)),
+            }
+        );
+        assert!(filter.is_empty());
+    }
+
+    #[test]
+    fn parses_qualified_and_parenthesized_dml_conditions() {
+        let stmt = parse_statement(
+            "DELETE FROM empl WHERE (empl.sal > 1000) AND (nam <> 'jones') AND sal <= dno",
+        )
+        .unwrap();
+        let Statement::Delete {
+            filter: Some(conds),
+            ..
+        } = stmt
+        else {
+            panic!("expected predicated delete")
+        };
+        assert_eq!(conds.len(), 3);
+    }
+
+    #[test]
+    fn rejects_malformed_dml() {
+        assert!(parse_statement("UPDATE t").is_err());
+        assert!(parse_statement("UPDATE t SET").is_err());
+        assert!(parse_statement("UPDATE t SET a = ").is_err());
+        assert!(parse_statement("UPDATE t SET a = 1 WHERE").is_err());
+        assert!(parse_statement("DELETE FROM t WHERE").is_err());
+        assert!(
+            parse_statement("DELETE FROM t WHERE a IN (SELECT v.b FROM s v)").is_err(),
+            "subqueries are not part of the DML dialect"
+        );
     }
 
     #[test]

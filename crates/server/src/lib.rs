@@ -440,7 +440,36 @@ fn lock_plan(stmt: &Statement, catalog: &Catalog) -> BTreeMap<String, LockMode> 
             }
             plan.insert(table.clone(), LockMode::Exclusive);
         }
-        Statement::Delete { table } => {
+        Statement::Delete {
+            table,
+            filter: None,
+        } => {
+            // Truncation re-checks nothing (legacy fast path).
+            plan.insert(table.clone(), LockMode::Exclusive);
+        }
+        Statement::Delete {
+            table,
+            filter: Some(_),
+        } => {
+            // Restrict semantics scan every table referencing the target.
+            for child in rqs::dml::referencing_table_names(catalog, table) {
+                read(&mut plan, &child);
+            }
+            plan.insert(table.clone(), LockMode::Exclusive);
+        }
+        Statement::Update { table, .. } => {
+            // Constraint re-checks read the target's foreign-key parents
+            // and, for restrict semantics, every table referencing it.
+            if let Ok(schema) = catalog.table(table) {
+                for c in &schema.constraints {
+                    if let TableConstraint::ForeignKey { parent_table, .. } = c {
+                        read(&mut plan, parent_table);
+                    }
+                }
+            }
+            for child in rqs::dml::referencing_table_names(catalog, table) {
+                read(&mut plan, &child);
+            }
             plan.insert(table.clone(), LockMode::Exclusive);
         }
         Statement::CreateTable { .. }

@@ -313,6 +313,77 @@ impl BPlusTree {
         Ok(Some((promoted.key, right_id)))
     }
 
+    /// Removes one `key → rid` posting, returning whether it existed.
+    ///
+    /// Lazy deletion: the holding leaf is rebuilt without the entry, but
+    /// nodes are never merged or rebalanced — underfull (even empty)
+    /// leaves stay in the chain and separators stay in their parents, so
+    /// the root never moves and no catalog rewrite is needed. With the
+    /// UPDATE/DELETE workloads this serves (and truncation rebuilding
+    /// trees outright), space recovers on the next rebuild.
+    pub fn delete(&mut self, pool: &BufferPool, key: &Datum, rid: Rid) -> StorageResult<bool> {
+        let target = encode_key(key);
+        // Descend to the leftmost leaf that could hold the key.
+        let mut current = self.root;
+        loop {
+            let guard = pool.fetch(current)?;
+            match guard.with(|p| p.kind())? {
+                PageKind::BTreeLeaf => break,
+                PageKind::BTreeInternal => {
+                    let child = guard.with(|p| child_for_lookup(p, &target))?;
+                    drop(guard);
+                    current = child;
+                }
+                other => {
+                    return Err(StorageError::Corrupt(format!(
+                        "page {current} is {other:?}, expected a B+-tree node"
+                    )))
+                }
+            }
+        }
+        // Walk the leaf chain while the key may still match.
+        while current != NO_PAGE {
+            let guard = pool.fetch(current)?;
+            let (entries, found, done, next) = guard.with(|p| -> StorageResult<_> {
+                let mut entries = Vec::with_capacity(p.slot_count());
+                let mut found = None;
+                let mut done = false;
+                for record in p.records() {
+                    let entry = LeafEntry::decode(record)?;
+                    match cmp_keys(&entry.key, &target)? {
+                        Ordering::Less => {}
+                        Ordering::Equal if entry.rid == rid => found = Some(entries.len()),
+                        Ordering::Equal => {}
+                        Ordering::Greater => {
+                            done = true;
+                        }
+                    }
+                    entries.push(entry);
+                }
+                Ok((entries, found, done, p.next()))
+            })?;
+            if let Some(pos) = found {
+                let mut entries = entries;
+                entries.remove(pos);
+                guard.with_mut(|p| -> StorageResult<()> {
+                    p.init(PageKind::BTreeLeaf);
+                    p.set_next(next);
+                    for e in &entries {
+                        p.push_record(&e.encode())?;
+                    }
+                    Ok(())
+                })??;
+                return Ok(true);
+            }
+            drop(guard);
+            if done {
+                return Ok(false);
+            }
+            current = next;
+        }
+        Ok(false)
+    }
+
     /// All rids posted under `key`, in insertion-stable (key, rid) order.
     pub fn lookup(&self, pool: &BufferPool, key: &Datum) -> StorageResult<Vec<Rid>> {
         let target = encode_key(key);
@@ -699,6 +770,62 @@ mod tests {
             let got = tree.lookup(&pool, &key).unwrap();
             assert!(got.contains(&r), "posting lost for {key:?}");
         }
+    }
+
+    #[test]
+    fn delete_removes_exactly_one_posting() {
+        let pool = pool(8);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        let n = 2000u32;
+        for i in 0..n {
+            let key = (i * 7919) % n;
+            tree.insert(&pool, &Datum::Int(i64::from(key)), rid(key))
+                .unwrap();
+        }
+        let root_before = tree.root;
+        // Delete every third key; the rest must survive untouched.
+        for key in (0..n).step_by(3) {
+            assert!(tree
+                .delete(&pool, &Datum::Int(i64::from(key)), rid(key))
+                .unwrap());
+        }
+        assert_eq!(tree.root, root_before, "lazy deletion never moves the root");
+        for key in 0..n {
+            let got = tree.lookup(&pool, &Datum::Int(i64::from(key))).unwrap();
+            if key % 3 == 0 {
+                assert!(got.is_empty(), "key {key} must be gone");
+            } else {
+                assert_eq!(got, vec![rid(key)], "key {key} must survive");
+            }
+        }
+        // Deleting a missing posting reports false and changes nothing.
+        assert!(!tree.delete(&pool, &Datum::Int(0), rid(0)).unwrap());
+        assert!(!tree.delete(&pool, &Datum::Int(99_999), rid(1)).unwrap());
+    }
+
+    #[test]
+    fn delete_picks_the_right_duplicate() {
+        let pool = pool(8);
+        let mut tree = BPlusTree::create(&pool).unwrap();
+        // Duplicate runs long enough to span several leaves.
+        for round in 0..30u32 {
+            for key in 0..40i64 {
+                tree.insert(&pool, &Datum::Int(key), rid(round * 100 + key as u32))
+                    .unwrap();
+            }
+        }
+        for round in (0..30u32).step_by(2) {
+            assert!(tree
+                .delete(&pool, &Datum::Int(17), rid(round * 100 + 17))
+                .unwrap());
+        }
+        let got = tree.lookup(&pool, &Datum::Int(17)).unwrap();
+        assert_eq!(got.len(), 15);
+        assert!(got.iter().all(|r| (0..30u32)
+            .filter(|r2| r2 % 2 == 1)
+            .any(|r2| *r == rid(r2 * 100 + 17))));
+        // Other keys keep all 30 postings.
+        assert_eq!(tree.lookup(&pool, &Datum::Int(16)).unwrap().len(), 30);
     }
 
     #[test]

@@ -997,6 +997,164 @@ impl StorageEngine {
         Ok(Some(out))
     }
 
+    /// Live `(rid, tuple)` pairs of a table, in heap order — the
+    /// candidate feed for predicated UPDATE/DELETE, which must address
+    /// the rows they rewrite.
+    pub fn scan_rids(&self, name: &str) -> StorageResult<Vec<(Rid, Tuple)>> {
+        let info = self.table(name)?;
+        let mut out = Vec::with_capacity(info.row_count);
+        let mut err = None;
+        info.heap
+            .scan(&self.pool, |rid, rec| match decode_tuple(rec) {
+                Ok(tuple) => out.push((rid, tuple)),
+                Err(e) => err = Some(e),
+            })?;
+        match err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Like [`StorageEngine::index_lookup`], but keeps the rid with each
+    /// tuple; `None` when no index covers the column.
+    pub fn index_lookup_rids(
+        &self,
+        name: &str,
+        col: usize,
+        key: &Datum,
+    ) -> StorageResult<Option<Vec<(Rid, Tuple)>>> {
+        let info = self.table(name)?;
+        let Some(ix) = self.find_index(info.id, col) else {
+            return Ok(None);
+        };
+        let rids = ix.tree.lookup(&self.pool, key)?;
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            out.push((rid, decode_tuple(&info.heap.fetch(&self.pool, rid)?)?));
+        }
+        Ok(Some(out))
+    }
+
+    /// Like [`StorageEngine::index_range`], but keeps the rid with each
+    /// tuple; `None` when no index covers the column.
+    pub fn index_range_rids(
+        &self,
+        name: &str,
+        col: usize,
+        lower: Bound<&Datum>,
+        upper: Bound<&Datum>,
+    ) -> StorageResult<Option<Vec<(Rid, Tuple)>>> {
+        let info = self.table(name)?;
+        let Some(ix) = self.find_index(info.id, col) else {
+            return Ok(None);
+        };
+        let rids = ix.tree.range(&self.pool, lower, upper)?;
+        let mut out = Vec::with_capacity(rids.len());
+        for rid in rids {
+            out.push((rid, decode_tuple(&info.heap.fetch(&self.pool, rid)?)?));
+        }
+        Ok(Some(out))
+    }
+
+    /// Deletes the given rows: tombstones each heap slot and removes its
+    /// posting from every index. Joins the active transaction
+    /// (autocommit otherwise), so a failure mid-way rolls the whole
+    /// batch back. Lazy B+-tree deletion never moves roots, so no
+    /// catalog rewrite is needed.
+    pub fn delete_rows(&mut self, name: &str, rids: &[Rid]) -> StorageResult<usize> {
+        let info = self
+            .tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
+        if rids.is_empty() {
+            return Ok(0);
+        }
+        let table_id = info.id;
+        let indexed = self.indexes.iter().any(|ix| ix.table_id == table_id);
+        self.autocommit(|eng| {
+            eng.touch_table(name);
+            if indexed {
+                eng.touch_indexes();
+            }
+            for &rid in rids {
+                let heap = eng.tables.get(name).expect("checked above").heap;
+                let old = decode_tuple(&heap.fetch(&eng.pool, rid)?)?;
+                heap.delete(&eng.pool, rid)?;
+                for ix in &mut eng.indexes {
+                    if ix.table_id == table_id {
+                        ix.tree.delete(&eng.pool, &old[ix.col], rid)?;
+                    }
+                }
+                eng.tables.get_mut(name).expect("checked above").row_count -= 1;
+            }
+            Ok(rids.len())
+        })
+    }
+
+    /// Rewrites each `(rid, new tuple)` in place, relocating rows that
+    /// no longer fit their page, and maintains every index (postings
+    /// move when the key or the rid changed). Joins the active
+    /// transaction (autocommit otherwise).
+    pub fn update_rows(&mut self, name: &str, updates: &[(Rid, Tuple)]) -> StorageResult<usize> {
+        let info = self
+            .tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
+        if updates.is_empty() {
+            return Ok(0);
+        }
+        let table_id = info.id;
+        let arity = info.columns.len();
+        // Validate arities and every indexed key before mutating
+        // anything, mirroring insert.
+        let mut indexed = false;
+        for (_, tuple) in updates {
+            if tuple.len() != arity {
+                return Err(StorageError::Internal(format!(
+                    "{name} stores {arity}-column tuples, got {}",
+                    tuple.len()
+                )));
+            }
+            for ix in &self.indexes {
+                if ix.table_id == table_id {
+                    crate::btree::check_key(&tuple[ix.col])?;
+                    indexed = true;
+                }
+            }
+        }
+        self.autocommit(|eng| {
+            eng.touch_table(name);
+            if indexed {
+                eng.touch_indexes();
+            }
+            let mut roots_moved = false;
+            for (rid, new) in updates {
+                let mut heap = eng.tables.get(name).expect("checked above").heap;
+                let old = decode_tuple(&heap.fetch(&eng.pool, *rid)?)?;
+                let new_rid = heap.update(&eng.pool, *rid, &encode_tuple(new))?;
+                // The chain tail may have grown on relocation.
+                eng.tables.get_mut(name).expect("checked above").heap = heap;
+                for ix in &mut eng.indexes {
+                    if ix.table_id != table_id {
+                        continue;
+                    }
+                    if old[ix.col] == new[ix.col] && new_rid == *rid {
+                        continue;
+                    }
+                    ix.tree.delete(&eng.pool, &old[ix.col], *rid)?;
+                    let old_root = ix.tree.root;
+                    ix.tree.insert(&eng.pool, &new[ix.col], new_rid)?;
+                    roots_moved |= ix.tree.root != old_root;
+                }
+            }
+            if roots_moved {
+                eng.touch_meta();
+                eng.rewrite_system_indexes()?;
+            }
+            Ok(updates.len())
+        })
+    }
+
     /// Removes all rows; indexes are rebuilt empty. The abandoned chain
     /// pages and old index trees go onto the free-page list instead of
     /// leaking (reclaimed space is reused by later allocations).
@@ -1498,6 +1656,200 @@ mod tests {
         let eng = StorageEngine::open(&path, 8).unwrap();
         assert!(eng.has_table("keep"));
         assert!(!eng.has_table("gone"));
+        cleanup(&path);
+    }
+
+    #[test]
+    fn update_rows_rewrites_in_place_and_maintains_indexes() {
+        let mut eng = engine_with_empl(16, 500);
+        eng.create_index("empl", 1).unwrap();
+        eng.create_index("empl", 3).unwrap();
+        // Rewrite dept 7 → 99, names to a shared value.
+        let targets: Vec<(Rid, Tuple)> = eng
+            .scan_rids("empl")
+            .unwrap()
+            .into_iter()
+            .filter(|(_, t)| t[3] == Datum::Int(7))
+            .map(|(rid, t)| {
+                (
+                    rid,
+                    vec![
+                        t[0].clone(),
+                        Datum::text("bulk"),
+                        t[2].clone(),
+                        Datum::Int(99),
+                    ],
+                )
+            })
+            .collect();
+        let n = targets.len();
+        assert!(n > 0);
+        assert_eq!(eng.update_rows("empl", &targets).unwrap(), n);
+        assert_eq!(eng.row_count("empl").unwrap(), 500);
+        assert_eq!(
+            eng.index_lookup("empl", 3, &Datum::Int(7))
+                .unwrap()
+                .unwrap(),
+            Vec::<Tuple>::new(),
+            "old postings must be gone"
+        );
+        let hits = eng
+            .index_lookup("empl", 3, &Datum::Int(99))
+            .unwrap()
+            .unwrap();
+        assert_eq!(hits.len(), n);
+        assert!(hits.iter().all(|t| t[1] == Datum::text("bulk")));
+        let by_name = eng
+            .index_lookup("empl", 1, &Datum::text("bulk"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(by_name.len(), n);
+        // Unchanged keys kept their postings.
+        assert_eq!(
+            eng.index_lookup("empl", 3, &Datum::Int(6))
+                .unwrap()
+                .unwrap()
+                .len(),
+            50
+        );
+    }
+
+    #[test]
+    fn update_rows_relocates_grown_records_and_reposts_rids() {
+        let mut eng = StorageEngine::in_memory(16).unwrap();
+        eng.create_table("t", &cols(&[("k", ColType::Int), ("pad", ColType::Text)]))
+            .unwrap();
+        eng.create_index("t", 0).unwrap();
+        // Fill pages tightly so growth must relocate.
+        for i in 0..40i64 {
+            eng.insert("t", &[Datum::Int(i), Datum::text(&"x".repeat(450))])
+                .unwrap();
+        }
+        let grown: Vec<(Rid, Tuple)> = eng
+            .scan_rids("t")
+            .unwrap()
+            .into_iter()
+            .filter(|(_, t)| t[0].as_int().unwrap() % 4 == 0)
+            .map(|(rid, t)| (rid, vec![t[0].clone(), Datum::text(&"G".repeat(2500))]))
+            .collect();
+        eng.update_rows("t", &grown).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 40);
+        for i in 0..40i64 {
+            let hits = eng.index_lookup("t", 0, &Datum::Int(i)).unwrap().unwrap();
+            assert_eq!(hits.len(), 1, "key {i}");
+            let want = if i % 4 == 0 { 2500 } else { 450 };
+            assert_eq!(hits[0][1].as_text().unwrap().len(), want, "key {i}");
+        }
+    }
+
+    #[test]
+    fn delete_rows_tombstones_and_unposts() {
+        let mut eng = engine_with_empl(16, 300);
+        eng.create_index("empl", 0).unwrap();
+        let doomed: Vec<Rid> = eng
+            .scan_rids("empl")
+            .unwrap()
+            .into_iter()
+            .filter(|(_, t)| t[0].as_int().unwrap() % 3 == 0)
+            .map(|(rid, _)| rid)
+            .collect();
+        assert_eq!(eng.delete_rows("empl", &doomed).unwrap(), 100);
+        assert_eq!(eng.row_count("empl").unwrap(), 200);
+        assert_eq!(eng.scan("empl").unwrap().len(), 200);
+        for i in 0..300i64 {
+            let hits = eng
+                .index_lookup("empl", 0, &Datum::Int(i))
+                .unwrap()
+                .unwrap();
+            assert_eq!(hits.len(), usize::from(i % 3 != 0), "eno {i}");
+        }
+        // Inserts after a delete land normally.
+        eng.insert("empl", &empl_row(300, "back", 20_000, 1))
+            .unwrap();
+        assert_eq!(eng.row_count("empl").unwrap(), 201);
+    }
+
+    #[test]
+    fn aborted_update_and_delete_roll_back_cleanly() {
+        let mut eng = engine_with_empl(16, 50);
+        eng.create_index("empl", 3).unwrap();
+        let all = eng.scan_rids("empl").unwrap();
+        eng.begin().unwrap();
+        let upd: Vec<(Rid, Tuple)> = all
+            .iter()
+            .take(10)
+            .map(|(rid, t)| {
+                (
+                    *rid,
+                    vec![t[0].clone(), t[1].clone(), t[2].clone(), Datum::Int(77)],
+                )
+            })
+            .collect();
+        eng.update_rows("empl", &upd).unwrap();
+        let doomed: Vec<Rid> = all.iter().skip(10).take(5).map(|(rid, _)| *rid).collect();
+        eng.delete_rows("empl", &doomed).unwrap();
+        assert_eq!(eng.row_count("empl").unwrap(), 45);
+        eng.abort();
+        assert_eq!(eng.row_count("empl").unwrap(), 50);
+        assert_eq!(eng.scan("empl").unwrap().len(), 50);
+        assert_eq!(
+            eng.index_lookup("empl", 3, &Datum::Int(77))
+                .unwrap()
+                .unwrap(),
+            Vec::<Tuple>::new(),
+            "aborted postings must be gone"
+        );
+        for d in 0..10i64 {
+            assert_eq!(
+                eng.index_lookup("empl", 3, &Datum::Int(d))
+                    .unwrap()
+                    .unwrap()
+                    .len(),
+                5,
+                "dept {d} postings must be restored"
+            );
+        }
+    }
+
+    #[test]
+    fn updates_and_deletes_survive_crash_recovery() {
+        let path = temp_db("dml");
+        {
+            let mut eng = StorageEngine::open(&path, 16).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int), ("b", ColType::Text)]))
+                .unwrap();
+            eng.create_index("t", 0).unwrap();
+            for i in 0..60i64 {
+                eng.insert("t", &[Datum::Int(i), Datum::text("v")]).unwrap();
+            }
+            let rids = eng.scan_rids("t").unwrap();
+            let upd: Vec<(Rid, Tuple)> = rids
+                .iter()
+                .filter(|(_, t)| t[0].as_int().unwrap() < 20)
+                .map(|(rid, t)| (*rid, vec![t[0].clone(), Datum::text("updated")]))
+                .collect();
+            eng.update_rows("t", &upd).unwrap();
+            let doomed: Vec<Rid> = rids
+                .iter()
+                .filter(|(_, t)| t[0].as_int().unwrap() >= 50)
+                .map(|(rid, _)| *rid)
+                .collect();
+            eng.delete_rows("t", &doomed).unwrap();
+            eng.simulate_crash();
+        }
+        let eng = StorageEngine::open(&path, 16).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 50);
+        let rows = eng.scan("t").unwrap();
+        assert_eq!(
+            rows.iter()
+                .filter(|t| t[1] == Datum::text("updated"))
+                .count(),
+            20
+        );
+        for i in 0..60i64 {
+            let hits = eng.index_lookup("t", 0, &Datum::Int(i)).unwrap().unwrap();
+            assert_eq!(hits.len(), usize::from(i < 50), "key {i} after recovery");
+        }
         cleanup(&path);
     }
 

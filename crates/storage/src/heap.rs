@@ -3,9 +3,13 @@
 //! Records are appended to the tail page, spilling into a freshly
 //! allocated page when full. A record id ([`Rid`]) names a (page, slot)
 //! pair and is what B+-tree indexes point at. Truncation reinitializes
-//! the head page and abandons the rest of the chain (a free list is a
-//! ROADMAP follow-up; the paper's workloads only truncate the small
-//! intermediate-result relations).
+//! the head page and abandons the rest of the chain onto the free list.
+//!
+//! Row-level DML works in place: [`HeapFile::delete`] tombstones a slot
+//! (later rids on the page stay stable), and [`HeapFile::update`]
+//! rewrites a record within its page when it still fits — falling back
+//! to tombstone + re-append (a new rid the caller must repost in every
+//! index) only when it no longer does. Scans skip tombstoned slots.
 //!
 //! Heap mutations go through [`BufferPool`] guards, so inside a WAL
 //! transaction every touched page gets a before-image (rollback) and a
@@ -98,31 +102,14 @@ impl HeapFile {
         })
     }
 
-    /// Visits every record in chain order. The callback receives copies
-    /// page-by-page, so it may freely touch the pool itself.
+    /// Visits every live record in chain order (tombstoned slots are
+    /// skipped). The callback receives copies page-by-page, so it may
+    /// freely touch the pool itself.
     pub fn scan(&self, pool: &BufferPool, mut f: impl FnMut(Rid, &[u8])) -> StorageResult<()> {
-        let mut page_id = self.first;
-        let mut walked: u32 = 0;
-        while page_id != NO_PAGE {
-            walked = check_chain_step(pool, walked)?;
-            let guard = pool.fetch(page_id)?;
-            let (records, next) = guard.with(|p| {
-                let records: Vec<Vec<u8>> = p.records().map(<[u8]>::to_vec).collect();
-                (records, p.next())
-            });
-            drop(guard);
-            for (slot, record) in records.iter().enumerate() {
-                f(
-                    Rid {
-                        page: page_id,
-                        slot: slot as u16,
-                    },
-                    record,
-                );
-            }
-            page_id = next;
-        }
-        Ok(())
+        self.scan_while(pool, |rid, rec| {
+            f(rid, rec);
+            true
+        })
     }
 
     /// Like [`HeapFile::scan`], but stops as soon as the callback
@@ -138,15 +125,18 @@ impl HeapFile {
             walked = check_chain_step(pool, walked)?;
             let guard = pool.fetch(page_id)?;
             let (records, next) = guard.with(|p| {
-                let records: Vec<Vec<u8>> = p.records().map(<[u8]>::to_vec).collect();
+                let records: Vec<(u16, Vec<u8>)> = (0..p.slot_count())
+                    .filter(|&i| p.is_live(i))
+                    .map(|i| (i as u16, p.record(i).to_vec()))
+                    .collect();
                 (records, p.next())
             });
             drop(guard);
-            for (slot, record) in records.iter().enumerate() {
+            for (slot, record) in &records {
                 if !f(
                     Rid {
                         page: page_id,
-                        slot: slot as u16,
+                        slot: *slot,
                     },
                     record,
                 ) {
@@ -158,22 +148,49 @@ impl HeapFile {
         Ok(())
     }
 
-    /// Fetches one record by rid.
+    /// Fetches one live record by rid.
     pub fn fetch(&self, pool: &BufferPool, rid: Rid) -> StorageResult<Vec<u8>> {
         let guard = pool.fetch(rid.page)?;
         guard.with(|p| {
-            if (rid.slot as usize) < p.slot_count() {
+            if p.is_live(rid.slot as usize) {
                 Ok(p.record(rid.slot as usize).to_vec())
             } else {
                 Err(StorageError::Corrupt(format!(
-                    "rid {rid:?} out of range (page has {} slots)",
+                    "rid {rid:?} names no live record (page has {} slots)",
                     p.slot_count()
                 )))
             }
         })
     }
 
-    /// Number of records (walks the chain).
+    /// Tombstones the record at `rid`. Later rids stay valid; the slot
+    /// itself is never reused.
+    pub fn delete(&self, pool: &BufferPool, rid: Rid) -> StorageResult<()> {
+        let guard = pool.fetch(rid.page)?;
+        guard.with_mut(|p| p.remove_record(rid.slot as usize))?
+    }
+
+    /// Rewrites the record at `rid`, returning its (possibly new) rid.
+    /// The rewrite stays in place whenever the record still fits its
+    /// page; otherwise the old slot is tombstoned and the record
+    /// re-appended at the chain tail — the caller must repost every
+    /// index entry pointing at the old rid.
+    pub fn update(&mut self, pool: &BufferPool, rid: Rid, record: &[u8]) -> StorageResult<Rid> {
+        let guard = pool.fetch(rid.page)?;
+        if !guard.with(|p| p.is_live(rid.slot as usize)) {
+            return Err(StorageError::Corrupt(format!(
+                "update of {rid:?}: no live record there"
+            )));
+        }
+        if guard.with_mut(|p| p.replace_record(rid.slot as usize, record))?? {
+            return Ok(rid);
+        }
+        guard.with_mut(|p| p.remove_record(rid.slot as usize))??;
+        drop(guard);
+        self.insert(pool, record)
+    }
+
+    /// Number of live records (walks the chain).
     pub fn count(&self, pool: &BufferPool) -> StorageResult<usize> {
         let mut n = 0;
         let mut page_id = self.first;
@@ -181,7 +198,12 @@ impl HeapFile {
         while page_id != NO_PAGE {
             walked = check_chain_step(pool, walked)?;
             let guard = pool.fetch(page_id)?;
-            let (count, next) = guard.with(|p| (p.slot_count(), p.next()));
+            let (count, next) = guard.with(|p| {
+                (
+                    (0..p.slot_count()).filter(|&i| p.is_live(i)).count(),
+                    p.next(),
+                )
+            });
             n += count;
             page_id = next;
         }
@@ -350,6 +372,55 @@ mod tests {
             heap.scan_while(&pool, |_, _| true),
             Err(StorageError::Corrupt(_))
         ));
+    }
+
+    #[test]
+    fn delete_tombstones_and_scans_skip() {
+        let pool = pool(4);
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let rids: Vec<Rid> = (0..10)
+            .map(|i| heap.insert(&pool, format!("r{i}").as_bytes()).unwrap())
+            .collect();
+        heap.delete(&pool, rids[3]).unwrap();
+        heap.delete(&pool, rids[7]).unwrap();
+        assert_eq!(heap.count(&pool).unwrap(), 8);
+        let mut seen = Vec::new();
+        heap.scan(&pool, |rid, rec| seen.push((rid, rec.to_vec())))
+            .unwrap();
+        assert_eq!(seen.len(), 8);
+        assert!(seen
+            .iter()
+            .all(|(rid, _)| *rid != rids[3] && *rid != rids[7]));
+        // Later rids are untouched by the tombstones before them.
+        assert_eq!(heap.fetch(&pool, rids[4]).unwrap(), b"r4");
+        assert!(heap.fetch(&pool, rids[3]).is_err());
+        assert!(heap.delete(&pool, rids[3]).is_err(), "double delete");
+    }
+
+    #[test]
+    fn update_in_place_keeps_rid_and_relocation_moves_it() {
+        let pool = pool(4);
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let rid = heap.insert(&pool, b"original-record").unwrap();
+        heap.insert(&pool, b"neighbor").unwrap();
+        // Shrink and grow within the page: rid is stable.
+        assert_eq!(heap.update(&pool, rid, b"tiny").unwrap(), rid);
+        assert_eq!(heap.fetch(&pool, rid).unwrap(), b"tiny");
+        let grown = vec![9u8; 600];
+        assert_eq!(heap.update(&pool, rid, &grown).unwrap(), rid);
+        assert_eq!(heap.fetch(&pool, rid).unwrap(), grown);
+        // Fill the page so the next growth must relocate.
+        while pool.fetch(rid.page).unwrap().with(|p| p.fits(400)) {
+            heap.insert(&pool, &[1u8; 400]).unwrap();
+        }
+        let huge = vec![8u8; 2000];
+        let moved = heap.update(&pool, rid, &huge).unwrap();
+        assert_ne!(moved, rid, "record must relocate off the full page");
+        assert_eq!(heap.fetch(&pool, moved).unwrap(), huge);
+        assert!(heap.fetch(&pool, rid).is_err(), "old rid is a tombstone");
+        let mut scanned = 0;
+        heap.scan(&pool, |_, _| scanned += 1).unwrap();
+        assert_eq!(heap.count(&pool).unwrap(), scanned);
     }
 
     #[test]

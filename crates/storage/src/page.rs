@@ -16,9 +16,13 @@
 //!   free_end.. PAGE_SIZE  cell data
 //! ```
 //!
-//! Records are never moved within a page; deletion happens only by
-//! reinitializing whole pages (heap truncation, B+-tree node rebuilds),
-//! so no compaction is needed.
+//! Records are never moved within a page. Slot-level deletion is a
+//! tombstone: the slot keeps its offset but its length drops to 0, so
+//! record ids stay stable and scans skip the slot (no live record is
+//! ever zero-length — heap tuples carry a 2-byte count, index entries a
+//! key header). Cell bytes of tombstoned or shrunk records are not
+//! reclaimed; whole-page reinitialization (heap truncation, B+-tree
+//! node rebuilds) remains the only compaction.
 
 use crate::{StorageError, StorageResult};
 
@@ -202,7 +206,83 @@ impl Page {
         Ok(())
     }
 
-    /// Iterates over all records in slot order.
+    /// Length of the record in slot `i` (0 = tombstoned).
+    pub fn record_len(&self, i: usize) -> usize {
+        self.slot(i).1
+    }
+
+    /// Whether slot `i` holds a live record.
+    pub fn is_live(&self, i: usize) -> bool {
+        i < self.slot_count() && self.record_len(i) > 0
+    }
+
+    /// Tombstones slot `i`: the slot entry stays (record ids of later
+    /// slots are stable) but its length becomes 0, which scans skip.
+    /// The cell bytes are not reclaimed.
+    pub fn remove_record(&mut self, i: usize) -> StorageResult<()> {
+        if i >= self.slot_count() {
+            return Err(StorageError::Internal(format!(
+                "remove of slot {i} out of range ({} slots)",
+                self.slot_count()
+            )));
+        }
+        let (off, len) = self.slot(i);
+        if len == 0 {
+            return Err(StorageError::Internal(format!(
+                "slot {i} is already deleted"
+            )));
+        }
+        self.set_slot(i, off as u16, 0);
+        Ok(())
+    }
+
+    /// Rewrites the record in slot `i` without changing its slot number.
+    /// Shrinking (or equal-size) rewrites happen in the existing cell;
+    /// growing rewrites allocate a fresh cell from this page's free
+    /// space (the old cell leaks until the page is rebuilt). Returns
+    /// `false` when the new record no longer fits this page — the
+    /// caller must relocate it (tombstone + re-insert elsewhere).
+    pub fn replace_record(&mut self, i: usize, data: &[u8]) -> StorageResult<bool> {
+        if data.len() > Self::max_record_len() {
+            return Err(StorageError::RecordTooLarge(data.len()));
+        }
+        if data.is_empty() {
+            // Length 0 is the tombstone encoding; writing it through
+            // replace would silently delete the record.
+            return Err(StorageError::Internal(
+                "replace_record with an empty record (use remove_record)".into(),
+            ));
+        }
+        if i >= self.slot_count() {
+            return Err(StorageError::Internal(format!(
+                "replace of slot {i} out of range ({} slots)",
+                self.slot_count()
+            )));
+        }
+        let (off, len) = self.slot(i);
+        if len == 0 {
+            return Err(StorageError::Internal(format!("slot {i} is deleted")));
+        }
+        if data.len() <= len {
+            self.bytes[off..off + data.len()].copy_from_slice(data);
+            self.set_slot(i, off as u16, data.len() as u16);
+            return Ok(true);
+        }
+        // The slot entry is reused, so only the cell bytes must fit
+        // (free_space already excludes the slot array).
+        if self.free_space() >= data.len() {
+            let new_off = self.free_end() - data.len();
+            self.bytes[new_off..new_off + data.len()].copy_from_slice(data);
+            self.set_slot(i, new_off as u16, data.len() as u16);
+            self.set_free_end(new_off as u16);
+            return Ok(true);
+        }
+        Ok(false)
+    }
+
+    /// Iterates over all records in slot order (tombstones included, as
+    /// empty slices — B+-tree nodes never tombstone; heap readers skip
+    /// zero-length slots).
     pub fn records(&self) -> impl Iterator<Item = &[u8]> {
         (0..self.slot_count()).map(move |i| self.record(i))
     }
@@ -317,6 +397,56 @@ mod tests {
             Err(StorageError::RecordTooLarge(_))
         ));
         assert!(p.push_record(&vec![2u8; Page::max_record_len()]).is_ok());
+    }
+
+    #[test]
+    fn remove_record_tombstones_without_moving_neighbors() {
+        let mut p = Page::zeroed();
+        p.init(PageKind::Heap);
+        p.push_record(b"first").unwrap();
+        p.push_record(b"second").unwrap();
+        p.push_record(b"third").unwrap();
+        p.remove_record(1).unwrap();
+        assert_eq!(p.slot_count(), 3, "slots are stable");
+        assert!(p.is_live(0) && !p.is_live(1) && p.is_live(2));
+        assert_eq!(p.record(0), b"first");
+        assert_eq!(p.record(1), b"");
+        assert_eq!(p.record(2), b"third");
+        assert!(p.remove_record(1).is_err(), "double delete rejected");
+        assert!(p.remove_record(9).is_err());
+        p.validate().unwrap();
+    }
+
+    #[test]
+    fn replace_record_in_place_and_grown() {
+        let mut p = Page::zeroed();
+        p.init(PageKind::Heap);
+        p.push_record(b"abcdef").unwrap();
+        p.push_record(b"neighbor").unwrap();
+        // Shrink: same cell.
+        assert!(p.replace_record(0, b"xy").unwrap());
+        assert_eq!(p.record(0), b"xy");
+        assert_eq!(p.record(1), b"neighbor");
+        // Grow: fresh cell from free space, same slot.
+        assert!(p.replace_record(0, b"a-much-longer-record").unwrap());
+        assert_eq!(p.record(0), b"a-much-longer-record");
+        assert_eq!(p.record(1), b"neighbor");
+        p.validate().unwrap();
+        // Grow past the page's remaining space: refused, record intact.
+        p.push_record(&vec![0u8; 3000]).unwrap();
+        let free = p.free_space();
+        assert!(free + 100 <= Page::max_record_len());
+        assert!(!p.replace_record(0, &vec![7u8; free + 100]).unwrap());
+        assert_eq!(p.record(0), b"a-much-longer-record");
+        assert!(p.replace_record(9, b"x").is_err());
+        assert!(matches!(
+            p.replace_record(0, &vec![1u8; PAGE_SIZE]),
+            Err(StorageError::RecordTooLarge(_))
+        ));
+        // An empty record is the tombstone encoding: rejected, not a
+        // silent delete.
+        assert!(p.replace_record(0, b"").is_err());
+        assert!(p.is_live(0));
     }
 
     #[test]

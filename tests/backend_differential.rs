@@ -127,6 +127,205 @@ fn sql_corpus_agrees_across_backends() {
     }
 }
 
+/// The headline corpus of this suite's DML arm: UPDATE and predicated
+/// DELETE in every interesting shape — indexed and unindexed
+/// predicates, arithmetic SET expressions, rewrites of the indexed
+/// column itself, constraint violations (CHECK/key/FK/restrict, whose
+/// error classes must agree), always-false predicates, and the legacy
+/// truncation fast path — each followed by full-table SELECT probes so
+/// any divergence in state (not just in the statement's own result)
+/// fails the run.
+#[test]
+fn update_and_predicated_delete_corpus_agrees_across_backends() {
+    let mut corpus: Vec<String> = vec![
+        "CREATE TABLE dept (dno INT, fct TEXT, PRIMARY KEY (dno))".into(),
+        "CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT, \
+         PRIMARY KEY (eno), \
+         CHECK (sal BETWEEN 10000 AND 90000), \
+         FOREIGN KEY (dno) REFERENCES dept (dno))"
+            .into(),
+        "INSERT INTO dept VALUES (1, 'hq'), (2, 'lab'), (3, 'field'), (4, 'spare')".into(),
+    ];
+    for i in 0..300i64 {
+        corpus.push(format!(
+            "INSERT INTO empl VALUES ({i}, 'e{i}', {}, {})",
+            10_000 + i * 37 % 40_000,
+            i % 3 + 1
+        ));
+    }
+    corpus.push("CREATE INDEX ON empl (dno)".into());
+    corpus.push("CREATE INDEX ON empl (sal)".into());
+    let probes = [
+        "SELECT v.eno, v.nam, v.sal, v.dno FROM empl v",
+        "SELECT v.dno, v.fct FROM dept v",
+        "SELECT v.eno FROM empl v WHERE v.dno = 2",
+        "SELECT v.eno FROM empl v WHERE v.sal >= 20000 AND v.sal < 30000",
+    ];
+    let dml = [
+        // Indexed equality predicate; arithmetic SET.
+        "UPDATE empl SET sal = sal + 100 WHERE dno = 1",
+        // Indexed range predicate rewriting the ranged column itself.
+        "UPDATE empl SET sal = 15000 WHERE sal < 12000",
+        // Multi-assignment, unindexed predicate.
+        "UPDATE empl SET nam = 'bulk', sal = 30000 WHERE nam = 'e7'",
+        // FK-checked rewrite of the child column.
+        "UPDATE empl SET dno = 2 WHERE dno = 3",
+        // Whole-table update (no WHERE).
+        "UPDATE empl SET sal = sal - 50",
+        // Self-comparison predicate (column vs column of the same row).
+        "UPDATE empl SET nam = 'loop' WHERE eno = dno",
+        // CHECK violation: error classes must agree, state must not move.
+        "UPDATE empl SET sal = 95000 WHERE eno = 10",
+        "UPDATE empl SET sal = sal + 90000 WHERE dno = 2",
+        // Key violation against a surviving row and between updated rows.
+        "UPDATE empl SET eno = 11 WHERE eno = 12",
+        "UPDATE empl SET eno = 999 WHERE dno = 1",
+        // FK violation on the assigned column.
+        "UPDATE empl SET dno = 99 WHERE eno = 20",
+        // Restrict: rewriting/deleting a referenced parent key fails...
+        "UPDATE dept SET dno = 9 WHERE dno = 1",
+        "DELETE FROM dept WHERE dno = 1",
+        // ...while unreferenced parent rows move/die freely.
+        "UPDATE dept SET dno = 5 WHERE dno = 4",
+        "DELETE FROM dept WHERE dno = 5",
+        "UPDATE dept SET fct = 'renamed' WHERE dno = 1",
+        // Predicated deletes: ranges, equality, no-match, always-false.
+        "DELETE FROM empl WHERE sal > 45000",
+        "DELETE FROM empl WHERE eno >= 100 AND eno < 110",
+        "DELETE FROM empl WHERE nam = 'bulk'",
+        "DELETE FROM empl WHERE eno = 123456",
+        "DELETE FROM empl WHERE 1 = 2",
+        "UPDATE empl SET sal = 20000 WHERE 2 < 1",
+        // Legacy truncation is still DELETE without WHERE.
+        "DELETE FROM empl",
+        "SELECT v.eno FROM empl v",
+    ];
+    // Size-cap parity: a value assigned to an indexed column must fit a
+    // B+-tree node, and a rewritten tuple must fit one 4 KiB page —
+    // both backends reject with the same error class, state untouched.
+    corpus.push("CREATE INDEX ON empl (nam)".into());
+    corpus.push(format!(
+        "UPDATE empl SET nam = '{}' WHERE eno = 30",
+        "k".repeat(2000)
+    ));
+    corpus.push(format!(
+        "UPDATE empl SET nam = '{}' WHERE eno = 30",
+        "k".repeat(4500)
+    ));
+    for stmt in dml {
+        corpus.push(stmt.into());
+        corpus.extend(probes.iter().map(|p| p.to_string()));
+    }
+
+    let mut backends = make_backends();
+    for sql in &corpus {
+        let mut results = Vec::new();
+        for (name, db) in backends.iter_mut() {
+            results.push((name, outcome(db, sql)));
+        }
+        let (first_name, first) = &results[0];
+        for (name, other) in &results[1..] {
+            assert_eq!(first, other, "{first_name} vs {name} diverged on: {sql}");
+        }
+    }
+}
+
+/// Generated DML mixed with inserts: every statement (and a full-state
+/// probe after each DML) must agree across backends, indexes on or off.
+#[test]
+fn generated_update_delete_statements_agree_across_backends() {
+    let mut rng = TestRng::deterministic("backend_differential_dml");
+    let ops = ["=", "<>", "<", ">", "<=", ">="];
+    let letters = ["x", "y", "z"];
+    for case in 0..120 {
+        let mut backends = make_backends();
+        let mut statements: Vec<String> = vec![
+            "CREATE TABLE r (a INT, b INT, c TEXT)".into(),
+            "CREATE TABLE s (b INT, d TEXT)".into(),
+            "CREATE TABLE u (k INT, PRIMARY KEY (k))".into(),
+        ];
+        if rng.below(2) == 0 {
+            statements.push("CREATE INDEX ON r (a)".into());
+            statements.push("CREATE INDEX ON s (b)".into());
+        }
+        for _ in 0..rng.below(40) {
+            statements.push(format!(
+                "INSERT INTO r VALUES ({}, {}, '{}')",
+                rng.below(6),
+                rng.below(6),
+                letters[rng.below(3) as usize]
+            ));
+        }
+        for _ in 0..rng.below(15) {
+            statements.push(format!(
+                "INSERT INTO s VALUES ({}, '{}')",
+                rng.below(6),
+                letters[rng.below(3) as usize]
+            ));
+        }
+        for _ in 0..rng.below(8) {
+            statements.push(format!("INSERT INTO u VALUES ({})", rng.below(10)));
+        }
+        for _ in 0..rng.below(10) {
+            let op = ops[rng.below(6) as usize];
+            let dml = match rng.below(8) {
+                0 => format!(
+                    "UPDATE r SET a = {} WHERE b {op} {}",
+                    rng.below(6),
+                    rng.below(6)
+                ),
+                1 => format!(
+                    "UPDATE r SET b = b + {} WHERE a = {}",
+                    rng.below(4),
+                    rng.below(6)
+                ),
+                2 => format!(
+                    "UPDATE r SET c = '{}', b = {} WHERE c {op} '{}'",
+                    letters[rng.below(3) as usize],
+                    rng.below(6),
+                    letters[rng.below(3) as usize]
+                ),
+                3 => format!(
+                    "UPDATE s SET d = '{}' WHERE b >= {} AND b < {}",
+                    letters[rng.below(3) as usize],
+                    rng.below(4),
+                    rng.below(8)
+                ),
+                // Key rewrites on u may collide: the error must agree too.
+                4 => format!(
+                    "UPDATE u SET k = {} WHERE k = {}",
+                    rng.below(10),
+                    rng.below(10)
+                ),
+                5 => format!("DELETE FROM r WHERE a {op} {}", rng.below(6)),
+                6 => format!(
+                    "DELETE FROM s WHERE d = '{}'",
+                    letters[rng.below(3) as usize]
+                ),
+                _ => format!("DELETE FROM r WHERE a = b AND b {op} {}", rng.below(6)),
+            };
+            statements.push(dml);
+            statements.push("SELECT v1.a, v1.b, v1.c FROM r v1".into());
+            statements.push("SELECT v2.b, v2.d FROM s v2".into());
+            statements.push("SELECT v3.k FROM u v3".into());
+        }
+
+        for sql in &statements {
+            let mut results = Vec::new();
+            for (name, db) in backends.iter_mut() {
+                results.push((name, outcome(db, sql)));
+            }
+            let (first_name, first) = &results[0];
+            for (name, other) in &results[1..] {
+                assert_eq!(
+                    first, other,
+                    "case {case}: {first_name} vs {name} diverged on: {sql}"
+                );
+            }
+        }
+    }
+}
+
 #[test]
 fn generated_queries_agree_across_backends() {
     let mut rng = TestRng::deterministic("backend_differential");

@@ -157,12 +157,54 @@ fn n_threads_overlapping_one_table_with_index() {
     assert_heap_index_agree(&db, "t", 0);
 }
 
-/// Lost-update probe: each transaction reads the current maximum and
-/// inserts max+1. Under table-level 2PL every transaction serializes,
-/// so all inserted values are distinct; a lost update would show up as
-/// a duplicate.
+/// The textbook lost-update probe, now phrased as the textbook
+/// statement: every transaction runs `UPDATE counter SET v = v + 1`
+/// under an explicit transaction. Serializable execution means the
+/// final counter equals the number of committed increments exactly; a
+/// lost update would leave it short.
 #[test]
-fn lost_update_probe_under_explicit_transactions() {
+fn lost_update_probe_with_update_statement() {
+    let db = shared(64);
+    let n = thread_count();
+    let per_thread = 8;
+    db.session()
+        .execute("CREATE TABLE counter (v INT)")
+        .unwrap();
+    db.session()
+        .execute("INSERT INTO counter VALUES (0)")
+        .unwrap();
+    std::thread::scope(|scope| {
+        for _ in 0..n {
+            let db = db.clone();
+            scope.spawn(move || {
+                let mut s = db.session();
+                for _ in 0..per_thread {
+                    retry(|| {
+                        s.execute("BEGIN")?;
+                        // An error here has already rolled the
+                        // transaction back; retry restarts at BEGIN.
+                        let r = s.execute("UPDATE counter SET v = v + 1")?;
+                        assert_eq!(r.affected, 1);
+                        s.execute("COMMIT")
+                    });
+                }
+            });
+        }
+    });
+    let r = db.session().execute("SELECT c.v FROM counter c").unwrap();
+    assert_eq!(
+        r.rows,
+        vec![vec![Datum::Int((n * per_thread) as i64)]],
+        "a lost update would leave the counter short"
+    );
+}
+
+/// The original probe kept as a second variant: each transaction reads
+/// the current maximum and inserts max+1. Under table-level 2PL every
+/// transaction serializes, so all inserted values are distinct; a lost
+/// update would show up as a duplicate.
+#[test]
+fn lost_update_probe_read_max_then_insert_variant() {
     let db = shared(64);
     let n = thread_count();
     let per_thread = 8;

@@ -115,8 +115,18 @@ fn scripted_workload() -> Vec<String> {
         script.push(format!("INSERT INTO empl VALUES {}", rows.join(", ")));
     }
     script.extend([
+        // Predicated DML: in-place rewrites (indexed and not), a rewrite
+        // of an indexed column, and range deletes — every crash point in
+        // here must recover the exact committed prefix.
+        "UPDATE empl SET sal = sal + 500 WHERE dno = 1".to_string(),
+        "UPDATE empl SET nam = 'renamed', sal = 25000 WHERE eno = 10".to_string(),
+        "UPDATE empl SET dno = 2 WHERE dno = 3".to_string(),
+        "DELETE FROM empl WHERE eno >= 90 AND eno < 95".to_string(),
+        "DELETE FROM empl WHERE nam = 'renamed'".to_string(),
         "CREATE TABLE scratch (x INT)".to_string(),
         "INSERT INTO scratch VALUES (1), (2), (3)".to_string(),
+        "UPDATE scratch SET x = x + 10 WHERE x > 1".to_string(),
+        "DELETE FROM scratch WHERE x = 12".to_string(),
         "DELETE FROM scratch".to_string(),
         "INSERT INTO scratch VALUES (9)".to_string(),
         "DROP TABLE scratch".to_string(),
@@ -536,6 +546,27 @@ fn op_strategy() -> impl Strategy<Value = String> {
         1 => Just("CREATE INDEX ON s (b)".to_string()),
         1 => Just("DELETE FROM s".to_string()),
         1 => Just("DELETE FROM r".to_string()),
+        // Predicated DML (indexed when the CREATE INDEX ops fired
+        // earlier in the sequence, full-scan otherwise):
+        2 => (0i64..6, 0i64..6).prop_map(|(b, b2)| format!(
+            "UPDATE r SET b = {b2} WHERE b = {b}"
+        )),
+        2 => (0i64..30, "[a-z]{1,4}").prop_map(|(a, c)| format!(
+            "UPDATE r SET c = '{c}', a = a + 1 WHERE a >= {a}"
+        )),
+        1 => (0i64..6, "[a-z]{1,4}").prop_map(|(b, d)| format!(
+            "UPDATE s SET d = '{d}' WHERE b <= {b}"
+        )),
+        // Key rewrites on u may collide — the paged run and the oracle
+        // must then agree on the ConstraintViolation.
+        1 => (0i64..10, 0i64..10).prop_map(|(k, k2)| format!(
+            "UPDATE u SET k = {k2} WHERE k = {k}"
+        )),
+        2 => (0i64..30,).prop_map(|(a,)| format!("DELETE FROM r WHERE a > {a}")),
+        1 => (0i64..6, 0i64..6).prop_map(|(b, b2)| format!(
+            "DELETE FROM s WHERE b >= {b} AND b < {b2}"
+        )),
+        1 => (0i64..10,).prop_map(|(k,)| format!("DELETE FROM u WHERE k = {k}")),
     ]
 }
 
