@@ -428,22 +428,25 @@ fn s2_concurrency() {
     });
     let disjoint = t0.elapsed();
     // Phase 2: one hot table — writers serialize through its lock, and
-    // wait-die losers retry.
-    let retries = AtomicU64::new(0);
+    // wait-die losers retry. Run it twice: a hot spin (retry the moment
+    // the Conflict lands, the pre-backoff behavior), then with
+    // `server::Backoff`'s bounded exponential delays + jitter, which
+    // collapses the futile-retry count.
+    let spin_retries = AtomicU64::new(0);
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
             let shared = shared.clone();
-            let retries = &retries;
+            let spin_retries = &spin_retries;
             scope.spawn(move || {
                 let mut s = shared.session();
                 for i in 0..per_thread {
                     let key = t * per_thread + i;
                     loop {
-                        match s.execute(&format!("INSERT INTO hot VALUES ({key}, 'h')")) {
+                        match s.execute(&format!("INSERT INTO hot VALUES ({key}, 'spin')")) {
                             Ok(_) => break,
                             Err(e) if e.is_retryable() => {
-                                retries.fetch_add(1, Ordering::Relaxed);
+                                spin_retries.fetch_add(1, Ordering::Relaxed);
                             }
                             Err(e) => panic!("unexpected: {e}"),
                         }
@@ -452,7 +455,30 @@ fn s2_concurrency() {
             });
         }
     });
-    let hot = t0.elapsed();
+    let hot_spin = t0.elapsed();
+    let backoff_retries = AtomicU64::new(0);
+    let t0 = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let shared = shared.clone();
+            let backoff_retries = &backoff_retries;
+            scope.spawn(move || {
+                let mut s = shared.session();
+                let mut backoff = server::Backoff::new(t as u64);
+                for i in 0..per_thread {
+                    let key = threads * per_thread + t * per_thread + i;
+                    s.execute_with_backoff(
+                        &format!("INSERT INTO hot VALUES ({key}, 'backoff')"),
+                        &mut backoff,
+                        u64::MAX,
+                    )
+                    .expect("insert runs");
+                }
+                backoff_retries.fetch_add(backoff.total_retries(), Ordering::Relaxed);
+            });
+        }
+    });
+    let hot_backoff = t0.elapsed();
     let total_rows = (threads * per_thread) as u64;
     let mut check = shared.session();
     let count = check
@@ -460,14 +486,22 @@ fn s2_concurrency() {
         .expect("query runs")
         .rows
         .len();
-    assert_eq!(count, threads * per_thread, "no row lost under contention");
+    assert_eq!(
+        count,
+        2 * threads * per_thread,
+        "no row lost under contention"
+    );
     measured(&format!(
         "{threads} sessions x {per_thread} autocommit inserts: disjoint tables \
-         {:.0} stmts/s; one hot table {:.0} stmts/s ({} wait-die retries); \
-         all {total_rows} rows present ({:.2?} total)",
+         {:.0} stmts/s; one hot table {:.0} stmts/s hot-spinning ({} wait-die \
+         retries) vs {:.0} stmts/s with capped-exponential backoff + jitter \
+         ({} retries); all {} rows present ({:.2?} total)",
         total_rows as f64 / disjoint.as_secs_f64(),
-        total_rows as f64 / hot.as_secs_f64(),
-        retries.load(Ordering::Relaxed),
+        total_rows as f64 / hot_spin.as_secs_f64(),
+        spin_retries.load(Ordering::Relaxed),
+        total_rows as f64 / hot_backoff.as_secs_f64(),
+        backoff_retries.load(Ordering::Relaxed),
+        2 * total_rows,
         secs_budget.elapsed(),
     ));
 }
@@ -518,6 +552,29 @@ fn s3_update() {
         touched(&del.metrics),
         del.metrics.wal_appends,
         del.metrics.wal_bytes as f64 / del.affected.max(1) as f64,
+    ));
+    // Whole-table rewrite with pool ≪ table: under the retired no-steal
+    // protocol this statement failed with a pool-exhausted error; with
+    // steal/undo logging its write set spills to disk and commits. The
+    // WAL frame count shows the price: one forced undo image per steal
+    // plus one redo image per dirtied page at commit.
+    let before_pages = db.backend().stats();
+    let t0 = Instant::now();
+    let rewrite = db
+        .execute("UPDATE t SET pad = 'rewritten-everywhere'")
+        .expect("whole-table rewrite succeeds despite the 8-page pool");
+    let rewrite_elapsed = t0.elapsed();
+    let after_pages = db.backend().stats();
+    measured(&format!(
+        "whole-table rewrite of {} rows under the 8-page pool (steal): {} pages \
+         touched, {} page writes (stolen evictions + write-backs), {} WAL \
+         frames / {:.0} KiB logged, {:.2?}",
+        rewrite.affected,
+        touched(&rewrite.metrics),
+        after_pages.page_writes - before_pages.page_writes,
+        rewrite.metrics.wal_appends,
+        rewrite.metrics.wal_bytes as f64 / 1024.0,
+        rewrite_elapsed,
     ));
     // Counter-increment throughput: the UPDATE the lost-update probe
     // runs, here single-sessioned to isolate statement cost.

@@ -300,10 +300,17 @@ impl Database {
                 table,
                 filter: None,
             } => {
-                // Legacy truncation fast path (the front-end resetting a
-                // whole intermediate relation): no referential re-check,
-                // exactly the seed semantics.
+                // Truncation fast path (the front-end resetting a whole
+                // intermediate relation): still a single backend
+                // truncate, but no longer *unchecked* — a parent table
+                // that referencing children still point at refuses to
+                // vanish, matching predicated DELETE's restrict rule.
                 self.catalog.table(&table)?;
+                crate::dml::check_truncate_constraints(
+                    &self.catalog,
+                    self.backend.as_ref(),
+                    &table,
+                )?;
                 let affected = run_txn(&mut self.backend, |b| b.truncate(&table))?;
                 Ok(QueryResult {
                     affected,
@@ -620,43 +627,91 @@ mod tests {
     }
 
     #[test]
-    fn large_update_exceeding_pool_fails_cleanly_on_paged() {
-        // The no-steal ceiling (ROADMAP): a statement's write set must
-        // fit the buffer pool. A whole-table UPDATE wider than a tiny
-        // pool is refused — what matters is that the failure is clean:
-        // full rollback, indexes intact, the session keeps working.
-        let mut db = Database::paged(8).unwrap();
-        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
-        db.execute("CREATE INDEX ON t (a)").unwrap();
-        for i in 0..2000 {
-            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
-                .unwrap();
+    fn large_update_exceeding_pool_succeeds_on_paged() {
+        // Successor of the retired `large_update_exceeding_pool_fails_
+        // cleanly_on_paged` parity exception: under the old no-steal
+        // protocol a whole-table UPDATE wider than the buffer pool
+        // failed with a pool-exhausted `Internal` error where the
+        // in-memory backend succeeded. With steal/undo logging the
+        // statement's write set spills to disk and the two backends
+        // produce identical results — no pinned exception remains.
+        let mut mem = Database::new();
+        let mut paged = Database::paged(8).unwrap();
+        for db in [&mut mem, &mut paged] {
+            db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+            db.execute("CREATE INDEX ON t (a)").unwrap();
+            for i in 0..2000 {
+                db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                    .unwrap();
+            }
+            let r = db.execute("UPDATE t SET b = 'rewritten'").unwrap();
+            assert_eq!(r.affected, 2000, "{db:?}");
         }
-        assert!(matches!(
-            db.execute("UPDATE t SET b = 'rewritten'"),
-            Err(RqsError::Internal(_))
-        ));
-        let r = db.execute("SELECT v.b FROM t v WHERE v.a = 999").unwrap();
-        assert_eq!(r.rows, vec![vec![Datum::text("row999")]], "rolled back");
-        assert_eq!(db.execute("SELECT v.a FROM t v").unwrap().rows.len(), 2000);
-        // A pool-sized write set still goes through afterwards.
-        let r = db
-            .execute("UPDATE t SET b = 'small' WHERE a >= 1990")
+        let sorted = |db: &Database| {
+            let mut rows = db.query("SELECT v.a, v.b FROM t v").unwrap().rows;
+            rows.sort();
+            rows
+        };
+        assert_eq!(sorted(&mem), sorted(&paged), "backends must agree");
+        assert_eq!(sorted(&paged).len(), 2000);
+        for probe in [0i64, 999, 1999] {
+            assert_eq!(
+                paged
+                    .query(&format!("SELECT v.b FROM t v WHERE v.a = {probe}"))
+                    .unwrap()
+                    .rows,
+                vec![vec![Datum::text("rewritten")]],
+                "index must survive the stolen rewrite"
+            );
+        }
+        // And the session keeps working at full size afterwards.
+        let r = paged
+            .execute("UPDATE t SET b = 'again' WHERE a < 100")
             .unwrap();
-        assert_eq!(r.affected, 10);
-        // A pool sized for the table takes the whole-table rewrite.
-        let mut big = Database::paged(64).unwrap();
-        big.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
-        for i in 0..2000 {
-            big.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+        assert_eq!(r.affected, 100);
+    }
+
+    #[test]
+    fn bare_delete_refuses_to_truncate_a_referenced_parent() {
+        for mut db in backends() {
+            db.execute("CREATE TABLE dept (dno INT, PRIMARY KEY (dno))")
                 .unwrap();
+            db.execute(
+                "CREATE TABLE empl (eno INT, dno INT, PRIMARY KEY (eno), \
+                 FOREIGN KEY (dno) REFERENCES dept (dno))",
+            )
+            .unwrap();
+            db.execute("INSERT INTO dept VALUES (1), (2)").unwrap();
+            db.execute("INSERT INTO empl VALUES (10, 1)").unwrap();
+            // Truncating the parent would orphan empl(10, 1): refused,
+            // with restrict semantics matching predicated DELETE.
+            assert!(matches!(
+                db.execute("DELETE FROM dept"),
+                Err(RqsError::ConstraintViolation(_))
+            ));
+            assert_eq!(
+                db.execute("SELECT v.dno FROM dept v").unwrap().rows.len(),
+                2
+            );
+            // The child truncates freely; then the parent follows.
+            assert_eq!(db.execute("DELETE FROM empl").unwrap().affected, 1);
+            assert_eq!(db.execute("DELETE FROM dept").unwrap().affected, 2);
+            // Self-referential tables truncate trivially (their own
+            // rows vanish with the referenced keys).
+            db.execute(
+                "CREATE TABLE tree (id INT, parent INT, PRIMARY KEY (id), \
+                 FOREIGN KEY (parent) REFERENCES tree (id))",
+            )
+            .unwrap();
+            // Self-rows need the unchecked bulk-load path (a row cannot
+            // reference itself through the insert-time probe).
+            db.insert_unchecked("tree", vec![Datum::Int(1), Datum::Int(1)])
+                .unwrap();
+            db.insert_unchecked("tree", vec![Datum::Int(2), Datum::Int(1)])
+                .unwrap();
+            db.validate_all().unwrap();
+            assert_eq!(db.execute("DELETE FROM tree").unwrap().affected, 2);
         }
-        assert_eq!(
-            big.execute("UPDATE t SET b = 'rewritten'")
-                .unwrap()
-                .affected,
-            2000
-        );
     }
 
     #[test]

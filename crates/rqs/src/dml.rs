@@ -507,6 +507,20 @@ pub(crate) fn execute_update(
     })
 }
 
+/// Restrict semantics for the bare `DELETE FROM t` truncation fast
+/// path: truncating a table is deleting every row, so it must be
+/// refused while any child row still references one — exactly the
+/// predicated-DELETE rule with an always-true predicate (the surviving
+/// key set is empty). A self-referential table passes trivially: its
+/// own rows vanish with it.
+pub(crate) fn check_truncate_constraints(
+    catalog: &Catalog,
+    backend: &dyn StorageBackend,
+    name: &str,
+) -> RqsResult<()> {
+    check_delete_constraints(catalog, backend, name, &mut |_| true)
+}
+
 /// Executes `DELETE FROM table WHERE …`, returning the row count.
 pub(crate) fn execute_delete(
     catalog: &Catalog,

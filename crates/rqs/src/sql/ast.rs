@@ -252,12 +252,14 @@ pub enum Statement {
         table: String,
         rows: Vec<Vec<Datum>>,
     },
-    /// `DELETE FROM t [WHERE pred]`. Without WHERE this is the legacy
-    /// truncation the front-end uses to reset whole intermediate
-    /// relations (fast path, no referential checks — exactly the seed
-    /// semantics). With WHERE it is row-level DML: the predicate is a
-    /// conjunction of comparisons, matching rows are tombstoned in
-    /// place, and deleting a referenced parent row is refused.
+    /// `DELETE FROM t [WHERE pred]`. Without WHERE this is the
+    /// truncation fast path the front-end uses to reset whole
+    /// intermediate relations — still a single backend truncate, but
+    /// subject to the same restrict rule as predicated DELETE: a parent
+    /// that referencing children still point at refuses to truncate.
+    /// With WHERE it is row-level DML: the predicate is a conjunction
+    /// of comparisons, matching rows are tombstoned in place, and
+    /// deleting a referenced parent row is refused.
     Delete {
         table: String,
         filter: Option<Vec<Condition>>,

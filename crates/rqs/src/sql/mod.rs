@@ -36,9 +36,10 @@
 //! columns are re-checked against CHECK bounds, keys (against the
 //! post-statement state) and foreign keys, and updating or deleting a
 //! parent row still referenced by a child is refused (restrict
-//! semantics). Bare `DELETE FROM t` remains the legacy truncation fast
-//! path with the seed's semantics: no referential re-check, used by the
-//! front-end to reset whole intermediate relations.
+//! semantics). Bare `DELETE FROM t` remains the truncation fast path
+//! the front-end uses to reset whole intermediate relations, but it
+//! now carries the same restrict rule: truncating a parent table that
+//! referencing children still point at is refused.
 
 pub mod ast;
 pub mod lexer;

@@ -31,7 +31,9 @@
 //! * locks are held to transaction end (autocommit: statement end);
 //! * deadlocks are avoided by wait-die: older transactions wait,
 //!   younger ones abort with [`RqsError::Conflict`] and may simply
-//!   retry.
+//!   retry — ideally through [`retry::Backoff`], whose bounded
+//!   exponential delays with jitter keep losers from spinning hot on a
+//!   contended table.
 //!
 //! Because writers exclude readers at table granularity, there are no
 //! dirty reads (the buffer pool holds uncommitted pages, but no other
@@ -50,6 +52,9 @@
 //! directly.
 
 pub mod net;
+pub mod retry;
+
+pub use retry::Backoff;
 
 use rqs::sql::{SelectStmt, Statement};
 use rqs::{Catalog, Database, QueryResult, RqsError, TableConstraint};
@@ -444,7 +449,11 @@ fn lock_plan(stmt: &Statement, catalog: &Catalog) -> BTreeMap<String, LockMode> 
             table,
             filter: None,
         } => {
-            // Truncation re-checks nothing (legacy fast path).
+            // Truncation enforces restrict semantics too: the check
+            // scans every table referencing the target.
+            for child in rqs::dml::referencing_table_names(catalog, table) {
+                read(&mut plan, &child);
+            }
             plan.insert(table.clone(), LockMode::Exclusive);
         }
         Statement::Delete {

@@ -21,24 +21,37 @@
 //! a *different* open transaction fails with
 //! [`StorageError::Conflict`] — the storage-level backstop beneath the
 //! table-level lock manager ([`crate::lock`]), which makes such
-//! collisions rare. The protocol is **no-steal / force-the-log**:
+//! collisions rare. The protocol is **steal / force-the-log**:
 //!
-//! * frames owned by an open transaction are never evicted (their redo
-//!   is not yet in the log, and the database file must never hold
-//!   uncommitted data) — a transaction whose write set exceeds the pool
-//!   fails cleanly and aborts;
+//! * eviction prefers frames no open transaction owns, but when every
+//!   unpinned frame is transaction-dirty it **steals** one: the frame's
+//!   pre-transaction before-image is appended to the log as an
+//!   `UndoImage` frame and *forced* (the write-ahead rule for undo),
+//!   only then is the uncommitted content written to the database file
+//!   and the frame evicted. A transaction's write set is therefore
+//!   bounded by disk, not by pool frames; steals stay rare because they
+//!   each cost a log force;
 //! * a dirty frame may only be written back once its page LSN is
 //!   covered by the durable log (`page.lsn() <= wal.durable_lsn()`);
 //! * [`BufferPool::commit_txn`] appends `Begin`, one stamped page image
-//!   per owned frame, and `Commit`, then syncs the log — all under the
-//!   pool lock, so the frames of one commit are always contiguous in
-//!   the log and a failed commit can be physically rewound
+//!   per owned frame — plus a fresh image of every page the
+//!   transaction stole that no owned frame still covers, re-read from
+//!   the pool or the pager, so redo never depends on an unsynced
+//!   data-file write — and `Commit`, then syncs the log — all under
+//!   the pool lock, so the frames of one commit are always contiguous
+//!   in the log and a failed commit can be physically rewound
 //!   ([`crate::wal::Wal::discard_after`]) without touching any other
 //!   transaction's frames;
-//! * [`BufferPool::abort_txn`] restores every before-image; pages the
-//!   transaction allocated from the pager revert to free pages and are
-//!   remembered in an in-memory recycle list so the next allocation
-//!   reuses them instead of growing the file.
+//! * [`BufferPool::abort_txn`] restores every resident before-image and
+//!   rolls stolen pages back from their logged undo images (newest
+//!   first, so a twice-stolen page ends on its true pre-transaction
+//!   state); pages the transaction allocated from the pager revert to
+//!   free pages and are remembered in an in-memory recycle list so the
+//!   next allocation reuses them instead of growing the file — stolen
+//!   or not;
+//! * crash recovery ([`crate::wal::Wal::recover`]) applies losers' undo
+//!   images backwards before replaying committed redo images forwards,
+//!   so stolen uncommitted writes never survive a crash.
 //!
 //! Allocation order: the recycle list first, then the persistent
 //! free-page list (head in the meta page's `extra` word, pages chained
@@ -54,7 +67,7 @@
 //! `rqs::QueryMetrics` so benchmarks can report saved page I/O — the
 //! paper's actual cost model — and what durability costs next to it.
 
-use crate::page::{Page, PageId, PageKind, NO_PAGE};
+use crate::page::{Page, PageId, PageKind, NO_PAGE, PAGE_SIZE};
 use crate::pager::Pager;
 use crate::wal::{Wal, WalRecord};
 use crate::{StorageError, StorageResult};
@@ -145,8 +158,17 @@ impl Frame {
 struct TxnCtx {
     /// Pages this transaction allocated from the *pager* (not from the
     /// free list); recycled on abort so aborted allocations do not grow
-    /// the file.
+    /// the file — even when the allocation was stolen before the abort.
     allocated: Vec<PageId>,
+    /// Pages stolen from this transaction (evicted uncommitted, their
+    /// undo images forced to the log). Commit logs a redo image for
+    /// each one not covered by an owned frame; abort restores them from
+    /// the log. May hold duplicates (a page can be stolen repeatedly).
+    stolen: Vec<PageId>,
+    /// Byte offsets of this transaction's `UndoImage` frames in the
+    /// log, in append order: abort seek-reads exactly these, so its
+    /// cost scales with the stolen set, not the log.
+    undo_offsets: Vec<u64>,
 }
 
 struct Inner {
@@ -164,6 +186,24 @@ struct Inner {
     /// Page whose `extra` word anchors the persistent free-page list
     /// (set by the engine once the meta page exists).
     meta_page: Option<PageId>,
+    /// Which open transaction stole each currently-stolen page. Faulting
+    /// such a page back in restores the thief's ownership on the frame
+    /// (with no in-memory before-image — the undo image is already in
+    /// the log), so the cross-transaction `Conflict` backstop keeps
+    /// holding for pages whose uncommitted content lives on disk.
+    /// Entries die with their transaction.
+    stolen_by: HashMap<PageId, TxnId>,
+    /// Undo restores that hit an I/O error during an in-flight abort:
+    /// page id → its correct (pre-transaction) image. Fault-ins serve
+    /// from here instead of the stale disk bytes; [`BufferPool::flush`]
+    /// retries the writes and fails while any remain, which keeps
+    /// checkpoints from truncating the undo images recovery would need.
+    pending_undo: HashMap<PageId, Box<Page>>,
+    /// Set when an abort could not even *read* its undo images back
+    /// from the log. Checkpoints are refused for the rest of the
+    /// process lifetime: the log still holds the images, so crash
+    /// recovery repairs what the live abort could not.
+    undo_incomplete: bool,
 }
 
 /// A page pinned in the pool. Dropping the guard unpins it.
@@ -230,6 +270,9 @@ impl BufferPool {
                 stats: PoolStats::default(),
                 recycled: Vec::new(),
                 meta_page: None,
+                stolen_by: HashMap::new(),
+                pending_undo: HashMap::new(),
+                undo_incomplete: false,
             }),
             active: Arc::new(AtomicU64::new(0)),
             capacity: capacity.max(2),
@@ -332,7 +375,10 @@ impl BufferPool {
     }
 
     /// Commits an open transaction: logs `Begin`, a stamped image of
-    /// every owned page, `Commit`, then forces the log. On any error the
+    /// every owned page (plus a fresh image of every stolen page no
+    /// owned frame still covers — their uncommitted content reached the
+    /// database file through an unsynced write, and redo must never
+    /// depend on one), `Commit`, then forces the log. On any error the
     /// transaction is rolled back (as [`BufferPool::abort_txn`]) before
     /// the error is returned. The whole commit runs under the pool lock,
     /// so its frames are contiguous in the log and a failed commit is
@@ -351,29 +397,45 @@ impl BufferPool {
             .filter(|f| lock(f).owner == Some(id))
             .map(Arc::clone)
             .collect();
-        if touched.is_empty() {
+        // Stolen pages whose current content an owned frame does NOT
+        // carry: re-owned resident pages are logged from their frame
+        // above; the rest are read back (from an unowned frame or the
+        // pager — the stolen write is visible through the file handle).
+        let mut stolen: Vec<PageId> = inner
+            .txns
+            .get(&id)
+            .map(|ctx| ctx.stolen.clone())
+            .unwrap_or_default();
+        stolen.sort_unstable();
+        stolen.dedup();
+        stolen.retain(|pid| match inner.map.get(pid) {
+            Some(&slot) => lock(&inner.frames[slot]).owner != Some(id),
+            None => true,
+        });
+        if touched.is_empty() && stolen.is_empty() {
             // Read-only transaction: nothing to log.
             Self::finish_txn(inner, &self.active, id);
             return Ok(());
         }
-        let wal = inner.wal.as_mut().expect("txn implies wal");
-        let mark = wal.mark();
-        let logged = (|| -> StorageResult<()> {
-            wal.append(&WalRecord::Begin { txn: id })?;
-            for frame in &touched {
-                let mut frame = lock(frame);
-                // Stamp the image with the LSN its Update frame will
-                // get, both in the resident page and in the logged copy.
-                frame.page.set_lsn(wal.next_lsn());
-                wal.append(&WalRecord::Update {
-                    txn: id,
-                    page: frame.id,
-                    image: Box::new(*frame.page.as_bytes()),
-                })?;
-            }
-            wal.append(&WalRecord::Commit { txn: id })?;
-            wal.sync()
-        })();
+        let mark = inner.wal.as_ref().expect("txn implies wal").mark();
+        let logged = {
+            let Inner {
+                pager,
+                wal,
+                frames,
+                map,
+                ..
+            } = inner;
+            Self::log_commit(
+                pager,
+                wal.as_mut().expect("txn implies wal"),
+                frames,
+                map,
+                id,
+                &touched,
+                &stolen,
+            )
+        };
         match logged {
             Ok(()) => {
                 for frame in &touched {
@@ -387,16 +449,62 @@ impl BufferPool {
             Err(e) => {
                 // Rewind the half-logged (or fully logged but unsynced)
                 // commit out of the log, then roll the pages back.
-                wal.discard_after(mark);
+                inner
+                    .wal
+                    .as_mut()
+                    .expect("txn implies wal")
+                    .discard_after(mark);
                 Self::rollback_txn(inner, &self.active, id);
                 Err(e)
             }
         }
     }
 
+    /// The logging half of [`BufferPool::commit_txn`]: `Begin`, one
+    /// stamped image per owned frame and per uncovered stolen page,
+    /// `Commit`, force.
+    fn log_commit(
+        pager: &mut Pager,
+        wal: &mut Wal,
+        frames: &[Arc<Mutex<Frame>>],
+        map: &HashMap<PageId, usize>,
+        id: TxnId,
+        touched: &[Arc<Mutex<Frame>>],
+        stolen: &[PageId],
+    ) -> StorageResult<()> {
+        wal.append(&WalRecord::Begin { txn: id })?;
+        for frame in touched {
+            let mut frame = lock(frame);
+            // Stamp the image with the LSN its Update frame will
+            // get, both in the resident page and in the logged copy.
+            frame.page.set_lsn(wal.next_lsn());
+            wal.append(&WalRecord::Update {
+                txn: id,
+                page: frame.id,
+                image: Box::new(*frame.page.as_bytes()),
+            })?;
+        }
+        for &pid in stolen {
+            let mut image = Page::zeroed();
+            match map.get(&pid) {
+                Some(&slot) => image.copy_from(&lock(&frames[slot]).page),
+                None => pager.read(pid, &mut image)?,
+            }
+            image.set_lsn(wal.next_lsn());
+            wal.append(&WalRecord::Update {
+                txn: id,
+                page: pid,
+                image: Box::new(*image.as_bytes()),
+            })?;
+        }
+        wal.append(&WalRecord::Commit { txn: id })?;
+        wal.sync()
+    }
+
     /// Rolls an open transaction back: every owned frame reverts to its
-    /// before-image, and pages the transaction allocated from the pager
-    /// are queued for reuse. A no-op for an unknown id; never fails.
+    /// before-image, stolen pages are restored from their logged undo
+    /// images, and pages the transaction allocated from the pager are
+    /// queued for reuse. A no-op for an unknown id; never fails.
     pub fn abort_txn(&self, id: TxnId) {
         let mut inner = lock(&self.inner);
         Self::rollback_txn(&mut inner, &self.active, id);
@@ -406,6 +514,7 @@ impl BufferPool {
     /// transaction) and deactivates it if it was active.
     fn finish_txn(inner: &mut Inner, active: &AtomicU64, id: TxnId) {
         inner.txns.remove(&id);
+        inner.stolen_by.retain(|_, t| *t != id);
         let _ = active.compare_exchange(id, 0, Ordering::SeqCst, Ordering::SeqCst);
     }
 
@@ -419,8 +528,71 @@ impl BufferPool {
                 frame.rollback();
             }
         }
+        // After the resident rollbacks: the reverse walk below ends on
+        // each stolen page's true pre-transaction image.
+        if !ctx.undo_offsets.is_empty() {
+            Self::restore_stolen(inner, &ctx.undo_offsets);
+        }
+        inner.stolen_by.retain(|_, t| *t != id);
         inner.recycled.extend(ctx.allocated);
         let _ = active.compare_exchange(id, 0, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    /// Rolls an aborting transaction's stolen pages back from their
+    /// logged undo images — per page, the *earliest* image is the
+    /// pre-transaction state. Resident frames are overwritten in place
+    /// (dirty, carrying the image's old page LSN, so write-back stays
+    /// legal); evicted pages are rewritten in the database file. An
+    /// image whose disk write fails parks in [`Inner::pending_undo`]
+    /// (served to fault-ins, retried by flush, blocking checkpoints),
+    /// and a failure to even read the log back sets
+    /// [`Inner::undo_incomplete`], which pins the log until the process
+    /// restarts — either way the undo images outlive the failure, so
+    /// recovery can finish the rollback.
+    fn restore_stolen(inner: &mut Inner, undo_offsets: &[u64]) {
+        let Inner {
+            pager,
+            wal,
+            frames,
+            map,
+            pending_undo,
+            undo_incomplete,
+            ..
+        } = inner;
+        let Some(wal) = wal.as_mut() else {
+            return;
+        };
+        // Walking backwards and overwriting leaves each page's earliest
+        // (pre-transaction) image. A frame that cannot be read back
+        // pins the log (checkpoints refused) so recovery can still
+        // finish the rollback; the rest restore regardless.
+        let mut finals: HashMap<PageId, Box<[u8; PAGE_SIZE]>> = HashMap::new();
+        for &offset in undo_offsets.iter().rev() {
+            match wal.undo_image_at(offset) {
+                Ok((pid, image)) => {
+                    finals.insert(pid, image);
+                }
+                Err(_) => *undo_incomplete = true,
+            }
+        }
+        for (pid, image) in finals {
+            match map.get(&pid) {
+                Some(&slot) => {
+                    let mut frame = lock(&frames[slot]);
+                    frame.page.as_bytes_mut().copy_from_slice(&image[..]);
+                    frame.dirty = true;
+                    frame.owner = None;
+                    frame.before = None;
+                }
+                None => {
+                    let mut page = Page::zeroed();
+                    page.as_bytes_mut().copy_from_slice(&image[..]);
+                    if pager.write(pid, &page).is_err() {
+                        pending_undo.insert(pid, page);
+                    }
+                }
+            }
+        }
     }
 
     /// Allocates a page of the given kind and pins it: first from the
@@ -432,27 +604,34 @@ impl BufferPool {
         let active = self.active.load(Ordering::SeqCst);
 
         // 1. Recycled pages: Free on disk, not on the persistent list.
-        let mut skipped = Vec::new();
-        let mut reuse: Option<PageId> = None;
-        while let Some(id) = inner.recycled.pop() {
-            if id >= inner.pager.page_count() {
-                continue; // stale entry (should not happen; be safe)
-            }
-            if let Some(&slot) = inner.map.get(&id) {
-                let frame = Arc::clone(&inner.frames[slot]);
-                let usable = Arc::strong_count(&frame) <= 2 && lock(&frame).owner.is_none();
-                if !usable {
-                    skipped.push(id);
-                    continue;
+        // Only *transactional* allocations may reuse them: a recycled
+        // page that was stolen before its transaction aborted still has
+        // an UndoImage in the log, and recovery would replay that image
+        // over an *unlogged* reuse (index bulk builds) — the same rule
+        // the persistent free list enforces below.
+        if active != 0 {
+            let mut skipped = Vec::new();
+            let mut reuse: Option<PageId> = None;
+            while let Some(id) = inner.recycled.pop() {
+                if id >= inner.pager.page_count() {
+                    continue; // stale entry (should not happen; be safe)
                 }
+                if let Some(&slot) = inner.map.get(&id) {
+                    let frame = Arc::clone(&inner.frames[slot]);
+                    let usable = Arc::strong_count(&frame) <= 2 && lock(&frame).owner.is_none();
+                    if !usable {
+                        skipped.push(id);
+                        continue;
+                    }
+                }
+                reuse = Some(id);
+                break;
             }
-            reuse = Some(id);
-            break;
-        }
-        inner.recycled.extend(skipped);
-        if let Some(id) = reuse {
-            let guard = self.adopt_free_page(inner, id, kind, active, true)?;
-            return Ok((id, guard));
+            inner.recycled.extend(skipped);
+            if let Some(id) = reuse {
+                let guard = self.adopt_free_page(inner, id, kind, active, true)?;
+                return Ok((id, guard));
+            }
         }
 
         // 2. Persistent free list (opportunistic).
@@ -507,14 +686,23 @@ impl BufferPool {
         active: u64,
         recyclable: bool,
     ) -> StorageResult<PinnedPage> {
+        // The page is being re-materialized from scratch: a parked undo
+        // image for it (failed abort restore) is superseded — leaving
+        // it behind would overlay stale bytes on a later fault-in. But
+        // its existence means the *disk* copy is not the free page the
+        // fast path below assumes, so the frame must start dirty: even
+        // if the adopting transaction aborts, the rolled-back free page
+        // then gets written over the stale bytes.
+        let disk_stale = inner.pending_undo.remove(&id).is_some();
         let frame = match inner.map.get(&id) {
             Some(&slot) => Arc::clone(&inner.frames[slot]),
             None => {
-                // Disk holds a free page; no need to read it back.
+                // Disk holds a free page (unless a failed undo restore
+                // says otherwise); no need to read it back.
                 let frame = Arc::new(Mutex::new(Frame {
                     id,
                     page: Page::zeroed(),
-                    dirty: false,
+                    dirty: disk_stale,
                     referenced: true,
                     owner: None,
                     before: None,
@@ -695,14 +883,30 @@ impl BufferPool {
         }
         inner.stats.page_reads += 1;
         let mut page = Page::zeroed();
-        inner.pager.read(id, &mut page)?;
-        page.validate()?;
+        let mut dirty = false;
+        match inner.pending_undo.remove(&id) {
+            // An aborted restore that never reached the disk: the
+            // correct image is carried here instead of the file.
+            Some(image) => {
+                page = image;
+                dirty = true;
+            }
+            None => {
+                inner.pager.read(id, &mut page)?;
+                page.validate()?;
+            }
+        }
+        // A stolen page faulted back in still belongs to its thief: the
+        // on-disk content is that transaction's uncommitted write, so
+        // the frame keeps the owner (foreign writes stay `Conflict`s)
+        // but no in-memory before-image — the undo is already logged.
+        let owner = inner.stolen_by.get(&id).copied();
         let frame = Arc::new(Mutex::new(Frame {
             id,
             page,
-            dirty: false,
+            dirty,
             referenced: true,
-            owner: None,
+            owner,
             before: None,
         }));
         let slot = Self::place(inner, capacity, Arc::clone(&frame))?;
@@ -711,17 +915,21 @@ impl BufferPool {
     }
 
     /// Finds a slot for a new frame, evicting with the clock policy when
-    /// the pool is full. Pinned frames (strong count > 2), frames owned
-    /// by an open transaction (no-steal) and dirty frames whose LSN is
-    /// past the durable log (write-ahead rule) are skipped.
+    /// the pool is full. Pinned frames (strong count > 2) and dirty
+    /// frames whose LSN is past the durable log (write-ahead rule) are
+    /// skipped; frames owned by an open transaction are a last resort —
+    /// when nothing else is evictable one is **stolen**
+    /// ([`BufferPool::steal`]), so a write set larger than the pool
+    /// spills to disk instead of failing.
     fn place(inner: &mut Inner, capacity: usize, frame: Arc<Mutex<Frame>>) -> StorageResult<usize> {
         if inner.frames.len() < capacity {
             inner.frames.push(frame);
             return Ok(inner.frames.len() - 1);
         }
         let n = inner.frames.len();
-        // Two sweeps clear every reference bit; a third guarantees that an
-        // unpinned frame, if any exists, is found.
+        // Pass 1 — the plain clock over unowned frames. Two sweeps clear
+        // every reference bit; a third guarantees that an evictable
+        // frame, if any exists, is found.
         for _ in 0..3 * n {
             let slot = inner.hand;
             inner.hand = (inner.hand + 1) % n;
@@ -731,7 +939,7 @@ impl BufferPool {
             }
             let mut victim = lock(&candidate);
             if victim.owner.is_some() {
-                continue; // no-steal: uncommitted changes stay resident
+                continue; // owned frames cost a log force: pass 2's last resort
             }
             if victim.dirty {
                 // Write-ahead: never let a page overtake the log it
@@ -758,18 +966,106 @@ impl BufferPool {
             inner.frames[slot] = frame;
             return Ok(slot);
         }
+        // Pass 2 — steal: every unpinned frame belongs to an open
+        // transaction. Evict one anyway, with its undo image forced to
+        // the log first.
+        for _ in 0..n {
+            let slot = inner.hand;
+            inner.hand = (inner.hand + 1) % n;
+            let candidate = Arc::clone(&inner.frames[slot]);
+            if Arc::strong_count(&candidate) > 2 {
+                continue;
+            }
+            {
+                let victim = lock(&candidate);
+                if victim.owner.is_none() {
+                    continue; // unowned yet unevictable (see pass 1)
+                }
+            }
+            Self::steal(inner, &candidate)?;
+            let old_id = lock(&candidate).id;
+            inner.map.remove(&old_id);
+            inner.frames[slot] = frame;
+            return Ok(slot);
+        }
         Err(StorageError::Internal(format!(
-            "buffer pool exhausted: all {n} frames pinned or owned by open transactions"
+            "buffer pool exhausted: all {n} frames pinned or unevictable"
         )))
     }
 
+    /// Steals one transaction-owned frame: forces its pre-transaction
+    /// before-image to the log as an `UndoImage` (write-ahead rule for
+    /// undo — without it a crash could leave uncommitted bytes in the
+    /// database file with no way back), then writes the uncommitted
+    /// content to the database file and evicts the frame. The page id is
+    /// recorded in the owner's context (commit logs its redo image,
+    /// abort restores it) and in [`Inner::stolen_by`] (a re-fault
+    /// restores the thief's ownership). A page stolen for the *second*
+    /// time carries no in-memory before-image — its undo is already in
+    /// the log from the first steal, so nothing new is appended.
+    fn steal(inner: &mut Inner, candidate: &Arc<Mutex<Frame>>) -> StorageResult<()> {
+        let (owner, id, record) = {
+            let victim = lock(candidate);
+            let owner = victim.owner.expect("steal candidates are owned");
+            let record = victim
+                .before
+                .as_ref()
+                .map(|(before, _)| WalRecord::UndoImage {
+                    txn: owner,
+                    page: victim.id,
+                    image: Box::new(*before.as_bytes()),
+                });
+            (owner, victim.id, record)
+        };
+        if let Some(record) = record {
+            let wal = inner.wal.as_mut().expect("owned frames imply a wal");
+            let offset = wal.len_bytes();
+            wal.append(&record)?;
+            wal.sync()?;
+            if let Some(ctx) = inner.txns.get_mut(&owner) {
+                ctx.undo_offsets.push(offset);
+            }
+        }
+        {
+            let mut victim = lock(candidate);
+            inner.stats.page_writes += 1;
+            let Frame { id, ref page, .. } = *victim;
+            inner.pager.write(id, page)?;
+            victim.owner = None;
+            victim.before = None;
+            victim.dirty = false;
+        }
+        inner.stolen_by.insert(id, owner);
+        if let Some(ctx) = inner.txns.get_mut(&owner) {
+            ctx.stolen.push(id);
+        }
+        Ok(())
+    }
+
     /// Writes every committed dirty frame back and syncs file-backed
-    /// storage. Frames owned by open transactions are skipped
-    /// (no-steal); the log is left alone — see
-    /// [`BufferPool::checkpoint`] for write-back plus log truncation.
+    /// storage. Frames owned by open transactions are skipped (flush
+    /// never steals — only eviction pressure pays the undo-logging
+    /// cost); the log is left alone — see [`BufferPool::checkpoint`]
+    /// for write-back plus log truncation.
     pub fn flush(&self) -> StorageResult<()> {
         let mut inner = lock(&self.inner);
         let inner = &mut *inner;
+        // Parked undo restores first: until they land, the disk holds
+        // rolled-back uncommitted bytes.
+        let pending: Vec<PageId> = inner.pending_undo.keys().copied().collect();
+        for pid in pending {
+            let page = inner.pending_undo.remove(&pid).expect("collected above");
+            if inner.map.contains_key(&pid) {
+                // A fault-in adopted the image meanwhile; the frame
+                // write-back below covers it.
+                continue;
+            }
+            inner.stats.page_writes += 1;
+            if let Err(e) = inner.pager.write(pid, &page) {
+                inner.pending_undo.insert(pid, page);
+                return Err(e);
+            }
+        }
         let frames: Vec<Arc<Mutex<Frame>>> = inner.frames.iter().map(Arc::clone).collect();
         for frame in frames {
             let mut frame = lock(&frame);
@@ -790,10 +1086,22 @@ impl BufferPool {
     /// any transaction is open: open transactions hold unlogged frames
     /// whose redo must land in the log the checkpoint would race.
     pub fn checkpoint(&self) -> StorageResult<()> {
-        if !lock(&self.inner).txns.is_empty() {
-            return Err(StorageError::Internal(
-                "checkpoint during an open transaction (commit or abort it first)".into(),
-            ));
+        {
+            let inner = lock(&self.inner);
+            if !inner.txns.is_empty() {
+                return Err(StorageError::Internal(
+                    "checkpoint during an open transaction (commit or abort it first)".into(),
+                ));
+            }
+            if inner.undo_incomplete {
+                // An abort could not read its undo images back; the log
+                // is the only copy, so it must never be truncated.
+                return Err(StorageError::Internal(
+                    "checkpoint refused: an aborted transaction's undo images could \
+                     not be re-read; restart (crash recovery) to repair"
+                        .into(),
+                ));
+            }
         }
         self.flush()?;
         let mut inner = lock(&self.inner);
@@ -941,13 +1249,17 @@ mod tests {
         );
         drop(g);
         assert_eq!(pool.stats().wal_appends, 0, "nothing was logged");
-        // The aborted allocation is recycled: the next allocation reuses
-        // its page id instead of growing the pager.
+        // The aborted allocation is recycled: the next *transactional*
+        // allocation reuses its page id instead of growing the pager
+        // (untracked allocations must append — see
+        // `unlogged_allocations_never_reuse_recycled_pages`).
         let pages_before = pool.page_count();
+        let t = pool.begin_txn().unwrap();
         let (reused, g) = pool.allocate(PageKind::Heap).unwrap();
         assert_eq!(reused, new_id, "aborted allocation must be recycled");
         assert_eq!(pool.page_count(), pages_before);
         drop(g);
+        pool.commit_txn(t).unwrap();
     }
 
     #[test]
@@ -973,30 +1285,202 @@ mod tests {
     }
 
     #[test]
-    fn no_steal_keeps_txn_pages_resident_and_errors_when_pool_too_small() {
+    fn steal_lets_a_write_set_exceed_the_pool_and_commit() {
         let pool = txn_pool(3);
-        // Fill with committed pages first.
+        let t = pool.begin_txn().unwrap();
         let mut ids = Vec::new();
-        for i in 0..3u8 {
+        for i in 0..10u8 {
             let (id, g) = pool.allocate(PageKind::Heap).unwrap();
-            g.with_mut(|p| p.push_record(&[i]).unwrap()).unwrap();
+            g.with_mut(|p| p.push_record(&[i; 8]).unwrap()).unwrap();
             ids.push(id);
         }
+        // Re-reading a stolen page inside the transaction sees its own
+        // (uncommitted) write, faulted back from the database file.
+        let g = pool.fetch(ids[0]).unwrap();
+        assert_eq!(g.with(|p| p.record(0).to_vec()), vec![0u8; 8]);
+        drop(g);
+        pool.commit_txn(t).unwrap();
+        for (i, &id) in ids.iter().enumerate() {
+            let g = pool.fetch(id).unwrap();
+            assert_eq!(g.with(|p| p.record(0).to_vec()), vec![i as u8; 8]);
+        }
+        let stats = pool.stats();
+        assert!(stats.page_writes >= 7, "steals must write back: {stats:?}");
+        // Undo images plus commit redo of every stolen page were logged.
+        assert!(stats.wal_appends > 12, "{stats:?}");
+    }
+
+    #[test]
+    fn steal_then_abort_restores_pre_transaction_state() {
+        let pool = txn_pool(3);
+        // Committed baseline across more pages than the pool holds.
         let t = pool.begin_txn().unwrap();
-        // Touch every frame inside the transaction: none may be evicted,
-        // so the next allocation must fail cleanly.
+        let mut ids = Vec::new();
+        for i in 0..8u8 {
+            let (id, g) = pool.allocate(PageKind::Heap).unwrap();
+            g.with_mut(|p| p.push_record(&[i; 8]).unwrap()).unwrap();
+            ids.push(id);
+        }
+        pool.commit_txn(t).unwrap();
+        // A transaction rewrites every page (write set > pool, so pages
+        // are stolen and uncommitted bytes reach the file), then aborts.
+        let t = pool.begin_txn().unwrap();
         for &id in &ids {
             let g = pool.fetch(id).unwrap();
-            g.with_mut(|p| p.push_record(b"txn").unwrap()).unwrap();
-            drop(g);
+            g.with_mut(|p| p.push_record(b"uncommitted").unwrap())
+                .unwrap();
         }
+        let (extra, g) = pool.allocate(PageKind::Heap).unwrap();
+        g.with_mut(|p| p.push_record(b"newpage").unwrap()).unwrap();
+        drop(g);
+        pool.abort_txn(t);
+        for (i, &id) in ids.iter().enumerate() {
+            let g = pool.fetch(id).unwrap();
+            assert_eq!(
+                g.with(|p| (p.slot_count(), p.record(0).to_vec())),
+                (1, vec![i as u8; 8]),
+                "page {id} must roll back to its committed state"
+            );
+        }
+        // The stolen-then-aborted allocation reverted to a free page and
+        // is recycled by the next allocation instead of growing the file.
+        let g = pool.fetch(extra).unwrap();
+        assert_eq!(g.with(|p| p.kind().unwrap()), PageKind::Free);
+        drop(g);
+        let pages = pool.page_count();
+        let t = pool.begin_txn().unwrap();
+        let (reused, g) = pool.allocate(PageKind::Heap).unwrap();
+        drop(g);
+        pool.commit_txn(t).unwrap();
+        assert_eq!(reused, extra, "stolen-then-aborted allocation recycles");
+        assert_eq!(pool.page_count(), pages);
+    }
+
+    #[test]
+    fn refaulted_stolen_pages_keep_their_owner() {
+        // A steal evicts the frame, but the page still belongs to its
+        // transaction: faulting it back in must restore the ownership
+        // so a different open transaction's write stays a Conflict —
+        // otherwise its uncommitted content could leak into the other
+        // transaction's commit images.
+        let pool = txn_pool(3);
+        let ta = pool.begin_txn().unwrap();
+        let mut ids = Vec::new();
+        for i in 0..8u8 {
+            let (id, g) = pool.allocate(PageKind::Heap).unwrap();
+            g.with_mut(|p| p.push_record(&[i; 8]).unwrap()).unwrap();
+            ids.push(id);
+        }
+        pool.suspend_txn();
+        let tb = pool.begin_txn().unwrap();
+        let g = pool.fetch(ids[0]).unwrap();
+        assert!(
+            matches!(
+                g.with_mut(|p| p.slot_count()),
+                Err(StorageError::Conflict(_))
+            ),
+            "a stolen page must still refuse foreign writes after refault"
+        );
+        assert_eq!(g.with(|p| p.slot_count()), 1, "reads still allowed");
+        drop(g);
+        pool.abort_txn(tb);
+        pool.resume_txn(ta).unwrap();
+        pool.commit_txn(ta).unwrap();
+        // Committed: the page is writable by anyone again.
+        let tc = pool.begin_txn().unwrap();
+        let g = pool.fetch(ids[0]).unwrap();
+        g.with_mut(|p| p.push_record(b"tc").unwrap()).unwrap();
+        drop(g);
+        pool.commit_txn(tc).unwrap();
+    }
+
+    #[test]
+    fn failed_abort_restores_park_and_block_checkpoints_until_written() {
+        // An abort whose stolen-page restores hit a dead disk must not
+        // let the process serve the uncommitted bytes afterwards: the
+        // images park in memory, overlay every fault-in, and flush
+        // writes them back before a checkpoint may truncate the log.
+        let dir = std::env::temp_dir().join(format!("rqs-buffer-undo-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let pages = dir.join("park.pages");
+        let _ = std::fs::remove_file(&pages);
+        let fault = crate::pager::Fault::new();
+        let pool = BufferPool::with_wal(
+            Pager::faulty(Pager::open(&pages).unwrap(), fault.clone()),
+            3,
+            Wal::in_memory(),
+        );
+        let t = pool.begin_txn().unwrap();
+        let mut ids = Vec::new();
+        for i in 0..8u8 {
+            let (id, g) = pool.allocate(PageKind::Heap).unwrap();
+            g.with_mut(|p| p.push_record(&[i; 8]).unwrap()).unwrap();
+            ids.push(id);
+        }
+        pool.commit_txn(t).unwrap();
+        let t = pool.begin_txn().unwrap();
+        for &id in &ids {
+            let g = pool.fetch(id).unwrap();
+            g.with_mut(|p| p.push_record(b"doomed").unwrap()).unwrap();
+        }
+        fault.fail_after_writes(0);
+        pool.abort_txn(t); // restores park instead of reaching the disk
+        fault.heal();
+        // Every page reads back rolled-to-committed, parked or not.
+        for (i, &id) in ids.iter().enumerate() {
+            let g = pool.fetch(id).unwrap();
+            assert_eq!(
+                g.with(|p| (p.slot_count(), p.record(0).to_vec())),
+                (1, vec![i as u8; 8]),
+                "page {id} must serve the restored image"
+            );
+        }
+        // Flush (via checkpoint) lands the parked images; disk is clean.
+        pool.checkpoint().unwrap();
+        std::fs::remove_file(&pages).unwrap();
+    }
+
+    #[test]
+    fn unlogged_allocations_never_reuse_recycled_pages() {
+        // A stolen-then-aborted allocation leaves an UndoImage in the
+        // log; recovery replays it for the loser. An *unlogged* reuse
+        // of the recycled page (index bulk builds allocate outside any
+        // transaction) would be clobbered by that replay, so untracked
+        // allocations must append instead — the recycle-list cousin of
+        // the persistent-free-list rule.
+        let pool = txn_pool(4);
+        let t = pool.begin_txn().unwrap();
+        let (id, g) = pool.allocate(PageKind::Heap).unwrap();
+        g.with_mut(|p| p.push_record(b"aborted").unwrap()).unwrap();
+        drop(g);
+        pool.abort_txn(t);
+        // Unlogged (no active transaction): must not get the recycled id.
+        let (unlogged, g) = pool.allocate(PageKind::BTreeLeaf).unwrap();
+        assert_ne!(unlogged, id, "unlogged reuse would be undone at replay");
+        drop(g);
+        // Transactional reuse is safe (its redo replays after the undo).
+        let t = pool.begin_txn().unwrap();
+        let (reused, g) = pool.allocate(PageKind::Heap).unwrap();
+        assert_eq!(reused, id);
+        drop(g);
+        pool.commit_txn(t).unwrap();
+    }
+
+    #[test]
+    fn fully_pinned_pool_still_errors() {
+        let pool = txn_pool(2);
+        let t = pool.begin_txn().unwrap();
+        let (_, g1) = pool.allocate(PageKind::Heap).unwrap();
+        let (_, g2) = pool.allocate(PageKind::Heap).unwrap();
+        // Both frames pinned by live guards: stealing is impossible.
         assert!(matches!(
             pool.allocate(PageKind::Heap),
             Err(StorageError::Internal(_))
         ));
-        pool.abort_txn(t);
-        // After abort the frames are evictable again.
+        drop((g1, g2));
+        // Unpinned, the owned frames are stolen and allocation succeeds.
         assert!(pool.allocate(PageKind::Heap).is_ok());
+        pool.abort_txn(t);
     }
 
     #[test]

@@ -141,10 +141,11 @@ struct TxnTouch {
     meta: Option<MetaState>,
     /// Pages the transaction abandoned (truncated chains, dropped
     /// tables' heaps and trees). Linked onto the free list only *after*
-    /// commit — freeing inside the transaction would pin one unevictable
-    /// frame per page under no-steal, exhausting the pool on large
-    /// drops. A crash between commit and reclamation merely leaks the
-    /// pages, which is exactly the pre-free-list behavior.
+    /// commit — freeing inside the transaction would dirty one frame
+    /// per page under the owning transaction (a large drop would churn
+    /// through the pool stealing every one of them at a log force
+    /// apiece). A crash between commit and reclamation merely leaks
+    /// the pages, which is exactly the pre-free-list behavior.
     pending_free: Vec<PageId>,
 }
 
@@ -224,9 +225,11 @@ impl StorageEngine {
         // pager, discard torn tails, checkpoint.
         wal.recover(&mut pager)?;
         let fresh = pager.page_count() == 0;
-        // The bootstrap transaction pins five unevictable pages under
-        // no-steal, and any real statement needs headroom beyond its
-        // own write set; clamp tiny pools up to a workable floor.
+        // Write sets may exceed the pool now that eviction steals (undo
+        // logging spills uncommitted pages to disk), but multi-page
+        // operations still *pin* several guards at once — B+-tree
+        // splits, bootstrap — so tiny pools are clamped to a floor that
+        // leaves headroom beyond the pinned set.
         let pool = BufferPool::with_wal(pager, pool_pages.max(8), wal);
         if fresh {
             // The bootstrap heaps (and the meta page anchoring the
@@ -564,9 +567,10 @@ impl StorageEngine {
     }
 
     /// Links committed-abandoned pages onto the free list in small
-    /// transactions sized to the pool (each freed page pins a frame
-    /// under no-steal until its batch commits). Best-effort: any
-    /// failure just leaks the remaining pages.
+    /// transactions sized to the pool (each freed page dirties a frame
+    /// until its batch commits; batching keeps that churn from turning
+    /// into steals). Best-effort: any failure just leaks the remaining
+    /// pages.
     fn reclaim_deferred(&mut self, pages: Vec<PageId>) {
         if pages.is_empty() {
             return;
@@ -2294,6 +2298,184 @@ mod tests {
                 .unwrap(),
             None
         );
+    }
+
+    #[test]
+    fn whole_table_rewrite_wider_than_the_pool_succeeds_via_steal() {
+        // The retired no-steal ceiling: a single statement's write set
+        // used to be bounded by the pool. 2000 rows span ~50 pages; the
+        // 8-frame pool must steal continuously and still commit.
+        let mut eng = engine_with_empl(8, 2000);
+        eng.create_index("empl", 3).unwrap();
+        let updates: Vec<(Rid, Tuple)> = eng
+            .scan_rids("empl")
+            .unwrap()
+            .into_iter()
+            .map(|(rid, t)| {
+                (
+                    rid,
+                    vec![t[0].clone(), t[1].clone(), t[2].clone(), Datum::Int(42)],
+                )
+            })
+            .collect();
+        assert_eq!(eng.update_rows("empl", &updates).unwrap(), 2000);
+        assert_eq!(eng.row_count("empl").unwrap(), 2000);
+        let rows = eng.scan("empl").unwrap();
+        assert!(rows.iter().all(|t| t[3] == Datum::Int(42)));
+        let hits = eng
+            .index_lookup("empl", 3, &Datum::Int(42))
+            .unwrap()
+            .unwrap();
+        assert_eq!(hits.len(), 2000, "postings must follow the rewrite");
+    }
+
+    #[test]
+    fn aborted_whole_table_rewrite_restores_stolen_pages() {
+        let mut eng = engine_with_empl(8, 1000);
+        let before = eng.scan("empl").unwrap();
+        eng.begin().unwrap();
+        let updates: Vec<(Rid, Tuple)> = eng
+            .scan_rids("empl")
+            .unwrap()
+            .into_iter()
+            .map(|(rid, t)| {
+                (
+                    rid,
+                    vec![
+                        t[0].clone(),
+                        Datum::text("doomed"),
+                        t[2].clone(),
+                        Datum::Int(-1),
+                    ],
+                )
+            })
+            .collect();
+        eng.update_rows("empl", &updates).unwrap();
+        eng.abort();
+        assert_eq!(
+            eng.scan("empl").unwrap(),
+            before,
+            "stolen uncommitted pages must roll back from the log"
+        );
+        // The engine keeps working after the large abort.
+        eng.insert("empl", &empl_row(5000, "after", 20_000, 1))
+            .unwrap();
+        assert_eq!(eng.row_count("empl").unwrap(), 1001);
+    }
+
+    #[test]
+    fn crash_between_steal_and_commit_recovers_the_pre_statement_state() {
+        let path = temp_db("steal-crash");
+        {
+            let mut eng = StorageEngine::open(&path, 8).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int), ("pad", ColType::Text)]))
+                .unwrap();
+            let pad = "p".repeat(400);
+            for i in 0..500i64 {
+                eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                    .unwrap();
+            }
+            // Open transaction rewrites every row: far more dirty pages
+            // than the 8-frame pool, so stolen uncommitted content is in
+            // the database file when the crash hits (before commit).
+            eng.begin().unwrap();
+            let updates: Vec<(Rid, Tuple)> = eng
+                .scan_rids("t")
+                .unwrap()
+                .into_iter()
+                .map(|(rid, t)| (rid, vec![t[0].clone(), Datum::text("UNCOMMITTED")]))
+                .collect();
+            eng.update_rows("t", &updates).unwrap();
+            eng.simulate_crash();
+        }
+        let eng = StorageEngine::open(&path, 8).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 500);
+        let rows = eng.scan("t").unwrap();
+        assert!(
+            rows.iter().all(|t| t[1] != Datum::text("UNCOMMITTED")),
+            "recovery undo must purge stolen uncommitted writes"
+        );
+        cleanup(&path);
+    }
+
+    #[test]
+    fn index_built_after_aborted_stolen_inserts_survives_recovery() {
+        // Regression: an aborted transaction's stolen fresh allocations
+        // are recycled, but their UndoImages stay in the log until the
+        // next checkpoint. The unlogged index bulk build must therefore
+        // never adopt a recycled page — recovery would replay the undo
+        // image straight over the built node.
+        let path = temp_db("steal-recycle");
+        {
+            let mut eng = StorageEngine::open(&path, 8).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int), ("pad", ColType::Text)]))
+                .unwrap();
+            let pad = "s".repeat(400);
+            for i in 0..100i64 {
+                eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                    .unwrap();
+            }
+            eng.begin().unwrap();
+            for i in 100..400i64 {
+                eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                    .unwrap();
+            }
+            eng.abort();
+            eng.create_index("t", 0).unwrap();
+            eng.simulate_crash();
+        }
+        let eng = StorageEngine::open(&path, 8).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 100);
+        for i in 0..100i64 {
+            let hits = eng.index_lookup("t", 0, &Datum::Int(i)).unwrap().unwrap();
+            assert_eq!(hits.len(), 1, "key {i}: node clobbered by recovery undo");
+        }
+        cleanup(&path);
+    }
+
+    #[test]
+    fn crash_mid_recovery_undo_is_repeatable() {
+        // Recovery itself dies partway through the undo phase (injected
+        // write fault); a second recovery must still converge on the
+        // committed state — undo images are absolute, so replay is
+        // idempotent.
+        let path = temp_db("mid-undo");
+        {
+            let mut eng = StorageEngine::open(&path, 8).unwrap();
+            eng.create_table("t", &cols(&[("a", ColType::Int), ("pad", ColType::Text)]))
+                .unwrap();
+            let pad = "q".repeat(400);
+            for i in 0..300i64 {
+                eng.insert("t", &[Datum::Int(i), Datum::text(&pad)])
+                    .unwrap();
+            }
+            eng.begin().unwrap();
+            let updates: Vec<(Rid, Tuple)> = eng
+                .scan_rids("t")
+                .unwrap()
+                .into_iter()
+                .map(|(rid, t)| (rid, vec![t[0].clone(), Datum::text("LOSER")]))
+                .collect();
+            eng.update_rows("t", &updates).unwrap();
+            eng.simulate_crash();
+        }
+        // First recovery attempt: the fault budget lets a few undo page
+        // writes through, then cuts the power again.
+        let fault = Fault::new();
+        fault.fail_after_writes(5);
+        assert!(
+            StorageEngine::open_with_fault(&path, 8, fault.clone()).is_err(),
+            "recovery must hit the injected fault"
+        );
+        fault.heal();
+        let eng = StorageEngine::open(&path, 8).unwrap();
+        assert_eq!(eng.row_count("t").unwrap(), 300);
+        assert!(eng
+            .scan("t")
+            .unwrap()
+            .iter()
+            .all(|t| t[1] != Datum::text("LOSER")));
+        cleanup(&path);
     }
 
     #[test]

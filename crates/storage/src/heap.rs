@@ -10,6 +10,12 @@
 //! rewrites a record within its page when it still fits — falling back
 //! to tombstone + re-append (a new rid the caller must repost in every
 //! index) only when it no longer does. Scans skip tombstoned slots.
+//! Dead cell space (tombstones, leaked grow-rewrites) is reclaimed
+//! lazily: when an insert or rewrite would otherwise spill off the page
+//! while [`crate::page::Page::fits_after_compact`] says compaction
+//! would make it fit, the page is compacted in place first — so
+//! DELETE-heavy workloads reuse their space instead of growing the
+//! chain forever.
 //!
 //! Heap mutations go through [`BufferPool`] guards, so inside a WAL
 //! transaction every touched page gets a before-image (rollback) and a
@@ -83,8 +89,13 @@ impl HeapFile {
     }
 
     /// Appends one record, growing the chain if the tail page is full.
+    /// A tail page whose dead bytes (tombstones, leaked rewrites) would
+    /// make the record fit is compacted in place instead of spilling.
     pub fn insert(&mut self, pool: &BufferPool, record: &[u8]) -> StorageResult<Rid> {
         let tail = pool.fetch(self.last)?;
+        if tail.with(|p| !p.fits(record.len()) && p.fits_after_compact(record.len())) {
+            tail.with_mut(|p| p.compact())?;
+        }
         if tail.with(|p| p.fits(record.len())) {
             let slot = tail.with_mut(|p| p.push_record(record))??;
             return Ok(Rid {
@@ -172,9 +183,10 @@ impl HeapFile {
 
     /// Rewrites the record at `rid`, returning its (possibly new) rid.
     /// The rewrite stays in place whenever the record still fits its
-    /// page; otherwise the old slot is tombstoned and the record
-    /// re-appended at the chain tail — the caller must repost every
-    /// index entry pointing at the old rid.
+    /// page — compacting the page's dead bytes first when that is what
+    /// makes it fit; otherwise the old slot is tombstoned and the
+    /// record re-appended at the chain tail — the caller must repost
+    /// every index entry pointing at the old rid.
     pub fn update(&mut self, pool: &BufferPool, rid: Rid, record: &[u8]) -> StorageResult<Rid> {
         let guard = pool.fetch(rid.page)?;
         if !guard.with(|p| p.is_live(rid.slot as usize)) {
@@ -184,6 +196,17 @@ impl HeapFile {
         }
         if guard.with_mut(|p| p.replace_record(rid.slot as usize, record))?? {
             return Ok(rid);
+        }
+        // A grown rewrite that spilled: the page's dead bytes may make
+        // it fit in place once compacted. Only pay for the compaction
+        // (a dirtied page, hence a logged image at commit) when it can
+        // actually succeed: the slot is reused, so the cell needs
+        // `record.len()` bytes of post-compaction free space.
+        if guard.with(|p| p.dead_space() > 0 && p.free_space() + p.dead_space() >= record.len()) {
+            guard.with_mut(|p| p.compact())?;
+            if guard.with_mut(|p| p.replace_record(rid.slot as usize, record))?? {
+                return Ok(rid);
+            }
         }
         guard.with_mut(|p| p.remove_record(rid.slot as usize))??;
         drop(guard);
@@ -421,6 +444,51 @@ mod tests {
         let mut scanned = 0;
         heap.scan(&pool, |_, _| scanned += 1).unwrap();
         assert_eq!(heap.count(&pool).unwrap(), scanned);
+    }
+
+    #[test]
+    fn delete_heavy_pages_reuse_their_dead_space() {
+        // DELETE-heavy workloads used to tombstone cells forever; the
+        // lazy compaction pass must let later inserts reuse the bytes
+        // instead of growing the chain.
+        let pool = pool(4);
+        let mut heap = HeapFile::create(&pool).unwrap();
+        // Fill the single page to capacity.
+        let mut rids = Vec::new();
+        while pool.fetch(heap.last).unwrap().with(|p| p.fits(350)) {
+            rids.push(heap.insert(&pool, &[7u8; 350]).unwrap());
+        }
+        assert_eq!(heap.first, heap.last);
+        // Tombstone most of it, then refill with same-sized records:
+        // every one must land in the reclaimed space of the same page.
+        let keep = rids.pop().unwrap();
+        for rid in &rids {
+            heap.delete(&pool, *rid).unwrap();
+        }
+        let pages_before = pool.page_count();
+        for _ in 0..rids.len() {
+            heap.insert(&pool, &[9u8; 350]).unwrap();
+        }
+        assert_eq!(heap.first, heap.last, "chain must not grow");
+        assert_eq!(pool.page_count(), pages_before);
+        assert_eq!(heap.fetch(&pool, keep).unwrap(), [7u8; 350]);
+        assert_eq!(heap.count(&pool).unwrap(), rids.len() + 1);
+    }
+
+    #[test]
+    fn update_grows_in_place_through_compaction() {
+        let pool = pool(4);
+        let mut heap = HeapFile::create(&pool).unwrap();
+        let keep = heap.insert(&pool, &[1u8; 1200]).unwrap();
+        let doomed = heap.insert(&pool, &[2u8; 1200]).unwrap();
+        heap.insert(&pool, &[3u8; 1200]).unwrap();
+        heap.delete(&pool, doomed).unwrap();
+        // Grown past the contiguous free space, but the tombstoned cell
+        // covers it: the rid must stay put.
+        let grown = vec![4u8; 1500];
+        assert_eq!(heap.update(&pool, keep, &grown).unwrap(), keep);
+        assert_eq!(heap.fetch(&pool, keep).unwrap(), grown);
+        assert_eq!(heap.first, heap.last, "no relocation, no chain growth");
     }
 
     #[test]

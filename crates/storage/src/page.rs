@@ -16,13 +16,15 @@
 //!   free_end.. PAGE_SIZE  cell data
 //! ```
 //!
-//! Records are never moved within a page. Slot-level deletion is a
-//! tombstone: the slot keeps its offset but its length drops to 0, so
-//! record ids stay stable and scans skip the slot (no live record is
-//! ever zero-length — heap tuples carry a 2-byte count, index entries a
-//! key header). Cell bytes of tombstoned or shrunk records are not
-//! reclaimed; whole-page reinitialization (heap truncation, B+-tree
-//! node rebuilds) remains the only compaction.
+//! Slot-level deletion is a tombstone: the slot keeps its offset but
+//! its length drops to 0, so record ids stay stable and scans skip the
+//! slot (no live record is ever zero-length — heap tuples carry a
+//! 2-byte count, index entries a key header). Cell bytes of tombstoned
+//! or shrunk records accumulate as dead space until [`Page::compact`]
+//! repacks the live cells against the page end — slot numbers (and so
+//! rids) never change, only cell offsets move. The heap layer compacts
+//! lazily: exactly when an insert or in-place rewrite would otherwise
+//! spill to another page while dead bytes could make it fit.
 
 use crate::{StorageError, StorageResult};
 
@@ -280,6 +282,54 @@ impl Page {
         Ok(false)
     }
 
+    /// Bytes an in-place [`Page::compact`] would reclaim: cells of
+    /// tombstoned records, leaked cells of grown rewrites, and shrunk
+    /// records' tails. 0 means the cell region is already packed.
+    pub fn dead_space(&self) -> usize {
+        let live: usize = (0..self.slot_count()).map(|i| self.record_len(i)).sum();
+        (PAGE_SIZE - self.free_end()).saturating_sub(live)
+    }
+
+    /// Whether a record of `len` bytes would fit after compaction (slot
+    /// entry included) even though it may not fit right now.
+    pub fn fits_after_compact(&self, len: usize) -> bool {
+        self.free_space() + self.dead_space() >= len + SLOT_SIZE
+    }
+
+    /// Repacks every live cell against the end of the page, reclaiming
+    /// the dead bytes tombstones and rewrites left behind. Slot numbers
+    /// are untouched (rids stay valid); only cell offsets move.
+    /// Tombstoned slots keep their zero length. Returns the bytes
+    /// reclaimed.
+    pub fn compact(&mut self) -> usize {
+        let dead = self.dead_space();
+        if dead == 0 {
+            return 0;
+        }
+        let mut packed = [0u8; PAGE_SIZE];
+        let mut end = PAGE_SIZE;
+        let mut offsets = Vec::with_capacity(self.slot_count());
+        for i in 0..self.slot_count() {
+            let (off, len) = self.slot(i);
+            if len == 0 {
+                offsets.push((off, 0));
+                continue;
+            }
+            end -= len;
+            packed[end..end + len].copy_from_slice(&self.bytes[off..off + len]);
+            offsets.push((end, len));
+        }
+        self.bytes[end..PAGE_SIZE].copy_from_slice(&packed[end..PAGE_SIZE]);
+        for (i, (off, len)) in offsets.into_iter().enumerate() {
+            // Dead slots are re-pointed at the new free end: their old
+            // offsets may now sit below it, which validate() rejects.
+            let off = if len == 0 { end } else { off };
+            self.set_slot(i, off as u16, len as u16);
+        }
+        self.set_free_end(end as u16);
+        dead
+    }
+
     /// Iterates over all records in slot order (tombstones included, as
     /// empty slices — B+-tree nodes never tombstone; heap readers skip
     /// zero-length slots).
@@ -447,6 +497,54 @@ mod tests {
         // silent delete.
         assert!(p.replace_record(0, b"").is_err());
         assert!(p.is_live(0));
+    }
+
+    #[test]
+    fn compact_reclaims_tombstoned_and_leaked_cells() {
+        let mut p = Page::zeroed();
+        p.init(PageKind::Heap);
+        for i in 0..8 {
+            p.push_record(&vec![i as u8; 400]).unwrap();
+        }
+        // Tombstone half, shrink one, grow one (leaking its old cell).
+        for i in [1usize, 3, 5, 7] {
+            p.remove_record(i).unwrap();
+        }
+        assert!(p.replace_record(0, &[9u8; 100]).unwrap());
+        assert!(p.replace_record(2, &[8u8; 450]).unwrap());
+        let dead = p.dead_space();
+        assert!(dead >= 4 * 400 + 300, "dead bytes accumulated: {dead}");
+        let before: Vec<(bool, Vec<u8>)> = (0..p.slot_count())
+            .map(|i| (p.is_live(i), p.record(i).to_vec()))
+            .collect();
+        let reclaimed = p.compact();
+        assert_eq!(reclaimed, dead);
+        assert_eq!(p.dead_space(), 0);
+        p.validate().unwrap();
+        let after: Vec<(bool, Vec<u8>)> = (0..p.slot_count())
+            .map(|i| (p.is_live(i), p.record(i).to_vec()))
+            .collect();
+        assert_eq!(before, after, "compaction must not move slots");
+        assert_eq!(p.compact(), 0, "already packed");
+        // The reclaimed space is insertable again.
+        assert!(p.fits(dead - SLOT_SIZE));
+    }
+
+    #[test]
+    fn fits_after_compact_predicts_compaction() {
+        let mut p = Page::zeroed();
+        p.init(PageKind::Heap);
+        let a = p.push_record(&vec![1u8; 2000]).unwrap();
+        p.push_record(&vec![2u8; 1800]).unwrap();
+        p.remove_record(a).unwrap();
+        let big = vec![3u8; 2000];
+        assert!(!p.fits(big.len()), "no contiguous room before compaction");
+        assert!(p.fits_after_compact(big.len()));
+        p.compact();
+        let slot = p.push_record(&big).unwrap();
+        assert_eq!(p.record(slot), &big[..]);
+        assert_eq!(p.record(1), &[2u8; 1800][..], "neighbor survived");
+        p.validate().unwrap();
     }
 
     #[test]

@@ -2,17 +2,18 @@
 //!
 //! The log lives beside the database file (`<db>.wal`) — or in an
 //! anonymous byte vector for in-memory databases, so both modes run the
-//! identical commit path. It holds *page-image redo* records framed by
-//! transaction control records:
+//! identical commit path. It holds *page-image redo and undo* records
+//! framed by transaction control records:
 //!
 //! ```text
 //! file:   [magic u32][version u32]  frame*
 //! frame:  [payload length u32][crc32 of payload u32]  payload
 //! payload: tag u8, then
-//!   1 Begin   { txn u64 }
-//!   2 Update  { txn u64, page id u32, page image (PAGE_SIZE bytes) }
-//!   3 Commit  { txn u64 }
-//!   4 Abort   { txn u64 }
+//!   1 Begin     { txn u64 }
+//!   2 Update    { txn u64, page id u32, page image (PAGE_SIZE bytes) }
+//!   3 Commit    { txn u64 }
+//!   4 Abort     { txn u64 }
+//!   5 UndoImage { txn u64, page id u32, page image (PAGE_SIZE bytes) }
 //! ```
 //!
 //! Every frame is assigned a monotonically increasing LSN; Update
@@ -20,19 +21,37 @@
 //! header, so the stamp survives both in the log and in the buffer
 //! pool. The protocol (see [`crate::buffer::BufferPool`]):
 //!
-//! * **no-steal** — pages dirtied by the active transaction are never
-//!   evicted, so the database file never contains uncommitted data and
-//!   recovery needs no undo;
+//! * **steal with undo logging** — the buffer pool may evict a page an
+//!   open transaction dirtied, writing its *uncommitted* content to the
+//!   database file, but only after an `UndoImage` frame carrying the
+//!   page's pre-transaction image has been appended *and forced* (the
+//!   write-ahead rule for undo). A transaction's write set is therefore
+//!   bounded by disk, not by buffer-pool frames;
 //! * **force the log, not the pages** — commit appends
-//!   `Begin, Update…, Commit` and syncs the log; data pages are written
-//!   back lazily (eviction, flush, checkpoint);
-//! * **redo-only recovery** — [`Wal::recover`] replays the images of
-//!   every *committed* transaction in LSN order into the pager and
-//!   discards everything else: transactions without a Commit frame,
-//!   aborted transactions, and the torn tail a crash mid-append leaves
-//!   behind (detected by a short or checksum-mismatched frame);
+//!   `Begin, Update…, Commit` (including a fresh image of every page it
+//!   stole, so redo never depends on unsynced data-file writes) and
+//!   syncs the log; data pages are written back lazily (eviction,
+//!   flush, checkpoint);
+//! * **undo/redo recovery** — [`Wal::recover`] first walks the log
+//!   *backwards* applying the `UndoImage` frames of every loser
+//!   transaction (no Commit frame, or an explicit Abort), rolling
+//!   stolen uncommitted writes out of the database file, then replays
+//!   the `Update` images of every *committed* transaction forward in
+//!   LSN order. Undo-before-redo makes the two phases compose: an undo
+//!   image captured at steal time always embeds every earlier committed
+//!   write of its page, and any *later* committed rewrite replays over
+//!   the undo in the forward pass. The torn tail a crash mid-append
+//!   leaves behind is detected (short or checksum-mismatched frame)
+//!   and discarded;
+//! * **in-flight abort** — [`Wal::undo_image_at`] seek-reads single
+//!   undo frames by the byte offsets the buffer pool recorded at steal
+//!   time, so a live abort restores stolen pages (whose before-images
+//!   are no longer in memory) at a cost proportional to its stolen
+//!   set, not to the log;
 //! * **checkpoint** — after all dirty pages are written back and
-//!   synced, [`Wal::reset`] truncates the log to its header.
+//!   synced, [`Wal::reset`] truncates the log to its header. The pool
+//!   refuses checkpoints while any transaction is open, so undo images
+//!   a live abort may still need are never truncated away.
 //!
 //! Full page images are idempotent, so replaying a log whose pages were
 //! already partially flushed is safe.
@@ -48,14 +67,15 @@ const WAL_MAGIC: u32 = 0x4C57_5152; // "RQWL" little-endian
 const WAL_VERSION: u32 = 1;
 const FILE_HEADER_LEN: u64 = 8;
 const FRAME_HEADER_LEN: usize = 8;
-/// Largest legal payload: an Update frame. Anything claiming more is a
-/// torn or corrupt length field.
+/// Largest legal payload: an Update or UndoImage frame. Anything
+/// claiming more is a torn or corrupt length field.
 const MAX_PAYLOAD_LEN: usize = 1 + 8 + 4 + PAGE_SIZE;
 
 const TAG_BEGIN: u8 = 1;
 const TAG_UPDATE: u8 = 2;
 const TAG_COMMIT: u8 = 3;
 const TAG_ABORT: u8 = 4;
+const TAG_UNDO: u8 = 5;
 
 /// Cumulative logging counters, folded into
 /// [`crate::buffer::PoolStats`] so `rqs::QueryMetrics` can report the
@@ -84,6 +104,16 @@ pub enum WalRecord {
     },
     Abort {
         txn: u64,
+    },
+    /// The pre-transaction image of a page the buffer pool is about to
+    /// steal (evict while its transaction is still open). Forced before
+    /// the uncommitted page content may reach the database file;
+    /// recovery applies it — in reverse log order — for every
+    /// transaction that never committed.
+    UndoImage {
+        txn: u64,
+        page: PageId,
+        image: Box<[u8; PAGE_SIZE]>,
     },
 }
 
@@ -116,6 +146,14 @@ impl WalRecord {
                 out.extend_from_slice(&txn.to_le_bytes());
                 out
             }
+            WalRecord::UndoImage { txn, page, image } => {
+                let mut out = Vec::with_capacity(13 + PAGE_SIZE);
+                out.push(TAG_UNDO);
+                out.extend_from_slice(&txn.to_le_bytes());
+                out.extend_from_slice(&page.to_le_bytes());
+                out.extend_from_slice(&image[..]);
+                out
+            }
         }
     }
 
@@ -127,11 +165,15 @@ impl WalRecord {
             TAG_BEGIN if payload.len() == 9 => Some(WalRecord::Begin { txn }),
             TAG_COMMIT if payload.len() == 9 => Some(WalRecord::Commit { txn }),
             TAG_ABORT if payload.len() == 9 => Some(WalRecord::Abort { txn }),
-            TAG_UPDATE if payload.len() == 13 + PAGE_SIZE => {
+            TAG_UPDATE | TAG_UNDO if payload.len() == 13 + PAGE_SIZE => {
                 let page = u32::from_le_bytes(payload[9..13].try_into().expect("4 bytes"));
                 let mut image = Box::new([0u8; PAGE_SIZE]);
                 image.copy_from_slice(&payload[13..]);
-                Some(WalRecord::Update { txn, page, image })
+                if tag == TAG_UPDATE {
+                    Some(WalRecord::Update { txn, page, image })
+                } else {
+                    Some(WalRecord::UndoImage { txn, page, image })
+                }
             }
             _ => None,
         }
@@ -168,6 +210,8 @@ pub struct RecoveryReport {
     pub txns_discarded: u64,
     /// Page images written back into the database file.
     pub pages_replayed: u64,
+    /// Stolen pages of loser transactions restored from undo images.
+    pub pages_undone: u64,
     /// Whether a torn tail (short/corrupt frame) was cut off.
     pub torn_tail: bool,
 }
@@ -466,12 +510,102 @@ impl Wal {
         Ok((records, torn))
     }
 
-    /// Crash recovery: replays the page images of every committed
-    /// transaction, in log order, into `pager`; discards uncommitted
-    /// and aborted transactions and any torn tail; syncs the pager and
-    /// truncates the log (recovery ends in a checkpoint). Also restores
-    /// the LSN and transaction-id high-water marks so new log records
-    /// stay monotonic.
+    /// The undo images a transaction logged before its pages were
+    /// stolen, in log order (apply them in *reverse* to roll the
+    /// transaction back: a page stolen twice logs its layered
+    /// before-images oldest-first, and reverse application ends on the
+    /// true pre-transaction state). Scans the whole log — diagnostics
+    /// and tests; the buffer pool's in-flight abort seek-reads exactly
+    /// its own frames via [`Wal::undo_image_at`] instead.
+    #[allow(clippy::type_complexity)]
+    pub fn undo_images_for(
+        &mut self,
+        txn: u64,
+    ) -> StorageResult<Vec<(PageId, Box<[u8; PAGE_SIZE]>)>> {
+        let (records, _) = self.read_frames()?;
+        Ok(records
+            .into_iter()
+            .filter_map(|record| match record {
+                WalRecord::UndoImage {
+                    txn: t,
+                    page,
+                    image,
+                } if t == txn => Some((page, image)),
+                _ => None,
+            })
+            .collect())
+    }
+
+    /// Reads `buf.len()` bytes at frame-space offset `pos` (0 = first
+    /// byte after the file header).
+    fn read_exact_at(&mut self, pos: u64, buf: &mut [u8]) -> StorageResult<()> {
+        match &mut self.backing {
+            WalBacking::Mem(bytes) => {
+                let start = (FILE_HEADER_LEN + pos) as usize;
+                let src = bytes
+                    .get(start..start + buf.len())
+                    .ok_or_else(|| StorageError::Corrupt("log offset out of bounds".into()))?;
+                buf.copy_from_slice(src);
+            }
+            WalBacking::File(file) => {
+                file.seek(SeekFrom::Start(FILE_HEADER_LEN + pos))?;
+                file.read_exact(buf)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads the single frame starting at byte offset `offset` (the
+    /// value [`Wal::len_bytes`] returned just before its append) and
+    /// returns its undo image. The caller vouches for the offset — the
+    /// buffer pool records one per forced `UndoImage` at steal time —
+    /// and the frame's CRC still guards a mismatch, surfacing as
+    /// [`StorageError::Corrupt`]. Unlike a full log scan, the cost is
+    /// one frame, so an in-flight abort is proportional to its stolen
+    /// set and not to the log size.
+    pub fn undo_image_at(&mut self, offset: u64) -> StorageResult<(PageId, Box<[u8; PAGE_SIZE]>)> {
+        if offset >= self.live_bytes {
+            return Err(StorageError::Corrupt(format!(
+                "undo frame offset {offset} past the log end ({})",
+                self.live_bytes
+            )));
+        }
+        let mut header = [0u8; FRAME_HEADER_LEN];
+        self.read_exact_at(offset, &mut header)?;
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_PAYLOAD_LEN {
+            return Err(StorageError::Corrupt(format!(
+                "undo frame at {offset} claims {len} payload bytes"
+            )));
+        }
+        let mut payload = vec![0u8; len];
+        self.read_exact_at(offset + FRAME_HEADER_LEN as u64, &mut payload)?;
+        // Reposition file-backed logs for the next append.
+        if let WalBacking::File(file) = &mut self.backing {
+            file.seek(SeekFrom::Start(FILE_HEADER_LEN + self.live_bytes))?;
+        }
+        if crc32(&payload) != crc {
+            return Err(StorageError::Corrupt(format!(
+                "undo frame at {offset} fails its checksum"
+            )));
+        }
+        match WalRecord::decode(&payload) {
+            Some(WalRecord::UndoImage { page, image, .. }) => Ok((page, image)),
+            _ => Err(StorageError::Corrupt(format!(
+                "frame at {offset} is not an undo image"
+            ))),
+        }
+    }
+
+    /// Crash recovery, in two phases: first walk the log *backwards*
+    /// restoring the undo images of every loser transaction (stolen
+    /// uncommitted writes roll out of the database file), then replay
+    /// the page images of every committed transaction forward in log
+    /// order. Discards any torn tail; syncs the pager and truncates the
+    /// log (recovery ends in a checkpoint). Also restores the LSN and
+    /// transaction-id high-water marks so new log records stay
+    /// monotonic.
     pub fn recover(&mut self, pager: &mut Pager) -> StorageResult<RecoveryReport> {
         let (records, torn) = self.read_frames()?;
         let mut report = RecoveryReport {
@@ -487,7 +621,9 @@ impl Wal {
         let mut max_txn = 0u64;
         for record in &records {
             let txn = match record {
-                WalRecord::Begin { txn } | WalRecord::Update { txn, .. } => {
+                WalRecord::Begin { txn }
+                | WalRecord::Update { txn, .. }
+                | WalRecord::UndoImage { txn, .. } => {
                     seen.insert(*txn);
                     *txn
                 }
@@ -523,6 +659,23 @@ impl Wal {
             return Ok(report); // pristine log: nothing to replay or cut
         }
         let mut scratch = Page::zeroed();
+        // Phase 1 — undo, newest first: roll every loser's stolen pages
+        // back to their pre-transaction images. Running undo *before*
+        // redo is what makes a post-abort committed rewrite of the same
+        // page win (its Update frame replays later, in phase 2), while a
+        // steal-then-crash with no such rewrite ends on the undo image.
+        for record in records.iter().rev() {
+            if let WalRecord::UndoImage { txn, page, image } = record {
+                if replayable.contains(txn) {
+                    continue; // the thief committed: its writes stand
+                }
+                pager.ensure_page_count(page + 1)?;
+                scratch.as_bytes_mut().copy_from_slice(&image[..]);
+                pager.write(*page, &scratch)?;
+                report.pages_undone += 1;
+            }
+        }
+        // Phase 2 — redo committed transactions in LSN order.
         for record in &records {
             if let WalRecord::Update { txn, page, image } = record {
                 if !replayable.contains(txn) {
@@ -566,6 +719,13 @@ mod tests {
         }
     }
 
+    fn undo(txn: u64, page: PageId, fill: u8) -> WalRecord {
+        let WalRecord::Update { image, .. } = update(txn, page, fill) else {
+            unreachable!()
+        };
+        WalRecord::UndoImage { txn, page, image }
+    }
+
     fn temp_path(tag: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join(format!("rqs-wal-{}-{tag}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -584,6 +744,7 @@ mod tests {
         for record in [
             WalRecord::Begin { txn: 7 },
             update(7, 3, 0xab),
+            undo(7, 9, 0xcd),
             WalRecord::Commit { txn: 7 },
             WalRecord::Abort { txn: u64::MAX },
         ] {
@@ -794,6 +955,142 @@ mod tests {
         pager.read(0, &mut out).unwrap();
         assert_eq!(out.record(0), [0x44; 16]);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn undo_images_of_losers_roll_stolen_pages_back() {
+        // Loser txn 1 stole page 0 (undo image W, uncommitted content Y
+        // already in the pager); committed txn 2 owns page 1. Recovery
+        // must restore page 0 from the undo image and replay page 1.
+        let mut wal = Wal::in_memory();
+        let mut pager = Pager::in_memory();
+        // Pre-steal disk state: page 0 holds Y (the stolen write).
+        pager.ensure_page_count(1).unwrap();
+        let mut stolen = Page::zeroed();
+        stolen.init(PageKind::Heap);
+        stolen.push_record(&[0x99u8; 16]).unwrap();
+        pager.write(0, &stolen).unwrap();
+
+        wal.append(&undo(1, 0, 0x11)).unwrap();
+        wal.append(&WalRecord::Begin { txn: 2 }).unwrap();
+        wal.append(&update(2, 1, 0x22)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
+        wal.sync().unwrap();
+
+        let report = wal.recover(&mut pager).unwrap();
+        assert_eq!(report.pages_undone, 1);
+        assert_eq!(report.txns_replayed, 1);
+        let mut out = Page::zeroed();
+        pager.read(0, &mut out).unwrap();
+        assert_eq!(out.record(0), [0x11; 16], "stolen write rolled back");
+        pager.read(1, &mut out).unwrap();
+        assert_eq!(out.record(0), [0x22; 16], "committed write replayed");
+    }
+
+    #[test]
+    fn committed_thief_keeps_its_writes() {
+        // Txn 1 stole page 0 but then committed (logging a fresh image
+        // of the stolen page): the undo image must NOT be applied.
+        let mut wal = Wal::in_memory();
+        wal.append(&undo(1, 0, 0x11)).unwrap();
+        wal.append(&WalRecord::Begin { txn: 1 }).unwrap();
+        wal.append(&update(1, 0, 0x77)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+        wal.sync().unwrap();
+        let mut pager = Pager::in_memory();
+        let report = wal.recover(&mut pager).unwrap();
+        assert_eq!(report.pages_undone, 0);
+        let mut out = Page::zeroed();
+        pager.read(0, &mut out).unwrap();
+        assert_eq!(out.record(0), [0x77; 16]);
+    }
+
+    #[test]
+    fn layered_undo_images_apply_in_reverse_to_the_oldest() {
+        // A page stolen twice by the same loser logs two undo images:
+        // first the true pre-transaction state, then the mid-transaction
+        // state of the second steal. Reverse application must end on the
+        // oldest.
+        let mut wal = Wal::in_memory();
+        wal.append(&undo(1, 0, 0xaa)).unwrap(); // pre-txn state
+        wal.append(&undo(1, 0, 0xbb)).unwrap(); // mid-txn state
+        wal.sync().unwrap();
+        let mut pager = Pager::in_memory();
+        let report = wal.recover(&mut pager).unwrap();
+        assert_eq!(report.pages_undone, 2);
+        let mut out = Page::zeroed();
+        pager.read(0, &mut out).unwrap();
+        assert_eq!(out.record(0), [0xaa; 16], "must end on the oldest image");
+    }
+
+    #[test]
+    fn committed_rewrite_after_an_aborted_steal_wins() {
+        // Loser txn 1 stole page 0 (was aborted in flight and restored
+        // in memory); txn 2 then rewrote the page and committed. Redo
+        // runs after undo, so txn 2's image must be the final state.
+        let mut wal = Wal::in_memory();
+        wal.append(&undo(1, 0, 0x11)).unwrap();
+        wal.append(&WalRecord::Begin { txn: 2 }).unwrap();
+        wal.append(&update(2, 0, 0x55)).unwrap();
+        wal.append(&WalRecord::Commit { txn: 2 }).unwrap();
+        wal.sync().unwrap();
+        let mut pager = Pager::in_memory();
+        let report = wal.recover(&mut pager).unwrap();
+        assert_eq!((report.pages_undone, report.pages_replayed), (1, 1));
+        let mut out = Page::zeroed();
+        pager.read(0, &mut out).unwrap();
+        assert_eq!(out.record(0), [0x55; 16]);
+    }
+
+    #[test]
+    fn undo_image_at_seek_reads_one_frame_amid_appends() {
+        // File-backed: the seek-read must not derail subsequent appends
+        // (the append cursor is repositioned to the log end).
+        let path = temp_path("undo-at");
+        let _ = std::fs::remove_file(&path);
+        let mut wal = Wal::open(&path, None).unwrap();
+        wal.append(&WalRecord::Begin { txn: 1 }).unwrap();
+        let off_a = wal.len_bytes();
+        wal.append(&undo(1, 5, 0x5a)).unwrap();
+        let off_b = wal.len_bytes();
+        wal.append(&undo(1, 6, 0x6b)).unwrap();
+        wal.sync().unwrap();
+        let (page, image) = wal.undo_image_at(off_a).unwrap();
+        assert_eq!(page, 5);
+        let mut p = Page::zeroed();
+        p.as_bytes_mut().copy_from_slice(&image[..]);
+        assert_eq!(p.record(0), [0x5a; 16]);
+        // Appends after the seek-read land on clean frame boundaries.
+        wal.append(&WalRecord::Commit { txn: 1 }).unwrap();
+        wal.sync().unwrap();
+        let (page, _) = wal.undo_image_at(off_b).unwrap();
+        assert_eq!(page, 6);
+        // A non-undo frame (offset 0 is the Begin) and an out-of-range
+        // offset both error instead of returning garbage.
+        assert!(wal.undo_image_at(0).is_err());
+        assert!(wal.undo_image_at(1 << 40).is_err());
+        let mut pager = Pager::in_memory();
+        let report = wal.recover(&mut pager).unwrap();
+        assert!(
+            !report.torn_tail,
+            "appends after seek-reads stay well-formed"
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn undo_images_for_returns_one_transactions_images_in_order() {
+        let mut wal = Wal::in_memory();
+        wal.append(&undo(1, 3, 0x31)).unwrap();
+        wal.append(&undo(2, 4, 0x42)).unwrap();
+        wal.append(&undo(1, 5, 0x51)).unwrap();
+        let images = wal.undo_images_for(1).unwrap();
+        assert_eq!(images.len(), 2);
+        assert_eq!((images[0].0, images[1].0), (3, 5));
+        let mut page = Page::zeroed();
+        page.as_bytes_mut().copy_from_slice(&images[0].1[..]);
+        assert_eq!(page.record(0), [0x31; 16]);
+        assert!(wal.undo_images_for(9).unwrap().is_empty());
     }
 
     #[test]

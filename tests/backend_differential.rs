@@ -7,8 +7,10 @@
 //!    `tests/rqs_reference.rs` (restrictions with every comparison
 //!    operator, equijoins, theta joins, DISTINCT, UNION, `[NOT] IN`
 //!    subqueries, DELETE/reload, index creation mid-stream) executed on
-//!    both backends with an 8-page buffer pool — far smaller than the
-//!    data — comparing results statement by statement;
+//!    both backends with a buffer pool far smaller than the data
+//!    (16 frames by default; `RQS_TEST_POOL_FRAMES` pins CI's
+//!    pool-pressure run to the 8-frame floor, forcing steals) —
+//!    comparing results statement by statement;
 //! 2. randomly generated data + conjunctive queries over the same `r`/`s`
 //!    schema, with and without indexes, comparing result multisets;
 //! 3. the paper's own workload from `tests/paper_examples.rs` run through
@@ -19,10 +21,24 @@ use prolog_front_end::pfe_core::{views, Session};
 use proptest::test_runner::TestRng;
 use rqs::Database;
 
+/// Buffer-pool frames for the paged backend: a comfortable 16 by
+/// default, overridden by `RQS_TEST_POOL_FRAMES` — CI's pool-pressure
+/// step pins the engine's 8-frame floor so every whole-table statement
+/// in the corpus exercises the steal (undo-logging) eviction path.
+fn pool_frames() -> usize {
+    std::env::var("RQS_TEST_POOL_FRAMES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16)
+}
+
 fn make_backends() -> Vec<(&'static str, Database)> {
     vec![
         ("in-memory", Database::new()),
-        ("paged", Database::paged(8).expect("paged database")),
+        (
+            "paged",
+            Database::paged(pool_frames()).expect("paged database"),
+        ),
     ]
 }
 
@@ -216,6 +232,40 @@ fn update_and_predicated_delete_corpus_agrees_across_backends() {
         corpus.push(stmt.into());
         corpus.extend(probes.iter().map(|p| p.to_string()));
     }
+    // A table far wider than the default 8-frame pool (~15 pages of
+    // padded rows): the whole-table rewrite used to be the one pinned
+    // parity exception (paged failed pool-exhausted where in-memory
+    // succeeded). With steal/undo logging both backends succeed
+    // identically — and the statement now exercises the steal path on
+    // every differential run.
+    corpus.push("CREATE TABLE wide (k INT, pad TEXT)".into());
+    for chunk in 0..4 {
+        let rows: Vec<String> = (0..40)
+            .map(|i| format!("({}, '{}')", chunk * 40 + i, "w".repeat(350)))
+            .collect();
+        corpus.push(format!("INSERT INTO wide VALUES {}", rows.join(", ")));
+    }
+    corpus.push(format!("UPDATE wide SET pad = '{}'", "W".repeat(360)));
+    corpus.push("SELECT v.k, v.pad FROM wide v".into());
+    corpus.push("DELETE FROM wide WHERE k >= 80".into());
+    corpus.push(format!(
+        "UPDATE wide SET pad = '{}' WHERE k < 80",
+        "x".repeat(20)
+    ));
+    corpus.push("SELECT v.k, v.pad FROM wide v".into());
+    // Bare DELETE (truncation) now carries restrict semantics: a parent
+    // that referencing children still point at refuses to truncate on
+    // both backends; the child truncates freely, then the parent does.
+    // (empl was truncated by the dml block above, so re-reference dept
+    // first.)
+    corpus.push("INSERT INTO dept VALUES (7, 'annex')".into());
+    corpus.push("INSERT INTO empl VALUES (500, 'z', 20000, 7)".into());
+    corpus.push("DELETE FROM dept".into());
+    corpus.push("SELECT v.dno, v.fct FROM dept v".into());
+    corpus.push("DELETE FROM empl".into());
+    corpus.push("DELETE FROM dept".into());
+    corpus.push("SELECT v.dno FROM dept v".into());
+    corpus.push("SELECT v.eno FROM empl v".into());
 
     let mut backends = make_backends();
     for sql in &corpus {
@@ -449,8 +499,25 @@ fn paper_pipeline_agrees_across_backends() {
         paged_pages_touched > 0,
         "paged backend reported no page activity across the whole workload"
     );
-    // DML through the coupling layer (intermediate relations) also agrees.
-    let del_mem = mem.coupler_mut().rqs.execute("DELETE FROM empl").unwrap();
-    let del_paged = paged.coupler_mut().rqs.execute("DELETE FROM empl").unwrap();
+    // DML through the coupling layer also agrees — including the new
+    // truncation restrict rule: `dept.mgr` references `empl.eno` and
+    // `empl.dno` references `dept.dno`, so the bare DELETE of either
+    // table is refused identically on both backends while the other
+    // still points at it.
+    for table in ["empl", "dept"] {
+        let sql = format!("DELETE FROM {table}");
+        let del_mem = mem.coupler_mut().rqs.execute(&sql);
+        let del_paged = paged.coupler_mut().rqs.execute(&sql);
+        assert!(
+            del_mem.is_err() && del_paged.is_err(),
+            "truncating referenced {table} must be refused on both backends"
+        );
+    }
+    // Unreferenced rows still delete identically through a predicate
+    // (dept.mgr points at empl 1 and 2 only).
+    let sql = "DELETE FROM empl WHERE eno > 2";
+    let del_mem = mem.coupler_mut().rqs.execute(sql).unwrap();
+    let del_paged = paged.coupler_mut().rqs.execute(sql).unwrap();
     assert_eq!(del_mem.affected, del_paged.affected);
+    assert_eq!(del_mem.affected, 3);
 }

@@ -319,6 +319,70 @@ fn write_skew_probe_under_explicit_transactions() {
     assert_eq!(a + b, 1, "write skew: {a} + {b} rows violate the invariant");
 }
 
+/// Steal meets 2PL: one session's open transaction rewrites a table
+/// far wider than the buffer pool, so its *uncommitted* pages are
+/// stolen into the database file — while other sessions concurrently
+/// read the same table. No reader may ever observe the uncommitted
+/// rewrite: the writer's exclusive table lock keeps the stolen bytes
+/// unreachable (younger readers die retryably, older ones wait), and
+/// after the writer aborts, recovery-undo-grade rollback restores the
+/// original rows for everyone.
+#[test]
+fn stolen_uncommitted_pages_are_never_read_by_other_sessions() {
+    let db = shared(8); // tiny pool: the rewrite below must steal
+    {
+        let mut setup = db.session();
+        setup.execute("CREATE TABLE t (k INT, pad TEXT)").unwrap();
+        for chunk in 0..4 {
+            let rows: Vec<String> = (chunk * 40..(chunk + 1) * 40)
+                .map(|i| format!("({i}, '{}')", "o".repeat(350)))
+                .collect();
+            setup
+                .execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+                .unwrap();
+        }
+    }
+    let mut writer = db.session();
+    writer.execute("BEGIN").unwrap();
+    let r = writer
+        .execute(&format!("UPDATE t SET pad = '{}'", "S".repeat(350)))
+        .unwrap();
+    assert_eq!(r.affected, 160, "~15 dirty pages under an 8-frame pool");
+    std::thread::scope(|scope| {
+        for _ in 0..2 {
+            let db = db.clone();
+            scope.spawn(move || {
+                let mut s = db.session();
+                for _ in 0..40 {
+                    match s.execute("SELECT v.pad FROM t v") {
+                        Ok(r) => {
+                            assert_eq!(r.rows.len(), 160);
+                            assert!(
+                                r.rows
+                                    .iter()
+                                    .all(|row| row[0].as_text().unwrap().starts_with('o')),
+                                "dirty read of stolen uncommitted pages"
+                            );
+                        }
+                        Err(e) => assert!(e.is_retryable(), "unexpected: {e}"),
+                    }
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+        }
+        // Hold the exclusive lock while the readers hammer, then abort:
+        // the stolen pages roll back from their logged undo images.
+        std::thread::sleep(Duration::from_millis(5));
+        writer.execute("ROLLBACK").unwrap();
+    });
+    let r = db.session().execute("SELECT v.pad FROM t v").unwrap();
+    assert_eq!(r.rows.len(), 160);
+    assert!(r
+        .rows
+        .iter()
+        .all(|row| row[0].as_text().unwrap().starts_with('o')));
+}
+
 /// The acceptance scenario: two in-flight transactions at the moment of
 /// the crash; after recovery exactly the committed one survives.
 #[test]

@@ -43,6 +43,31 @@ fn cleanup(path: &Path) {
     let _ = std::fs::remove_file(wal_path(path));
 }
 
+/// Buffer-pool frames for the scenarios, `RQS_TEST_POOL_FRAMES`
+/// overriding `default`. CI's pool-pressure step pins this to the
+/// engine's 8-frame floor so whole-table statements must steal
+/// (spill uncommitted pages with undo logging) at every crash point.
+fn pool_frames(default: usize) -> usize {
+    std::env::var("RQS_TEST_POOL_FRAMES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Multi-row INSERT statements filling `table` with `rows` padded rows
+/// (~11 per 4 KiB page), so whole-table DML dirties far more pages
+/// than a small pool holds.
+fn wide_fill(table: &str, rows: usize, fill: &str) -> Vec<String> {
+    (0..rows.div_ceil(40))
+        .map(|chunk| {
+            let vals: Vec<String> = (chunk * 40..((chunk + 1) * 40).min(rows))
+                .map(|i| format!("({i}, '{}')", fill.repeat(350)))
+                .collect();
+            format!("INSERT INTO {table} VALUES {}", vals.join(", "))
+        })
+        .collect()
+}
+
 /// Sorted rows of every table, keyed by table name.
 fn full_state(db: &Database) -> BTreeMap<String, Vec<Tuple>> {
     let mut out = BTreeMap::new();
@@ -132,6 +157,18 @@ fn scripted_workload() -> Vec<String> {
         "DROP TABLE scratch".to_string(),
         "INSERT INTO empl VALUES (100, 'late', 20000, 2)".to_string(),
     ]);
+    // Steal territory: a table of ~11 padded pages, then whole-table
+    // rewrites whose write sets exceed the 8-frame pool — every crash
+    // point in here exercises steal, commit-time redo of stolen pages,
+    // and recovery undo.
+    script.push("CREATE TABLE wide (k INT, pad TEXT)".to_string());
+    script.extend(wide_fill("wide", 120, "a"));
+    script.push(format!("UPDATE wide SET pad = '{}'", "b".repeat(355)));
+    script.push("DELETE FROM wide WHERE k >= 60".to_string());
+    script.push(format!(
+        "UPDATE wide SET pad = '{}' WHERE k < 60",
+        "c".repeat(340)
+    ));
     script
 }
 
@@ -178,9 +215,10 @@ fn assert_constraints_still_enforced(db: &mut Database) {
 #[test]
 fn every_crash_point_recovers_the_committed_prefix() {
     let script = scripted_workload();
+    let pool = pool_frames(8);
     for crash_at in 0..=script.len() {
         let path = temp_db("script");
-        let mut db = Database::open_paged(&path, 16).unwrap();
+        let mut db = Database::open_paged(&path, pool).unwrap();
         let mut oracle = Database::new();
         for stmt in &script[..crash_at] {
             let a = db.execute(stmt).expect("scripted statement succeeds");
@@ -189,7 +227,7 @@ fn every_crash_point_recovers_the_committed_prefix() {
         }
         // Crash: buffered pages are lost, only the WAL survives.
         db.crash();
-        let mut recovered = Database::open_paged(&path, 16).unwrap();
+        let mut recovered = Database::open_paged(&path, pool).unwrap();
         assert_eq!(
             full_state(&recovered),
             full_state(&oracle),
@@ -364,6 +402,101 @@ fn constraints_survive_reopen_without_ddl() {
         assert_eq!(db.backend().scan("empl").unwrap().len(), 2, "crash={crash}");
         cleanup(&path);
     }
+}
+
+// ---------------------------------------------------------------------
+// Steal: crashes between steal, commit, and recovery undo
+// ---------------------------------------------------------------------
+
+/// Tentpole acceptance: a transaction whose write set exceeds the
+/// buffer pool steals pages (uncommitted bytes reach the database
+/// file). A crash *before* COMMIT must recover the pre-transaction
+/// state through the logged undo images; the same crash *after* COMMIT
+/// must keep the whole rewrite (stolen pages were re-logged as redo at
+/// commit).
+#[test]
+fn crash_between_steal_and_commit_rolls_stolen_pages_back() {
+    for commit_first in [false, true] {
+        let path = temp_db("steal");
+        {
+            let shared = server::SharedDatabase::open(&path, 8).unwrap();
+            {
+                let mut setup = shared.session();
+                setup.execute("CREATE TABLE t (k INT, pad TEXT)").unwrap();
+                for stmt in wide_fill("t", 160, "o") {
+                    setup.execute(&stmt).unwrap();
+                }
+            }
+            let mut s = shared.session();
+            s.execute("BEGIN").unwrap();
+            let r = s
+                .execute(&format!("UPDATE t SET pad = '{}'", "N".repeat(350)))
+                .unwrap();
+            assert_eq!(r.affected, 160, "~15 pages dirty under an 8-frame pool");
+            if commit_first {
+                s.execute("COMMIT").unwrap();
+            }
+            shared.crash().unwrap();
+            drop(s);
+        }
+        let db = Database::open_paged(&path, 8).unwrap();
+        let rows = db.backend().scan("t").unwrap();
+        assert_eq!(rows.len(), 160, "commit_first={commit_first}");
+        let want = if commit_first { 'N' } else { 'o' };
+        assert!(
+            rows.iter()
+                .all(|r| r[1].as_text().unwrap().starts_with(want)),
+            "commit_first={commit_first}: stolen writes must {} the crash",
+            if commit_first {
+                "survive"
+            } else {
+                "not survive"
+            }
+        );
+        cleanup(&path);
+    }
+}
+
+/// Crash mid-undo: the in-flight ROLLBACK of a stolen transaction hits
+/// injected I/O failures while restoring pages, then the process dies.
+/// The undo images are still in the log (checkpoints are refused while
+/// a transaction is open), so recovery completes the rollback.
+#[test]
+fn crash_mid_rollback_of_stolen_transaction_recovers() {
+    let path = temp_db("mid-undo");
+    let fault = Fault::new();
+    {
+        let backend = PagedBackend::open_with_fault(&path, 8, fault.clone()).unwrap();
+        let shared =
+            server::SharedDatabase::from_database(Database::from_paged_backend(backend).unwrap());
+        {
+            let mut setup = shared.session();
+            setup.execute("CREATE TABLE t (k INT, pad TEXT)").unwrap();
+            for stmt in wide_fill("t", 160, "o") {
+                setup.execute(&stmt).unwrap();
+            }
+        }
+        let mut s = shared.session();
+        s.execute("BEGIN").unwrap();
+        s.execute(&format!("UPDATE t SET pad = '{}'", "Z".repeat(350)))
+            .unwrap();
+        // The rollback's page restores run against a dying disk: some
+        // land, the rest fail (best-effort). Then the power goes out.
+        fault.fail_after_writes(2);
+        let _ = s.execute("ROLLBACK");
+        fault.heal();
+        shared.crash().unwrap();
+        drop(s);
+    }
+    let db = Database::open_paged(&path, 8).unwrap();
+    let rows = db.backend().scan("t").unwrap();
+    assert_eq!(rows.len(), 160);
+    assert!(
+        rows.iter()
+            .all(|r| r[1].as_text().unwrap().starts_with('o')),
+        "recovery must finish the interrupted rollback"
+    );
+    cleanup(&path);
 }
 
 // ---------------------------------------------------------------------
@@ -567,6 +700,18 @@ fn op_strategy() -> impl Strategy<Value = String> {
             "DELETE FROM s WHERE b >= {b} AND b < {b2}"
         )),
         1 => (0i64..10,).prop_map(|(k,)| format!("DELETE FROM u WHERE k = {k}")),
+        // The wide table: padded multi-row inserts grow it past a small
+        // pool fast, and the whole-table rewrite then steals at every
+        // random crash point.
+        3 => (0i64..50, "[a-z]").prop_map(|(k, c)| {
+            let rows: Vec<String> = (k..k + 15)
+                .map(|i| format!("({i}, '{}')", c.repeat(700)))
+                .collect();
+            format!("INSERT INTO w VALUES {}", rows.join(", "))
+        }),
+        2 => "[a-z]".prop_map(|c| format!("UPDATE w SET pad = '{}'", c.repeat(690))),
+        1 => (0i64..50,).prop_map(|(k,)| format!("DELETE FROM w WHERE k < {k}")),
+        1 => Just("DELETE FROM w".to_string()),
     ]
 }
 
@@ -586,10 +731,11 @@ proptest! {
             "CREATE TABLE r (a INT, b INT, c TEXT)",
             "CREATE TABLE s (b INT, d TEXT)",
             "CREATE TABLE u (k INT, PRIMARY KEY (k))",
+            "CREATE TABLE w (k INT, pad TEXT)",
         ];
         let crash_at = crash_at.min(ops.len());
         let path = temp_db("prop");
-        let mut db = Database::open_paged(&path, 12).unwrap();
+        let mut db = Database::open_paged(&path, pool_frames(12)).unwrap();
         let mut oracle = Database::new();
         for stmt in setup.iter().map(|s| s.to_string()).chain(ops[..crash_at].iter().cloned()) {
             let a = db.execute(&stmt);
@@ -605,7 +751,7 @@ proptest! {
             }
         }
         db.crash();
-        let recovered = Database::open_paged(&path, 12).unwrap();
+        let recovered = Database::open_paged(&path, pool_frames(12)).unwrap();
         prop_assert_eq!(full_state(&recovered), full_state(&oracle));
         assert_heap_index_agree(&recovered, "r", &[0, 1, 2]);
         assert_heap_index_agree(&recovered, "s", &[0, 1]);
