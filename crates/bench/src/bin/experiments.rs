@@ -4,6 +4,12 @@
 //!
 //! Run with: `cargo run -p pfe-bench --bin experiments` (add `--release`
 //! for representative timings).
+//!
+//! With `--json <path>` the storage/concurrency/DML sections (S1, S2,
+//! S3) additionally write their headline numbers as a schema-stable
+//! JSON document — the benchmark trajectory committed to the repo as
+//! `BENCH_experiments.json` and schema-checked in CI (keys must match;
+//! values are machine-dependent).
 
 use coupling::multi::{analyze_batch, BatchDisposition};
 use coupling::recursion::{
@@ -30,7 +36,115 @@ fn measured(text: &str) {
     println!("measured: {text}");
 }
 
+/// One JSON value of the benchmark trajectory (hand-rolled: the
+/// workspace carries no serialization dependency).
+enum JsonVal {
+    U(u64),
+    F(f64),
+    S(String),
+    Obj(JsonObj),
+}
+
+/// An insertion-ordered JSON object. Order is part of the committed
+/// schema, so the file diffs cleanly run over run.
+#[derive(Default)]
+struct JsonObj(Vec<(&'static str, JsonVal)>);
+
+impl JsonObj {
+    fn u(mut self, key: &'static str, v: u64) -> Self {
+        self.0.push((key, JsonVal::U(v)));
+        self
+    }
+
+    fn f(mut self, key: &'static str, v: f64) -> Self {
+        self.0.push((key, JsonVal::F(v)));
+        self
+    }
+
+    fn s(mut self, key: &'static str, v: &str) -> Self {
+        self.0.push((key, JsonVal::S(v.to_owned())));
+        self
+    }
+
+    fn obj(mut self, key: &'static str, v: JsonObj) -> Self {
+        self.0.push((key, JsonVal::Obj(v)));
+        self
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        out.push_str("{\n");
+        let pad = "  ".repeat(indent + 1);
+        for (i, (key, val)) in self.0.iter().enumerate() {
+            out.push_str(&pad);
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\": ");
+            match val {
+                JsonVal::U(v) => out.push_str(&v.to_string()),
+                // Finite with a fixed number of decimals: always valid JSON.
+                JsonVal::F(v) => {
+                    out.push_str(&format!("{:.3}", if v.is_finite() { *v } else { 0.0 }))
+                }
+                JsonVal::S(v) => {
+                    out.push('"');
+                    for c in v.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            '\n' => out.push_str("\\n"),
+                            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                JsonVal::Obj(v) => v.render_into(out, indent + 1),
+            }
+            out.push_str(if i + 1 < self.0.len() { ",\n" } else { "\n" });
+        }
+        out.push_str(&"  ".repeat(indent));
+        out.push('}');
+    }
+
+    fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out.push('\n');
+        out
+    }
+}
+
+/// The engine-wide counter snapshot as a JSON object, one key per
+/// counter in registry order (the names are the schema).
+fn metrics_json(snap: storage::MetricsSnapshot) -> JsonObj {
+    snap.counters()
+        .into_iter()
+        .fold(JsonObj::default(), |obj, (name, value)| {
+            let mut obj = obj;
+            obj.0.push((name, JsonVal::U(value)));
+            obj
+        })
+}
+
 fn main() {
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<std::path::PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("--json needs a path argument");
+                    std::process::exit(2);
+                });
+                json_path = Some(path.into());
+            }
+            other => {
+                eprintln!("unknown argument: {other} (supported: --json <path>)");
+                std::process::exit(2);
+            }
+        }
+    }
+
     println!("Reproduction harness for:");
     println!("  Jarke, Clifford, Vassiliou — An Optimizing Prolog Front-End to a");
     println!("  Relational Query System (SIGMOD 1984)");
@@ -50,9 +164,24 @@ fn main() {
     x3_stepwise();
     x4_multi_query();
     a1_ablation();
-    s1_storage();
-    s2_concurrency();
-    s3_update();
+    let s1 = s1_storage();
+    let s2 = s2_concurrency();
+    let s3 = s3_update();
+
+    if let Some(path) = json_path {
+        let doc = JsonObj::default()
+            .s("paper", "conf_sigmod_JarkeCV84")
+            .s("binary", "experiments")
+            .obj("s1_storage", s1)
+            .obj("s2_concurrency", s2)
+            .obj("s3_update", s3)
+            .render();
+        std::fs::write(&path, doc).unwrap_or_else(|e| {
+            eprintln!("cannot write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        println!("\nwrote benchmark trajectory to {}", path.display());
+    }
 }
 
 /// F1 — Figure 1: the four-phase architecture, with per-phase latency.
@@ -292,7 +421,7 @@ fn e6_2_simplification() {
 }
 
 /// S1 — the paged storage engine itself: buffer pool + B+-tree payoff.
-fn s1_storage() {
+fn s1_storage() -> JsonObj {
     header(
         "S1",
         "Paged storage engine — page I/O under an 8-page buffer pool",
@@ -385,10 +514,28 @@ fn s1_storage() {
         range_indexed.metrics.rows_scanned,
         range_scan.metrics.page_reads - range_indexed.metrics.page_reads,
     ));
+    JsonObj::default()
+        .u("rows_loaded", n as u64)
+        .u("pool_pages", 8)
+        .u("load_wal_appends", load_wal_appends)
+        .u("load_wal_bytes", load_wal_bytes)
+        .u("point_fullscan_page_reads", scan.metrics.page_reads)
+        .u("point_indexed_page_reads", indexed.metrics.page_reads)
+        .u(
+            "point_page_reads_saved",
+            scan.metrics.page_reads - indexed.metrics.page_reads,
+        )
+        .u("range_fullscan_page_reads", range_scan.metrics.page_reads)
+        .u("range_indexed_page_reads", range_indexed.metrics.page_reads)
+        .u(
+            "range_page_reads_saved",
+            range_scan.metrics.page_reads - range_indexed.metrics.page_reads,
+        )
+        .obj("engine_metrics", metrics_json(db.backend().metrics()))
 }
 
 /// S2 — the shared server: N concurrent sessions on one database.
-fn s2_concurrency() {
+fn s2_concurrency() -> JsonObj {
     use server::SharedDatabase;
     use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -457,11 +604,13 @@ fn s2_concurrency() {
     });
     let hot_spin = t0.elapsed();
     let backoff_retries = AtomicU64::new(0);
+    let backoff_sleep_nanos = AtomicU64::new(0);
     let t0 = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..threads {
             let shared = shared.clone();
             let backoff_retries = &backoff_retries;
+            let backoff_sleep_nanos = &backoff_sleep_nanos;
             scope.spawn(move || {
                 let mut s = shared.session();
                 let mut backoff = server::Backoff::new(t as u64);
@@ -475,6 +624,8 @@ fn s2_concurrency() {
                     .expect("insert runs");
                 }
                 backoff_retries.fetch_add(backoff.total_retries(), Ordering::Relaxed);
+                backoff_sleep_nanos
+                    .fetch_add(backoff.total_sleep().as_nanos() as u64, Ordering::Relaxed);
             });
         }
     });
@@ -504,10 +655,37 @@ fn s2_concurrency() {
         2 * total_rows,
         secs_budget.elapsed(),
     ));
+    let lock_metrics = shared.metrics().expect("server metrics");
+    JsonObj::default()
+        .u("threads", threads as u64)
+        .u("inserts_per_thread", per_thread as u64)
+        .f(
+            "disjoint_stmts_per_sec",
+            total_rows as f64 / disjoint.as_secs_f64(),
+        )
+        .f(
+            "hot_spin_stmts_per_sec",
+            total_rows as f64 / hot_spin.as_secs_f64(),
+        )
+        .u("hot_spin_retries", spin_retries.load(Ordering::Relaxed))
+        .f(
+            "hot_backoff_stmts_per_sec",
+            total_rows as f64 / hot_backoff.as_secs_f64(),
+        )
+        .u(
+            "hot_backoff_retries",
+            backoff_retries.load(Ordering::Relaxed),
+        )
+        .u(
+            "hot_backoff_sleep_nanos",
+            backoff_sleep_nanos.load(Ordering::Relaxed),
+        )
+        .u("lock_waits", lock_metrics.lock_waits)
+        .u("lock_wait_die_aborts", lock_metrics.lock_wait_die_aborts)
 }
 
 /// S3 — predicated UPDATE/DELETE: access-path cost and throughput.
-fn s3_update() {
+fn s3_update() -> JsonObj {
     header(
         "S3",
         "UPDATE / predicated DELETE — indexed vs full-scan predicates",
@@ -600,6 +778,25 @@ fn s3_update() {
         iters as f64 / elapsed.as_secs_f64(),
         elapsed,
     ));
+    let engine = db.backend().metrics();
+    JsonObj::default()
+        .u("rows", n as u64)
+        .u("point_update_fullscan_pages", touched(&full.metrics))
+        .u("point_update_indexed_pages", touched(&indexed.metrics))
+        .u("ranged_delete_rows", del.affected as u64)
+        .u("ranged_delete_wal_appends", del.metrics.wal_appends)
+        .u("rewrite_rows", rewrite.affected as u64)
+        .u(
+            "rewrite_page_writes",
+            after_pages.page_writes - before_pages.page_writes,
+        )
+        .u("rewrite_steals", engine.steals)
+        .u("rewrite_wal_appends", rewrite.metrics.wal_appends)
+        .u("rewrite_wal_undo_images", engine.wal_undo_images)
+        .f(
+            "counter_updates_per_sec",
+            iters as f64 / elapsed.as_secs_f64(),
+        )
 }
 
 /// E6-b — §6.1 value bounds and inequality simplification.

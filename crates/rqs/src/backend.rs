@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::path::Path;
 use storage::engine::ColType;
-use storage::{Fault, PoolStats, StorageEngine, StorageError};
+use storage::{Fault, MetricsSnapshot, PoolStats, StorageEngine, StorageError};
 
 impl From<StorageError> for RqsError {
     fn from(e: StorageError) -> RqsError {
@@ -128,6 +128,13 @@ pub trait StorageBackend: Send {
 
     /// Cumulative physical I/O counters (all zero for in-memory).
     fn stats(&self) -> PoolStats;
+
+    /// Engine-wide observability snapshot: every storage-layer counter
+    /// (buffer pool, WAL, access methods). All zero for in-memory, so
+    /// both backends answer the `STATS` surface uniformly.
+    fn metrics(&self) -> MetricsSnapshot {
+        MetricsSnapshot::default()
+    }
 
     /// Writes dirty pages back to durable storage (no-op in-memory).
     fn flush(&self) -> RqsResult<()> {
@@ -242,6 +249,34 @@ pub enum AccessPath {
     KeyRange(usize, Bound<Datum>, Bound<Datum>),
     /// A contradictory predicate: no row can match.
     Nothing,
+}
+
+impl std::fmt::Display for AccessPath {
+    /// EXPLAIN's rendering of the access-path choice, shared by SELECT
+    /// annotations and the UPDATE/DELETE plans.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn side(f: &mut std::fmt::Formatter<'_>, b: &Bound<Datum>, open: bool) -> std::fmt::Result {
+            match (b, open) {
+                (Bound::Included(v), true) => write!(f, "[{v}"),
+                (Bound::Excluded(v), true) => write!(f, "({v}"),
+                (Bound::Unbounded, true) => write!(f, "(-inf"),
+                (Bound::Included(v), false) => write!(f, "{v}]"),
+                (Bound::Excluded(v), false) => write!(f, "{v})"),
+                (Bound::Unbounded, false) => write!(f, "+inf)"),
+            }
+        }
+        match self {
+            AccessPath::FullScan => write!(f, "FullScan"),
+            AccessPath::KeyEq(col, key) => write!(f, "IndexEq col#{col} = {key}"),
+            AccessPath::KeyRange(col, lower, upper) => {
+                write!(f, "IndexRange col#{col} in ")?;
+                side(f, lower, true)?;
+                write!(f, ", ")?;
+                side(f, upper, false)
+            }
+            AccessPath::Nothing => write!(f, "Nothing (contradictory predicate)"),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -882,6 +917,10 @@ impl StorageBackend for PagedBackend {
 
     fn stats(&self) -> PoolStats {
         self.engine.pool_stats()
+    }
+
+    fn metrics(&self) -> MetricsSnapshot {
+        self.engine.metrics()
     }
 
     fn flush(&self) -> RqsResult<()> {

@@ -66,6 +66,11 @@ pub(crate) fn run_txn<T>(
 pub struct Database {
     catalog: Catalog,
     backend: Box<dyn StorageBackend>,
+    /// Work counters of the most recent `execute` call. Unlike the copy
+    /// in [`QueryResult`], this is filled even when the statement
+    /// returned an error — pages it touched before failing were real
+    /// work and must not vanish from the account.
+    last_metrics: QueryMetrics,
 }
 
 impl Default for Database {
@@ -89,6 +94,7 @@ impl Database {
         Database {
             catalog: Catalog::new(),
             backend: Box::new(InMemoryBackend::new()),
+            last_metrics: QueryMetrics::default(),
         }
     }
 
@@ -98,6 +104,7 @@ impl Database {
         Ok(Database {
             catalog: Catalog::new(),
             backend: Box::new(PagedBackend::in_memory(pool_pages)?),
+            last_metrics: QueryMetrics::default(),
         })
     }
 
@@ -140,6 +147,7 @@ impl Database {
         Ok(Database {
             catalog,
             backend: Box::new(backend),
+            last_metrics: QueryMetrics::default(),
         })
     }
 
@@ -148,6 +156,7 @@ impl Database {
         Database {
             catalog: Catalog::new(),
             backend,
+            last_metrics: QueryMetrics::default(),
         }
     }
 
@@ -242,10 +251,54 @@ impl Database {
     /// Executes one SQL statement. Mutating statements run as one WAL
     /// transaction on paged backends: either every effect (rows, index
     /// postings, catalog mutations) commits durably, or none do.
+    ///
+    /// Every call — successful or not — leaves its work counters
+    /// (phase timings, page I/O deltas) in
+    /// [`Database::last_statement_metrics`].
     pub fn execute(&mut self, sql_text: &str) -> RqsResult<QueryResult> {
-        let stmt = sql::parse_statement(sql_text)?;
+        let started = std::time::Instant::now();
         let io_before = self.backend.stats();
-        let mut result = match stmt {
+        let parsed = sql::parse_statement(sql_text);
+        let parse_nanos = started.elapsed().as_nanos() as u64;
+        let exec_started = std::time::Instant::now();
+        let mut outcome = match parsed {
+            Ok(stmt) => self.run_statement(stmt),
+            Err(e) => Err(e),
+        };
+        let exec_nanos = exec_started.elapsed().as_nanos() as u64;
+        // Backfill I/O deltas and timings into BOTH outcomes: a failed
+        // statement still reports the pages it touched before erroring.
+        let io_after = self.backend.stats();
+        let mut err_metrics = QueryMetrics::default();
+        let metrics = match &mut outcome {
+            Ok(result) => &mut result.metrics,
+            Err(_) => &mut err_metrics,
+        };
+        metrics.parse_nanos = parse_nanos;
+        metrics.exec_nanos = exec_nanos;
+        metrics.elapsed_nanos = started.elapsed().as_nanos() as u64;
+        metrics.wal_appends = io_after.wal_appends - io_before.wal_appends;
+        metrics.wal_bytes = io_after.wal_bytes - io_before.wal_bytes;
+        if metrics.page_reads == 0 && metrics.buffer_hits == 0 {
+            // DML statements: page counters were not filled by a SELECT.
+            metrics.page_reads = io_after.page_reads - io_before.page_reads;
+            metrics.buffer_hits = io_after.buffer_hits - io_before.buffer_hits;
+        }
+        self.last_metrics = metrics.clone();
+        outcome
+    }
+
+    /// Work counters of the most recent [`Database::execute`] call,
+    /// including calls that returned an error (successful calls also
+    /// carry a copy in their [`QueryResult`]).
+    pub fn last_statement_metrics(&self) -> &QueryMetrics {
+        &self.last_metrics
+    }
+
+    /// Dispatches one parsed statement (the body of [`Database::execute`],
+    /// split out so timing and I/O accounting wrap every path).
+    fn run_statement(&mut self, stmt: Statement) -> RqsResult<QueryResult> {
+        match stmt {
             Statement::CreateTable {
                 name,
                 columns,
@@ -354,27 +407,85 @@ impl Database {
                 Ok(QueryResult::default())
             }
             Statement::Select(select) => self.run_select(&select),
-            Statement::Explain(select) => {
-                let text = self.explain_select(&select)?;
-                Ok(QueryResult {
-                    columns: vec!["plan".into()],
-                    rows: text
-                        .lines()
-                        .map(|l| vec![crate::value::Datum::text(l)])
-                        .collect(),
-                    ..Default::default()
-                })
-            }
-        }?;
-        let io_after = self.backend.stats();
-        result.metrics.wal_appends = io_after.wal_appends - io_before.wal_appends;
-        result.metrics.wal_bytes = io_after.wal_bytes - io_before.wal_bytes;
-        if result.metrics.page_reads == 0 && result.metrics.buffer_hits == 0 {
-            // DML statements: page counters were not filled by a SELECT.
-            result.metrics.page_reads = io_after.page_reads - io_before.page_reads;
-            result.metrics.buffer_hits = io_after.buffer_hits - io_before.buffer_hits;
+            Statement::Explain { analyze, stmt } => self.run_explain(analyze, *stmt),
         }
-        Ok(result)
+    }
+
+    /// `EXPLAIN [ANALYZE]` dispatch: renders the plan of the inner
+    /// statement as text rows (and, under ANALYZE, actually runs it and
+    /// annotates the plan with measured work).
+    fn run_explain(&mut self, analyze: bool, stmt: Statement) -> RqsResult<QueryResult> {
+        let text = match (stmt, analyze) {
+            (Statement::Select(select), false) => self.explain_select(&select)?,
+            (Statement::Select(select), true) => self.explain_analyze_select(&select)?,
+            (Statement::Update { table, filter, .. }, false) => crate::dml::explain_dml(
+                &self.catalog,
+                self.backend.as_ref(),
+                "Update",
+                &table,
+                &filter,
+            )?,
+            (
+                Statement::Delete {
+                    table,
+                    filter: Some(conds),
+                },
+                false,
+            ) => crate::dml::explain_dml(
+                &self.catalog,
+                self.backend.as_ref(),
+                "Delete",
+                &table,
+                &conds,
+            )?,
+            (
+                Statement::Delete {
+                    table,
+                    filter: None,
+                },
+                false,
+            ) => {
+                // The truncation fast path never scans: one backend call.
+                self.catalog.table(&table)?;
+                format!("Delete {table} [unfiltered]\n  Truncate\n")
+            }
+            _ => {
+                return Err(RqsError::Syntax(
+                    "EXPLAIN ANALYZE accepts only SELECT".into(),
+                ))
+            }
+        };
+        Ok(QueryResult {
+            columns: vec!["plan".into()],
+            rows: text
+                .lines()
+                .map(|l| vec![crate::value::Datum::text(l)])
+                .collect(),
+            ..Default::default()
+        })
+    }
+
+    /// Runs the SELECT, then renders its plan annotated with measured
+    /// totals (`EXPLAIN ANALYZE`). The `Actual:` lines use stable
+    /// `key=value` tokens so tests and tools can parse them.
+    fn explain_analyze_select(&self, select: &sql::SelectStmt) -> RqsResult<String> {
+        let run_started = std::time::Instant::now();
+        let result = self.run_select(select)?;
+        let elapsed_us = run_started.elapsed().as_micros();
+        let mut text = self.explain_select(select)?;
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        let m = &result.metrics;
+        text.push_str(&format!(
+            "Actual: rows={} elapsed_us={elapsed_us}\n",
+            result.rows.len()
+        ));
+        text.push_str(&format!(
+            "Actual: page_reads={} buffer_hits={} rows_scanned={} scans={}\n",
+            m.page_reads, m.buffer_hits, m.rows_scanned, m.scans
+        ));
+        Ok(text)
     }
 
     /// Executes a SELECT without requiring `&mut self`.
@@ -402,12 +513,39 @@ impl Database {
         })
     }
 
-    /// Renders the physical plan the optimizer would choose for a SELECT.
+    /// Renders the physical plan the optimizer would choose for a
+    /// SELECT, or the access path a predicated UPDATE/DELETE would use.
     pub fn explain(&self, sql_text: &str) -> RqsResult<String> {
-        let Statement::Select(select) = sql::parse_statement(sql_text)? else {
-            return Err(RqsError::Syntax("EXPLAIN accepts only SELECT".into()));
-        };
-        self.explain_select(&select)
+        match sql::parse_statement(sql_text)? {
+            Statement::Select(select) => self.explain_select(&select),
+            Statement::Update { table, filter, .. } => crate::dml::explain_dml(
+                &self.catalog,
+                self.backend.as_ref(),
+                "Update",
+                &table,
+                &filter,
+            ),
+            Statement::Delete {
+                table,
+                filter: Some(conds),
+            } => crate::dml::explain_dml(
+                &self.catalog,
+                self.backend.as_ref(),
+                "Delete",
+                &table,
+                &conds,
+            ),
+            Statement::Delete {
+                table,
+                filter: None,
+            } => {
+                self.catalog.table(&table)?;
+                Ok(format!("Delete {table} [unfiltered]\n  Truncate\n"))
+            }
+            _ => Err(RqsError::Syntax(
+                "EXPLAIN accepts only SELECT, UPDATE, or DELETE".into(),
+            )),
+        }
     }
 
     fn explain_select(&self, select: &sql::SelectStmt) -> RqsResult<String> {

@@ -458,6 +458,28 @@ fn check_delete_constraints(
     Ok(())
 }
 
+/// Renders the plan `EXPLAIN UPDATE`/`EXPLAIN DELETE` shows: the exact
+/// access path `execute_update`/`execute_delete` would choose for the
+/// same predicate (they share `resolve_filter` + `choose_access`),
+/// without mutating anything.
+pub(crate) fn explain_dml(
+    catalog: &Catalog,
+    backend: &dyn StorageBackend,
+    verb: &str,
+    table_name: &str,
+    filter: &[Condition],
+) -> RqsResult<String> {
+    catalog.table(table_name)?;
+    let (restrictions, self_conds) = resolve_filter(catalog, backend, table_name, filter)?;
+    let restriction_refs: Vec<&Restriction> = restrictions.iter().collect();
+    let access = exec::choose_access(backend, table_name, &restriction_refs);
+    Ok(format!(
+        "{verb} {table_name} [{} restriction(s), {} self cond(s)]\n  {access}\n",
+        restrictions.len(),
+        self_conds.len(),
+    ))
+}
+
 /// Executes `UPDATE table SET … [WHERE …]`, returning the row count.
 pub(crate) fn execute_update(
     catalog: &Catalog,

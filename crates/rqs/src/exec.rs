@@ -39,6 +39,17 @@ pub struct QueryMetrics {
     pub wal_appends: u64,
     /// WAL bytes appended, frame headers included (paged backend DML).
     pub wal_bytes: u64,
+    /// Wall-clock of the whole statement (parse through result),
+    /// nanoseconds. Filled by `Database::execute`.
+    pub elapsed_nanos: u64,
+    /// Time spent parsing the SQL text, nanoseconds.
+    pub parse_nanos: u64,
+    /// Time spent in resolve + plan (every core and UNION arm),
+    /// nanoseconds. Accumulated by [`run_core`].
+    pub plan_nanos: u64,
+    /// Time spent executing the statement (for queries this includes
+    /// planning; `plan_nanos` isolates it), nanoseconds.
+    pub exec_nanos: u64,
 }
 
 impl QueryMetrics {
@@ -55,6 +66,10 @@ impl QueryMetrics {
         self.buffer_hits += other.buffer_hits;
         self.wal_appends += other.wal_appends;
         self.wal_bytes += other.wal_bytes;
+        self.elapsed_nanos += other.elapsed_nanos;
+        self.parse_nanos += other.parse_nanos;
+        self.plan_nanos += other.plan_nanos;
+        self.exec_nanos += other.exec_nanos;
     }
 }
 
@@ -106,8 +121,10 @@ pub fn run_core(
     core: &SelectCore,
     metrics: &mut QueryMetrics,
 ) -> RqsResult<Relation> {
+    let planning = std::time::Instant::now();
     let resolved = plan::resolve(snap, core)?;
     let physical = plan::plan(resolved);
+    metrics.plan_nanos += planning.elapsed().as_nanos() as u64;
     run_physical(snap, &physical, metrics)
 }
 

@@ -276,8 +276,14 @@ pub enum Statement {
         name: String,
     },
     Select(SelectStmt),
-    /// `EXPLAIN SELECT …` — returns the chosen physical plan as text rows.
-    Explain(SelectStmt),
+    /// `EXPLAIN [ANALYZE] SELECT …` / `EXPLAIN UPDATE|DELETE …` —
+    /// returns the chosen plan as text rows. With `analyze` the inner
+    /// statement (SELECT only) also runs and the plan is annotated with
+    /// actual row counts, page I/O, and elapsed time.
+    Explain {
+        analyze: bool,
+        stmt: Box<Statement>,
+    },
 }
 
 #[cfg(test)]

@@ -133,7 +133,22 @@ impl Parser {
             return Ok(Statement::DropTable { name });
         }
         if self.eat_kw("EXPLAIN") {
-            return Ok(Statement::Explain(self.select_stmt()?));
+            let analyze = self.eat_kw("ANALYZE");
+            let inner = self.statement()?;
+            match &inner {
+                Statement::Select(_) => {}
+                Statement::Update { .. } | Statement::Delete { .. } if !analyze => {}
+                Statement::Update { .. } | Statement::Delete { .. } => {
+                    return Err(self.err("EXPLAIN ANALYZE accepts only SELECT"));
+                }
+                _ => {
+                    return Err(self.err("EXPLAIN accepts only SELECT, UPDATE, or DELETE"));
+                }
+            }
+            return Ok(Statement::Explain {
+                analyze,
+                stmt: Box::new(inner),
+            });
         }
         if self.peek().is_some_and(|t| t.is_kw("SELECT")) {
             return Ok(Statement::Select(self.select_stmt()?));

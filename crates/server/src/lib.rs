@@ -57,7 +57,7 @@ pub mod retry;
 pub use retry::Backoff;
 
 use rqs::sql::{SelectStmt, Statement};
-use rqs::{Catalog, Database, QueryResult, RqsError, TableConstraint};
+use rqs::{Catalog, Database, Datum, QueryResult, RqsError, TableConstraint};
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -172,7 +172,20 @@ impl SharedDatabase {
         ServerSession {
             shared: Arc::clone(&self.inner),
             txn: None,
+            stats: SessionStats::default(),
         }
+    }
+
+    /// Engine-wide counter snapshot: the database's storage metrics
+    /// merged with the server's lock-manager metrics (the two
+    /// registries count disjoint events).
+    pub fn metrics(&self) -> ServerResult<storage::MetricsSnapshot> {
+        let engine = {
+            let slot = db_slot(&self.inner.db);
+            let db = slot.as_ref().ok_or(ServerError::Closed)?;
+            db.backend().metrics()
+        };
+        Ok(engine.merge(self.inner.locks.metrics()))
     }
 
     /// Runs `f` with the underlying database (test assertions, ops).
@@ -211,11 +224,27 @@ struct OpenTxn {
     txn: u64,
 }
 
+/// Per-session observability counters, reported by the `STATS` verb
+/// alongside the engine-wide snapshot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Statements this session executed (SQL and session-control verbs,
+    /// `STATS` itself included).
+    pub statements: u64,
+    /// Wait-die losses retried through [`retry::execute_with_backoff`].
+    pub retries: u64,
+    /// Total nanoseconds slept in backoff between those retries.
+    pub backoff_sleep_nanos: u64,
+    /// Explicit transactions rolled back by a statement failure.
+    pub txn_aborts: u64,
+}
+
 /// One client's connection state: autocommit by default, or an explicit
 /// transaction between `BEGIN` and `COMMIT`/`ROLLBACK`.
 pub struct ServerSession {
     shared: Arc<Shared>,
     txn: Option<OpenTxn>,
+    stats: SessionStats,
 }
 
 impl ServerSession {
@@ -224,9 +253,12 @@ impl ServerSession {
         self.txn.is_some()
     }
 
-    /// Executes one statement: SQL, or the session-control verbs
-    /// `BEGIN` / `COMMIT` / `ROLLBACK` (alias `ABORT`).
+    /// Executes one statement: SQL, the session-control verbs
+    /// `BEGIN` / `COMMIT` / `ROLLBACK` (alias `ABORT`), or `STATS`
+    /// (engine-wide counter snapshot plus this session's counters, as
+    /// `counter`/`value` rows).
     pub fn execute(&mut self, sql: &str) -> ServerResult<QueryResult> {
+        self.stats.statements += 1;
         let verb = sql
             .split_whitespace()
             .next()
@@ -236,8 +268,54 @@ impl ServerSession {
             "BEGIN" => self.begin(),
             "COMMIT" | "END" => self.commit(),
             "ROLLBACK" | "ABORT" => self.rollback(),
+            "STATS" => self.stats_rows(),
             _ => self.statement(sql),
         }
+    }
+
+    /// This session's observability counters.
+    pub fn session_stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    /// Bookkeeping for [`retry::execute_with_backoff`]: one wait-die
+    /// loss slept through.
+    pub(crate) fn note_retry(&mut self, slept: Duration) {
+        self.stats.retries += 1;
+        self.stats.backoff_sleep_nanos += slept.as_nanos() as u64;
+    }
+
+    /// The `STATS` verb: every engine-wide counter (storage registry
+    /// merged with the lock manager's) followed by this session's own
+    /// counters, one `counter`/`value` row each — the line protocol
+    /// carries it like any other query result.
+    fn stats_rows(&mut self) -> ServerResult<QueryResult> {
+        let engine = {
+            let slot = db_slot(&self.shared.db);
+            let db = slot.as_ref().ok_or(ServerError::Closed)?;
+            db.backend().metrics()
+        };
+        let merged = engine.merge(self.shared.locks.metrics());
+        let session = [
+            ("session_statements", self.stats.statements),
+            ("session_retries", self.stats.retries),
+            (
+                "session_backoff_sleep_nanos",
+                self.stats.backoff_sleep_nanos,
+            ),
+            ("session_txn_aborts", self.stats.txn_aborts),
+        ];
+        let rows = merged
+            .counters()
+            .into_iter()
+            .chain(session)
+            .map(|(name, value)| vec![Datum::text(name), Datum::Int(value as i64)])
+            .collect();
+        Ok(QueryResult {
+            columns: vec!["counter".into(), "value".into()],
+            rows,
+            ..Default::default()
+        })
     }
 
     fn begin(&mut self) -> ServerResult<QueryResult> {
@@ -381,6 +459,7 @@ impl ServerSession {
     /// from it once several statements share one WAL transaction).
     fn fail(&mut self, owner: u64, e: RqsError) -> ServerResult<QueryResult> {
         if let Some(open) = self.txn.take() {
+            self.stats.txn_aborts += 1;
             if let Some(db) = db_slot(&self.shared.db).as_mut() {
                 db.abort_session_txn(open.txn);
             }
@@ -427,10 +506,17 @@ fn lock_plan(stmt: &Statement, catalog: &Catalog) -> BTreeMap<String, LockMode> 
         plan.entry(table.to_owned()).or_insert(LockMode::Shared);
     };
     match stmt {
-        Statement::Select(s) | Statement::Explain(s) => {
+        Statement::Select(s) => {
             let mut tables = Vec::new();
             collect_select_tables(s, &mut tables);
             for t in tables {
+                read(&mut plan, &t);
+            }
+        }
+        Statement::Explain { stmt, .. } => {
+            // EXPLAIN never mutates (ANALYZE is SELECT-only), so every
+            // table the inner statement would touch is only read here.
+            for t in lock_plan(stmt, catalog).into_keys() {
                 read(&mut plan, &t);
             }
         }

@@ -29,6 +29,7 @@ pub struct Backoff {
     attempt: u32,
     state: u64,
     total_retries: u64,
+    total_sleep: Duration,
 }
 
 impl Backoff {
@@ -50,6 +51,7 @@ impl Backoff {
             attempt: 0,
             state: seed ^ 0x9e37_79b9_7f4a_7c15,
             total_retries: 0,
+            total_sleep: Duration::ZERO,
         }
     }
 
@@ -75,7 +77,9 @@ impl Backoff {
         self.total_retries += 1;
         let half = ceil / 2;
         let jittered = half + self.next_u64() % (ceil - half + 1);
-        Duration::from_nanos(jittered)
+        let delay = Duration::from_nanos(jittered);
+        self.total_sleep += delay;
+        delay
     }
 
     /// Ends the current conflict streak (the statement went through):
@@ -87,6 +91,12 @@ impl Backoff {
     /// Cumulative retries this instance has slept through.
     pub fn total_retries(&self) -> u64 {
         self.total_retries
+    }
+
+    /// Cumulative time this instance has scheduled to sleep (the sum of
+    /// every [`Backoff::next_delay`] handed out).
+    pub fn total_sleep(&self) -> Duration {
+        self.total_sleep
     }
 }
 
@@ -115,7 +125,9 @@ pub fn execute_with_backoff(
             Err(e @ ServerError::RolledBack(_)) => return Err(e),
             Err(e) if e.is_retryable() && retries < max_retries => {
                 retries += 1;
-                std::thread::sleep(backoff.next_delay());
+                let delay = backoff.next_delay();
+                session.note_retry(delay);
+                std::thread::sleep(delay);
             }
             Err(e) => return Err(e),
         }

@@ -24,6 +24,7 @@
 use crate::buffer::BufferPool;
 use crate::codec::{decode_datum, encode_key};
 use crate::heap::Rid;
+use crate::metrics::bump;
 use crate::page::{Page, PageId, PageKind, NO_PAGE};
 use crate::value::Datum;
 use crate::{StorageError, StorageResult};
@@ -161,6 +162,7 @@ impl BPlusTree {
             key: encode_key(key),
             rid,
         };
+        bump(&pool.metrics().btree_descents);
         // Descend, remembering the path for split propagation.
         let mut path: Vec<PageId> = Vec::new();
         let mut current = self.root;
@@ -192,6 +194,7 @@ impl BPlusTree {
                 }
                 None => {
                     // Root split: new internal root over old root + new child.
+                    bump(&pool.metrics().btree_splits);
                     let (new_root, guard) = pool.allocate(PageKind::BTreeInternal)?;
                     guard.with_mut(|p| {
                         p.set_extra(self.root);
@@ -227,6 +230,7 @@ impl BPlusTree {
             return Ok(None);
         }
         // Split: collect all entries plus the new one, redistribute.
+        bump(&pool.metrics().btree_splits);
         let (mut entries, old_next) = guard.with(|p| -> StorageResult<_> {
             let mut es = Vec::with_capacity(p.slot_count() + 1);
             for record in p.records() {
@@ -280,6 +284,7 @@ impl BPlusTree {
             return Ok(None);
         }
         // Split. children = [leftmost, e0.child, e1.child, ...].
+        bump(&pool.metrics().btree_splits);
         let (mut entries, leftmost) = guard.with(|p| -> StorageResult<_> {
             let mut es = Vec::with_capacity(p.slot_count() + 1);
             for record in p.records() {
@@ -323,6 +328,7 @@ impl BPlusTree {
     /// trees outright), space recovers on the next rebuild.
     pub fn delete(&mut self, pool: &BufferPool, key: &Datum, rid: Rid) -> StorageResult<bool> {
         let target = encode_key(key);
+        bump(&pool.metrics().btree_descents);
         // Descend to the leftmost leaf that could hold the key.
         let mut current = self.root;
         loop {
@@ -387,6 +393,7 @@ impl BPlusTree {
     /// All rids posted under `key`, in insertion-stable (key, rid) order.
     pub fn lookup(&self, pool: &BufferPool, key: &Datum) -> StorageResult<Vec<Rid>> {
         let target = encode_key(key);
+        bump(&pool.metrics().btree_descents);
         // Descend to the leftmost leaf that could hold the key.
         let mut current = self.root;
         loop {
@@ -455,6 +462,7 @@ impl BPlusTree {
             Bound::Included(d) | Bound::Excluded(d) => Some(encode_key(d)),
             Bound::Unbounded => None,
         };
+        bump(&pool.metrics().btree_descents);
         // Descend to the leftmost leaf that could hold the lower bound
         // (the leftmost leaf outright when unbounded below).
         let mut current = self.root;

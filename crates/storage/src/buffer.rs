@@ -67,6 +67,7 @@
 //! `rqs::QueryMetrics` so benchmarks can report saved page I/O — the
 //! paper's actual cost model — and what durability costs next to it.
 
+use crate::metrics::{bump, StorageMetrics};
 use crate::page::{Page, PageId, PageKind, NO_PAGE, PAGE_SIZE};
 use crate::pager::Pager;
 use crate::wal::{Wal, WalRecord};
@@ -204,6 +205,9 @@ struct Inner {
     /// process lifetime: the log still holds the images, so crash
     /// recovery repairs what the live abort could not.
     undo_incomplete: bool,
+    /// The observability registry ([`crate::metrics`]); shared with the
+    /// WAL and handed out by [`BufferPool::metrics`].
+    metrics: Arc<StorageMetrics>,
 }
 
 /// A page pinned in the pool. Dropping the guard unpins it.
@@ -243,6 +247,10 @@ pub struct BufferPool {
     /// reaching back into the pool.
     active: Arc<AtomicU64>,
     capacity: usize,
+    /// Lock-free handle on the same registry `Inner` carries, so the
+    /// access methods (heap, B+-tree) can count through the pool they
+    /// already hold without taking the pool mutex.
+    metrics: Arc<StorageMetrics>,
 }
 
 impl BufferPool {
@@ -258,7 +266,11 @@ impl BufferPool {
         Self::build(pager, Some(wal), capacity)
     }
 
-    fn build(pager: Pager, wal: Option<Wal>, capacity: usize) -> BufferPool {
+    fn build(pager: Pager, mut wal: Option<Wal>, capacity: usize) -> BufferPool {
+        let metrics = Arc::new(StorageMetrics::default());
+        if let Some(wal) = wal.as_mut() {
+            wal.set_metrics(Arc::clone(&metrics));
+        }
         BufferPool {
             inner: Mutex::new(Inner {
                 pager,
@@ -273,10 +285,19 @@ impl BufferPool {
                 stolen_by: HashMap::new(),
                 pending_undo: HashMap::new(),
                 undo_incomplete: false,
+                metrics: Arc::clone(&metrics),
             }),
             active: Arc::new(AtomicU64::new(0)),
             capacity: capacity.max(2),
+            metrics,
         }
+    }
+
+    /// The pool's observability registry ([`crate::metrics`]): shared
+    /// with the WAL, incremented by the pool internals and by the
+    /// access methods running over this pool.
+    pub fn metrics(&self) -> &Arc<StorageMetrics> {
+        &self.metrics
     }
 
     pub fn capacity(&self) -> usize {
@@ -877,17 +898,20 @@ impl BufferPool {
     ) -> StorageResult<Arc<Mutex<Frame>>> {
         if let Some(&slot) = inner.map.get(&id) {
             inner.stats.buffer_hits += 1;
+            bump(&inner.metrics.buffer_hits);
             let frame = Arc::clone(&inner.frames[slot]);
             lock(&frame).referenced = true;
             return Ok(frame);
         }
         inner.stats.page_reads += 1;
+        bump(&inner.metrics.fault_ins);
         let mut page = Page::zeroed();
         let mut dirty = false;
         match inner.pending_undo.remove(&id) {
             // An aborted restore that never reached the disk: the
             // correct image is carried here instead of the file.
             Some(image) => {
+                bump(&inner.metrics.pending_undo_restores);
                 page = image;
                 dirty = true;
             }
@@ -933,6 +957,7 @@ impl BufferPool {
         for _ in 0..3 * n {
             let slot = inner.hand;
             inner.hand = (inner.hand + 1) % n;
+            bump(&inner.metrics.clock_sweeps);
             let candidate = Arc::clone(&inner.frames[slot]);
             if Arc::strong_count(&candidate) > 2 {
                 continue; // pinned by a live guard (pool + candidate + guard)
@@ -960,6 +985,7 @@ impl BufferPool {
                 let Frame { id, ref page, .. } = *victim;
                 inner.pager.write(id, page)?;
             }
+            bump(&inner.metrics.evictions);
             let old_id = victim.id;
             drop(victim);
             inner.map.remove(&old_id);
@@ -1035,6 +1061,7 @@ impl BufferPool {
             victim.before = None;
             victim.dirty = false;
         }
+        bump(&inner.metrics.steals);
         inner.stolen_by.insert(id, owner);
         if let Some(ctx) = inner.txns.get_mut(&owner) {
             ctx.stolen.push(id);
@@ -1065,6 +1092,7 @@ impl BufferPool {
                 inner.pending_undo.insert(pid, page);
                 return Err(e);
             }
+            bump(&inner.metrics.pending_undo_restores);
         }
         let frames: Vec<Arc<Mutex<Frame>>> = inner.frames.iter().map(Arc::clone).collect();
         for frame in frames {

@@ -51,6 +51,7 @@ use crate::btree::BPlusTree;
 use crate::buffer::{BufferPool, PoolStats, TxnId};
 use crate::codec::{decode_tuple, encode_tuple};
 use crate::heap::{HeapFile, Rid};
+use crate::metrics::MetricsSnapshot;
 use crate::page::{PageId, PageKind, NO_PAGE};
 use crate::pager::{Fault, Pager};
 use crate::value::{Datum, Tuple};
@@ -223,7 +224,7 @@ impl StorageEngine {
     ) -> StorageResult<StorageEngine> {
         // Crash recovery first: replay committed transactions into the
         // pager, discard torn tails, checkpoint.
-        wal.recover(&mut pager)?;
+        let report = wal.recover(&mut pager)?;
         let fresh = pager.page_count() == 0;
         // Write sets may exceed the pool now that eviction steals (undo
         // logging spills uncommitted pages to disk), but multi-page
@@ -231,6 +232,18 @@ impl StorageEngine {
         // splits, bootstrap — so tiny pools are clamped to a floor that
         // leaves headroom beyond the pinned set.
         let pool = BufferPool::with_wal(pager, pool_pages.max(8), wal);
+        // Recovery ran before the pool (and its registry) existed;
+        // record what it did so the counts survive into snapshots.
+        {
+            use std::sync::atomic::Ordering;
+            let metrics = pool.metrics();
+            metrics
+                .recovery_redo_frames
+                .store(report.pages_replayed, Ordering::Relaxed);
+            metrics
+                .recovery_undo_frames
+                .store(report.pages_undone, Ordering::Relaxed);
+        }
         if fresh {
             // The bootstrap heaps (and the meta page anchoring the
             // free-page list) are created inside a transaction so a
@@ -415,6 +428,12 @@ impl StorageEngine {
 
     pub fn pool_stats(&self) -> PoolStats {
         self.pool.stats()
+    }
+
+    /// Snapshot of the engine-wide observability counters (buffer pool,
+    /// WAL, access methods, last recovery) — see [`crate::metrics`].
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.pool.metrics().snapshot()
     }
 
     /// Pages currently reusable on the persistent free list.

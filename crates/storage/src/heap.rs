@@ -25,6 +25,7 @@
 //! (the engine snapshots them alongside its catalog).
 
 use crate::buffer::BufferPool;
+use crate::metrics::bump;
 use crate::page::{PageId, PageKind, NO_PAGE};
 use crate::{StorageError, StorageResult};
 
@@ -92,9 +93,11 @@ impl HeapFile {
     /// A tail page whose dead bytes (tombstones, leaked rewrites) would
     /// make the record fit is compacted in place instead of spilling.
     pub fn insert(&mut self, pool: &BufferPool, record: &[u8]) -> StorageResult<Rid> {
+        bump(&pool.metrics().heap_inserts);
         let tail = pool.fetch(self.last)?;
         if tail.with(|p| !p.fits(record.len()) && p.fits_after_compact(record.len())) {
             tail.with_mut(|p| p.compact())?;
+            bump(&pool.metrics().heap_compactions);
         }
         if tail.with(|p| p.fits(record.len())) {
             let slot = tail.with_mut(|p| p.push_record(record))??;
@@ -188,6 +191,7 @@ impl HeapFile {
     /// record re-appended at the chain tail — the caller must repost
     /// every index entry pointing at the old rid.
     pub fn update(&mut self, pool: &BufferPool, rid: Rid, record: &[u8]) -> StorageResult<Rid> {
+        bump(&pool.metrics().heap_rewrites);
         let guard = pool.fetch(rid.page)?;
         if !guard.with(|p| p.is_live(rid.slot as usize)) {
             return Err(StorageError::Corrupt(format!(
@@ -204,6 +208,7 @@ impl HeapFile {
         // `record.len()` bytes of post-compaction free space.
         if guard.with(|p| p.dead_space() > 0 && p.free_space() + p.dead_space() >= record.len()) {
             guard.with_mut(|p| p.compact())?;
+            bump(&pool.metrics().heap_compactions);
             if guard.with_mut(|p| p.replace_record(rid.slot as usize, record))?? {
                 return Ok(rid);
             }

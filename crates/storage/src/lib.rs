@@ -16,6 +16,10 @@
 //!   `buffer_hits`, and grouping mutations into WAL transactions;
 //! * [`wal`] — the write-ahead log: checksummed page-image redo frames
 //!   with Begin/Commit/Abort framing and redo-only crash recovery;
+//! * [`metrics`] — the engine-wide observability registry: cumulative
+//!   atomic counters incremented by the pool, WAL, lock manager and
+//!   access methods, snapshotable for the server's `STATS` surface and
+//!   the benchmark JSON emitter;
 //! * [`heap`] — linked heap files of tuple pages (table storage);
 //! * [`btree`] — B+-tree secondary indexes keyed on [`value::Datum`],
 //!   mapping keys to record ids;
@@ -65,6 +69,7 @@ pub mod codec;
 pub mod engine;
 pub mod heap;
 pub mod lock;
+pub mod metrics;
 pub mod page;
 pub mod pager;
 pub mod value;
@@ -73,6 +78,7 @@ pub mod wal;
 pub use buffer::{BufferPool, PoolStats, TxnId};
 pub use engine::{ColType, StorageEngine};
 pub use lock::{LockManager, LockMode};
+pub use metrics::{MetricsSnapshot, StorageMetrics};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::Fault;
 pub use value::{Datum, Tuple};

@@ -27,6 +27,7 @@
 //! the sole holder and otherwise follow the same wait-die rule against
 //! the other holders.
 
+use crate::metrics::{add, bump, MetricsSnapshot, StorageMetrics};
 use crate::{StorageError, StorageResult};
 use std::collections::HashMap;
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
@@ -52,6 +53,10 @@ pub struct LockManager {
     state: Mutex<LockState>,
     released: Condvar,
     timeout: Duration,
+    /// Contention counters ([`crate::metrics`]). The lock manager is
+    /// not tied to a buffer pool, so it keeps its own registry; the
+    /// server merges this snapshot with the engine's.
+    metrics: StorageMetrics,
 }
 
 impl Default for LockManager {
@@ -77,7 +82,14 @@ impl LockManager {
             state: Mutex::new(LockState::default()),
             released: Condvar::new(),
             timeout,
+            metrics: StorageMetrics::default(),
         }
+    }
+
+    /// Snapshot of the contention counters (only the `lock_*` fields
+    /// are ever non-zero here).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// Acquires (or upgrades to) `mode` on `resource` for `owner`,
@@ -103,11 +115,16 @@ impl LockManager {
                 .collect();
             if conflicting.is_empty() {
                 holders.insert(owner, mode);
+                bump(match mode {
+                    LockMode::Shared => &self.metrics.lock_shared,
+                    LockMode::Exclusive => &self.metrics.lock_exclusive,
+                });
                 return Ok(());
             }
             // Wait-die: only an owner older than every conflicting
             // holder may wait; a younger one dies so no cycle can form.
             if conflicting.iter().any(|&holder| holder < owner) {
+                bump(&self.metrics.lock_wait_die_aborts);
                 return Err(StorageError::Conflict(format!(
                     "wait-die: transaction {owner} is younger than a holder of '{resource}'"
                 )));
@@ -118,10 +135,15 @@ impl LockManager {
                     "timed out waiting for lock on '{resource}'"
                 )));
             }
+            bump(&self.metrics.lock_waits);
             let (next, timed_out) = self
                 .released
                 .wait_timeout(state, deadline - now)
                 .unwrap_or_else(PoisonError::into_inner);
+            add(
+                &self.metrics.lock_wait_nanos,
+                now.elapsed().as_nanos() as u64,
+            );
             state = next;
             if timed_out.timed_out() {
                 return Err(StorageError::Conflict(format!(

@@ -1,0 +1,194 @@
+//! Engine-wide observability: a registry of cumulative atomic counters.
+//!
+//! The paper's optimizer justifies itself by *measured* cost, so the
+//! storage layer keeps a running account of everything it does. One
+//! [`StorageMetrics`] registry is created per [`crate::buffer::BufferPool`]
+//! (shared with the WAL via `Arc`) and incremented, lock-free, from
+//! every hot path:
+//!
+//! * **buffer pool** ([`crate::buffer`]) — fault-ins, hits, clock-sweep
+//!   steps, evictions, steals, pending-undo restores;
+//! * **write-ahead log** ([`crate::wal`]) — appends, bytes, forced
+//!   fsyncs, undo images, checkpoints, plus the redo/undo page-image
+//!   counts of the last crash recovery (recorded by the engine from the
+//!   [`crate::wal::RecoveryReport`]);
+//! * **lock manager** ([`crate::lock`]) — grants by mode, waits,
+//!   wait-die aborts, total nanoseconds spent blocked (the lock manager
+//!   owns its *own* registry — it is not tied to a pool — and the
+//!   server merges the two snapshots);
+//! * **access methods** ([`crate::heap`], [`crate::btree`], routed
+//!   through the pool they already receive) — heap inserts, in-place
+//!   rewrites/relocations, page compactions, B+-tree splits and
+//!   root-to-leaf descents.
+//!
+//! Reading is always a [`StorageMetrics::snapshot`]: a plain `Copy`
+//! struct whose [`MetricsSnapshot::counters`] method yields stable
+//! `(name, value)` pairs — the single source of truth for the server's
+//! `STATS` wire rows and the benchmark JSON emitter, so the catalog
+//! cannot drift between surfaces. Counters use relaxed ordering: they
+//! are statistics, not synchronization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Adds one to a counter (relaxed; these are statistics).
+#[inline]
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Adds `n` to a counter (relaxed).
+#[inline]
+pub fn add(counter: &AtomicU64, n: u64) {
+    counter.fetch_add(n, Ordering::Relaxed);
+}
+
+macro_rules! counters {
+    ($($(#[$doc:meta])* $name:ident,)+) => {
+        /// The live registry: one `AtomicU64` per counter. See the
+        /// module docs for who increments what.
+        #[derive(Debug, Default)]
+        pub struct StorageMetrics {
+            $($(#[$doc])* pub $name: AtomicU64,)+
+        }
+
+        /// A point-in-time copy of every counter.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct MetricsSnapshot {
+            $($(#[$doc])* pub $name: u64,)+
+        }
+
+        impl StorageMetrics {
+            /// Copies every counter (relaxed loads; per-counter atomic,
+            /// not a consistent cut — fine for statistics).
+            pub fn snapshot(&self) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name.load(Ordering::Relaxed),)+
+                }
+            }
+        }
+
+        impl MetricsSnapshot {
+            /// Counter names in declaration order — the wire/JSON schema.
+            pub const NAMES: &'static [&'static str] = &[$(stringify!($name),)+];
+
+            /// `(name, value)` pairs in declaration order; every surface
+            /// (STATS rows, bench JSON) renders from this one list.
+            pub fn counters(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($name), self.$name),)+]
+            }
+
+            /// Field-wise sum — merges registries that count disjoint
+            /// events (the engine's pool/WAL registry and the server's
+            /// lock-manager registry).
+            pub fn merge(self, other: MetricsSnapshot) -> MetricsSnapshot {
+                MetricsSnapshot {
+                    $($name: self.$name + other.$name,)+
+                }
+            }
+        }
+    };
+}
+
+counters! {
+    /// Pages faulted in from the pager (buffer-pool misses).
+    fault_ins,
+    /// Fetches served from a resident frame (buffer-pool hits).
+    buffer_hits,
+    /// Clock-hand steps taken while hunting for an eviction victim.
+    clock_sweeps,
+    /// Frames evicted by the plain clock (pass 1, unowned frames).
+    evictions,
+    /// Frames stolen (evicted while owned by an open transaction,
+    /// after their undo image was forced to the log).
+    steals,
+    /// Parked undo images applied after a failed abort restore (served
+    /// to a fault-in or written back by flush).
+    pending_undo_restores,
+    /// WAL frames appended (all record kinds).
+    wal_appends,
+    /// WAL bytes appended, frame headers included.
+    wal_bytes,
+    /// Forced log syncs (commit force, steal's write-ahead force).
+    wal_fsyncs,
+    /// UndoImage frames appended (one per steal of a first-touch page).
+    wal_undo_images,
+    /// Log truncations (explicit/automatic checkpoints and the
+    /// checkpoint that ends every crash recovery).
+    wal_checkpoints,
+    /// Committed page images replayed by the last crash recovery.
+    recovery_redo_frames,
+    /// Loser-transaction undo images applied by the last crash recovery.
+    recovery_undo_frames,
+    /// Shared-mode lock grants (fresh grants; re-entrant no-ops not
+    /// counted).
+    lock_shared,
+    /// Exclusive-mode lock grants (fresh grants and in-place upgrades).
+    lock_exclusive,
+    /// Times an acquirer blocked on the condvar waiting for a release.
+    lock_waits,
+    /// Acquisitions refused by wait-die (younger than a holder).
+    lock_wait_die_aborts,
+    /// Total nanoseconds acquirers spent blocked.
+    lock_wait_nanos,
+    /// Tuples appended to heap files (user and system heaps alike).
+    heap_inserts,
+    /// Heap tuple rewrites (in-place updates and relocations).
+    heap_rewrites,
+    /// Slotted-page compactions (dead space repacked to fit a record).
+    heap_compactions,
+    /// B+-tree node splits (leaf, internal, and root).
+    btree_splits,
+    /// B+-tree root-to-leaf descents (insert/delete/lookup/range).
+    btree_descents,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps_and_adds() {
+        let m = StorageMetrics::default();
+        assert_eq!(m.snapshot(), MetricsSnapshot::default());
+        bump(&m.fault_ins);
+        bump(&m.fault_ins);
+        add(&m.wal_bytes, 4096);
+        let snap = m.snapshot();
+        assert_eq!(snap.fault_ins, 2);
+        assert_eq!(snap.wal_bytes, 4096);
+        assert_eq!(snap.buffer_hits, 0);
+    }
+
+    #[test]
+    fn counters_list_is_complete_and_ordered() {
+        let m = MetricsSnapshot {
+            fault_ins: 7,
+            btree_descents: 9,
+            ..Default::default()
+        };
+        let pairs = m.counters();
+        assert_eq!(pairs.len(), MetricsSnapshot::NAMES.len());
+        assert_eq!(pairs.first(), Some(&("fault_ins", 7)));
+        assert_eq!(pairs.last(), Some(&("btree_descents", 9)));
+        let names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
+        assert_eq!(names, MetricsSnapshot::NAMES);
+    }
+
+    #[test]
+    fn merge_sums_field_wise() {
+        let a = MetricsSnapshot {
+            lock_shared: 3,
+            wal_appends: 5,
+            ..Default::default()
+        };
+        let b = MetricsSnapshot {
+            lock_shared: 4,
+            steals: 1,
+            ..Default::default()
+        };
+        let m = a.merge(b);
+        assert_eq!(m.lock_shared, 7);
+        assert_eq!(m.wal_appends, 5);
+        assert_eq!(m.steals, 1);
+    }
+}

@@ -56,12 +56,14 @@
 //! Full page images are idempotent, so replaying a log whose pages were
 //! already partially flushed is safe.
 
+use crate::metrics::{add, bump, StorageMetrics};
 use crate::page::{Page, PageId, PAGE_SIZE};
 use crate::pager::{Fault, Pager};
 use crate::{StorageError, StorageResult};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::sync::Arc;
 
 const WAL_MAGIC: u32 = 0x4C57_5152; // "RQWL" little-endian
 const WAL_VERSION: u32 = 1;
@@ -243,6 +245,10 @@ pub struct Wal {
     /// and appends are refused until a retried truncation succeeds.
     pending_truncate: bool,
     stats: WalStats,
+    /// The pool's observability registry ([`crate::metrics`]), attached
+    /// by [`crate::buffer::BufferPool`]; `None` for standalone logs
+    /// (recovery runs before the pool exists, unit tests).
+    metrics: Option<Arc<StorageMetrics>>,
 }
 
 impl Wal {
@@ -257,6 +263,7 @@ impl Wal {
             live_bytes: 0,
             pending_truncate: false,
             stats: WalStats::default(),
+            metrics: None,
         }
     }
 
@@ -299,11 +306,18 @@ impl Wal {
             live_bytes,
             pending_truncate: false,
             stats: WalStats::default(),
+            metrics: None,
         })
     }
 
     pub fn stats(&self) -> WalStats {
         self.stats
+    }
+
+    /// Attaches the observability registry; counters below feed it in
+    /// addition to the local [`WalStats`].
+    pub fn set_metrics(&mut self, metrics: Arc<StorageMetrics>) {
+        self.metrics = Some(metrics);
     }
 
     /// LSN the next appended frame will receive.
@@ -422,6 +436,13 @@ impl Wal {
         self.stats.appends += 1;
         self.stats.bytes += frame.len() as u64;
         self.live_bytes += frame.len() as u64;
+        if let Some(metrics) = &self.metrics {
+            bump(&metrics.wal_appends);
+            add(&metrics.wal_bytes, frame.len() as u64);
+            if matches!(record, WalRecord::UndoImage { .. }) {
+                bump(&metrics.wal_undo_images);
+            }
+        }
         Ok(lsn)
     }
 
@@ -435,6 +456,9 @@ impl Wal {
             file.sync_data()?;
         }
         self.durable_lsn = self.next_lsn - 1;
+        if let Some(metrics) = &self.metrics {
+            bump(&metrics.wal_fsyncs);
+        }
         Ok(())
     }
 
@@ -459,6 +483,9 @@ impl Wal {
             return Err(StorageError::Io(
                 "failed to truncate the write-ahead log at checkpoint".into(),
             ));
+        }
+        if let Some(metrics) = &self.metrics {
+            bump(&metrics.wal_checkpoints);
         }
         Ok(())
     }

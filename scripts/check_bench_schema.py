@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Check that a freshly generated benchmark trajectory matches the
+committed BENCH_experiments.json *schema*.
+
+Values are machine-dependent (throughput, retry counts) and may drift
+freely; the key structure may not. Keys are compared recursively,
+including order — the experiments binary emits them in a fixed order so
+committed files diff cleanly run over run.
+
+Usage: check_bench_schema.py <committed.json> <generated.json>
+"""
+
+import json
+import sys
+
+
+def key_tree(node):
+    """The schema of a JSON node: nested keys in order, values erased."""
+    if isinstance(node, dict):
+        return [(k, key_tree(v)) for k, v in node.items()]
+    if isinstance(node, list):
+        return ["[]", [key_tree(v) for v in node]]
+    return type(node).__name__
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__)
+    committed_path, generated_path = sys.argv[1], sys.argv[2]
+    committed = json.load(open(committed_path))
+    generated = json.load(open(generated_path))
+    a, b = key_tree(committed), key_tree(generated)
+    if a != b:
+        print(f"schema drift between {committed_path} and {generated_path}:")
+        print(f"  committed: {a}")
+        print(f"  generated: {b}")
+        print("regenerate the committed file with:")
+        print("  cargo run --release -p pfe-bench --bin experiments -- "
+              "--json BENCH_experiments.json")
+        sys.exit(1)
+    for section in ("s1_storage", "s2_concurrency", "s3_update"):
+        if section not in generated:
+            sys.exit(f"generated trajectory is missing section {section}")
+    print(f"benchmark schema OK ({committed_path})")
+
+
+if __name__ == "__main__":
+    main()

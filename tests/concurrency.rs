@@ -157,6 +157,69 @@ fn n_threads_overlapping_one_table_with_index() {
     assert_heap_index_agree(&db, "t", 0);
 }
 
+/// The backoff probe, instrumented: every wait-die loss a session
+/// sleeps through must show up identically in the `Backoff` instance,
+/// the session's own counters, and the `STATS` surface.
+#[test]
+fn backoff_counters_surface_in_session_stats() {
+    let db = shared(64);
+    db.session().execute("CREATE TABLE hot (a INT)").unwrap();
+    let n = thread_count();
+    let per_thread = 50u64;
+    std::thread::scope(|scope| {
+        for t in 0..n as u64 {
+            let db = db.clone();
+            scope.spawn(move || {
+                let mut s = db.session();
+                let mut backoff = server::Backoff::new(t);
+                for i in 0..per_thread {
+                    let key = t * per_thread + i;
+                    s.execute_with_backoff(
+                        &format!("INSERT INTO hot VALUES ({key})"),
+                        &mut backoff,
+                        u64::MAX,
+                    )
+                    .unwrap();
+                }
+                let stats = s.session_stats();
+                assert_eq!(stats.retries, backoff.total_retries(), "retry accounting");
+                assert_eq!(
+                    stats.backoff_sleep_nanos,
+                    backoff.total_sleep().as_nanos() as u64,
+                    "sleep accounting"
+                );
+                // Each retried attempt was its own execute() call.
+                assert_eq!(stats.statements, per_thread + stats.retries);
+                // The same numbers come back over the statement surface.
+                let rows = s.execute("STATS").unwrap().rows;
+                let value = |name: &str| -> u64 {
+                    let cell = rqs::Datum::text(name);
+                    rows.iter()
+                        .find(|r| r[0] == cell)
+                        .unwrap_or_else(|| panic!("no {name} row"))[1]
+                        .as_int()
+                        .unwrap() as u64
+                };
+                assert_eq!(value("session_retries"), stats.retries);
+                assert_eq!(
+                    value("session_backoff_sleep_nanos"),
+                    stats.backoff_sleep_nanos
+                );
+                assert_eq!(value("session_statements"), stats.statements + 1);
+                assert!(backoff.total_retries() == 0 || backoff.total_sleep().as_nanos() > 0);
+            });
+        }
+    });
+    let r = db.session().execute("SELECT v.a FROM hot v").unwrap();
+    assert_eq!(r.rows.len(), n * per_thread as usize, "no insert lost");
+    // Wait-die losses retried here are aborts the lock manager counted.
+    let snap = db.metrics().unwrap();
+    assert!(
+        snap.lock_exclusive >= n as u64 * per_thread,
+        "every insert took the hot table exclusively"
+    );
+}
+
 /// The textbook lost-update probe, now phrased as the textbook
 /// statement: every transaction runs `UPDATE counter SET v = v + 1`
 /// under an explicit transaction. Serializable execution means the

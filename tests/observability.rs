@@ -1,0 +1,272 @@
+//! Observability suite: the unified metrics registry, EXPLAIN ANALYZE,
+//! and the server's STATS surface.
+//!
+//! The counters are only trustworthy if independent accountings agree,
+//! so these tests are differential where possible:
+//!
+//! * the registry's `fault_ins`/`buffer_hits` vs. the buffer pool's
+//!   own `PoolStats` (two separate counting sites);
+//! * the registry's `wal_bytes` vs. the WAL file's actual on-disk
+//!   length after a scripted workload;
+//! * `lock_waits` stays zero when concurrent sessions touch disjoint
+//!   tables (nothing to wait for);
+//! * `EXPLAIN ANALYZE` actual page reads: indexed point lookup must
+//!   beat the full scan on the same predicate (the paper's cost model,
+//!   measured rather than estimated).
+
+use rqs::{Database, Datum};
+use server::net::{Client, Server};
+use server::SharedDatabase;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use storage::engine::wal_path;
+
+static NEXT_DB: AtomicUsize = AtomicUsize::new(0);
+
+fn temp_db(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rqs-obs-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(format!(
+        "{tag}-{}.rqs",
+        NEXT_DB.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(wal_path(&path));
+    path
+}
+
+fn cleanup(path: &Path) {
+    let _ = std::fs::remove_file(path);
+    let _ = std::fs::remove_file(wal_path(path));
+}
+
+/// Loads a table with enough rows to spill an 8-page pool.
+fn load_rows(db: &mut Database, n: i64) {
+    db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT)")
+        .unwrap();
+    for chunk_start in (0..n).step_by(100) {
+        let rows: Vec<String> = (chunk_start..(chunk_start + 100).min(n))
+            .map(|i| format!("({i}, 'e{i}', {})", 10_000 + i))
+            .collect();
+        db.execute(&format!("INSERT INTO empl VALUES {}", rows.join(", ")))
+            .unwrap();
+    }
+}
+
+#[test]
+fn registry_and_pool_stats_agree_on_page_fetches() {
+    let mut db = Database::paged(8).unwrap();
+    load_rows(&mut db, 1000);
+    for probe in ["e1", "e500", "e999"] {
+        db.execute(&format!("SELECT v.sal FROM empl v WHERE v.nam = '{probe}'"))
+            .unwrap();
+    }
+    let snap = db.backend().metrics();
+    let stats = db.backend().stats();
+    // Two independent counting sites must tell the same story: every
+    // fetch is exactly one fault-in or one hit.
+    assert!(snap.fault_ins > 0, "workload must fault pages in");
+    assert!(snap.buffer_hits > 0, "workload must hit resident frames");
+    assert_eq!(snap.fault_ins, stats.page_reads, "fault accounting");
+    assert_eq!(snap.buffer_hits, stats.buffer_hits, "hit accounting");
+}
+
+#[test]
+fn wal_counters_match_the_file_on_disk() {
+    let path = temp_db("walcount");
+    {
+        let mut db = Database::open_paged(&path, 16).unwrap();
+        db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+        for i in 0..50 {
+            db.execute(&format!("INSERT INTO t VALUES ({i}, 'row{i}')"))
+                .unwrap();
+        }
+        db.execute("UPDATE t SET b = 'rewritten' WHERE a >= 40")
+            .unwrap();
+        db.execute("DELETE FROM t WHERE a < 5").unwrap();
+        let snap = db.backend().metrics();
+        let stats = db.backend().stats();
+        assert!(snap.wal_appends > 0, "DML must log");
+        assert!(snap.wal_fsyncs > 0, "commits must force the log");
+        // Registry vs. the WAL's own running stats.
+        assert_eq!(snap.wal_appends, stats.wal_appends, "frame accounting");
+        assert_eq!(snap.wal_bytes, stats.wal_bytes, "byte accounting");
+        // Registry vs. the bytes actually on disk: every committed
+        // statement forced the log, so the file length is exactly the
+        // appended bytes plus the 8-byte magic/version file header
+        // (recovery reset the log to just that header on open).
+        let on_disk = std::fs::metadata(wal_path(&path)).unwrap().len();
+        assert_eq!(snap.wal_bytes + 8, on_disk, "WAL file length");
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn disjoint_table_sessions_never_wait_on_locks() {
+    let shared = SharedDatabase::paged(64).unwrap();
+    {
+        let mut setup = shared.session();
+        for t in 0..4 {
+            setup
+                .execute(&format!("CREATE TABLE t{t} (a INT)"))
+                .unwrap();
+        }
+    }
+    std::thread::scope(|scope| {
+        for t in 0..4usize {
+            let shared = shared.clone();
+            scope.spawn(move || {
+                let mut s = shared.session();
+                for i in 0..50 {
+                    s.execute(&format!("INSERT INTO t{t} VALUES ({i})"))
+                        .unwrap();
+                    s.execute(&format!("SELECT v.a FROM t{t} v WHERE v.a = {i}"))
+                        .unwrap();
+                }
+            });
+        }
+    });
+    let snap = shared.metrics().unwrap();
+    assert!(snap.lock_shared > 0, "reads must take shared locks");
+    assert!(snap.lock_exclusive > 0, "writes must take exclusive locks");
+    assert_eq!(snap.lock_waits, 0, "disjoint tables must never block");
+    assert_eq!(snap.lock_wait_die_aborts, 0, "nor abort");
+}
+
+/// Pulls `key=value` integers out of an `Actual:` EXPLAIN ANALYZE line.
+fn actual_value(plan: &[Vec<Datum>], key: &str) -> u64 {
+    let needle = format!("{key}=");
+    for row in plan {
+        let Datum::Text(line) = &row[0] else { continue };
+        if let Some(pos) = line.find(&needle) {
+            let rest = &line[pos + needle.len()..];
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            return digits.parse().unwrap();
+        }
+    }
+    panic!("no `{key}=` token in plan: {plan:?}");
+}
+
+#[test]
+fn explain_analyze_shows_index_beating_full_scan() {
+    let mut db = Database::paged(8).unwrap();
+    load_rows(&mut db, 1000);
+    let probe = "EXPLAIN ANALYZE SELECT v.sal FROM empl v WHERE v.nam = 'e777'";
+    let scan = db.execute(probe).unwrap();
+    assert_eq!(scan.columns, ["plan"]);
+    db.execute("CREATE INDEX ON empl (nam)").unwrap();
+    let indexed = db.execute(probe).unwrap();
+    assert_eq!(actual_value(&scan.rows, "rows"), 1);
+    assert_eq!(actual_value(&indexed.rows, "rows"), 1);
+    let scan_reads = actual_value(&scan.rows, "page_reads");
+    let indexed_reads = actual_value(&indexed.rows, "page_reads");
+    assert!(
+        indexed_reads < scan_reads,
+        "index must touch fewer pages: {indexed_reads} vs {scan_reads}"
+    );
+    assert!(
+        actual_value(&indexed.rows, "rows_scanned") < actual_value(&scan.rows, "rows_scanned"),
+        "index must scan fewer rows"
+    );
+}
+
+#[test]
+fn explain_covers_update_and_delete() {
+    for mut db in [Database::new(), Database::paged(8).unwrap()] {
+        db.execute("CREATE TABLE t (k INT, pad TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+            .unwrap();
+        let full = db.explain("UPDATE t SET pad = 'x' WHERE k = 1").unwrap();
+        assert!(full.contains("Update t"), "{full}");
+        assert!(full.contains("FullScan"), "{full}");
+        db.execute("CREATE INDEX ON t (k)").unwrap();
+        let eq = db.explain("UPDATE t SET pad = 'x' WHERE k = 1").unwrap();
+        assert!(eq.contains("IndexEq col#0 = 1"), "{eq}");
+        let range = db.explain("DELETE FROM t WHERE k >= 1 AND k < 2").unwrap();
+        assert!(range.contains("Delete t"), "{range}");
+        assert!(range.contains("IndexRange col#0"), "{range}");
+        let truncate = db.explain("DELETE FROM t").unwrap();
+        assert!(truncate.contains("Truncate"), "{truncate}");
+        // The statement surface renders the same text as plan rows, and
+        // EXPLAIN must not mutate anything.
+        let r = db.execute("EXPLAIN DELETE FROM t WHERE k = 1").unwrap();
+        assert_eq!(r.columns, ["plan"]);
+        assert!(!r.rows.is_empty());
+        assert_eq!(db.execute("SELECT v.k FROM t v").unwrap().rows.len(), 2);
+        // EXPLAIN ANALYZE stays SELECT-only; other statements are
+        // rejected at parse time.
+        assert!(db.execute("EXPLAIN ANALYZE DELETE FROM t").is_err());
+        assert!(db.execute("EXPLAIN INSERT INTO t VALUES (3, 'c')").is_err());
+    }
+}
+
+#[test]
+fn failed_statements_still_report_their_io() {
+    let mut db = Database::paged(8).unwrap();
+    db.execute("CREATE TABLE t (a INT, CHECK (a BETWEEN 0 AND 10))")
+        .unwrap();
+    for i in 0..10 {
+        db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    // The update scans the table, then fails the CHECK re-validation —
+    // its page fetches must still be accounted.
+    let err = db.execute("UPDATE t SET a = 99");
+    assert!(err.is_err(), "CHECK must reject the rewrite");
+    let m = db.last_statement_metrics();
+    assert!(
+        m.page_reads + m.buffer_hits > 0,
+        "failed statement lost its I/O accounting: {m:?}"
+    );
+    assert!(m.elapsed_nanos > 0, "wall clock must be recorded");
+    // A successful statement reports through both surfaces identically.
+    let ok = db.execute("SELECT v.a FROM t v").unwrap();
+    assert_eq!(&ok.metrics, db.last_statement_metrics());
+    assert!(ok.metrics.elapsed_nanos >= ok.metrics.exec_nanos);
+}
+
+#[test]
+fn stats_over_tcp_reports_nonzero_buffer_counters() {
+    let Ok(server) = Server::start(SharedDatabase::paged(16).unwrap(), "127.0.0.1:0") else {
+        eprintln!("skipping: cannot bind a TCP socket in this environment");
+        return;
+    };
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.execute("CREATE TABLE t (a INT, b TEXT)")
+        .unwrap()
+        .unwrap();
+    for i in 0..20 {
+        c.execute(&format!("INSERT INTO t VALUES ({i}, 'x{i}')"))
+            .unwrap()
+            .unwrap();
+    }
+    c.execute("SELECT v.b FROM t v WHERE v.a = 7")
+        .unwrap()
+        .unwrap();
+    let stats = c.execute("STATS").unwrap().unwrap();
+    assert_eq!(stats.columns, ["counter", "value"]);
+    let value = |name: &str| -> u64 {
+        let cell = format!("'{name}'");
+        stats
+            .rows
+            .iter()
+            .find(|r| r[0] == cell)
+            .unwrap_or_else(|| panic!("no {name} row in STATS"))[1]
+            .parse()
+            .unwrap()
+    };
+    // A fresh in-memory paged database allocates its pages rather than
+    // faulting them in, but repeated catalog/heap access must hit
+    // resident frames.
+    assert!(value("buffer_hits") > 0, "workload must hit the pool");
+    assert!(value("wal_appends") > 0, "inserts must have logged");
+    assert!(value("lock_exclusive") > 0, "inserts must have locked");
+    // Session counters ride along: this connection has executed
+    // 1 DDL + 20 inserts + 1 select + this STATS call.
+    assert_eq!(value("session_statements"), 23);
+    assert_eq!(value("session_retries"), 0);
+    // Every engine counter the registry declares is on the wire.
+    for name in storage::MetricsSnapshot::NAMES {
+        value(name);
+    }
+    server.stop();
+}
