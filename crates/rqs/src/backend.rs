@@ -36,6 +36,14 @@ impl From<StorageError> for RqsError {
     }
 }
 
+/// Row-lock acquisition callback installed by the shared server around
+/// a DML statement: called with the table name and a stable row key
+/// (derived from the rid) for every row the statement is about to
+/// mutate — *before* the engine mutates it. Returning an error aborts
+/// the statement; a retryable conflict means another session holds the
+/// row.
+pub type RowLockHook = std::sync::Arc<dyn Fn(&str, u64) -> RqsResult<()> + Send + Sync>;
+
 /// Physical table storage: rows in, rows out, plus secondary indexes.
 ///
 /// Backends are `Send` so one database can be owned by the shared
@@ -223,6 +231,18 @@ pub trait StorageBackend: Send {
     /// Test/ops helper: drop the backend as a crash would — without
     /// flushing buffered state — so reopening must run crash recovery.
     fn crash(self: Box<Self>) {}
+
+    /// Whether the backend identifies rows stably enough for
+    /// row-granular locks (paged backends: rids). In-memory tables use
+    /// positional indices that shift on delete, so they stay under
+    /// table-level exclusive locks.
+    fn supports_row_locks(&self) -> bool {
+        false
+    }
+
+    /// Installs (`Some`) or clears (`None`) the per-row lock hook.
+    /// Ignored by backends without row-lock support.
+    fn set_row_lock_hook(&mut self, _hook: Option<RowLockHook>) {}
 }
 
 /// A read view over schema + storage, what the planner and executor
@@ -775,6 +795,18 @@ pub(crate) fn from_col_type(ty: ColType) -> crate::catalog::ColumnType {
 /// The paged storage engine behind the backend trait.
 pub struct PagedBackend {
     engine: StorageEngine,
+    /// Per-row lock acquisition callback (see [`RowLockHook`]),
+    /// installed by the shared server for the span of one DML
+    /// statement and cleared afterwards.
+    row_lock_hook: Option<RowLockHook>,
+}
+
+/// Packs a rid into the stable `u64` row key the lock manager indexes
+/// by: page id in the high bits, slot in the low 16. In-place updates
+/// never change a row's rid (relocations do, but the lock on the old
+/// rid is what serializes the relocating statement).
+fn rid_key(rid: storage::heap::Rid) -> u64 {
+    ((rid.page as u64) << 16) | rid.slot as u64
 }
 
 // Compile-time proof that the storage rewrite holds: both backends (and
@@ -792,6 +824,7 @@ impl PagedBackend {
     pub fn in_memory(pool_pages: usize) -> RqsResult<PagedBackend> {
         Ok(PagedBackend {
             engine: StorageEngine::in_memory(pool_pages)?,
+            row_lock_hook: None,
         })
     }
 
@@ -799,6 +832,7 @@ impl PagedBackend {
     pub fn open(path: &Path, pool_pages: usize) -> RqsResult<PagedBackend> {
         Ok(PagedBackend {
             engine: StorageEngine::open(path, pool_pages)?,
+            row_lock_hook: None,
         })
     }
 
@@ -811,7 +845,16 @@ impl PagedBackend {
     ) -> RqsResult<PagedBackend> {
         Ok(PagedBackend {
             engine: StorageEngine::open_with_fault(path, pool_pages, fault)?,
+            row_lock_hook: None,
         })
+    }
+
+    /// Runs the installed row-lock hook (if any) for one rid.
+    fn lock_row(&self, name: &str, rid: storage::heap::Rid) -> RqsResult<()> {
+        match &self.row_lock_hook {
+            Some(hook) => hook(name, rid_key(rid)),
+            None => Ok(()),
+        }
     }
 
     pub fn engine(&self) -> &StorageEngine {
@@ -874,7 +917,12 @@ impl StorageBackend for PagedBackend {
     }
 
     fn insert(&mut self, name: &str, tuple: Tuple) -> RqsResult<()> {
-        self.engine.insert(name, &tuple)?;
+        let rid = self.engine.insert(name, &tuple)?;
+        // A fresh rid cannot be held by anyone else, but locking it
+        // keeps the row pinned to this transaction until commit (a
+        // concurrent statement that sees the uncommitted tuple in its
+        // candidate set conflicts here instead of mutating it).
+        self.lock_row(name, rid)?;
         Ok(())
     }
 
@@ -991,6 +1039,14 @@ impl StorageBackend for PagedBackend {
         self.engine.simulate_crash();
     }
 
+    fn supports_row_locks(&self) -> bool {
+        true
+    }
+
+    fn set_row_lock_hook(&mut self, hook: Option<RowLockHook>) {
+        self.row_lock_hook = hook;
+    }
+
     fn delete_where(
         &mut self,
         name: &str,
@@ -1003,6 +1059,11 @@ impl StorageBackend for PagedBackend {
             .filter(|(_, tuple)| pred(tuple))
             .map(|(rid, _)| rid)
             .collect();
+        // Lock every doomed row before mutating any of them: a
+        // conflict aborts the statement with nothing to undo.
+        for &rid in &doomed {
+            self.lock_row(name, rid)?;
+        }
         Ok(self.engine.delete_rows(name, &doomed)?)
     }
 
@@ -1019,6 +1080,10 @@ impl StorageBackend for PagedBackend {
             .filter(|(_, tuple)| pred(tuple))
             .map(|(rid, tuple)| (rid, apply(&tuple)))
             .collect();
+        // Lock every matched row before rewriting any of them.
+        for (rid, _) in &updates {
+            self.lock_row(name, *rid)?;
+        }
         Ok(self.engine.update_rows(name, &updates)?)
     }
 

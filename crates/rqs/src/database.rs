@@ -248,6 +248,18 @@ impl Database {
         self.backend.abort_session(id);
     }
 
+    /// Whether the backend can lock individual rows (see
+    /// [`crate::backend::StorageBackend::supports_row_locks`]).
+    pub fn supports_row_locks(&self) -> bool {
+        self.backend.supports_row_locks()
+    }
+
+    /// Installs (`Some`) or clears (`None`) the per-row lock hook the
+    /// server wraps around a DML statement.
+    pub fn set_row_lock_hook(&mut self, hook: Option<crate::backend::RowLockHook>) {
+        self.backend.set_row_lock_hook(hook);
+    }
+
     /// Executes one SQL statement. Mutating statements run as one WAL
     /// transaction on paged backends: either every effect (rows, index
     /// postings, catalog mutations) commits durably, or none do.

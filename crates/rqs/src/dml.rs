@@ -18,7 +18,14 @@
 //! 3. **mutate** — one backend transaction around
 //!    [`StorageBackend::update_where`]/[`StorageBackend::delete_where`],
 //!    so on the paged engine the whole statement commits (and
-//!    crash-recovers) atomically through the WAL.
+//!    crash-recovers) atomically through the WAL. Under the shared
+//!    server's row-granular locking, this is also where each matched
+//!    rid is locked exclusively (via the installed
+//!    [`crate::backend::RowLockHook`]) before any row is touched: a
+//!    held row aborts the statement retryably with nothing to undo.
+//!    The read phase itself takes no row locks — concurrent same-table
+//!    writers are serialized per row, not per statement (the server's
+//!    module docs spell out the accepted read-phase anomaly).
 
 use crate::backend::{AccessPath, Snapshot, StorageBackend};
 use crate::catalog::{self, Catalog, ColumnType, Table, TableConstraint};

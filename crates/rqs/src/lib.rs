@@ -82,7 +82,9 @@ pub mod plan;
 pub mod sql;
 pub mod value;
 
-pub use backend::{AccessPath, InMemoryBackend, PagedBackend, Snapshot, StorageBackend};
+pub use backend::{
+    AccessPath, InMemoryBackend, PagedBackend, RowLockHook, Snapshot, StorageBackend,
+};
 pub use catalog::{Catalog, Column, ColumnType, Table, TableConstraint};
 pub use database::{Database, QueryResult};
 pub use error::{RqsError, RqsResult};

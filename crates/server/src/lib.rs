@@ -20,26 +20,46 @@
 //! not the part worth parallelizing), but *transactions interleave at
 //! statement granularity*: while session A's transaction is open,
 //! sessions B, C, … run their own statements and transactions. What
-//! keeps that serializable is strict table-level two-phase locking
-//! ([`storage::lock::LockManager`]):
+//! keeps that serializable is strict hierarchical two-phase locking
+//! ([`storage::lock::LockManager`], `IS`/`IX`/`S`/`X` with row-granular
+//! `X` beneath `IX` — the matrix lives in its module docs):
 //!
-//! * before a statement runs, its session takes a shared lock on every
-//!   table it reads and an exclusive lock on every table it writes
-//!   (plus the parent tables of foreign-key checks, shared);
+//! * before a statement runs, its session takes a table `S` on every
+//!   table it reads (plus the parent tables of foreign-key checks and
+//!   the children of restrict checks) and, on the paged backend, a
+//!   table `IX` on every table it writes row-granularly — then an `X`
+//!   on each individual row as execution reaches it, via a hook
+//!   installed for the statement's span. Two sessions writing
+//!   *different rows* of one table proceed concurrently; the same row
+//!   conflicts. Whole-table rewrites (bare `DELETE`) and backends
+//!   without stable rids take a table `X` instead;
 //! * DDL takes the schema pseudo-lock exclusively; every other
 //!   statement takes it shared — so DDL serializes against everything;
 //! * locks are held to transaction end (autocommit: statement end);
-//! * deadlocks are avoided by wait-die: older transactions wait,
-//!   younger ones abort with [`RqsError::Conflict`] and may simply
-//!   retry — ideally through [`retry::Backoff`], whose bounded
-//!   exponential delays with jitter keep losers from spinning hot on a
-//!   contended table.
+//! * deadlocks are avoided by wait-die: older transactions wait (table
+//!   locks) or abort retryably (row locks, which never block — the
+//!   holder needs this statement mutex to commit), younger ones abort
+//!   with [`RqsError::Conflict`] and may simply retry — ideally through
+//!   [`retry::Backoff`], whose bounded exponential delays with jitter
+//!   keep losers from spinning hot on a contended row;
+//! * past a threshold of row locks on one table, the lock manager
+//!   opportunistically escalates the holder's `IX` to a table `X`.
 //!
-//! Because writers exclude readers at table granularity, there are no
-//! dirty reads (the buffer pool holds uncommitted pages, but no other
-//! session can reach them through a locked table), no lost updates and
-//! no write skew — the classic anomalies the concurrency test suite
-//! probes for.
+//! Readers still exclude writers at table granularity (`S` is
+//! incompatible with `IX`), so SELECTs never see dirty rows, lost
+//! updates and write skew stay impossible, and increment-style
+//! read-modify-write statements stay serializable: a statement's read
+//! phase runs under the same mutex hold as its row-lock acquisition,
+//! so a successfully locked row was committed data when it was read.
+//!
+//! The one anomaly row-granular writers accept: a DML statement's *read
+//! phase* (candidate scan, constraint probe) may observe uncommitted
+//! rows of a concurrent same-table writer. Rows it would mutate are
+//! caught by their row locks (retryable conflict); rows it merely
+//! filters out are a harmless dirty read; a uniqueness or foreign-key
+//! probe can, in the worst case, report a violation against a row that
+//! later rolls back — accepted until MVCC, and only reachable when two
+//! writers overlap on one table.
 //!
 //! An error during an explicit transaction (constraint violation, lock
 //! conflict, I/O failure) aborts the *whole* transaction — the session
@@ -60,7 +80,7 @@ use rqs::sql::{SelectStmt, Statement};
 use rqs::{Catalog, Database, Datum, QueryResult, RqsError, TableConstraint};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::Duration;
 use storage::{LockManager, LockMode};
@@ -115,9 +135,14 @@ pub type ServerResult<T> = Result<T, ServerError>;
 struct Shared {
     /// `None` once [`SharedDatabase::crash`] ran.
     db: Mutex<Option<Database>>,
-    locks: LockManager,
+    /// `Arc` so per-statement row-lock hooks can capture the manager.
+    locks: Arc<LockManager>,
     /// Lock-owner timestamps: smaller = older (wait-die winners).
     next_owner: AtomicU64,
+    /// Whether DML takes row-granular locks (table `IX` + per-row `X`)
+    /// on backends that support them, or plain table `X` locks.
+    /// Defaults on; benchmarks pin it off for a table-lock baseline.
+    row_locks: AtomicBool,
 }
 
 fn db_slot(m: &Mutex<Option<Database>>) -> MutexGuard<'_, Option<Database>> {
@@ -141,13 +166,27 @@ impl SharedDatabase {
     /// Like [`SharedDatabase::from_database`] with a custom lock-wait
     /// timeout (tests use short ones).
     pub fn with_lock_timeout(db: Database, timeout: Duration) -> SharedDatabase {
+        Self::with_lock_config(db, timeout, storage::lock::DEFAULT_LOCK_ESCALATION)
+    }
+
+    /// Full lock configuration: wait timeout plus the row-lock count at
+    /// which one owner's table `IX` escalates to a table `X`.
+    pub fn with_lock_config(db: Database, timeout: Duration, escalation: usize) -> SharedDatabase {
         SharedDatabase {
             inner: Arc::new(Shared {
                 db: Mutex::new(Some(db)),
-                locks: LockManager::with_timeout(timeout),
+                locks: Arc::new(LockManager::with_config(timeout, escalation)),
                 next_owner: AtomicU64::new(1),
+                row_locks: AtomicBool::new(true),
             }),
         }
+    }
+
+    /// Toggles row-granular DML locking (on by default where the
+    /// backend supports it). Off, writers take table `X` locks — the
+    /// pre-hierarchical behavior, kept for baseline benchmarking.
+    pub fn set_row_locking(&self, on: bool) {
+        self.inner.row_locks.store(on, Ordering::Relaxed);
     }
 
     /// A shared in-memory database (the original backend).
@@ -410,7 +449,11 @@ impl ServerSession {
         }
         let plan = {
             let mut slot = db_slot(&self.shared.db);
-            slot.as_mut().map(|db| lock_plan(&stmt, db.catalog()))
+            slot.as_mut().map(|db| {
+                let row_locks =
+                    self.shared.row_locks.load(Ordering::Relaxed) && db.supports_row_locks();
+                lock_plan(&stmt, db.catalog(), row_locks)
+            })
         };
         let Some(plan) = plan else {
             return self.closed(owner);
@@ -420,6 +463,9 @@ impl ServerSession {
                 return self.fail(owner, e.into());
             }
         }
+        // An intent-locked write target means execution must take an
+        // `X` per row it touches: install the hook for this statement.
+        let row_locked_write = plan.values().any(|&m| m == LockMode::IntentExclusive);
 
         // Phase 2: execute under the statement mutex, with the session's
         // transaction (if any) switched in.
@@ -429,7 +475,14 @@ impl ServerSession {
                 drop(slot);
                 return self.closed(owner);
             };
-            match &self.txn {
+            if row_locked_write {
+                let locks = Arc::clone(&self.shared.locks);
+                let hook: rqs::RowLockHook = Arc::new(move |table, row| {
+                    locks.acquire_row(owner, table, row).map_err(RqsError::from)
+                });
+                db.set_row_lock_hook(Some(hook));
+            }
+            let r = match &self.txn {
                 Some(open) => match db.resume_session_txn(open.txn) {
                     Ok(()) => {
                         let r = db.execute(sql);
@@ -439,7 +492,11 @@ impl ServerSession {
                     Err(e) => Err(e),
                 },
                 None => db.execute(sql),
+            };
+            if row_locked_write {
+                db.set_row_lock_hook(None);
             }
+            r
         };
         match result {
             Ok(r) => {
@@ -496,11 +553,19 @@ impl Drop for ServerSession {
     }
 }
 
-/// The tables a statement touches and how: exclusive for targets of
-/// writes, shared for reads (scans, subqueries, and the parent tables
-/// foreign-key checks probe). DDL needs no table locks — its exclusive
-/// schema lock already serializes it against every statement.
-fn lock_plan(stmt: &Statement, catalog: &Catalog) -> BTreeMap<String, LockMode> {
+/// The tables a statement touches and how: `IX` for targets of
+/// row-granular writes (`X` when `row_locks` is off — or for bare
+/// `DELETE`, whose truncation rewrites the whole table and must keep
+/// every other session out regardless), shared for reads (scans,
+/// subqueries, the parent tables foreign-key checks probe, and the
+/// child tables restrict checks scan). DDL needs no table locks — its
+/// exclusive schema lock already serializes it against every statement.
+fn lock_plan(stmt: &Statement, catalog: &Catalog, row_locks: bool) -> BTreeMap<String, LockMode> {
+    let write_mode = if row_locks {
+        LockMode::IntentExclusive
+    } else {
+        LockMode::Exclusive
+    };
     let mut plan: BTreeMap<String, LockMode> = BTreeMap::new();
     let read = |plan: &mut BTreeMap<String, LockMode>, table: &str| {
         plan.entry(table.to_owned()).or_insert(LockMode::Shared);
@@ -516,7 +581,7 @@ fn lock_plan(stmt: &Statement, catalog: &Catalog) -> BTreeMap<String, LockMode> 
         Statement::Explain { stmt, .. } => {
             // EXPLAIN never mutates (ANALYZE is SELECT-only), so every
             // table the inner statement would touch is only read here.
-            for t in lock_plan(stmt, catalog).into_keys() {
+            for t in lock_plan(stmt, catalog, row_locks).into_keys() {
                 read(&mut plan, &t);
             }
         }
@@ -529,28 +594,22 @@ fn lock_plan(stmt: &Statement, catalog: &Catalog) -> BTreeMap<String, LockMode> 
                     }
                 }
             }
-            plan.insert(table.clone(), LockMode::Exclusive);
+            plan.insert(table.clone(), write_mode);
         }
-        Statement::Delete {
-            table,
-            filter: None,
-        } => {
-            // Truncation enforces restrict semantics too: the check
-            // scans every table referencing the target.
+        Statement::Delete { table, filter } => {
+            // Restrict semantics scan every table referencing the
+            // target (truncation enforces them too).
             for child in rqs::dml::referencing_table_names(catalog, table) {
                 read(&mut plan, &child);
             }
-            plan.insert(table.clone(), LockMode::Exclusive);
-        }
-        Statement::Delete {
-            table,
-            filter: Some(_),
-        } => {
-            // Restrict semantics scan every table referencing the target.
-            for child in rqs::dml::referencing_table_names(catalog, table) {
-                read(&mut plan, &child);
-            }
-            plan.insert(table.clone(), LockMode::Exclusive);
+            // A bare DELETE truncates — rebuilding heap and indexes
+            // wholesale — so it always takes the full table lock.
+            let mode = if filter.is_some() {
+                write_mode
+            } else {
+                LockMode::Exclusive
+            };
+            plan.insert(table.clone(), mode);
         }
         Statement::Update { table, .. } => {
             // Constraint re-checks read the target's foreign-key parents
@@ -565,7 +624,7 @@ fn lock_plan(stmt: &Statement, catalog: &Catalog) -> BTreeMap<String, LockMode> 
             for child in rqs::dml::referencing_table_names(catalog, table) {
                 read(&mut plan, &child);
             }
-            plan.insert(table.clone(), LockMode::Exclusive);
+            plan.insert(table.clone(), write_mode);
         }
         Statement::CreateTable { .. }
         | Statement::DropTable { .. }

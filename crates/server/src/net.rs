@@ -213,7 +213,14 @@ impl Client {
             }
             let line = line.trim_end_matches(['\r', '\n']);
             if let Some(rest) = line.strip_prefix("OK ") {
-                result.affected = rest.trim().parse().unwrap_or(0);
+                // A corrupt count must surface, not silently read as 0
+                // affected rows.
+                result.affected = rest.trim().parse().map_err(|_| {
+                    io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("malformed OK line from server: {line}"),
+                    )
+                })?;
                 return Ok(Ok(result));
             } else if let Some(rest) = line.strip_prefix("ERR ") {
                 return Ok(Err(rest.to_owned()));
@@ -243,6 +250,31 @@ mod tests {
             assert_eq!(unescape_cell(&escape_cell(s)), s, "{s:?}");
             assert!(!escape_cell(s).contains(['\t', '\n', '\r']));
         }
+    }
+
+    #[test]
+    fn malformed_ok_line_is_a_protocol_error_not_zero_rows() {
+        let Ok(listener) = std::net::TcpListener::bind("127.0.0.1:0") else {
+            eprintln!("skipping: cannot bind a TCP socket in this environment");
+            return;
+        };
+        let addr = listener.local_addr().unwrap();
+        // A fake server that acknowledges any statement with a count
+        // that is not a number.
+        let peer = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut line = String::new();
+            reader.read_line(&mut line).unwrap();
+            let mut writer = stream;
+            writeln!(writer, "OK not-a-number").unwrap();
+            writer.flush().unwrap();
+        });
+        let mut c = Client::connect(addr).unwrap();
+        let err = c.execute("SELECT 1").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("malformed OK line"), "{err}");
+        peer.join().unwrap();
     }
 
     #[test]

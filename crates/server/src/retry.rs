@@ -4,7 +4,11 @@
 //! the moment it touches the hot lock; a client that retries in a hot
 //! loop immediately collides with the same older holder and dies
 //! again, burning CPU on thousands of futile round trips (experiments
-//! S2 measured exactly this). [`Backoff`] spaces the retries out:
+//! S2 measured exactly this). Row-granular locking shrinks the blast
+//! radius — only same-row writers conflict, and their non-blocking row
+//! locks surface as the same retryable `Conflict` regardless of age —
+//! but does not remove it, so the loop here serves both granularities
+//! unchanged. [`Backoff`] spaces the retries out:
 //! every loss doubles a capped delay, and deterministic jitter (an
 //! inline SplitMix64, no external RNG dependency) decorrelates clients
 //! that lost the same race so they do not stampede back in lockstep.

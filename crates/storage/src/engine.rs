@@ -140,6 +140,21 @@ struct TxnTouch {
     tables: BTreeMap<String, Option<TableInfo>>,
     indexes: Option<Vec<IndexInfo>>,
     meta: Option<MetaState>,
+    /// Logical DML undo, recorded instead of a full [`TableInfo`]
+    /// snapshot so that aborting one transaction does not clobber the
+    /// `row_count`/heap state other transactions committed concurrently
+    /// into the *same* table (row-granular locking allows that). Net
+    /// row-count change per table; undone by subtraction on abort.
+    row_deltas: BTreeMap<String, i64>,
+    /// Heap descriptor as it was just before this transaction first
+    /// grew/relocated the chain (recorded only when the descriptor
+    /// actually changed — a changed tail page is owned by this
+    /// transaction, so nobody else can move it again before our end).
+    heap_undo: BTreeMap<String, HeapFile>,
+    /// Per-index tree descriptor from just before this transaction
+    /// first moved its root, keyed by `(table_id, col)` (same
+    /// ownership argument: a moved root is a page write we own).
+    index_root_undo: BTreeMap<(i64, usize), BPlusTree>,
     /// Pages the transaction abandoned (truncated chains, dropped
     /// tables' heaps and trees). Linked onto the free list only *after*
     /// commit — freeing inside the transaction would dirty one frame
@@ -571,6 +586,30 @@ impl StorageEngine {
             self.sys_indexes = meta.sys_indexes;
             self.sys_constraints = meta.sys_constraints;
         }
+        // Logical DML undo, applied *after* any full restores: a full
+        // snapshot taken later in the transaction (DML-then-DDL) saved
+        // post-DML state, and the compensation below corrects it back;
+        // notes recorded after a snapshot existed were skipped, so
+        // nothing is undone twice.
+        for (name, delta) in touch.row_deltas {
+            if let Some(info) = self.tables.get_mut(&name) {
+                info.row_count = (info.row_count as i64 - delta).max(0) as usize;
+            }
+        }
+        for (name, heap) in touch.heap_undo {
+            if let Some(info) = self.tables.get_mut(&name) {
+                info.heap = heap;
+            }
+        }
+        for ((table_id, col), tree) in touch.index_root_undo {
+            if let Some(ix) = self
+                .indexes
+                .iter_mut()
+                .find(|ix| ix.table_id == table_id && ix.col == col)
+            {
+                ix.tree = tree;
+            }
+        }
     }
 
     /// Queues pages for free-list linking once the active transaction
@@ -659,6 +698,57 @@ impl StorageEngine {
                 sys_constraints: self.sys_constraints,
             });
         }
+    }
+
+    /// Records a DML row-count change for abort compensation. Skipped
+    /// when the table is fully snapshotted in this transaction's touch
+    /// set — the snapshot restore already rewinds the count.
+    fn note_row_delta(&mut self, name: &str, delta: i64) {
+        let Some(id) = self.pool.active_txn() else {
+            return;
+        };
+        let Some(touch) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if touch.tables.contains_key(name) {
+            return;
+        }
+        *touch.row_deltas.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Records the heap descriptor from just before this transaction
+    /// first changed it (first capture wins; skipped under a full
+    /// table snapshot).
+    fn note_heap(&mut self, name: &str, before: HeapFile) {
+        let Some(id) = self.pool.active_txn() else {
+            return;
+        };
+        let Some(touch) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if touch.tables.contains_key(name) {
+            return;
+        }
+        touch.heap_undo.entry(name.to_owned()).or_insert(before);
+    }
+
+    /// Records an index tree descriptor from just before this
+    /// transaction first moved its root (first capture wins; skipped
+    /// under a full index-list snapshot).
+    fn note_index_root(&mut self, table_id: i64, col: usize, before: BPlusTree) {
+        let Some(id) = self.pool.active_txn() else {
+            return;
+        };
+        let Some(touch) = self.txns.get_mut(&id) else {
+            return;
+        };
+        if touch.indexes.is_some() {
+            return;
+        }
+        touch
+            .index_root_undo
+            .entry((table_id, col))
+            .or_insert(before);
     }
 
     /// Runs `f` inside the active transaction if there is one (the
@@ -813,32 +903,45 @@ impl StorageEngine {
         }
         // Validate every indexed key before mutating anything: cheap
         // rejections shouldn't pay for a transaction rollback.
-        let mut indexed = false;
         for ix in &self.indexes {
             if ix.table_id == info.id {
                 crate::btree::check_key(&tuple[ix.col])?;
-                indexed = true;
             }
         }
         self.autocommit(|eng| {
-            eng.touch_table(name);
-            if indexed {
-                eng.touch_indexes();
-            }
+            // No full table/index snapshot for DML: abort compensation
+            // (`note_*`) undoes exactly this transaction's effects, so a
+            // rollback cannot clobber rows a concurrent transaction
+            // committed into the same table under row-granular locks.
             let info = eng
                 .tables
                 .get_mut(name)
                 .ok_or_else(|| StorageError::UnknownTable(name.to_owned()))?;
-            let rid = info.heap.insert(&eng.pool, &encode_tuple(tuple))?;
-            info.row_count += 1;
             let table_id = info.id;
+            let heap_before = info.heap;
+            let res = info.heap.insert(&eng.pool, &encode_tuple(tuple));
+            let heap_changed = info.heap != heap_before;
+            if heap_changed {
+                eng.note_heap(name, heap_before);
+            }
+            let rid = res?;
+            eng.note_row_delta(name, 1);
+            eng.tables.get_mut(name).expect("checked above").row_count += 1;
             let mut roots_moved = false;
-            for ix in &mut eng.indexes {
-                if ix.table_id == table_id {
-                    let old_root = ix.tree.root;
-                    ix.tree.insert(&eng.pool, &tuple[ix.col], rid)?;
-                    roots_moved |= ix.tree.root != old_root;
+            for i in 0..eng.indexes.len() {
+                if eng.indexes[i].table_id != table_id {
+                    continue;
                 }
+                let before = eng.indexes[i].tree;
+                let col = eng.indexes[i].col;
+                let res = eng.indexes[i].tree.insert(&eng.pool, &tuple[col], rid);
+                // Note a moved root even when the insert then errored:
+                // the abort path must still rewind the tree descriptor.
+                if eng.indexes[i].tree.root != before.root {
+                    eng.note_index_root(table_id, col, before);
+                    roots_moved = true;
+                }
+                res?;
             }
             if roots_moved {
                 eng.touch_meta();
@@ -1093,12 +1196,11 @@ impl StorageEngine {
             return Ok(0);
         }
         let table_id = info.id;
-        let indexed = self.indexes.iter().any(|ix| ix.table_id == table_id);
         self.autocommit(|eng| {
-            eng.touch_table(name);
-            if indexed {
-                eng.touch_indexes();
-            }
+            // Logical undo only (see `insert`): deletes tombstone in
+            // place — the heap descriptor never changes — and lazy
+            // B+-tree deletion never moves roots, so per-row count
+            // compensation is the whole rollback story here.
             for &rid in rids {
                 let heap = eng.tables.get(name).expect("checked above").heap;
                 let old = decode_tuple(&heap.fetch(&eng.pool, rid)?)?;
@@ -1108,6 +1210,7 @@ impl StorageEngine {
                         ix.tree.delete(&eng.pool, &old[ix.col], rid)?;
                     }
                 }
+                eng.note_row_delta(name, -1);
                 eng.tables.get_mut(name).expect("checked above").row_count -= 1;
             }
             Ok(rids.len())
@@ -1130,7 +1233,6 @@ impl StorageEngine {
         let arity = info.columns.len();
         // Validate arities and every indexed key before mutating
         // anything, mirroring insert.
-        let mut indexed = false;
         for (_, tuple) in updates {
             if tuple.len() != arity {
                 return Err(StorageError::Internal(format!(
@@ -1141,33 +1243,41 @@ impl StorageEngine {
             for ix in &self.indexes {
                 if ix.table_id == table_id {
                     crate::btree::check_key(&tuple[ix.col])?;
-                    indexed = true;
                 }
             }
         }
         self.autocommit(|eng| {
-            eng.touch_table(name);
-            if indexed {
-                eng.touch_indexes();
-            }
+            // Logical undo only (see `insert`): row counts are
+            // untouched by updates, so only heap-descriptor growth and
+            // index root moves need compensation records.
             let mut roots_moved = false;
             for (rid, new) in updates {
                 let mut heap = eng.tables.get(name).expect("checked above").heap;
+                let heap_before = heap;
                 let old = decode_tuple(&heap.fetch(&eng.pool, *rid)?)?;
-                let new_rid = heap.update(&eng.pool, *rid, &encode_tuple(new))?;
-                // The chain tail may have grown on relocation.
-                eng.tables.get_mut(name).expect("checked above").heap = heap;
-                for ix in &mut eng.indexes {
-                    if ix.table_id != table_id {
+                let res = heap.update(&eng.pool, *rid, &encode_tuple(new));
+                if heap != heap_before {
+                    // The chain tail grew on relocation.
+                    eng.note_heap(name, heap_before);
+                    eng.tables.get_mut(name).expect("checked above").heap = heap;
+                }
+                let new_rid = res?;
+                for i in 0..eng.indexes.len() {
+                    let (ix_table, col) = (eng.indexes[i].table_id, eng.indexes[i].col);
+                    if ix_table != table_id {
                         continue;
                     }
-                    if old[ix.col] == new[ix.col] && new_rid == *rid {
+                    if old[col] == new[col] && new_rid == *rid {
                         continue;
                     }
-                    ix.tree.delete(&eng.pool, &old[ix.col], *rid)?;
-                    let old_root = ix.tree.root;
-                    ix.tree.insert(&eng.pool, &new[ix.col], new_rid)?;
-                    roots_moved |= ix.tree.root != old_root;
+                    eng.indexes[i].tree.delete(&eng.pool, &old[col], *rid)?;
+                    let before = eng.indexes[i].tree;
+                    let res = eng.indexes[i].tree.insert(&eng.pool, &new[col], new_rid);
+                    if eng.indexes[i].tree.root != before.root {
+                        eng.note_index_root(table_id, col, before);
+                        roots_moved = true;
+                    }
+                    res?;
                 }
             }
             if roots_moved {

@@ -122,14 +122,28 @@ counters! {
     /// Shared-mode lock grants (fresh grants; re-entrant no-ops not
     /// counted).
     lock_shared,
-    /// Exclusive-mode lock grants (fresh grants and in-place upgrades).
+    /// Exclusive-mode lock grants (fresh grants and in-place upgrades,
+    /// row-lock escalations included).
     lock_exclusive,
+    /// Intent-mode (IS/IX) table lock grants.
+    lock_intent,
     /// Times an acquirer blocked on the condvar waiting for a release.
     lock_waits,
-    /// Acquisitions refused by wait-die (younger than a holder).
+    /// Acquisitions refused by wait-die (younger than a holder; table
+    /// and row granularity alike).
     lock_wait_die_aborts,
+    /// Acquisitions that waited out the timeout against live holders.
+    lock_timeouts,
     /// Total nanoseconds acquirers spent blocked.
     lock_wait_nanos,
+    /// Row-granular exclusive lock grants (fresh grants; re-entrant and
+    /// covered-by-table-X no-ops not counted).
+    row_lock_exclusive,
+    /// Row lock requests refused because another owner held the row.
+    row_lock_conflicts,
+    /// Row-lock escalations: one owner's table IX upgraded to X past
+    /// the threshold.
+    row_lock_escalations,
     /// Tuples appended to heap files (user and system heaps alike).
     heap_inserts,
     /// Heap tuple rewrites (in-place updates and relocations).
