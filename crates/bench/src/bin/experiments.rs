@@ -114,6 +114,53 @@ impl JsonObj {
     }
 }
 
+/// Per-statement wall-time samples for one benchmark section, rendered
+/// as the section's `latency` object: sample count plus p50/p95/p99 in
+/// microseconds (the keys are schema; the values, like every timing in
+/// this file, are machine-dependent).
+#[derive(Default)]
+struct Samples(Vec<u64>);
+
+impl Samples {
+    fn push(&mut self, nanos: u64) {
+        self.0.push(nanos);
+    }
+
+    /// Nearest-rank percentile over the recorded samples, nanoseconds.
+    fn percentile(sorted: &[u64], p: f64) -> u64 {
+        if sorted.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    }
+
+    /// `(count, p50_us, p95_us, p99_us)`.
+    fn pcts(&mut self) -> (usize, f64, f64, f64) {
+        self.0.sort_unstable();
+        (
+            self.0.len(),
+            Self::percentile(&self.0, 50.0) as f64 / 1000.0,
+            Self::percentile(&self.0, 95.0) as f64 / 1000.0,
+            Self::percentile(&self.0, 99.0) as f64 / 1000.0,
+        )
+    }
+
+    /// Prints the distribution and renders the JSON `latency` object.
+    fn finish(mut self) -> JsonObj {
+        let (count, p50, p95, p99) = self.pcts();
+        measured(&format!(
+            "per-statement latency over {count} statements: \
+             p50 {p50:.1} us, p95 {p95:.1} us, p99 {p99:.1} us"
+        ));
+        JsonObj::default()
+            .u("count", count as u64)
+            .f("p50_us", p50)
+            .f("p95_us", p95)
+            .f("p99_us", p99)
+    }
+}
+
 /// The engine-wide counter snapshot as a JSON object, one key per
 /// counter in registry order (the names are the schema).
 fn metrics_json(snap: storage::MetricsSnapshot) -> JsonObj {
@@ -428,6 +475,7 @@ fn s1_storage() -> JsonObj {
     );
     paper("(infrastructure: the paper's cost model counts DBMS page accesses)");
     let mut db = rqs::Database::paged(8).expect("paged database");
+    let mut lat = Samples::default();
     db.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT, dno INT)")
         .expect("ddl runs");
     let n = 2000;
@@ -440,6 +488,7 @@ fn s1_storage() -> JsonObj {
         let r = db
             .execute(&format!("INSERT INTO empl VALUES {}", rows.join(", ")))
             .expect("insert runs");
+        lat.push(r.metrics.elapsed_nanos);
         load_wal_appends += r.metrics.wal_appends;
         load_wal_bytes += r.metrics.wal_bytes;
     }
@@ -454,6 +503,8 @@ fn s1_storage() -> JsonObj {
     db.execute("CREATE INDEX ON empl (nam)")
         .expect("index builds");
     let indexed = db.execute(point).expect("query runs");
+    lat.push(scan.metrics.elapsed_nanos);
+    lat.push(indexed.metrics.elapsed_nanos);
     assert_eq!(
         scan.rows, indexed.rows,
         "index path must not change answers"
@@ -504,6 +555,8 @@ fn s1_storage() -> JsonObj {
     db.execute("CREATE INDEX ON empl (sal)")
         .expect("index builds");
     let range_indexed = db.execute(range).expect("query runs");
+    lat.push(range_scan.metrics.elapsed_nanos);
+    lat.push(range_indexed.metrics.elapsed_nanos);
     assert_eq!(range_scan.rows, range_indexed.rows, "same answers");
     measured(&format!(
         "40-row BETWEEN via full scan: {} page_reads, {} rows_scanned; via \
@@ -531,6 +584,7 @@ fn s1_storage() -> JsonObj {
             "range_page_reads_saved",
             range_scan.metrics.page_reads - range_indexed.metrics.page_reads,
         )
+        .obj("latency", lat.finish())
         .obj("engine_metrics", metrics_json(db.backend().metrics()))
 }
 
@@ -564,6 +618,10 @@ fn s2_concurrency() -> JsonObj {
     // finer granularity buys.
     shared.set_row_locking(false);
     let per_thread = 500;
+    // Per-statement wall times across every phase, merged thread-local
+    // batches; rendered as the section's latency percentiles.
+    let latencies = std::sync::Mutex::new(Vec::new());
+    let latencies = &latencies;
     // Phase 1: disjoint tables — sessions interleave without conflicts.
     let t0 = Instant::now();
     std::thread::scope(|scope| {
@@ -571,10 +629,14 @@ fn s2_concurrency() -> JsonObj {
             let shared = shared.clone();
             scope.spawn(move || {
                 let mut s = shared.session();
+                let mut local = Vec::with_capacity(per_thread);
                 for i in 0..per_thread {
-                    s.execute(&format!("INSERT INTO load{t} VALUES ({i}, 'x{i}')"))
+                    let r = s
+                        .execute(&format!("INSERT INTO load{t} VALUES ({i}, 'x{i}')"))
                         .expect("insert runs");
+                    local.push(r.metrics.elapsed_nanos);
                 }
+                latencies.lock().unwrap().extend(local);
             });
         }
     });
@@ -592,11 +654,15 @@ fn s2_concurrency() -> JsonObj {
             let spin_retries = &spin_retries;
             scope.spawn(move || {
                 let mut s = shared.session();
+                let mut local = Vec::with_capacity(per_thread);
                 for i in 0..per_thread {
                     let key = t * per_thread + i;
                     loop {
                         match s.execute(&format!("INSERT INTO hot VALUES ({key}, 'spin')")) {
-                            Ok(_) => break,
+                            Ok(r) => {
+                                local.push(r.metrics.elapsed_nanos);
+                                break;
+                            }
                             Err(e) if e.is_retryable() => {
                                 spin_retries.fetch_add(1, Ordering::Relaxed);
                             }
@@ -604,6 +670,7 @@ fn s2_concurrency() -> JsonObj {
                         }
                     }
                 }
+                latencies.lock().unwrap().extend(local);
             });
         }
     });
@@ -619,15 +686,19 @@ fn s2_concurrency() -> JsonObj {
             scope.spawn(move || {
                 let mut s = shared.session();
                 let mut backoff = server::Backoff::new(t as u64);
+                let mut local = Vec::with_capacity(per_thread);
                 for i in 0..per_thread {
                     let key = threads * per_thread + t * per_thread + i;
-                    s.execute_with_backoff(
-                        &format!("INSERT INTO hot VALUES ({key}, 'backoff')"),
-                        &mut backoff,
-                        u64::MAX,
-                    )
-                    .expect("insert runs");
+                    let r = s
+                        .execute_with_backoff(
+                            &format!("INSERT INTO hot VALUES ({key}, 'backoff')"),
+                            &mut backoff,
+                            u64::MAX,
+                        )
+                        .expect("insert runs");
+                    local.push(r.metrics.elapsed_nanos);
                 }
+                latencies.lock().unwrap().extend(local);
                 backoff_retries.fetch_add(backoff.total_retries(), Ordering::Relaxed);
                 backoff_sleep_nanos
                     .fetch_add(backoff.total_sleep().as_nanos() as u64, Ordering::Relaxed);
@@ -684,6 +755,7 @@ fn s2_concurrency() -> JsonObj {
                 scope.spawn(move || {
                     let mut s = shared.session();
                     let mut backoff = server::Backoff::new(t as u64);
+                    let mut local = Vec::with_capacity(row_txns);
                     let update = format!("UPDATE acct SET v = v + 1 WHERE k = {t}");
                     for _ in 0..row_txns {
                         // A conflict anywhere rolls the whole
@@ -692,7 +764,8 @@ fn s2_concurrency() -> JsonObj {
                         loop {
                             let outcome = (|| {
                                 s.execute("BEGIN")?;
-                                s.execute(&update)?;
+                                let r = s.execute(&update)?;
+                                local.push(r.metrics.elapsed_nanos);
                                 std::thread::sleep(think);
                                 s.execute("COMMIT")
                             })();
@@ -706,6 +779,7 @@ fn s2_concurrency() -> JsonObj {
                             }
                         }
                     }
+                    latencies.lock().unwrap().extend(local);
                 });
             }
         });
@@ -750,6 +824,7 @@ fn s2_concurrency() -> JsonObj {
         secs_budget.elapsed(),
     ));
     let lock_metrics = shared.metrics().expect("server metrics");
+    let latency = Samples(std::mem::take(&mut *latencies.lock().unwrap())).finish();
     JsonObj::default()
         .u("threads", threads as u64)
         .u("inserts_per_thread", per_thread as u64)
@@ -785,6 +860,7 @@ fn s2_concurrency() -> JsonObj {
         .u("lock_wait_die_aborts", lock_metrics.lock_wait_die_aborts)
         .u("row_lock_exclusive", lock_metrics.row_lock_exclusive)
         .u("row_lock_escalations", lock_metrics.row_lock_escalations)
+        .obj("latency", latency)
 }
 
 /// S3 — predicated UPDATE/DELETE: access-path cost and throughput.
@@ -796,14 +872,17 @@ fn s3_update() -> JsonObj {
     paper("(infrastructure: DML rides the same access paths as queries)");
     let n = 2000i64;
     let mut db = rqs::Database::paged(8).expect("paged database");
+    let mut lat = Samples::default();
     db.execute("CREATE TABLE t (k INT, grp INT, pad TEXT)")
         .expect("ddl runs");
     for chunk_start in (0..n).step_by(100) {
         let rows: Vec<String> = (chunk_start..chunk_start + 100)
             .map(|i| format!("({i}, {}, 'p{i}')", i % 50))
             .collect();
-        db.execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
+        let r = db
+            .execute(&format!("INSERT INTO t VALUES {}", rows.join(", ")))
             .expect("insert runs");
+        lat.push(r.metrics.elapsed_nanos);
     }
     // One point update, before and after the index exists.
     let full = db
@@ -813,6 +892,8 @@ fn s3_update() -> JsonObj {
     let indexed = db
         .execute("UPDATE t SET pad = 'u2' WHERE k = 1234")
         .expect("update runs");
+    lat.push(full.metrics.elapsed_nanos);
+    lat.push(indexed.metrics.elapsed_nanos);
     let touched = |m: &rqs::QueryMetrics| m.page_reads + m.buffer_hits;
     measured(&format!(
         "{n}-row table, 8-page pool; point UPDATE via full scan: {} pages \
@@ -826,6 +907,7 @@ fn s3_update() -> JsonObj {
     let del = db
         .execute("DELETE FROM t WHERE k >= 500 AND k < 520")
         .expect("delete runs");
+    lat.push(del.metrics.elapsed_nanos);
     measured(&format!(
         "20-row ranged DELETE via index_range: {} rows, {} pages touched, \
          {} WAL frames ({:.0} log bytes/row)",
@@ -845,6 +927,7 @@ fn s3_update() -> JsonObj {
         .execute("UPDATE t SET pad = 'rewritten-everywhere'")
         .expect("whole-table rewrite succeeds despite the 8-page pool");
     let rewrite_elapsed = t0.elapsed();
+    lat.push(rewrite.metrics.elapsed_nanos);
     let after_pages = db.backend().stats();
     measured(&format!(
         "whole-table rewrite of {} rows under the 8-page pool (steal): {} pages \
@@ -865,9 +948,10 @@ fn s3_update() -> JsonObj {
     let iters = 2000;
     let t0 = Instant::now();
     for _ in 0..iters {
-        counter
+        let r = counter
             .execute("UPDATE c SET v = v + 1")
             .expect("increment runs");
+        lat.push(r.metrics.elapsed_nanos);
     }
     let elapsed = t0.elapsed();
     let v = counter
@@ -900,6 +984,7 @@ fn s3_update() -> JsonObj {
             "counter_updates_per_sec",
             iters as f64 / elapsed.as_secs_f64(),
         )
+        .obj("latency", lat.finish())
 }
 
 /// E6-b — §6.1 value bounds and inequality simplification.

@@ -23,7 +23,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::ops::Bound;
 use std::path::Path;
 use storage::engine::ColType;
-use storage::{Fault, MetricsSnapshot, PoolStats, StorageEngine, StorageError};
+use storage::{Fault, HistogramsSnapshot, MetricsSnapshot, PoolStats, StorageEngine, StorageError};
 
 impl From<StorageError> for RqsError {
     fn from(e: StorageError) -> RqsError {
@@ -142,6 +142,12 @@ pub trait StorageBackend: Send {
     /// both backends answer the `STATS` surface uniformly.
     fn metrics(&self) -> MetricsSnapshot {
         MetricsSnapshot::default()
+    }
+
+    /// Engine latency histograms (WAL fsync, commit force, fault-in).
+    /// All zero for in-memory backends — durability costs nothing there.
+    fn histograms(&self) -> HistogramsSnapshot {
+        HistogramsSnapshot::default()
     }
 
     /// Writes dirty pages back to durable storage (no-op in-memory).
@@ -969,6 +975,10 @@ impl StorageBackend for PagedBackend {
 
     fn metrics(&self) -> MetricsSnapshot {
         self.engine.metrics()
+    }
+
+    fn histograms(&self) -> HistogramsSnapshot {
+        self.engine.histograms()
     }
 
     fn flush(&self) -> RqsResult<()> {

@@ -22,6 +22,52 @@ pub struct QueryResult {
     pub metrics: QueryMetrics,
 }
 
+/// One named phase of a statement: how long it took and what I/O it
+/// caused (physical counter deltas attributed to this phase).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Phase name: `parse`, `plan`, `exec`, or `commit` (the server
+    /// prepends its own `locks` span).
+    pub name: &'static str,
+    /// Wall time spent in this phase, nanoseconds.
+    pub nanos: u64,
+    /// Buffer-pool misses during this phase.
+    pub page_reads: u64,
+    /// Buffer-pool hits during this phase.
+    pub buffer_hits: u64,
+    /// WAL frames appended during this phase.
+    pub wal_appends: u64,
+}
+
+/// Per-statement span breakdown recorded by every [`Database::execute`]
+/// call: the spans partition the statement's wall time, so their nanos
+/// sum to (just under) `elapsed_nanos`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// Spans in execution order.
+    pub spans: Vec<TraceSpan>,
+    /// Whole-statement wall time, nanoseconds (same value as
+    /// [`QueryMetrics::elapsed_nanos`]).
+    pub elapsed_nanos: u64,
+}
+
+/// What the backend-commit half of [`run_txn`] measured, handed back to
+/// [`Database::execute`] through a thread-local: `run_txn` sees only a
+/// `dyn StorageBackend`, several layers below the `Database` that
+/// assembles the trace.
+#[derive(Clone, Copy, Debug, Default)]
+struct CommitProbe {
+    nanos: u64,
+    page_reads: u64,
+    buffer_hits: u64,
+    wal_appends: u64,
+}
+
+thread_local! {
+    static LAST_COMMIT: std::cell::Cell<Option<CommitProbe>> =
+        const { std::cell::Cell::new(None) };
+}
+
 /// Runs `f` as one backend transaction: begin, mutate, commit —
 /// aborting (and rolling back pages + engine catalog) if any step
 /// fails. This is what makes a multi-row INSERT, a predicated UPDATE
@@ -41,13 +87,26 @@ pub(crate) fn run_txn<T>(
     }
     backend.begin()?;
     match f(backend.as_mut()) {
-        Ok(v) => match backend.commit() {
-            Ok(()) => Ok(v),
-            Err(e) => {
-                backend.abort();
-                Err(e)
+        Ok(v) => {
+            let io_before = backend.stats();
+            let started = std::time::Instant::now();
+            match backend.commit() {
+                Ok(()) => {
+                    let io_after = backend.stats();
+                    LAST_COMMIT.set(Some(CommitProbe {
+                        nanos: started.elapsed().as_nanos() as u64,
+                        page_reads: io_after.page_reads - io_before.page_reads,
+                        buffer_hits: io_after.buffer_hits - io_before.buffer_hits,
+                        wal_appends: io_after.wal_appends - io_before.wal_appends,
+                    }));
+                    Ok(v)
+                }
+                Err(e) => {
+                    backend.abort();
+                    Err(e)
+                }
             }
-        },
+        }
         Err(e) => {
             backend.abort();
             Err(e)
@@ -71,6 +130,9 @@ pub struct Database {
     /// returned an error — pages it touched before failing were real
     /// work and must not vanish from the account.
     last_metrics: QueryMetrics,
+    /// Span breakdown of the most recent `execute` call (also filled on
+    /// error, like `last_metrics`).
+    last_trace: Trace,
 }
 
 impl Default for Database {
@@ -95,6 +157,7 @@ impl Database {
             catalog: Catalog::new(),
             backend: Box::new(InMemoryBackend::new()),
             last_metrics: QueryMetrics::default(),
+            last_trace: Trace::default(),
         }
     }
 
@@ -105,6 +168,7 @@ impl Database {
             catalog: Catalog::new(),
             backend: Box::new(PagedBackend::in_memory(pool_pages)?),
             last_metrics: QueryMetrics::default(),
+            last_trace: Trace::default(),
         })
     }
 
@@ -148,6 +212,7 @@ impl Database {
             catalog,
             backend: Box::new(backend),
             last_metrics: QueryMetrics::default(),
+            last_trace: Trace::default(),
         })
     }
 
@@ -157,6 +222,7 @@ impl Database {
             catalog: Catalog::new(),
             backend,
             last_metrics: QueryMetrics::default(),
+            last_trace: Trace::default(),
         }
     }
 
@@ -270,6 +336,7 @@ impl Database {
     pub fn execute(&mut self, sql_text: &str) -> RqsResult<QueryResult> {
         let started = std::time::Instant::now();
         let io_before = self.backend.stats();
+        LAST_COMMIT.set(None);
         let parsed = sql::parse_statement(sql_text);
         let parse_nanos = started.elapsed().as_nanos() as u64;
         let exec_started = std::time::Instant::now();
@@ -296,8 +363,69 @@ impl Database {
             metrics.page_reads = io_after.page_reads - io_before.page_reads;
             metrics.buffer_hits = io_after.buffer_hits - io_before.buffer_hits;
         }
+        self.last_trace = Self::build_trace(metrics, &io_before, &io_after, LAST_COMMIT.take());
         self.last_metrics = metrics.clone();
         outcome
+    }
+
+    /// Assembles the span breakdown of one statement. `parse` and
+    /// `plan` are pure CPU; `commit` carries what [`run_txn`] probed
+    /// around `backend.commit()` (absent for queries and statements
+    /// joining a session transaction); `exec` is everything else, so
+    /// the spans partition the statement.
+    fn build_trace(
+        metrics: &QueryMetrics,
+        io_before: &storage::PoolStats,
+        io_after: &storage::PoolStats,
+        commit: Option<CommitProbe>,
+    ) -> Trace {
+        let commit = commit.unwrap_or_default();
+        let total_reads = io_after.page_reads - io_before.page_reads;
+        let total_hits = io_after.buffer_hits - io_before.buffer_hits;
+        let total_appends = io_after.wal_appends - io_before.wal_appends;
+        let mut spans = vec![
+            TraceSpan {
+                name: "parse",
+                nanos: metrics.parse_nanos,
+                ..Default::default()
+            },
+            TraceSpan {
+                name: "plan",
+                nanos: metrics.plan_nanos.min(metrics.exec_nanos),
+                ..Default::default()
+            },
+            TraceSpan {
+                name: "exec",
+                nanos: metrics
+                    .exec_nanos
+                    .saturating_sub(metrics.plan_nanos)
+                    .saturating_sub(commit.nanos),
+                page_reads: total_reads.saturating_sub(commit.page_reads),
+                buffer_hits: total_hits.saturating_sub(commit.buffer_hits),
+                wal_appends: total_appends.saturating_sub(commit.wal_appends),
+            },
+            TraceSpan {
+                name: "commit",
+                nanos: commit.nanos,
+                page_reads: commit.page_reads,
+                buffer_hits: commit.buffer_hits,
+                wal_appends: commit.wal_appends,
+            },
+        ];
+        // A span that did nothing is noise, but exec always renders so
+        // every trace has at least parse + exec anchors.
+        spans.retain(|s| {
+            s.name == "exec"
+                || s.name == "parse"
+                || s.nanos > 0
+                || s.page_reads > 0
+                || s.buffer_hits > 0
+                || s.wal_appends > 0
+        });
+        Trace {
+            spans,
+            elapsed_nanos: metrics.elapsed_nanos,
+        }
     }
 
     /// Work counters of the most recent [`Database::execute`] call,
@@ -305,6 +433,13 @@ impl Database {
     /// carry a copy in their [`QueryResult`]).
     pub fn last_statement_metrics(&self) -> &QueryMetrics {
         &self.last_metrics
+    }
+
+    /// Span breakdown of the most recent [`Database::execute`] call
+    /// (parse / plan / exec / commit with per-span I/O deltas), filled
+    /// even when the statement returned an error.
+    pub fn last_statement_trace(&self) -> &Trace {
+        &self.last_trace
     }
 
     /// Dispatches one parsed statement (the body of [`Database::execute`],
@@ -461,9 +596,48 @@ impl Database {
                 self.catalog.table(&table)?;
                 format!("Delete {table} [unfiltered]\n  Truncate\n")
             }
+            (
+                Statement::Update {
+                    table,
+                    sets,
+                    filter,
+                },
+                true,
+            ) => {
+                // Render the plan BEFORE mutating: the access path must
+                // describe the data the statement actually saw.
+                let text = crate::dml::explain_dml(
+                    &self.catalog,
+                    self.backend.as_ref(),
+                    "Update",
+                    &table,
+                    &filter,
+                )?;
+                self.analyze_dml(text, |db| {
+                    crate::dml::execute_update(&db.catalog, &mut db.backend, &table, &sets, &filter)
+                })?
+            }
+            (
+                Statement::Delete {
+                    table,
+                    filter: Some(conds),
+                },
+                true,
+            ) => {
+                let text = crate::dml::explain_dml(
+                    &self.catalog,
+                    self.backend.as_ref(),
+                    "Delete",
+                    &table,
+                    &conds,
+                )?;
+                self.analyze_dml(text, |db| {
+                    crate::dml::execute_delete(&db.catalog, &mut db.backend, &table, &conds)
+                })?
+            }
             _ => {
                 return Err(RqsError::Syntax(
-                    "EXPLAIN ANALYZE accepts only SELECT".into(),
+                    "EXPLAIN ANALYZE accepts only SELECT, UPDATE, or predicated DELETE".into(),
                 ))
             }
         };
@@ -475,6 +649,34 @@ impl Database {
                 .collect(),
             ..Default::default()
         })
+    }
+
+    /// Runs a DML statement under `EXPLAIN ANALYZE` and appends the
+    /// same `Actual:` lines SELECT gets (with `rows` = rows affected;
+    /// DML has no executor row counters, so `rows_scanned`/`scans`
+    /// report 0). The mutation really commits — ANALYZE executes.
+    fn analyze_dml(
+        &mut self,
+        mut text: String,
+        run: impl FnOnce(&mut Self) -> RqsResult<usize>,
+    ) -> RqsResult<String> {
+        let io_before = self.backend.stats();
+        let run_started = std::time::Instant::now();
+        let affected = run(self)?;
+        let elapsed_us = run_started.elapsed().as_micros();
+        let io_after = self.backend.stats();
+        if !text.ends_with('\n') {
+            text.push('\n');
+        }
+        text.push_str(&format!(
+            "Actual: rows={affected} elapsed_us={elapsed_us}\n"
+        ));
+        text.push_str(&format!(
+            "Actual: page_reads={} buffer_hits={} rows_scanned=0 scans=0\n",
+            io_after.page_reads - io_before.page_reads,
+            io_after.buffer_hits - io_before.buffer_hits,
+        ));
+        Ok(text)
     }
 
     /// Runs the SELECT, then renders its plan annotated with measured

@@ -86,7 +86,7 @@ pub use backend::{
     AccessPath, InMemoryBackend, PagedBackend, RowLockHook, Snapshot, StorageBackend,
 };
 pub use catalog::{Catalog, Column, ColumnType, Table, TableConstraint};
-pub use database::{Database, QueryResult};
+pub use database::{Database, QueryResult, Trace, TraceSpan};
 pub use error::{RqsError, RqsResult};
 pub use exec::QueryMetrics;
 pub use value::Datum;

@@ -137,9 +137,16 @@ impl Parser {
             let inner = self.statement()?;
             match &inner {
                 Statement::Select(_) => {}
-                Statement::Update { .. } | Statement::Delete { .. } if !analyze => {}
-                Statement::Update { .. } | Statement::Delete { .. } => {
-                    return Err(self.err("EXPLAIN ANALYZE accepts only SELECT"));
+                Statement::Update { .. } => {}
+                Statement::Delete {
+                    filter: Some(_), ..
+                } => {}
+                // The bare-DELETE truncation fast path has no plan to
+                // measure; EXPLAIN describes it, ANALYZE refuses.
+                Statement::Delete { filter: None, .. } if !analyze => {}
+                Statement::Delete { .. } => {
+                    return Err(self
+                        .err("EXPLAIN ANALYZE accepts only SELECT, UPDATE, or predicated DELETE"));
                 }
                 _ => {
                     return Err(self.err("EXPLAIN accepts only SELECT, UPDATE, or DELETE"));

@@ -77,12 +77,12 @@ pub mod retry;
 pub use retry::Backoff;
 
 use rqs::sql::{SelectStmt, Statement};
-use rqs::{Catalog, Database, Datum, QueryResult, RqsError, TableConstraint};
-use std::collections::BTreeMap;
+use rqs::{Catalog, Database, Datum, QueryResult, RqsError, TableConstraint, TraceSpan};
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use storage::{LockManager, LockMode};
 
 /// The pseudo-resource DDL locks exclusively and every other statement
@@ -132,6 +132,40 @@ impl ServerError {
 
 pub type ServerResult<T> = Result<T, ServerError>;
 
+/// One captured slow statement: what ran, who ran it, how long it took
+/// and where the time went.
+#[derive(Clone, Debug)]
+pub struct SlowEntry {
+    /// Session id of the issuer.
+    pub session: u64,
+    /// The statement text as received.
+    pub sql: String,
+    /// Whole-statement wall time at the session layer (lock
+    /// acquisition included), nanoseconds.
+    pub wall_nanos: u64,
+    /// Span breakdown (`locks` + the database's parse/plan/exec/commit).
+    pub spans: Vec<TraceSpan>,
+}
+
+/// Bounded ring buffer of statements slower than a threshold.
+struct SlowLog {
+    threshold: Duration,
+    capacity: usize,
+    entries: VecDeque<SlowEntry>,
+}
+
+impl SlowLog {
+    fn push(&mut self, entry: SlowEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        while self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+        }
+        self.entries.push_back(entry);
+    }
+}
+
 struct Shared {
     /// `None` once [`SharedDatabase::crash`] ran.
     db: Mutex<Option<Database>>,
@@ -139,15 +173,28 @@ struct Shared {
     locks: Arc<LockManager>,
     /// Lock-owner timestamps: smaller = older (wait-die winners).
     next_owner: AtomicU64,
+    /// Session ids (reported by the slow log).
+    next_session: AtomicU64,
     /// Whether DML takes row-granular locks (table `IX` + per-row `X`)
     /// on backends that support them, or plain table `X` locks.
     /// Defaults on; benchmarks pin it off for a table-lock baseline.
     row_locks: AtomicBool,
+    /// Statements slower than the threshold, oldest evicted first.
+    slow: Mutex<SlowLog>,
 }
 
 fn db_slot(m: &Mutex<Option<Database>>) -> MutexGuard<'_, Option<Database>> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
+
+fn lock_slow(m: &Mutex<SlowLog>) -> MutexGuard<'_, SlowLog> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Default slow-statement capture threshold.
+pub const DEFAULT_SLOW_THRESHOLD: Duration = Duration::from_millis(10);
+/// Default slow-statement ring-buffer capacity.
+pub const DEFAULT_SLOW_CAPACITY: usize = 128;
 
 /// An `Arc`-cloneable, `Send` handle to one shared database. Clone it
 /// into as many threads as you like; open a [`ServerSession`] per
@@ -177,9 +224,38 @@ impl SharedDatabase {
                 db: Mutex::new(Some(db)),
                 locks: Arc::new(LockManager::with_config(timeout, escalation)),
                 next_owner: AtomicU64::new(1),
+                next_session: AtomicU64::new(1),
                 row_locks: AtomicBool::new(true),
+                slow: Mutex::new(SlowLog {
+                    threshold: DEFAULT_SLOW_THRESHOLD,
+                    capacity: DEFAULT_SLOW_CAPACITY,
+                    entries: VecDeque::new(),
+                }),
             }),
         }
+    }
+
+    /// Reconfigures the slow-statement log: statements whose session-
+    /// layer wall time reaches `threshold` are kept, newest
+    /// `capacity` entries retained (0 disables capture). Existing
+    /// entries beyond the new capacity are dropped oldest-first.
+    pub fn set_slow_log(&self, threshold: Duration, capacity: usize) {
+        let mut slow = lock_slow(&self.inner.slow);
+        slow.threshold = threshold;
+        slow.capacity = capacity;
+        while slow.entries.len() > capacity {
+            slow.entries.pop_front();
+        }
+    }
+
+    /// The captured slow statements, oldest first (the `SLOW` verb
+    /// renders the same list as wire rows).
+    pub fn slow_entries(&self) -> Vec<SlowEntry> {
+        lock_slow(&self.inner.slow)
+            .entries
+            .iter()
+            .cloned()
+            .collect()
     }
 
     /// Toggles row-granular DML locking (on by default where the
@@ -210,8 +286,10 @@ impl SharedDatabase {
     pub fn session(&self) -> ServerSession {
         ServerSession {
             shared: Arc::clone(&self.inner),
+            id: self.inner.next_session.fetch_add(1, Ordering::SeqCst),
             txn: None,
             stats: SessionStats::default(),
+            last_trace: Vec::new(),
         }
     }
 
@@ -225,6 +303,18 @@ impl SharedDatabase {
             db.backend().metrics()
         };
         Ok(engine.merge(self.inner.locks.metrics()))
+    }
+
+    /// Engine-wide latency-histogram snapshot: the database's fsync /
+    /// commit / fault-in histograms merged with the lock manager's
+    /// lock-wait histogram (the `STATS HISTOGRAMS` verb renders this).
+    pub fn histograms(&self) -> ServerResult<storage::HistogramsSnapshot> {
+        let engine = {
+            let slot = db_slot(&self.inner.db);
+            let db = slot.as_ref().ok_or(ServerError::Closed)?;
+            db.backend().histograms()
+        };
+        Ok(engine.merge(self.inner.locks.histograms()))
     }
 
     /// Runs `f` with the underlying database (test assertions, ops).
@@ -282,8 +372,13 @@ pub struct SessionStats {
 /// transaction between `BEGIN` and `COMMIT`/`ROLLBACK`.
 pub struct ServerSession {
     shared: Arc<Shared>,
+    /// Stable id reported by the slow log.
+    id: u64,
     txn: Option<OpenTxn>,
     stats: SessionStats,
+    /// Span breakdown of the last SQL statement this session ran
+    /// (`locks` + the database's spans); what `TRACE` renders.
+    last_trace: Vec<TraceSpan>,
 }
 
 impl ServerSession {
@@ -292,22 +387,47 @@ impl ServerSession {
         self.txn.is_some()
     }
 
+    /// This session's id (stable for its lifetime; slow-log entries
+    /// carry it).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
     /// Executes one statement: SQL, the session-control verbs
-    /// `BEGIN` / `COMMIT` / `ROLLBACK` (alias `ABORT`), or `STATS`
-    /// (engine-wide counter snapshot plus this session's counters, as
-    /// `counter`/`value` rows).
+    /// `BEGIN` / `COMMIT` / `ROLLBACK` (alias `ABORT`), or the
+    /// observability verbs — `STATS` (counter rows),
+    /// `STATS HISTOGRAMS` (latency distributions), `TRACE <sql>`
+    /// (execute and return the span breakdown), `SLOW` (the slow-
+    /// statement log).
     pub fn execute(&mut self, sql: &str) -> ServerResult<QueryResult> {
         self.stats.statements += 1;
-        let verb = sql
-            .split_whitespace()
-            .next()
-            .unwrap_or("")
-            .to_ascii_uppercase();
+        let mut words = sql.split_whitespace();
+        let verb = words.next().unwrap_or("").to_ascii_uppercase();
         match verb.as_str() {
             "BEGIN" => self.begin(),
             "COMMIT" | "END" => self.commit(),
             "ROLLBACK" | "ABORT" => self.rollback(),
+            "STATS"
+                if words
+                    .next()
+                    .is_some_and(|w| w.eq_ignore_ascii_case("HISTOGRAMS")) =>
+            {
+                self.histogram_rows()
+            }
             "STATS" => self.stats_rows(),
+            "SLOW" => self.slow_rows(),
+            "TRACE" => {
+                let inner = sql.trim_start();
+                let inner = inner[inner
+                    .find(char::is_whitespace)
+                    .ok_or_else(|| ServerError::Session("TRACE needs a statement".into()))?..]
+                    .trim_start();
+                if inner.is_empty() {
+                    return Err(ServerError::Session("TRACE needs a statement".into()));
+                }
+                self.statement(inner)?;
+                Ok(Self::trace_rows(&self.last_trace))
+            }
             _ => self.statement(sql),
         }
     }
@@ -315,6 +435,106 @@ impl ServerSession {
     /// This session's observability counters.
     pub fn session_stats(&self) -> SessionStats {
         self.stats
+    }
+
+    /// Span breakdown of the last SQL statement this session executed
+    /// (what the `TRACE` verb returns over the wire).
+    pub fn last_trace(&self) -> &[TraceSpan] {
+        &self.last_trace
+    }
+
+    /// Renders spans as wire rows: one row per span, I/O deltas
+    /// included.
+    fn trace_rows(spans: &[TraceSpan]) -> QueryResult {
+        QueryResult {
+            columns: vec![
+                "span".into(),
+                "nanos".into(),
+                "page_reads".into(),
+                "buffer_hits".into(),
+                "wal_appends".into(),
+            ],
+            rows: spans
+                .iter()
+                .map(|s| {
+                    vec![
+                        Datum::text(s.name),
+                        Datum::Int(s.nanos as i64),
+                        Datum::Int(s.page_reads as i64),
+                        Datum::Int(s.buffer_hits as i64),
+                        Datum::Int(s.wal_appends as i64),
+                    ]
+                })
+                .collect(),
+            ..Default::default()
+        }
+    }
+
+    /// The `STATS HISTOGRAMS` verb: one `histogram`/`stat`/`value` row
+    /// per histogram × derived statistic, engine and lock-manager
+    /// registries merged.
+    fn histogram_rows(&mut self) -> ServerResult<QueryResult> {
+        let engine = {
+            let slot = db_slot(&self.shared.db);
+            let db = slot.as_ref().ok_or(ServerError::Closed)?;
+            db.backend().histograms()
+        };
+        let merged = engine.merge(self.shared.locks.histograms());
+        let rows = merged
+            .histograms()
+            .into_iter()
+            .flat_map(|(name, h)| {
+                h.stats().into_iter().map(move |(stat, value)| {
+                    vec![
+                        Datum::text(name),
+                        Datum::text(stat),
+                        Datum::Int(value as i64),
+                    ]
+                })
+            })
+            .collect();
+        Ok(QueryResult {
+            columns: vec!["histogram".into(), "stat".into(), "value".into()],
+            rows,
+            ..Default::default()
+        })
+    }
+
+    /// The `SLOW` verb: captured slow statements, oldest first — one
+    /// row each with the span breakdown flattened to `name=micros`
+    /// pairs.
+    fn slow_rows(&mut self) -> ServerResult<QueryResult> {
+        let entries = {
+            let slow = lock_slow(&self.shared.slow);
+            slow.entries.iter().cloned().collect::<Vec<_>>()
+        };
+        let rows = entries
+            .into_iter()
+            .map(|e| {
+                let spans = e
+                    .spans
+                    .iter()
+                    .map(|s| format!("{}={}us", s.name, s.nanos / 1_000))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                vec![
+                    Datum::Int(e.session as i64),
+                    Datum::text(&e.sql),
+                    Datum::Int((e.wall_nanos / 1_000) as i64),
+                    Datum::text(&spans),
+                ]
+            })
+            .collect();
+        Ok(QueryResult {
+            columns: vec![
+                "session".into(),
+                "statement".into(),
+                "wall_us".into(),
+                "spans".into(),
+            ],
+            rows,
+            ..Default::default()
+        })
     }
 
     /// Bookkeeping for [`retry::execute_with_backoff`]: one wait-die
@@ -414,6 +634,7 @@ impl ServerSession {
     }
 
     fn statement(&mut self, sql: &str) -> ServerResult<QueryResult> {
+        let started = Instant::now();
         let stmt = rqs::sql::parse_statement(sql).map_err(ServerError::Statement)?;
         let ddl = matches!(
             stmt,
@@ -466,6 +687,10 @@ impl ServerSession {
         // An intent-locked write target means execution must take an
         // `X` per row it touches: install the hook for this statement.
         let row_locked_write = plan.values().any(|&m| m == LockMode::IntentExclusive);
+        // Everything up to here — schema lock, lock planning, table
+        // locks — is the session-layer `locks` span (any mutex wait in
+        // Phase 2 is charged to the database spans it precedes).
+        let lock_nanos = started.elapsed().as_nanos() as u64;
 
         // Phase 2: execute under the statement mutex, with the session's
         // transaction (if any) switched in.
@@ -496,8 +721,30 @@ impl ServerSession {
             if row_locked_write {
                 db.set_row_lock_hook(None);
             }
+            // Assemble the full span breakdown while the database is
+            // still ours: `locks` first, then its parse/plan/exec/
+            // commit spans (filled even when the statement failed).
+            let mut spans = vec![TraceSpan {
+                name: "locks",
+                nanos: lock_nanos,
+                ..Default::default()
+            }];
+            spans.extend(db.last_statement_trace().spans.iter().cloned());
+            self.last_trace = spans;
             r
         };
+        let wall_nanos = started.elapsed().as_nanos() as u64;
+        {
+            let mut slow = lock_slow(&self.shared.slow);
+            if slow.capacity > 0 && wall_nanos >= slow.threshold.as_nanos() as u64 {
+                slow.push(SlowEntry {
+                    session: self.id,
+                    sql: sql.to_owned(),
+                    wall_nanos,
+                    spans: self.last_trace.clone(),
+                });
+            }
+        }
         match result {
             Ok(r) => {
                 if self.txn.is_none() {
@@ -578,11 +825,21 @@ fn lock_plan(stmt: &Statement, catalog: &Catalog, row_locks: bool) -> BTreeMap<S
                 read(&mut plan, &t);
             }
         }
-        Statement::Explain { stmt, .. } => {
-            // EXPLAIN never mutates (ANALYZE is SELECT-only), so every
-            // table the inner statement would touch is only read here.
-            for t in lock_plan(stmt, catalog, row_locks).into_keys() {
-                read(&mut plan, &t);
+        Statement::Explain { stmt, analyze } => {
+            if *analyze {
+                // ANALYZE *executes* the inner statement — an analyzed
+                // UPDATE/DELETE really writes — so it locks exactly as
+                // the inner statement would (IX targets included, which
+                // also arms the per-row hook).
+                for (t, m) in lock_plan(stmt, catalog, row_locks) {
+                    plan.insert(t, m);
+                }
+            } else {
+                // Plain EXPLAIN only renders the plan: every table the
+                // inner statement would touch is only read here.
+                for t in lock_plan(stmt, catalog, row_locks).into_keys() {
+                    read(&mut plan, &t);
+                }
             }
         }
         Statement::Insert { table, .. } => {

@@ -238,6 +238,37 @@ impl Client {
             }
         }
     }
+
+    /// Issues `STATS` and parses the `counter`/`value` rows into a
+    /// name → value map (counter names arrive quoted on the wire; the
+    /// quotes are stripped here). Any malformed row — wrong width,
+    /// unquoted name, non-numeric value — is an
+    /// [`io::ErrorKind::InvalidData`] error, and a server-side `ERR`
+    /// response surfaces as [`io::ErrorKind::Other`].
+    pub fn stats(&mut self) -> io::Result<std::collections::BTreeMap<String, u64>> {
+        let result = self
+            .execute("STATS")?
+            .map_err(|e| io::Error::other(format!("STATS failed: {e}")))?;
+        let mut map = std::collections::BTreeMap::new();
+        for row in &result.rows {
+            let malformed = || {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed STATS row: {row:?}"),
+                )
+            };
+            let [name, value] = row.as_slice() else {
+                return Err(malformed());
+            };
+            let name = name
+                .strip_prefix('\'')
+                .and_then(|n| n.strip_suffix('\''))
+                .ok_or_else(malformed)?;
+            let value: u64 = value.parse().map_err(|_| malformed())?;
+            map.insert(name.to_owned(), value);
+        }
+        Ok(map)
+    }
 }
 
 #[cfg(test)]

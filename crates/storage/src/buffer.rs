@@ -405,6 +405,7 @@ impl BufferPool {
     /// so its frames are contiguous in the log and a failed commit is
     /// physically rewound without touching other transactions.
     pub fn commit_txn(&self, id: TxnId) -> StorageResult<()> {
+        let start = std::time::Instant::now();
         let mut inner = lock(&self.inner);
         let inner = &mut *inner;
         if !inner.txns.contains_key(&id) {
@@ -465,6 +466,13 @@ impl BufferPool {
                     frame.before = None;
                 }
                 Self::finish_txn(inner, &self.active, id);
+                // Only committed forces count: a rewound commit never
+                // made anything durable.
+                inner
+                    .metrics
+                    .histograms
+                    .commit
+                    .record(start.elapsed().as_nanos() as u64);
                 Ok(())
             }
             Err(e) => {
@@ -905,6 +913,7 @@ impl BufferPool {
         }
         inner.stats.page_reads += 1;
         bump(&inner.metrics.fault_ins);
+        let start = std::time::Instant::now();
         let mut page = Page::zeroed();
         let mut dirty = false;
         match inner.pending_undo.remove(&id) {
@@ -920,6 +929,13 @@ impl BufferPool {
                 page.validate()?;
             }
         }
+        // One record per fault_ins bump (a parked-undo serve measures
+        // the copy, not a pager read) so histogram count == counter.
+        inner
+            .metrics
+            .histograms
+            .fault_in
+            .record(start.elapsed().as_nanos() as u64);
         // A stolen page faulted back in still belongs to its thief: the
         // on-disk content is that transaction's uncommitted write, so
         // the frame keeps the owner (foreign writes stay `Conflict`s)

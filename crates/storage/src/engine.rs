@@ -249,15 +249,13 @@ impl StorageEngine {
         let pool = BufferPool::with_wal(pager, pool_pages.max(8), wal);
         // Recovery ran before the pool (and its registry) existed;
         // record what it did so the counts survive into snapshots.
+        // Added, not stored: the catalog is uniformly cumulative, and
+        // a fresh registry starts at zero anyway (one recovery per
+        // open), so trajectory diffs read these like any other counter.
         {
-            use std::sync::atomic::Ordering;
             let metrics = pool.metrics();
-            metrics
-                .recovery_redo_frames
-                .store(report.pages_replayed, Ordering::Relaxed);
-            metrics
-                .recovery_undo_frames
-                .store(report.pages_undone, Ordering::Relaxed);
+            crate::metrics::add(&metrics.recovery_redo_frames, report.pages_replayed);
+            crate::metrics::add(&metrics.recovery_undo_frames, report.pages_undone);
         }
         if fresh {
             // The bootstrap heaps (and the meta page anchoring the
@@ -449,6 +447,12 @@ impl StorageEngine {
     /// WAL, access methods, last recovery) — see [`crate::metrics`].
     pub fn metrics(&self) -> MetricsSnapshot {
         self.pool.metrics().snapshot()
+    }
+
+    /// Snapshot of the engine's latency histograms (WAL fsync, commit
+    /// force, buffer-pool fault-in) — see [`crate::metrics`].
+    pub fn histograms(&self) -> crate::metrics::HistogramsSnapshot {
+        self.pool.metrics().histograms_snapshot()
     }
 
     /// Pages currently reusable on the persistent free list.

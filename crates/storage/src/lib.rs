@@ -78,7 +78,10 @@ pub mod wal;
 pub use buffer::{BufferPool, PoolStats, TxnId};
 pub use engine::{ColType, StorageEngine};
 pub use lock::{LockManager, LockMode};
-pub use metrics::{MetricsSnapshot, StorageMetrics};
+pub use metrics::{
+    HistogramSnapshot, HistogramsSnapshot, LatencyHistogram, MetricsSnapshot, StorageHistograms,
+    StorageMetrics,
+};
 pub use page::{PageId, PAGE_SIZE};
 pub use pager::Fault;
 pub use value::{Datum, Tuple};

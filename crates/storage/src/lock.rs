@@ -207,6 +207,12 @@ impl LockManager {
         self.metrics.snapshot()
     }
 
+    /// Snapshot of the latency histograms (only `lock_wait` is ever
+    /// non-zero here).
+    pub fn histograms(&self) -> crate::metrics::HistogramsSnapshot {
+        self.metrics.histograms_snapshot()
+    }
+
     fn grant_counter(&self, mode: LockMode) -> &std::sync::atomic::AtomicU64 {
         match mode {
             LockMode::Shared => &self.metrics.lock_shared,
@@ -261,10 +267,11 @@ impl LockManager {
                 .released
                 .wait_timeout(state, deadline - now)
                 .unwrap_or_else(PoisonError::into_inner);
-            add(
-                &self.metrics.lock_wait_nanos,
-                now.elapsed().as_nanos() as u64,
-            );
+            let waited = now.elapsed().as_nanos() as u64;
+            add(&self.metrics.lock_wait_nanos, waited);
+            // The same interval, as a distribution: histogram total and
+            // the counter move in lockstep.
+            self.metrics.histograms.lock_wait.record(waited);
             state = next;
             // Even a timed-out wakeup loops back for one more
             // grantability check: a `release_all` racing the timeout

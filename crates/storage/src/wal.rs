@@ -452,12 +452,20 @@ impl Wal {
         if let Some(fault) = &self.fault {
             fault.tap()?;
         }
+        let start = std::time::Instant::now();
         if let WalBacking::File(file) = &mut self.backing {
             file.sync_data()?;
         }
         self.durable_lsn = self.next_lsn - 1;
         if let Some(metrics) = &self.metrics {
             bump(&metrics.wal_fsyncs);
+            // Recorded exactly once per wal_fsyncs bump (a Mem backing
+            // records ~0 ns but still counts) so histogram count and
+            // counter stay equal.
+            metrics
+                .histograms
+                .wal_fsync
+                .record(start.elapsed().as_nanos() as u64);
         }
         Ok(())
     }

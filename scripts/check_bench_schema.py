@@ -41,6 +41,18 @@ def main():
     for section in ("s1_storage", "s2_concurrency", "s3_update"):
         if section not in generated:
             sys.exit(f"generated trajectory is missing section {section}")
+        # Every section must report its per-statement latency
+        # distribution (count + percentiles in microseconds).
+        latency = generated[section].get("latency")
+        if not isinstance(latency, dict):
+            sys.exit(f"{section} is missing its latency object")
+        expected = ["count", "p50_us", "p95_us", "p99_us"]
+        if list(latency.keys()) != expected:
+            sys.exit(
+                f"{section}.latency keys {list(latency.keys())} != {expected}"
+            )
+        if latency["count"] <= 0:
+            sys.exit(f"{section}.latency recorded no samples")
     print(f"benchmark schema OK ({committed_path})")
 
 

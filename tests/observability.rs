@@ -1,5 +1,6 @@
-//! Observability suite: the unified metrics registry, EXPLAIN ANALYZE,
-//! and the server's STATS surface.
+//! Observability suite: the unified metrics registry, latency
+//! histograms, per-statement trace spans, the slow-statement log,
+//! EXPLAIN ANALYZE, and the server's STATS surface.
 //!
 //! The counters are only trustworthy if independent accountings agree,
 //! so these tests are differential where possible:
@@ -8,17 +9,24 @@
 //!   own `PoolStats` (two separate counting sites);
 //! * the registry's `wal_bytes` vs. the WAL file's actual on-disk
 //!   length after a scripted workload;
+//! * the fsync histogram's sample count vs. the `wal_fsyncs` counter,
+//!   and the lock-wait histogram's total vs. `lock_wait_nanos` (the
+//!   same events, counted at the same sites, reduced two ways);
+//! * a statement's trace spans vs. its own `elapsed_nanos` (the spans
+//!   partition the statement);
 //! * `lock_waits` stays zero when concurrent sessions touch disjoint
 //!   tables (nothing to wait for);
 //! * `EXPLAIN ANALYZE` actual page reads: indexed point lookup must
 //!   beat the full scan on the same predicate (the paper's cost model,
-//!   measured rather than estimated).
+//!   measured rather than estimated) — and under ANALYZE, UPDATE and
+//!   predicated DELETE really execute and report the same actuals.
 
 use rqs::{Database, Datum};
 use server::net::{Client, Server};
 use server::SharedDatabase;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
 use storage::engine::wal_path;
 
 static NEXT_DB: AtomicUsize = AtomicUsize::new(0);
@@ -193,10 +201,46 @@ fn explain_covers_update_and_delete() {
         assert_eq!(r.columns, ["plan"]);
         assert!(!r.rows.is_empty());
         assert_eq!(db.execute("SELECT v.k FROM t v").unwrap().rows.len(), 2);
-        // EXPLAIN ANALYZE stays SELECT-only; other statements are
-        // rejected at parse time.
+        // EXPLAIN ANALYZE executes DML for real, so the unpredicated
+        // DELETE (a full truncate) stays refused; INSERT is rejected
+        // outright at parse time.
         assert!(db.execute("EXPLAIN ANALYZE DELETE FROM t").is_err());
         assert!(db.execute("EXPLAIN INSERT INTO t VALUES (3, 'c')").is_err());
+    }
+}
+
+#[test]
+fn explain_analyze_executes_update_and_predicated_delete() {
+    for mut db in [Database::new(), Database::paged(8).unwrap()] {
+        db.execute("CREATE TABLE t (k INT, pad TEXT)").unwrap();
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+            .unwrap();
+        // ANALYZE on an UPDATE renders the plan, then really executes:
+        // the Actual line reports the mutated row count and the table
+        // reflects the rewrite afterwards.
+        let upd = db
+            .execute("EXPLAIN ANALYZE UPDATE t SET pad = 'x' WHERE k >= 2")
+            .unwrap();
+        assert_eq!(upd.columns, ["plan"]);
+        let text = upd
+            .rows
+            .iter()
+            .map(|r| r[0].to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("Update t"), "{text}");
+        assert_eq!(actual_value(&upd.rows, "rows"), 2, "{text}");
+        let rewritten = db.execute("SELECT v.k FROM t v WHERE v.pad = 'x'").unwrap();
+        assert_eq!(rewritten.rows.len(), 2, "ANALYZE must have mutated");
+        // Same for a predicated DELETE; the actuals carry I/O counters
+        // in the same `key=value` grammar the SELECT path uses.
+        let del = db
+            .execute("EXPLAIN ANALYZE DELETE FROM t WHERE k = 1")
+            .unwrap();
+        assert_eq!(actual_value(&del.rows, "rows"), 1);
+        let _ = actual_value(&del.rows, "elapsed_us");
+        let _ = actual_value(&del.rows, "page_reads");
+        assert_eq!(db.execute("SELECT v.k FROM t v").unwrap().rows.len(), 2);
     }
 }
 
@@ -242,17 +286,12 @@ fn stats_over_tcp_reports_nonzero_buffer_counters() {
     c.execute("SELECT v.b FROM t v WHERE v.a = 7")
         .unwrap()
         .unwrap();
-    let stats = c.execute("STATS").unwrap().unwrap();
-    assert_eq!(stats.columns, ["counter", "value"]);
+    // The typed helper parses the two-column wire rows into a map.
+    let stats = c.stats().unwrap();
     let value = |name: &str| -> u64 {
-        let cell = format!("'{name}'");
-        stats
-            .rows
-            .iter()
-            .find(|r| r[0] == cell)
-            .unwrap_or_else(|| panic!("no {name} row in STATS"))[1]
-            .parse()
-            .unwrap()
+        *stats
+            .get(name)
+            .unwrap_or_else(|| panic!("no {name} row in STATS"))
     };
     // A fresh in-memory paged database allocates its pages rather than
     // faulting them in, but repeated catalog/heap access must hit
@@ -267,6 +306,246 @@ fn stats_over_tcp_reports_nonzero_buffer_counters() {
     // Every engine counter the registry declares is on the wire.
     for name in storage::MetricsSnapshot::NAMES {
         value(name);
+    }
+    server.stop();
+}
+
+#[test]
+fn fsync_histogram_count_matches_the_counter() {
+    let path = temp_db("fsynchist");
+    {
+        let mut db = Database::open_paged(&path, 16).unwrap();
+        db.execute("CREATE TABLE t (a INT)").unwrap();
+        for i in 0..25 {
+            db.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+        }
+        db.execute("UPDATE t SET a = 99 WHERE a < 5").unwrap();
+        let snap = db.backend().metrics();
+        let hist = db.backend().histograms();
+        // Same events, two reductions: every fsync bumps the counter
+        // and records one histogram sample, at the same call site.
+        assert!(snap.wal_fsyncs > 0, "commits must force the log");
+        assert_eq!(hist.wal_fsync.count(), snap.wal_fsyncs, "fsync count");
+        assert!(
+            hist.wal_fsync.total_nanos > 0,
+            "file-backed fsyncs take measurable time"
+        );
+        assert!(hist.wal_fsync.max_nanos >= hist.wal_fsync.percentile(50.0));
+        // Every committed mutating statement records one commit sample.
+        assert!(hist.commit.count() > 0, "commits must be timed");
+        assert!(
+            hist.commit.total_nanos >= hist.wal_fsync.total_nanos,
+            "a commit contains its fsync"
+        );
+    }
+    cleanup(&path);
+}
+
+#[test]
+fn lock_wait_histogram_totals_match_the_counter() {
+    let shared = SharedDatabase::paged(64).unwrap();
+    {
+        let mut setup = shared.session();
+        setup.execute("CREATE TABLE t (a INT)").unwrap();
+    }
+    // Wait-die: the *older* transaction waits. Session A begins first
+    // (smaller owner timestamp), B begins second and grabs the table;
+    // A's read then genuinely blocks until B commits. Two handshakes
+    // pin the order: A BEGINs before B does, and B holds its insert
+    // locks before A issues the read.
+    let (begun_tx, begun_rx) = std::sync::mpsc::channel();
+    let (held_tx, held_rx) = std::sync::mpsc::channel::<()>();
+    std::thread::scope(|scope| {
+        let shared_a = shared.clone();
+        scope.spawn(move || {
+            let mut a = shared_a.session();
+            a.execute("BEGIN").unwrap();
+            begun_tx.send(()).unwrap();
+            held_rx.recv().unwrap();
+            // Blocks on B's insert locks until B commits.
+            let rows = a.execute("SELECT v.a FROM t v").unwrap();
+            assert_eq!(rows.rows.len(), 1);
+            a.execute("COMMIT").unwrap();
+        });
+        begun_rx.recv().unwrap();
+        let mut b = shared.session();
+        b.execute("BEGIN").unwrap();
+        b.execute("INSERT INTO t VALUES (1)").unwrap();
+        held_tx.send(()).unwrap();
+        std::thread::sleep(Duration::from_millis(150));
+        b.execute("COMMIT").unwrap();
+    });
+    let snap = shared.metrics().unwrap();
+    let hist = shared.histograms().unwrap();
+    assert!(snap.lock_waits > 0, "A must have blocked on B");
+    // The histogram and the counters are fed the same `waited` value at
+    // the same site, so after quiescence they agree exactly.
+    assert_eq!(hist.lock_wait.count(), snap.lock_waits, "wait count");
+    assert_eq!(
+        hist.lock_wait.total_nanos, snap.lock_wait_nanos,
+        "wait nanos"
+    );
+    // A slept through most of B's 150 ms hold; the histogram must have
+    // seen a wait of that order (generous floor for scheduler jitter).
+    assert!(
+        hist.lock_wait.max_nanos >= 50_000_000,
+        "max wait {} ns is shorter than B's hold",
+        hist.lock_wait.max_nanos
+    );
+}
+
+#[test]
+fn trace_spans_partition_statement_elapsed() {
+    let mut db = Database::paged(8).unwrap();
+    db.execute("CREATE TABLE t (a INT, b TEXT)").unwrap();
+    db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        .unwrap();
+    let trace = db.last_statement_trace().clone();
+    assert_eq!(
+        trace.elapsed_nanos,
+        db.last_statement_metrics().elapsed_nanos,
+        "trace and metrics report the same wall clock"
+    );
+    let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+    assert!(names.contains(&"parse"), "spans: {names:?}");
+    assert!(names.contains(&"exec"), "spans: {names:?}");
+    assert!(
+        names.contains(&"commit"),
+        "a paged INSERT commits: {names:?}"
+    );
+    // The spans partition the statement: they sum to at most the wall
+    // clock, and the unattributed remainder is only probe overhead.
+    let sum: u64 = trace.spans.iter().map(|s| s.nanos).sum();
+    assert!(
+        sum <= trace.elapsed_nanos,
+        "{sum} > {}",
+        trace.elapsed_nanos
+    );
+    assert!(
+        trace.elapsed_nanos - sum < 1_000_000,
+        "unattributed gap too large: {} of {}",
+        trace.elapsed_nanos - sum,
+        trace.elapsed_nanos
+    );
+    // The commit span carries the durability I/O: the WAL frames this
+    // statement appended are attributed to commit, not execution.
+    let commit = trace.spans.iter().find(|s| s.name == "commit").unwrap();
+    assert!(commit.wal_appends > 0, "commit span owns the WAL traffic");
+    // A read-only statement has no commit span at all.
+    db.execute("SELECT v.a FROM t v").unwrap();
+    let read = db.last_statement_trace();
+    assert!(
+        read.spans.iter().all(|s| s.name != "commit"),
+        "reads must not report a commit span: {read:?}"
+    );
+}
+
+#[test]
+fn slow_log_captures_statements_and_respects_capacity() {
+    let shared = SharedDatabase::paged(16).unwrap();
+    // Threshold zero: everything is slow; capacity 4 bounds the ring.
+    shared.set_slow_log(Duration::ZERO, 4);
+    let mut s = shared.session();
+    s.execute("CREATE TABLE t (a INT)").unwrap();
+    for i in 0..6 {
+        s.execute(&format!("INSERT INTO t VALUES ({i})")).unwrap();
+    }
+    s.execute("SELECT v.a FROM t v WHERE v.a = 3").unwrap();
+    let entries = shared.slow_entries();
+    assert_eq!(entries.len(), 4, "ring must evict down to capacity");
+    // The newest entry is the SELECT; eviction dropped the oldest.
+    let last = entries.last().unwrap();
+    assert_eq!(last.sql, "SELECT v.a FROM t v WHERE v.a = 3");
+    assert_eq!(last.session, s.id(), "entry names the issuing session");
+    assert!(last.wall_nanos > 0);
+    // Entries keep the full span breakdown, server lock span included.
+    assert_eq!(last.spans.first().unwrap().name, "locks");
+    assert!(last.spans.iter().any(|sp| sp.name == "exec"));
+    // Raising the threshold stops capture without clearing history.
+    shared.set_slow_log(Duration::from_secs(3600), 4);
+    s.execute("SELECT v.a FROM t v").unwrap();
+    let after = shared.slow_entries();
+    assert_eq!(after.len(), 4);
+    assert_eq!(after.last().unwrap().sql, last.sql, "no new captures");
+}
+
+#[test]
+fn observability_verbs_work_over_tcp() {
+    let shared = SharedDatabase::paged(8).unwrap();
+    shared.set_slow_log(Duration::ZERO, 128);
+    let Ok(server) = Server::start(shared, "127.0.0.1:0") else {
+        eprintln!("skipping: cannot bind a TCP socket in this environment");
+        return;
+    };
+    let mut c = Client::connect(server.addr()).unwrap();
+    c.execute("CREATE TABLE empl (eno INT, nam TEXT, sal INT)")
+        .unwrap()
+        .unwrap();
+    // Enough rows to spill the 8-frame pool so reads fault pages in.
+    for chunk_start in (0..1000).step_by(100) {
+        let rows: Vec<String> = (chunk_start..chunk_start + 100)
+            .map(|i| format!("({i}, 'e{i}', {})", 10_000 + i))
+            .collect();
+        c.execute(&format!("INSERT INTO empl VALUES {}", rows.join(", ")))
+            .unwrap()
+            .unwrap();
+    }
+    // TRACE runs the statement and returns its span breakdown.
+    let trace = c
+        .execute("TRACE SELECT v.sal FROM empl v WHERE v.nam = 'e500'")
+        .unwrap()
+        .unwrap();
+    assert_eq!(
+        trace.columns,
+        ["span", "nanos", "page_reads", "buffer_hits", "wal_appends"]
+    );
+    let spans: Vec<&str> = trace.rows.iter().map(|r| r[0].as_str()).collect();
+    assert!(spans.contains(&"'locks'"), "spans: {spans:?}");
+    assert!(spans.contains(&"'parse'"), "spans: {spans:?}");
+    assert!(spans.contains(&"'exec'"), "spans: {spans:?}");
+    for row in &trace.rows {
+        let _: u64 = row[1].parse().expect("nanos must be an integer");
+    }
+    // A bare TRACE is a usage error, reported as a server ERR.
+    assert!(c.execute("TRACE").unwrap().is_err());
+    assert!(c.execute("TRACE   ").unwrap().is_err());
+    // STATS HISTOGRAMS renders every histogram × stat pair.
+    let hists = c.execute("STATS HISTOGRAMS").unwrap().unwrap();
+    assert_eq!(hists.columns, ["histogram", "stat", "value"]);
+    let value = |hist: &str, stat: &str| -> u64 {
+        let (h, s) = (format!("'{hist}'"), format!("'{stat}'"));
+        hists
+            .rows
+            .iter()
+            .find(|r| r[0] == h && r[1] == s)
+            .unwrap_or_else(|| panic!("no {hist}/{stat} row"))[2]
+            .parse()
+            .unwrap()
+    };
+    for hist in storage::HistogramsSnapshot::NAMES {
+        for stat in storage::HistogramSnapshot::STAT_NAMES {
+            value(hist, stat);
+        }
+    }
+    assert!(value("wal_fsync", "count") > 0, "inserts forced the log");
+    assert!(value("commit", "count") > 0, "inserts committed");
+    assert!(value("commit", "total_nanos") > 0, "commits take time");
+    assert!(
+        value("fault_in", "count") > 0,
+        "the 8-frame pool must have faulted under 1000 rows"
+    );
+    // SLOW lists captured statements with their span breakdown.
+    let slow = c.execute("SLOW").unwrap().unwrap();
+    assert_eq!(slow.columns, ["session", "statement", "wall_us", "spans"]);
+    assert!(
+        slow.rows
+            .iter()
+            .any(|r| r[1].contains("SELECT v.sal FROM empl v")),
+        "the traced SELECT must appear in SLOW: {:?}",
+        slow.rows
+    );
+    for row in &slow.rows {
+        assert!(row[3].contains("exec="), "spans column: {row:?}");
     }
     server.stop();
 }
