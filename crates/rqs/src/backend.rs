@@ -249,6 +249,31 @@ pub trait StorageBackend: Send {
     /// Installs (`Some`) or clears (`None`) the per-row lock hook.
     /// Ignored by backends without row-lock support.
     fn set_row_lock_hook(&mut self, _hook: Option<RowLockHook>) {}
+
+    /// Whether reads can run against MVCC commit-timestamp snapshots
+    /// instead of the lock manager (paged backends only; the in-memory
+    /// backend keeps strict two-phase reads).
+    fn supports_snapshot_reads(&self) -> bool {
+        false
+    }
+
+    /// Toggles snapshot reads (no-op without support). Callers toggle
+    /// only while no transactions or statement snapshots are open.
+    fn set_snapshot_reads(&mut self, _on: bool) {}
+
+    /// Opens the statement-scoped read snapshot for an autocommit
+    /// statement (no-op without snapshot support; sessions inside BEGIN
+    /// read through their transaction's snapshot instead).
+    fn open_statement_snapshot(&self) {}
+
+    /// Closes the statement snapshot and probe mode; safe to call
+    /// unconditionally, including on error paths.
+    fn close_statement_snapshot(&self) {}
+
+    /// Marks subsequent reads as constraint probes: latest committed
+    /// state plus the writer's own rows, conflicting retryably when the
+    /// probed table carries another transaction's uncommitted writes.
+    fn set_constraint_probe(&self, _on: bool) {}
 }
 
 /// A read view over schema + storage, what the planner and executor
@@ -1055,6 +1080,26 @@ impl StorageBackend for PagedBackend {
 
     fn set_row_lock_hook(&mut self, hook: Option<RowLockHook>) {
         self.row_lock_hook = hook;
+    }
+
+    fn supports_snapshot_reads(&self) -> bool {
+        self.engine.snapshot_reads_enabled()
+    }
+
+    fn set_snapshot_reads(&mut self, on: bool) {
+        self.engine.set_snapshot_reads(on);
+    }
+
+    fn open_statement_snapshot(&self) {
+        self.engine.open_statement_snapshot();
+    }
+
+    fn close_statement_snapshot(&self) {
+        self.engine.close_statement_snapshot();
+    }
+
+    fn set_constraint_probe(&self, on: bool) {
+        self.engine.set_constraint_probe(on);
     }
 
     fn delete_where(

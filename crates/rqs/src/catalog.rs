@@ -252,14 +252,21 @@ pub(crate) fn check_insert(
             }
             TableConstraint::Key { columns } => {
                 let cols = resolve_columns(table, columns, "key")?;
-                // Use an index when one covers a single-column key.
-                let dup = if cols.len() == 1 && backend.has_index(table_name, cols[0]) {
-                    backend
-                        .index_lookup(table_name, cols[0], &tuple[cols[0]])?
-                        .is_some_and(|rows| !rows.is_empty())
+                // Use an index when one covers a single-column key. The
+                // lookup may still decline (`None`) — e.g. while MVCC
+                // version metadata makes raw index postings unsafe — in
+                // which case the scan probe decides.
+                let indexed = if cols.len() == 1 && backend.has_index(table_name, cols[0]) {
+                    backend.index_lookup(table_name, cols[0], &tuple[cols[0]])?
                 } else {
-                    let values: Vec<Datum> = cols.iter().map(|&c| tuple[c].clone()).collect();
-                    backend.contains(table_name, &cols, &values)?
+                    None
+                };
+                let dup = match indexed {
+                    Some(rows) => !rows.is_empty(),
+                    None => {
+                        let values: Vec<Datum> = cols.iter().map(|&c| tuple[c].clone()).collect();
+                        backend.contains(table_name, &cols, &values)?
+                    }
                 };
                 if dup {
                     return Err(RqsError::ConstraintViolation(format!(
@@ -277,15 +284,19 @@ pub(crate) fn check_insert(
                 let parent_cols = resolve_columns(parent, parent_columns, "fk")?;
                 let values: Vec<Datum> = child_cols.iter().map(|&c| tuple[c].clone()).collect();
                 // Probe the parent through its index when one covers a
-                // single-column reference, else with an early-exit scan.
-                let found =
+                // single-column reference, else with an early-exit scan
+                // (also the fallback when the lookup declines — see the
+                // key probe above).
+                let indexed =
                     if parent_cols.len() == 1 && backend.has_index(parent_table, parent_cols[0]) {
-                        backend
-                            .index_lookup(parent_table, parent_cols[0], &values[0])?
-                            .is_some_and(|rows| !rows.is_empty())
+                        backend.index_lookup(parent_table, parent_cols[0], &values[0])?
                     } else {
-                        backend.contains(parent_table, &parent_cols, &values)?
+                        None
                     };
+                let found = match indexed {
+                    Some(rows) => !rows.is_empty(),
+                    None => backend.contains(parent_table, &parent_cols, &values)?,
+                };
                 if !found {
                     return Err(RqsError::ConstraintViolation(format!(
                         "{table_name}{columns:?} -> {parent_table}{parent_columns:?}: \

@@ -326,6 +326,19 @@ impl Database {
         self.backend.set_row_lock_hook(hook);
     }
 
+    /// Whether reads run against MVCC snapshots instead of the lock
+    /// manager (see
+    /// [`crate::backend::StorageBackend::supports_snapshot_reads`]).
+    pub fn supports_snapshot_reads(&self) -> bool {
+        self.backend.supports_snapshot_reads()
+    }
+
+    /// Toggles snapshot reads on backends that support them. Toggle
+    /// only between statements, with no session transactions open.
+    pub fn set_snapshot_reads(&mut self, on: bool) {
+        self.backend.set_snapshot_reads(on);
+    }
+
     /// Executes one SQL statement. Mutating statements run as one WAL
     /// transaction on paged backends: either every effect (rows, index
     /// postings, catalog mutations) commits durably, or none do.
@@ -340,10 +353,22 @@ impl Database {
         let parsed = sql::parse_statement(sql_text);
         let parse_nanos = started.elapsed().as_nanos() as u64;
         let exec_started = std::time::Instant::now();
+        // Autocommit statements read against a snapshot cut here; a
+        // session inside BEGIN reads through its transaction's snapshot
+        // instead (cut at BEGIN). No-ops without snapshot support.
+        let autocommit = !self.backend.in_txn();
+        if autocommit {
+            self.backend.open_statement_snapshot();
+        }
         let mut outcome = match parsed {
             Ok(stmt) => self.run_statement(stmt),
             Err(e) => Err(e),
         };
+        if autocommit {
+            // Unconditional close (error paths included) releases the
+            // prior versions only this statement kept alive.
+            self.backend.close_statement_snapshot();
+        }
         let exec_nanos = exec_started.elapsed().as_nanos() as u64;
         // Backfill I/O deltas and timings into BOTH outcomes: a failed
         // statement still reports the pages it touched before erroring.
@@ -486,7 +511,16 @@ impl Database {
                 let catalog = &self.catalog;
                 run_txn(&mut self.backend, |b| {
                     for row in rows {
-                        catalog::check_insert(catalog, b, &table, &row)?;
+                        // Probe mode inside the transaction: the check
+                        // judges the latest committed state plus this
+                        // statement's own earlier rows, and conflicts
+                        // retryably on a concurrent writer's pending
+                        // rows instead of reporting a violation against
+                        // data that may roll back.
+                        b.set_constraint_probe(true);
+                        let checked = catalog::check_insert(catalog, b, &table, &row);
+                        b.set_constraint_probe(false);
+                        checked?;
                         b.insert(&table, row)?;
                     }
                     Ok(())
@@ -506,11 +540,14 @@ impl Database {
                 // that referencing children still point at refuses to
                 // vanish, matching predicated DELETE's restrict rule.
                 self.catalog.table(&table)?;
-                crate::dml::check_truncate_constraints(
+                self.backend.set_constraint_probe(true);
+                let checked = crate::dml::check_truncate_constraints(
                     &self.catalog,
                     self.backend.as_ref(),
                     &table,
-                )?;
+                );
+                self.backend.set_constraint_probe(false);
+                checked?;
                 let affected = run_txn(&mut self.backend, |b| b.truncate(&table))?;
                 Ok(QueryResult {
                     affected,
@@ -705,7 +742,17 @@ impl Database {
     /// Executes a SELECT without requiring `&mut self`.
     pub fn query(&self, sql_text: &str) -> RqsResult<QueryResult> {
         match sql::parse_statement(sql_text)? {
-            Statement::Select(select) => self.run_select(&select),
+            Statement::Select(select) => {
+                let autocommit = !self.backend.in_txn();
+                if autocommit {
+                    self.backend.open_statement_snapshot();
+                }
+                let out = self.run_select(&select);
+                if autocommit {
+                    self.backend.close_statement_snapshot();
+                }
+                out
+            }
             _ => Err(RqsError::Syntax("query() accepts only SELECT".into())),
         }
     }

@@ -8,13 +8,21 @@
 //!
 //! 1. **read** — collect the matching rows through the chosen access
 //!    path (the predicate is a pure function of the tuple, so both
-//!    backends and both phases select the same multiset);
+//!    backends and both phases select the same multiset). On backends
+//!    with snapshot reads this phase sees only committed-at-snapshot
+//!    rows (plus the transaction's own writes), never a concurrent
+//!    writer's uncommitted data;
 //! 2. **re-check** — validate the statement against the integrity
 //!    constraints it can disturb: CHECK bounds and type/size caps on
 //!    assigned columns, key uniqueness against the *post-statement*
 //!    state, the row's own foreign keys, and restrict semantics for
 //!    parents (updating a referenced key column or deleting a
-//!    referenced row is refused while a child still points at it);
+//!    referenced row is refused while a child still points at it).
+//!    These probes run in *constraint-probe* mode: they judge the
+//!    latest committed state plus the writer's own rows, and conflict
+//!    retryably when a probed table carries another transaction's
+//!    uncommitted writes — a verdict against data that may roll back
+//!    would be a guess either way;
 //! 3. **mutate** — one backend transaction around
 //!    [`StorageBackend::update_where`]/[`StorageBackend::delete_where`],
 //!    so on the paged engine the whole statement commits (and
@@ -24,8 +32,9 @@
 //!    [`crate::backend::RowLockHook`]) before any row is touched: a
 //!    held row aborts the statement retryably with nothing to undo.
 //!    The read phase itself takes no row locks — concurrent same-table
-//!    writers are serialized per row, not per statement (the server's
-//!    module docs spell out the accepted read-phase anomaly).
+//!    writers are serialized per row, not per statement, and the
+//!    engine's first-updater-wins check turns a race on one row into a
+//!    retryable conflict instead of a silent overwrite.
 
 use crate::backend::{AccessPath, Snapshot, StorageBackend};
 use crate::catalog::{self, Catalog, ColumnType, Table, TableConstraint};
@@ -523,14 +532,20 @@ pub(crate) fn execute_update(
             }
         }
     }
-    check_update_constraints(
+    // Constraint re-checks run in probe mode: latest committed state
+    // plus this transaction's own rows, conflicting retryably when the
+    // probed tables carry another transaction's uncommitted writes.
+    backend.set_constraint_probe(true);
+    let checked = check_update_constraints(
         catalog,
         backend.as_ref(),
         table_name,
         &new_rows,
         &changed,
         &mut pred,
-    )?;
+    );
+    backend.set_constraint_probe(false);
+    checked?;
     run_txn(backend, |b| {
         b.update_where(table_name, &access, &mut pred, &mut apply)
     })
@@ -566,6 +581,10 @@ pub(crate) fn execute_delete(
     if matched.is_empty() {
         return Ok(0);
     }
-    check_delete_constraints(catalog, backend.as_ref(), table_name, &mut pred)?;
+    // Probe mode for the restrict re-check (see `execute_update`).
+    backend.set_constraint_probe(true);
+    let checked = check_delete_constraints(catalog, backend.as_ref(), table_name, &mut pred);
+    backend.set_constraint_probe(false);
+    checked?;
     run_txn(backend, |b| b.delete_where(table_name, &access, &mut pred))
 }

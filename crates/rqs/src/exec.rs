@@ -358,12 +358,16 @@ fn scan_var(
     match choose_access(snap.backend, &info.table, &restrictions) {
         AccessPath::Nothing => Ok(Vec::new()),
         AccessPath::KeyEq(col, key) => {
-            let rows = snap
-                .backend
-                .index_lookup(&info.table, col, &key)?
-                .unwrap_or_default();
-            metrics.rows_scanned += rows.len() as u64;
-            Ok(rows.into_iter().filter(check).collect())
+            // The lookup may decline (`None`) even though `has_index`
+            // said yes — e.g. while MVCC version metadata makes raw
+            // index postings unsafe — so fall back to the scan.
+            match snap.backend.index_lookup(&info.table, col, &key)? {
+                Some(rows) => {
+                    metrics.rows_scanned += rows.len() as u64;
+                    Ok(rows.into_iter().filter(check).collect())
+                }
+                None => full_scan(metrics),
+            }
         }
         AccessPath::KeyRange(col, lower, upper) => {
             match snap

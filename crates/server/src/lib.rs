@@ -45,21 +45,44 @@
 //! * past a threshold of row locks on one table, the lock manager
 //!   opportunistically escalates the holder's `IX` to a table `X`.
 //!
-//! Readers still exclude writers at table granularity (`S` is
-//! incompatible with `IX`), so SELECTs never see dirty rows, lost
-//! updates and write skew stay impossible, and increment-style
-//! read-modify-write statements stay serializable: a statement's read
-//! phase runs under the same mutex hold as its row-lock acquisition,
-//! so a successfully locked row was committed data when it was read.
+//! # Snapshot reads (MVCC)
 //!
-//! The one anomaly row-granular writers accept: a DML statement's *read
-//! phase* (candidate scan, constraint probe) may observe uncommitted
-//! rows of a concurrent same-table writer. Rows it would mutate are
-//! caught by their row locks (retryable conflict); rows it merely
-//! filters out are a harmless dirty read; a uniqueness or foreign-key
-//! probe can, in the worst case, report a violation against a row that
-//! later rolls back — accepted until MVCC, and only reachable when two
-//! writers overlap on one table.
+//! Reads do not use the lock manager at all. On the paged backend the
+//! engine keeps per-row version metadata ([`storage`]'s MVCC module):
+//! every autocommit statement and every explicit transaction opens a
+//! *read view* pinned to the commit timestamp current at its start, and
+//! all reads — `SELECT` scans, DML candidate scans, constraint probes —
+//! resolve each row against that view. A `SELECT` therefore takes **no
+//! locks whatsoever** (not even the shared schema lock; the statement
+//! mutex alone makes its catalog access safe) and never waits on or
+//! blocks a writer; it sees exactly the committed state as of its
+//! snapshot, plus its own transaction's earlier writes
+//! (read-your-own-writes). Dirty reads are impossible by construction:
+//! an uncommitted row carries a pending stamp only its writer's view
+//! accepts, and a deleted-but-uncommitted row still surfaces its last
+//! committed version to everyone else.
+//!
+//! Writes keep the strict-2PL discipline above, hardened two ways:
+//!
+//! * *first-updater-wins* — mutating a row that a concurrent
+//!   transaction has written (or that committed after the writer's
+//!   snapshot) fails with a retryable [`RqsError::Conflict`], so
+//!   snapshot-read DML cannot silently overwrite a racing update;
+//! * *constraint-probe mode* — uniqueness/foreign-key probes judge the
+//!   latest committed state plus the writer's own rows, and conflict
+//!   retryably when the probed table carries another transaction's
+//!   uncommitted writes. The seed's false-violation anomaly (reporting
+//!   a duplicate against a row that later rolls back) is gone: the
+//!   probe now surfaces a retryable conflict instead of a verdict.
+//!
+//! Plain snapshot reads are *not* serializable across statements of one
+//! explicit transaction (each read is consistent, but write skew
+//! between two read-then-write transactions is possible); statements
+//! that need read-modify-write atomicity should mutate in one statement
+//! (`UPDATE … SET x = x + 1`), whose row locks and first-updater-wins
+//! check keep it exact. `SharedDatabase::set_snapshot_reads(false)`
+//! restores the seed's reader-takes-table-`S` regime, under which
+//! SELECT-then-write transactions serialize at table granularity.
 //!
 //! An error during an explicit transaction (constraint violation, lock
 //! conflict, I/O failure) aborts the *whole* transaction — the session
@@ -179,6 +202,10 @@ struct Shared {
     /// on backends that support them, or plain table `X` locks.
     /// Defaults on; benchmarks pin it off for a table-lock baseline.
     row_locks: AtomicBool,
+    /// Whether reads run against MVCC snapshots (no locks at all for
+    /// SELECT) on backends that support them, or take table `S` locks.
+    /// Defaults on; benchmarks pin it off for the 2PL-reader baseline.
+    snapshot_reads: AtomicBool,
     /// Statements slower than the threshold, oldest evicted first.
     slow: Mutex<SlowLog>,
 }
@@ -226,6 +253,7 @@ impl SharedDatabase {
                 next_owner: AtomicU64::new(1),
                 next_session: AtomicU64::new(1),
                 row_locks: AtomicBool::new(true),
+                snapshot_reads: AtomicBool::new(true),
                 slow: Mutex::new(SlowLog {
                     threshold: DEFAULT_SLOW_THRESHOLD,
                     capacity: DEFAULT_SLOW_CAPACITY,
@@ -263,6 +291,20 @@ impl SharedDatabase {
     /// pre-hierarchical behavior, kept for baseline benchmarking.
     pub fn set_row_locking(&self, on: bool) {
         self.inner.row_locks.store(on, Ordering::Relaxed);
+    }
+
+    /// Toggles MVCC snapshot reads (on by default where the backend
+    /// supports them). On, reads resolve against a committed snapshot
+    /// and SELECT takes no locks; off, readers take table `S` locks —
+    /// the pre-MVCC regime, kept for baseline benchmarking and for the
+    /// probes that rely on reader/writer table exclusion. Clears the
+    /// engine's version metadata when turned off.
+    pub fn set_snapshot_reads(&self, on: bool) {
+        self.inner.snapshot_reads.store(on, Ordering::Relaxed);
+        let mut slot = db_slot(&self.inner.db);
+        if let Some(db) = slot.as_mut() {
+            db.set_snapshot_reads(on);
+        }
     }
 
     /// A shared in-memory database (the original backend).
@@ -652,23 +694,47 @@ impl ServerSession {
             None => self.shared.next_owner.fetch_add(1, Ordering::SeqCst),
         };
 
+        // A snapshot-read SELECT skips the lock manager entirely — no
+        // schema lock, no table locks. Its reads resolve against a
+        // committed MVCC snapshot, and the statement mutex alone
+        // stabilizes the catalog for the statement's duration (worst
+        // case a DROP committed since parsing makes execution fail
+        // cleanly with "no such table").
+        let snapshot_select = if matches!(stmt, Statement::Select(_))
+            && self.shared.snapshot_reads.load(Ordering::Relaxed)
+        {
+            let supported = db_slot(&self.shared.db)
+                .as_ref()
+                .map(|db| db.supports_snapshot_reads());
+            match supported {
+                Some(s) => s,
+                None => return self.closed(owner),
+            }
+        } else {
+            false
+        };
+
         // Phase 1: locks, acquired *before* the statement mutex so a
         // waiter never blocks the session that must release it.
         // Schema first (stabilizes the catalog against DDL), then the
         // statement's tables in name order.
-        let schema_mode = if ddl {
-            LockMode::Exclusive
-        } else {
-            LockMode::Shared
-        };
-        if let Err(e) = self
-            .shared
-            .locks
-            .acquire(owner, SCHEMA_RESOURCE, schema_mode)
-        {
-            return self.fail(owner, e.into());
+        if !snapshot_select {
+            let schema_mode = if ddl {
+                LockMode::Exclusive
+            } else {
+                LockMode::Shared
+            };
+            if let Err(e) = self
+                .shared
+                .locks
+                .acquire(owner, SCHEMA_RESOURCE, schema_mode)
+            {
+                return self.fail(owner, e.into());
+            }
         }
-        let plan = {
+        let plan = if snapshot_select {
+            Some(BTreeMap::new())
+        } else {
             let mut slot = db_slot(&self.shared.db);
             slot.as_mut().map(|db| {
                 let row_locks =
@@ -976,13 +1042,43 @@ mod tests {
         a.execute("CREATE TABLE t (a INT)").unwrap();
         a.execute("BEGIN").unwrap();
         a.execute("INSERT INTO t VALUES (1)").unwrap();
-        // A younger reader dies on the exclusive lock rather than
-        // seeing the uncommitted row.
+        // A concurrent reader neither waits nor sees the uncommitted
+        // row: its snapshot read succeeds immediately with the
+        // committed state (empty), not an error and not a dirty row.
         let mut b = db.session();
-        let err = b.execute("SELECT v.a FROM t v").unwrap_err();
-        assert!(err.is_retryable(), "{err}");
+        assert_eq!(b.execute("SELECT v.a FROM t v").unwrap().rows.len(), 0);
         a.execute("COMMIT").unwrap();
         assert_eq!(b.execute("SELECT v.a FROM t v").unwrap().rows.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_select_takes_no_locks_at_all() {
+        let db = shared();
+        let mut s = db.session();
+        s.execute("CREATE TABLE t (a INT)").unwrap();
+        s.execute("INSERT INTO t VALUES (1), (2)").unwrap();
+        let before = db.metrics().unwrap();
+        let mut r = db.session();
+        assert_eq!(r.execute("SELECT v.a FROM t v").unwrap().rows.len(), 2);
+        let after = db.metrics().unwrap();
+        assert_eq!(
+            after.lock_shared, before.lock_shared,
+            "snapshot SELECT must not touch the lock manager"
+        );
+        assert_eq!(after.lock_exclusive, before.lock_exclusive);
+        assert_eq!(
+            after.snapshot_reads,
+            before.snapshot_reads + 1,
+            "each snapshot SELECT opens exactly one read view"
+        );
+        // With snapshot reads off, the same SELECT is back to schema-S
+        // plus table-S through the lock manager.
+        db.set_snapshot_reads(false);
+        let before = db.metrics().unwrap();
+        assert_eq!(r.execute("SELECT v.a FROM t v").unwrap().rows.len(), 2);
+        let after = db.metrics().unwrap();
+        assert_eq!(after.lock_shared, before.lock_shared + 2);
+        db.set_snapshot_reads(true);
     }
 
     #[test]

@@ -230,14 +230,15 @@ mod tests {
         a.execute("CREATE TABLE t (x INT)").unwrap();
         a.execute("BEGIN").unwrap();
         a.execute("INSERT INTO t VALUES (1)").unwrap();
-        // A younger session in its own transaction loses wait-die; the
+        // A younger session in its own transaction loses wait-die (the
+        // bare DELETE's table `X` collides with the writer's `IX`); the
         // helper must surface the rollback instead of spinning on a
         // transaction that no longer exists.
         let mut b = db.session();
         b.execute("BEGIN").unwrap();
         let mut backoff = Backoff::new(9);
         let err = b
-            .execute_with_backoff("SELECT v.x FROM t v", &mut backoff, 1_000)
+            .execute_with_backoff("DELETE FROM t", &mut backoff, 1_000)
             .unwrap_err();
         assert!(err.is_retryable(), "{err}");
         assert_eq!(backoff.total_retries(), 0, "no sleeps inside a txn");

@@ -52,6 +52,7 @@ use crate::buffer::{BufferPool, PoolStats, TxnId};
 use crate::codec::{decode_tuple, encode_tuple};
 use crate::heap::{HeapFile, Rid};
 use crate::metrics::MetricsSnapshot;
+use crate::mvcc::{Mvcc, View};
 use crate::page::{PageId, PageKind, NO_PAGE};
 use crate::pager::{Fault, Pager};
 use crate::value::{Datum, Tuple};
@@ -178,6 +179,11 @@ pub struct StorageEngine {
     next_table_id: i64,
     /// Rollback state per open transaction, keyed by WAL transaction id.
     txns: HashMap<TxnId, TxnTouch>,
+    /// Commit-timestamp clock and row-version store backing snapshot
+    /// reads (see [`crate::mvcc`]). Volatile: never WAL-logged, rebuilt
+    /// empty on open — recovery yields committed-only data, which the
+    /// store's absence semantics already describe.
+    mvcc: Mvcc,
     crashed: bool,
 }
 
@@ -307,6 +313,7 @@ impl StorageEngine {
                 indexes: Vec::new(),
                 next_table_id: FIRST_USER_TABLE_ID,
                 txns: HashMap::new(),
+                mvcc: Mvcc::new(),
                 crashed: false,
             })
         } else {
@@ -435,6 +442,7 @@ impl StorageEngine {
             indexes,
             next_table_id,
             txns: HashMap::new(),
+            mvcc: Mvcc::new(),
             crashed: false,
         })
     }
@@ -458,6 +466,70 @@ impl StorageEngine {
     /// Pages currently reusable on the persistent free list.
     pub fn free_page_count(&self) -> StorageResult<usize> {
         self.pool.free_list_len()
+    }
+
+    // -----------------------------------------------------------------
+    // Snapshot reads (MVCC)
+    // -----------------------------------------------------------------
+
+    /// Whether reads run against commit-timestamp snapshots.
+    pub fn snapshot_reads_enabled(&self) -> bool {
+        self.mvcc.enabled()
+    }
+
+    /// Toggles snapshot reads. Disabling drops all version state;
+    /// toggle only while no transactions or statement snapshots are
+    /// open.
+    pub fn set_snapshot_reads(&mut self, on: bool) {
+        self.mvcc.set_enabled(on);
+    }
+
+    /// Opens the statement-scoped read snapshot (autocommit statements;
+    /// sessions inside `BEGIN` read through their transaction's view).
+    pub fn open_statement_snapshot(&self) {
+        self.mvcc.open_stmt_view(self.pool.metrics());
+    }
+
+    /// Closes the statement snapshot (and probe mode), releasing the
+    /// prior versions only it kept alive. Safe to call unconditionally.
+    pub fn close_statement_snapshot(&self) {
+        self.mvcc.close_stmt_view(self.pool.metrics());
+    }
+
+    /// Marks subsequent reads as constraint probes: they judge the
+    /// latest committed state plus the active transaction's own writes,
+    /// and conflict retryably when the probed table carries another
+    /// transaction's uncommitted writes (a violation verdict against a
+    /// row that may roll back would be a guess).
+    pub fn set_constraint_probe(&self, on: bool) {
+        self.mvcc.set_probe(on);
+    }
+
+    /// The view reads of `table_id` should filter through, or `None`
+    /// for the raw-heap fast path (no view open, snapshots disabled, or
+    /// no version metadata on the table — absence means every row is
+    /// committed long ago and raw equals filtered).
+    fn read_view_for(&self, table_id: i64) -> Option<View> {
+        let view = self.mvcc.read_view(self.pool.active_txn())?;
+        self.mvcc.has_metas(table_id).then_some(view)
+    }
+
+    /// The `(rid, tuple)` pairs of one table as `view` sees them: raw
+    /// heap rows filtered to snapshot-visible versions, with priors
+    /// substituted for too-new content and visible-but-tombstoned rows
+    /// resurrected.
+    fn snapshot_rows(&self, info: &TableInfo, view: &View) -> StorageResult<Vec<(Rid, Tuple)>> {
+        let mut raw = Vec::with_capacity(info.row_count);
+        let mut err = None;
+        info.heap
+            .scan(&self.pool, |rid, rec| match decode_tuple(rec) {
+                Ok(tuple) => raw.push((rid, tuple)),
+                Err(e) => err = Some(e),
+            })?;
+        if let Some(e) = err {
+            return Err(e);
+        }
+        self.mvcc.visible(view, info.id, raw)
     }
 
     // -----------------------------------------------------------------
@@ -488,6 +560,11 @@ impl StorageEngine {
         }
         let id = self.pool.begin_txn()?;
         self.txns.insert(id, TxnTouch::default());
+        // The transaction's read snapshot is cut here: everything
+        // committed so far is visible, later commits are not (plus its
+        // own writes). Autocommit wrappers get one too — it doubles as
+        // the first-updater-wins baseline.
+        self.mvcc.open_txn_view(id, self.pool.metrics());
         Ok(id)
     }
 
@@ -527,6 +604,10 @@ impl StorageEngine {
         }
         match self.pool.commit_txn(id) {
             Ok(()) => {
+                // Stamp this transaction's row versions with a fresh
+                // commit timestamp before anything else reuses the
+                // engine (reclaim below opens nested transactions).
+                self.mvcc.commit(id, self.pool.metrics());
                 let pending = self
                     .txns
                     .remove(&id)
@@ -567,6 +648,9 @@ impl StorageEngine {
     /// them (the copy-on-first-touch counterpart of the old full-catalog
     /// snapshot restore).
     fn restore_touch(&mut self, id: TxnId) {
+        // Roll the version store back first: restore superseded begin
+        // stamps, pop this transaction's priors, close its view.
+        self.mvcc.rollback(id, self.pool.metrics());
         let Some(touch) = self.txns.remove(&id) else {
             return;
         };
@@ -881,6 +965,11 @@ impl StorageEngine {
             }
             eng.tables.remove(name);
             eng.indexes.retain(|ix| ix.table_id != table_id);
+            // Version metadata goes with the table — but only once the
+            // drop commits (an aborted DROP must leave history intact).
+            if let Some(txn) = eng.pool.active_txn() {
+                eng.mvcc.note_drop_table(txn, table_id);
+            }
             eng.rewrite_system_catalog()?;
             eng.defer_free(reclaim);
             Ok(())
@@ -929,6 +1018,10 @@ impl StorageEngine {
                 eng.note_heap(name, heap_before);
             }
             let rid = res?;
+            if let Some(txn) = eng.pool.active_txn() {
+                eng.mvcc
+                    .note_write(txn, table_id, rid, None, eng.pool.metrics());
+            }
             eng.note_row_delta(name, 1);
             eng.tables.get_mut(name).expect("checked above").row_count += 1;
             let mut roots_moved = false;
@@ -955,9 +1048,15 @@ impl StorageEngine {
         })
     }
 
-    /// All tuples of a table, in heap order.
+    /// All tuples of a table, in heap order. Under an open read
+    /// snapshot with live version metadata the rows are filtered to the
+    /// snapshot-visible versions; otherwise this is the raw heap.
     pub fn scan(&self, name: &str) -> StorageResult<Vec<Tuple>> {
         let info = self.table(name)?;
+        if let Some(view) = self.read_view_for(info.id) {
+            let rows = self.snapshot_rows(info, &view)?;
+            return Ok(rows.into_iter().map(|(_, t)| t).collect());
+        }
         let mut out = Vec::with_capacity(info.row_count);
         let mut err = None;
         info.heap
@@ -979,6 +1078,12 @@ impl StorageEngine {
     /// intermediate `Vec` that [`StorageEngine::scan`] returns.
     pub fn for_each(&self, name: &str, f: &mut dyn FnMut(&Tuple)) -> StorageResult<()> {
         let info = self.table(name)?;
+        if let Some(view) = self.read_view_for(info.id) {
+            for (_, tuple) in self.snapshot_rows(info, &view)? {
+                f(&tuple);
+            }
+            return Ok(());
+        }
         let mut err = None;
         info.heap
             .scan(&self.pool, |_, rec| match decode_tuple(rec) {
@@ -995,6 +1100,14 @@ impl StorageEngine {
     /// Early-exits on the first hit instead of materializing the table.
     pub fn contains(&self, name: &str, cols: &[usize], values: &[Datum]) -> StorageResult<bool> {
         let info = self.table(name)?;
+        if let Some(view) = self.read_view_for(info.id) {
+            // Versioned path: no early exit, but it only runs while the
+            // table actually carries concurrent-write metadata.
+            return Ok(self
+                .snapshot_rows(info, &view)?
+                .iter()
+                .any(|(_, tuple)| cols.iter().zip(values).all(|(&c, v)| &tuple[c] == v)));
+        }
         let mut found = false;
         let mut err = None;
         info.heap
@@ -1092,6 +1205,13 @@ impl StorageEngine {
         key: &Datum,
     ) -> StorageResult<Option<Vec<Tuple>>> {
         let info = self.table(name)?;
+        // Index postings address the raw heap, which may hold versions
+        // a snapshot must not see; while the table carries version
+        // metadata, bow out and let the caller fall back to a filtered
+        // scan. The metadata drains at GC, restoring index reads.
+        if self.read_view_for(info.id).is_some() {
+            return Ok(None);
+        }
         let Some(ix) = self.find_index(info.id, col) else {
             return Ok(None);
         };
@@ -1116,6 +1236,9 @@ impl StorageEngine {
         upper: Bound<&Datum>,
     ) -> StorageResult<Option<Vec<Tuple>>> {
         let info = self.table(name)?;
+        if self.read_view_for(info.id).is_some() {
+            return Ok(None); // see `index_lookup`
+        }
         let Some(ix) = self.find_index(info.id, col) else {
             return Ok(None);
         };
@@ -1132,6 +1255,13 @@ impl StorageEngine {
     /// the rows they rewrite.
     pub fn scan_rids(&self, name: &str) -> StorageResult<Vec<(Rid, Tuple)>> {
         let info = self.table(name)?;
+        if let Some(view) = self.read_view_for(info.id) {
+            // A snapshot-visible version of a rid another transaction
+            // has pending-rewritten still feeds the candidate set; the
+            // write path's first-updater-wins check then conflicts
+            // retryably instead of silently overwriting.
+            return self.snapshot_rows(info, &view);
+        }
         let mut out = Vec::with_capacity(info.row_count);
         let mut err = None;
         info.heap
@@ -1154,6 +1284,9 @@ impl StorageEngine {
         key: &Datum,
     ) -> StorageResult<Option<Vec<(Rid, Tuple)>>> {
         let info = self.table(name)?;
+        if self.read_view_for(info.id).is_some() {
+            return Ok(None); // see `index_lookup`
+        }
         let Some(ix) = self.find_index(info.id, col) else {
             return Ok(None);
         };
@@ -1175,6 +1308,9 @@ impl StorageEngine {
         upper: Bound<&Datum>,
     ) -> StorageResult<Option<Vec<(Rid, Tuple)>>> {
         let info = self.table(name)?;
+        if self.read_view_for(info.id).is_some() {
+            return Ok(None); // see `index_lookup`
+        }
         let Some(ix) = self.find_index(info.id, col) else {
             return Ok(None);
         };
@@ -1206,9 +1342,21 @@ impl StorageEngine {
             // B+-tree deletion never moves roots, so per-row count
             // compensation is the whole rollback story here.
             for &rid in rids {
+                // First-updater-wins, checked before touching the heap:
+                // a rid pending under another transaction (or rewritten
+                // by a commit newer than our snapshot) conflicts
+                // retryably — its slot may even be tombstoned already,
+                // so fetching first would report corruption instead.
+                if let Some(txn) = eng.pool.active_txn() {
+                    eng.mvcc.check_write(txn, table_id, rid)?;
+                }
                 let heap = eng.tables.get(name).expect("checked above").heap;
                 let old = decode_tuple(&heap.fetch(&eng.pool, rid)?)?;
                 heap.delete(&eng.pool, rid)?;
+                if let Some(txn) = eng.pool.active_txn() {
+                    eng.mvcc
+                        .note_write(txn, table_id, rid, Some(old.clone()), eng.pool.metrics());
+                }
                 for ix in &mut eng.indexes {
                     if ix.table_id == table_id {
                         ix.tree.delete(&eng.pool, &old[ix.col], rid)?;
@@ -1256,6 +1404,11 @@ impl StorageEngine {
             // index root moves need compensation records.
             let mut roots_moved = false;
             for (rid, new) in updates {
+                // First-updater-wins before the heap is touched (see
+                // `delete_rows`).
+                if let Some(txn) = eng.pool.active_txn() {
+                    eng.mvcc.check_write(txn, table_id, *rid)?;
+                }
                 let mut heap = eng.tables.get(name).expect("checked above").heap;
                 let heap_before = heap;
                 let old = decode_tuple(&heap.fetch(&eng.pool, *rid)?)?;
@@ -1266,6 +1419,17 @@ impl StorageEngine {
                     eng.tables.get_mut(name).expect("checked above").heap = heap;
                 }
                 let new_rid = res?;
+                if let Some(txn) = eng.pool.active_txn() {
+                    // The superseded version hangs off the old rid; a
+                    // relocation additionally marks the new rid as this
+                    // transaction's insert.
+                    eng.mvcc
+                        .note_write(txn, table_id, *rid, Some(old.clone()), eng.pool.metrics());
+                    if new_rid != *rid {
+                        eng.mvcc
+                            .note_write(txn, table_id, new_rid, None, eng.pool.metrics());
+                    }
+                }
                 for i in 0..eng.indexes.len() {
                     let (ix_table, col) = (eng.indexes[i].table_id, eng.indexes[i].col);
                     if ix_table != table_id {
@@ -1309,6 +1473,29 @@ impl StorageEngine {
             let mut reclaim = info.heap.tail_pages(&eng.pool)?;
             for ix in eng.indexes.iter().filter(|ix| ix.table_id == table_id) {
                 reclaim.extend(ix.tree.collect_pages(&eng.pool)?);
+            }
+            // Capture every row as a pending delete before the chain is
+            // reset: open snapshots must keep seeing the pre-truncate
+            // table, and later inserts reusing these rids stack on top
+            // of the history.
+            if let Some(txn) = eng.pool.active_txn() {
+                if eng.mvcc.enabled() {
+                    let info = eng.tables.get(name).expect("checked above");
+                    let mut doomed: Vec<(Rid, Tuple)> = Vec::with_capacity(info.row_count);
+                    let mut err = None;
+                    info.heap
+                        .scan(&eng.pool, |rid, rec| match decode_tuple(rec) {
+                            Ok(tuple) => doomed.push((rid, tuple)),
+                            Err(e) => err = Some(e),
+                        })?;
+                    if let Some(e) = err {
+                        return Err(e);
+                    }
+                    for (rid, old) in doomed {
+                        eng.mvcc
+                            .note_write(txn, table_id, rid, Some(old), eng.pool.metrics());
+                    }
+                }
             }
             let info = eng.tables.get_mut(name).expect("checked above");
             info.heap.truncate(&eng.pool)?;

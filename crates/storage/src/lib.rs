@@ -70,6 +70,7 @@ pub mod engine;
 pub mod heap;
 pub mod lock;
 pub mod metrics;
+pub mod mvcc;
 pub mod page;
 pub mod pager;
 pub mod value;

@@ -131,8 +131,12 @@ impl HistogramSnapshot {
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= target {
-                let upper = if i + 1 >= 64 {
-                    u64::MAX
+                // The overflow bucket has no finite upper bound (it
+                // absorbs everything from 2^(BUCKETS-1) ns up), so a
+                // percentile landing there reports the observed max
+                // instead of the bucket boundary.
+                let upper = if i + 1 >= HISTOGRAM_BUCKETS {
+                    self.max_nanos
                 } else {
                     (1u64 << (i + 1)) - 1
                 };
@@ -380,6 +384,15 @@ counters! {
     btree_splits,
     /// B+-tree root-to-leaf descents (insert/delete/lookup/range).
     btree_descents,
+    /// Read views (MVCC snapshots) opened: one per autocommit
+    /// statement and one per explicit transaction.
+    snapshot_reads,
+    /// Prior row versions captured for snapshot readers (one per
+    /// committed row a writer rewrote or removed).
+    versions_kept,
+    /// Prior row versions garbage-collected once no open snapshot
+    /// could still see them.
+    versions_gc,
 }
 
 #[cfg(test)]
@@ -403,13 +416,13 @@ mod tests {
     fn counters_list_is_complete_and_ordered() {
         let m = MetricsSnapshot {
             fault_ins: 7,
-            btree_descents: 9,
+            versions_gc: 9,
             ..Default::default()
         };
         let pairs = m.counters();
         assert_eq!(pairs.len(), MetricsSnapshot::NAMES.len());
         assert_eq!(pairs.first(), Some(&("fault_ins", 7)));
-        assert_eq!(pairs.last(), Some(&("btree_descents", 9)));
+        assert_eq!(pairs.last(), Some(&("versions_gc", 9)));
         let names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
         assert_eq!(names, MetricsSnapshot::NAMES);
     }
@@ -472,6 +485,29 @@ mod tests {
         let empty = HistogramSnapshot::default();
         assert_eq!(empty.percentile(99.0), 0);
         assert_eq!(empty.count(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket_percentile_reports_observed_max() {
+        // 10 s lands in the overflow bucket (2^31 ns ≈ 2.1 s and up).
+        // The old guard compared against 64 buckets, so the overflow
+        // percentile reported the dead boundary (1<<32)-1 ns (~4.3 s)
+        // instead of the observed maximum.
+        let h = LatencyHistogram::default();
+        let ten_seconds = 10_000_000_000u64;
+        h.record(ten_seconds);
+        let s = h.snapshot();
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert_eq!(s.percentile(50.0), ten_seconds);
+        assert_eq!(s.percentile(99.0), ten_seconds);
+        // Mixed histogram: the tail percentile still climbs into the
+        // overflow bucket and reports the max, not (1<<32)-1.
+        let mixed = LatencyHistogram::default();
+        mixed.record(100);
+        mixed.record(ten_seconds);
+        let ms = mixed.snapshot();
+        assert_eq!(ms.percentile(99.0), ten_seconds);
+        assert!(ms.percentile(25.0) < 1 << 7);
     }
 
     #[test]

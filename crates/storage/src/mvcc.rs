@@ -1,0 +1,687 @@
+//! Multiversion read views over the paged engine.
+//!
+//! Writes keep the engine's in-place heap protocol (tombstone, rewrite,
+//! append) and the caller's locking; this module adds the *logical*
+//! version history that lets readers skip locks entirely. Per rid it
+//! tracks a begin stamp for the current heap content (or tombstone) and
+//! a list of prior tuples, each bounded by `[begin, end)` commit
+//! timestamps. Absence of metadata means "committed long ago, visible
+//! to every snapshot" — after a quiet period the store drains back to
+//! empty and reads take the raw heap fast path.
+//!
+//! A [`View`] is a commit-timestamp cut: statement-scoped for
+//! autocommit (opened and closed around one statement) or
+//! transaction-scoped for explicit `BEGIN` (opened at `BEGIN`, closed
+//! at commit/abort). A row is visible when its begin stamp is a commit
+//! at or before the view's timestamp, or its own transaction's pending
+//! write (read-your-own-writes); otherwise the priors are searched for
+//! the version whose `[begin, end)` interval covers the view.
+//!
+//! Constraint probes are the exception: uniqueness and FK checks must
+//! judge the *latest* committed state plus the writer's own pending
+//! rows, never a stale snapshot. Probe mode reads at `ts = u64::MAX`
+//! and refuses (with a retryable [`StorageError::Conflict`]) to probe
+//! a table that carries another transaction's uncommitted writes — the
+//! outcome would depend on whether that transaction commits, so the
+//! prober backs off and retries instead of reporting a violation
+//! against a row that may roll back.
+//!
+//! Everything here is volatile by design: version metadata lives only
+//! in memory and is never WAL-logged. Crash recovery replays committed
+//! page images, so a reopened database holds exactly the committed
+//! rows and no snapshot survives to need anything older; the fresh
+//! engine starts with an empty store whose absence-semantics are
+//! already correct.
+//!
+//! Garbage collection runs at every view close and transaction end: a
+//! prior whose end commit is at or below the oldest open view's
+//! timestamp is invisible to every current and future snapshot and is
+//! dropped (counted in `versions_gc`); a meta whose begin commit is
+//! equally old conveys nothing beyond the absence default and is
+//! dropped with it.
+
+use crate::buffer::TxnId;
+use crate::heap::Rid;
+use crate::metrics::{self, StorageMetrics};
+use crate::page::PageId;
+use crate::value::Tuple;
+use crate::{StorageError, StorageResult};
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Packs a rid into the map key (16 bits of slot under the page id).
+fn rid_key(rid: Rid) -> u64 {
+    ((rid.page as u64) << 16) | rid.slot as u64
+}
+
+fn key_rid(key: u64) -> Rid {
+    Rid {
+        page: (key >> 16) as PageId,
+        slot: (key & 0xFFFF) as u16,
+    }
+}
+
+/// A version boundary: a committed timestamp or a still-pending
+/// transaction's mark (resolved to a commit stamp when it commits,
+/// rolled back when it aborts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Stamp {
+    Committed(u64),
+    Pending(TxnId),
+}
+
+/// One superseded row version, alive for views inside `[begin, end)`.
+#[derive(Clone, Debug)]
+struct Prior {
+    begin: u64,
+    end: Stamp,
+    tuple: Tuple,
+}
+
+/// Version metadata for one rid: the begin stamp of the current heap
+/// content (or of the tombstone, when the slot is deleted) plus any
+/// prior versions still visible to an open snapshot.
+#[derive(Clone, Debug)]
+struct RowMeta {
+    begin: Stamp,
+    priors: Vec<Prior>,
+}
+
+/// A read snapshot: everything committed at or before `ts` is visible,
+/// plus `txn`'s own pending writes. `probe` marks constraint-check
+/// reads (latest committed + own, conflict on concurrent pending).
+#[derive(Clone, Copy, Debug)]
+pub struct View {
+    pub ts: u64,
+    pub txn: Option<TxnId>,
+    pub probe: bool,
+}
+
+impl View {
+    fn sees(&self, stamp: Stamp) -> bool {
+        match stamp {
+            Stamp::Committed(ts) => ts <= self.ts,
+            Stamp::Pending(t) => self.txn == Some(t),
+        }
+    }
+}
+
+#[derive(Default)]
+struct MvccState {
+    /// table id → rid key → version metadata. Empty per-table maps are
+    /// pruned so `has_metas` doubles as the fast-path gate.
+    store: HashMap<i64, HashMap<u64, RowMeta>>,
+    /// Open view timestamps with refcounts; the smallest key is the GC
+    /// horizon.
+    views: BTreeMap<u64, usize>,
+    /// Transaction-scoped views (explicit BEGIN and autocommit DML).
+    txn_views: HashMap<TxnId, u64>,
+    /// The statement-scoped view, if one is open (at most one: the
+    /// shared server executes one statement at a time).
+    stmt_view: Option<u64>,
+    /// Per-transaction undo: the begin stamp each touched rid had
+    /// before this transaction's first write to it (`None` = no meta
+    /// existed). Drives both commit stamping and rollback.
+    touches: HashMap<TxnId, HashMap<(i64, u64), Option<Stamp>>>,
+    /// Tables dropped by a still-open transaction; their metadata is
+    /// purged only when the drop commits.
+    drops: HashMap<TxnId, Vec<i64>>,
+}
+
+/// The engine-wide MVCC authority: the commit-timestamp clock and the
+/// version store. Interior mutability throughout so `&self` read paths
+/// can consult it.
+pub struct Mvcc {
+    clock: AtomicU64,
+    enabled: AtomicBool,
+    probe: AtomicBool,
+    state: Mutex<MvccState>,
+}
+
+impl Default for Mvcc {
+    fn default() -> Self {
+        Mvcc {
+            clock: AtomicU64::new(0),
+            enabled: AtomicBool::new(true),
+            probe: AtomicBool::new(false),
+            state: Mutex::new(MvccState::default()),
+        }
+    }
+}
+
+impl Mvcc {
+    pub fn new() -> Mvcc {
+        Mvcc::default()
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turns snapshot reads on or off. Turning them off drops all
+    /// version state (rows committed while disabled simply appear
+    /// "ancient" to views opened after re-enabling, which is exactly
+    /// the absence semantics). Callers toggle only while no
+    /// transactions or views are open.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+        if !on {
+            self.probe.store(false, Ordering::Relaxed);
+            *self.state.lock().unwrap() = MvccState::default();
+        }
+    }
+
+    /// Marks subsequent reads as constraint probes (latest committed +
+    /// own pending, conflict on concurrent pending writers).
+    pub fn set_probe(&self, on: bool) {
+        self.probe.store(on, Ordering::Relaxed);
+    }
+
+    /// The view the next read should use, given the active transaction:
+    /// probe mode wins, then the transaction's view, then the statement
+    /// view; `None` means read the raw heap.
+    pub fn read_view(&self, active_txn: Option<TxnId>) -> Option<View> {
+        if !self.enabled() {
+            return None;
+        }
+        if self.probe.load(Ordering::Relaxed) {
+            return Some(View {
+                ts: u64::MAX,
+                txn: active_txn,
+                probe: true,
+            });
+        }
+        let st = self.state.lock().unwrap();
+        if let Some(t) = active_txn {
+            if let Some(&ts) = st.txn_views.get(&t) {
+                return Some(View {
+                    ts,
+                    txn: Some(t),
+                    probe: false,
+                });
+            }
+        }
+        st.stmt_view.map(|ts| View {
+            ts,
+            txn: None,
+            probe: false,
+        })
+    }
+
+    /// Whether any version metadata exists for `table` — the gate
+    /// between the raw heap fast path and the filtered read path.
+    pub fn has_metas(&self, table: i64) -> bool {
+        if !self.enabled() {
+            return false;
+        }
+        let st = self.state.lock().unwrap();
+        st.store.get(&table).is_some_and(|t| !t.is_empty())
+    }
+
+    /// Opens the transaction-scoped view at `BEGIN`.
+    pub fn open_txn_view(&self, txn: TxnId, m: &StorageMetrics) {
+        if !self.enabled() {
+            return;
+        }
+        let ts = self.clock.load(Ordering::SeqCst);
+        let mut st = self.state.lock().unwrap();
+        *st.views.entry(ts).or_insert(0) += 1;
+        st.txn_views.insert(txn, ts);
+        metrics::bump(&m.snapshot_reads);
+    }
+
+    /// Opens the statement-scoped view (autocommit statements only; a
+    /// session inside BEGIN reads through its transaction view).
+    pub fn open_stmt_view(&self, m: &StorageMetrics) {
+        if !self.enabled() {
+            return;
+        }
+        let ts = self.clock.load(Ordering::SeqCst);
+        let mut st = self.state.lock().unwrap();
+        if st.stmt_view.is_some() {
+            return;
+        }
+        *st.views.entry(ts).or_insert(0) += 1;
+        st.stmt_view = Some(ts);
+        metrics::bump(&m.snapshot_reads);
+    }
+
+    /// Closes the statement view (no-op when none is open) and clears
+    /// probe mode — statement end is the natural probe boundary even on
+    /// error paths.
+    pub fn close_stmt_view(&self, m: &StorageMetrics) {
+        self.probe.store(false, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        if let Some(ts) = st.stmt_view.take() {
+            unregister(&mut st, ts);
+            gc(&mut st, m);
+        }
+    }
+
+    /// First-updater-wins pre-check, called before a transaction
+    /// touches `rid`: conflicts retryably when another transaction's
+    /// write to the rid is pending, or when a commit newer than the
+    /// writer's snapshot already rewrote it.
+    pub fn check_write(&self, txn: TxnId, table: i64, rid: Rid) -> StorageResult<()> {
+        if !self.enabled() {
+            return Ok(());
+        }
+        let st = self.state.lock().unwrap();
+        let Some(meta) = st.store.get(&table).and_then(|t| t.get(&rid_key(rid))) else {
+            return Ok(());
+        };
+        let view_ts = st.txn_views.get(&txn).copied().unwrap_or(u64::MAX);
+        match meta.begin {
+            Stamp::Pending(t) if t != txn => Err(StorageError::Conflict(format!(
+                "row in table {table} has an uncommitted concurrent write"
+            ))),
+            Stamp::Committed(b) if b > view_ts => Err(StorageError::Conflict(format!(
+                "row in table {table} was rewritten after this transaction's snapshot"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Records one write by `txn` to `rid`: `old` is the committed
+    /// tuple the write supersedes (kept as a prior for open snapshots),
+    /// or `None` for an insert into an empty slot. Existing priors are
+    /// preserved — a truncated table's reused rids still owe old
+    /// versions to old snapshots.
+    pub fn note_write(
+        &self,
+        txn: TxnId,
+        table: i64,
+        rid: Rid,
+        old: Option<Tuple>,
+        m: &StorageMetrics,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        let key = rid_key(rid);
+        let mut st = self.state.lock().unwrap();
+        let prev = st
+            .store
+            .get(&table)
+            .and_then(|t| t.get(&key))
+            .map(|meta| meta.begin);
+        st.touches
+            .entry(txn)
+            .or_default()
+            .entry((table, key))
+            .or_insert(prev);
+        let meta = st
+            .store
+            .entry(table)
+            .or_default()
+            .entry(key)
+            .or_insert(RowMeta {
+                begin: Stamp::Committed(0),
+                priors: Vec::new(),
+            });
+        if let Some(old) = old {
+            // Keep the superseded version only when it was committed:
+            // a transaction's own intermediate versions are invisible
+            // to everyone else and need no history (and pending-other
+            // begins were refused by `check_write`).
+            if let Stamp::Committed(b) = meta.begin {
+                meta.priors.push(Prior {
+                    begin: b,
+                    end: Stamp::Pending(txn),
+                    tuple: old,
+                });
+                metrics::bump(&m.versions_kept);
+            }
+        }
+        meta.begin = Stamp::Pending(txn);
+    }
+
+    /// Defers purging a dropped table's metadata to the drop's commit
+    /// (an aborted DROP TABLE must leave history intact).
+    pub fn note_drop_table(&self, txn: TxnId, table: i64) {
+        if !self.enabled() {
+            return;
+        }
+        self.state
+            .lock()
+            .unwrap()
+            .drops
+            .entry(txn)
+            .or_default()
+            .push(table);
+    }
+
+    /// Commit: stamp every pending mark of `txn` with a fresh commit
+    /// timestamp, purge dropped tables, close the transaction view, GC.
+    pub fn commit(&self, txn: TxnId, m: &StorageMetrics) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(touches) = st.touches.remove(&txn) {
+            if !touches.is_empty() {
+                let ts = self.clock.fetch_add(1, Ordering::SeqCst) + 1;
+                for (table, key) in touches.into_keys() {
+                    let Some(meta) = st.store.get_mut(&table).and_then(|t| t.get_mut(&key)) else {
+                        continue;
+                    };
+                    if meta.begin == Stamp::Pending(txn) {
+                        meta.begin = Stamp::Committed(ts);
+                    }
+                    for p in &mut meta.priors {
+                        if p.end == Stamp::Pending(txn) {
+                            p.end = Stamp::Committed(ts);
+                        }
+                    }
+                }
+            }
+        }
+        if let Some(tables) = st.drops.remove(&txn) {
+            for table in tables {
+                if let Some(tbl) = st.store.remove(&table) {
+                    let dropped: usize = tbl.values().map(|meta| meta.priors.len()).sum();
+                    metrics::add(&m.versions_gc, dropped as u64);
+                }
+            }
+        }
+        if let Some(ts) = st.txn_views.remove(&txn) {
+            unregister(&mut st, ts);
+        }
+        gc(&mut st, m);
+    }
+
+    /// Rollback: restore every touched rid's previous begin stamp, pop
+    /// the priors this transaction pushed, close its view. Idempotent —
+    /// the touch entry is consumed on first call.
+    pub fn rollback(&self, txn: TxnId, m: &StorageMetrics) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(touches) = st.touches.remove(&txn) {
+            for ((table, key), prev) in touches {
+                let Some(tbl) = st.store.get_mut(&table) else {
+                    continue;
+                };
+                if let Some(meta) = tbl.get_mut(&key) {
+                    let before = meta.priors.len();
+                    meta.priors.retain(|p| p.end != Stamp::Pending(txn));
+                    metrics::add(&m.versions_gc, (before - meta.priors.len()) as u64);
+                    match prev {
+                        Some(stamp) => meta.begin = stamp,
+                        None => {
+                            tbl.remove(&key);
+                        }
+                    }
+                }
+                if tbl.is_empty() {
+                    st.store.remove(&table);
+                }
+            }
+        }
+        st.drops.remove(&txn);
+        if let Some(ts) = st.txn_views.remove(&txn) {
+            unregister(&mut st, ts);
+        }
+        gc(&mut st, m);
+    }
+
+    /// Filters one table's raw heap rows to the versions `view` may
+    /// see, substituting priors for too-new content and resurrecting
+    /// rows whose deletion the view must not observe. Probe views
+    /// conflict retryably when the table carries another transaction's
+    /// pending writes.
+    pub fn visible(
+        &self,
+        view: &View,
+        table: i64,
+        raw: Vec<(Rid, Tuple)>,
+    ) -> StorageResult<Vec<(Rid, Tuple)>> {
+        let st = self.state.lock().unwrap();
+        let Some(tbl) = st.store.get(&table) else {
+            return Ok(raw);
+        };
+        if view.probe {
+            let pending_other = tbl.values().any(|meta| match meta.begin {
+                Stamp::Pending(t) => view.txn != Some(t),
+                Stamp::Committed(_) => false,
+            });
+            if pending_other {
+                return Err(StorageError::Conflict(format!(
+                    "constraint probe of table {table} raced an uncommitted concurrent write"
+                )));
+            }
+        }
+        let mut out = Vec::with_capacity(raw.len());
+        let mut seen: HashSet<u64> = HashSet::with_capacity(raw.len().min(tbl.len()));
+        for (rid, tuple) in raw {
+            let key = rid_key(rid);
+            match tbl.get(&key) {
+                None => out.push((rid, tuple)),
+                Some(meta) => {
+                    seen.insert(key);
+                    if view.sees(meta.begin) {
+                        out.push((rid, tuple));
+                    } else if let Some(p) = visible_prior(meta, view) {
+                        out.push((rid, p.tuple.clone()));
+                    }
+                }
+            }
+        }
+        // Rids the heap scan did not yield are tombstoned. A visible
+        // begin stamp means the deletion itself is visible — skip; an
+        // invisible one means the view predates it — surface the prior
+        // version it should still see.
+        for (&key, meta) in tbl {
+            if seen.contains(&key) || view.sees(meta.begin) {
+                continue;
+            }
+            if let Some(p) = visible_prior(meta, view) {
+                out.push((key_rid(key), p.tuple.clone()));
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// The prior version whose `[begin, end)` interval covers the view —
+/// at most one, since a rid's priors partition time.
+fn visible_prior<'a>(meta: &'a RowMeta, view: &View) -> Option<&'a Prior> {
+    meta.priors
+        .iter()
+        .find(|p| p.begin <= view.ts && !view.sees(p.end))
+}
+
+fn unregister(st: &mut MvccState, ts: u64) {
+    if let Some(n) = st.views.get_mut(&ts) {
+        if *n > 1 {
+            *n -= 1;
+        } else {
+            st.views.remove(&ts);
+        }
+    }
+}
+
+/// Drops every version invisible to all open views. With no view open
+/// the horizon is infinite and the store drains completely (pending
+/// stamps excepted), restoring the raw-heap fast path.
+fn gc(st: &mut MvccState, m: &StorageMetrics) {
+    let horizon = st.views.keys().next().copied().unwrap_or(u64::MAX);
+    let mut collected = 0u64;
+    st.store.retain(|_, tbl| {
+        tbl.retain(|_, meta| {
+            let before = meta.priors.len();
+            meta.priors.retain(|p| match p.end {
+                Stamp::Committed(e) => e > horizon,
+                Stamp::Pending(_) => true,
+            });
+            collected += (before - meta.priors.len()) as u64;
+            match meta.begin {
+                Stamp::Committed(b) => b > horizon || !meta.priors.is_empty(),
+                Stamp::Pending(_) => true,
+            }
+        });
+        !tbl.is_empty()
+    });
+    if collected > 0 {
+        metrics::add(&m.versions_gc, collected);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Datum;
+
+    fn rid(page: PageId, slot: u16) -> Rid {
+        Rid { page, slot }
+    }
+
+    fn row(v: i64) -> Tuple {
+        vec![Datum::Int(v)]
+    }
+
+    #[test]
+    fn rid_key_roundtrips() {
+        let r = rid(123_456, 789);
+        assert_eq!(key_rid(rid_key(r)), r);
+    }
+
+    #[test]
+    fn snapshot_sees_prior_version_until_view_closes() {
+        let m = StorageMetrics::default();
+        let mv = Mvcc::new();
+        // Writer 1 inserts and commits row v=1 at rid (1,0).
+        mv.open_txn_view(1, &m);
+        mv.note_write(1, 7, rid(1, 0), None, &m);
+        mv.commit(1, &m);
+        // A reader opens a statement view, then writer 2 rewrites the
+        // row and commits under it.
+        mv.open_stmt_view(&m);
+        mv.open_txn_view(2, &m);
+        mv.check_write(2, 7, rid(1, 0)).unwrap();
+        mv.note_write(2, 7, rid(1, 0), Some(row(1)), &m);
+        mv.commit(2, &m);
+        // The reader's view still resolves to the old version.
+        let view = mv.read_view(None).unwrap();
+        let vis = mv.visible(&view, 7, vec![(rid(1, 0), row(2))]).unwrap();
+        assert_eq!(vis, vec![(rid(1, 0), row(1))]);
+        // A fresh view sees the new version.
+        mv.open_txn_view(3, &m);
+        let fresh = mv.read_view(Some(3)).unwrap();
+        let vis = mv.visible(&fresh, 7, vec![(rid(1, 0), row(2))]).unwrap();
+        assert_eq!(vis, vec![(rid(1, 0), row(2))]);
+        mv.commit(3, &m);
+        // Closing the reader's view GCs the prior and drains the store.
+        mv.close_stmt_view(&m);
+        assert!(!mv.has_metas(7));
+        let snap = m.snapshot();
+        assert_eq!(snap.versions_kept, 1);
+        assert!(snap.versions_gc >= 1);
+        assert!(snap.snapshot_reads >= 3);
+    }
+
+    #[test]
+    fn deleted_row_resurfaces_for_old_view_only() {
+        let m = StorageMetrics::default();
+        let mv = Mvcc::new();
+        mv.open_txn_view(1, &m);
+        mv.note_write(1, 7, rid(2, 3), None, &m);
+        mv.commit(1, &m);
+        mv.open_stmt_view(&m);
+        // Writer deletes the row (heap tombstones it) and commits.
+        mv.open_txn_view(2, &m);
+        mv.note_write(2, 7, rid(2, 3), Some(row(9)), &m);
+        mv.commit(2, &m);
+        // Old view: the heap scan yields nothing, the prior resurfaces.
+        let view = mv.read_view(None).unwrap();
+        let vis = mv.visible(&view, 7, Vec::new()).unwrap();
+        assert_eq!(vis, vec![(rid(2, 3), row(9))]);
+        // New view: the deletion is visible, nothing resurfaces.
+        mv.open_txn_view(3, &m);
+        let fresh = mv.read_view(Some(3)).unwrap();
+        assert!(mv.visible(&fresh, 7, Vec::new()).unwrap().is_empty());
+        mv.commit(3, &m);
+        mv.close_stmt_view(&m);
+    }
+
+    #[test]
+    fn rollback_restores_previous_stamp_and_pops_priors() {
+        let m = StorageMetrics::default();
+        let mv = Mvcc::new();
+        mv.open_txn_view(1, &m);
+        mv.note_write(1, 7, rid(1, 1), None, &m);
+        mv.commit(1, &m);
+        // Keep a view open so the committed meta survives GC.
+        mv.open_stmt_view(&m);
+        mv.open_txn_view(2, &m);
+        mv.note_write(2, 7, rid(1, 1), Some(row(1)), &m);
+        mv.note_write(2, 7, rid(1, 2), None, &m);
+        mv.rollback(2, &m);
+        // The rewritten rid's committed stamp is back, the fresh rid's
+        // meta is gone, and pending marks vanished entirely.
+        let view = mv.read_view(None).unwrap();
+        let vis = mv.visible(&view, 7, vec![(rid(1, 1), row(1))]).unwrap();
+        assert_eq!(vis, vec![(rid(1, 1), row(1))]);
+        mv.open_txn_view(3, &m);
+        assert!(mv.check_write(3, 7, rid(1, 1)).is_ok());
+        assert!(mv.check_write(3, 7, rid(1, 2)).is_ok());
+        mv.commit(3, &m);
+        mv.close_stmt_view(&m);
+    }
+
+    #[test]
+    fn first_updater_wins_conflicts() {
+        let m = StorageMetrics::default();
+        let mv = Mvcc::new();
+        mv.open_txn_view(1, &m);
+        mv.note_write(1, 7, rid(1, 0), None, &m);
+        mv.commit(1, &m);
+        // T2 (old snapshot) vs T3 committing a rewrite after it.
+        mv.open_txn_view(2, &m);
+        mv.open_txn_view(3, &m);
+        mv.note_write(3, 7, rid(1, 0), Some(row(1)), &m);
+        // Pending-other conflicts.
+        assert!(matches!(
+            mv.check_write(2, 7, rid(1, 0)),
+            Err(StorageError::Conflict(_))
+        ));
+        mv.commit(3, &m);
+        // Committed-after-snapshot still conflicts.
+        assert!(matches!(
+            mv.check_write(2, 7, rid(1, 0)),
+            Err(StorageError::Conflict(_))
+        ));
+        mv.commit(2, &m);
+    }
+
+    #[test]
+    fn probe_conflicts_on_pending_other_and_sees_latest_otherwise() {
+        let m = StorageMetrics::default();
+        let mv = Mvcc::new();
+        mv.open_txn_view(1, &m);
+        mv.note_write(1, 7, rid(1, 0), None, &m);
+        mv.set_probe(true);
+        // Own pending write: probe sees it, no conflict.
+        let own = mv.read_view(Some(1)).unwrap();
+        assert!(own.probe);
+        let vis = mv.visible(&own, 7, vec![(rid(1, 0), row(5))]).unwrap();
+        assert_eq!(vis, vec![(rid(1, 0), row(5))]);
+        // Another transaction's probe conflicts retryably.
+        let other = mv.read_view(Some(2)).unwrap();
+        assert!(matches!(
+            mv.visible(&other, 7, vec![(rid(1, 0), row(5))]),
+            Err(StorageError::Conflict(_))
+        ));
+        mv.set_probe(false);
+        mv.commit(1, &m);
+    }
+
+    #[test]
+    fn disabling_drops_state() {
+        let m = StorageMetrics::default();
+        let mv = Mvcc::new();
+        mv.open_txn_view(1, &m);
+        mv.note_write(1, 7, rid(1, 0), None, &m);
+        mv.set_enabled(false);
+        assert!(!mv.has_metas(7));
+        assert!(mv.read_view(Some(1)).is_none());
+        mv.set_enabled(true);
+        assert!(!mv.has_metas(7));
+    }
+}

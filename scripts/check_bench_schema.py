@@ -53,6 +53,30 @@ def main():
             )
         if latency["count"] <= 0:
             sys.exit(f"{section}.latency recorded no samples")
+    # S2's mixed readers-vs-writers phase: both lock regimes must be
+    # present, and snapshot readers are lock-free by construction.
+    mixed = generated["s2_concurrency"].get("mixed_readers")
+    if not isinstance(mixed, dict):
+        sys.exit("s2_concurrency is missing its mixed_readers object")
+    for key in (
+        "readers",
+        "writers",
+        "writer_txns_per_thread",
+        "tablelock_scans_per_sec",
+        "tablelock_lock_waits",
+        "tablelock_write_stmts_per_sec",
+        "snapshot_scans_per_sec",
+        "snapshot_reader_retries",
+        "snapshot_lock_waits",
+        "snapshot_write_stmts_per_sec",
+        "read_speedup",
+    ):
+        if key not in mixed:
+            sys.exit(f"s2_concurrency.mixed_readers is missing {key}")
+    if mixed["snapshot_reader_retries"] != 0:
+        sys.exit("snapshot readers must never retry")
+    if mixed["snapshot_lock_waits"] != 0:
+        sys.exit("snapshot readers must never wait on locks")
     print(f"benchmark schema OK ({committed_path})")
 
 

@@ -135,10 +135,88 @@ fn disjoint_table_sessions_never_wait_on_locks() {
         }
     });
     let snap = shared.metrics().unwrap();
-    assert!(snap.lock_shared > 0, "reads must take shared locks");
+    // The SELECTs are lock-free snapshot reads; the shared locks here
+    // are the INSERTs' schema-S acquisitions.
+    assert!(snap.lock_shared > 0, "writes must take the schema shared");
     assert!(snap.lock_exclusive > 0, "writes must take exclusive locks");
     assert_eq!(snap.lock_waits, 0, "disjoint tables must never block");
     assert_eq!(snap.lock_wait_die_aborts, 0, "nor abort");
+}
+
+/// The snapshot-read observability invariant: every snapshot SELECT
+/// opens exactly one read view (`snapshot_reads` bumps per statement)
+/// while the lock counters stay flat for a pure-read session — the
+/// differential proof that reads really skip the lock manager. The
+/// second half walks one version through its lifecycle: a reader's
+/// open transaction forces an overwritten row's prior to be kept
+/// (`versions_kept`), and closing the reader lets GC reclaim it
+/// (`versions_gc`).
+#[test]
+fn snapshot_read_counters_track_views_and_version_lifecycle() {
+    let shared = SharedDatabase::paged(64).unwrap();
+    {
+        let mut setup = shared.session();
+        setup.execute("CREATE TABLE t (k INT, v INT)").unwrap();
+        setup
+            .execute("INSERT INTO t VALUES (1, 10), (2, 20), (3, 30)")
+            .unwrap();
+    }
+    let before = shared.metrics().unwrap();
+    let mut reader = shared.session();
+    for _ in 0..5 {
+        assert_eq!(reader.execute("SELECT x.k FROM t x").unwrap().rows.len(), 3);
+    }
+    let mid = shared.metrics().unwrap();
+    assert_eq!(
+        mid.snapshot_reads,
+        before.snapshot_reads + 5,
+        "one read view per snapshot SELECT"
+    );
+    assert_eq!(mid.lock_shared, before.lock_shared, "no shared locks");
+    assert_eq!(
+        mid.lock_exclusive, before.lock_exclusive,
+        "no exclusive locks"
+    );
+    assert_eq!(mid.lock_waits, before.lock_waits, "nothing to wait on");
+
+    // Version lifecycle: pin a snapshot, overwrite a row under it.
+    reader.execute("BEGIN").unwrap();
+    assert_eq!(
+        reader
+            .execute("SELECT x.v FROM t x WHERE x.k = 1")
+            .unwrap()
+            .rows,
+        vec![vec![Datum::Int(10)]]
+    );
+    let mut writer = shared.session();
+    writer.execute("UPDATE t SET v = 11 WHERE k = 1").unwrap();
+    let held = shared.metrics().unwrap();
+    assert!(
+        held.versions_kept > mid.versions_kept,
+        "the overwritten row's prior version must be kept for the reader"
+    );
+    // The pinned snapshot still resolves to the prior version.
+    assert_eq!(
+        reader
+            .execute("SELECT x.v FROM t x WHERE x.k = 1")
+            .unwrap()
+            .rows,
+        vec![vec![Datum::Int(10)]]
+    );
+    reader.execute("COMMIT").unwrap();
+    let after = shared.metrics().unwrap();
+    assert!(
+        after.versions_gc > mid.versions_gc,
+        "closing the last snapshot that could see the prior must GC it"
+    );
+    // A fresh snapshot sees the overwrite.
+    assert_eq!(
+        reader
+            .execute("SELECT x.v FROM t x WHERE x.k = 1")
+            .unwrap()
+            .rows,
+        vec![vec![Datum::Int(11)]]
+    );
 }
 
 /// Pulls `key=value` integers out of an `Actual:` EXPLAIN ANALYZE line.
@@ -344,6 +422,10 @@ fn fsync_histogram_count_matches_the_counter() {
 #[test]
 fn lock_wait_histogram_totals_match_the_counter() {
     let shared = SharedDatabase::paged(64).unwrap();
+    // This test manufactures a reader-blocks-on-writer wait, which
+    // only exists in the table-`S` regime — under snapshot reads the
+    // SELECT would take no locks and never wait. Pin the baseline.
+    shared.set_snapshot_reads(false);
     {
         let mut setup = shared.session();
         setup.execute("CREATE TABLE t (a INT)").unwrap();
