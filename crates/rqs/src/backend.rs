@@ -46,10 +46,11 @@ pub type RowLockHook = std::sync::Arc<dyn Fn(&str, u64) -> RqsResult<()> + Send 
 
 /// Physical table storage: rows in, rows out, plus secondary indexes.
 ///
-/// Backends are `Send` so one database can be owned by the shared
-/// server and handed between session threads (statements still execute
-/// one at a time, under the server's mutex).
-pub trait StorageBackend: Send {
+/// Backends are `Send + Sync` so one database can be owned by the
+/// shared server, handed between session threads, and read through
+/// `&self` by many snapshot SELECTs at once (mutating statements still
+/// execute one at a time, under the server's statement latch).
+pub trait StorageBackend: Send + Sync {
     /// Short human-readable backend name (shows up in diagnostics).
     fn name(&self) -> &'static str;
 
@@ -841,13 +842,15 @@ fn rid_key(rid: storage::heap::Rid) -> u64 {
 }
 
 // Compile-time proof that the storage rewrite holds: both backends (and
-// therefore `Box<dyn StorageBackend>`) cross thread boundaries, which
-// is what lets the `server` crate share one database among sessions.
+// therefore `Box<dyn StorageBackend>`) cross thread boundaries and can
+// be read from several at once, which is what lets the `server` crate
+// share one database among sessions and run snapshot SELECTs in
+// parallel.
 const _: fn() = || {
-    fn assert_send<T: Send>() {}
-    assert_send::<PagedBackend>();
-    assert_send::<InMemoryBackend>();
-    assert_send::<Box<dyn StorageBackend>>();
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PagedBackend>();
+    assert_send_sync::<InMemoryBackend>();
+    assert_send_sync::<Box<dyn StorageBackend>>();
 };
 
 impl PagedBackend {

@@ -739,10 +739,19 @@ impl Database {
         Ok(text)
     }
 
-    /// Executes a SELECT without requiring `&mut self`.
+    /// Executes a SELECT without requiring `&mut self` — the parallel
+    /// read path. Many threads may call this at once on a shared
+    /// database: each opens its own statement snapshot and reads the
+    /// backend through `&self`, so SELECTs scale across cores instead
+    /// of queueing on the statement latch. Timings land in the returned
+    /// metrics (there is no `last_statement_*` slot to fill without
+    /// `&mut self`).
     pub fn query(&self, sql_text: &str) -> RqsResult<QueryResult> {
+        let started = std::time::Instant::now();
         match sql::parse_statement(sql_text)? {
             Statement::Select(select) => {
+                let parse_nanos = started.elapsed().as_nanos() as u64;
+                let exec_started = std::time::Instant::now();
                 let autocommit = !self.backend.in_txn();
                 if autocommit {
                     self.backend.open_statement_snapshot();
@@ -751,7 +760,11 @@ impl Database {
                 if autocommit {
                     self.backend.close_statement_snapshot();
                 }
-                out
+                let mut out = out?;
+                out.metrics.parse_nanos = parse_nanos;
+                out.metrics.exec_nanos = exec_started.elapsed().as_nanos() as u64;
+                out.metrics.elapsed_nanos = started.elapsed().as_nanos() as u64;
+                Ok(out)
             }
             _ => Err(RqsError::Syntax("query() accepts only SELECT".into())),
         }

@@ -15,12 +15,19 @@
 //!
 //! # Concurrency model
 //!
-//! Statements execute one at a time (a mutex over the database — the
-//! engine's working set is one buffer pool, so statement execution is
-//! not the part worth parallelizing), but *transactions interleave at
-//! statement granularity*: while session A's transaction is open,
-//! sessions B, C, … run their own statements and transactions. What
-//! keeps that serializable is strict hierarchical two-phase locking
+//! The database sits behind a **statement latch** — a reader/writer
+//! lock, not a mutex. Mutating statements, DDL, session-transaction
+//! control, and any statement inside an explicit transaction take the
+//! exclusive side and still execute one at a time. Autocommit snapshot
+//! `SELECT`s take the *shared* side and run *concurrently with each
+//! other*, end to end: each opens its own MVCC read view, descends
+//! B+-trees with latch crabbing, and hits the lock-striped buffer pool
+//! through `&self`, so eight read-only sessions use eight cores
+//! instead of queueing on one. Beneath the latch, *transactions
+//! interleave at statement granularity*: while session A's transaction
+//! is open, sessions B, C, … run their own statements and
+//! transactions. What keeps writers serializable is strict
+//! hierarchical two-phase locking
 //! ([`storage::lock::LockManager`], `IS`/`IX`/`S`/`X` with row-granular
 //! `X` beneath `IX` — the matrix lives in its module docs):
 //!
@@ -54,7 +61,8 @@
 //! all reads — `SELECT` scans, DML candidate scans, constraint probes —
 //! resolve each row against that view. A `SELECT` therefore takes **no
 //! locks whatsoever** (not even the shared schema lock; the statement
-//! mutex alone makes its catalog access safe) and never waits on or
+//! latch's read side excludes DDL, which takes the write side, so its
+//! catalog access is safe) and never waits on or
 //! blocks a writer; it sees exactly the committed state as of its
 //! snapshot, plus its own transaction's earlier writes
 //! (read-your-own-writes). Dirty reads are impossible by construction:
@@ -90,9 +98,20 @@
 //! it. DDL inside an explicit transaction is rejected up front: the
 //! relational schema registry has no per-transaction rollback.
 //!
-//! The [`net`] module serves sessions over TCP with a line-oriented
-//! text protocol; in-process callers just use [`SharedDatabase::session`]
-//! directly.
+//! # Threading (the [`net`] module)
+//!
+//! TCP serving is a fixed worker pool, not a thread per connection: an
+//! acceptor thread admits connections, a dispatcher polls them for
+//! complete statement lines, and a small pool of workers (sized to the
+//! machine's parallelism, with a floor that keeps read scaling
+//! measurable) executes statements and writes responses. An idle
+//! connection is just a registered socket and its session state — no
+//! thread, no stack — so thousands of idle clients cost nothing.
+//! Statements of one connection run in order (a connection is checked
+//! out by at most one worker at a time); statements of different
+//! connections run in parallel exactly as far as the statement latch
+//! above allows — which, for snapshot `SELECT`s, is all the way.
+//! In-process callers just use [`SharedDatabase::session`] directly.
 
 pub mod net;
 pub mod retry;
@@ -104,7 +123,7 @@ use rqs::{Catalog, Database, Datum, QueryResult, RqsError, TableConstraint, Trac
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::{Duration, Instant};
 use storage::{LockManager, LockMode};
 
@@ -190,8 +209,12 @@ impl SlowLog {
 }
 
 struct Shared {
-    /// `None` once [`SharedDatabase::crash`] ran.
-    db: Mutex<Option<Database>>,
+    /// The statement latch. Writers (DML, DDL, transaction control,
+    /// anything inside an explicit transaction) take the write side
+    /// and serialize; autocommit snapshot SELECTs take the read side
+    /// and run concurrently through [`Database::query`]. `None` once
+    /// [`SharedDatabase::crash`] ran.
+    db: RwLock<Option<Database>>,
     /// `Arc` so per-statement row-lock hooks can capture the manager.
     locks: Arc<LockManager>,
     /// Lock-owner timestamps: smaller = older (wait-die winners).
@@ -210,8 +233,16 @@ struct Shared {
     slow: Mutex<SlowLog>,
 }
 
-fn db_slot(m: &Mutex<Option<Database>>) -> MutexGuard<'_, Option<Database>> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+/// The write side of the statement latch: exclusive, for anything that
+/// mutates the database or needs the single-writer guarantee.
+fn db_write(m: &RwLock<Option<Database>>) -> RwLockWriteGuard<'_, Option<Database>> {
+    m.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// The read side of the statement latch: shared, for snapshot SELECTs
+/// and metrics/histogram snapshots that only read through `&Database`.
+fn db_read(m: &RwLock<Option<Database>>) -> RwLockReadGuard<'_, Option<Database>> {
+    m.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 fn lock_slow(m: &Mutex<SlowLog>) -> MutexGuard<'_, SlowLog> {
@@ -248,7 +279,7 @@ impl SharedDatabase {
     pub fn with_lock_config(db: Database, timeout: Duration, escalation: usize) -> SharedDatabase {
         SharedDatabase {
             inner: Arc::new(Shared {
-                db: Mutex::new(Some(db)),
+                db: RwLock::new(Some(db)),
                 locks: Arc::new(LockManager::with_config(timeout, escalation)),
                 next_owner: AtomicU64::new(1),
                 next_session: AtomicU64::new(1),
@@ -301,7 +332,7 @@ impl SharedDatabase {
     /// engine's version metadata when turned off.
     pub fn set_snapshot_reads(&self, on: bool) {
         self.inner.snapshot_reads.store(on, Ordering::Relaxed);
-        let mut slot = db_slot(&self.inner.db);
+        let mut slot = db_write(&self.inner.db);
         if let Some(db) = slot.as_mut() {
             db.set_snapshot_reads(on);
         }
@@ -340,7 +371,7 @@ impl SharedDatabase {
     /// registries count disjoint events).
     pub fn metrics(&self) -> ServerResult<storage::MetricsSnapshot> {
         let engine = {
-            let slot = db_slot(&self.inner.db);
+            let slot = db_read(&self.inner.db);
             let db = slot.as_ref().ok_or(ServerError::Closed)?;
             db.backend().metrics()
         };
@@ -352,7 +383,7 @@ impl SharedDatabase {
     /// lock-wait histogram (the `STATS HISTOGRAMS` verb renders this).
     pub fn histograms(&self) -> ServerResult<storage::HistogramsSnapshot> {
         let engine = {
-            let slot = db_slot(&self.inner.db);
+            let slot = db_read(&self.inner.db);
             let db = slot.as_ref().ok_or(ServerError::Closed)?;
             db.backend().histograms()
         };
@@ -360,10 +391,11 @@ impl SharedDatabase {
     }
 
     /// Runs `f` with the underlying database (test assertions, ops).
-    /// Takes the statement mutex; do not call while holding a session
-    /// mid-statement (sessions never are between calls).
+    /// Takes the statement latch's write side; do not call while
+    /// holding a session mid-statement (sessions never are between
+    /// calls).
     pub fn with_db<R>(&self, f: impl FnOnce(&mut Database) -> R) -> ServerResult<R> {
-        let mut slot = db_slot(&self.inner.db);
+        let mut slot = db_write(&self.inner.db);
         let db = slot.as_mut().ok_or(ServerError::Closed)?;
         Ok(f(db))
     }
@@ -380,7 +412,7 @@ impl SharedDatabase {
     /// logged), and every subsequent session call returns
     /// [`ServerError::Closed`]. Reopen the file to recover.
     pub fn crash(&self) -> ServerResult<()> {
-        let mut slot = db_slot(&self.inner.db);
+        let mut slot = db_write(&self.inner.db);
         let db = slot.take().ok_or(ServerError::Closed)?;
         db.crash();
         Ok(())
@@ -517,7 +549,7 @@ impl ServerSession {
     /// registries merged.
     fn histogram_rows(&mut self) -> ServerResult<QueryResult> {
         let engine = {
-            let slot = db_slot(&self.shared.db);
+            let slot = db_read(&self.shared.db);
             let db = slot.as_ref().ok_or(ServerError::Closed)?;
             db.backend().histograms()
         };
@@ -592,7 +624,7 @@ impl ServerSession {
     /// carries it like any other query result.
     fn stats_rows(&mut self) -> ServerResult<QueryResult> {
         let engine = {
-            let slot = db_slot(&self.shared.db);
+            let slot = db_read(&self.shared.db);
             let db = slot.as_ref().ok_or(ServerError::Closed)?;
             db.backend().metrics()
         };
@@ -627,7 +659,7 @@ impl ServerSession {
         }
         let owner = self.shared.next_owner.fetch_add(1, Ordering::SeqCst);
         let txn = {
-            let mut slot = db_slot(&self.shared.db);
+            let mut slot = db_write(&self.shared.db);
             let db = slot.as_mut().ok_or(ServerError::Closed)?;
             db.begin_session_txn().map_err(ServerError::Statement)?
         };
@@ -640,7 +672,7 @@ impl ServerSession {
             return Err(ServerError::Session("COMMIT without BEGIN".into()));
         };
         let result = {
-            let mut slot = db_slot(&self.shared.db);
+            let mut slot = db_write(&self.shared.db);
             match slot.as_mut() {
                 Some(db) => db.commit_session_txn(open.txn),
                 None => {
@@ -662,7 +694,7 @@ impl ServerSession {
             return Err(ServerError::Session("ROLLBACK without BEGIN".into()));
         };
         {
-            let mut slot = db_slot(&self.shared.db);
+            let mut slot = db_write(&self.shared.db);
             match slot.as_mut() {
                 Some(db) => db.abort_session_txn(open.txn),
                 None => {
@@ -703,7 +735,7 @@ impl ServerSession {
         let snapshot_select = if matches!(stmt, Statement::Select(_))
             && self.shared.snapshot_reads.load(Ordering::Relaxed)
         {
-            let supported = db_slot(&self.shared.db)
+            let supported = db_read(&self.shared.db)
                 .as_ref()
                 .map(|db| db.supports_snapshot_reads());
             match supported {
@@ -713,6 +745,16 @@ impl ServerSession {
         } else {
             false
         };
+
+        // An autocommit snapshot SELECT mutates nothing and resumes no
+        // transaction: it runs on the statement latch's *read* side,
+        // concurrently with every other such SELECT, and never touches
+        // the write path below. Snapshot SELECTs inside an explicit
+        // transaction still take the write side — they must switch the
+        // session's backend transaction in, which needs `&mut`.
+        if snapshot_select && self.txn.is_none() {
+            return self.read_statement(sql, owner, started);
+        }
 
         // Phase 1: locks, acquired *before* the statement mutex so a
         // waiter never blocks the session that must release it.
@@ -735,7 +777,7 @@ impl ServerSession {
         let plan = if snapshot_select {
             Some(BTreeMap::new())
         } else {
-            let mut slot = db_slot(&self.shared.db);
+            let mut slot = db_write(&self.shared.db);
             slot.as_mut().map(|db| {
                 let row_locks =
                     self.shared.row_locks.load(Ordering::Relaxed) && db.supports_row_locks();
@@ -761,7 +803,7 @@ impl ServerSession {
         // Phase 2: execute under the statement mutex, with the session's
         // transaction (if any) switched in.
         let result = {
-            let mut slot = db_slot(&self.shared.db);
+            let mut slot = db_write(&self.shared.db);
             let Some(db) = slot.as_mut() else {
                 drop(slot);
                 return self.closed(owner);
@@ -824,13 +866,85 @@ impl ServerSession {
         }
     }
 
+    /// The parallel read path: an autocommit snapshot SELECT executed
+    /// through [`Database::query`] on the statement latch's read side.
+    /// No lock-manager calls, no `&mut Database` — any number of
+    /// sessions run here at once. The span breakdown is assembled from
+    /// the query's own timings: `locks` first (the no-op lock phase,
+    /// everything before execution — the trace shape every statement
+    /// shares), then `parse` and `exec`. There is no `commit` span: a
+    /// read-only statement commits nothing.
+    fn read_statement(
+        &mut self,
+        sql: &str,
+        owner: u64,
+        started: Instant,
+    ) -> ServerResult<QueryResult> {
+        let lock_nanos = started.elapsed().as_nanos() as u64;
+        let result = {
+            let slot = db_read(&self.shared.db);
+            let Some(db) = slot.as_ref() else {
+                drop(slot);
+                return self.closed(owner);
+            };
+            db.query(sql)
+        };
+        if let Ok(r) = &result {
+            let m = &r.metrics;
+            let mut spans = vec![
+                TraceSpan {
+                    name: "locks",
+                    nanos: lock_nanos,
+                    ..Default::default()
+                },
+                TraceSpan {
+                    name: "parse",
+                    nanos: m.parse_nanos,
+                    ..Default::default()
+                },
+            ];
+            if m.plan_nanos > 0 {
+                spans.push(TraceSpan {
+                    name: "plan",
+                    nanos: m.plan_nanos.min(m.exec_nanos),
+                    ..Default::default()
+                });
+            }
+            spans.push(TraceSpan {
+                name: "exec",
+                nanos: m.exec_nanos.saturating_sub(m.plan_nanos.min(m.exec_nanos)),
+                page_reads: m.page_reads,
+                buffer_hits: m.buffer_hits,
+                ..Default::default()
+            });
+            self.last_trace = spans;
+            let wall_nanos = started.elapsed().as_nanos() as u64;
+            let mut slow = lock_slow(&self.shared.slow);
+            if slow.capacity > 0 && wall_nanos >= slow.threshold.as_nanos() as u64 {
+                slow.push(SlowEntry {
+                    session: self.id,
+                    sql: sql.to_owned(),
+                    wall_nanos,
+                    spans: self.last_trace.clone(),
+                });
+            }
+        }
+        result.map_err(|e| {
+            // No locks were taken and no transaction is open (the read
+            // path requires autocommit), so failure releases nothing.
+            debug_assert!(self.txn.is_none());
+            let _ = owner;
+            ServerError::Statement(e)
+        })
+    }
+
     /// Failure path: an error inside an explicit transaction aborts the
     /// whole transaction (statement-level atomicity is not separable
     /// from it once several statements share one WAL transaction).
     fn fail(&mut self, owner: u64, e: RqsError) -> ServerResult<QueryResult> {
         if let Some(open) = self.txn.take() {
             self.stats.txn_aborts += 1;
-            if let Some(db) = db_slot(&self.shared.db).as_mut() {
+            if let Some(db) = db_write(&self.shared.db).as_mut() {
                 db.abort_session_txn(open.txn);
             }
             self.shared.locks.release_all(open.owner);
@@ -858,7 +972,7 @@ impl Drop for ServerSession {
     /// its locks — a disconnected client must not wedge the server.
     fn drop(&mut self) {
         if let Some(open) = self.txn.take() {
-            if let Some(db) = db_slot(&self.shared.db).as_mut() {
+            if let Some(db) = db_write(&self.shared.db).as_mut() {
                 db.abort_session_txn(open.txn);
             }
             self.shared.locks.release_all(open.owner);

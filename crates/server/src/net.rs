@@ -1,4 +1,5 @@
-//! Line-oriented TCP serving of a [`SharedDatabase`].
+//! Line-oriented TCP serving of a [`SharedDatabase`] on a fixed
+//! worker pool.
 //!
 //! One statement per line in, a small tagged-line response out:
 //!
@@ -13,65 +14,130 @@
 //! server: ROW 2\t'y'
 //! server: OK 2
 //! client: SELECT nonsense
-//! server: ERR SQL syntax error: …
+//! server: ERR SQL syntax error: ...
 //! ```
+//!
+//! # Threading model
+//!
+//! The server no longer spawns a thread per connection. Three kinds of
+//! thread cooperate over a shared connection table:
+//!
+//! - An **acceptor** takes new connections off the listener, wraps each
+//!   in a [`ServerSession`], and parks it in the table. An idle
+//!   connection is just a nonblocking socket plus session state — it
+//!   costs no thread.
+//! - A **dispatcher** sweeps the table, draining readable sockets into
+//!   per-connection input buffers. The moment a buffer holds a complete
+//!   line, the connection is checked out of the table and queued.
+//! - A fixed pool of **workers** (`max(available_parallelism, 8)`)
+//!   takes queued connections, executes every buffered statement in
+//!   arrival order, writes the responses, and parks the connection
+//!   back. A connection is owned by at most one worker at a time, so
+//!   statements on one connection never reorder or interleave — while
+//!   statements on *different* connections run on as many workers (and
+//!   through the statement latch's read side, for snapshot SELECTs) as
+//!   the machine allows.
 //!
 //! `BEGIN` / `COMMIT` / `ROLLBACK` work per connection (each
 //! connection is one [`ServerSession`]); disconnecting mid-transaction
-//! rolls it back. The protocol carries no typing — it exists so N
-//! clients can hammer one database over sockets (and so the coupling
-//! layer could sit on the far side of a wire, as in the paper's
-//! front-end/DBMS split), not as a competitor to real drivers. The
-//! [`Client`] helper speaks the same protocol for tests, benchmarks
-//! and examples.
+//! rolls it back, because dropping the checked-out connection drops its
+//! session. The protocol carries no typing — it exists so N clients can
+//! hammer one database over sockets (and so the coupling layer could
+//! sit on the far side of a wire, as in the paper's front-end/DBMS
+//! split), not as a competitor to real drivers. The [`Client`] helper
+//! speaks the same protocol for tests, benchmarks and examples.
 
 use crate::{ServerSession, SharedDatabase};
-use std::io::{self, BufRead, BufReader, Write};
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// How long the acceptor and dispatcher doze when nothing is readable.
+/// Short enough that statement latency stays well under a millisecond
+/// of queueing on an idle server, long enough not to spin a core.
+const SWEEP_IDLE: Duration = Duration::from_micros(500);
+
+/// One parked connection: a nonblocking socket, its session, and the
+/// bytes read so far that do not yet form a complete line.
+struct Conn {
+    stream: TcpStream,
+    session: ServerSession,
+    inbuf: Vec<u8>,
+    /// The peer half-closed (EOF): execute what is buffered, then drop.
+    eof: bool,
+}
+
+/// A connection-table slot. `Busy` marks a connection checked out by
+/// the queue or a worker: the slot cannot be reused until the worker
+/// parks the connection back (or drops it, making the slot `Vacant`).
+enum Slot {
+    Vacant,
+    Idle(Conn),
+    Busy,
+}
+
+/// State shared by the acceptor, the dispatcher, and the workers.
+struct PoolShared {
+    shutdown: AtomicBool,
+    /// The connection table. Slots are reused after a disconnect.
+    conns: Mutex<Vec<Slot>>,
+    /// Connections with at least one complete line buffered, in the
+    /// order the dispatcher found them.
+    jobs: Mutex<VecDeque<(usize, Conn)>>,
+    jobs_ready: Condvar,
+}
+
 /// A running TCP server. Dropping (or [`Server::stop`]) shuts the
-/// accept loop down; connections already being served finish their
-/// current line.
+/// acceptor, dispatcher and worker pool down; statements already
+/// executing finish, parked connections are dropped (rolling back any
+/// open transaction).
 pub struct Server {
     addr: SocketAddr,
-    shutdown: Arc<AtomicBool>,
-    accept_loop: Option<JoinHandle<()>>,
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// serves sessions of `db`, one thread per connection.
+    /// serves sessions of `db` on a fixed worker pool sized
+    /// `max(available_parallelism, 8)`.
     pub fn start(db: SharedDatabase, addr: &str) -> io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let shutdown = Arc::new(AtomicBool::new(false));
-        let stop = Arc::clone(&shutdown);
-        let accept_loop = std::thread::spawn(move || {
-            while !stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let session = db.session();
-                        let _ = stream.set_nonblocking(false);
-                        std::thread::spawn(move || {
-                            let _ = serve_connection(session, stream);
-                        });
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(5));
-                    }
-                    Err(_) => break,
-                }
-            }
+        let shared = Arc::new(PoolShared {
+            shutdown: AtomicBool::new(false),
+            conns: Mutex::new(Vec::new()),
+            jobs: Mutex::new(VecDeque::new()),
+            jobs_ready: Condvar::new(),
         });
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+            .max(8);
+        let mut threads = Vec::with_capacity(workers + 2);
+        let accept_shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            accept_loop(&accept_shared, &listener, &db);
+        }));
+        let dispatch_shared = Arc::clone(&shared);
+        threads.push(std::thread::spawn(move || {
+            dispatch_loop(&dispatch_shared);
+        }));
+        for _ in 0..workers {
+            let worker_shared = Arc::clone(&shared);
+            threads.push(std::thread::spawn(move || {
+                worker_loop(&worker_shared);
+            }));
+        }
         Ok(Server {
             addr,
-            shutdown,
-            accept_loop: Some(accept_loop),
+            shared,
+            threads,
         })
     }
 
@@ -80,16 +146,20 @@ impl Server {
         self.addr
     }
 
-    /// Stops accepting connections and joins the accept loop.
+    /// Stops the server and joins every thread.
     pub fn stop(mut self) {
         self.shutdown_now();
     }
 
     fn shutdown_now(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
-        if let Some(handle) = self.accept_loop.take() {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.jobs_ready.notify_all();
+        for handle in self.threads.drain(..) {
             let _ = handle.join();
         }
+        // Parked sessions roll their transactions back on drop.
+        lock(&self.shared.conns).clear();
+        lock(&self.shared.jobs).clear();
     }
 }
 
@@ -99,36 +169,187 @@ impl Drop for Server {
     }
 }
 
-fn serve_connection(mut session: ServerSession, stream: TcpStream) -> io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = stream;
-    for line in reader.lines() {
-        let line = line?;
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Accepts connections and parks them in the table (reusing vacant
+/// slots) until shutdown.
+fn accept_loop(shared: &PoolShared, listener: &TcpListener, db: &SharedDatabase) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                // Statement/response exchanges are small and
+                // latency-sensitive; never wait out Nagle's algorithm.
+                let _ = stream.set_nodelay(true);
+                let conn = Conn {
+                    stream,
+                    session: db.session(),
+                    inbuf: Vec::new(),
+                    eof: false,
+                };
+                let mut conns = lock(&shared.conns);
+                match conns.iter_mut().find(|s| matches!(s, Slot::Vacant)) {
+                    Some(slot) => *slot = Slot::Idle(conn),
+                    None => conns.push(Slot::Idle(conn)),
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(SWEEP_IDLE);
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Sweeps the connection table: drains readable sockets into their
+/// input buffers and hands every connection holding a complete line to
+/// the worker queue.
+fn dispatch_loop(shared: &PoolShared) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let mut ready = Vec::new();
+        {
+            let mut conns = lock(&shared.conns);
+            for (idx, slot) in conns.iter_mut().enumerate() {
+                let Slot::Idle(conn) = slot else { continue };
+                let alive = drain_socket(conn);
+                if conn.inbuf.contains(&b'\n') {
+                    let Slot::Idle(conn) = std::mem::replace(slot, Slot::Busy) else {
+                        unreachable!()
+                    };
+                    ready.push((idx, conn));
+                } else if !alive || conn.eof {
+                    // Nothing runnable and the peer is gone.
+                    *slot = Slot::Vacant;
+                }
+            }
+        }
+        let progressed = !ready.is_empty();
+        if progressed {
+            let mut jobs = lock(&shared.jobs);
+            for job in ready {
+                jobs.push_back(job);
+            }
+            drop(jobs);
+            shared.jobs_ready.notify_all();
+        } else {
+            std::thread::sleep(SWEEP_IDLE);
+        }
+    }
+}
+
+/// Nonblocking read of everything the socket has; returns `false` on a
+/// connection error. EOF sets `conn.eof` instead so already-buffered
+/// statements still run.
+fn drain_socket(conn: &mut Conn) -> bool {
+    let mut buf = [0u8; 4096];
+    loop {
+        match conn.stream.read(&mut buf) {
+            Ok(0) => {
+                conn.eof = true;
+                return true;
+            }
+            Ok(n) => conn.inbuf.extend_from_slice(&buf[..n]),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+}
+
+/// Takes queued connections, executes their buffered statements, and
+/// parks them back (or drops them on disconnect).
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut jobs = lock(&shared.jobs);
+            loop {
+                if let Some(job) = jobs.pop_front() {
+                    break Some(job);
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                jobs = shared
+                    .jobs_ready
+                    .wait(jobs)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        let Some((idx, mut conn)) = job else { return };
+        let alive = serve_buffered(&mut conn, shared) && !conn.eof;
+        let mut conns = lock(&shared.conns);
+        conns[idx] = if alive {
+            Slot::Idle(conn)
+        } else {
+            Slot::Vacant
+        };
+    }
+}
+
+/// Executes every complete line buffered on `conn`, in order, writing
+/// each response before starting the next statement. Returns `false`
+/// when the connection is no longer usable.
+fn serve_buffered(conn: &mut Conn, shared: &PoolShared) -> bool {
+    while let Some(pos) = conn.inbuf.iter().position(|&b| b == b'\n') {
+        let line: Vec<u8> = conn.inbuf.drain(..=pos).collect();
+        let line = String::from_utf8_lossy(&line);
         let sql = line.trim();
         if sql.is_empty() {
             continue;
         }
-        match session.execute(sql) {
+        let mut response = Vec::new();
+        match conn.session.execute(sql) {
             Ok(result) => {
                 if result.columns.is_empty() {
-                    writeln!(writer, "OK {}", result.affected)?;
+                    let _ = writeln!(response, "OK {}", result.affected);
                 } else {
                     let cols: Vec<String> = result.columns.iter().map(|c| escape_cell(c)).collect();
-                    writeln!(writer, "COLS {}", cols.join("\t"))?;
+                    let _ = writeln!(response, "COLS {}", cols.join("\t"));
                     for row in &result.rows {
                         let cells: Vec<String> =
                             row.iter().map(|d| escape_cell(&d.to_string())).collect();
-                        writeln!(writer, "ROW {}", cells.join("\t"))?;
+                        let _ = writeln!(response, "ROW {}", cells.join("\t"));
                     }
-                    writeln!(writer, "OK {}", result.rows.len())?;
+                    let _ = writeln!(response, "OK {}", result.rows.len());
                 }
             }
             Err(e) => {
                 let msg = e.to_string().replace(['\r', '\n'], " ");
-                writeln!(writer, "ERR {msg}")?;
+                let _ = writeln!(response, "ERR {msg}");
             }
         }
-        writer.flush()?;
+        if write_all_nonblocking(&mut conn.stream, &response, shared).is_err() {
+            return false;
+        }
+    }
+    true
+}
+
+/// `write_all` over a nonblocking socket: spins (with a short doze) on
+/// `WouldBlock` until the peer drains its receive window, giving up at
+/// shutdown so a stalled client cannot wedge [`Server::stop`].
+fn write_all_nonblocking(
+    stream: &mut TcpStream,
+    mut buf: &[u8],
+    shared: &PoolShared,
+) -> io::Result<()> {
+    while !buf.is_empty() {
+        match stream.write(buf) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => buf = &buf[n..],
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Err(io::ErrorKind::Interrupted.into());
+                }
+                std::thread::sleep(SWEEP_IDLE);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
     }
     Ok(())
 }
@@ -191,6 +412,7 @@ pub struct Client {
 impl Client {
     pub fn connect(addr: SocketAddr) -> io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
         Ok(Client {
             reader: BufReader::new(stream.try_clone()?),
             writer: stream,

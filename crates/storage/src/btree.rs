@@ -20,8 +20,30 @@
 //! pages), and the caller rolls back its copy of the root id. Bulk
 //! builds (`StorageEngine::create_index`) run outside transactions and
 //! are forced to disk before the catalog registers the root.
+//!
+//! # Concurrency: latch crabbing
+//!
+//! Read descents (lookups, range cursors, and the routing phase of
+//! mutations) use **lock coupling**: the child page is pinned and
+//! verified to be a tree node while the parent pin is still held, and
+//! only then is the parent released ([`descend_to_leaf`]). Every
+//! per-node read takes the page's frame latch
+//! ([`PinnedPage::with_latched`]), so a node is always observed either
+//! entirely before or entirely after a concurrent rebuild — splits
+//! reconstruct a node in one latched mutation and populate the new
+//! right sibling *before* it becomes reachable.
+//!
+//! Mutations stay exclusive (the engine serializes writers), so a
+//! reader races at most one in-flight split. That race is benign by
+//! construction: splits move entries **right**, never free pages, and
+//! link `left.next → right` in the same latched rebuild, so a stale
+//! route can only land a reader *left* of its target — and the
+//! left-to-right leaf chain walk that follows every descent recovers
+//! by walking forward until the key range is passed.
+//!
+//! [`PinnedPage::with_latched`]: crate::buffer::PinnedPage::with_latched
 
-use crate::buffer::BufferPool;
+use crate::buffer::{BufferPool, PinnedPage};
 use crate::codec::{decode_datum, encode_key};
 use crate::heap::Rid;
 use crate::metrics::bump;
@@ -163,27 +185,16 @@ impl BPlusTree {
             rid,
         };
         bump(&pool.metrics().btree_descents);
-        // Descend, remembering the path for split propagation.
+        // Crab to the leaf, remembering the path for split propagation.
         let mut path: Vec<PageId> = Vec::new();
-        let mut current = self.root;
-        loop {
-            let guard = pool.fetch(current)?;
-            let kind = guard.with(|p| p.kind())?;
-            match kind {
-                PageKind::BTreeLeaf => break,
-                PageKind::BTreeInternal => {
-                    let child = guard.with(|p| child_for_insert(p, &entry.key))?;
-                    drop(guard);
-                    path.push(current);
-                    current = child;
-                }
-                other => {
-                    return Err(StorageError::Corrupt(format!(
-                        "page {current} is {other:?}, expected a B+-tree node"
-                    )))
-                }
-            }
-        }
+        let leaf = descend_to_leaf(
+            pool,
+            self.root,
+            |p| child_for_insert(p, &entry.key),
+            |id| path.push(id),
+        )?;
+        let current = leaf.id();
+        drop(leaf);
 
         // Insert into the leaf, splitting upward as needed.
         let mut promoted = self.insert_into_leaf(pool, current, entry)?;
@@ -329,28 +340,12 @@ impl BPlusTree {
     pub fn delete(&mut self, pool: &BufferPool, key: &Datum, rid: Rid) -> StorageResult<bool> {
         let target = encode_key(key);
         bump(&pool.metrics().btree_descents);
-        // Descend to the leftmost leaf that could hold the key.
-        let mut current = self.root;
+        // Crab to the leftmost leaf that could hold the key.
+        let mut guard = descend_to_leaf(pool, self.root, |p| child_for_lookup(p, &target), |_| ())?;
+        // Walk the leaf chain while the key may still match, pinning
+        // the next leaf before releasing the current one.
         loop {
-            let guard = pool.fetch(current)?;
-            match guard.with(|p| p.kind())? {
-                PageKind::BTreeLeaf => break,
-                PageKind::BTreeInternal => {
-                    let child = guard.with(|p| child_for_lookup(p, &target))?;
-                    drop(guard);
-                    current = child;
-                }
-                other => {
-                    return Err(StorageError::Corrupt(format!(
-                        "page {current} is {other:?}, expected a B+-tree node"
-                    )))
-                }
-            }
-        }
-        // Walk the leaf chain while the key may still match.
-        while current != NO_PAGE {
-            let guard = pool.fetch(current)?;
-            let (entries, found, done, next) = guard.with(|p| -> StorageResult<_> {
+            let (entries, found, done, next) = guard.with_latched(pool.metrics(), |p| {
                 let mut entries = Vec::with_capacity(p.slot_count());
                 let mut found = None;
                 let mut done = false;
@@ -366,7 +361,7 @@ impl BPlusTree {
                     }
                     entries.push(entry);
                 }
-                Ok((entries, found, done, p.next()))
+                Ok::<_, StorageError>((entries, found, done, p.next()))
             })?;
             if let Some(pos) = found {
                 let mut entries = entries;
@@ -381,42 +376,26 @@ impl BPlusTree {
                 })??;
                 return Ok(true);
             }
-            drop(guard);
-            if done {
+            if done || next == NO_PAGE {
                 return Ok(false);
             }
-            current = next;
+            let next_guard = pool.fetch(next)?; // current leaf still pinned
+            guard = next_guard;
         }
-        Ok(false)
     }
 
     /// All rids posted under `key`, in insertion-stable (key, rid) order.
     pub fn lookup(&self, pool: &BufferPool, key: &Datum) -> StorageResult<Vec<Rid>> {
         let target = encode_key(key);
         bump(&pool.metrics().btree_descents);
-        // Descend to the leftmost leaf that could hold the key.
-        let mut current = self.root;
-        loop {
-            let guard = pool.fetch(current)?;
-            match guard.with(|p| p.kind())? {
-                PageKind::BTreeLeaf => break,
-                PageKind::BTreeInternal => {
-                    let child = guard.with(|p| child_for_lookup(p, &target))?;
-                    drop(guard);
-                    current = child;
-                }
-                other => {
-                    return Err(StorageError::Corrupt(format!(
-                        "page {current} is {other:?}, expected a B+-tree node"
-                    )))
-                }
-            }
-        }
-        // Walk the leaf chain while keys may still match.
+        // Crab to the leftmost leaf that could hold the key.
+        let mut guard = descend_to_leaf(pool, self.root, |p| child_for_lookup(p, &target), |_| ())?;
+        // Walk the leaf chain while keys may still match, pinning the
+        // next leaf before releasing the current one so a concurrent
+        // split cannot unlink the chain under the cursor.
         let mut rids = Vec::new();
-        while current != NO_PAGE {
-            let guard = pool.fetch(current)?;
-            let (matches, done, next) = guard.with(|p| -> StorageResult<_> {
+        loop {
+            let (matches, done, next) = guard.with_latched(pool.metrics(), |p| {
                 let mut matches = Vec::new();
                 let mut done = false;
                 for record in p.records() {
@@ -430,13 +409,14 @@ impl BPlusTree {
                         }
                     }
                 }
-                Ok((matches, done, p.next()))
+                Ok::<_, StorageError>((matches, done, p.next()))
             })?;
             rids.extend(matches);
-            if done {
+            if done || next == NO_PAGE {
                 break;
             }
-            current = next;
+            let next_guard = pool.fetch(next)?; // current leaf still pinned
+            guard = next_guard;
         }
         Ok(rids)
     }
@@ -463,33 +443,22 @@ impl BPlusTree {
             Bound::Unbounded => None,
         };
         bump(&pool.metrics().btree_descents);
-        // Descend to the leftmost leaf that could hold the lower bound
+        // Crab to the leftmost leaf that could hold the lower bound
         // (the leftmost leaf outright when unbounded below).
-        let mut current = self.root;
-        loop {
-            let guard = pool.fetch(current)?;
-            match guard.with(|p| p.kind())? {
-                PageKind::BTreeLeaf => break,
-                PageKind::BTreeInternal => {
-                    let child = guard.with(|p| match &lower_key {
-                        Some(key) => child_for_lookup(p, key),
-                        None => Ok(p.extra()),
-                    })?;
-                    drop(guard);
-                    current = child;
-                }
-                other => {
-                    return Err(StorageError::Corrupt(format!(
-                        "page {current} is {other:?}, expected a B+-tree node"
-                    )))
-                }
-            }
-        }
-        // Walk the leaf chain while keys may still fall in range.
+        let mut guard = descend_to_leaf(
+            pool,
+            self.root,
+            |p| match &lower_key {
+                Some(key) => child_for_lookup(p, key),
+                None => Ok(p.extra()),
+            },
+            |_| (),
+        )?;
+        // Walk the leaf chain while keys may still fall in range,
+        // pinning the next leaf before releasing the current one.
         let mut rids = Vec::new();
-        while current != NO_PAGE {
-            let guard = pool.fetch(current)?;
-            let (matches, done, next) = guard.with(|p| -> StorageResult<_> {
+        loop {
+            let (matches, done, next) = guard.with_latched(pool.metrics(), |p| {
                 let mut matches = Vec::new();
                 let mut done = false;
                 for record in p.records() {
@@ -517,13 +486,14 @@ impl BPlusTree {
                     }
                     matches.push(entry.rid);
                 }
-                Ok((matches, done, p.next()))
+                Ok::<_, StorageError>((matches, done, p.next()))
             })?;
             rids.extend(matches);
-            if done {
+            if done || next == NO_PAGE {
                 break;
             }
-            current = next;
+            let next_guard = pool.fetch(next)?; // current leaf still pinned
+            guard = next_guard;
         }
         Ok(rids)
     }
@@ -586,6 +556,50 @@ impl BPlusTree {
                 }
             }
         }
+    }
+}
+
+/// Latch-crabbing descent from `root` to a leaf: at each internal node,
+/// `route` picks the child under the node's frame latch; the child is
+/// then pinned and kind-verified **while the parent pin is still
+/// held**, and only then is the parent released (lock coupling). The
+/// returned guard pins the leaf the descent landed on.
+///
+/// Concurrent exclusive splits can stale a route between reading the
+/// parent and latching the child, but only *leftward* (splits move
+/// entries right and never free pages); callers correct by walking the
+/// leaf chain forward. `on_step` sees each internal node's id before
+/// its child is taken — insert uses it to record the split-propagation
+/// path.
+fn descend_to_leaf(
+    pool: &BufferPool,
+    root: PageId,
+    mut route: impl FnMut(&Page) -> StorageResult<PageId>,
+    mut on_step: impl FnMut(PageId),
+) -> StorageResult<PinnedPage> {
+    let metrics = pool.metrics();
+    let mut current = root;
+    let mut guard = pool.fetch(current)?;
+    let mut kind = guard.with_latched(metrics, |p| p.kind())?;
+    loop {
+        match kind {
+            PageKind::BTreeLeaf => return Ok(guard),
+            PageKind::BTreeInternal => {}
+            other => {
+                return Err(StorageError::Corrupt(format!(
+                    "page {current} is {other:?}, expected a B+-tree node"
+                )))
+            }
+        }
+        let child = guard.with_latched(metrics, |p| route(p))?;
+        let child_guard = pool.fetch(child)?;
+        // Verify before releasing the parent: the child must still be a
+        // tree node (the kind is consumed by the next iteration's
+        // check, so corruption surfaces with the right page id).
+        kind = child_guard.with_latched(metrics, |p| p.kind())?;
+        on_step(current);
+        guard = child_guard;
+        current = child;
     }
 }
 

@@ -5,10 +5,19 @@
 //! Access is guard-based: [`BufferPool::fetch`] returns a [`PinnedPage`]
 //! that pins its frame for as long as it lives (pinned frames are never
 //! evicted), so multi-page operations like B+-tree splits can hold a few
-//! pages while faulting others in. The pool is `Send + Sync`: the frame
-//! table sits behind a `Mutex`, every frame carries its own latch, and
-//! guards touch only their frame's latch — the shared server's sessions
-//! all funnel through one pool.
+//! pages while faulting others in. The pool is `Send + Sync` and
+//! **lock-striped**: the frame table is split into N shards (pages hash
+//! to a stripe by id), each with its own page→slot map and clock hand,
+//! so resident fetches on different stripes never contend on a shared
+//! lock. Everything that *changes* the frame table — fault-ins,
+//! evictions, allocation, transaction commit/abort, flush — additionally
+//! holds the single [`Core`] mutex (pager, WAL, transaction table), in
+//! strict `core → shard → frame latch` order; holding core therefore
+//! freezes the whole table, which is what keeps multi-page operations
+//! (free-list walks, contiguous commit logging) atomic without a global
+//! frame lock. Every frame still carries its own latch, and guards touch
+//! only their frame's latch — the shared server's sessions all funnel
+//! through one pool.
 //!
 //! Transactions (pools built with [`BufferPool::with_wal`]): any number
 //! of transactions may be *open* at once — one per server session — but
@@ -74,7 +83,7 @@ use crate::wal::{Wal, WalRecord};
 use crate::{StorageError, StorageResult};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, TryLockError};
 
 /// Identifies one write-ahead-log transaction. Ids are handed out by the
 /// WAL, start at 1 and never repeat within a log generation; 0 is
@@ -172,14 +181,28 @@ struct TxnCtx {
     undo_offsets: Vec<u64>,
 }
 
-struct Inner {
-    pager: Pager,
-    wal: Option<Wal>,
-    txns: HashMap<TxnId, TxnCtx>,
+/// One lock stripe of the frame table: the frames, page→slot map and
+/// clock hand for the pages that hash to this stripe. A resident fetch
+/// locks only its page's shard, so hits on different stripes never
+/// contend; anything that inserts or evicts frames additionally holds
+/// [`Core`] first (strict `core → shard` order), which makes "core
+/// held" a freeze of the entire frame table.
+struct Shard {
     frames: Vec<Arc<Mutex<Frame>>>,
     map: HashMap<PageId, usize>,
     hand: usize,
-    stats: PoolStats,
+    /// This stripe's slice of the pool's frame budget.
+    capacity: usize,
+}
+
+/// Everything the pool shares across shards: the pager and log, the
+/// open-transaction table, free-page bookkeeping and failure parking.
+/// Lock order is strictly `core → shard → frame latch`; the resident
+/// fast path takes `shard → frame` only and never reaches for core.
+struct Core {
+    pager: Pager,
+    wal: Option<Wal>,
+    txns: HashMap<TxnId, TxnCtx>,
     /// Aborted-transaction allocations, reusable immediately (their disk
     /// image is a free page). In-memory only: lost on crash, at worst
     /// leaking the pages a crash already abandoned.
@@ -205,9 +228,6 @@ struct Inner {
     /// process lifetime: the log still holds the images, so crash
     /// recovery repairs what the live abort could not.
     undo_incomplete: bool,
-    /// The observability registry ([`crate::metrics`]); shared with the
-    /// WAL and handed out by [`BufferPool::metrics`].
-    metrics: Arc<StorageMetrics>,
 }
 
 /// A page pinned in the pool. Dropping the guard unpins it.
@@ -236,20 +256,43 @@ impl PinnedPage {
     pub fn id(&self) -> PageId {
         lock(&self.frame).id
     }
+
+    /// Read access that try-locks the frame latch first, counting a
+    /// `btree_latch_waits` bump when another thread already holds it.
+    /// The B+-tree's crabbing descents call this instead of
+    /// [`PinnedPage::with`] so latch contention is observable.
+    pub fn with_latched<R>(&self, metrics: &StorageMetrics, f: impl FnOnce(&Page) -> R) -> R {
+        let frame = match self.frame.try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                bump(&metrics.btree_latch_waits);
+                lock(&self.frame)
+            }
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        };
+        f(&frame.page)
+    }
 }
 
 /// The pool. `Arc` strong counts implement pinning: a frame whose only
 /// holders are the pool itself is evictable.
 pub struct BufferPool {
-    inner: Mutex<Inner>,
+    core: Mutex<Core>,
+    /// The lock-striped frame table; pages hash to a stripe by id.
+    shards: Vec<Mutex<Shard>>,
     /// The transaction currently joined by writes (0 = none); shared
     /// with guards so `with_mut` can capture before-images without
     /// reaching back into the pool.
     active: Arc<AtomicU64>,
     capacity: usize,
-    /// Lock-free handle on the same registry `Inner` carries, so the
-    /// access methods (heap, B+-tree) can count through the pool they
-    /// already hold without taking the pool mutex.
+    /// Lock-free I/O counters: the shard fast path bumps hits without
+    /// taking core, so these cannot live inside either mutex.
+    page_reads: AtomicU64,
+    buffer_hits: AtomicU64,
+    page_writes: AtomicU64,
+    /// Lock-free handle on the observability registry (shared with the
+    /// WAL), so the access methods (heap, B+-tree) can count through
+    /// the pool they already hold without taking any pool lock.
     metrics: Arc<StorageMetrics>,
 }
 
@@ -271,26 +314,84 @@ impl BufferPool {
         if let Some(wal) = wal.as_mut() {
             wal.set_metrics(Arc::clone(&metrics));
         }
+        let capacity = capacity.max(2);
+        // One stripe per ~8 frames, capped at 16: tiny pools (component
+        // tests, the 8-frame steal-pressure floor) collapse to a single
+        // stripe and keep the exact legacy clock semantics; big pools
+        // spread hit traffic across stripes.
+        let n_shards = (capacity / 8).clamp(1, 16);
+        let shards = (0..n_shards)
+            .map(|i| {
+                // Distribute the frame budget exactly: the first
+                // `capacity % n_shards` stripes take one extra frame.
+                let cap = capacity / n_shards + usize::from(i < capacity % n_shards);
+                Mutex::new(Shard {
+                    frames: Vec::new(),
+                    map: HashMap::new(),
+                    hand: 0,
+                    capacity: cap,
+                })
+            })
+            .collect();
         BufferPool {
-            inner: Mutex::new(Inner {
+            core: Mutex::new(Core {
                 pager,
                 wal,
                 txns: HashMap::new(),
-                frames: Vec::new(),
-                map: HashMap::new(),
-                hand: 0,
-                stats: PoolStats::default(),
                 recycled: Vec::new(),
                 meta_page: None,
                 stolen_by: HashMap::new(),
                 pending_undo: HashMap::new(),
                 undo_incomplete: false,
-                metrics: Arc::clone(&metrics),
             }),
+            shards,
             active: Arc::new(AtomicU64::new(0)),
-            capacity: capacity.max(2),
+            capacity,
+            page_reads: AtomicU64::new(0),
+            buffer_hits: AtomicU64::new(0),
+            page_writes: AtomicU64::new(0),
             metrics,
         }
+    }
+
+    /// The stripe `id` hashes to.
+    fn shard_for(&self, id: PageId) -> &Mutex<Shard> {
+        &self.shards[id as usize % self.shards.len()]
+    }
+
+    /// Locks `id`'s stripe, counting contended acquisitions (the
+    /// `pool_shard_conflicts` counter: how often striping still made
+    /// someone wait).
+    fn lock_shard(&self, id: PageId) -> MutexGuard<'_, Shard> {
+        match self.shard_for(id).try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                bump(&self.metrics.pool_shard_conflicts);
+                lock(self.shard_for(id))
+            }
+            Err(TryLockError::Poisoned(e)) => e.into_inner(),
+        }
+    }
+
+    /// The resident frame for `id`, if any — no fault-in, no hit
+    /// accounting. Takes only the page's stripe, so it is safe with or
+    /// without core held.
+    fn resident(&self, id: PageId) -> Option<Arc<Mutex<Frame>>> {
+        let shard = self.lock_shard(id);
+        shard
+            .map
+            .get(&id)
+            .map(|&slot| Arc::clone(&shard.frames[slot]))
+    }
+
+    /// Every frame in the pool, stripe by stripe. Callers hold core, so
+    /// the table cannot change between stripes.
+    fn all_frames(&self) -> Vec<Arc<Mutex<Frame>>> {
+        let mut out = Vec::with_capacity(self.capacity);
+        for shard in &self.shards {
+            out.extend(lock(shard).frames.iter().map(Arc::clone));
+        }
+        out
     }
 
     /// The pool's observability registry ([`crate::metrics`]): shared
@@ -305,9 +406,15 @@ impl BufferPool {
     }
 
     pub fn stats(&self) -> PoolStats {
-        let inner = lock(&self.inner);
-        let mut stats = inner.stats;
-        if let Some(wal) = &inner.wal {
+        let mut stats = PoolStats {
+            page_reads: self.page_reads.load(Ordering::Relaxed),
+            buffer_hits: self.buffer_hits.load(Ordering::Relaxed),
+            page_writes: self.page_writes.load(Ordering::Relaxed),
+            wal_appends: 0,
+            wal_bytes: 0,
+        };
+        let core = lock(&self.core);
+        if let Some(wal) = &core.wal {
             stats.wal_appends = wal.stats().appends;
             stats.wal_bytes = wal.stats().bytes;
         }
@@ -316,19 +423,19 @@ impl BufferPool {
 
     /// Number of pages the pager has allocated.
     pub fn page_count(&self) -> u32 {
-        lock(&self.inner).pager.page_count()
+        lock(&self.core).pager.page_count()
     }
 
     /// Bytes currently sitting in the WAL (0 without one).
     pub fn wal_len_bytes(&self) -> u64 {
-        lock(&self.inner).wal.as_ref().map_or(0, Wal::len_bytes)
+        lock(&self.core).wal.as_ref().map_or(0, Wal::len_bytes)
     }
 
     /// Anchors the persistent free-page list at `page`'s `extra` word
     /// (the engine's meta page). `None` disables the list (pre-meta
     /// database files).
     pub fn set_meta_page(&self, page: Option<PageId>) {
-        lock(&self.inner).meta_page = page;
+        lock(&self.core).meta_page = page;
     }
 
     /// The transaction currently joined by writes, if any.
@@ -346,26 +453,26 @@ impl BufferPool {
 
     /// Number of open (possibly suspended) transactions.
     pub fn open_txn_count(&self) -> usize {
-        lock(&self.inner).txns.len()
+        lock(&self.core).txns.len()
     }
 
     /// Opens a transaction and makes it the active one. Fails if another
     /// transaction is currently active (suspend it first) or the pool
     /// has no WAL.
     pub fn begin_txn(&self) -> StorageResult<TxnId> {
-        let mut inner = lock(&self.inner);
+        let mut core = lock(&self.core);
         if self.active.load(Ordering::SeqCst) != 0 {
             return Err(StorageError::Internal(
                 "another transaction is active; suspend or finish it first".into(),
             ));
         }
-        let Some(wal) = inner.wal.as_mut() else {
+        let Some(wal) = core.wal.as_mut() else {
             return Err(StorageError::Internal(
                 "buffer pool has no WAL; transactions unavailable".into(),
             ));
         };
         let id = wal.begin_txn_id();
-        inner.txns.insert(id, TxnCtx::default());
+        core.txns.insert(id, TxnCtx::default());
         self.active.store(id, Ordering::SeqCst);
         Ok(id)
     }
@@ -373,8 +480,8 @@ impl BufferPool {
     /// Makes an open transaction the active one (a session switching its
     /// transaction in before a statement).
     pub fn resume_txn(&self, id: TxnId) -> StorageResult<()> {
-        let inner = lock(&self.inner);
-        if !inner.txns.contains_key(&id) {
+        let core = lock(&self.core);
+        if !core.txns.contains_key(&id) {
             return Err(StorageError::Internal(format!(
                 "resume of unknown transaction {id}"
             )));
@@ -406,53 +513,47 @@ impl BufferPool {
     /// physically rewound without touching other transactions.
     pub fn commit_txn(&self, id: TxnId) -> StorageResult<()> {
         let start = std::time::Instant::now();
-        let mut inner = lock(&self.inner);
-        let inner = &mut *inner;
-        if !inner.txns.contains_key(&id) {
+        let mut core = lock(&self.core);
+        let core = &mut *core;
+        if !core.txns.contains_key(&id) {
             return Err(StorageError::Internal(format!(
                 "commit of unknown transaction {id}"
             )));
         }
-        let touched: Vec<Arc<Mutex<Frame>>> = inner
-            .frames
-            .iter()
+        // Core is held for the whole commit; every fault-in or eviction
+        // also needs core, so the frame table is frozen and the shard
+        // walks below see a consistent cut.
+        let touched: Vec<Arc<Mutex<Frame>>> = self
+            .all_frames()
+            .into_iter()
             .filter(|f| lock(f).owner == Some(id))
-            .map(Arc::clone)
             .collect();
         // Stolen pages whose current content an owned frame does NOT
         // carry: re-owned resident pages are logged from their frame
         // above; the rest are read back (from an unowned frame or the
         // pager — the stolen write is visible through the file handle).
-        let mut stolen: Vec<PageId> = inner
+        let mut stolen: Vec<PageId> = core
             .txns
             .get(&id)
             .map(|ctx| ctx.stolen.clone())
             .unwrap_or_default();
         stolen.sort_unstable();
         stolen.dedup();
-        stolen.retain(|pid| match inner.map.get(pid) {
-            Some(&slot) => lock(&inner.frames[slot]).owner != Some(id),
+        stolen.retain(|&pid| match self.resident(pid) {
+            Some(frame) => lock(&frame).owner != Some(id),
             None => true,
         });
         if touched.is_empty() && stolen.is_empty() {
             // Read-only transaction: nothing to log.
-            Self::finish_txn(inner, &self.active, id);
+            self.finish_txn(core, id);
             return Ok(());
         }
-        let mark = inner.wal.as_ref().expect("txn implies wal").mark();
+        let mark = core.wal.as_ref().expect("txn implies wal").mark();
         let logged = {
-            let Inner {
-                pager,
-                wal,
-                frames,
-                map,
-                ..
-            } = inner;
-            Self::log_commit(
+            let Core { pager, wal, .. } = core;
+            self.log_commit(
                 pager,
                 wal.as_mut().expect("txn implies wal"),
-                frames,
-                map,
                 id,
                 &touched,
                 &stolen,
@@ -465,11 +566,10 @@ impl BufferPool {
                     frame.owner = None;
                     frame.before = None;
                 }
-                Self::finish_txn(inner, &self.active, id);
+                self.finish_txn(core, id);
                 // Only committed forces count: a rewound commit never
                 // made anything durable.
-                inner
-                    .metrics
+                self.metrics
                     .histograms
                     .commit
                     .record(start.elapsed().as_nanos() as u64);
@@ -478,12 +578,11 @@ impl BufferPool {
             Err(e) => {
                 // Rewind the half-logged (or fully logged but unsynced)
                 // commit out of the log, then roll the pages back.
-                inner
-                    .wal
+                core.wal
                     .as_mut()
                     .expect("txn implies wal")
                     .discard_after(mark);
-                Self::rollback_txn(inner, &self.active, id);
+                self.rollback_txn_locked(core, id);
                 Err(e)
             }
         }
@@ -491,12 +590,11 @@ impl BufferPool {
 
     /// The logging half of [`BufferPool::commit_txn`]: `Begin`, one
     /// stamped image per owned frame and per uncovered stolen page,
-    /// `Commit`, force.
+    /// `Commit`, force. The caller holds core.
     fn log_commit(
+        &self,
         pager: &mut Pager,
         wal: &mut Wal,
-        frames: &[Arc<Mutex<Frame>>],
-        map: &HashMap<PageId, usize>,
         id: TxnId,
         touched: &[Arc<Mutex<Frame>>],
         stolen: &[PageId],
@@ -515,8 +613,8 @@ impl BufferPool {
         }
         for &pid in stolen {
             let mut image = Page::zeroed();
-            match map.get(&pid) {
-                Some(&slot) => image.copy_from(&lock(&frames[slot]).page),
+            match self.resident(pid) {
+                Some(frame) => image.copy_from(&lock(&frame).page),
                 None => pager.read(pid, &mut image)?,
             }
             image.set_lsn(wal.next_lsn());
@@ -535,24 +633,26 @@ impl BufferPool {
     /// images, and pages the transaction allocated from the pager are
     /// queued for reuse. A no-op for an unknown id; never fails.
     pub fn abort_txn(&self, id: TxnId) {
-        let mut inner = lock(&self.inner);
-        Self::rollback_txn(&mut inner, &self.active, id);
+        let mut core = lock(&self.core);
+        self.rollback_txn_locked(&mut core, id);
     }
 
     /// Removes transaction bookkeeping after a commit (or an empty
     /// transaction) and deactivates it if it was active.
-    fn finish_txn(inner: &mut Inner, active: &AtomicU64, id: TxnId) {
-        inner.txns.remove(&id);
-        inner.stolen_by.retain(|_, t| *t != id);
-        let _ = active.compare_exchange(id, 0, Ordering::SeqCst, Ordering::SeqCst);
+    fn finish_txn(&self, core: &mut Core, id: TxnId) {
+        core.txns.remove(&id);
+        core.stolen_by.retain(|_, t| *t != id);
+        let _ = self
+            .active
+            .compare_exchange(id, 0, Ordering::SeqCst, Ordering::SeqCst);
     }
 
-    fn rollback_txn(inner: &mut Inner, active: &AtomicU64, id: TxnId) {
-        let Some(ctx) = inner.txns.remove(&id) else {
+    fn rollback_txn_locked(&self, core: &mut Core, id: TxnId) {
+        let Some(ctx) = core.txns.remove(&id) else {
             return;
         };
-        for frame in &inner.frames {
-            let mut frame = lock(frame);
+        for frame in self.all_frames() {
+            let mut frame = lock(&frame);
             if frame.owner == Some(id) {
                 frame.rollback();
             }
@@ -560,11 +660,13 @@ impl BufferPool {
         // After the resident rollbacks: the reverse walk below ends on
         // each stolen page's true pre-transaction image.
         if !ctx.undo_offsets.is_empty() {
-            Self::restore_stolen(inner, &ctx.undo_offsets);
+            self.restore_stolen(core, &ctx.undo_offsets);
         }
-        inner.stolen_by.retain(|_, t| *t != id);
-        inner.recycled.extend(ctx.allocated);
-        let _ = active.compare_exchange(id, 0, Ordering::SeqCst, Ordering::SeqCst);
+        core.stolen_by.retain(|_, t| *t != id);
+        core.recycled.extend(ctx.allocated);
+        let _ = self
+            .active
+            .compare_exchange(id, 0, Ordering::SeqCst, Ordering::SeqCst);
     }
 
     /// Rolls an aborting transaction's stolen pages back from their
@@ -578,16 +680,14 @@ impl BufferPool {
     /// [`Inner::undo_incomplete`], which pins the log until the process
     /// restarts — either way the undo images outlive the failure, so
     /// recovery can finish the rollback.
-    fn restore_stolen(inner: &mut Inner, undo_offsets: &[u64]) {
-        let Inner {
+    fn restore_stolen(&self, core: &mut Core, undo_offsets: &[u64]) {
+        let Core {
             pager,
             wal,
-            frames,
-            map,
             pending_undo,
             undo_incomplete,
             ..
-        } = inner;
+        } = core;
         let Some(wal) = wal.as_mut() else {
             return;
         };
@@ -605,9 +705,9 @@ impl BufferPool {
             }
         }
         for (pid, image) in finals {
-            match map.get(&pid) {
-                Some(&slot) => {
-                    let mut frame = lock(&frames[slot]);
+            match self.resident(pid) {
+                Some(frame) => {
+                    let mut frame = lock(&frame);
                     frame.page.as_bytes_mut().copy_from_slice(&image[..]);
                     frame.dirty = true;
                     frame.owner = None;
@@ -628,8 +728,8 @@ impl BufferPool {
     /// recycle list (aborted allocations), then from the persistent
     /// free list, then by appending a fresh page via the pager.
     pub fn allocate(&self, kind: PageKind) -> StorageResult<(PageId, PinnedPage)> {
-        let mut inner = lock(&self.inner);
-        let inner = &mut *inner;
+        let mut core = lock(&self.core);
+        let core = &mut *core;
         let active = self.active.load(Ordering::SeqCst);
 
         // 1. Recycled pages: Free on disk, not on the persistent list.
@@ -641,12 +741,11 @@ impl BufferPool {
         if active != 0 {
             let mut skipped = Vec::new();
             let mut reuse: Option<PageId> = None;
-            while let Some(id) = inner.recycled.pop() {
-                if id >= inner.pager.page_count() {
+            while let Some(id) = core.recycled.pop() {
+                if id >= core.pager.page_count() {
                     continue; // stale entry (should not happen; be safe)
                 }
-                if let Some(&slot) = inner.map.get(&id) {
-                    let frame = Arc::clone(&inner.frames[slot]);
+                if let Some(frame) = self.resident(id) {
                     let usable = Arc::strong_count(&frame) <= 2 && lock(&frame).owner.is_none();
                     if !usable {
                         skipped.push(id);
@@ -656,21 +755,21 @@ impl BufferPool {
                 reuse = Some(id);
                 break;
             }
-            inner.recycled.extend(skipped);
+            core.recycled.extend(skipped);
             if let Some(id) = reuse {
-                let guard = self.adopt_free_page(inner, id, kind, active, true)?;
+                let guard = self.adopt_free_page(core, id, kind, active, true)?;
                 return Ok((id, guard));
             }
         }
 
         // 2. Persistent free list (opportunistic).
-        if let Some(id) = Self::pop_free_list(inner, self.capacity, active)? {
-            let guard = self.adopt_free_page(inner, id, kind, active, false)?;
+        if let Some(id) = self.pop_free_list(core, active)? {
+            let guard = self.adopt_free_page(core, id, kind, active, false)?;
             return Ok((id, guard));
         }
 
         // 3. Append a fresh page.
-        let id = inner.pager.allocate()?;
+        let id = core.pager.allocate()?;
         let mut page = Page::zeroed();
         page.init(kind);
         let mut frame = Frame {
@@ -686,13 +785,16 @@ impl BufferPool {
             // abandons the allocation (and recycles the id).
             frame.before = Some((Page::zeroed(), false));
             frame.owner = Some(active);
-            if let Some(ctx) = inner.txns.get_mut(&active) {
+            if let Some(ctx) = core.txns.get_mut(&active) {
                 ctx.allocated.push(id);
             }
         }
         let frame = Arc::new(Mutex::new(frame));
-        let slot = Self::place(inner, self.capacity, Arc::clone(&frame))?;
-        inner.map.insert(id, slot);
+        {
+            let mut shard = self.lock_shard(id);
+            let slot = self.place(core, &mut shard, Arc::clone(&frame))?;
+            shard.map.insert(id, slot);
+        }
         Ok((
             id,
             PinnedPage {
@@ -709,7 +811,7 @@ impl BufferPool {
     /// their own restored pointers instead).
     fn adopt_free_page(
         &self,
-        inner: &mut Inner,
+        core: &mut Core,
         id: PageId,
         kind: PageKind,
         active: u64,
@@ -722,9 +824,9 @@ impl BufferPool {
         // fast path below assumes, so the frame must start dirty: even
         // if the adopting transaction aborts, the rolled-back free page
         // then gets written over the stale bytes.
-        let disk_stale = inner.pending_undo.remove(&id).is_some();
-        let frame = match inner.map.get(&id) {
-            Some(&slot) => Arc::clone(&inner.frames[slot]),
+        let disk_stale = core.pending_undo.remove(&id).is_some();
+        let frame = match self.resident(id) {
+            Some(frame) => frame,
             None => {
                 // Disk holds a free page (unless a failed undo restore
                 // says otherwise); no need to read it back.
@@ -736,8 +838,9 @@ impl BufferPool {
                     owner: None,
                     before: None,
                 }));
-                let slot = Self::place(inner, self.capacity, Arc::clone(&frame))?;
-                inner.map.insert(id, slot);
+                let mut shard = self.lock_shard(id);
+                let slot = self.place(core, &mut shard, Arc::clone(&frame))?;
+                shard.map.insert(id, slot);
                 frame
             }
         };
@@ -749,7 +852,7 @@ impl BufferPool {
             f.referenced = true;
         }
         if recyclable && active != 0 {
-            if let Some(ctx) = inner.txns.get_mut(&active) {
+            if let Some(ctx) = core.txns.get_mut(&active) {
                 ctx.allocated.push(id);
             }
         }
@@ -764,11 +867,7 @@ impl BufferPool {
     /// so an abort relinks the list). Returns `None` — falling back to
     /// a pager append — when there is no meta page, the list is empty,
     /// or the involved pages are owned by another open transaction.
-    fn pop_free_list(
-        inner: &mut Inner,
-        capacity: usize,
-        active: u64,
-    ) -> StorageResult<Option<PageId>> {
+    fn pop_free_list(&self, core: &mut Core, active: u64) -> StorageResult<Option<PageId>> {
         // Only transactional allocations may reuse listed pages: a
         // listed page's Free image sits in the log (the reclaim commit
         // wrote it), so an *unlogged* reuse (index bulk builds) would
@@ -778,10 +877,10 @@ impl BufferPool {
         if active == 0 {
             return Ok(None);
         }
-        let Some(meta_id) = inner.meta_page else {
+        let Some(meta_id) = core.meta_page else {
             return Ok(None);
         };
-        let meta = Self::frame_at(inner, capacity, meta_id)?;
+        let meta = self.frame_at_locked(core, meta_id)?;
         let head = {
             let m = lock(&meta);
             // `active != 0` is guaranteed by the guard above.
@@ -790,10 +889,10 @@ impl BufferPool {
             }
             m.page.extra()
         };
-        if head == NO_PAGE || head >= inner.pager.page_count() {
+        if head == NO_PAGE || head >= core.pager.page_count() {
             return Ok(None);
         }
-        let head_frame = Self::frame_at(inner, capacity, head)?;
+        let head_frame = self.frame_at_locked(core, head)?;
         let next = {
             let h = lock(&head_frame);
             let foreign = h.owner.is_some() && h.owner != Some(active);
@@ -821,13 +920,13 @@ impl BufferPool {
     /// Returns how many pages were actually linked. Runs under the
     /// caller's transaction, so an abort restores every pointer.
     pub fn free_pages(&self, ids: &[PageId]) -> StorageResult<usize> {
-        let mut inner = lock(&self.inner);
-        let inner = &mut *inner;
+        let mut core = lock(&self.core);
+        let core = &mut *core;
         let active = self.active.load(Ordering::SeqCst);
-        let Some(meta_id) = inner.meta_page else {
+        let Some(meta_id) = core.meta_page else {
             return Ok(0);
         };
-        let meta = Self::frame_at(inner, self.capacity, meta_id)?;
+        let meta = self.frame_at_locked(core, meta_id)?;
         let mut head = {
             let mut m = lock(&meta);
             if m.prepare_write(active).is_err() {
@@ -837,10 +936,10 @@ impl BufferPool {
         };
         let mut freed = 0;
         for &id in ids {
-            if id == meta_id || id >= inner.pager.page_count() {
+            if id == meta_id || id >= core.pager.page_count() {
                 continue;
             }
-            let frame = Self::frame_at(inner, self.capacity, id)?;
+            let frame = self.frame_at_locked(core, id)?;
             {
                 let mut f = lock(&frame);
                 if Arc::strong_count(&frame) > 2 || f.prepare_write(active).is_err() {
@@ -865,21 +964,21 @@ impl BufferPool {
     /// Number of pages on the persistent free list (walks the chain;
     /// diagnostics and tests).
     pub fn free_list_len(&self) -> StorageResult<usize> {
-        let mut inner = lock(&self.inner);
-        let inner = &mut *inner;
-        let Some(meta_id) = inner.meta_page else {
+        let mut core = lock(&self.core);
+        let core = &mut *core;
+        let Some(meta_id) = core.meta_page else {
             return Ok(0);
         };
-        let meta = Self::frame_at(inner, self.capacity, meta_id)?;
+        let meta = self.frame_at_locked(core, meta_id)?;
         let mut cursor = lock(&meta).page.extra();
         let mut n = 0usize;
         while cursor != NO_PAGE {
-            if n as u32 >= inner.pager.page_count() {
+            if n as u32 >= core.pager.page_count() {
                 return Err(StorageError::Corrupt(
                     "free list cycle: next pointers revisit a page".into(),
                 ));
             }
-            let frame = Self::frame_at(inner, self.capacity, cursor)?;
+            let frame = self.frame_at_locked(core, cursor)?;
             cursor = lock(&frame).page.next();
             n += 1;
         }
@@ -888,8 +987,25 @@ impl BufferPool {
 
     /// Fetches a page, from a frame if resident, else from the pager.
     pub fn fetch(&self, id: PageId) -> StorageResult<PinnedPage> {
-        let mut inner = lock(&self.inner);
-        let frame = Self::frame_at(&mut inner, self.capacity, id)?;
+        // Fast path: a resident page takes only its shard stripe, so
+        // hits on different stripes run fully in parallel.
+        {
+            let shard = self.lock_shard(id);
+            if let Some(&slot) = shard.map.get(&id) {
+                let frame = Arc::clone(&shard.frames[slot]);
+                drop(shard);
+                self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.metrics.buffer_hits);
+                lock(&frame).referenced = true;
+                return Ok(PinnedPage {
+                    frame,
+                    active: Arc::clone(&self.active),
+                });
+            }
+        }
+        // Miss: fault in under core (lock order core → shard).
+        let mut core = lock(&self.core);
+        let frame = self.frame_at_locked(&mut core, id)?;
         Ok(PinnedPage {
             frame,
             active: Arc::clone(&self.active),
@@ -897,42 +1013,44 @@ impl BufferPool {
     }
 
     /// Resident frame for `id`, faulting it in (and evicting) if needed.
-    /// The returned `Arc` itself protects the frame from eviction while
-    /// held (strong count ≥ 3 during the clock sweep's check).
-    fn frame_at(
-        inner: &mut Inner,
-        capacity: usize,
-        id: PageId,
-    ) -> StorageResult<Arc<Mutex<Frame>>> {
-        if let Some(&slot) = inner.map.get(&id) {
-            inner.stats.buffer_hits += 1;
-            bump(&inner.metrics.buffer_hits);
-            let frame = Arc::clone(&inner.frames[slot]);
-            lock(&frame).referenced = true;
-            return Ok(frame);
+    /// The caller holds core; residency is rechecked after relocking the
+    /// stripe because another thread may have faulted the page in
+    /// between the caller's miss and its core acquisition. The returned
+    /// `Arc` itself protects the frame from eviction while held (strong
+    /// count ≥ 3 during the clock sweep's check).
+    fn frame_at_locked(&self, core: &mut Core, id: PageId) -> StorageResult<Arc<Mutex<Frame>>> {
+        {
+            let shard = self.lock_shard(id);
+            if let Some(&slot) = shard.map.get(&id) {
+                let frame = Arc::clone(&shard.frames[slot]);
+                drop(shard);
+                self.buffer_hits.fetch_add(1, Ordering::Relaxed);
+                bump(&self.metrics.buffer_hits);
+                lock(&frame).referenced = true;
+                return Ok(frame);
+            }
         }
-        inner.stats.page_reads += 1;
-        bump(&inner.metrics.fault_ins);
+        self.page_reads.fetch_add(1, Ordering::Relaxed);
+        bump(&self.metrics.fault_ins);
         let start = std::time::Instant::now();
         let mut page = Page::zeroed();
         let mut dirty = false;
-        match inner.pending_undo.remove(&id) {
+        match core.pending_undo.remove(&id) {
             // An aborted restore that never reached the disk: the
             // correct image is carried here instead of the file.
             Some(image) => {
-                bump(&inner.metrics.pending_undo_restores);
+                bump(&self.metrics.pending_undo_restores);
                 page = image;
                 dirty = true;
             }
             None => {
-                inner.pager.read(id, &mut page)?;
+                core.pager.read(id, &mut page)?;
                 page.validate()?;
             }
         }
         // One record per fault_ins bump (a parked-undo serve measures
         // the copy, not a pager read) so histogram count == counter.
-        inner
-            .metrics
+        self.metrics
             .histograms
             .fault_in
             .record(start.elapsed().as_nanos() as u64);
@@ -940,7 +1058,7 @@ impl BufferPool {
         // on-disk content is that transaction's uncommitted write, so
         // the frame keeps the owner (foreign writes stay `Conflict`s)
         // but no in-memory before-image — the undo is already logged.
-        let owner = inner.stolen_by.get(&id).copied();
+        let owner = core.stolen_by.get(&id).copied();
         let frame = Arc::new(Mutex::new(Frame {
             id,
             page,
@@ -949,34 +1067,42 @@ impl BufferPool {
             owner,
             before: None,
         }));
-        let slot = Self::place(inner, capacity, Arc::clone(&frame))?;
-        inner.map.insert(id, slot);
+        let mut shard = self.lock_shard(id);
+        let slot = self.place(core, &mut shard, Arc::clone(&frame))?;
+        shard.map.insert(id, slot);
         Ok(frame)
     }
 
-    /// Finds a slot for a new frame, evicting with the clock policy when
-    /// the pool is full. Pinned frames (strong count > 2) and dirty
-    /// frames whose LSN is past the durable log (write-ahead rule) are
-    /// skipped; frames owned by an open transaction are a last resort —
-    /// when nothing else is evictable one is **stolen**
-    /// ([`BufferPool::steal`]), so a write set larger than the pool
-    /// spills to disk instead of failing.
-    fn place(inner: &mut Inner, capacity: usize, frame: Arc<Mutex<Frame>>) -> StorageResult<usize> {
-        if inner.frames.len() < capacity {
-            inner.frames.push(frame);
-            return Ok(inner.frames.len() - 1);
+    /// Finds a slot for a new frame in its stripe, evicting with the
+    /// clock policy when the stripe is full. Pinned frames (strong
+    /// count > 2) and dirty frames whose LSN is past the durable log
+    /// (write-ahead rule) are skipped; frames owned by an open
+    /// transaction are a last resort — when nothing else is evictable
+    /// one is **stolen** ([`BufferPool::steal`]), so a write set larger
+    /// than the pool spills to disk instead of failing. The caller
+    /// holds core (eviction writes back through the pager/log) and the
+    /// stripe.
+    fn place(
+        &self,
+        core: &mut Core,
+        shard: &mut Shard,
+        frame: Arc<Mutex<Frame>>,
+    ) -> StorageResult<usize> {
+        if shard.frames.len() < shard.capacity {
+            shard.frames.push(frame);
+            return Ok(shard.frames.len() - 1);
         }
-        let n = inner.frames.len();
+        let n = shard.frames.len();
         // Pass 1 — the plain clock over unowned frames. Two sweeps clear
         // every reference bit; a third guarantees that an evictable
         // frame, if any exists, is found.
         for _ in 0..3 * n {
-            let slot = inner.hand;
-            inner.hand = (inner.hand + 1) % n;
-            bump(&inner.metrics.clock_sweeps);
-            let candidate = Arc::clone(&inner.frames[slot]);
+            let slot = shard.hand;
+            shard.hand = (shard.hand + 1) % n;
+            bump(&self.metrics.clock_sweeps);
+            let candidate = Arc::clone(&shard.frames[slot]);
             if Arc::strong_count(&candidate) > 2 {
-                continue; // pinned by a live guard (pool + candidate + guard)
+                continue; // pinned by a live guard (shard + candidate + guard)
             }
             let mut victim = lock(&candidate);
             if victim.owner.is_some() {
@@ -986,7 +1112,7 @@ impl BufferPool {
                 // Write-ahead: never let a page overtake the log it
                 // depends on. Commit forces the log, so this only
                 // triggers if an unlogged mutation path appears.
-                if let Some(wal) = &inner.wal {
+                if let Some(wal) = &core.wal {
                     if victim.page.lsn() > wal.durable_lsn() {
                         continue;
                     }
@@ -997,24 +1123,24 @@ impl BufferPool {
                 continue;
             }
             if victim.dirty {
-                inner.stats.page_writes += 1;
+                self.page_writes.fetch_add(1, Ordering::Relaxed);
                 let Frame { id, ref page, .. } = *victim;
-                inner.pager.write(id, page)?;
+                core.pager.write(id, page)?;
             }
-            bump(&inner.metrics.evictions);
+            bump(&self.metrics.evictions);
             let old_id = victim.id;
             drop(victim);
-            inner.map.remove(&old_id);
-            inner.frames[slot] = frame;
+            shard.map.remove(&old_id);
+            shard.frames[slot] = frame;
             return Ok(slot);
         }
         // Pass 2 — steal: every unpinned frame belongs to an open
         // transaction. Evict one anyway, with its undo image forced to
         // the log first.
         for _ in 0..n {
-            let slot = inner.hand;
-            inner.hand = (inner.hand + 1) % n;
-            let candidate = Arc::clone(&inner.frames[slot]);
+            let slot = shard.hand;
+            shard.hand = (shard.hand + 1) % n;
+            let candidate = Arc::clone(&shard.frames[slot]);
             if Arc::strong_count(&candidate) > 2 {
                 continue;
             }
@@ -1024,14 +1150,14 @@ impl BufferPool {
                     continue; // unowned yet unevictable (see pass 1)
                 }
             }
-            Self::steal(inner, &candidate)?;
+            self.steal(core, &candidate)?;
             let old_id = lock(&candidate).id;
-            inner.map.remove(&old_id);
-            inner.frames[slot] = frame;
+            shard.map.remove(&old_id);
+            shard.frames[slot] = frame;
             return Ok(slot);
         }
         Err(StorageError::Internal(format!(
-            "buffer pool exhausted: all {n} frames pinned or unevictable"
+            "buffer pool exhausted: all {n} frames of the page's stripe pinned or unevictable"
         )))
     }
 
@@ -1041,11 +1167,11 @@ impl BufferPool {
     /// database file with no way back), then writes the uncommitted
     /// content to the database file and evicts the frame. The page id is
     /// recorded in the owner's context (commit logs its redo image,
-    /// abort restores it) and in [`Inner::stolen_by`] (a re-fault
+    /// abort restores it) and in [`Core::stolen_by`] (a re-fault
     /// restores the thief's ownership). A page stolen for the *second*
     /// time carries no in-memory before-image — its undo is already in
     /// the log from the first steal, so nothing new is appended.
-    fn steal(inner: &mut Inner, candidate: &Arc<Mutex<Frame>>) -> StorageResult<()> {
+    fn steal(&self, core: &mut Core, candidate: &Arc<Mutex<Frame>>) -> StorageResult<()> {
         let (owner, id, record) = {
             let victim = lock(candidate);
             let owner = victim.owner.expect("steal candidates are owned");
@@ -1060,26 +1186,26 @@ impl BufferPool {
             (owner, victim.id, record)
         };
         if let Some(record) = record {
-            let wal = inner.wal.as_mut().expect("owned frames imply a wal");
+            let wal = core.wal.as_mut().expect("owned frames imply a wal");
             let offset = wal.len_bytes();
             wal.append(&record)?;
             wal.sync()?;
-            if let Some(ctx) = inner.txns.get_mut(&owner) {
+            if let Some(ctx) = core.txns.get_mut(&owner) {
                 ctx.undo_offsets.push(offset);
             }
         }
         {
             let mut victim = lock(candidate);
-            inner.stats.page_writes += 1;
+            self.page_writes.fetch_add(1, Ordering::Relaxed);
             let Frame { id, ref page, .. } = *victim;
-            inner.pager.write(id, page)?;
+            core.pager.write(id, page)?;
             victim.owner = None;
             victim.before = None;
             victim.dirty = false;
         }
-        bump(&inner.metrics.steals);
-        inner.stolen_by.insert(id, owner);
-        if let Some(ctx) = inner.txns.get_mut(&owner) {
+        bump(&self.metrics.steals);
+        core.stolen_by.insert(id, owner);
+        if let Some(ctx) = core.txns.get_mut(&owner) {
             ctx.stolen.push(id);
         }
         Ok(())
@@ -1091,36 +1217,35 @@ impl BufferPool {
     /// cost); the log is left alone — see [`BufferPool::checkpoint`]
     /// for write-back plus log truncation.
     pub fn flush(&self) -> StorageResult<()> {
-        let mut inner = lock(&self.inner);
-        let inner = &mut *inner;
+        let mut core = lock(&self.core);
+        let core = &mut *core;
         // Parked undo restores first: until they land, the disk holds
         // rolled-back uncommitted bytes.
-        let pending: Vec<PageId> = inner.pending_undo.keys().copied().collect();
+        let pending: Vec<PageId> = core.pending_undo.keys().copied().collect();
         for pid in pending {
-            let page = inner.pending_undo.remove(&pid).expect("collected above");
-            if inner.map.contains_key(&pid) {
+            let page = core.pending_undo.remove(&pid).expect("collected above");
+            if self.resident(pid).is_some() {
                 // A fault-in adopted the image meanwhile; the frame
                 // write-back below covers it.
                 continue;
             }
-            inner.stats.page_writes += 1;
-            if let Err(e) = inner.pager.write(pid, &page) {
-                inner.pending_undo.insert(pid, page);
+            self.page_writes.fetch_add(1, Ordering::Relaxed);
+            if let Err(e) = core.pager.write(pid, &page) {
+                core.pending_undo.insert(pid, page);
                 return Err(e);
             }
-            bump(&inner.metrics.pending_undo_restores);
+            bump(&self.metrics.pending_undo_restores);
         }
-        let frames: Vec<Arc<Mutex<Frame>>> = inner.frames.iter().map(Arc::clone).collect();
-        for frame in frames {
+        for frame in self.all_frames() {
             let mut frame = lock(&frame);
             if frame.dirty && frame.owner.is_none() {
-                inner.stats.page_writes += 1;
+                self.page_writes.fetch_add(1, Ordering::Relaxed);
                 let Frame { id, ref page, .. } = *frame;
-                inner.pager.write(id, page)?;
+                core.pager.write(id, page)?;
                 frame.dirty = false;
             }
         }
-        inner.pager.sync()
+        core.pager.sync()
     }
 
     /// Checkpoint: writes every committed dirty page back, syncs the
@@ -1131,13 +1256,13 @@ impl BufferPool {
     /// whose redo must land in the log the checkpoint would race.
     pub fn checkpoint(&self) -> StorageResult<()> {
         {
-            let inner = lock(&self.inner);
-            if !inner.txns.is_empty() {
+            let core = lock(&self.core);
+            if !core.txns.is_empty() {
                 return Err(StorageError::Internal(
                     "checkpoint during an open transaction (commit or abort it first)".into(),
                 ));
             }
-            if inner.undo_incomplete {
+            if core.undo_incomplete {
                 // An abort could not read its undo images back; the log
                 // is the only copy, so it must never be truncated.
                 return Err(StorageError::Internal(
@@ -1148,8 +1273,8 @@ impl BufferPool {
             }
         }
         self.flush()?;
-        let mut inner = lock(&self.inner);
-        if let Some(wal) = inner.wal.as_mut() {
+        let mut core = lock(&self.core);
+        if let Some(wal) = core.wal.as_mut() {
             wal.reset()?;
         }
         Ok(())

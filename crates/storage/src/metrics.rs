@@ -393,6 +393,12 @@ counters! {
     /// Prior row versions garbage-collected once no open snapshot
     /// could still see them.
     versions_gc,
+    /// Buffer-pool shard lookups that found the shard's stripe lock
+    /// already held (contended `try_lock`; the caller then blocked).
+    pool_shard_conflicts,
+    /// B+-tree page-latch acquisitions that found the frame latch
+    /// already held by another thread (the descent then blocked).
+    btree_latch_waits,
 }
 
 #[cfg(test)]
@@ -416,13 +422,13 @@ mod tests {
     fn counters_list_is_complete_and_ordered() {
         let m = MetricsSnapshot {
             fault_ins: 7,
-            versions_gc: 9,
+            btree_latch_waits: 9,
             ..Default::default()
         };
         let pairs = m.counters();
         assert_eq!(pairs.len(), MetricsSnapshot::NAMES.len());
         assert_eq!(pairs.first(), Some(&("fault_ins", 7)));
-        assert_eq!(pairs.last(), Some(&("versions_gc", 9)));
+        assert_eq!(pairs.last(), Some(&("btree_latch_waits", 9)));
         let names: Vec<&str> = pairs.iter().map(|&(n, _)| n).collect();
         assert_eq!(names, MetricsSnapshot::NAMES);
     }

@@ -117,9 +117,13 @@ struct MvccState {
     views: BTreeMap<u64, usize>,
     /// Transaction-scoped views (explicit BEGIN and autocommit DML).
     txn_views: HashMap<TxnId, u64>,
-    /// The statement-scoped view, if one is open (at most one: the
-    /// shared server executes one statement at a time).
-    stmt_view: Option<u64>,
+    /// The statement-scoped view, if any are open: the shared commit
+    /// horizon and the number of statements reading through it.
+    /// Concurrent read-only statements share one slot — the engine
+    /// excludes writers while statement views are open, so the clock
+    /// cannot advance between two concurrent opens and one timestamp
+    /// serves them all.
+    stmt_view: Option<(u64, usize)>,
     /// Per-transaction undo: the begin stamp each touched rid had
     /// before this transaction's first write to it (`None` = no meta
     /// existed). Drives both commit stamping and rollback.
@@ -202,7 +206,7 @@ impl Mvcc {
                 });
             }
         }
-        st.stmt_view.map(|ts| View {
+        st.stmt_view.map(|(ts, _)| View {
             ts,
             txn: None,
             probe: false,
@@ -231,31 +235,42 @@ impl Mvcc {
         metrics::bump(&m.snapshot_reads);
     }
 
-    /// Opens the statement-scoped view (autocommit statements only; a
+    /// Opens a statement-scoped view (autocommit statements only; a
     /// session inside BEGIN reads through its transaction view).
+    /// Concurrent statements share the open slot's timestamp — see
+    /// [`MvccState::stmt_view`].
     pub fn open_stmt_view(&self, m: &StorageMetrics) {
         if !self.enabled() {
             return;
         }
         let ts = self.clock.load(Ordering::SeqCst);
         let mut st = self.state.lock().unwrap();
-        if st.stmt_view.is_some() {
-            return;
+        match &mut st.stmt_view {
+            Some((_, refs)) => *refs += 1,
+            None => {
+                *st.views.entry(ts).or_insert(0) += 1;
+                st.stmt_view = Some((ts, 1));
+            }
         }
-        *st.views.entry(ts).or_insert(0) += 1;
-        st.stmt_view = Some(ts);
         metrics::bump(&m.snapshot_reads);
     }
 
-    /// Closes the statement view (no-op when none is open) and clears
+    /// Closes one statement view (no-op when none is open) and clears
     /// probe mode — statement end is the natural probe boundary even on
-    /// error paths.
+    /// error paths. The shared slot is released (and GC runs) when the
+    /// last concurrent statement closes.
     pub fn close_stmt_view(&self, m: &StorageMetrics) {
         self.probe.store(false, Ordering::Relaxed);
         let mut st = self.state.lock().unwrap();
-        if let Some(ts) = st.stmt_view.take() {
-            unregister(&mut st, ts);
-            gc(&mut st, m);
+        match &mut st.stmt_view {
+            Some((_, refs)) if *refs > 1 => *refs -= 1,
+            Some((ts, _)) => {
+                let ts = *ts;
+                st.stmt_view = None;
+                unregister(&mut st, ts);
+                gc(&mut st, m);
+            }
+            None => {}
         }
     }
 
